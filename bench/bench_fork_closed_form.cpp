@@ -1,0 +1,49 @@
+// E1 (claim C1): the paper's fork theorem vs. the independent interior-
+// point solver. Expected shape: relative error ~1e-5 or below on every
+// instance; closed form orders of magnitude faster.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "bicrit/closed_form.hpp"
+#include "bicrit/continuous_dag.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace easched;
+  bench::banner("E1 fork closed form",
+                "C1: f0 = ((sum wi^3)^(1/3) + w0)/D, fi = f0 wi/(sum wi^3)^(1/3)",
+                "closed-form energy vs interior-point energy on random forks");
+
+  common::Rng rng(1);
+  common::Table table({"n", "deadline", "E_closed", "E_ipm", "rel_err", "t_closed_ms",
+                       "t_ipm_ms"});
+  const auto speeds = model::SpeedModel::continuous(1e-4, 1e4);
+  for (int n : {4, 8, 16, 32, 64}) {
+    const auto w = graph::random_weights(n, {1.0, 10.0}, rng);
+    const auto dag = graph::make_fork(w);
+    const auto mapping = sched::Mapping::one_task_per_processor(dag);
+    const double D = dag.total_weight() / 4.0;
+
+    bench::Stopwatch sw_cf;
+    auto cf = bicrit::solve_fork(dag, D, speeds);
+    const double t_cf = sw_cf.ms();
+    bench::Stopwatch sw_ipm;
+    auto ipm = bicrit::solve_continuous(dag, mapping, D, speeds);
+    const double t_ipm = sw_ipm.ms();
+    if (!cf.is_ok() || !ipm.is_ok()) {
+      std::cout << "instance n=" << n << " failed: " << cf.status().to_string() << " / "
+                << ipm.status().to_string() << "\n";
+      return 1;
+    }
+    const double err =
+        std::abs(ipm.value().energy - cf.value().energy) / cf.value().energy;
+    table.add_row({common::format_int(n), common::format_g(D),
+                   common::format_g(cf.value().energy), common::format_g(ipm.value().energy),
+                   common::format_g(err), common::format_fixed(t_cf, 3),
+                   common::format_fixed(t_ipm, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPASS criterion: rel_err <= 1e-4 on every row.\n";
+  return 0;
+}

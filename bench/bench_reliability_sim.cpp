@@ -1,0 +1,64 @@
+// E12 (claim C11): the DVFS/reliability interplay that motivates the
+// whole TRI-CRIT problem. (a) analytic R_i(f) vs Monte-Carlo estimates;
+// (b) reliability degrades as speed drops — the Zhu et al. effect;
+// (c) worst-case energy accounting vs actually-spent energy.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "graph/generators.hpp"
+#include "sim/fault_sim.hpp"
+
+int main() {
+  using namespace easched;
+  bench::banner("E12 reliability simulation",
+                "C11: DVFS lowers reliability; re-execution restores it",
+                "Monte-Carlo fault injection vs the analytic model (200k trials/row)");
+
+  const model::ReliabilityModel rel(1e-3, 4.0, 0.2, 1.0, 0.8);
+  const double w = 10.0;
+
+  {
+    common::Table table({"speed", "R_analytic", "R_simulated", "ci95_lo", "ci95_hi",
+                         "R_with_reexec"});
+    for (double f : {0.3, 0.4, 0.5, 0.6, 0.8, 1.0}) {
+      const auto dag = graph::make_independent({w});
+      sched::Schedule single(1), redundant(1);
+      single.at(0) = sched::TaskDecision::single(f);
+      redundant.at(0) = sched::TaskDecision::re_exec(f, f);
+      sim::SimOptions opt;
+      opt.trials = 200000;
+      const auto rs = sim::simulate(dag, single, rel, opt);
+      const auto rr = sim::simulate(dag, redundant, rel, opt);
+      const auto [lo, hi] = rs.per_task[0].success.wilson95();
+      table.add_row({common::format_fixed(f, 2),
+                     common::format_fixed(rs.per_task[0].analytic_success, 5),
+                     common::format_fixed(rs.per_task[0].success.estimate(), 5),
+                     common::format_fixed(lo, 5), common::format_fixed(hi, 5),
+                     common::format_fixed(rr.per_task[0].success.estimate(), 5)});
+    }
+    std::cout << "-- per-speed reliability (w = 10, lambda0 = 1e-3, d = 4) --\n";
+    table.print(std::cout);
+  }
+
+  {
+    common::Table table({"speed", "E_worst_case", "E_actual_mean", "actual/worst"});
+    for (double f : {0.3, 0.5, 0.8}) {
+      const auto dag = graph::make_independent({w, w, w, w});
+      sched::Schedule s(4);
+      for (int t = 0; t < 4; ++t) s.at(t) = sched::TaskDecision::re_exec(f, f);
+      sim::SimOptions opt;
+      opt.trials = 100000;
+      const auto r = sim::simulate(dag, s, rel, opt);
+      table.add_row({common::format_fixed(f, 2), common::format_g(r.worst_case_energy),
+                     common::format_g(r.actual_energy.mean()),
+                     common::format_pct(r.actual_energy.mean() / r.worst_case_energy)});
+    }
+    std::cout << "\n-- worst-case provisioning vs actual spend (4 re-executed tasks) --\n";
+    table.print(std::cout);
+  }
+  std::cout << "\nShapes: R decreases as f drops (the motivation for TRI-CRIT);\n"
+               "simulated R inside the Wilson interval of analytic R; actual energy\n"
+               "well below the worst case the objective charges.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// E14 (paper section V, future work — implemented here): replication vs
+// re-execution trade-offs. "These techniques both increase reliability,
+// but [their] impact on execution time and energy consumption is very
+// different." Expected shapes:
+//   * hybrid <= re-exec-only on every row, extra processors never hurt;
+//   * under TIGHT deadlines replication buys redundancy where sequential
+//     re-execution is locked out by the 2x wall-clock cost;
+//   * under LOOSE deadlines degree-3 replication still wins: its speed
+//     floor f_multi(w,3) < f_inf and energy scales with speed^2.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "graph/generators.hpp"
+#include "tricrit/fork.hpp"
+#include "tricrit/replication.hpp"
+
+int main() {
+  using namespace easched;
+  bench::banner("E14 replication vs re-execution",
+                "section V future work: combine replication with re-execution",
+                "forks, n children on n+1..3n processors, slack sweep");
+
+  common::Rng rng(14);
+  const auto speeds = model::SpeedModel::continuous(0.2, 1.0);
+  const model::ReliabilityModel rel(1e-5, 3.0, 0.2, 1.0, 0.8);
+
+  common::Table table({"children", "slack", "E_reexec_only", "E_hybrid(p=n+1)",
+                       "E_hybrid(p=2n)", "E_hybrid(p=3n)", "hybrid2n/reexec",
+                       "replicas@2n"});
+  for (int kids : {4, 8}) {
+    const auto w = graph::random_weights(kids + 1, {0.5, 2.5}, rng);
+    const auto dag = graph::make_fork(w);
+    double wmax = 0.0;
+    for (int c = 1; c <= kids; ++c) wmax = std::max(wmax, w[static_cast<std::size_t>(c)]);
+    for (double slack : {1.15, 1.4, 2.0, 3.5}) {
+      const double D = (w[0] + wmax) / rel.frel() * slack;
+      auto reexec = tricrit::solve_fork_tricrit(dag, D, rel, speeds);
+      const int n = kids + 1;
+      auto h1 = tricrit::solve_fork_ft(dag, D, n + 1, rel, speeds);
+      auto h2 = tricrit::solve_fork_ft(dag, D, 2 * n, rel, speeds);
+      auto h3 = tricrit::solve_fork_ft(dag, D, 3 * n, rel, speeds);
+      if (!reexec.is_ok() || !h1.is_ok() || !h2.is_ok() || !h3.is_ok()) continue;
+      table.add_row({common::format_int(kids), common::format_fixed(slack, 2),
+                     common::format_g(reexec.value().solution.energy),
+                     common::format_g(h1.value().energy),
+                     common::format_g(h2.value().energy),
+                     common::format_g(h3.value().energy),
+                     common::format_ratio(h2.value().energy /
+                                          reexec.value().solution.energy),
+                     common::format_int(h2.value().replicas_used)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShapes: hybrid <= re-exec-only everywhere; more processors never hurt.\n"
+               "Two distinct effects: under tight slack, replication buys redundancy\n"
+               "without the 2x wall-clock cost of re-execution; under loose slack,\n"
+               "degree-3 replication keeps winning because its reliability floor\n"
+               "f_multi(w,3) sits below f_inf = f_multi(w,2) and energy scales with\n"
+               "speed^2 — exactly the non-obvious trade-off the paper flags.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// E2 (claim C1): closed forms for chains, out-trees and series-parallel
+// graphs (equivalent-weight composition) vs. the interior-point solver.
+// Expected shape: relative error <= ~5e-4 on every family, and energy
+// exactly W^3/D^2 for the SP equivalent weight W.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "bicrit/closed_form.hpp"
+#include "bicrit/continuous_dag.hpp"
+#include "graph/generators.hpp"
+#include "graph/series_parallel.hpp"
+
+int main() {
+  using namespace easched;
+  bench::banner("E2 series-parallel closed form",
+                "C1: series W=W1+W2, parallel W=(W1^3+W2^3)^(1/3), E=W^3/D^2",
+                "per-family closed form vs interior point");
+
+  common::Rng rng(2);
+  const auto speeds = model::SpeedModel::continuous(1e-4, 1e4);
+  common::Table table({"family", "n", "W_equiv", "E_closed", "W^3/D^2", "E_ipm", "rel_err"});
+
+  for (int trial = 0; trial < 3; ++trial) {
+    struct Case {
+      std::string name;
+      graph::Dag dag;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"chain", graph::make_chain(10, {1.0, 10.0}, rng)});
+    cases.push_back({"out-tree", graph::make_out_tree(15, 3, {1.0, 10.0}, rng)});
+    cases.push_back({"fork-join", graph::make_fork_join(graph::random_weights(12, {1.0, 10.0}, rng))});
+    cases.push_back({"random-sp", graph::make_random_series_parallel(15, {1.0, 10.0}, rng)});
+    for (auto& c : cases) {
+      const auto mapping = sched::Mapping::one_task_per_processor(c.dag);
+      const double D = bench::fmax_makespan(c.dag, mapping, 1.0) * 1.4;
+      auto tree = graph::decompose_series_parallel(c.dag);
+      auto cf = bicrit::solve_series_parallel(c.dag, D, speeds);
+      auto ipm = bicrit::solve_continuous(c.dag, mapping, D, speeds);
+      if (!tree.is_ok() || !cf.is_ok() || !ipm.is_ok()) {
+        std::cout << c.name << " failed\n";
+        return 1;
+      }
+      const double W = bicrit::equivalent_weight(tree.value(), c.dag, tree.value().root());
+      const double formula = W * W * W / (D * D);
+      const double err =
+          std::abs(ipm.value().energy - cf.value().energy) / cf.value().energy;
+      table.add_row({c.name, common::format_int(c.dag.num_tasks()), common::format_g(W),
+                     common::format_g(cf.value().energy), common::format_g(formula),
+                     common::format_g(ipm.value().energy), common::format_g(err)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nPASS criterion: rel_err <= 5e-4 and E_closed == W^3/D^2 on every row.\n";
+  return 0;
+}

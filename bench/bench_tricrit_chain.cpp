@@ -1,0 +1,56 @@
+// E8 (claims C3, C4): TRI-CRIT on a 1-processor chain. NP-hard, but the
+// paper's strategy ("slow everything equally, then choose re-executions")
+// is near-optimal. Expected shape: greedy/exact == 1 on most instances and
+// always <= ~1.1; re-execution count grows with slack; exact subset count
+// = 2^n (exponential).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "graph/generators.hpp"
+#include "tricrit/chain.hpp"
+#include "tricrit/heuristics.hpp"
+
+int main() {
+  using namespace easched;
+  bench::banner("E8 TRI-CRIT chain",
+                "C3+C4: NP-hard on a 1-proc chain; slow-then-reexecute is near-optimal",
+                "exact (2^n subsets) vs the paper's greedy strategy, slack sweep");
+
+  common::Rng rng(8);
+  const auto speeds = model::SpeedModel::continuous(0.2, 1.0);
+  const model::ReliabilityModel rel(1e-5, 3.0, 0.2, 1.0, 0.8);
+
+  common::Table table({"n", "slack", "E_exact", "E_greedy", "greedy/exact", "reexec_exact",
+                       "reexec_greedy", "subsets", "bnb_nodes"});
+  int greedy_optimal = 0, rows = 0;
+  for (int n : {6, 10, 14}) {
+    for (double slack : {1.05, 1.3, 1.8, 2.6, 4.0}) {
+      const auto w = graph::random_weights(n, {0.5, 3.0}, rng);
+      double total = 0.0;
+      for (double x : w) total += x;
+      const double D = total / rel.frel() * slack;
+      auto exact = tricrit::solve_chain_exact(w, D, rel, speeds);
+      auto greedy = tricrit::solve_chain_greedy(w, D, rel, speeds);
+      auto bnb = tricrit::solve_chain_bnb(w, D, rel, speeds);
+      if (!exact.is_ok() || !greedy.is_ok() || !bnb.is_ok()) continue;
+      const double ratio = greedy.value().solution.energy / exact.value().solution.energy;
+      ++rows;
+      if (ratio <= 1.0 + 1e-6) ++greedy_optimal;
+      table.add_row({common::format_int(n), common::format_fixed(slack, 2),
+                     common::format_g(exact.value().solution.energy),
+                     common::format_g(greedy.value().solution.energy),
+                     common::format_ratio(ratio),
+                     common::format_int(exact.value().solution.re_executed),
+                     common::format_int(greedy.value().solution.re_executed),
+                     common::format_int(exact.value().subsets_explored),
+                     common::format_int(bnb.value().subsets_explored)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\ngreedy found the exact optimum on " << greedy_optimal << "/" << rows
+            << " instances.\nShapes: re-execution count grows with slack; ratio <= ~1.1 "
+               "always; subsets = 2^n,\nwhile the bounded search (bnb_nodes) visits far "
+               "fewer nodes at the same optimum.\n";
+  return 0;
+}

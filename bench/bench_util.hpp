@@ -1,0 +1,48 @@
+#pragma once
+// Shared helpers for the experiment benches. Each bench binary prints
+// self-contained tables; EXPERIMENTS.md records the expected shapes.
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "graph/analysis.hpp"
+#include "graph/dag.hpp"
+#include "sched/mapping.hpp"
+
+namespace easched::bench {
+
+/// Wall-clock stopwatch in milliseconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Makespan of the instance when every task runs at `fmax`.
+inline double fmax_makespan(const graph::Dag& dag, const sched::Mapping& mapping,
+                            double fmax) {
+  std::vector<double> d(static_cast<std::size_t>(dag.num_tasks()));
+  for (graph::TaskId t = 0; t < dag.num_tasks(); ++t) {
+    d[static_cast<std::size_t>(t)] = dag.weight(t) / fmax;
+  }
+  return graph::time_analysis(mapping.augmented_graph(dag), d, 0.0).makespan;
+}
+
+/// Prints a standard experiment banner.
+inline void banner(const std::string& id, const std::string& claim,
+                   const std::string& what) {
+  std::cout << "\n=== " << id << " — " << claim << " ===\n" << what << "\n\n";
+}
+
+}  // namespace easched::bench

@@ -1,0 +1,73 @@
+// E5 (claim C8): "only two different speeds are needed for the execution
+// of a task under the VDD-HOPPING model", and they are the two levels
+// bracketing the ideal continuous speed. Expected shape: max support = 2,
+// adjacency holds on 100% of tasks across all instances.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "bicrit/vdd_lp.hpp"
+#include "graph/generators.hpp"
+#include "sched/list_scheduler.hpp"
+
+int main() {
+  using namespace easched;
+  bench::banner("E5 two-speed lemma",
+                "C8: basic optimal VDD solutions use <= 2 (adjacent) speeds per task",
+                "support statistics of simplex vertex solutions");
+
+  common::Rng rng(5);
+  const auto vdd = model::SpeedModel::vdd_hopping({0.2, 0.4, 0.6, 0.8, 1.0, 1.2});
+  common::Table table({"family", "instances", "tasks", "max_speeds", "pct_two_or_less",
+                       "pct_adjacent"});
+
+  struct Family {
+    std::string name;
+    int instances = 0, tasks = 0, max_support = 0, two_or_less = 0, adjacent_ok = 0;
+  };
+  std::vector<Family> fams;
+  for (const char* famname : {"chain", "layered", "random"}) {
+    Family fam;
+    fam.name = famname;
+    for (int trial = 0; trial < 6; ++trial) {
+      graph::Dag dag;
+      if (fam.name == "chain") {
+        dag = graph::make_chain(10, {1.0, 6.0}, rng);
+      } else if (fam.name == "layered") {
+        dag = graph::make_layered(4, 3, 0.4, {1.0, 6.0}, rng);
+      } else {
+        dag = graph::make_random_dag(12, 0.2, {1.0, 6.0}, rng);
+      }
+      const auto mapping =
+          sched::list_schedule(dag, 3, sched::PriorityPolicy::kCriticalPath);
+      const double D = bench::fmax_makespan(dag, mapping, vdd.fmax()) * rng.uniform(1.3, 3.0);
+      auto r = bicrit::solve_vdd_lp(dag, mapping, D, vdd);
+      if (!r.is_ok()) continue;
+      ++fam.instances;
+      fam.max_support = std::max(fam.max_support, r.value().max_speeds_per_task);
+      // Per-task stats from the schedule profiles.
+      for (int t = 0; t < dag.num_tasks(); ++t) {
+        ++fam.tasks;
+        const auto& prof = r.value().schedule.at(t).executions.front().profile;
+        int support = 0;
+        for (const auto& seg : prof) support += seg.time > 1e-7 ? 1 : 0;
+        if (support <= 2) ++fam.two_or_less;
+      }
+      if (r.value().speeds_adjacent) fam.adjacent_ok += dag.num_tasks();
+    }
+    fams.push_back(fam);
+  }
+  for (const auto& fam : fams) {
+    table.add_row({fam.name, common::format_int(fam.instances), common::format_int(fam.tasks),
+                   common::format_int(fam.max_support),
+                   common::format_pct(fam.tasks ? static_cast<double>(fam.two_or_less) /
+                                                      fam.tasks
+                                                : 0.0),
+                   common::format_pct(fam.tasks ? static_cast<double>(fam.adjacent_ok) /
+                                                      fam.tasks
+                                                : 0.0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPASS criterion: max_speeds == 2 (or 1) and 100% adjacency everywhere.\n";
+  return 0;
+}

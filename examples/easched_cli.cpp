@@ -1,0 +1,168 @@
+// Command-line driver: solve BI-CRIT/TRI-CRIT for a DAG read from the
+// text format of graph/io.hpp — the entry point a downstream user scripts
+// against without writing C++.
+//
+// Usage:
+//   easched_cli <dag-file> --deadline D [options]
+//     --processors P        platform size (default 2)
+//     --fmin F --fmax F     continuous speed range (default 0.2 / 1.0)
+//     --levels f1,f2,...    use a DISCRETE level set instead
+//     --vdd                 treat the level set as VDD-HOPPING
+//     --frel F              enable TRI-CRIT with threshold speed F
+//     --lambda0 L --dexp D  reliability parameters (default 1e-5 / 3)
+//     --gantt               print the timeline
+//     --csv                 print the timeline as CSV
+//
+// Example:
+//   ./examples/easched_cli pipeline.dag --deadline 12 --frel 0.8 --gantt
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/solvers.hpp"
+#include "graph/io.hpp"
+#include "sched/gantt.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace {
+
+std::vector<double> parse_levels(const std::string& arg) {
+  std::vector<double> out;
+  std::stringstream ss(arg);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stod(item));
+  return out;
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " <dag-file> --deadline D [--processors P]\n"
+            << "  [--fmin F] [--fmax F] [--levels f1,f2,...] [--vdd]\n"
+            << "  [--frel F] [--lambda0 L] [--dexp D] [--gantt] [--csv]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace easched;
+  if (argc < 2) return usage(argv[0]);
+
+  std::string dag_path;
+  double deadline = -1.0, fmin = 0.2, fmax = 1.0, lambda0 = 1e-5, dexp = 3.0;
+  std::optional<double> frel;
+  std::optional<std::vector<double>> levels;
+  bool vdd = false, gantt = false, csv = false;
+  int processors = 2;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--deadline") {
+      deadline = std::stod(next());
+    } else if (arg == "--processors") {
+      processors = std::stoi(next());
+    } else if (arg == "--fmin") {
+      fmin = std::stod(next());
+    } else if (arg == "--fmax") {
+      fmax = std::stod(next());
+    } else if (arg == "--levels") {
+      levels = parse_levels(next());
+    } else if (arg == "--vdd") {
+      vdd = true;
+    } else if (arg == "--frel") {
+      frel = std::stod(next());
+    } else if (arg == "--lambda0") {
+      lambda0 = std::stod(next());
+    } else if (arg == "--dexp") {
+      dexp = std::stod(next());
+    } else if (arg == "--gantt") {
+      gantt = true;
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown option " << arg << "\n";
+      return usage(argv[0]);
+    } else {
+      dag_path = arg;
+    }
+  }
+  if (dag_path.empty() || deadline <= 0.0) return usage(argv[0]);
+
+  std::ifstream in(dag_path);
+  if (!in) {
+    std::cerr << "cannot open " << dag_path << "\n";
+    return 1;
+  }
+  auto dag = graph::read_text(in);
+  if (!dag.is_ok()) {
+    std::cerr << "bad dag file: " << dag.status().to_string() << "\n";
+    return 1;
+  }
+
+  auto mapping =
+      sched::list_schedule(dag.value(), processors, sched::PriorityPolicy::kCriticalPath);
+
+  model::SpeedModel speeds =
+      levels ? (vdd ? model::SpeedModel::vdd_hopping(*levels)
+                    : model::SpeedModel::discrete(*levels))
+             : model::SpeedModel::continuous(fmin, fmax);
+
+  sched::Schedule schedule(0);
+  double energy = 0.0;
+  std::string solver;
+  if (frel) {
+    if (levels) {
+      std::cerr << "TRI-CRIT solving is implemented for the CONTINUOUS model; drop "
+                   "--levels or --frel\n";
+      return 1;
+    }
+    model::ReliabilityModel rel(lambda0, dexp, fmin, fmax, *frel);
+    core::TriCritProblem p(dag.value(), mapping, speeds, rel, deadline);
+    auto r = core::solve(p, core::TriCritSolver::kBestOf);
+    if (!r.is_ok()) {
+      std::cerr << "solve failed: " << r.status().to_string() << "\n";
+      return 1;
+    }
+    std::cout << "re-executed tasks: " << r.value().re_executed << "\n";
+    schedule = std::move(r.value().schedule);
+    energy = r.value().energy;
+    solver = r.value().solver;
+    if (!p.check(schedule).is_ok()) {
+      std::cerr << "internal error: schedule failed validation\n";
+      return 1;
+    }
+  } else {
+    core::BiCritProblem p(dag.value(), mapping, speeds, deadline);
+    auto r = core::solve(p);
+    if (!r.is_ok()) {
+      std::cerr << "solve failed: " << r.status().to_string() << "\n";
+      return 1;
+    }
+    schedule = std::move(r.value().schedule);
+    energy = r.value().energy;
+    solver = r.value().solver;
+    if (!p.check(schedule).is_ok()) {
+      std::cerr << "internal error: schedule failed validation\n";
+      return 1;
+    }
+  }
+
+  std::cout << "solver: " << solver << "\nenergy: " << energy
+            << "\nmakespan: " << sched::makespan(dag.value(), mapping, schedule)
+            << " (deadline " << deadline << ")\n";
+  if (gantt) sched::write_gantt(std::cout, dag.value(), mapping, schedule);
+  if (csv) sched::write_timeline_csv(std::cout, dag.value(), mapping, schedule);
+  return 0;
+}

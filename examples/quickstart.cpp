@@ -1,0 +1,69 @@
+// Quickstart: build a small task graph, map it, and minimise the energy of
+// its execution under a deadline with the CONTINUOUS speed model.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the core API: Dag -> Mapping (list scheduling) ->
+// BiCritProblem -> solve() -> validated Schedule.
+
+#include <iostream>
+
+#include "core/problem.hpp"
+#include "core/solvers.hpp"
+#include "graph/io.hpp"
+#include "sched/gantt.hpp"
+#include "sched/list_scheduler.hpp"
+
+int main() {
+  using namespace easched;
+
+  // 1. The application: a diamond-shaped task graph (weights = work).
+  graph::Dag dag;
+  const auto load = dag.add_task(2.0, "load");
+  const auto filter = dag.add_task(3.0, "filter");
+  const auto fft = dag.add_task(5.0, "fft");
+  const auto merge = dag.add_task(1.5, "merge");
+  dag.add_edge(load, filter);
+  dag.add_edge(load, fft);
+  dag.add_edge(filter, merge);
+  dag.add_edge(fft, merge);
+
+  std::cout << "Task graph (Graphviz DOT):\n";
+  graph::write_dot(dag, std::cout);
+
+  // 2. The platform: 2 identical processors; mapping fixed up front by
+  //    critical-path list scheduling (the paper's assumption: allocation
+  //    is given, only speeds may change).
+  const auto mapping = sched::list_schedule(dag, 2, sched::PriorityPolicy::kCriticalPath);
+  for (int p = 0; p < mapping.num_processors(); ++p) {
+    std::cout << "processor " << p << ":";
+    for (auto t : mapping.order_on(p)) std::cout << " " << dag.name(t);
+    std::cout << "\n";
+  }
+
+  // 3. BI-CRIT: minimise energy subject to deadline D = 10 with speeds in
+  //    [0.2, 1.0] (normalised DVFS range).
+  core::BiCritProblem problem(dag, mapping, model::SpeedModel::continuous(0.2, 1.0), 10.0);
+  auto result = core::solve(problem);
+  if (!result.is_ok()) {
+    std::cerr << "solve failed: " << result.status().to_string() << "\n";
+    return 1;
+  }
+
+  std::cout << "\nsolver: " << result.value().solver
+            << "\ntotal energy: " << result.value().energy << "\n";
+  for (graph::TaskId t = 0; t < dag.num_tasks(); ++t) {
+    const auto& exec = result.value().schedule.at(t).executions.front();
+    std::cout << "  " << dag.name(t) << ": speed " << exec.speed << ", duration "
+              << exec.duration(dag.weight(t)) << "\n";
+  }
+
+  // 4. Timeline view (Gantt) of the optimised schedule.
+  std::cout << "\ntimeline:\n";
+  sched::write_gantt(std::cout, dag, mapping, result.value().schedule);
+
+  // 5. Independent feasibility check (the validator used by all tests).
+  const auto check = problem.check(result.value().schedule);
+  std::cout << "validator: " << check.to_string() << "\n";
+  return check.is_ok() ? 0 : 1;
+}

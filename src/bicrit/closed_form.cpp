@@ -1,0 +1,232 @@
+#include "bicrit/closed_form.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/analysis.hpp"
+#include "opt/scalar.hpp"
+
+namespace easched::bicrit {
+
+namespace {
+
+using graph::Dag;
+using graph::SpTree;
+using graph::TaskId;
+using model::SpeedModel;
+using sched::Schedule;
+using sched::TaskDecision;
+
+common::Status require_continuous(const SpeedModel& speeds) {
+  if (speeds.kind() != model::SpeedModelKind::kContinuous) {
+    return common::Status::unsupported("closed forms hold for the CONTINUOUS model");
+  }
+  return common::Status::ok();
+}
+
+}  // namespace
+
+common::Result<ClosedFormResult> solve_chain(const Dag& dag, double deadline,
+                                             const SpeedModel& speeds) {
+  if (auto st = require_continuous(speeds); !st.is_ok()) return st;
+  if (!graph::is_chain(dag)) return common::Status::unsupported("graph is not a chain");
+  EASCHED_CHECK(deadline > 0.0);
+
+  const double total = dag.total_weight();
+  double f = total / deadline;
+  ClosedFormResult out{Schedule(dag.num_tasks()), 0.0, false};
+  if (f > speeds.fmax() * (1.0 + 1e-12)) {
+    return common::Status::infeasible("chain needs speed " + std::to_string(f) +
+                                      " > fmax = " + std::to_string(speeds.fmax()));
+  }
+  if (f < speeds.fmin()) {
+    f = speeds.fmin();  // every task at its admissible minimum: globally optimal
+    out.clamped = true;
+  }
+  for (TaskId t = 0; t < dag.num_tasks(); ++t) {
+    out.schedule.at(t) = TaskDecision::single(f);
+    out.energy += model::execution_energy(dag.weight(t), f);
+  }
+  return out;
+}
+
+common::Result<ClosedFormResult> solve_fork(const Dag& dag, double deadline,
+                                            const SpeedModel& speeds) {
+  if (auto st = require_continuous(speeds); !st.is_ok()) return st;
+  if (!graph::is_fork(dag)) return common::Status::unsupported("graph is not a fork");
+  EASCHED_CHECK(deadline > 0.0);
+
+  const TaskId src = dag.sources().front();
+  const double w0 = dag.weight(src);
+  std::vector<TaskId> children;
+  double cube_sum = 0.0;
+  for (TaskId t = 0; t < dag.num_tasks(); ++t) {
+    if (t == src) continue;
+    children.push_back(t);
+    cube_sum += std::pow(dag.weight(t), 3.0);
+  }
+  const double agg = std::cbrt(cube_sum);  // (sum wi^3)^(1/3)
+  const double fmin = speeds.fmin();
+  const double fmax = speeds.fmax();
+
+  ClosedFormResult out{Schedule(dag.num_tasks()), 0.0, false};
+
+  // --- The paper's theorem, unclamped case. --------------------------------
+  const double f0 = (agg + w0) / deadline;
+  if (f0 <= fmax && f0 >= fmin) {
+    bool child_below_fmin = false;
+    for (TaskId c : children) {
+      const double fc = agg > 0.0 ? f0 * dag.weight(c) / agg : fmin;
+      if (fc < fmin) child_below_fmin = true;
+    }
+    if (!child_below_fmin) {
+      out.schedule.at(src) = TaskDecision::single(f0);
+      out.energy = model::execution_energy(w0, f0);
+      for (TaskId c : children) {
+        const double fc = agg > 0.0 ? f0 * dag.weight(c) / agg : fmin;
+        out.schedule.at(c) = TaskDecision::single(fc);
+        out.energy += model::execution_energy(dag.weight(c), fc);
+      }
+      return out;
+    }
+  }
+
+  // --- Clamped cases: 1-D convex search over the source time t0. -----------
+  // Energy(t0) = w0*max(w0/t0, fmin)^2 + sum_c wc*max(wc/(D-t0), fmin)^2;
+  // both parts are convex in t0 (decreasing-then-flat resp. flat-then-
+  // increasing), so golden-section search is exact.
+  out.clamped = true;
+  const double t0_min = w0 / fmax;           // source at fmax
+  double t0_max = deadline;                  // leave children no time (guarded below)
+  double max_child_w = 0.0;
+  for (TaskId c : children) max_child_w = std::max(max_child_w, dag.weight(c));
+  if (max_child_w > 0.0) t0_max = deadline - max_child_w / fmax;
+  if (w0 > 0.0) t0_max = std::min(t0_max, w0 / fmin);
+  if (t0_min > t0_max * (1.0 + 1e-12)) {
+    return common::Status::infeasible("fork: even all-fmax execution misses the deadline");
+  }
+  auto energy_at = [&](double t0) {
+    double e = 0.0;
+    if (w0 > 0.0) {
+      const double f = std::max(w0 / t0, fmin);
+      e += model::execution_energy(w0, f);
+    }
+    const double window = deadline - t0;
+    for (TaskId c : children) {
+      const double wc = dag.weight(c);
+      if (wc == 0.0) continue;
+      const double f = std::max(wc / window, fmin);
+      e += model::execution_energy(wc, f);
+    }
+    return e;
+  };
+  const double t0 = w0 == 0.0
+                        ? 0.0
+                        : opt::golden_section_minimize(energy_at, std::max(t0_min, 1e-12),
+                                                       std::max(t0_max, 1e-12));
+  const double f_src = w0 > 0.0 ? std::clamp(std::max(w0 / t0, fmin), fmin, fmax) : fmin;
+  out.schedule.at(src) = TaskDecision::single(f_src);
+  out.energy = model::execution_energy(w0, f_src);
+  const double window = deadline - (w0 > 0.0 ? w0 / f_src : 0.0);
+  for (TaskId c : children) {
+    const double wc = dag.weight(c);
+    double fc = wc > 0.0 ? std::max(wc / window, fmin) : fmin;
+    if (fc > fmax * (1.0 + 1e-9)) {
+      return common::Status::infeasible("fork: child needs speed above fmax");
+    }
+    fc = std::min(fc, fmax);
+    out.schedule.at(c) = TaskDecision::single(fc);
+    out.energy += model::execution_energy(wc, fc);
+  }
+  return out;
+}
+
+double equivalent_weight(const SpTree& tree, const Dag& dag, int node) {
+  const auto& nd = tree.node(node);
+  switch (nd.kind) {
+    case SpTree::Kind::kTask: return dag.weight(nd.task);
+    case SpTree::Kind::kDummy: return 0.0;
+    case SpTree::Kind::kSeries:
+      return equivalent_weight(tree, dag, nd.left) + equivalent_weight(tree, dag, nd.right);
+    case SpTree::Kind::kParallel: {
+      const double l = equivalent_weight(tree, dag, nd.left);
+      const double r = equivalent_weight(tree, dag, nd.right);
+      return std::cbrt(l * l * l + r * r * r);
+    }
+  }
+  return 0.0;
+}
+
+namespace {
+
+// Top-down time-budget assignment over the SP tree.
+void assign_budget(const SpTree& tree, const Dag& dag, int node, double budget,
+                   Schedule& schedule) {
+  const auto& nd = tree.node(node);
+  switch (nd.kind) {
+    case SpTree::Kind::kTask: {
+      const double w = dag.weight(nd.task);
+      // Zero-weight tasks take zero time; pin them to a harmless speed.
+      const double f = (w > 0.0 && budget > 0.0) ? w / budget : 1.0;
+      schedule.at(nd.task) = TaskDecision::single(f);
+      return;
+    }
+    case SpTree::Kind::kDummy:
+      return;
+    case SpTree::Kind::kSeries: {
+      const double wl = equivalent_weight(tree, dag, nd.left);
+      const double wr = equivalent_weight(tree, dag, nd.right);
+      const double total = wl + wr;
+      const double bl = total > 0.0 ? budget * wl / total : 0.0;
+      assign_budget(tree, dag, nd.left, bl, schedule);
+      assign_budget(tree, dag, nd.right, budget - bl, schedule);
+      return;
+    }
+    case SpTree::Kind::kParallel:
+      assign_budget(tree, dag, nd.left, budget, schedule);
+      assign_budget(tree, dag, nd.right, budget, schedule);
+      return;
+  }
+}
+
+}  // namespace
+
+common::Result<ClosedFormResult> solve_sp_tree(const Dag& dag, const SpTree& tree,
+                                               double deadline, const SpeedModel& speeds) {
+  if (auto st = require_continuous(speeds); !st.is_ok()) return st;
+  EASCHED_CHECK(deadline > 0.0);
+  EASCHED_CHECK_MSG(tree.root() >= 0, "SP tree has no root");
+
+  ClosedFormResult out{Schedule(dag.num_tasks()), 0.0, false};
+  assign_budget(tree, dag, tree.root(), deadline, out.schedule);
+
+  // Clamp into [fmin, fmax]; fmax violation means the closed form does not
+  // apply (the caller should use the general continuous solver).
+  for (TaskId t = 0; t < dag.num_tasks(); ++t) {
+    auto& exec = out.schedule.at(t).executions.front();
+    if (dag.weight(t) == 0.0) {
+      exec.speed = speeds.fmin();
+      continue;
+    }
+    if (exec.speed > speeds.fmax() * (1.0 + 1e-9)) {
+      return common::Status::unsupported(
+          "SP closed form needs speed above fmax; use the continuous DAG solver");
+    }
+    exec.speed = std::min(exec.speed, speeds.fmax());
+    if (exec.speed < speeds.fmin()) {
+      exec.speed = speeds.fmin();
+      out.clamped = true;
+    }
+    out.energy += model::execution_energy(dag.weight(t), exec.speed);
+  }
+  return out;
+}
+
+common::Result<ClosedFormResult> solve_series_parallel(const Dag& dag, double deadline,
+                                                       const SpeedModel& speeds) {
+  auto tree = graph::decompose_series_parallel(dag);
+  if (!tree.is_ok()) return tree.status();
+  return solve_sp_tree(dag, tree.value(), deadline, speeds);
+}
+
+}  // namespace easched::bicrit

@@ -1,0 +1,64 @@
+#pragma once
+// Closed-form CONTINUOUS BI-CRIT solvers for special graph structures
+// (claim C1, paper section III).
+//
+// The paper gives the fork theorem explicitly:
+//   f0 = ((sum wi^3)^(1/3) + w0) / D,   fi = f0 * wi / (sum wi^3)^(1/3)
+//   E  = ((sum wi^3)^(1/3) + w0)^3 / D^2
+// with an fmax fallback (source at fmax, children share the remaining window), and
+// states that trees and series-parallel graphs admit similar closed forms.
+// Those compose over the SP decomposition tree via the equivalent weight
+//   series:   W = W1 + W2
+//   parallel: W = (W1^3 + W2^3)^(1/3)
+// after which every leaf task runs at (its weight)/(its time budget) and
+// the total energy is  W_root^3 / D^2.
+//
+// All solvers here assume the graph structure itself is the binding
+// constraint (enough processors: each parallel branch on its own
+// processor), which is the setting of the paper's theorem. Arbitrary
+// mappings are handled by the general solver in continuous_dag.hpp.
+
+#include "common/status.hpp"
+#include "graph/dag.hpp"
+#include "graph/series_parallel.hpp"
+#include "model/speed_model.hpp"
+#include "sched/schedule.hpp"
+
+namespace easched::bicrit {
+
+struct ClosedFormResult {
+  sched::Schedule schedule;
+  double energy = 0.0;
+  bool clamped = false;  ///< some speed hit fmin/fmax and the fallback ran
+};
+
+/// Chain (any linear chain graph): every task at speed sum(w)/D.
+/// fmin: clamps up (still optimal — speeds are at their admissible minimum).
+/// fmax: infeasible when sum(w)/D > fmax.
+common::Result<ClosedFormResult> solve_chain(const graph::Dag& dag, double deadline,
+                                             const model::SpeedModel& speeds);
+
+/// Fork theorem of the paper, including the fmax fallback. The fmin bound
+/// is handled by a 1-D convex search over the source time (the energy
+/// profile is convex in the source completion time), which coincides with
+/// the closed form whenever no clamping occurs.
+common::Result<ClosedFormResult> solve_fork(const graph::Dag& dag, double deadline,
+                                            const model::SpeedModel& speeds);
+
+/// Equivalent weight of the subtree rooted at `node`.
+double equivalent_weight(const graph::SpTree& tree, const graph::Dag& dag, int node);
+
+/// Series-parallel / tree solver via SP decomposition (auto-recognition).
+/// kUnsupported when the graph is not SP, or when the unclamped optimum
+/// needs a speed above fmax (use the continuous DAG solver then).
+/// Speeds below fmin are clamped up; the result stays feasible and the
+/// `clamped` flag is set (for chains this clamping is provably optimal).
+common::Result<ClosedFormResult> solve_series_parallel(const graph::Dag& dag, double deadline,
+                                                       const model::SpeedModel& speeds);
+
+/// Same, with a caller-provided decomposition tree.
+common::Result<ClosedFormResult> solve_sp_tree(const graph::Dag& dag,
+                                               const graph::SpTree& tree, double deadline,
+                                               const model::SpeedModel& speeds);
+
+}  // namespace easched::bicrit

@@ -1,0 +1,147 @@
+#include "bicrit/continuous_dag.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/analysis.hpp"
+
+namespace easched::bicrit {
+
+namespace {
+
+using graph::Dag;
+using graph::TaskId;
+using opt::LinearConstraint;
+using sched::Schedule;
+using sched::TaskDecision;
+
+std::vector<double> durations_at_speed(const Dag& dag, double f) {
+  std::vector<double> d(static_cast<std::size_t>(dag.num_tasks()));
+  for (TaskId t = 0; t < dag.num_tasks(); ++t) {
+    d[static_cast<std::size_t>(t)] = dag.weight(t) / f;
+  }
+  return d;
+}
+
+ContinuousSolution uniform_solution(const Dag& dag, double f, double deadline) {
+  ContinuousSolution sol{Schedule(dag.num_tasks()), 0.0, {}, {}, 0.0, 0};
+  for (TaskId t = 0; t < dag.num_tasks(); ++t) {
+    sol.schedule.at(t) = TaskDecision::single(f);
+    sol.energy += model::execution_energy(dag.weight(t), f);
+  }
+  sol.durations = durations_at_speed(dag, f);
+  (void)deadline;
+  return sol;
+}
+
+}  // namespace
+
+common::Result<ContinuousSolution> solve_continuous(const Dag& dag,
+                                                    const sched::Mapping& mapping,
+                                                    double deadline,
+                                                    const model::SpeedModel& speeds,
+                                                    const ContinuousOptions& options) {
+  if (speeds.kind() != model::SpeedModelKind::kContinuous) {
+    return common::Status::unsupported("solve_continuous needs the CONTINUOUS model");
+  }
+  EASCHED_CHECK(deadline > 0.0);
+  if (auto st = mapping.validate(dag); !st.is_ok()) return st;
+  const int n = dag.num_tasks();
+  if (n == 0) return common::Status::invalid("empty graph");
+  for (TaskId t = 0; t < n; ++t) {
+    if (dag.weight(t) <= 0.0) {
+      return common::Status::unsupported("solve_continuous requires positive task weights");
+    }
+  }
+
+  const Dag aug = mapping.augmented_graph(dag);
+  const double fmin = speeds.fmin();
+  const double fmax = speeds.fmax();
+
+  // Unit-speed makespan: makespan at speed f is M1/f.
+  std::vector<double> unit(static_cast<std::size_t>(n));
+  for (TaskId t = 0; t < n; ++t) unit[static_cast<std::size_t>(t)] = dag.weight(t);
+  const double m1 = graph::time_analysis(aug, unit, 0.0).makespan;
+  const double makespan_fmax = m1 / fmax;
+  const double makespan_fmin = m1 / fmin;
+
+  if (makespan_fmax > deadline * (1.0 + 1e-9)) {
+    return common::Status::infeasible("even all-fmax misses the deadline (makespan " +
+                                      std::to_string(makespan_fmax) + " > " +
+                                      std::to_string(deadline) + ")");
+  }
+  if (makespan_fmin <= deadline) {
+    // Slowest admissible speed everywhere is feasible, hence optimal.
+    auto sol = uniform_solution(dag, fmin, deadline);
+    sol.start_times = graph::time_analysis(aug, sol.durations, deadline).asap;
+    return sol;
+  }
+  if (makespan_fmax > deadline * (1.0 - 1e-9)) {
+    // The feasible set has (numerically) empty interior: all-fmax ASAP.
+    auto sol = uniform_solution(dag, fmax, deadline);
+    sol.start_times = graph::time_analysis(aug, sol.durations, deadline).asap;
+    return sol;
+  }
+
+  // ---- Build the convex program: x = [s_0..s_{n-1}, d_0..d_{n-1}] ---------
+  opt::InversePowerObjective objective;
+  for (TaskId t = 0; t < n; ++t) {
+    const double w = dag.weight(t);
+    objective.add_term(n + t, w * w * w);
+  }
+  std::vector<LinearConstraint> cons;
+  cons.reserve(static_cast<std::size_t>(aug.num_edges() + 4 * n));
+  for (TaskId u = 0; u < n; ++u) {
+    for (TaskId v : aug.successors(u)) {
+      // s_u + d_u - s_v <= 0
+      cons.push_back(LinearConstraint{{{u, 1.0}, {n + u, 1.0}, {v, -1.0}}, 0.0});
+    }
+  }
+  for (TaskId t = 0; t < n; ++t) {
+    const double w = dag.weight(t);
+    cons.push_back(LinearConstraint{{{t, 1.0}, {n + t, 1.0}}, deadline});  // s+d <= D
+    cons.push_back(LinearConstraint{{{t, -1.0}}, 0.0});                    // s >= 0
+    cons.push_back(LinearConstraint{{{n + t, 1.0}}, w / fmin});            // d <= w/fmin
+    cons.push_back(LinearConstraint{{{n + t, -1.0}}, -w / fmax});          // d >= w/fmax
+  }
+
+  // ---- Strictly feasible start: uniform speed strictly between the
+  //      critical speed m1/D and fmax, slack spread by depth. --------------
+  const double f_crit = m1 / deadline;  // in (fmin, fmax) here
+  const double f_start = 0.5 * (f_crit + fmax);
+  const auto d0 = durations_at_speed(dag, f_start);
+  const auto ta = graph::time_analysis(aug, d0, deadline);
+  const auto depth = graph::depth_levels(aug);
+  const int max_depth = *std::max_element(depth.begin(), depth.end());
+  const double slack = deadline - ta.makespan;  // > 0 by construction
+  EASCHED_CHECK_MSG(slack > 0.0, "internal: start point has no slack");
+  opt::Vector x0(static_cast<std::size_t>(2 * n));
+  for (TaskId t = 0; t < n; ++t) {
+    const double frac = static_cast<double>(depth[static_cast<std::size_t>(t)] + 1) /
+                        static_cast<double>(max_depth + 2);
+    x0[static_cast<std::size_t>(t)] = ta.asap[static_cast<std::size_t>(t)] + slack * frac;
+    x0[static_cast<std::size_t>(n + t)] = d0[static_cast<std::size_t>(t)];
+  }
+
+  auto res = opt::minimize_barrier(objective, cons, x0, options.barrier);
+  if (!res.status.is_ok() && res.x.empty()) return res.status;
+
+  ContinuousSolution sol{Schedule(n), 0.0, {}, {}, res.gap_bound, res.newton_steps};
+  sol.durations.resize(static_cast<std::size_t>(n));
+  sol.start_times.resize(static_cast<std::size_t>(n));
+  for (TaskId t = 0; t < n; ++t) {
+    sol.start_times[static_cast<std::size_t>(t)] = res.x[static_cast<std::size_t>(t)];
+    const double d = res.x[static_cast<std::size_t>(n + t)];
+    sol.durations[static_cast<std::size_t>(t)] = d;
+    const double f = std::clamp(dag.weight(t) / d, fmin, fmax);
+    sol.schedule.at(t) = TaskDecision::single(f);
+    sol.energy += model::execution_energy(dag.weight(t), f);
+  }
+  if (!res.status.is_ok()) {
+    // Converged poorly but produced an iterate: surface the status.
+    return res.status;
+  }
+  return sol;
+}
+
+}  // namespace easched::bicrit

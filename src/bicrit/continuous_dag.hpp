@@ -1,0 +1,51 @@
+#pragma once
+// CONTINUOUS BI-CRIT on general mapped DAGs (claim C2).
+//
+// The paper: "We formulate the problem for general DAGs as a geometric
+// programming problem for which efficient numerical schemes exist."
+// Change of variables d_i = w_i / f_i turns the program into
+//
+//   minimize    sum_i  w_i^3 / d_i^2
+//   subject to  s_u + d_u <= s_v          for every edge of the augmented
+//                                         graph (DAG + processor orders)
+//               s_i + d_i <= D,  s_i >= 0
+//               w_i/fmax <= d_i <= w_i/fmin
+//
+// — a convex program with linear constraints, solved by the log-barrier
+// interior-point method in opt/barrier.hpp. Two boundary cases bypass the
+// barrier (which needs a strictly feasible interior):
+//   * makespan at fmin <= D  =>  all-fmin is optimal (energy monotone in f);
+//   * makespan at fmax == D (within tolerance) => all-fmax ASAP is the only
+//     feasible point.
+
+#include "common/status.hpp"
+#include "graph/dag.hpp"
+#include "model/speed_model.hpp"
+#include "opt/barrier.hpp"
+#include "sched/mapping.hpp"
+#include "sched/schedule.hpp"
+
+namespace easched::bicrit {
+
+struct ContinuousOptions {
+  opt::BarrierOptions barrier;
+};
+
+struct ContinuousSolution {
+  sched::Schedule schedule;
+  double energy = 0.0;
+  std::vector<double> durations;    ///< optimal d_i
+  std::vector<double> start_times;  ///< feasible start times s_i
+  double gap_bound = 0.0;           ///< certified optimality gap (0 for boundary cases)
+  int newton_steps = 0;
+};
+
+/// Minimal-energy continuous speeds for (dag, mapping, deadline).
+/// kInfeasible when even all-fmax misses the deadline.
+common::Result<ContinuousSolution> solve_continuous(const graph::Dag& dag,
+                                                    const sched::Mapping& mapping,
+                                                    double deadline,
+                                                    const model::SpeedModel& speeds,
+                                                    const ContinuousOptions& options = {});
+
+}  // namespace easched::bicrit

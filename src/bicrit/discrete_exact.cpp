@@ -1,0 +1,284 @@
+#include "bicrit/discrete_exact.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "bicrit/continuous_dag.hpp"
+#include "graph/analysis.hpp"
+
+namespace easched::bicrit {
+
+namespace {
+
+using graph::Dag;
+using graph::TaskId;
+using sched::Schedule;
+using sched::TaskDecision;
+
+common::Status require_discrete_kind(const model::SpeedModel& speeds) {
+  if (speeds.kind() != model::SpeedModelKind::kDiscrete &&
+      speeds.kind() != model::SpeedModelKind::kIncremental) {
+    return common::Status::unsupported("solver needs the DISCRETE or INCREMENTAL model");
+  }
+  return common::Status::ok();
+}
+
+double makespan_of_durations(const Dag& aug, const std::vector<double>& durations) {
+  return graph::time_analysis(aug, durations, 0.0).makespan;
+}
+
+// Depth-first exact search over per-task levels.
+class BnbSearch {
+ public:
+  BnbSearch(const Dag& dag, const Dag& aug, double deadline,
+            const std::vector<double>& levels, const BnbOptions& options)
+      : dag_(dag), aug_(aug), deadline_(deadline), levels_(levels), opt_(options) {
+    const int n = dag_.num_tasks();
+    assignment_.assign(static_cast<std::size_t>(n), -1);
+    best_assignment_.assign(static_cast<std::size_t>(n), -1);
+    durations_.assign(static_cast<std::size_t>(n), 0.0);
+    // Start with every task at fmax: a lower bound on everyone's duration.
+    for (TaskId t = 0; t < n; ++t) {
+      durations_[static_cast<std::size_t>(t)] = dag_.weight(t) / levels_.back();
+    }
+    // Energy of the remaining tasks if they could all use the slowest level.
+    remaining_floor_.assign(static_cast<std::size_t>(n) + 1, 0.0);
+    for (int t = n - 1; t >= 0; --t) {
+      remaining_floor_[static_cast<std::size_t>(t)] =
+          remaining_floor_[static_cast<std::size_t>(t) + 1] +
+          model::execution_energy(dag_.weight(t), levels_.front());
+    }
+  }
+
+  bool run() {
+    dfs(0, 0.0);
+    return best_energy_ < std::numeric_limits<double>::infinity();
+  }
+
+  double best_energy() const { return best_energy_; }
+  const std::vector<int>& best_assignment() const { return best_assignment_; }
+  long long nodes() const { return nodes_; }
+  bool aborted() const { return aborted_; }
+
+ private:
+  void dfs(int task, double energy_so_far) {
+    if (aborted_) return;
+    if (++nodes_ > opt_.max_nodes) {
+      aborted_ = true;
+      return;
+    }
+    const int n = dag_.num_tasks();
+    if (task == n) {
+      if (energy_so_far < best_energy_) {
+        best_energy_ = energy_so_far;
+        best_assignment_ = assignment_;
+      }
+      return;
+    }
+    // Try slow levels first: they are the energy-greedy choices, which
+    // tightens the incumbent early and strengthens the energy bound.
+    for (std::size_t s = 0; s < levels_.size(); ++s) {
+      const double f = levels_[s];
+      assignment_[static_cast<std::size_t>(task)] = static_cast<int>(s);
+      const double saved = durations_[static_cast<std::size_t>(task)];
+      durations_[static_cast<std::size_t>(task)] = dag_.weight(task) / f;
+      const double e = energy_so_far + model::execution_energy(dag_.weight(task), f);
+      // Feasibility prune: unassigned tasks already sit at fmax durations,
+      // so this makespan is a valid lower bound on any completion.
+      const bool feasible = makespan_of_durations(aug_, durations_) <=
+                            deadline_ * (1.0 + 1e-12);
+      // Energy prune: remaining tasks cannot do better than all-slowest.
+      bool explore = feasible;
+      if (explore && opt_.use_energy_bound) {
+        const double energy_lb = e + remaining_floor_[static_cast<std::size_t>(task) + 1];
+        if (energy_lb >= best_energy_) explore = false;
+      }
+      if (explore) dfs(task + 1, e);
+      durations_[static_cast<std::size_t>(task)] = saved;
+    }
+    assignment_[static_cast<std::size_t>(task)] = -1;
+  }
+
+  const Dag& dag_;
+  const Dag& aug_;
+  double deadline_;
+  const std::vector<double>& levels_;
+  BnbOptions opt_;
+  std::vector<int> assignment_, best_assignment_;
+  std::vector<double> durations_;
+  std::vector<double> remaining_floor_;
+  double best_energy_ = std::numeric_limits<double>::infinity();
+  long long nodes_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+common::Result<DiscreteSolution> solve_discrete_bnb(const Dag& dag,
+                                                    const sched::Mapping& mapping,
+                                                    double deadline,
+                                                    const model::SpeedModel& speeds,
+                                                    const BnbOptions& options) {
+  if (auto st = require_discrete_kind(speeds); !st.is_ok()) return st;
+  EASCHED_CHECK(deadline > 0.0);
+  if (auto st = mapping.validate(dag); !st.is_ok()) return st;
+
+  const Dag aug = mapping.augmented_graph(dag);
+  // Quick infeasibility check at fmax.
+  {
+    std::vector<double> d(static_cast<std::size_t>(dag.num_tasks()));
+    for (TaskId t = 0; t < dag.num_tasks(); ++t) {
+      d[static_cast<std::size_t>(t)] = dag.weight(t) / speeds.fmax();
+    }
+    if (makespan_of_durations(aug, d) > deadline * (1.0 + 1e-12)) {
+      return common::Status::infeasible("even all-fmax misses the deadline");
+    }
+  }
+
+  BnbSearch search(dag, aug, deadline, speeds.levels(), options);
+  const bool found = search.run();
+  if (search.aborted()) {
+    return common::Status::not_converged("branch & bound hit the node cap");
+  }
+  EASCHED_CHECK_MSG(found, "internal: feasible instance but no incumbent");
+
+  DiscreteSolution out{Schedule(dag.num_tasks()), search.best_energy(), search.nodes(), true};
+  for (TaskId t = 0; t < dag.num_tasks(); ++t) {
+    const int s = search.best_assignment()[static_cast<std::size_t>(t)];
+    out.schedule.at(t) = TaskDecision::single(speeds.levels()[static_cast<std::size_t>(s)]);
+  }
+  return out;
+}
+
+common::Result<DiscreteSolution> solve_chain_discrete_dp(const std::vector<double>& weights,
+                                                         double deadline,
+                                                         const model::SpeedModel& speeds,
+                                                         int buckets) {
+  if (auto st = require_discrete_kind(speeds); !st.is_ok()) return st;
+  EASCHED_CHECK(deadline > 0.0);
+  EASCHED_CHECK(buckets >= 1);
+  const int n = static_cast<int>(weights.size());
+  const auto& levels = speeds.levels();
+  const double bucket_len = deadline / static_cast<double>(buckets);
+
+  // dp[b]: min energy to finish the prefix within b buckets of time.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dp(static_cast<std::size_t>(buckets) + 1, kInf);
+  std::vector<std::vector<int>> choice(
+      static_cast<std::size_t>(n), std::vector<int>(static_cast<std::size_t>(buckets) + 1, -1));
+  dp[0] = 0.0;
+  std::vector<double> next(static_cast<std::size_t>(buckets) + 1, kInf);
+  for (int i = 0; i < n; ++i) {
+    std::fill(next.begin(), next.end(), kInf);
+    for (std::size_t s = 0; s < levels.size(); ++s) {
+      const double dur = weights[static_cast<std::size_t>(i)] / levels[s];
+      const auto cost_buckets =
+          static_cast<long long>(std::ceil(dur / bucket_len - 1e-12));  // round UP: feasible
+      if (cost_buckets > buckets) continue;
+      const double e = model::execution_energy(weights[static_cast<std::size_t>(i)], levels[s]);
+      for (long long b = 0; b + cost_buckets <= buckets; ++b) {
+        if (dp[static_cast<std::size_t>(b)] == kInf) continue;
+        const auto nb = static_cast<std::size_t>(b + cost_buckets);
+        const double cand = dp[static_cast<std::size_t>(b)] + e;
+        if (cand < next[nb]) {
+          next[nb] = cand;
+          choice[static_cast<std::size_t>(i)][nb] = static_cast<int>(s);
+        }
+      }
+    }
+    // Prefix-min over time: finishing earlier is never worse.
+    for (std::size_t b = 1; b < next.size(); ++b) {
+      if (next[b - 1] < next[b]) {
+        next[b] = next[b - 1];
+        choice[static_cast<std::size_t>(i)][b] = -2;  // marker: carry from b-1
+      }
+    }
+    dp.swap(next);
+  }
+  if (dp[static_cast<std::size_t>(buckets)] == kInf) {
+    return common::Status::infeasible("chain DP: no level assignment meets the deadline");
+  }
+
+  // Reconstruct choices backwards.
+  DiscreteSolution out{Schedule(n), dp[static_cast<std::size_t>(buckets)], 0, false};
+  long long b = buckets;
+  for (int i = n - 1; i >= 0; --i) {
+    while (choice[static_cast<std::size_t>(i)][static_cast<std::size_t>(b)] == -2) --b;
+    const int s = choice[static_cast<std::size_t>(i)][static_cast<std::size_t>(b)];
+    EASCHED_CHECK_MSG(s >= 0, "chain DP: reconstruction failed");
+    out.schedule.at(i) = TaskDecision::single(levels[static_cast<std::size_t>(s)]);
+    const double dur = weights[static_cast<std::size_t>(i)] / levels[static_cast<std::size_t>(s)];
+    b -= static_cast<long long>(std::ceil(dur / bucket_len - 1e-12));
+  }
+  return out;
+}
+
+common::Result<DiscreteSolution> solve_discrete_greedy(const Dag& dag,
+                                                       const sched::Mapping& mapping,
+                                                       double deadline,
+                                                       const model::SpeedModel& speeds) {
+  if (auto st = require_discrete_kind(speeds); !st.is_ok()) return st;
+  const auto& levels = speeds.levels();
+  const auto cont_model = model::SpeedModel::continuous(levels.front(), levels.back());
+  auto cont = solve_continuous(dag, mapping, deadline, cont_model);
+  if (!cont.is_ok()) return cont.status();
+
+  const int n = dag.num_tasks();
+  const Dag aug = mapping.augmented_graph(dag);
+  std::vector<int> level_of(static_cast<std::size_t>(n), 0);
+  std::vector<double> durations(static_cast<std::size_t>(n), 0.0);
+  for (TaskId t = 0; t < n; ++t) {
+    const double f_cont = cont.value().schedule.at(t).executions.front().speed;
+    // Round up to the next admissible level (feasible: durations shrink).
+    int s = 0;
+    while (levels[static_cast<std::size_t>(s)] < f_cont * (1.0 - 1e-12) &&
+           s + 1 < static_cast<int>(levels.size())) {
+      ++s;
+    }
+    level_of[static_cast<std::size_t>(t)] = s;
+    durations[static_cast<std::size_t>(t)] =
+        dag.weight(t) / levels[static_cast<std::size_t>(s)];
+  }
+
+  // Greedy reclaim: repeatedly apply the single level-lowering with the best
+  // energy gain that keeps the schedule feasible.
+  long long moves = 0;
+  for (;;) {
+    int best_task = -1;
+    double best_gain = 0.0;
+    for (TaskId t = 0; t < n; ++t) {
+      const int s = level_of[static_cast<std::size_t>(t)];
+      if (s == 0) continue;
+      const double f_hi = levels[static_cast<std::size_t>(s)];
+      const double f_lo = levels[static_cast<std::size_t>(s) - 1];
+      const double gain = model::execution_energy(dag.weight(t), f_hi) -
+                          model::execution_energy(dag.weight(t), f_lo);
+      if (gain <= best_gain) continue;
+      const double saved = durations[static_cast<std::size_t>(t)];
+      durations[static_cast<std::size_t>(t)] = dag.weight(t) / f_lo;
+      const bool ok = makespan_of_durations(aug, durations) <= deadline * (1.0 + 1e-12);
+      durations[static_cast<std::size_t>(t)] = saved;
+      if (ok) {
+        best_gain = gain;
+        best_task = t;
+      }
+    }
+    if (best_task < 0) break;
+    ++moves;
+    --level_of[static_cast<std::size_t>(best_task)];
+    durations[static_cast<std::size_t>(best_task)] =
+        dag.weight(best_task) /
+        levels[static_cast<std::size_t>(level_of[static_cast<std::size_t>(best_task)])];
+  }
+
+  DiscreteSolution out{Schedule(n), 0.0, moves, false};
+  for (TaskId t = 0; t < n; ++t) {
+    const double f = levels[static_cast<std::size_t>(level_of[static_cast<std::size_t>(t)])];
+    out.schedule.at(t) = TaskDecision::single(f);
+    out.energy += model::execution_energy(dag.weight(t), f);
+  }
+  return out;
+}
+
+}  // namespace easched::bicrit

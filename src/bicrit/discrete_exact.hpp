@@ -1,0 +1,64 @@
+#pragma once
+// DISCRETE / INCREMENTAL BI-CRIT exact solvers and heuristics (claim C9).
+//
+// The paper: "With the INCREMENTAL model (and hence the DISCRETE model),
+// we show that this problem is NP-complete." Choosing one level per task
+// to minimise sum w_i f_i^2 under the deadline is a multiple-choice
+// knapsack — already NP-hard on a single-processor chain. Accordingly:
+//
+//  * solve_discrete_bnb        — exact branch & bound (energy lower bound
+//                                + fmax-completion feasibility pruning);
+//                                also runs as plain exhaustive search when
+//                                bounding is disabled (reference oracle).
+//  * solve_chain_discrete_dp   — pseudo-polynomial DP for chains over a
+//                                discretised time budget (durations are
+//                                rounded UP, so results are always
+//                                feasible; exact as buckets -> inf).
+//  * solve_discrete_greedy     — round the continuous relaxation up to the
+//                                next level, then greedy "reclaim" passes
+//                                that lower one task's level while the
+//                                deadline still holds.
+
+#include "common/status.hpp"
+#include "graph/dag.hpp"
+#include "model/speed_model.hpp"
+#include "sched/mapping.hpp"
+#include "sched/schedule.hpp"
+
+namespace easched::bicrit {
+
+struct DiscreteSolution {
+  sched::Schedule schedule;
+  double energy = 0.0;
+  long long nodes_explored = 0;  ///< search nodes (B&B / exhaustive)
+  bool proven_optimal = false;
+};
+
+struct BnbOptions {
+  long long max_nodes = 50'000'000;  ///< abort with kNotConverged beyond this
+  bool use_energy_bound = true;      ///< false => plain exhaustive search
+};
+
+/// Exact optimum over per-task speed levels; kInfeasible when even all-fmax
+/// misses the deadline. Works for DISCRETE and INCREMENTAL models.
+common::Result<DiscreteSolution> solve_discrete_bnb(const graph::Dag& dag,
+                                                    const sched::Mapping& mapping,
+                                                    double deadline,
+                                                    const model::SpeedModel& speeds,
+                                                    const BnbOptions& options = {});
+
+/// Pseudo-polynomial DP for a single-processor chain: minimises energy with
+/// task durations rounded up to deadline/buckets granularity. Always
+/// feasible; optimal for the rounded instance.
+common::Result<DiscreteSolution> solve_chain_discrete_dp(const std::vector<double>& weights,
+                                                         double deadline,
+                                                         const model::SpeedModel& speeds,
+                                                         int buckets = 20000);
+
+/// Continuous-relaxation round-up followed by greedy reclaim passes.
+common::Result<DiscreteSolution> solve_discrete_greedy(const graph::Dag& dag,
+                                                       const sched::Mapping& mapping,
+                                                       double deadline,
+                                                       const model::SpeedModel& speeds);
+
+}  // namespace easched::bicrit

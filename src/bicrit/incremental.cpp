@@ -1,0 +1,55 @@
+#include "bicrit/incremental.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace easched::bicrit {
+
+double incremental_ratio_bound(const model::SpeedModel& incremental, int K) {
+  EASCHED_CHECK(K >= 1);
+  EASCHED_CHECK(incremental.kind() == model::SpeedModelKind::kIncremental);
+  const double a = 1.0 + incremental.delta() / incremental.fmin();
+  const double b = 1.0 + 1.0 / static_cast<double>(K);
+  return a * a * b * b;
+}
+
+common::Result<IncrementalApprox> solve_incremental_approx(const graph::Dag& dag,
+                                                           const sched::Mapping& mapping,
+                                                           double deadline,
+                                                           const model::SpeedModel& incremental,
+                                                           int K) {
+  if (incremental.kind() != model::SpeedModelKind::kIncremental) {
+    return common::Status::unsupported("needs the INCREMENTAL model");
+  }
+  EASCHED_CHECK(K >= 1);
+
+  // Step 1: continuous relaxation to relative accuracy 1/K. Two passes:
+  // a first solve estimates the energy scale, a second (only when needed)
+  // tightens the barrier gap below E/(2K).
+  const auto cont_model =
+      model::SpeedModel::continuous(incremental.fmin(), incremental.fmax());
+  ContinuousOptions opts;
+  auto cont = solve_continuous(dag, mapping, deadline, cont_model, opts);
+  if (!cont.is_ok()) return cont.status();
+  if (cont.value().gap_bound > cont.value().energy / (2.0 * static_cast<double>(K))) {
+    opts.barrier.gap_tolerance =
+        std::max(1e-14, cont.value().energy / (2.0 * static_cast<double>(K)));
+    auto tighter = solve_continuous(dag, mapping, deadline, cont_model, opts);
+    if (tighter.is_ok()) cont = std::move(tighter);
+  }
+
+  // Step 2: round every continuous speed UP to the next incremental level.
+  IncrementalApprox out{sched::Schedule(dag.num_tasks()), 0.0, cont.value().energy,
+                        incremental_ratio_bound(incremental, K), 0.0};
+  for (graph::TaskId t = 0; t < dag.num_tasks(); ++t) {
+    const double f_cont = cont.value().schedule.at(t).executions.front().speed;
+    auto rounded = incremental.round_up(f_cont);
+    if (!rounded.is_ok()) return rounded.status();
+    out.schedule.at(t) = sched::TaskDecision::single(rounded.value());
+    out.energy += model::execution_energy(dag.weight(t), rounded.value());
+  }
+  out.observed_ratio = out.continuous_energy > 0.0 ? out.energy / out.continuous_energy : 1.0;
+  return out;
+}
+
+}  // namespace easched::bicrit

@@ -1,0 +1,159 @@
+#include "bicrit/vdd_lp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lp/simplex.hpp"
+
+namespace easched::bicrit {
+
+namespace {
+
+using graph::Dag;
+using graph::TaskId;
+using sched::Schedule;
+
+}  // namespace
+
+common::Result<VddSolution> solve_vdd_lp(const Dag& dag, const sched::Mapping& mapping,
+                                         double deadline, const model::SpeedModel& speeds) {
+  if (speeds.kind() != model::SpeedModelKind::kVddHopping) {
+    return common::Status::unsupported("solve_vdd_lp needs the VDD-HOPPING model");
+  }
+  EASCHED_CHECK(deadline > 0.0);
+  if (auto st = mapping.validate(dag); !st.is_ok()) return st;
+
+  const int n = dag.num_tasks();
+  const auto& levels = speeds.levels();
+  const int m = static_cast<int>(levels.size());
+  const Dag aug = mapping.augmented_graph(dag);
+
+  lp::LpModel model;
+  // alpha(i,s) and start(i) variable ids.
+  std::vector<int> alpha(static_cast<std::size_t>(n) * static_cast<std::size_t>(m));
+  std::vector<int> start(static_cast<std::size_t>(n));
+  for (TaskId i = 0; i < n; ++i) {
+    for (int s = 0; s < m; ++s) {
+      const double f = levels[static_cast<std::size_t>(s)];
+      alpha[static_cast<std::size_t>(i * m + s)] =
+          model.add_variable(0.0, lp::kInf, f * f * f,
+                             "a" + std::to_string(i) + "_" + std::to_string(s));
+    }
+    start[static_cast<std::size_t>(i)] =
+        model.add_variable(0.0, lp::kInf, 0.0, "s" + std::to_string(i));
+  }
+  // Work completion: sum_s f_s alpha_{i,s} = w_i.
+  for (TaskId i = 0; i < n; ++i) {
+    std::vector<lp::LinearTerm> terms;
+    for (int s = 0; s < m; ++s) {
+      terms.push_back({alpha[static_cast<std::size_t>(i * m + s)],
+                       levels[static_cast<std::size_t>(s)]});
+    }
+    model.add_constraint(std::move(terms), lp::Sense::kEqual, dag.weight(i));
+  }
+  // Precedence on the augmented graph: s_u + sum_s alpha_u,s - s_v <= 0.
+  for (TaskId u = 0; u < n; ++u) {
+    for (TaskId v : aug.successors(u)) {
+      std::vector<lp::LinearTerm> terms;
+      terms.push_back({start[static_cast<std::size_t>(u)], 1.0});
+      for (int s = 0; s < m; ++s) {
+        terms.push_back({alpha[static_cast<std::size_t>(u * m + s)], 1.0});
+      }
+      terms.push_back({start[static_cast<std::size_t>(v)], -1.0});
+      model.add_constraint(std::move(terms), lp::Sense::kLessEqual, 0.0);
+    }
+  }
+  // Deadline: s_i + duration_i <= D.
+  for (TaskId i = 0; i < n; ++i) {
+    std::vector<lp::LinearTerm> terms;
+    terms.push_back({start[static_cast<std::size_t>(i)], 1.0});
+    for (int s = 0; s < m; ++s) {
+      terms.push_back({alpha[static_cast<std::size_t>(i * m + s)], 1.0});
+    }
+    model.add_constraint(std::move(terms), lp::Sense::kLessEqual, deadline);
+  }
+
+  const auto lp_sol = lp::solve(model);
+  if (lp_sol.status == lp::LpStatus::kInfeasible) {
+    return common::Status::infeasible("VDD LP infeasible: deadline too tight");
+  }
+  if (!lp_sol.optimal()) {
+    return common::Status::not_converged(std::string("VDD LP: ") +
+                                         lp::to_string(lp_sol.status));
+  }
+
+  VddSolution out{Schedule(n), lp_sol.objective, lp_sol.iterations, 0, true};
+  constexpr double kSupportTol = 1e-7;
+  for (TaskId i = 0; i < n; ++i) {
+    std::vector<model::SpeedInterval> profile;
+    int support = 0;
+    int first_level = -1, last_level = -1;
+    for (int s = 0; s < m; ++s) {
+      const double a = lp_sol.x[static_cast<std::size_t>(
+          alpha[static_cast<std::size_t>(i * m + s)])];
+      if (a > kSupportTol) {
+        ++support;
+        if (first_level < 0) first_level = s;
+        last_level = s;
+      }
+      if (a > 1e-12) {
+        profile.push_back(model::SpeedInterval{levels[static_cast<std::size_t>(s)], a});
+      }
+    }
+    if (profile.empty() && dag.weight(i) == 0.0) {
+      profile.push_back(model::SpeedInterval{levels.back(), 0.0});
+    }
+    out.max_speeds_per_task = std::max(out.max_speeds_per_task, support);
+    if (support > 0 && last_level - first_level + 1 != support) out.speeds_adjacent = false;
+    out.schedule.at(i) = sched::TaskDecision{{sched::Execution::vdd(std::move(profile))}};
+  }
+  return out;
+}
+
+common::Result<VddSolution> vdd_from_continuous(const Dag& dag,
+                                                const std::vector<double>& durations,
+                                                const model::SpeedModel& speeds) {
+  if (speeds.kind() != model::SpeedModelKind::kVddHopping) {
+    return common::Status::unsupported("vdd_from_continuous needs the VDD-HOPPING model");
+  }
+  const int n = dag.num_tasks();
+  EASCHED_CHECK(static_cast<int>(durations.size()) == n);
+
+  VddSolution out{Schedule(n), 0.0, 0, 0, true};
+  for (TaskId i = 0; i < n; ++i) {
+    const double w = dag.weight(i);
+    const double d = durations[static_cast<std::size_t>(i)];
+    if (w == 0.0) {
+      out.schedule.at(i) = sched::TaskDecision{
+          {sched::Execution::vdd({model::SpeedInterval{speeds.levels().back(), 0.0}})}};
+      continue;
+    }
+    EASCHED_CHECK_MSG(d > 0.0, "vdd_from_continuous: non-positive duration");
+    double f = w / d;
+    if (f > speeds.fmax() * (1.0 + 1e-9)) {
+      return common::Status::infeasible("continuous speed above the fastest level");
+    }
+    if (f < speeds.fmin()) {
+      // Slower than the slowest level: run at fmin and finish early
+      // (the shorter duration can only help the makespan).
+      f = speeds.fmin();
+    }
+    const double dur = std::min(d, w / f);
+    const auto [lo, hi] = speeds.bracket(f);
+    std::vector<model::SpeedInterval> profile;
+    if (hi - lo < 1e-12) {
+      profile.push_back(model::SpeedInterval{lo, w / lo});
+    } else {
+      const auto [a_lo, a_hi] = model::two_speed_mix(w, dur, lo, hi);
+      if (a_lo > 0.0) profile.push_back(model::SpeedInterval{lo, a_lo});
+      if (a_hi > 0.0) profile.push_back(model::SpeedInterval{hi, a_hi});
+    }
+    out.max_speeds_per_task =
+        std::max(out.max_speeds_per_task, static_cast<int>(profile.size()));
+    out.energy += model::vdd_energy(profile);
+    out.schedule.at(i) = sched::TaskDecision{{sched::Execution::vdd(std::move(profile))}};
+  }
+  return out;
+}
+
+}  // namespace easched::bicrit

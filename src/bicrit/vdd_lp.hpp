@@ -1,0 +1,46 @@
+#pragma once
+// VDD-HOPPING BI-CRIT: the polynomial-time linear program (claim C7) and
+// the two-speed rounding of a continuous solution (claim C8).
+//
+// LP formulation (companion report RR-7598, summarised in section IV):
+// variables alpha_{i,s} >= 0 = time task i spends at level f_s, and start
+// times s_i >= 0:
+//     minimize   sum_{i,s} f_s^3 * alpha_{i,s}          (energy is LINEAR)
+//     subject to sum_s f_s * alpha_{i,s}  = w_i         (work completion)
+//                s_u + sum_s alpha_{u,s} <= s_v         (augmented edges)
+//                s_i + sum_s alpha_{i,s} <= D           (deadline)
+//
+// A basic optimal solution of this LP is a vertex; the paper's lemma says
+// each task then uses at most two speeds, and they are the two levels
+// bracketing the ideal continuous speed. solve_vdd_lp reports per-task
+// support statistics so the benches can verify the lemma empirically.
+
+#include "common/status.hpp"
+#include "graph/dag.hpp"
+#include "model/speed_model.hpp"
+#include "sched/mapping.hpp"
+#include "sched/schedule.hpp"
+
+namespace easched::bicrit {
+
+struct VddSolution {
+  sched::Schedule schedule;
+  double energy = 0.0;
+  int lp_iterations = 0;
+  int max_speeds_per_task = 0;     ///< support size (alpha > 1e-7) maximum
+  bool speeds_adjacent = true;     ///< every task's support = consecutive levels
+};
+
+/// Solves the VDD-HOPPING BI-CRIT LP with the bundled simplex.
+common::Result<VddSolution> solve_vdd_lp(const graph::Dag& dag, const sched::Mapping& mapping,
+                                         double deadline, const model::SpeedModel& speeds);
+
+/// Rounds a continuous schedule into VDD profiles: each task keeps its
+/// continuous duration d_i and mixes the two levels bracketing w_i/d_i
+/// (work/time matching). Feasible whenever the continuous schedule is and
+/// the levels span [fmin_cont, fmax_cont]; energy >= LP optimum.
+common::Result<VddSolution> vdd_from_continuous(const graph::Dag& dag,
+                                                const std::vector<double>& durations,
+                                                const model::SpeedModel& speeds);
+
+}  // namespace easched::bicrit

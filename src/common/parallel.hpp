@@ -1,0 +1,38 @@
+#pragma once
+// Minimal data-parallel building blocks over std::thread.
+//
+// easched is a scheduling *library*; its own hot loops (Monte-Carlo fault
+// injection, parameter sweeps in benches, subset enumeration) are
+// embarrassingly parallel. parallel_for provides deterministic chunking so
+// that per-chunk RNG substreams give run-to-run reproducible results
+// independent of the number of worker threads.
+
+#include <cstddef>
+#include <functional>
+
+namespace easched::common {
+
+/// Number of worker threads used by parallel_for (>= 1).
+/// Defaults to std::thread::hardware_concurrency(), clamped to [1, 64].
+std::size_t default_thread_count() noexcept;
+
+/// Runs body(i) for i in [0, n) across worker threads.
+///
+/// Work is split into contiguous chunks; `body` must be safe to call
+/// concurrently for distinct i. Exceptions thrown by `body` propagate to
+/// the caller (the first one observed; remaining work is still joined).
+/// With threads == 1 (or n small) runs inline on the calling thread.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+/// Runs body(chunk_index, begin, end) over a deterministic chunking of
+/// [0, n) into exactly `chunks` contiguous ranges (some possibly empty).
+///
+/// The chunk decomposition depends only on (n, chunks) — not on the thread
+/// count — so seeding an RNG substream per chunk_index yields reproducible
+/// parallel Monte-Carlo runs.
+void parallel_chunks(std::size_t n, std::size_t chunks,
+                     const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+                     std::size_t threads = 0);
+
+}  // namespace easched::common

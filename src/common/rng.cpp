@@ -1,0 +1,39 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace easched::common {
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  if (n == 0) return 0;
+  // Lemire's multiply-shift rejection method: unbiased and branch-light.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    const std::uint64_t t = (0ULL - n) % n;
+    while (l < t) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::exponential(double lambda) noexcept {
+  // Inverse CDF; guard against log(0) by nudging u away from 0.
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / lambda;
+}
+
+Rng Rng::split(std::uint64_t stream_index) const noexcept {
+  // Mix the current state with the stream index through SplitMix64 to get
+  // a decorrelated child stream. The parent is not advanced.
+  SplitMix64 sm(state_[0] ^ (state_[3] + 0x632be59bd9b4e019ULL * (stream_index + 1)));
+  Rng child(sm.next());
+  return child;
+}
+
+}  // namespace easched::common

@@ -1,0 +1,64 @@
+#pragma once
+// Streaming statistics (Welford) and simple confidence intervals, used by
+// the Monte-Carlo fault-injection simulator and the bench harness.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace easched::common {
+
+/// Numerically stable online mean/variance accumulator (Welford).
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  /// Merges another accumulator (parallel reduction), Chan's formula.
+  void merge(const OnlineStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept;
+  /// Standard error of the mean.
+  double sem() const noexcept;
+  /// Half-width of an approximate 95% normal confidence interval.
+  double ci95_halfwidth() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact binomial proportion summary with a Wilson 95% interval —
+/// appropriate for small failure probabilities in the fault simulator.
+struct Proportion {
+  std::size_t successes = 0;
+  std::size_t trials = 0;
+
+  double estimate() const noexcept {
+    return trials == 0 ? 0.0 : static_cast<double>(successes) / static_cast<double>(trials);
+  }
+  /// Wilson score interval [lo, hi] at ~95% confidence.
+  std::pair<double, double> wilson95() const noexcept;
+};
+
+/// Quantile of a sorted sample (linear interpolation); q in [0,1].
+double quantile_sorted(const std::vector<double>& sorted, double q) noexcept;
+
+}  // namespace easched::common

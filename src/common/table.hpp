@@ -1,0 +1,49 @@
+#pragma once
+// Plain-text table printer used by every bench binary, so experiment
+// output has one consistent, diffable format (and an optional CSV dump).
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace easched::common {
+
+/// Column-aligned text table.
+///
+/// Usage:
+///   Table t({"graph", "n", "E_closed", "E_ipm", "rel.err"});
+///   t.add_row({"fork", "10", format_g(e1), format_g(e2), format_g(err)});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Pretty-prints with column alignment and a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with %.6g (bench-friendly compact form).
+std::string format_g(double v);
+/// Formats a double with fixed decimals.
+std::string format_fixed(double v, int decimals);
+/// Formats an integer count.
+std::string format_int(long long v);
+/// Formats a ratio as "1.2345x".
+std::string format_ratio(double v);
+/// Formats a fraction as a percentage "12.3%".
+std::string format_pct(double fraction, int decimals = 1);
+
+}  // namespace easched::common

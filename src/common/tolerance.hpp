@@ -1,0 +1,50 @@
+#pragma once
+// Centralised numerical tolerances for the easched library.
+//
+// All floating-point comparisons in solvers, validators and tests go
+// through these constants so that accuracy expectations are stated once.
+
+namespace easched::common {
+
+namespace tol {
+
+/// Generic relative tolerance for comparing energies/makespans computed
+/// by two independent exact methods (closed form vs. interior point).
+inline constexpr double kCrossCheck = 1e-6;
+
+/// Feasibility slack granted by validators on makespan/deadline and
+/// reliability constraints (absolute, on quantities of order 1).
+inline constexpr double kFeasibility = 1e-7;
+
+/// Simplex pivot tolerance: entries smaller than this are treated as zero.
+inline constexpr double kPivot = 1e-9;
+
+/// Simplex optimality tolerance on reduced costs.
+inline constexpr double kReducedCost = 1e-9;
+
+/// Barrier method: target duality-gap measure m/t at termination.
+inline constexpr double kBarrierGap = 1e-9;
+
+/// Newton step: stop when the Newton decrement^2/2 falls below this.
+inline constexpr double kNewtonDecrement = 1e-12;
+
+/// Bisection / golden-section interval width (relative).
+inline constexpr double kScalarSearch = 1e-12;
+
+/// Water-filling multiplier bisection tolerance (relative on budget).
+inline constexpr double kWaterfill = 1e-12;
+
+}  // namespace tol
+
+/// |a-b| <= atol + rtol*max(|a|,|b|)
+inline bool approx_equal(double a, double b, double rtol = tol::kCrossCheck,
+                         double atol = 1e-12) {
+  const double aa = a < 0 ? -a : a;
+  const double bb = b < 0 ? -b : b;
+  const double scale = aa > bb ? aa : bb;
+  double diff = a - b;
+  if (diff < 0) diff = -diff;
+  return diff <= atol + rtol * scale;
+}
+
+}  // namespace easched::common

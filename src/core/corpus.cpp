@@ -1,0 +1,71 @@
+#include "core/corpus.hpp"
+
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+
+namespace easched::core {
+
+namespace {
+
+Instance mapped_instance(std::string name, graph::Dag dag, int processors,
+                         common::Rng& /*rng*/) {
+  auto mapping = sched::list_schedule(dag, processors, sched::PriorityPolicy::kCriticalPath);
+  return Instance{std::move(name), std::move(dag), std::move(mapping), processors};
+}
+
+}  // namespace
+
+std::vector<Instance> standard_corpus(common::Rng& rng, const CorpusOptions& opt) {
+  std::vector<Instance> out;
+  const int n = opt.tasks;
+  for (int k = 0; k < opt.instances_per_family; ++k) {
+    {  // chain on one processor (the TRI-CRIT NP-hardness setting)
+      auto dag = graph::make_chain(n, opt.weights, rng);
+      auto topo = graph::topological_order(dag).value();
+      auto mapping = sched::Mapping::single_processor(dag, topo);
+      out.push_back(Instance{"chain", std::move(dag), std::move(mapping), 1});
+    }
+    {  // fork, one task per processor (the fork-theorem setting)
+      auto weights = graph::random_weights(n, opt.weights, rng);
+      auto dag = graph::make_fork(weights);
+      auto mapping = sched::Mapping::one_task_per_processor(dag);
+      out.push_back(Instance{"fork", std::move(dag), std::move(mapping), n});
+    }
+    {
+      auto weights = graph::random_weights(n, opt.weights, rng);
+      auto dag = graph::make_join(weights);
+      auto mapping = sched::Mapping::one_task_per_processor(dag);
+      out.push_back(Instance{"join", std::move(dag), std::move(mapping), n});
+    }
+    {
+      auto weights = graph::random_weights(n, opt.weights, rng);
+      out.push_back(mapped_instance("fork-join", graph::make_fork_join(weights),
+                                    opt.processors, rng));
+    }
+    out.push_back(mapped_instance("out-tree",
+                                  graph::make_out_tree(n, 3, opt.weights, rng),
+                                  opt.processors, rng));
+    out.push_back(mapped_instance(
+        "sp", graph::make_random_series_parallel(n, opt.weights, rng), opt.processors, rng));
+    out.push_back(mapped_instance(
+        "layered",
+        graph::make_layered(std::max(2, n / 5), 5, 0.35, opt.weights, rng),
+        opt.processors, rng));
+    out.push_back(mapped_instance("random-dag",
+                                  graph::make_random_dag(n, 0.15, opt.weights, rng),
+                                  opt.processors, rng));
+  }
+  return out;
+}
+
+double deadline_with_slack(const Instance& instance, double fmax, double slack_factor) {
+  EASCHED_CHECK(slack_factor >= 1.0);
+  const graph::Dag aug = instance.mapping.augmented_graph(instance.dag);
+  std::vector<double> d(static_cast<std::size_t>(instance.dag.num_tasks()));
+  for (graph::TaskId t = 0; t < instance.dag.num_tasks(); ++t) {
+    d[static_cast<std::size_t>(t)] = instance.dag.weight(t) / fmax;
+  }
+  return graph::time_analysis(aug, d, 0.0).makespan * slack_factor;
+}
+
+}  // namespace easched::core

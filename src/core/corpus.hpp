@@ -1,0 +1,42 @@
+#pragma once
+// The standard instance corpus: the "wide class of problem instances"
+// (section III) over which heuristics are evaluated. Benches and
+// integration tests share these families so results are comparable.
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/dag.hpp"
+#include "graph/generators.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/mapping.hpp"
+
+namespace easched::core {
+
+/// One named instance: a dag plus a critical-path list-scheduled mapping.
+struct Instance {
+  std::string name;      ///< family tag, e.g. "chain", "fork", "sp", "layered"
+  graph::Dag dag;
+  sched::Mapping mapping;
+  int processors = 1;
+};
+
+struct CorpusOptions {
+  int tasks = 20;              ///< target task count per instance
+  int processors = 4;          ///< platform size for mapped families
+  int instances_per_family = 3;
+  graph::WeightSpec weights{1.0, 10.0};
+};
+
+/// Families: chain, fork, join, fork-join, out-tree, series-parallel,
+/// layered, random-dag. Chains are mapped on 1 processor, forks one task
+/// per processor (the paper's settings for those results), everything else
+/// via critical-path list scheduling on `processors`.
+std::vector<Instance> standard_corpus(common::Rng& rng, const CorpusOptions& options = {});
+
+/// A deadline that leaves `slack_factor` headroom over the all-fmax
+/// makespan of the instance (slack_factor >= 1).
+double deadline_with_slack(const Instance& instance, double fmax, double slack_factor);
+
+}  // namespace easched::core

@@ -1,0 +1,34 @@
+#include "core/problem.hpp"
+
+namespace easched::core {
+
+common::Status BiCritProblem::validate() const {
+  if (deadline <= 0.0) return common::Status::invalid("deadline must be positive");
+  if (auto st = dag.validate(); !st.is_ok()) return st;
+  return mapping.validate(dag);
+}
+
+common::Status BiCritProblem::check(const sched::Schedule& schedule) const {
+  sched::ValidationInput in;
+  in.speed_model = &speeds;
+  in.deadline = deadline;
+  in.allow_re_execution = false;
+  return sched::validate_schedule(dag, mapping, schedule, in);
+}
+
+common::Status TriCritProblem::validate() const {
+  if (deadline <= 0.0) return common::Status::invalid("deadline must be positive");
+  if (auto st = dag.validate(); !st.is_ok()) return st;
+  return mapping.validate(dag);
+}
+
+common::Status TriCritProblem::check(const sched::Schedule& schedule) const {
+  sched::ValidationInput in;
+  in.speed_model = &speeds;
+  in.reliability = &reliability;
+  in.deadline = deadline;
+  in.allow_re_execution = true;
+  return sched::validate_schedule(dag, mapping, schedule, in);
+}
+
+}  // namespace easched::core

@@ -1,0 +1,59 @@
+#pragma once
+// The two optimisation problems of the paper (section II, Definitions 1-2)
+// as value types, plus the validation entry point. This is the primary
+// public API: build a Dag, a Mapping and a SpeedModel, wrap them in a
+// problem, and hand it to core/solvers.hpp.
+
+#include <optional>
+
+#include "common/status.hpp"
+#include "graph/dag.hpp"
+#include "model/reliability.hpp"
+#include "model/speed_model.hpp"
+#include "sched/mapping.hpp"
+#include "sched/schedule.hpp"
+#include "sched/validator.hpp"
+
+namespace easched::core {
+
+/// Definition 1 — BI-CRIT: "deciding at which speed each task should be
+/// processed, in order to minimise the total energy consumption E, subject
+/// to the deadline bound D."
+struct BiCritProblem {
+  graph::Dag dag;
+  sched::Mapping mapping;
+  model::SpeedModel speeds;
+  double deadline = 0.0;
+
+  BiCritProblem(graph::Dag d, sched::Mapping m, model::SpeedModel s, double dl)
+      : dag(std::move(d)), mapping(std::move(m)), speeds(std::move(s)), deadline(dl) {}
+
+  /// Structural sanity of the instance (graph, mapping, deadline sign).
+  common::Status validate() const;
+
+  /// Feasibility of a candidate schedule for this instance.
+  common::Status check(const sched::Schedule& schedule) const;
+};
+
+/// Definition 2 — TRI-CRIT: additionally "deciding which tasks should be
+/// re-executed", subject to the reliability constraints R_i >= R_i(frel).
+struct TriCritProblem {
+  graph::Dag dag;
+  sched::Mapping mapping;
+  model::SpeedModel speeds;
+  model::ReliabilityModel reliability;
+  double deadline = 0.0;
+
+  TriCritProblem(graph::Dag d, sched::Mapping m, model::SpeedModel s,
+                 model::ReliabilityModel r, double dl)
+      : dag(std::move(d)),
+        mapping(std::move(m)),
+        speeds(std::move(s)),
+        reliability(std::move(r)),
+        deadline(dl) {}
+
+  common::Status validate() const;
+  common::Status check(const sched::Schedule& schedule) const;
+};
+
+}  // namespace easched::core

@@ -1,0 +1,73 @@
+#pragma once
+// Unified solver facade: pick a solver by enum, get a Schedule + energy.
+// Thin dispatch over the bicrit/ and tricrit/ modules; examples and
+// benches use this, tests mostly target the modules directly.
+
+#include <string>
+
+#include "core/problem.hpp"
+
+namespace easched::core {
+
+enum class BiCritSolver {
+  kAuto,              ///< closed form when the structure allows, else IPM/LP/B&B by model
+  kClosedForm,        ///< chain/fork/SP closed forms (CONTINUOUS only)
+  kContinuousIpm,     ///< barrier interior point (CONTINUOUS)
+  kVddLp,             ///< simplex on the VDD LP (VDD-HOPPING)
+  kDiscreteBnb,       ///< exact branch & bound (DISCRETE/INCREMENTAL)
+  kDiscreteGreedy,    ///< continuous round-up + reclaim (DISCRETE/INCREMENTAL)
+  kIncrementalApprox, ///< the (1+delta/fmin)^2(1+1/K)^2 scheme (INCREMENTAL)
+};
+
+constexpr const char* to_string(BiCritSolver s) noexcept {
+  switch (s) {
+    case BiCritSolver::kAuto: return "auto";
+    case BiCritSolver::kClosedForm: return "closed-form";
+    case BiCritSolver::kContinuousIpm: return "continuous-ipm";
+    case BiCritSolver::kVddLp: return "vdd-lp";
+    case BiCritSolver::kDiscreteBnb: return "discrete-bnb";
+    case BiCritSolver::kDiscreteGreedy: return "discrete-greedy";
+    case BiCritSolver::kIncrementalApprox: return "incremental-approx";
+  }
+  return "unknown";
+}
+
+enum class TriCritSolver {
+  kChainExact,     ///< subset enumeration + water-filling (chains, small n)
+  kChainGreedy,    ///< the paper's chain strategy
+  kForkPoly,       ///< the polynomial fork algorithm
+  kHeuristicA,     ///< uniform-slowdown heuristic (chain-centric)
+  kHeuristicB,     ///< slack-driven heuristic (parallelism-centric)
+  kBestOf,         ///< best of A and B
+};
+
+constexpr const char* to_string(TriCritSolver s) noexcept {
+  switch (s) {
+    case TriCritSolver::kChainExact: return "chain-exact";
+    case TriCritSolver::kChainGreedy: return "chain-greedy";
+    case TriCritSolver::kForkPoly: return "fork-poly";
+    case TriCritSolver::kHeuristicA: return "heuristic-A";
+    case TriCritSolver::kHeuristicB: return "heuristic-B";
+    case TriCritSolver::kBestOf: return "best-of";
+  }
+  return "unknown";
+}
+
+struct SolveOutcome {
+  sched::Schedule schedule;
+  double energy = 0.0;
+  std::string solver;     ///< which concrete solver produced the schedule
+  int re_executed = 0;    ///< TRI-CRIT only
+};
+
+/// Solves a BI-CRIT instance; kAuto picks closed forms for recognised
+/// structures under CONTINUOUS, the LP for VDD-HOPPING, B&B for small
+/// discrete instances and the greedy beyond.
+common::Result<SolveOutcome> solve(const BiCritProblem& problem,
+                                   BiCritSolver solver = BiCritSolver::kAuto,
+                                   int approx_K = 10);
+
+/// Solves a TRI-CRIT instance (CONTINUOUS model).
+common::Result<SolveOutcome> solve(const TriCritProblem& problem, TriCritSolver solver);
+
+}  // namespace easched::core

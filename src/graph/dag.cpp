@@ -1,0 +1,71 @@
+#include "graph/dag.hpp"
+
+#include <algorithm>
+
+#include "graph/analysis.hpp"
+
+namespace easched::graph {
+
+TaskId Dag::add_task(double weight, std::string name) {
+  EASCHED_CHECK_MSG(weight >= 0.0, "task weight must be >= 0");
+  weights_.push_back(weight);
+  if (name.empty()) name = "T" + std::to_string(weights_.size() - 1);
+  names_.push_back(std::move(name));
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return static_cast<TaskId>(weights_.size()) - 1;
+}
+
+void Dag::add_edge(TaskId from, TaskId to) {
+  EASCHED_CHECK_MSG(from >= 0 && from < num_tasks(), "edge source out of range");
+  EASCHED_CHECK_MSG(to >= 0 && to < num_tasks(), "edge target out of range");
+  EASCHED_CHECK_MSG(from != to, "self loops are not allowed");
+  if (has_edge(from, to)) return;
+  succ_[static_cast<std::size_t>(from)].push_back(to);
+  pred_[static_cast<std::size_t>(to)].push_back(from);
+  ++num_edges_;
+}
+
+void Dag::set_weight(TaskId t, double w) {
+  EASCHED_CHECK_MSG(w >= 0.0, "task weight must be >= 0");
+  weights_.at(static_cast<std::size_t>(t)) = w;
+}
+
+bool Dag::has_edge(TaskId from, TaskId to) const {
+  const auto& s = succ_.at(static_cast<std::size_t>(from));
+  return std::find(s.begin(), s.end(), to) != s.end();
+}
+
+std::vector<TaskId> Dag::sources() const {
+  std::vector<TaskId> out;
+  for (TaskId t = 0; t < num_tasks(); ++t) {
+    if (in_degree(t) == 0) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<TaskId> Dag::sinks() const {
+  std::vector<TaskId> out;
+  for (TaskId t = 0; t < num_tasks(); ++t) {
+    if (out_degree(t) == 0) out.push_back(t);
+  }
+  return out;
+}
+
+double Dag::total_weight() const noexcept {
+  double sum = 0.0;
+  for (double w : weights_) sum += w;
+  return sum;
+}
+
+common::Status Dag::validate() const {
+  for (double w : weights_) {
+    if (!(w >= 0.0)) return common::Status::invalid("negative task weight");
+  }
+  if (!topological_order(*this).is_ok()) {
+    return common::Status::invalid("dependence graph contains a cycle");
+  }
+  return common::Status::ok();
+}
+
+}  // namespace easched::graph

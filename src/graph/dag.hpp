@@ -1,0 +1,74 @@
+#pragma once
+// Task DAG: the application model of the paper (section II).
+//
+// "The application consists of n tasks {T1..Tn} with dependence
+// constraints, hence forming a directed acyclic task graph. Task Ti has a
+// weight wi corresponding to its computation requirement."
+//
+// Vertices carry the work weights; edges are precedence constraints.
+// The structure is append-only (tasks and edges are added, never removed),
+// which keeps ids stable across the whole pipeline.
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace easched::graph {
+
+/// Index of a task in its Dag; dense in [0, num_tasks).
+using TaskId = int;
+
+class Dag {
+ public:
+  Dag() = default;
+
+  /// Adds a task with computation weight w >= 0; returns its id.
+  TaskId add_task(double weight, std::string name = {});
+
+  /// Adds the precedence edge from -> to. Parallel duplicate edges are
+  /// ignored; self loops are rejected. Cycles are only detected by
+  /// validate() / topological sorting, not here.
+  void add_edge(TaskId from, TaskId to);
+
+  int num_tasks() const noexcept { return static_cast<int>(weights_.size()); }
+  int num_edges() const noexcept { return num_edges_; }
+
+  double weight(TaskId t) const { return weights_.at(static_cast<std::size_t>(t)); }
+  void set_weight(TaskId t, double w);
+  const std::string& name(TaskId t) const { return names_.at(static_cast<std::size_t>(t)); }
+  void set_name(TaskId t, std::string name) {
+    names_.at(static_cast<std::size_t>(t)) = std::move(name);
+  }
+
+  const std::vector<TaskId>& successors(TaskId t) const {
+    return succ_.at(static_cast<std::size_t>(t));
+  }
+  const std::vector<TaskId>& predecessors(TaskId t) const {
+    return pred_.at(static_cast<std::size_t>(t));
+  }
+
+  int in_degree(TaskId t) const { return static_cast<int>(predecessors(t).size()); }
+  int out_degree(TaskId t) const { return static_cast<int>(successors(t).size()); }
+
+  bool has_edge(TaskId from, TaskId to) const;
+
+  /// Tasks with no predecessors / successors, in id order.
+  std::vector<TaskId> sources() const;
+  std::vector<TaskId> sinks() const;
+
+  /// Sum of all task weights.
+  double total_weight() const noexcept;
+
+  /// Checks structural sanity: weights >= 0 and acyclicity.
+  common::Status validate() const;
+
+ private:
+  std::vector<double> weights_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<TaskId>> succ_;
+  std::vector<std::vector<TaskId>> pred_;
+  int num_edges_ = 0;
+};
+
+}  // namespace easched::graph

@@ -1,0 +1,178 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+
+namespace easched::graph {
+
+std::vector<double> random_weights(int n, const WeightSpec& spec, common::Rng& rng) {
+  EASCHED_CHECK(spec.min > 0.0 && spec.min <= spec.max);
+  std::vector<double> w(static_cast<std::size_t>(n));
+  for (auto& x : w) x = rng.uniform(spec.min, spec.max);
+  return w;
+}
+
+Dag make_chain(const std::vector<double>& weights) {
+  EASCHED_CHECK_MSG(!weights.empty(), "chain needs at least one task");
+  Dag dag;
+  TaskId prev = -1;
+  for (double w : weights) {
+    const TaskId t = dag.add_task(w);
+    if (prev >= 0) dag.add_edge(prev, t);
+    prev = t;
+  }
+  return dag;
+}
+
+Dag make_chain(int n, const WeightSpec& spec, common::Rng& rng) {
+  return make_chain(random_weights(n, spec, rng));
+}
+
+Dag make_fork(const std::vector<double>& weights) {
+  EASCHED_CHECK_MSG(weights.size() >= 2, "fork needs a source and at least one child");
+  Dag dag;
+  const TaskId src = dag.add_task(weights[0]);
+  for (std::size_t i = 1; i < weights.size(); ++i) {
+    dag.add_edge(src, dag.add_task(weights[i]));
+  }
+  return dag;
+}
+
+Dag make_join(const std::vector<double>& weights) {
+  EASCHED_CHECK_MSG(weights.size() >= 2, "join needs a sink and at least one predecessor");
+  Dag dag;
+  std::vector<TaskId> preds;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) preds.push_back(dag.add_task(weights[i]));
+  const TaskId sink = dag.add_task(weights.back());
+  for (TaskId p : preds) dag.add_edge(p, sink);
+  return dag;
+}
+
+Dag make_fork_join(const std::vector<double>& weights) {
+  EASCHED_CHECK_MSG(weights.size() >= 3, "fork-join needs source, sink and a middle task");
+  Dag dag;
+  const TaskId src = dag.add_task(weights.front());
+  std::vector<TaskId> mid;
+  for (std::size_t i = 1; i + 1 < weights.size(); ++i) mid.push_back(dag.add_task(weights[i]));
+  const TaskId sink = dag.add_task(weights.back());
+  for (TaskId m : mid) {
+    dag.add_edge(src, m);
+    dag.add_edge(m, sink);
+  }
+  return dag;
+}
+
+Dag make_out_tree(int n, int max_children, const WeightSpec& spec, common::Rng& rng) {
+  EASCHED_CHECK(n >= 1);
+  Dag dag;
+  std::vector<int> child_count(static_cast<std::size_t>(n), 0);
+  dag.add_task(rng.uniform(spec.min, spec.max));
+  for (int i = 1; i < n; ++i) {
+    const TaskId t = dag.add_task(rng.uniform(spec.min, spec.max));
+    // Pick a parent among earlier tasks that still has child capacity.
+    TaskId parent;
+    for (;;) {
+      parent = static_cast<TaskId>(rng.below(static_cast<std::uint64_t>(i)));
+      if (max_children <= 0 || child_count[static_cast<std::size_t>(parent)] < max_children) break;
+    }
+    ++child_count[static_cast<std::size_t>(parent)];
+    dag.add_edge(parent, t);
+  }
+  return dag;
+}
+
+namespace {
+
+// Recursively builds a nested fork-join SP graph with ~budget tasks between
+// a fresh source and sink; returns {source, sink} of the built block.
+std::pair<TaskId, TaskId> build_sp_block(Dag& dag, int budget, const WeightSpec& spec,
+                                         common::Rng& rng, double p_parallel) {
+  if (budget <= 1) {
+    const TaskId t = dag.add_task(rng.uniform(spec.min, spec.max));
+    return {t, t};
+  }
+  if (rng.next_double() < p_parallel && budget >= 4) {
+    // Parallel block: source + k branches + sink.
+    const TaskId src = dag.add_task(rng.uniform(spec.min, spec.max));
+    const int max_branches = std::min<int>(4, std::max(2, (budget - 2) / 1));
+    const int k = static_cast<int>(rng.range(2, max_branches));
+    int inner = budget - 2;
+    std::vector<std::pair<TaskId, TaskId>> branches;
+    for (int b = 0; b < k; ++b) {
+      const int share = b + 1 == k ? inner : std::max(1, inner / (k - b));
+      inner -= share;
+      branches.push_back(build_sp_block(dag, share, spec, rng, p_parallel));
+    }
+    const TaskId snk = dag.add_task(rng.uniform(spec.min, spec.max));
+    for (const auto& [bs, be] : branches) {
+      dag.add_edge(src, bs);
+      dag.add_edge(be, snk);
+    }
+    return {src, snk};
+  }
+  // Series block: two sub-blocks chained.
+  const int left = std::max(1, static_cast<int>(rng.range(1, budget - 1)));
+  auto [ls, le] = build_sp_block(dag, left, spec, rng, p_parallel);
+  auto [rs, re] = build_sp_block(dag, budget - left, spec, rng, p_parallel);
+  dag.add_edge(le, rs);
+  return {ls, re};
+}
+
+}  // namespace
+
+Dag make_random_series_parallel(int target_tasks, const WeightSpec& spec, common::Rng& rng,
+                                double parallel_probability) {
+  EASCHED_CHECK(target_tasks >= 1);
+  Dag dag;
+  build_sp_block(dag, target_tasks, spec, rng, parallel_probability);
+  return dag;
+}
+
+Dag make_layered(int layers, int width, double edge_prob, const WeightSpec& spec,
+                 common::Rng& rng) {
+  EASCHED_CHECK(layers >= 1 && width >= 1);
+  Dag dag;
+  std::vector<std::vector<TaskId>> layer_ids(static_cast<std::size_t>(layers));
+  for (int l = 0; l < layers; ++l) {
+    for (int k = 0; k < width; ++k) {
+      layer_ids[static_cast<std::size_t>(l)].push_back(
+          dag.add_task(rng.uniform(spec.min, spec.max)));
+    }
+  }
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (TaskId u : layer_ids[static_cast<std::size_t>(l)]) {
+      bool any = false;
+      for (TaskId v : layer_ids[static_cast<std::size_t>(l) + 1]) {
+        if (rng.bernoulli(edge_prob)) {
+          dag.add_edge(u, v);
+          any = true;
+        }
+      }
+      if (!any) {
+        const auto& next = layer_ids[static_cast<std::size_t>(l) + 1];
+        dag.add_edge(u, next[rng.below(next.size())]);
+      }
+    }
+  }
+  return dag;
+}
+
+Dag make_random_dag(int n, double edge_prob, const WeightSpec& spec, common::Rng& rng) {
+  EASCHED_CHECK(n >= 1);
+  Dag dag;
+  for (int i = 0; i < n; ++i) dag.add_task(rng.uniform(spec.min, spec.max));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(edge_prob)) dag.add_edge(i, j);
+    }
+  }
+  return dag;
+}
+
+Dag make_independent(const std::vector<double>& weights) {
+  EASCHED_CHECK_MSG(!weights.empty(), "need at least one task");
+  Dag dag;
+  for (double w : weights) dag.add_task(w);
+  return dag;
+}
+
+}  // namespace easched::graph

@@ -1,0 +1,61 @@
+#pragma once
+// Task-graph generators for tests, examples and benches.
+//
+// Covers the structures the paper reasons about: linear chains (TRI-CRIT
+// NP-hardness lives on a 1-proc chain), forks (the closed-form theorem),
+// joins, fork-joins, out-trees and series-parallel graphs (closed forms),
+// plus layered and Erdős-style random DAGs for the heuristic sweeps
+// ("wide class of problem instances", section III).
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/dag.hpp"
+#include "graph/series_parallel.hpp"
+
+namespace easched::graph {
+
+/// Uniform weight distribution for random generators.
+struct WeightSpec {
+  double min = 1.0;
+  double max = 10.0;
+};
+
+/// Chain T0 -> T1 -> ... with explicit weights.
+Dag make_chain(const std::vector<double>& weights);
+/// Chain with n uniform-random weights.
+Dag make_chain(int n, const WeightSpec& spec, common::Rng& rng);
+
+/// Fork: weights[0] is the source T0, weights[1..] its children (paper §III).
+Dag make_fork(const std::vector<double>& weights);
+/// Join: weights.back() is the sink, the others its direct predecessors.
+Dag make_join(const std::vector<double>& weights);
+/// Fork-join: source, n-2 parallel middle tasks, sink.
+Dag make_fork_join(const std::vector<double>& weights);
+
+/// Random out-tree with n tasks; every non-root attaches to a uniformly
+/// chosen earlier task (max_children caps the out-degree, 0 = unlimited).
+Dag make_out_tree(int n, int max_children, const WeightSpec& spec, common::Rng& rng);
+
+/// Random nested fork-join series-parallel graph with ~target_tasks tasks.
+/// If sp_tree is non-null it receives the decomposition actually built.
+/// The result is always recognised by decompose_series_parallel.
+Dag make_random_series_parallel(int target_tasks, const WeightSpec& spec, common::Rng& rng,
+                                double parallel_probability = 0.5);
+
+/// Layered DAG: `layers` layers of `width` tasks; each task draws edges to
+/// next-layer tasks with probability edge_prob (at least one per task so
+/// the graph stays connected front-to-back).
+Dag make_layered(int layers, int width, double edge_prob, const WeightSpec& spec,
+                 common::Rng& rng);
+
+/// Erdős–Rényi style DAG: edge (i,j), i<j, present with probability p.
+Dag make_random_dag(int n, double edge_prob, const WeightSpec& spec, common::Rng& rng);
+
+/// Independent tasks (no edges) — the embarrassingly parallel case.
+Dag make_independent(const std::vector<double>& weights);
+
+/// Uniform-random weights helper.
+std::vector<double> random_weights(int n, const WeightSpec& spec, common::Rng& rng);
+
+}  // namespace easched::graph

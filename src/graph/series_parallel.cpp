@@ -1,0 +1,160 @@
+#include "graph/series_parallel.hpp"
+
+#include <map>
+#include <utility>
+
+namespace easched::graph {
+
+int SpTree::add_task(TaskId task) {
+  nodes_.push_back(Node{Kind::kTask, task, -1, -1});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int SpTree::add_dummy() {
+  nodes_.push_back(Node{Kind::kDummy, -1, -1, -1});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int SpTree::add_series(int left, int right) {
+  nodes_.push_back(Node{Kind::kSeries, -1, left, right});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int SpTree::add_parallel(int left, int right) {
+  nodes_.push_back(Node{Kind::kParallel, -1, left, right});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+std::vector<TaskId> SpTree::tasks_under(int node) const {
+  std::vector<TaskId> out;
+  if (node < 0) return out;
+  std::vector<int> stack{node};
+  while (!stack.empty()) {
+    const int i = stack.back();
+    stack.pop_back();
+    const Node& nd = nodes_.at(static_cast<std::size_t>(i));
+    switch (nd.kind) {
+      case Kind::kTask: out.push_back(nd.task); break;
+      case Kind::kDummy: break;
+      case Kind::kSeries:
+      case Kind::kParallel:
+        stack.push_back(nd.left);
+        stack.push_back(nd.right);
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct RedEdge {
+  int from = -1, to = -1;
+  int tree = -1;  // SpTree node carried by this edge
+  bool alive = false;
+};
+
+}  // namespace
+
+common::Result<SpTree> decompose_series_parallel(const Dag& dag) {
+  const int n = dag.num_tasks();
+  if (n == 0) return common::Status::invalid("empty graph");
+  if (auto st = dag.validate(); !st.is_ok()) return st;
+
+  SpTree tree;
+  // Vertices: task t -> in vertex 2t, out vertex 2t+1; then S, T.
+  const int vS = 2 * n;
+  const int vT = 2 * n + 1;
+  const int nv = 2 * n + 2;
+  std::vector<RedEdge> edges;
+  auto add_edge = [&](int from, int to, int tnode) {
+    edges.push_back(RedEdge{from, to, tnode, true});
+  };
+  for (TaskId t = 0; t < n; ++t) add_edge(2 * t, 2 * t + 1, tree.add_task(t));
+  for (TaskId u = 0; u < n; ++u) {
+    for (TaskId v : dag.successors(u)) add_edge(2 * u + 1, 2 * v, tree.add_dummy());
+  }
+  for (TaskId s : dag.sources()) add_edge(vS, 2 * s, tree.add_dummy());
+  for (TaskId s : dag.sinks()) add_edge(2 * s + 1, vT, tree.add_dummy());
+
+  std::vector<int> indeg(static_cast<std::size_t>(nv), 0);
+  std::vector<int> outdeg(static_cast<std::size_t>(nv), 0);
+  for (const auto& e : edges) {
+    ++outdeg[static_cast<std::size_t>(e.from)];
+    ++indeg[static_cast<std::size_t>(e.to)];
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // ---- Parallel reduction: merge duplicate (from,to) edges. -------------
+    std::map<std::pair<int, int>, std::size_t> seen;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (!edges[i].alive) continue;
+      const auto key = std::make_pair(edges[i].from, edges[i].to);
+      auto [it, inserted] = seen.emplace(key, i);
+      if (!inserted) {
+        RedEdge& keep = edges[it->second];
+        keep.tree = tree.add_parallel(keep.tree, edges[i].tree);
+        edges[i].alive = false;
+        --outdeg[static_cast<std::size_t>(edges[i].from)];
+        --indeg[static_cast<std::size_t>(edges[i].to)];
+        changed = true;
+      }
+    }
+    // ---- Series reduction: splice through degree-(1,1) inner vertices. ----
+    // Index alive edges by endpoint for this pass.
+    std::vector<int> only_in(static_cast<std::size_t>(nv), -1);
+    std::vector<int> only_out(static_cast<std::size_t>(nv), -1);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (!edges[i].alive) continue;
+      only_in[static_cast<std::size_t>(edges[i].to)] = static_cast<int>(i);
+      only_out[static_cast<std::size_t>(edges[i].from)] = static_cast<int>(i);
+    }
+    for (int v = 0; v < nv; ++v) {
+      if (v == vS || v == vT) continue;
+      if (indeg[static_cast<std::size_t>(v)] != 1 || outdeg[static_cast<std::size_t>(v)] != 1) {
+        continue;
+      }
+      const int ein = only_in[static_cast<std::size_t>(v)];
+      const int eout = only_out[static_cast<std::size_t>(v)];
+      if (ein < 0 || eout < 0 || ein == eout) continue;
+      if (!edges[static_cast<std::size_t>(ein)].alive ||
+          !edges[static_cast<std::size_t>(eout)].alive) {
+        continue;
+      }
+      RedEdge& a = edges[static_cast<std::size_t>(ein)];
+      RedEdge& b = edges[static_cast<std::size_t>(eout)];
+      // Replace a: from -> v -> b.to with a single edge.
+      a.tree = tree.add_series(a.tree, b.tree);
+      a.to = b.to;
+      b.alive = false;
+      // v loses both incident edges; b.to keeps its in-degree (a replaces b).
+      indeg[static_cast<std::size_t>(v)] = 0;
+      outdeg[static_cast<std::size_t>(v)] = 0;
+      // Update the endpoint index so chains reduce within one pass.
+      only_in[static_cast<std::size_t>(a.to)] = ein;
+      only_out[static_cast<std::size_t>(a.from)] = ein;
+      changed = true;
+    }
+  }
+
+  // Success iff a single alive edge S -> T remains.
+  int remaining = 0;
+  int root = -1;
+  for (const auto& e : edges) {
+    if (!e.alive) continue;
+    ++remaining;
+    if (e.from == vS && e.to == vT) root = e.tree;
+  }
+  if (remaining != 1 || root < 0) {
+    return common::Status::unsupported("graph is not series-parallel (" +
+                                       std::to_string(remaining) + " irreducible edges)");
+  }
+  tree.set_root(root);
+  return tree;
+}
+
+bool is_series_parallel(const Dag& dag) { return decompose_series_parallel(dag).is_ok(); }
+
+}  // namespace easched::graph

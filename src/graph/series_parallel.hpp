@@ -1,0 +1,64 @@
+#pragma once
+// Series-parallel structure recognition and decomposition trees.
+//
+// The paper's closed-form CONTINUOUS BI-CRIT results (claim C1) hold for
+// "special execution graph structures (trees, series-parallel graphs)".
+// The closed forms compose over an SP decomposition tree:
+//   series:   W = W1 + W2
+//   parallel: W = (W1^3 + W2^3)^(1/3)
+// (bicrit/closed_form.hpp implements the composition; this header only
+// provides the tree and its recognition).
+//
+// Recognition uses the classical two-terminal reduction: each task becomes
+// an edge (v_in -> v_out), dependence edges become dummy edges, a virtual
+// source/sink is added, then series and parallel reductions are applied to
+// a fixpoint. The graph is SP iff a single source->sink edge remains.
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "graph/dag.hpp"
+
+namespace easched::graph {
+
+/// Binary series-parallel decomposition tree over task leaves.
+class SpTree {
+ public:
+  enum class Kind { kTask, kDummy, kSeries, kParallel };
+
+  struct Node {
+    Kind kind = Kind::kDummy;
+    TaskId task = -1;  ///< valid for kTask
+    int left = -1;     ///< valid for kSeries/kParallel
+    int right = -1;    ///< valid for kSeries/kParallel
+  };
+
+  /// Leaf holding a real task.
+  int add_task(TaskId task);
+  /// Leaf holding no work (virtual edges from the reduction).
+  int add_dummy();
+  int add_series(int left, int right);
+  int add_parallel(int left, int right);
+
+  void set_root(int node) { root_ = node; }
+  int root() const noexcept { return root_; }
+  const Node& node(int i) const { return nodes_.at(static_cast<std::size_t>(i)); }
+  int size() const noexcept { return static_cast<int>(nodes_.size()); }
+
+  /// All real task leaves in the subtree under `node` (whole tree: root()).
+  std::vector<TaskId> tasks_under(int node) const;
+
+ private:
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+/// Decomposes a (weakly connected or not) DAG into an SP tree.
+/// Returns kUnsupported when the graph is not series-parallel
+/// (e.g. the N-graph / interval orders that SP composition cannot build).
+common::Result<SpTree> decompose_series_parallel(const Dag& dag);
+
+/// Convenience: true iff decompose_series_parallel succeeds.
+bool is_series_parallel(const Dag& dag);
+
+}  // namespace easched::graph

@@ -1,0 +1,73 @@
+#pragma once
+// Dense linear algebra: row-major Matrix over double, and free functions on
+// std::vector<double> treated as dense vectors.
+//
+// This is a deliberately small substrate — just what the barrier
+// interior-point method (opt/) and the simplex solver (lp/) need:
+// matvec, transposed matvec, rank-1 style accumulation, norms, and the
+// factorizations in factor.hpp.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace easched::linalg {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// rows x cols matrix, zero-initialised (or filled with `fill`).
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const noexcept { return data_[r * cols_ + c]; }
+
+  /// Raw pointer to row r (contiguous, cols() entries).
+  double* row(std::size_t r) noexcept { return data_.data() + r * cols_; }
+  const double* row(std::size_t r) const noexcept { return data_.data() + r * cols_; }
+
+  /// y = A x. Requires x.size()==cols().
+  Vector multiply(const Vector& x) const;
+  /// y = A^T x. Requires x.size()==rows().
+  Vector multiply_transposed(const Vector& x) const;
+  /// C = A * B.
+  Matrix multiply(const Matrix& other) const;
+  Matrix transposed() const;
+
+  /// this += alpha * (a outer b), i.e. this(r,c) += alpha*a[r]*b[c].
+  void add_outer(double alpha, const Vector& a, const Vector& b);
+
+  /// Frobenius norm.
+  double frobenius_norm() const noexcept;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+// ---- Vector helpers -------------------------------------------------------
+
+double dot(const Vector& a, const Vector& b) noexcept;
+double norm2(const Vector& v) noexcept;
+double norm_inf(const Vector& v) noexcept;
+/// y += alpha * x
+void axpy(double alpha, const Vector& x, Vector& y) noexcept;
+/// v *= alpha
+void scale(Vector& v, double alpha) noexcept;
+/// a - b
+Vector subtract(const Vector& a, const Vector& b);
+/// a + b
+Vector add(const Vector& a, const Vector& b);
+
+}  // namespace easched::linalg

@@ -1,0 +1,56 @@
+#include "lp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace easched::lp {
+
+int LpModel::add_variable(double lo, double hi, double obj, std::string name) {
+  EASCHED_CHECK_MSG(lo <= hi, "variable bounds must satisfy lo <= hi");
+  vars_.push_back(Variable{lo, hi, obj, std::move(name)});
+  return static_cast<int>(vars_.size()) - 1;
+}
+
+int LpModel::add_constraint(std::vector<LinearTerm> terms, Sense sense, double rhs,
+                            std::string name) {
+  // Canonicalise: merge duplicate variables, drop explicit zeros.
+  std::map<int, double> merged;
+  for (const auto& t : terms) {
+    EASCHED_CHECK_MSG(t.var >= 0 && t.var < num_variables(), "constraint references unknown variable");
+    merged[t.var] += t.coef;
+  }
+  std::vector<LinearTerm> canon;
+  canon.reserve(merged.size());
+  for (const auto& [v, c] : merged) {
+    if (c != 0.0) canon.push_back(LinearTerm{v, c});
+  }
+  rows_.push_back(Row{std::move(canon), sense, rhs, std::move(name)});
+  return static_cast<int>(rows_.size()) - 1;
+}
+
+double LpModel::objective_value(const std::vector<double>& x) const {
+  double obj = 0.0;
+  for (std::size_t j = 0; j < vars_.size(); ++j) obj += vars_[j].obj * x[j];
+  return obj;
+}
+
+double LpModel::max_violation(const std::vector<double>& x) const {
+  double worst = 0.0;
+  for (std::size_t j = 0; j < vars_.size(); ++j) {
+    worst = std::max(worst, vars_[j].lo - x[j]);
+    worst = std::max(worst, x[j] - vars_[j].hi);
+  }
+  for (const auto& row : rows_) {
+    double lhs = 0.0;
+    for (const auto& t : row.terms) lhs += t.coef * x[static_cast<std::size_t>(t.var)];
+    switch (row.sense) {
+      case Sense::kLessEqual: worst = std::max(worst, lhs - row.rhs); break;
+      case Sense::kGreaterEqual: worst = std::max(worst, row.rhs - lhs); break;
+      case Sense::kEqual: worst = std::max(worst, std::fabs(lhs - row.rhs)); break;
+    }
+  }
+  return std::max(worst, 0.0);
+}
+
+}  // namespace easched::lp

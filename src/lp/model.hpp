@@ -1,0 +1,67 @@
+#pragma once
+// Linear-program model builder.
+//
+// The VDD-HOPPING BI-CRIT result of the paper ("solvable in polynomial time
+// using a linear program", section IV) is exercised through this API. The
+// model is solver-agnostic; lp/simplex.hpp provides the bundled solver.
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace easched::lp {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Constraint sense.
+enum class Sense { kLessEqual, kGreaterEqual, kEqual };
+
+/// One nonzero of a constraint row.
+struct LinearTerm {
+  int var = -1;
+  double coef = 0.0;
+};
+
+/// A linear program: minimize c^T x subject to rows and variable bounds.
+class LpModel {
+ public:
+  /// Adds a variable with bounds [lo, hi] (hi may be kInf, lo may be -kInf)
+  /// and objective coefficient obj. Returns the variable index.
+  int add_variable(double lo, double hi, double obj, std::string name = {});
+
+  /// Adds a constraint `sum(terms) sense rhs`. Returns the row index.
+  /// Duplicate variable entries in `terms` are summed.
+  int add_constraint(std::vector<LinearTerm> terms, Sense sense, double rhs,
+                     std::string name = {});
+
+  int num_variables() const noexcept { return static_cast<int>(vars_.size()); }
+  int num_constraints() const noexcept { return static_cast<int>(rows_.size()); }
+
+  struct Variable {
+    double lo = 0.0, hi = kInf, obj = 0.0;
+    std::string name;
+  };
+  struct Row {
+    std::vector<LinearTerm> terms;
+    Sense sense = Sense::kLessEqual;
+    double rhs = 0.0;
+    std::string name;
+  };
+
+  const Variable& variable(int j) const { return vars_.at(static_cast<std::size_t>(j)); }
+  const Row& row(int i) const { return rows_.at(static_cast<std::size_t>(i)); }
+
+  /// Objective value of a point (no feasibility check).
+  double objective_value(const std::vector<double>& x) const;
+
+  /// Largest constraint violation (0 when feasible); bound violations included.
+  double max_violation(const std::vector<double>& x) const;
+
+ private:
+  std::vector<Variable> vars_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace easched::lp

@@ -1,0 +1,54 @@
+#pragma once
+// Two-phase primal simplex (dense tableau) for LpModel.
+//
+// Design choices:
+//  * Full tableau with Dantzig pricing and a Bland's-rule fallback after a
+//    stall threshold (guarantees termination on degenerate instances).
+//  * Phase 1 minimises the sum of artificial variables; redundant rows are
+//    dropped when an artificial cannot be pivoted out.
+//  * Basic optimal solutions are vertices of the polytope — exactly the
+//    objects the paper's "two speeds per task suffice" VDD-HOPPING lemma
+//    talks about, so benches inspect the returned basis support.
+
+#include <string>
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace easched::lp {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+constexpr const char* to_string(LpStatus s) noexcept {
+  switch (s) {
+    case LpStatus::kOptimal: return "OPTIMAL";
+    case LpStatus::kInfeasible: return "INFEASIBLE";
+    case LpStatus::kUnbounded: return "UNBOUNDED";
+    case LpStatus::kIterationLimit: return "ITERATION_LIMIT";
+  }
+  return "UNKNOWN";
+}
+
+struct SimplexOptions {
+  /// Hard cap on pivots per phase (0 => 200*(m+n), the usual safe bound).
+  int max_iterations = 0;
+  /// Switch from Dantzig to Bland pricing after this many pivots without
+  /// objective progress.
+  int bland_after_stall = 50;
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;          ///< primal values, one per model variable
+  std::vector<bool> is_basic;     ///< per model variable: basic in final tableau?
+  int iterations = 0;             ///< total pivots (both phases)
+  std::string detail;             ///< diagnostic message
+
+  bool optimal() const noexcept { return status == LpStatus::kOptimal; }
+};
+
+/// Solves `min c^T x` for the given model.
+LpSolution solve(const LpModel& model, const SimplexOptions& options = {});
+
+}  // namespace easched::lp

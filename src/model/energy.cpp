@@ -1,0 +1,50 @@
+#include "model/energy.hpp"
+
+#include <cmath>
+
+#include "common/status.hpp"
+
+namespace easched::model {
+
+double execution_energy(double weight, double speed) {
+  EASCHED_CHECK_MSG(speed > 0.0 || weight == 0.0, "speed must be positive for nonzero work");
+  return weight == 0.0 ? 0.0 : weight * speed * speed;
+}
+
+double power_time_energy(double speed, double time) { return speed * speed * speed * time; }
+
+double vdd_energy(const std::vector<SpeedInterval>& profile) {
+  double e = 0.0;
+  for (const auto& p : profile) e += p.speed * p.speed * p.speed * p.time;
+  return e;
+}
+
+double vdd_work(const std::vector<SpeedInterval>& profile) {
+  double w = 0.0;
+  for (const auto& p : profile) w += p.speed * p.time;
+  return w;
+}
+
+double vdd_time(const std::vector<SpeedInterval>& profile) {
+  double t = 0.0;
+  for (const auto& p : profile) t += p.time;
+  return t;
+}
+
+std::pair<double, double> two_speed_mix(double w, double t, double lo, double hi) {
+  EASCHED_CHECK_MSG(lo > 0.0 && hi >= lo, "need 0 < lo <= hi");
+  if (std::fabs(hi - lo) < 1e-15) {
+    // Degenerate: single speed; only consistent if w == lo*t (caller's duty).
+    return {t, 0.0};
+  }
+  // Solve: a + b = t, lo*a + hi*b = w  =>  b = (w - lo*t)/(hi - lo).
+  double b = (w - lo * t) / (hi - lo);
+  double a = t - b;
+  // Numerical clamping for boundary cases (w == lo*t or w == hi*t).
+  if (a < 0.0 && a > -1e-9 * t) a = 0.0;
+  if (b < 0.0 && b > -1e-9 * t) b = 0.0;
+  EASCHED_CHECK_MSG(a >= 0.0 && b >= 0.0, "two_speed_mix: t outside [w/hi, w/lo]");
+  return {a, b};
+}
+
+}  // namespace easched::model

@@ -1,0 +1,47 @@
+#pragma once
+// Energy model of the paper (section II, "Energy"):
+//
+//   "When a processor operates at speed f during t time-units, the
+//    consumed energy is f^3 * t" (dynamic part only; static energy is not
+//    accounted because all processors stay up for the whole execution).
+//
+// For a task of weight w at constant speed f:  t = w/f  =>  E = w * f^2.
+// For a re-executed task both executions are ALWAYS charged (worst-case
+// provisioning):  E = w * (f1^2 + f2^2).
+// For a VDD-hopping execution that spends alpha_s time units at level f_s:
+//   E = sum_s f_s^3 * alpha_s  (linear in alpha — this is what makes the
+//   VDD BI-CRIT problem an LP, claim C7).
+
+#include <utility>
+#include <vector>
+
+namespace easched::model {
+
+/// Energy of one constant-speed execution: w * f^2.
+double execution_energy(double weight, double speed);
+
+/// Energy of executing at speed f for t time units: f^3 * t.
+double power_time_energy(double speed, double time);
+
+/// One piece of a VDD-hopping execution profile.
+struct SpeedInterval {
+  double speed = 0.0;  ///< f_s
+  double time = 0.0;   ///< alpha_s (time spent at f_s)
+};
+
+/// Energy of a VDD-hopping execution: sum f_s^3 * alpha_s.
+double vdd_energy(const std::vector<SpeedInterval>& profile);
+
+/// Work processed by a VDD profile: sum f_s * alpha_s.
+double vdd_work(const std::vector<SpeedInterval>& profile);
+
+/// Duration of a VDD profile: sum alpha_s.
+double vdd_time(const std::vector<SpeedInterval>& profile);
+
+/// The optimal two-speed mix executing work w in exactly time t using
+/// consecutive levels lo < hi (time/work matching):
+///   alpha_lo + alpha_hi = t,  lo*alpha_lo + hi*alpha_hi = w.
+/// Requires w/hi <= t <= w/lo. Returns {alpha_lo, alpha_hi}.
+std::pair<double, double> two_speed_mix(double w, double t, double lo, double hi);
+
+}  // namespace easched::model

@@ -1,0 +1,75 @@
+#include "model/reliability.hpp"
+
+#include <cmath>
+
+#include "opt/scalar.hpp"
+
+namespace easched::model {
+
+ReliabilityModel::ReliabilityModel(double lambda0, double d, double fmin, double fmax,
+                                   double frel)
+    : lambda0_(lambda0), d_(d), fmin_(fmin), fmax_(fmax), frel_(frel) {
+  EASCHED_CHECK_MSG(lambda0 > 0.0, "lambda0 must be positive");
+  EASCHED_CHECK_MSG(d >= 0.0, "sensitivity d must be >= 0");
+  EASCHED_CHECK_MSG(fmin > 0.0 && fmin < fmax, "need 0 < fmin < fmax");
+  EASCHED_CHECK_MSG(frel >= fmin && frel <= fmax, "frel must lie in [fmin, fmax]");
+}
+
+double ReliabilityModel::rate(double f) const {
+  return lambda0_ * std::exp(d_ * (fmax_ - f) / (fmax_ - fmin_));
+}
+
+double ReliabilityModel::failure_prob(double weight, double f) const {
+  if (weight == 0.0) return 0.0;
+  EASCHED_CHECK_MSG(f > 0.0, "speed must be positive");
+  return rate(f) * weight / f;
+}
+
+double ReliabilityModel::reliability(double weight, double f) const {
+  return 1.0 - failure_prob(weight, f);
+}
+
+double ReliabilityModel::threshold_failure(double weight) const {
+  return failure_prob(weight, frel_);
+}
+
+bool ReliabilityModel::single_ok(double weight, double f, double tolerance) const {
+  if (weight == 0.0) return true;
+  return failure_prob(weight, f) <= threshold_failure(weight) * (1.0 + tolerance) + 1e-300;
+}
+
+bool ReliabilityModel::pair_ok(double weight, double f1, double f2, double tolerance) const {
+  if (weight == 0.0) return true;
+  const double product = failure_prob(weight, f1) * failure_prob(weight, f2);
+  return product <= threshold_failure(weight) * (1.0 + tolerance) + 1e-300;
+}
+
+double ReliabilityModel::mixed_failure(const std::vector<SpeedInterval>& profile) const {
+  double lam = 0.0;
+  for (const auto& p : profile) lam += rate(p.speed) * p.time;
+  return lam;
+}
+
+common::Result<double> ReliabilityModel::f_multi(double weight, int attempts) const {
+  EASCHED_CHECK_MSG(attempts >= 1, "need at least one attempt");
+  if (weight == 0.0) return fmin_;
+  if (attempts == 1) return std::max(frel_, fmin_);
+  const double target =
+      std::pow(threshold_failure(weight), 1.0 / static_cast<double>(attempts));
+  // lambda is strictly decreasing in f; find smallest g with lambda(g) <= target.
+  if (failure_prob(weight, fmin_) <= target) return fmin_;
+  if (failure_prob(weight, fmax_) > target) {
+    return common::Status::infeasible(
+        "even fmax cannot reach the redundancy reliability threshold");
+  }
+  auto root = opt::bisect([&](double g) { return failure_prob(weight, g) - target; }, fmin_,
+                          fmax_);
+  if (!root.is_ok()) return root.status();
+  return root.value();
+}
+
+ReliabilityModel default_reliability(double fmin, double fmax, double frel) {
+  return ReliabilityModel(1e-5, 3.0, fmin, fmax, frel);
+}
+
+}  // namespace easched::model

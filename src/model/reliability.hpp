@@ -1,0 +1,87 @@
+#pragma once
+// Reliability model of the paper (section II, equation (1)):
+//
+//   R_i(f) = 1 - lambda0 * exp(d * (fmax - f)/(fmax - fmin)) * w_i / f
+//
+// i.e. the per-task failure probability at speed f is
+//   lambda_i(f) = rate(f) * (w_i / f),   rate(f) = lambda0 * e^{d (fmax-f)/(fmax-fmin)}
+// where rate(f) is a *per-time* transient fault rate: DVFS scaling lowers
+// the speed and simultaneously raises the fault rate (Zhu et al., the
+// paper's motivation — claim C11).
+//
+// Constraints:
+//  * single execution at f:     lambda_i(f)            <= lambda_i(frel)
+//    (equivalently f >= frel, since lambda_i is strictly decreasing in f)
+//  * re-execution at f1, f2:    lambda_i(f1)*lambda_i(f2) <= lambda_i(frel)
+//  * VDD-hopping execution:     failure accumulates linearly over time,
+//    lambda_mix = sum_s rate(f_s) * alpha_s  (single-speed case reduces to
+//    rate(f) * w/f, consistent with (1)).
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "model/energy.hpp"
+
+namespace easched::model {
+
+class ReliabilityModel {
+ public:
+  /// lambda0: fault probability mass at fmax per unit time;
+  /// d >= 0: DVFS sensitivity; frel in [fmin, fmax]: threshold speed.
+  ReliabilityModel(double lambda0, double d, double fmin, double fmax, double frel);
+
+  double lambda0() const noexcept { return lambda0_; }
+  double sensitivity() const noexcept { return d_; }
+  double fmin() const noexcept { return fmin_; }
+  double fmax() const noexcept { return fmax_; }
+  double frel() const noexcept { return frel_; }
+
+  /// Per-time fault rate at speed f: lambda0 * exp(d (fmax-f)/(fmax-fmin)).
+  double rate(double f) const;
+
+  /// Failure probability of one execution of weight w at speed f (may
+  /// exceed 1 for extreme parameters; the algebraic model of the paper).
+  double failure_prob(double weight, double f) const;
+
+  /// R_i(f) = 1 - failure_prob.
+  double reliability(double weight, double f) const;
+
+  /// The per-task threshold lambda_i(frel).
+  double threshold_failure(double weight) const;
+
+  /// Does a single execution at f meet the constraint R_i(f) >= R_i(frel)?
+  bool single_ok(double weight, double f, double tolerance = 1e-9) const;
+
+  /// Does re-execution at (f1, f2) meet 1-(1-R(f1))(1-R(f2)) >= R(frel)?
+  bool pair_ok(double weight, double f1, double f2, double tolerance = 1e-9) const;
+
+  /// Failure probability of a VDD-hopping execution profile (must process
+  /// weight w; not checked here): sum_s rate(f_s)*alpha_s.
+  double mixed_failure(const std::vector<SpeedInterval>& profile) const;
+
+  /// Minimal equal speed for k independent attempts (re-executions or
+  /// replicas): the smallest g in [fmin, fmax] with
+  /// lambda_i(g)^k <= lambda_i(frel). Monotone decreasing in k.
+  /// Returns fmin when even fmin satisfies it; kInfeasible when g > fmax
+  /// would be required (cannot happen for frel <= fmax and lambda(frel)<=1).
+  common::Result<double> f_multi(double weight, int attempts) const;
+
+  /// Minimal equal re-execution speed: f_multi(weight, 2). Both executions
+  /// of a re-executed task may run this slowly and still satisfy the
+  /// constraint (the companion paper shows equal speeds are optimal; tests
+  /// verify numerically).
+  common::Result<double> f_inf(double weight) const { return f_multi(weight, 2); }
+
+ private:
+  double lambda0_;
+  double d_;
+  double fmin_;
+  double fmax_;
+  double frel_;
+};
+
+/// Default model parameters used by benches and examples: lambda0 = 1e-5,
+/// d = 3, matching the magnitude used in the companion papers' evaluations.
+ReliabilityModel default_reliability(double fmin, double fmax, double frel);
+
+}  // namespace easched::model

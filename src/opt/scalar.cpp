@@ -1,0 +1,87 @@
+#include "opt/scalar.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/tolerance.hpp"
+
+namespace easched::opt {
+
+common::Result<double> bisect(const std::function<double(double)>& f, double lo, double hi,
+                              int max_iterations) {
+  EASCHED_CHECK(lo <= hi);
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if ((flo > 0.0) == (fhi > 0.0)) {
+    return common::Status::invalid("bisect: f(lo) and f(hi) have the same sign");
+  }
+  for (int it = 0; it < max_iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid);
+    if (fm == 0.0) return mid;
+    if ((fm > 0.0) == (flo > 0.0)) {
+      lo = mid;
+      flo = fm;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= common::tol::kScalarSearch * (std::fabs(lo) + std::fabs(hi) + 1.0)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double golden_section_minimize(const std::function<double(double)>& f, double lo, double hi,
+                               int max_iterations) {
+  EASCHED_CHECK(lo <= hi);
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1), f2 = f(x2);
+  for (int it = 0; it < max_iterations; ++it) {
+    if (f1 <= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+    if (b - a <= common::tol::kScalarSearch * (std::fabs(a) + std::fabs(b) + 1.0)) break;
+  }
+  return 0.5 * (a + b);
+}
+
+double grid_refine_minimize(const std::function<double(double)>& f, double lo, double hi,
+                            int grid, int refine_iterations) {
+  EASCHED_CHECK(lo <= hi);
+  EASCHED_CHECK(grid >= 2);
+  double best_x = lo;
+  double best_f = std::numeric_limits<double>::infinity();
+  std::vector<double> xs(static_cast<std::size_t>(grid));
+  for (int i = 0; i < grid; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(grid - 1);
+    xs[static_cast<std::size_t>(i)] = x;
+    const double v = f(x);
+    if (v < best_f) {
+      best_f = v;
+      best_x = x;
+    }
+  }
+  // Refine inside the bracket around the best grid point.
+  const double cell = (hi - lo) / static_cast<double>(grid - 1);
+  const double a = std::max(lo, best_x - cell);
+  const double b = std::min(hi, best_x + cell);
+  const double refined = golden_section_minimize(f, a, b, refine_iterations);
+  return f(refined) <= best_f ? refined : best_x;
+}
+
+}  // namespace easched::opt

@@ -1,0 +1,31 @@
+#pragma once
+// Scalar root finding and 1-D minimisation.
+//
+// Used by: the reliability model (inverting lambda(f), computing the
+// minimum re-execution speed f_inf), and the TRI-CRIT fork solver
+// (parametric search over the source completion time, claim C5).
+
+#include <functional>
+
+#include "common/status.hpp"
+
+namespace easched::opt {
+
+/// Finds x in [lo, hi] with f(x) = 0 for continuous f with f(lo), f(hi) of
+/// opposite sign (or zero). Plain bisection: robust, ~1 ulp accurate.
+common::Result<double> bisect(const std::function<double(double)>& f, double lo, double hi,
+                              int max_iterations = 200);
+
+/// Minimises a unimodal function on [lo, hi] by golden-section search.
+/// Returns the argmin; for flat regions returns a point inside them.
+double golden_section_minimize(const std::function<double(double)>& f, double lo, double hi,
+                               int max_iterations = 200);
+
+/// Global-ish 1-D minimisation for piecewise-smooth functions: samples
+/// `grid` points, then refines the best bracket with golden section.
+/// Suitable for the fork TRI-CRIT profile, which is piecewise smooth with
+/// breakpoints where tasks switch between single and double execution.
+double grid_refine_minimize(const std::function<double(double)>& f, double lo, double hi,
+                            int grid = 256, int refine_iterations = 120);
+
+}  // namespace easched::opt

@@ -1,0 +1,129 @@
+#include "opt/waterfill.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/tolerance.hpp"
+
+namespace easched::opt {
+
+namespace {
+
+double clamp(double v, double lo, double hi) { return std::min(std::max(v, lo), hi); }
+
+// Allocation for a given multiplier mu > 0.
+double alloc_sum(const WaterfillProblem& p, double mu, std::vector<double>* out) {
+  double sum = 0.0;
+  for (std::size_t j = 0; j < p.coef.size(); ++j) {
+    double tj;
+    if (p.coef[j] <= 0.0) {
+      tj = p.lo[j];  // no energy incentive: give the minimum time
+    } else {
+      tj = clamp(std::cbrt(2.0 * p.coef[j] / mu), p.lo[j], p.hi[j]);
+    }
+    if (out) (*out)[j] = tj;
+    sum += tj;
+  }
+  return sum;
+}
+
+}  // namespace
+
+common::Result<WaterfillSolution> waterfill(const WaterfillProblem& p) {
+  const std::size_t n = p.coef.size();
+  EASCHED_CHECK(p.lo.size() == n && p.hi.size() == n);
+  for (std::size_t j = 0; j < n; ++j) {
+    EASCHED_CHECK_MSG(p.lo[j] <= p.hi[j], "waterfill: lo > hi");
+    EASCHED_CHECK_MSG(p.coef[j] >= 0.0, "waterfill: negative coefficient");
+    EASCHED_CHECK_MSG(p.coef[j] == 0.0 || p.lo[j] > 0.0,
+                      "waterfill: energy term needs a positive time lower bound");
+  }
+  WaterfillSolution sol;
+  sol.t.assign(n, 0.0);
+
+  double lo_sum = 0.0;
+  bool hi_sum_finite = true;
+  double hi_sum = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    lo_sum += p.lo[j];
+    if (std::isinf(p.hi[j])) {
+      hi_sum_finite = false;
+    } else {
+      hi_sum += p.hi[j];
+    }
+  }
+  if (lo_sum > p.budget * (1.0 + 1e-15) + 1e-300) {
+    return common::Status::infeasible("waterfill: sum of lower bounds exceeds budget");
+  }
+
+  // If the budget constraint cannot bind (all tasks can take their max
+  // time), the optimum is t = hi (objective decreasing in t) with mu = 0.
+  // Tasks with coef == 0 take lo (they never pay energy).
+  if (hi_sum_finite) {
+    double relaxed_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) relaxed_sum += p.coef[j] > 0.0 ? p.hi[j] : p.lo[j];
+    if (relaxed_sum <= p.budget) {
+      for (std::size_t j = 0; j < n; ++j) sol.t[j] = p.coef[j] > 0.0 ? p.hi[j] : p.lo[j];
+      sol.multiplier = 0.0;
+      sol.energy = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (p.coef[j] > 0.0) sol.energy += p.coef[j] / (sol.t[j] * sol.t[j]);
+      }
+      return sol;
+    }
+  }
+
+  // Bisect on mu: alloc_sum is non-increasing in mu.
+  double mu_lo = 1e-300, mu_hi = 1.0;
+  // Grow mu_hi until the allocation fits within the budget.
+  for (int it = 0; it < 2000 && alloc_sum(p, mu_hi, nullptr) > p.budget; ++it) mu_hi *= 4.0;
+  // Shrink mu_lo until the allocation exceeds the budget (bracket).
+  mu_lo = mu_hi;
+  for (int it = 0; it < 2000 && alloc_sum(p, mu_lo, nullptr) < p.budget; ++it) mu_lo /= 4.0;
+
+  for (int it = 0; it < 200; ++it) {
+    const double mu = std::sqrt(mu_lo * mu_hi);  // geometric mid: mu spans decades
+    const double s = alloc_sum(p, mu, nullptr);
+    if (s > p.budget) {
+      mu_lo = mu;
+    } else {
+      mu_hi = mu;
+    }
+    if (mu_hi / mu_lo < 1.0 + common::tol::kWaterfill) break;
+  }
+  sol.multiplier = std::sqrt(mu_lo * mu_hi);
+  alloc_sum(p, sol.multiplier, &sol.t);
+
+  // Exactness polish: scale interior (unclamped) allocations so the budget
+  // is met exactly — removes the residual bisection error.
+  double clamped_total = 0.0, interior_total = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const bool interior = p.coef[j] > 0.0 && sol.t[j] > p.lo[j] * (1.0 + 1e-12) &&
+                          sol.t[j] < p.hi[j] * (1.0 - 1e-12);
+    if (interior) {
+      interior_total += sol.t[j];
+    } else {
+      clamped_total += sol.t[j];
+    }
+  }
+  if (interior_total > 0.0) {
+    const double target = p.budget - clamped_total;
+    if (target > 0.0) {
+      const double scale_factor = target / interior_total;
+      for (std::size_t j = 0; j < n; ++j) {
+        const bool interior = p.coef[j] > 0.0 && sol.t[j] > p.lo[j] * (1.0 + 1e-12) &&
+                              sol.t[j] < p.hi[j] * (1.0 - 1e-12);
+        if (interior) sol.t[j] = clamp(sol.t[j] * scale_factor, p.lo[j], p.hi[j]);
+      }
+    }
+  }
+
+  sol.energy = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (p.coef[j] > 0.0) sol.energy += p.coef[j] / (sol.t[j] * sol.t[j]);
+  }
+  return sol;
+}
+
+}  // namespace easched::opt

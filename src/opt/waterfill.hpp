@@ -1,0 +1,35 @@
+#pragma once
+// Water-filling time allocation.
+//
+// Core inner solver for chain-structured energy minimisation (claims C1,
+// C3, C4): minimize  sum_j c_j / t_j^2  subject to  sum_j t_j <= budget and
+// box bounds lo_j <= t_j <= hi_j. By KKT the optimum satisfies
+//    t_j = clamp( (2 c_j / mu)^(1/3), lo_j, hi_j )
+// for a single multiplier mu >= 0, found here by bisection. For a 1-proc
+// chain with c_j = w_j^3 this reproduces the classical "run every task at
+// the same speed sum(w)/D" optimum; with re-execution terms c_j = 8 w_j^3
+// it solves the inner problem of the TRI-CRIT chain algorithms.
+
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace easched::opt {
+
+struct WaterfillProblem {
+  std::vector<double> coef;  ///< c_j >= 0 (energy = c_j / t_j^2)
+  std::vector<double> lo;    ///< lower bounds (> 0 when c_j > 0)
+  std::vector<double> hi;    ///< upper bounds (may be +infinity)
+  double budget = 0.0;       ///< total time available
+};
+
+struct WaterfillSolution {
+  std::vector<double> t;   ///< optimal allocation
+  double energy = 0.0;     ///< sum c_j / t_j^2
+  double multiplier = 0.0; ///< KKT multiplier of the budget constraint (0 if slack)
+};
+
+/// Solves the water-filling problem; kInfeasible when sum(lo) > budget.
+common::Result<WaterfillSolution> waterfill(const WaterfillProblem& problem);
+
+}  // namespace easched::opt

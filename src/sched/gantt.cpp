@@ -1,0 +1,86 @@
+#include "sched/gantt.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "graph/analysis.hpp"
+
+namespace easched::sched {
+
+std::vector<GanttEntry> build_timeline(const graph::Dag& dag, const Mapping& mapping,
+                                       const Schedule& schedule) {
+  EASCHED_CHECK(schedule.num_tasks() == dag.num_tasks());
+  const graph::Dag aug = mapping.augmented_graph(dag);
+  const auto durations = schedule.durations(dag);
+  const auto ta = graph::time_analysis(aug, durations, 0.0);
+
+  std::vector<GanttEntry> out;
+  for (graph::TaskId t = 0; t < dag.num_tasks(); ++t) {
+    double cursor = ta.asap[static_cast<std::size_t>(t)];
+    const auto& execs = schedule.at(t).executions;
+    for (std::size_t e = 0; e < execs.size(); ++e) {
+      GanttEntry entry;
+      entry.task = t;
+      entry.execution = static_cast<int>(e);
+      entry.processor = mapping.processor_of(t);
+      entry.start = cursor;
+      cursor += execs[e].duration(dag.weight(t));
+      entry.finish = cursor;
+      out.push_back(entry);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const GanttEntry& a, const GanttEntry& b) {
+    if (a.processor != b.processor) return a.processor < b.processor;
+    if (a.start != b.start) return a.start < b.start;
+    return a.task < b.task;
+  });
+  return out;
+}
+
+double timeline_makespan(const std::vector<GanttEntry>& timeline) {
+  double makespan = 0.0;
+  for (const auto& e : timeline) makespan = std::max(makespan, e.finish);
+  return makespan;
+}
+
+void write_gantt(std::ostream& os, const graph::Dag& dag, const Mapping& mapping,
+                 const Schedule& schedule) {
+  const auto timeline = build_timeline(dag, mapping, schedule);
+  os.setf(std::ios::fixed);
+  const auto old_precision = os.precision(2);
+  int current = -1;
+  for (const auto& entry : timeline) {
+    if (entry.processor != current) {
+      if (current >= 0) os << '\n';
+      current = entry.processor;
+      os << 'P' << current << " |";
+    }
+    os << ' ' << dag.name(entry.task);
+    if (entry.execution > 0) os << "(re)";
+    os << '[' << entry.start << ',' << entry.finish << ']';
+  }
+  if (current >= 0) os << '\n';
+  os << "makespan: " << timeline_makespan(timeline) << '\n';
+  os.precision(old_precision);
+  os.unsetf(std::ios::fixed);
+}
+
+void write_timeline_csv(std::ostream& os, const graph::Dag& dag, const Mapping& mapping,
+                        const Schedule& schedule) {
+  os << "task,name,execution,processor,start,finish,speed\n";
+  for (const auto& entry : build_timeline(dag, mapping, schedule)) {
+    const auto& exec = schedule.at(entry.task).executions[static_cast<std::size_t>(
+        entry.execution)];
+    // VDD executions report their work-averaged speed.
+    double speed = exec.speed;
+    if (exec.is_vdd()) {
+      const double time = model::vdd_time(exec.profile);
+      speed = time > 0.0 ? model::vdd_work(exec.profile) / time : 0.0;
+    }
+    os << entry.task << ',' << dag.name(entry.task) << ',' << entry.execution << ','
+       << entry.processor << ',' << entry.start << ',' << entry.finish << ',' << speed
+       << '\n';
+  }
+}
+
+}  // namespace easched::sched

@@ -1,0 +1,45 @@
+#pragma once
+// Timeline (Gantt) construction and export for a mapped schedule.
+//
+// Places every execution at its ASAP start time on the augmented graph
+// (DAG edges + processor orders), with the 1-2 executions of a task
+// back-to-back — the worst-case layout whose makespan the optimisation
+// problems constrain. Used by examples for human inspection and by tests
+// as an independent makespan cross-check.
+
+#include <iosfwd>
+#include <vector>
+
+#include "common/status.hpp"
+#include "graph/dag.hpp"
+#include "sched/mapping.hpp"
+#include "sched/schedule.hpp"
+
+namespace easched::sched {
+
+/// One execution instance on the timeline.
+struct GanttEntry {
+  graph::TaskId task = -1;
+  int execution = 0;  ///< 0 = first attempt, 1 = re-execution
+  int processor = 0;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+/// ASAP timeline of the schedule; entries sorted by (processor, start).
+std::vector<GanttEntry> build_timeline(const graph::Dag& dag, const Mapping& mapping,
+                                       const Schedule& schedule);
+
+/// Largest finish time of the timeline (equals sched::makespan).
+double timeline_makespan(const std::vector<GanttEntry>& timeline);
+
+/// Human-readable per-processor rows:
+///   P0 | load[0.00,2.26] fft[2.26,8.30] ...
+void write_gantt(std::ostream& os, const graph::Dag& dag, const Mapping& mapping,
+                 const Schedule& schedule);
+
+/// CSV: task,name,execution,processor,start,finish,speed
+void write_timeline_csv(std::ostream& os, const graph::Dag& dag, const Mapping& mapping,
+                        const Schedule& schedule);
+
+}  // namespace easched::sched

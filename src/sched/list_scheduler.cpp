@@ -1,0 +1,106 @@
+#include "sched/list_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/analysis.hpp"
+
+namespace easched::sched {
+
+Mapping list_schedule(const graph::Dag& dag, int num_processors, PriorityPolicy policy,
+                      common::Rng* rng) {
+  const int n = dag.num_tasks();
+  EASCHED_CHECK(num_processors >= 1);
+  EASCHED_CHECK_MSG(policy != PriorityPolicy::kRandom || rng != nullptr,
+                    "kRandom policy needs an rng");
+  Mapping mapping(num_processors, n);
+  if (n == 0) return mapping;
+
+  // Bottom levels with unit-speed durations (w_i): the classical
+  // critical-path priority.
+  std::vector<double> bottom(static_cast<std::size_t>(n), 0.0);
+  {
+    auto order = graph::topological_order(dag);
+    EASCHED_CHECK_MSG(order.is_ok(), "list_schedule requires an acyclic graph");
+    const auto& topo = order.value();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const TaskId u = *it;
+      double best = 0.0;
+      for (TaskId v : dag.successors(u)) {
+        best = std::max(best, bottom[static_cast<std::size_t>(v)]);
+      }
+      bottom[static_cast<std::size_t>(u)] = dag.weight(u) + best;
+    }
+  }
+
+  std::vector<int> remaining_preds(static_cast<std::size_t>(n));
+  std::vector<double> ready_time(static_cast<std::size_t>(n), 0.0);  // max pred finish
+  std::vector<TaskId> ready;
+  for (TaskId t = 0; t < n; ++t) {
+    remaining_preds[static_cast<std::size_t>(t)] = dag.in_degree(t);
+    if (remaining_preds[static_cast<std::size_t>(t)] == 0) ready.push_back(t);
+  }
+  std::vector<double> proc_free(static_cast<std::size_t>(num_processors), 0.0);
+  std::vector<double> finish(static_cast<std::size_t>(n), 0.0);
+  int rr_next_proc = 0;
+
+  for (int scheduled = 0; scheduled < n; ++scheduled) {
+    EASCHED_CHECK_MSG(!ready.empty(), "ready set empty before all tasks scheduled (cycle?)");
+    // ---- pick a ready task per policy ------------------------------------
+    std::size_t pick = 0;
+    switch (policy) {
+      case PriorityPolicy::kCriticalPath:
+        for (std::size_t i = 1; i < ready.size(); ++i) {
+          if (bottom[static_cast<std::size_t>(ready[i])] >
+              bottom[static_cast<std::size_t>(ready[pick])]) {
+            pick = i;
+          }
+        }
+        break;
+      case PriorityPolicy::kHeaviestFirst:
+        for (std::size_t i = 1; i < ready.size(); ++i) {
+          if (dag.weight(ready[i]) > dag.weight(ready[pick])) pick = i;
+        }
+        break;
+      case PriorityPolicy::kRoundRobin:
+        pick = 0;  // FIFO
+        break;
+      case PriorityPolicy::kRandom:
+        pick = static_cast<std::size_t>(rng->below(ready.size()));
+        break;
+    }
+    const TaskId t = ready[pick];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(pick));
+
+    // ---- pick a processor -------------------------------------------------
+    int proc = 0;
+    if (policy == PriorityPolicy::kRoundRobin) {
+      proc = rr_next_proc;
+      rr_next_proc = (rr_next_proc + 1) % num_processors;
+    } else {
+      double best_start = std::numeric_limits<double>::infinity();
+      for (int p = 0; p < num_processors; ++p) {
+        const double start = std::max(proc_free[static_cast<std::size_t>(p)],
+                                      ready_time[static_cast<std::size_t>(t)]);
+        if (start < best_start) {
+          best_start = start;
+          proc = p;
+        }
+      }
+    }
+    const double start = std::max(proc_free[static_cast<std::size_t>(proc)],
+                                  ready_time[static_cast<std::size_t>(t)]);
+    finish[static_cast<std::size_t>(t)] = start + dag.weight(t);
+    proc_free[static_cast<std::size_t>(proc)] = finish[static_cast<std::size_t>(t)];
+    mapping.assign(t, proc);
+
+    for (TaskId v : dag.successors(t)) {
+      ready_time[static_cast<std::size_t>(v)] =
+          std::max(ready_time[static_cast<std::size_t>(v)], finish[static_cast<std::size_t>(t)]);
+      if (--remaining_preds[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+    }
+  }
+  return mapping;
+}
+
+}  // namespace easched::sched

@@ -1,0 +1,41 @@
+#pragma once
+// List scheduling: produces the Mapping that the energy solvers take as
+// input. The paper couples its heuristics "with a critical-path
+// list-scheduling algorithm" and asks (future work, section V) whether
+// that classical policy remains the right one when energy and reliability
+// enter the picture — bench_mapping_ablation reproduces that question by
+// sweeping the policies below.
+
+#include "common/rng.hpp"
+#include "graph/dag.hpp"
+#include "sched/mapping.hpp"
+
+namespace easched::sched {
+
+enum class PriorityPolicy {
+  kCriticalPath,   ///< bottom-level (longest downstream path incl. self) — the classic
+  kHeaviestFirst,  ///< largest weight among ready tasks
+  kRoundRobin,     ///< FIFO ready order, processors cycled
+  kRandom,         ///< uniformly random ready task (needs rng)
+};
+
+constexpr const char* to_string(PriorityPolicy p) noexcept {
+  switch (p) {
+    case PriorityPolicy::kCriticalPath: return "critical-path";
+    case PriorityPolicy::kHeaviestFirst: return "heaviest-first";
+    case PriorityPolicy::kRoundRobin: return "round-robin";
+    case PriorityPolicy::kRandom: return "random";
+  }
+  return "unknown";
+}
+
+/// Maps `dag` onto `num_processors` processors.
+///
+/// Greedy list scheduling with unit-speed durations (d_i = w_i): repeatedly
+/// pick the highest-priority ready task and place it on the processor with
+/// the earliest available slot (except kRoundRobin, which cycles). The
+/// returned mapping is always valid w.r.t. the dag.
+Mapping list_schedule(const graph::Dag& dag, int num_processors, PriorityPolicy policy,
+                      common::Rng* rng = nullptr);
+
+}  // namespace easched::sched

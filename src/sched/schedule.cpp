@@ -1,0 +1,69 @@
+#include "sched/schedule.hpp"
+
+#include "graph/analysis.hpp"
+
+namespace easched::sched {
+
+double Execution::duration(double weight) const {
+  if (is_vdd()) return model::vdd_time(profile);
+  if (weight == 0.0) return 0.0;
+  EASCHED_CHECK_MSG(speed > 0.0, "constant-speed execution needs a positive speed");
+  return weight / speed;
+}
+
+double Execution::energy(double weight) const {
+  if (is_vdd()) return model::vdd_energy(profile);
+  return model::execution_energy(weight, speed);
+}
+
+double Execution::failure_prob(double weight, const model::ReliabilityModel& rel) const {
+  if (is_vdd()) return rel.mixed_failure(profile);
+  return rel.failure_prob(weight, speed);
+}
+
+Schedule::Schedule(int num_tasks) {
+  EASCHED_CHECK(num_tasks >= 0);
+  decisions_.resize(static_cast<std::size_t>(num_tasks));
+}
+
+Schedule Schedule::uniform(const graph::Dag& dag, double speed) {
+  Schedule s(dag.num_tasks());
+  for (graph::TaskId t = 0; t < dag.num_tasks(); ++t) s.at(t) = TaskDecision::single(speed);
+  return s;
+}
+
+double Schedule::task_duration(const graph::Dag& dag, graph::TaskId t) const {
+  double d = 0.0;
+  for (const auto& e : at(t).executions) d += e.duration(dag.weight(t));
+  return d;
+}
+
+std::vector<double> Schedule::durations(const graph::Dag& dag) const {
+  std::vector<double> d(static_cast<std::size_t>(dag.num_tasks()));
+  for (graph::TaskId t = 0; t < dag.num_tasks(); ++t) {
+    d[static_cast<std::size_t>(t)] = task_duration(dag, t);
+  }
+  return d;
+}
+
+double Schedule::total_energy(const graph::Dag& dag) const {
+  double e = 0.0;
+  for (graph::TaskId t = 0; t < dag.num_tasks(); ++t) {
+    for (const auto& ex : at(t).executions) e += ex.energy(dag.weight(t));
+  }
+  return e;
+}
+
+int Schedule::num_re_executed() const noexcept {
+  int k = 0;
+  for (const auto& d : decisions_) k += d.executions.size() == 2 ? 1 : 0;
+  return k;
+}
+
+double makespan(const graph::Dag& dag, const Mapping& mapping, const Schedule& schedule) {
+  const graph::Dag aug = mapping.augmented_graph(dag);
+  const auto durations = schedule.durations(dag);
+  return graph::time_analysis(aug, durations, /*horizon=*/0.0).makespan;
+}
+
+}  // namespace easched::sched

@@ -1,0 +1,85 @@
+#pragma once
+// Schedule: the decision object of both optimization problems.
+//
+// "The schedule consists in choosing the number of executions of each task
+//  (in case of re-execution), and the speeds at which these executions
+//  will happen." (section II)
+//
+// Every task gets 1 or 2 Executions; an Execution runs either at one
+// constant speed or as a VDD-hopping profile. Durations/energies follow
+// the paper's worst-case convention: both executions of a re-executed task
+// occupy time and consume energy.
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "graph/dag.hpp"
+#include "model/energy.hpp"
+#include "model/reliability.hpp"
+#include "sched/mapping.hpp"
+
+namespace easched::sched {
+
+/// One execution of a task: constant speed, or a VDD-hopping profile.
+struct Execution {
+  double speed = 0.0;                         ///< used when profile is empty
+  std::vector<model::SpeedInterval> profile;  ///< non-empty => VDD-hopping
+
+  bool is_vdd() const noexcept { return !profile.empty(); }
+
+  static Execution at_speed(double f) { return Execution{f, {}}; }
+  static Execution vdd(std::vector<model::SpeedInterval> prof) {
+    return Execution{0.0, std::move(prof)};
+  }
+
+  /// Wall-clock duration for a task of the given weight.
+  double duration(double weight) const;
+  /// Energy consumed (f^3 * t accumulated over the profile).
+  double energy(double weight) const;
+  /// Failure probability under the reliability model.
+  double failure_prob(double weight, const model::ReliabilityModel& rel) const;
+};
+
+/// The 1 or 2 executions chosen for one task.
+struct TaskDecision {
+  std::vector<Execution> executions;
+
+  bool re_executed() const noexcept { return executions.size() == 2; }
+  static TaskDecision single(double f) { return TaskDecision{{Execution::at_speed(f)}}; }
+  static TaskDecision re_exec(double f1, double f2) {
+    return TaskDecision{{Execution::at_speed(f1), Execution::at_speed(f2)}};
+  }
+};
+
+/// Full schedule: one TaskDecision per task.
+class Schedule {
+ public:
+  explicit Schedule(int num_tasks);
+
+  int num_tasks() const noexcept { return static_cast<int>(decisions_.size()); }
+  TaskDecision& at(graph::TaskId t) { return decisions_.at(static_cast<std::size_t>(t)); }
+  const TaskDecision& at(graph::TaskId t) const {
+    return decisions_.at(static_cast<std::size_t>(t));
+  }
+
+  /// Every task once, at the same constant speed.
+  static Schedule uniform(const graph::Dag& dag, double speed);
+
+  /// Total worst-case duration of a task (sum over its executions).
+  double task_duration(const graph::Dag& dag, graph::TaskId t) const;
+  /// Per-task durations vector (for graph::time_analysis).
+  std::vector<double> durations(const graph::Dag& dag) const;
+  /// Total energy  E = sum_i sum_exec energy  (worst case: all executions).
+  double total_energy(const graph::Dag& dag) const;
+  /// Number of re-executed tasks.
+  int num_re_executed() const noexcept;
+
+ private:
+  std::vector<TaskDecision> decisions_;
+};
+
+/// Worst-case makespan of the schedule under the mapping: longest path of
+/// the augmented graph with the schedule's task durations.
+double makespan(const graph::Dag& dag, const Mapping& mapping, const Schedule& schedule);
+
+}  // namespace easched::sched

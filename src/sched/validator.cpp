@@ -1,0 +1,89 @@
+#include "sched/validator.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace easched::sched {
+
+namespace {
+
+common::Status fail(const std::string& what) { return common::Status::infeasible(what); }
+
+}  // namespace
+
+common::Status validate_schedule(const graph::Dag& dag, const Mapping& mapping,
+                                 const Schedule& schedule, const ValidationInput& input) {
+  EASCHED_CHECK_MSG(input.speed_model != nullptr, "validator needs a speed model");
+  const auto& sm = *input.speed_model;
+  const double tol = input.feasibility_tolerance;
+
+  if (schedule.num_tasks() != dag.num_tasks()) {
+    return fail("schedule sized for a different task count");
+  }
+  if (auto st = mapping.validate(dag); !st.is_ok()) return st;
+
+  for (graph::TaskId t = 0; t < dag.num_tasks(); ++t) {
+    const auto& decision = schedule.at(t);
+    const double w = dag.weight(t);
+    const std::string tag = "task " + std::to_string(t);
+    if (decision.executions.empty() || decision.executions.size() > 2) {
+      return fail(tag + ": needs 1 or 2 executions, has " +
+                  std::to_string(decision.executions.size()));
+    }
+    if (decision.executions.size() == 2 && !input.allow_re_execution) {
+      return fail(tag + ": re-execution not allowed in this problem");
+    }
+    for (const auto& exec : decision.executions) {
+      if (exec.is_vdd()) {
+        if (sm.kind() != model::SpeedModelKind::kVddHopping) {
+          return fail(tag + ": VDD profile under a non-VDD speed model");
+        }
+        for (const auto& seg : exec.profile) {
+          if (seg.time < -tol) return fail(tag + ": negative VDD interval");
+          if (seg.time > 0.0 && !sm.admissible(seg.speed, 1e-9)) {
+            return fail(tag + ": VDD speed " + std::to_string(seg.speed) + " not a level");
+          }
+        }
+        const double work = model::vdd_work(exec.profile);
+        if (std::fabs(work - w) > tol * (1.0 + w)) {
+          return fail(tag + ": VDD profile processes " + std::to_string(work) +
+                      " work instead of " + std::to_string(w));
+        }
+      } else {
+        if (w > 0.0 && !(exec.speed > 0.0)) return fail(tag + ": non-positive speed");
+        if (w > 0.0 && !sm.admissible(exec.speed, 1e-9)) {
+          return fail(tag + ": speed " + std::to_string(exec.speed) +
+                      " not admissible under " + model::to_string(sm.kind()));
+        }
+      }
+    }
+  }
+
+  const double ms = makespan(dag, mapping, schedule);
+  if (ms > input.deadline * (1.0 + tol) + tol) {
+    return fail("makespan " + std::to_string(ms) + " exceeds deadline " +
+                std::to_string(input.deadline));
+  }
+
+  if (input.reliability != nullptr) {
+    const auto& rel = *input.reliability;
+    for (graph::TaskId t = 0; t < dag.num_tasks(); ++t) {
+      const auto& decision = schedule.at(t);
+      const double w = dag.weight(t);
+      if (w == 0.0) continue;
+      const double threshold = rel.threshold_failure(w);
+      double combined = 1.0;
+      for (const auto& exec : decision.executions) {
+        combined *= exec.failure_prob(w, rel);
+      }
+      // Single execution: combined == lambda(f); pair: product of both.
+      if (combined > threshold * (1.0 + 1e-6) + 1e-300) {
+        return fail("task " + std::to_string(t) + ": reliability constraint violated (" +
+                    std::to_string(combined) + " > " + std::to_string(threshold) + ")");
+      }
+    }
+  }
+  return common::Status::ok();
+}
+
+}  // namespace easched::sched

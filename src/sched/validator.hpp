@@ -1,0 +1,38 @@
+#pragma once
+// Schedule validator: the single arbiter of feasibility used by every
+// solver test and bench. A schedule is feasible iff
+//   (1) every task has 1 or 2 executions with positive speeds,
+//   (2) every execution is admissible under the speed model
+//       (constant speed in the set/interval; VDD profiles use set levels
+//        and process exactly the task's weight),
+//   (3) the worst-case makespan (both executions of re-executed tasks
+//       scheduled, paper's convention) is within the deadline,
+//   (4) when a reliability model is given, every task meets
+//       R_i >= R_i(frel)  —  single: lambda(f) <= lambda(frel);
+//       re-exec: lambda(f1)*lambda(f2) <= lambda(frel),
+//   (5) re-execution is only used when a reliability model is present
+//       (it never helps BI-CRIT).
+
+#include <optional>
+
+#include "common/status.hpp"
+#include "model/reliability.hpp"
+#include "model/speed_model.hpp"
+#include "sched/schedule.hpp"
+
+namespace easched::sched {
+
+struct ValidationInput {
+  const model::SpeedModel* speed_model = nullptr;          ///< required
+  const model::ReliabilityModel* reliability = nullptr;    ///< optional (TRI-CRIT)
+  double deadline = 0.0;
+  bool allow_re_execution = false;   ///< TRI-CRIT schedules set this
+  double feasibility_tolerance = 1e-7;
+};
+
+/// OK iff the schedule is feasible for (dag, mapping) under `input`.
+/// The message of a failed status names the first violated constraint.
+common::Status validate_schedule(const graph::Dag& dag, const Mapping& mapping,
+                                 const Schedule& schedule, const ValidationInput& input);
+
+}  // namespace easched::sched

@@ -1,0 +1,317 @@
+#include "tricrit/chain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "opt/waterfill.hpp"
+
+namespace easched::tricrit {
+
+namespace {
+
+struct ChainContext {
+  std::vector<double> weights;
+  std::vector<double> f_inf;  ///< per-task minimal equal re-execution speed
+  double deadline = 0.0;
+  double f_single_floor = 0.0;
+  double fmin = 0.0, fmax = 0.0;
+};
+
+common::Result<ChainContext> make_context(const std::vector<double>& weights, double deadline,
+                                          const model::ReliabilityModel& rel,
+                                          const model::SpeedModel& speeds) {
+  if (speeds.kind() != model::SpeedModelKind::kContinuous) {
+    return common::Status::unsupported("chain TRI-CRIT solvers use the CONTINUOUS model");
+  }
+  EASCHED_CHECK(deadline > 0.0);
+  ChainContext ctx;
+  ctx.weights = weights;
+  ctx.deadline = deadline;
+  ctx.f_single_floor = std::max(rel.frel(), speeds.fmin());
+  ctx.fmin = speeds.fmin();
+  ctx.fmax = speeds.fmax();
+  ctx.f_inf.reserve(weights.size());
+  for (double w : weights) {
+    if (w == 0.0) {
+      ctx.f_inf.push_back(speeds.fmin());
+      continue;
+    }
+    auto fi = rel.f_inf(w);
+    if (!fi.is_ok()) return fi.status();
+    ctx.f_inf.push_back(std::max(fi.value(), speeds.fmin()));
+  }
+  return ctx;
+}
+
+// Per-task mode in the inner allocation: single, double, or the B&B
+// relaxation (cheapest energy curve over the union of both time boxes —
+// a pointwise lower bound on either real mode).
+enum class Mode { kSingle, kDouble, kRelaxed };
+
+// Inner continuous allocation for fixed modes: water-filling.
+// Returns infinity energy when the set is infeasible within the deadline.
+struct InnerResult {
+  double energy = std::numeric_limits<double>::infinity();
+  std::vector<double> times;  // per-task total time
+  bool feasible = false;
+};
+
+InnerResult solve_inner_modes(const ChainContext& ctx, const std::vector<Mode>& mode) {
+  const std::size_t n = ctx.weights.size();
+  opt::WaterfillProblem p;
+  p.coef.resize(n);
+  p.lo.resize(n);
+  p.hi.resize(n);
+  p.budget = ctx.deadline;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = ctx.weights[i];
+    if (w == 0.0) {
+      p.coef[i] = 0.0;
+      p.lo[i] = 0.0;
+      p.hi[i] = 0.0;
+      continue;
+    }
+    switch (mode[i]) {
+      case Mode::kDouble:
+        p.coef[i] = 8.0 * w * w * w;       // 2 w g^2 with g = 2w/t
+        p.lo[i] = 2.0 * w / ctx.fmax;      // g <= fmax
+        p.hi[i] = 2.0 * w / ctx.f_inf[i];  // g >= f_inf
+        break;
+      case Mode::kSingle:
+        p.coef[i] = w * w * w;                 // w f^2 with f = w/t
+        p.lo[i] = w / ctx.fmax;                // f <= fmax
+        p.hi[i] = w / ctx.f_single_floor;      // f >= max(frel, fmin)
+        break;
+      case Mode::kRelaxed:
+        // Valid lower bound for both modes: single's cheaper curve over
+        // the union of the two admissible time windows.
+        p.coef[i] = w * w * w;
+        p.lo[i] = w / ctx.fmax;
+        p.hi[i] = std::max(w / ctx.f_single_floor, 2.0 * w / ctx.f_inf[i]);
+        break;
+    }
+  }
+  InnerResult out;
+  auto sol = opt::waterfill(p);
+  if (!sol.is_ok()) return out;
+  out.energy = sol.value().energy;
+  out.times = std::move(sol.value().t);
+  out.feasible = true;
+  return out;
+}
+
+InnerResult solve_inner(const ChainContext& ctx, const std::vector<bool>& re_exec) {
+  std::vector<Mode> mode(re_exec.size());
+  for (std::size_t i = 0; i < re_exec.size(); ++i) {
+    mode[i] = re_exec[i] ? Mode::kDouble : Mode::kSingle;
+  }
+  return solve_inner_modes(ctx, mode);
+}
+
+ChainSolution build_solution(const ChainContext& ctx, const std::vector<bool>& re_exec,
+                             const InnerResult& inner) {
+  ChainSolution out{TriCritSolution(static_cast<int>(ctx.weights.size())), re_exec, 0};
+  for (std::size_t i = 0; i < ctx.weights.size(); ++i) {
+    const double w = ctx.weights[i];
+    if (w == 0.0) {
+      out.solution.schedule.at(static_cast<int>(i)) =
+          sched::TaskDecision::single(ctx.fmin);
+      continue;
+    }
+    const double t = inner.times[i];
+    if (re_exec[i]) {
+      const double g = std::clamp(2.0 * w / t, ctx.f_inf[i], ctx.fmax);
+      apply_choice(out.solution, static_cast<int>(i),
+                   ExecChoice{true, g, 2.0 * model::execution_energy(w, g), 2.0 * w / g});
+    } else {
+      const double f = std::clamp(w / t, ctx.f_single_floor, ctx.fmax);
+      apply_choice(out.solution, static_cast<int>(i),
+                   ExecChoice{false, f, model::execution_energy(w, f), w / f});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+common::Result<ChainSolution> solve_chain_exact(const std::vector<double>& weights,
+                                                double deadline,
+                                                const model::ReliabilityModel& rel,
+                                                const model::SpeedModel& speeds,
+                                                int max_tasks) {
+  const int n = static_cast<int>(weights.size());
+  if (n > max_tasks) {
+    return common::Status::unsupported("exact chain solver limited to " +
+                                       std::to_string(max_tasks) + " tasks (NP-hard)");
+  }
+  auto ctx_res = make_context(weights, deadline, rel, speeds);
+  if (!ctx_res.is_ok()) return ctx_res.status();
+  const auto& ctx = ctx_res.value();
+
+  double best_energy = std::numeric_limits<double>::infinity();
+  std::vector<bool> best_set;
+  InnerResult best_inner;
+  long long explored = 0;
+  std::vector<bool> re_exec(static_cast<std::size_t>(n), false);
+  const std::uint64_t limit = 1ULL << n;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    for (int i = 0; i < n; ++i) re_exec[static_cast<std::size_t>(i)] = (mask >> i) & 1ULL;
+    ++explored;
+    auto inner = solve_inner(ctx, re_exec);
+    if (inner.feasible && inner.energy < best_energy) {
+      best_energy = inner.energy;
+      best_set = re_exec;
+      best_inner = std::move(inner);
+    }
+  }
+  if (!std::isfinite(best_energy)) {
+    return common::Status::infeasible("no re-execution subset meets deadline and reliability");
+  }
+  auto out = build_solution(ctx, best_set, best_inner);
+  out.subsets_explored = explored;
+  return out;
+}
+
+common::Result<ChainSolution> solve_chain_greedy(const std::vector<double>& weights,
+                                                 double deadline,
+                                                 const model::ReliabilityModel& rel,
+                                                 const model::SpeedModel& speeds) {
+  const int n = static_cast<int>(weights.size());
+  auto ctx_res = make_context(weights, deadline, rel, speeds);
+  if (!ctx_res.is_ok()) return ctx_res.status();
+  const auto& ctx = ctx_res.value();
+
+  // Step 1 ("slow all tasks equally"): the all-single water-filling — on a
+  // chain this is exactly uniform speed max(sum w/D, frel).
+  std::vector<bool> current(static_cast<std::size_t>(n), false);
+  auto inner = solve_inner(ctx, current);
+  if (!inner.feasible) {
+    // All-single infeasible (e.g. frel forces too much speed): try starting
+    // from everything re-executed? No — a single task can still fail alone;
+    // fall back to exploring single-flip starts below from the empty set.
+    return common::Status::infeasible("all-single chain allocation infeasible");
+  }
+  long long explored = 1;
+
+  // Step 2 ("choose the tasks to be re-executed"): greedy best-improvement.
+  for (;;) {
+    int best_task = -1;
+    double best_energy = inner.energy;
+    InnerResult best_inner;
+    for (int i = 0; i < n; ++i) {
+      if (current[static_cast<std::size_t>(i)] || ctx.weights[static_cast<std::size_t>(i)] == 0.0) {
+        continue;
+      }
+      current[static_cast<std::size_t>(i)] = true;
+      auto candidate = solve_inner(ctx, current);
+      current[static_cast<std::size_t>(i)] = false;
+      ++explored;
+      if (candidate.feasible && candidate.energy < best_energy - 1e-12) {
+        best_energy = candidate.energy;
+        best_task = i;
+        best_inner = std::move(candidate);
+      }
+    }
+    if (best_task < 0) break;
+    current[static_cast<std::size_t>(best_task)] = true;
+    inner = std::move(best_inner);
+  }
+
+  auto out = build_solution(ctx, current, inner);
+  out.subsets_explored = explored;
+  return out;
+}
+
+namespace {
+
+// Depth-first branch & bound over modes; tasks decided in weight-descending
+// order (heavy tasks constrain the allocation most).
+class ChainBnb {
+ public:
+  ChainBnb(const ChainContext& ctx, long long max_nodes)
+      : ctx_(ctx), max_nodes_(max_nodes) {
+    const std::size_t n = ctx.weights.size();
+    order_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) order_[i] = i;
+    std::sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
+      return ctx_.weights[a] > ctx_.weights[b];
+    });
+    mode_.assign(n, Mode::kRelaxed);
+  }
+
+  bool run() {
+    dfs(0);
+    return std::isfinite(best_energy_);
+  }
+
+  bool aborted() const { return aborted_; }
+  long long nodes() const { return nodes_; }
+  double best_energy() const { return best_energy_; }
+  const std::vector<bool>& best_set() const { return best_set_; }
+  const InnerResult& best_inner() const { return best_inner_; }
+
+ private:
+  void dfs(std::size_t depth) {
+    if (aborted_) return;
+    if (++nodes_ > max_nodes_) {
+      aborted_ = true;
+      return;
+    }
+    auto bound = solve_inner_modes(ctx_, mode_);
+    if (!bound.feasible || bound.energy >= best_energy_ - 1e-12) return;
+    if (depth == order_.size()) {
+      // All modes decided: `bound` is the exact value of this subset.
+      best_energy_ = bound.energy;
+      best_inner_ = std::move(bound);
+      best_set_.assign(mode_.size(), false);
+      for (std::size_t i = 0; i < mode_.size(); ++i) {
+        best_set_[i] = mode_[i] == Mode::kDouble;
+      }
+      return;
+    }
+    const std::size_t task = order_[depth];
+    // Try single first (the common case under moderate slack).
+    mode_[task] = Mode::kSingle;
+    dfs(depth + 1);
+    mode_[task] = Mode::kDouble;
+    dfs(depth + 1);
+    mode_[task] = Mode::kRelaxed;
+  }
+
+  const ChainContext& ctx_;
+  long long max_nodes_;
+  std::vector<std::size_t> order_;
+  std::vector<Mode> mode_;
+  std::vector<bool> best_set_;
+  InnerResult best_inner_;
+  double best_energy_ = std::numeric_limits<double>::infinity();
+  long long nodes_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+common::Result<ChainSolution> solve_chain_bnb(const std::vector<double>& weights,
+                                              double deadline,
+                                              const model::ReliabilityModel& rel,
+                                              const model::SpeedModel& speeds,
+                                              long long max_nodes) {
+  auto ctx_res = make_context(weights, deadline, rel, speeds);
+  if (!ctx_res.is_ok()) return ctx_res.status();
+  const auto& ctx = ctx_res.value();
+
+  ChainBnb search(ctx, max_nodes);
+  const bool found = search.run();
+  if (search.aborted()) {
+    return common::Status::not_converged("chain B&B hit the node cap");
+  }
+  if (!found) {
+    return common::Status::infeasible("no re-execution subset meets deadline and reliability");
+  }
+  auto out = build_solution(ctx, search.best_set(), search.best_inner());
+  out.subsets_explored = search.nodes();
+  return out;
+}
+
+}  // namespace easched::tricrit

@@ -1,0 +1,62 @@
+#pragma once
+// TRI-CRIT on a single-processor linear chain (claims C3 and C4).
+//
+// The paper: "We show that this problem is NP-hard even in the simple case
+// when there is only one processor ... However, we were able to find an
+// optimal strategy for the case of a linear chain: first slow the
+// execution of all tasks equally, then choose the tasks to be re-executed."
+//
+// * solve_chain_exact — reference optimum by enumerating every re-execution
+//   subset (2^n, NP-hard problem) and solving the inner continuous
+//   allocation by water-filling:
+//       minimize sum_{i not in S} w_i^3/t_i^2 + sum_{i in S} 8 w_i^3/t_i^2
+//       s.t. sum t_i <= D,
+//            singles: t_i in [w_i/fmax, w_i/max(frel,fmin)]
+//            doubles: t_i in [2w_i/fmax, 2w_i/max(f_inf_i,fmin)]
+//   (re-executed tasks run both executions at the same speed g = 2w/t).
+// * solve_chain_greedy — the paper's strategy: start from the all-single
+//   water-filling and greedily add the re-execution with the best energy
+//   improvement until none improves.
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "model/reliability.hpp"
+#include "model/speed_model.hpp"
+#include "tricrit/reexec.hpp"
+
+namespace easched::tricrit {
+
+struct ChainSolution {
+  TriCritSolution solution;
+  std::vector<bool> re_exec_set;   ///< which tasks are re-executed
+  long long subsets_explored = 0;  ///< exact solver only
+};
+
+/// Exact optimum by subset enumeration; kUnsupported for n > max_tasks
+/// (the problem is NP-hard; this is the small-instance oracle).
+common::Result<ChainSolution> solve_chain_exact(const std::vector<double>& weights,
+                                                double deadline,
+                                                const model::ReliabilityModel& rel,
+                                                const model::SpeedModel& speeds,
+                                                int max_tasks = 22);
+
+/// The paper's chain strategy (C4) as a greedy heuristic.
+common::Result<ChainSolution> solve_chain_greedy(const std::vector<double>& weights,
+                                                 double deadline,
+                                                 const model::ReliabilityModel& rel,
+                                                 const model::SpeedModel& speeds);
+
+/// Exact optimum by branch & bound over the re-execution subset. The
+/// bound relaxes every undecided task to a "super-mode" (the cheaper
+/// energy curve with the loosest time box), so the water-filling value of
+/// the relaxation lower-bounds every completion — pushing the exact
+/// frontier well past the 2^n enumeration of solve_chain_exact.
+/// kNotConverged when max_nodes is exhausted.
+common::Result<ChainSolution> solve_chain_bnb(const std::vector<double>& weights,
+                                              double deadline,
+                                              const model::ReliabilityModel& rel,
+                                              const model::SpeedModel& speeds,
+                                              long long max_nodes = 5'000'000);
+
+}  // namespace easched::tricrit

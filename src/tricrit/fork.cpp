@@ -1,0 +1,76 @@
+#include "tricrit/fork.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "graph/analysis.hpp"
+#include "opt/scalar.hpp"
+
+namespace easched::tricrit {
+
+common::Result<ForkSolution> solve_fork_tricrit(const graph::Dag& dag, double deadline,
+                                                const model::ReliabilityModel& rel,
+                                                const model::SpeedModel& speeds,
+                                                int grid) {
+  if (speeds.kind() != model::SpeedModelKind::kContinuous) {
+    return common::Status::unsupported("fork TRI-CRIT solver uses the CONTINUOUS model");
+  }
+  if (!graph::is_fork(dag)) return common::Status::unsupported("graph is not a fork");
+  EASCHED_CHECK(deadline > 0.0);
+
+  const graph::TaskId src = dag.sources().front();
+  const double w0 = dag.weight(src);
+  std::vector<graph::TaskId> children;
+  for (graph::TaskId t = 0; t < dag.num_tasks(); ++t) {
+    if (t != src) children.push_back(t);
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  auto total_energy = [&](double t0) -> double {
+    auto source = best_choice(w0, t0, rel, speeds);
+    if (!source.is_ok()) return kInf;
+    const double window = deadline - t0;
+    if (window <= 0.0) return kInf;
+    double e = source.value().energy;
+    for (graph::TaskId c : children) {
+      auto choice = best_choice(dag.weight(c), window, rel, speeds);
+      if (!choice.is_ok()) return kInf;
+      e += choice.value().energy;
+    }
+    return e;
+  };
+
+  // Source needs at least w0/fmax (single at fmax); it never benefits from
+  // more than 2*w0/max(f_inf, fmin) (slowest re-execution). Children need
+  // at least max_c w_c / fmax.
+  const double t0_lo = std::max(w0 / speeds.fmax(), 1e-12 * deadline);
+  double max_child = 0.0;
+  for (graph::TaskId c : children) max_child = std::max(max_child, dag.weight(c));
+  const double t0_hi = deadline - max_child / speeds.fmax();
+  if (t0_lo > t0_hi) {
+    return common::Status::infeasible("fork: even all-fmax misses the deadline");
+  }
+  if (!std::isfinite(total_energy(t0_hi)) && !std::isfinite(total_energy(t0_lo)) &&
+      !std::isfinite(total_energy(0.5 * (t0_lo + t0_hi)))) {
+    // Cheap pre-check; the grid search below still verifies thoroughly.
+  }
+
+  const double t0 = opt::grid_refine_minimize(total_energy, t0_lo, t0_hi, grid);
+  if (!std::isfinite(total_energy(t0))) {
+    return common::Status::infeasible(
+        "fork: no source split meets deadline + reliability constraints");
+  }
+
+  ForkSolution out{TriCritSolution(dag.num_tasks()), t0};
+  auto source = best_choice(w0, t0, rel, speeds);
+  apply_choice(out.solution, src, source.value());
+  const double window = deadline - source.value().time_used;
+  for (graph::TaskId c : children) {
+    auto choice = best_choice(dag.weight(c), window, rel, speeds);
+    EASCHED_CHECK_MSG(choice.is_ok(), "fork: child infeasible after feasible t0");
+    apply_choice(out.solution, c, choice.value());
+  }
+  return out;
+}
+
+}  // namespace easched::tricrit

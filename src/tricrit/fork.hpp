@@ -1,0 +1,40 @@
+#pragma once
+// TRI-CRIT on forks: the paper's polynomial-time algorithm (claim C5).
+//
+// "We were also able to find a polynomial time algorithm to solve the
+// problem for a fork ... based on a totally different strategy than for
+// linear chains: those highly parallelizable tasks should be preferred
+// when allocating time slots for re-execution or deceleration."
+//
+// Structure exploited: with each child on its own processor, once the
+// source completion time t0 is fixed, every child is an *independent*
+// single-task subproblem in the window D - t0, and the best per-child
+// decision (single vs re-executed, and the speed) has a closed form
+// (tricrit/reexec.hpp). The total energy profile
+//     E(t0) = E_source(t0) + sum_children E_child(D - t0)
+// is piecewise smooth with breakpoints where tasks flip between single and
+// double execution; a grid+golden-section search over t0 solves it to
+// numerical accuracy in O((n + grid) log) — polynomial, as the paper
+// claims (their exact algorithm sorts the O(n) breakpoints instead).
+
+#include "common/status.hpp"
+#include "graph/dag.hpp"
+#include "model/reliability.hpp"
+#include "model/speed_model.hpp"
+#include "tricrit/reexec.hpp"
+
+namespace easched::tricrit {
+
+struct ForkSolution {
+  TriCritSolution solution;
+  double source_time = 0.0;  ///< optimal worst-case completion time of T0
+};
+
+/// Solves TRI-CRIT on a fork graph (one source, independent children),
+/// assuming one processor per task (the paper's setting for this result).
+common::Result<ForkSolution> solve_fork_tricrit(const graph::Dag& dag, double deadline,
+                                                const model::ReliabilityModel& rel,
+                                                const model::SpeedModel& speeds,
+                                                int grid = 512);
+
+}  // namespace easched::tricrit

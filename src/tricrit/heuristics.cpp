@@ -1,0 +1,350 @@
+#include "tricrit/heuristics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "graph/analysis.hpp"
+#include "opt/barrier.hpp"
+#include "opt/scalar.hpp"
+
+namespace easched::tricrit {
+
+namespace {
+
+using graph::Dag;
+using graph::TaskId;
+
+struct ModeBounds {
+  double eff_weight = 0.0;  ///< w (single) or 2w (double)
+  double lb = 0.0;          ///< min total duration: eff_weight / fmax
+  double ub = 0.0;          ///< max total duration: eff_weight / floor speed
+  double floor_speed = 0.0;
+};
+
+common::Result<std::vector<ModeBounds>> mode_bounds(const Dag& dag,
+                                                    const model::ReliabilityModel& rel,
+                                                    const model::SpeedModel& speeds,
+                                                    const std::vector<bool>& re_exec) {
+  const int n = dag.num_tasks();
+  std::vector<ModeBounds> out(static_cast<std::size_t>(n));
+  for (TaskId t = 0; t < n; ++t) {
+    const double w = dag.weight(t);
+    auto& mb = out[static_cast<std::size_t>(t)];
+    if (re_exec[static_cast<std::size_t>(t)]) {
+      auto finf = rel.f_inf(w);
+      if (!finf.is_ok()) return finf.status();
+      mb.floor_speed = std::max(finf.value(), speeds.fmin());
+      mb.eff_weight = 2.0 * w;
+    } else {
+      mb.floor_speed = std::max(rel.frel(), speeds.fmin());
+      mb.eff_weight = w;
+    }
+    mb.lb = mb.eff_weight / speeds.fmax();
+    mb.ub = mb.eff_weight / mb.floor_speed;
+    // Keep a sliver of interior even when frel == fmax pins the speed.
+    if (mb.ub <= mb.lb * (1.0 + 1e-9)) mb.ub = mb.lb * (1.0 + 1e-7);
+  }
+  return out;
+}
+
+TriCritSolution solution_from_durations(const Dag& dag, const model::SpeedModel& speeds,
+                                        const std::vector<ModeBounds>& bounds,
+                                        const std::vector<bool>& re_exec,
+                                        const std::vector<double>& durations) {
+  TriCritSolution sol(dag.num_tasks());
+  for (TaskId t = 0; t < dag.num_tasks(); ++t) {
+    const double w = dag.weight(t);
+    const auto& mb = bounds[static_cast<std::size_t>(t)];
+    const double d = durations[static_cast<std::size_t>(t)];
+    const double speed = std::clamp(mb.eff_weight / d, mb.floor_speed, speeds.fmax());
+    if (re_exec[static_cast<std::size_t>(t)]) {
+      apply_choice(sol, t,
+                   ExecChoice{true, speed, 2.0 * model::execution_energy(w, speed),
+                              2.0 * w / speed});
+    } else {
+      apply_choice(sol, t,
+                   ExecChoice{false, speed, model::execution_energy(w, speed), w / speed});
+    }
+  }
+  return sol;
+}
+
+}  // namespace
+
+common::Result<TriCritSolution> continuous_with_modes(const Dag& dag,
+                                                      const sched::Mapping& mapping,
+                                                      double deadline,
+                                                      const model::ReliabilityModel& rel,
+                                                      const model::SpeedModel& speeds,
+                                                      const std::vector<bool>& re_exec) {
+  if (speeds.kind() != model::SpeedModelKind::kContinuous) {
+    return common::Status::unsupported("continuous_with_modes needs the CONTINUOUS model");
+  }
+  const int n = dag.num_tasks();
+  EASCHED_CHECK(static_cast<int>(re_exec.size()) == n);
+  EASCHED_CHECK(deadline > 0.0);
+  for (TaskId t = 0; t < n; ++t) {
+    if (dag.weight(t) <= 0.0) {
+      return common::Status::unsupported("continuous_with_modes requires positive weights");
+    }
+  }
+  auto bounds_res = mode_bounds(dag, rel, speeds, re_exec);
+  if (!bounds_res.is_ok()) return bounds_res.status();
+  const auto& bounds = bounds_res.value();
+
+  const Dag aug = mapping.augmented_graph(dag);
+  // Feasibility: everything as fast as allowed.
+  std::vector<double> d_lb(static_cast<std::size_t>(n));
+  for (TaskId t = 0; t < n; ++t) d_lb[static_cast<std::size_t>(t)] = bounds[static_cast<std::size_t>(t)].lb;
+  const double m_lb = graph::time_analysis(aug, d_lb, 0.0).makespan;
+  if (m_lb > deadline * (1.0 + 1e-9)) {
+    return common::Status::infeasible("mode set misses the deadline even at fmax");
+  }
+  // If everything can run at its slowest, that is optimal for this mode set.
+  std::vector<double> d_ub(static_cast<std::size_t>(n));
+  for (TaskId t = 0; t < n; ++t) d_ub[static_cast<std::size_t>(t)] = bounds[static_cast<std::size_t>(t)].ub;
+  if (graph::time_analysis(aug, d_ub, 0.0).makespan <= deadline) {
+    return solution_from_durations(dag, speeds, bounds, re_exec, d_ub);
+  }
+  if (m_lb > deadline * (1.0 - 1e-9)) {
+    // Numerically empty interior: only the all-fast point fits.
+    return solution_from_durations(dag, speeds, bounds, re_exec, d_lb);
+  }
+
+  // ---- Convex program over x = [s, d]. -------------------------------------
+  opt::InversePowerObjective objective;
+  for (TaskId t = 0; t < n; ++t) {
+    const double ew = bounds[static_cast<std::size_t>(t)].eff_weight;
+    objective.add_term(n + t, ew * ew * ew);
+  }
+  std::vector<opt::LinearConstraint> cons;
+  for (TaskId u = 0; u < n; ++u) {
+    for (TaskId v : aug.successors(u)) {
+      cons.push_back(opt::LinearConstraint{{{u, 1.0}, {n + u, 1.0}, {v, -1.0}}, 0.0});
+    }
+  }
+  for (TaskId t = 0; t < n; ++t) {
+    const auto& mb = bounds[static_cast<std::size_t>(t)];
+    cons.push_back(opt::LinearConstraint{{{t, 1.0}, {n + t, 1.0}}, deadline});
+    cons.push_back(opt::LinearConstraint{{{t, -1.0}}, 0.0});
+    cons.push_back(opt::LinearConstraint{{{n + t, 1.0}}, mb.ub});
+    cons.push_back(opt::LinearConstraint{{{n + t, -1.0}}, -mb.lb});
+  }
+
+  // ---- Strictly feasible start: interpolate between lb and ub durations. ---
+  const double target = m_lb + 0.5 * (deadline - m_lb);
+  auto makespan_at = [&](double theta) {
+    std::vector<double> d(static_cast<std::size_t>(n));
+    for (TaskId t = 0; t < n; ++t) {
+      const auto& mb = bounds[static_cast<std::size_t>(t)];
+      d[static_cast<std::size_t>(t)] = mb.lb + theta * (mb.ub - mb.lb);
+    }
+    return graph::time_analysis(aug, d, 0.0).makespan;
+  };
+  double theta_lo = 1e-9, theta_hi = 1.0 - 1e-9;
+  if (makespan_at(theta_hi) > target) {
+    for (int it = 0; it < 100; ++it) {
+      const double mid = 0.5 * (theta_lo + theta_hi);
+      if (makespan_at(mid) <= target) {
+        theta_lo = mid;
+      } else {
+        theta_hi = mid;
+      }
+    }
+  } else {
+    theta_lo = theta_hi;
+  }
+  const double theta = theta_lo;
+  std::vector<double> d0(static_cast<std::size_t>(n));
+  for (TaskId t = 0; t < n; ++t) {
+    const auto& mb = bounds[static_cast<std::size_t>(t)];
+    d0[static_cast<std::size_t>(t)] = mb.lb + theta * (mb.ub - mb.lb);
+  }
+  const auto ta = graph::time_analysis(aug, d0, deadline);
+  const auto depth = graph::depth_levels(aug);
+  const int max_depth = *std::max_element(depth.begin(), depth.end());
+  const double slack = deadline - ta.makespan;
+  EASCHED_CHECK_MSG(slack > 0.0, "internal: no slack at the barrier start point");
+  opt::Vector x0(static_cast<std::size_t>(2 * n));
+  for (TaskId t = 0; t < n; ++t) {
+    const double frac = static_cast<double>(depth[static_cast<std::size_t>(t)] + 1) /
+                        static_cast<double>(max_depth + 2);
+    x0[static_cast<std::size_t>(t)] = ta.asap[static_cast<std::size_t>(t)] + slack * frac;
+    x0[static_cast<std::size_t>(n + t)] = d0[static_cast<std::size_t>(t)];
+  }
+
+  auto res = opt::minimize_barrier(objective, cons, x0, {});
+  if (!res.status.is_ok() && res.x.empty()) return res.status;
+  std::vector<double> durations(static_cast<std::size_t>(n));
+  for (TaskId t = 0; t < n; ++t) {
+    durations[static_cast<std::size_t>(t)] = res.x[static_cast<std::size_t>(n + t)];
+  }
+  return solution_from_durations(dag, speeds, bounds, re_exec, durations);
+}
+
+common::Result<TriCritSolution> heuristic_uniform_reexec(const Dag& dag,
+                                                         const sched::Mapping& mapping,
+                                                         double deadline,
+                                                         const model::ReliabilityModel& rel,
+                                                         const model::SpeedModel& speeds,
+                                                         const HeuristicOptions& options) {
+  const int n = dag.num_tasks();
+  if (auto st = mapping.validate(dag); !st.is_ok()) return st;
+  const Dag aug = mapping.augmented_graph(dag);
+
+  // Uniform slowdown: allocate t_i = w_i * D / M1 (unit-speed makespan M1).
+  std::vector<double> unit(static_cast<std::size_t>(n));
+  for (TaskId t = 0; t < n; ++t) unit[static_cast<std::size_t>(t)] = dag.weight(t);
+  const double m1 = graph::time_analysis(aug, unit, 0.0).makespan;
+  if (m1 / speeds.fmax() > deadline * (1.0 + 1e-9)) {
+    return common::Status::infeasible("even all-fmax misses the deadline");
+  }
+  const double scale = deadline / m1;
+
+  TriCritSolution sol(n);
+  std::vector<bool> modes(static_cast<std::size_t>(n), false);
+  for (TaskId t = 0; t < n; ++t) {
+    const double budget = dag.weight(t) * scale;
+    auto choice = best_choice(dag.weight(t), budget, rel, speeds);
+    if (!choice.is_ok()) return choice.status();
+    apply_choice(sol, t, choice.value());
+    modes[static_cast<std::size_t>(t)] = choice.value().re_executed;
+  }
+
+  if (options.polish) {
+    auto polished = continuous_with_modes(dag, mapping, deadline, rel, speeds, modes);
+    if (polished.is_ok() && polished.value().energy < sol.energy) {
+      return polished;
+    }
+  }
+  return sol;
+}
+
+common::Result<TriCritSolution> heuristic_slack_reexec(const Dag& dag,
+                                                       const sched::Mapping& mapping,
+                                                       double deadline,
+                                                       const model::ReliabilityModel& rel,
+                                                       const model::SpeedModel& speeds,
+                                                       const HeuristicOptions& options) {
+  const int n = dag.num_tasks();
+  if (auto st = mapping.validate(dag); !st.is_ok()) return st;
+  const Dag aug = mapping.augmented_graph(dag);
+
+  // Baseline: all-single continuous optimum (floors at frel).
+  std::vector<bool> modes(static_cast<std::size_t>(n), false);
+  auto base = continuous_with_modes(dag, mapping, deadline, rel, speeds, modes);
+  if (!base.is_ok()) return base.status();
+  std::vector<double> durations = base.value().schedule.durations(dag);
+  std::vector<double> energy_of(static_cast<std::size_t>(n));
+  for (TaskId t = 0; t < n; ++t) {
+    energy_of[static_cast<std::size_t>(t)] = 0.0;
+    for (const auto& e : base.value().schedule.at(t).executions) {
+      energy_of[static_cast<std::size_t>(t)] += e.energy(dag.weight(t));
+    }
+  }
+
+  // Walk tasks by decreasing slack; re-execute when the available window
+  // pays for the second execution.
+  for (;;) {
+    const auto ta = graph::time_analysis(aug, durations, deadline);
+    // Rank not-yet-re-executed tasks by current slack.
+    std::vector<TaskId> order;
+    for (TaskId t = 0; t < n; ++t) {
+      if (!modes[static_cast<std::size_t>(t)]) order.push_back(t);
+    }
+    std::sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+      return ta.slack[static_cast<std::size_t>(a)] > ta.slack[static_cast<std::size_t>(b)];
+    });
+    bool changed = false;
+    for (TaskId t : order) {
+      const double budget = durations[static_cast<std::size_t>(t)] +
+                            std::max(0.0, ta.slack[static_cast<std::size_t>(t)]);
+      auto dbl = best_double(dag.weight(t), budget, rel, speeds);
+      if (!dbl.is_ok()) continue;
+      if (dbl.value().energy < energy_of[static_cast<std::size_t>(t)] - 1e-12) {
+        modes[static_cast<std::size_t>(t)] = true;
+        durations[static_cast<std::size_t>(t)] = dbl.value().time_used;
+        energy_of[static_cast<std::size_t>(t)] = dbl.value().energy;
+        changed = true;
+        break;  // slacks changed; recompute the ranking
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Assemble the unpolished schedule.
+  TriCritSolution sol(n);
+  for (TaskId t = 0; t < n; ++t) {
+    const double w = dag.weight(t);
+    if (modes[static_cast<std::size_t>(t)]) {
+      const double g = 2.0 * w / durations[static_cast<std::size_t>(t)];
+      apply_choice(sol, t, ExecChoice{true, g, 2.0 * model::execution_energy(w, g),
+                                      durations[static_cast<std::size_t>(t)]});
+    } else {
+      const double f = w / durations[static_cast<std::size_t>(t)];
+      apply_choice(sol, t, ExecChoice{false, f, model::execution_energy(w, f),
+                                      durations[static_cast<std::size_t>(t)]});
+    }
+  }
+
+  if (options.polish) {
+    auto polished = continuous_with_modes(dag, mapping, deadline, rel, speeds, modes);
+    if (polished.is_ok() && polished.value().energy < sol.energy) {
+      return polished;
+    }
+  }
+  return sol;
+}
+
+common::Result<TriCritSolution> heuristic_greedy_reexec(const Dag& dag,
+                                                        const sched::Mapping& mapping,
+                                                        double deadline,
+                                                        const model::ReliabilityModel& rel,
+                                                        const model::SpeedModel& speeds) {
+  const int n = dag.num_tasks();
+  if (auto st = mapping.validate(dag); !st.is_ok()) return st;
+
+  std::vector<bool> modes(static_cast<std::size_t>(n), false);
+  auto current = continuous_with_modes(dag, mapping, deadline, rel, speeds, modes);
+  if (!current.is_ok()) return current.status();
+
+  for (;;) {
+    int best_task = -1;
+    common::Result<TriCritSolution> best = common::Status::internal("unset");
+    for (TaskId t = 0; t < n; ++t) {
+      if (modes[static_cast<std::size_t>(t)]) continue;
+      modes[static_cast<std::size_t>(t)] = true;
+      auto candidate = continuous_with_modes(dag, mapping, deadline, rel, speeds, modes);
+      modes[static_cast<std::size_t>(t)] = false;
+      if (!candidate.is_ok()) continue;
+      const double incumbent =
+          best_task >= 0 ? best.value().energy : current.value().energy;
+      if (candidate.value().energy < incumbent - 1e-12) {
+        best_task = t;
+        best = std::move(candidate);
+      }
+    }
+    if (best_task < 0) break;
+    modes[static_cast<std::size_t>(best_task)] = true;
+    current = std::move(best);
+  }
+  return current;
+}
+
+common::Result<TriCritSolution> heuristic_best_of(const Dag& dag,
+                                                  const sched::Mapping& mapping,
+                                                  double deadline,
+                                                  const model::ReliabilityModel& rel,
+                                                  const model::SpeedModel& speeds,
+                                                  const HeuristicOptions& options) {
+  auto a = heuristic_uniform_reexec(dag, mapping, deadline, rel, speeds, options);
+  auto b = heuristic_slack_reexec(dag, mapping, deadline, rel, speeds, options);
+  if (!a.is_ok() && !b.is_ok()) return a.status();
+  if (!a.is_ok()) return b;
+  if (!b.is_ok()) return a;
+  return a.value().energy <= b.value().energy ? a : b;
+}
+
+}  // namespace easched::tricrit

@@ -1,0 +1,58 @@
+#include "tricrit/reexec.hpp"
+
+#include <algorithm>
+
+namespace easched::tricrit {
+
+common::Result<ExecChoice> best_single(double weight, double budget,
+                                       const model::ReliabilityModel& rel,
+                                       const model::SpeedModel& speeds) {
+  if (weight == 0.0) return ExecChoice{false, speeds.fmin(), 0.0, 0.0};
+  if (budget <= 0.0) return common::Status::infeasible("no time budget");
+  const double f_floor = std::max(rel.frel(), speeds.fmin());
+  const double f = std::max(weight / budget, f_floor);
+  if (f > speeds.fmax() * (1.0 + 1e-12)) {
+    return common::Status::infeasible("single execution needs speed above fmax");
+  }
+  return ExecChoice{false, std::min(f, speeds.fmax()),
+                    model::execution_energy(weight, std::min(f, speeds.fmax())), weight / f};
+}
+
+common::Result<ExecChoice> best_double(double weight, double budget,
+                                       const model::ReliabilityModel& rel,
+                                       const model::SpeedModel& speeds) {
+  if (weight == 0.0) return ExecChoice{false, speeds.fmin(), 0.0, 0.0};
+  if (budget <= 0.0) return common::Status::infeasible("no time budget");
+  auto finf = rel.f_inf(weight);
+  if (!finf.is_ok()) return finf.status();
+  const double g_floor = std::max(finf.value(), speeds.fmin());
+  const double g = std::max(2.0 * weight / budget, g_floor);
+  if (g > speeds.fmax() * (1.0 + 1e-12)) {
+    return common::Status::infeasible("re-execution needs speed above fmax");
+  }
+  const double gc = std::min(g, speeds.fmax());
+  return ExecChoice{true, gc, 2.0 * model::execution_energy(weight, gc), 2.0 * weight / gc};
+}
+
+common::Result<ExecChoice> best_choice(double weight, double budget,
+                                       const model::ReliabilityModel& rel,
+                                       const model::SpeedModel& speeds) {
+  auto s = best_single(weight, budget, rel, speeds);
+  auto d = best_double(weight, budget, rel, speeds);
+  if (!s.is_ok() && !d.is_ok()) return s.status();
+  if (!s.is_ok()) return d;
+  if (!d.is_ok()) return s;
+  return d.value().energy < s.value().energy ? d : s;
+}
+
+void apply_choice(TriCritSolution& sol, graph::TaskId task, const ExecChoice& choice) {
+  if (choice.re_executed) {
+    sol.schedule.at(task) = sched::TaskDecision::re_exec(choice.speed, choice.speed);
+    ++sol.re_executed;
+  } else {
+    sol.schedule.at(task) = sched::TaskDecision::single(choice.speed);
+  }
+  sol.energy += choice.energy;
+}
+
+}  // namespace easched::tricrit

@@ -1,0 +1,63 @@
+#pragma once
+// Shared re-execution machinery for the TRI-CRIT problem (section II,
+// Definition 2): minimise energy subject to the deadline AND the per-task
+// reliability constraint R_i >= R_i(frel), choosing which tasks to
+// re-execute and every execution speed.
+//
+// Key facts encoded here (derivations in the companion reports, verified
+// numerically by tests/tricrit/reexec_test.cpp):
+//  * a single execution satisfies the constraint iff its speed f >= frel;
+//  * for a re-executed task it is optimal to run both executions at the
+//    same speed g, and the constraint becomes g >= f_inf(w), where
+//    lambda(f_inf)^2 = lambda(frel)  (ReliabilityModel::f_inf);
+//  * within a time budget t the best single execution runs at
+//    f = max(w/t, frel) and the best re-execution at g = max(2w/t, f_inf).
+
+#include <optional>
+
+#include "common/status.hpp"
+#include "graph/dag.hpp"
+#include "model/reliability.hpp"
+#include "model/speed_model.hpp"
+#include "sched/schedule.hpp"
+
+namespace easched::tricrit {
+
+/// Result of optimising one task within a time budget.
+struct ExecChoice {
+  bool re_executed = false;
+  double speed = 0.0;      ///< speed of the execution(s); equal when re-executed
+  double energy = 0.0;     ///< w f^2 or 2 w g^2
+  double time_used = 0.0;  ///< w/f or 2w/g (<= the budget)
+};
+
+/// Best single execution of weight w within time budget t:
+/// f = max(w/t, frel); kInfeasible when f > fmax.
+common::Result<ExecChoice> best_single(double weight, double budget,
+                                       const model::ReliabilityModel& rel,
+                                       const model::SpeedModel& speeds);
+
+/// Best equal-speed re-execution within time budget t (both executions):
+/// g = max(2w/t, f_inf(w)); kInfeasible when g > fmax.
+common::Result<ExecChoice> best_double(double weight, double budget,
+                                       const model::ReliabilityModel& rel,
+                                       const model::SpeedModel& speeds);
+
+/// The better of best_single / best_double (kInfeasible when neither fits).
+common::Result<ExecChoice> best_choice(double weight, double budget,
+                                       const model::ReliabilityModel& rel,
+                                       const model::SpeedModel& speeds);
+
+/// A TRI-CRIT schedule plus bookkeeping common to every solver.
+struct TriCritSolution {
+  sched::Schedule schedule;
+  double energy = 0.0;
+  int re_executed = 0;
+
+  explicit TriCritSolution(int num_tasks) : schedule(num_tasks) {}
+};
+
+/// Applies an ExecChoice to the schedule and accumulates the energy.
+void apply_choice(TriCritSolution& sol, graph::TaskId task, const ExecChoice& choice);
+
+}  // namespace easched::tricrit

@@ -1,0 +1,181 @@
+#include "tricrit/replication.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/analysis.hpp"
+#include "opt/scalar.hpp"
+
+namespace easched::tricrit {
+
+namespace {
+
+FtChoice from_exec_choice(const ExecChoice& c) {
+  FtChoice out;
+  out.strategy = c.re_executed ? FtStrategy::kReExecution : FtStrategy::kSingle;
+  out.speed = c.speed;
+  out.attempts = c.re_executed ? 2 : 1;
+  out.energy = c.energy;
+  out.time = c.time_used;
+  out.processors = 1;
+  return out;
+}
+
+}  // namespace
+
+common::Result<FtChoice> best_replication(double weight, double budget, int replicas,
+                                          const model::ReliabilityModel& rel,
+                                          const model::SpeedModel& speeds) {
+  EASCHED_CHECK_MSG(replicas >= 2, "replication needs at least two replicas");
+  if (weight == 0.0) {
+    return FtChoice{FtStrategy::kReplication, speeds.fmin(), replicas, 0.0, 0.0, replicas};
+  }
+  if (budget <= 0.0) return common::Status::infeasible("no time budget");
+  auto fm = rel.f_multi(weight, replicas);
+  if (!fm.is_ok()) return fm.status();
+  const double floor = std::max(fm.value(), speeds.fmin());
+  // All replicas run in parallel: wall-clock time is a single execution.
+  const double g = std::max(weight / budget, floor);
+  if (g > speeds.fmax() * (1.0 + 1e-12)) {
+    return common::Status::infeasible("replication needs speed above fmax");
+  }
+  const double gc = std::min(g, speeds.fmax());
+  FtChoice out;
+  out.strategy = FtStrategy::kReplication;
+  out.speed = gc;
+  out.attempts = replicas;
+  out.energy = static_cast<double>(replicas) * model::execution_energy(weight, gc);
+  out.time = weight / gc;
+  out.processors = replicas;
+  return out;
+}
+
+common::Result<FtChoice> best_ft_choice(double weight, double budget, int max_replicas,
+                                        const model::ReliabilityModel& rel,
+                                        const model::SpeedModel& speeds) {
+  common::Result<FtChoice> best = common::Status::infeasible("nothing fits the budget");
+  auto consider = [&](common::Result<FtChoice> candidate) {
+    if (!candidate.is_ok()) return;
+    if (!best.is_ok() || candidate.value().energy < best.value().energy) {
+      best = std::move(candidate);
+    }
+  };
+  if (auto s = best_single(weight, budget, rel, speeds); s.is_ok()) {
+    consider(from_exec_choice(s.value()));
+  }
+  if (auto d = best_double(weight, budget, rel, speeds); d.is_ok()) {
+    consider(from_exec_choice(d.value()));
+  }
+  for (int k = 2; k <= max_replicas; ++k) {
+    consider(best_replication(weight, budget, k, rel, speeds));
+  }
+  return best;
+}
+
+common::Result<ForkFtSolution> solve_fork_ft(const graph::Dag& dag, double deadline,
+                                             int processors,
+                                             const model::ReliabilityModel& rel,
+                                             const model::SpeedModel& speeds,
+                                             int max_replicas, int grid) {
+  if (speeds.kind() != model::SpeedModelKind::kContinuous) {
+    return common::Status::unsupported("solve_fork_ft uses the CONTINUOUS model");
+  }
+  if (!graph::is_fork(dag)) return common::Status::unsupported("graph is not a fork");
+  EASCHED_CHECK(deadline > 0.0);
+  EASCHED_CHECK(max_replicas >= 2);
+  const int n = dag.num_tasks();
+  if (processors < n) {
+    return common::Status::invalid("need at least one processor per task");
+  }
+  const graph::TaskId src = dag.sources().front();
+  std::vector<graph::TaskId> children;
+  for (graph::TaskId t = 0; t < n; ++t) {
+    if (t != src) children.push_back(t);
+  }
+  const int idle_pool = processors - n;  // processors free for replicas
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // For a fixed source completion time, choose every task's strategy.
+  // Replica slots are a shared budget: assign them greedily by marginal
+  // energy gain per slot (the inner problem is knapsack-like; the greedy
+  // is a documented approximation, exact for the single-slot case).
+  auto plan_at = [&](double t0, ForkFtSolution* out) -> double {
+    const double window = deadline - t0;
+    if (window <= 0.0) return kInf;
+    std::vector<FtChoice> choice(static_cast<std::size_t>(n));
+    // Baseline: best non-replicating choice per task.
+    for (graph::TaskId t = 0; t < n; ++t) {
+      const double budget = t == src ? t0 : window;
+      auto s = best_single(dag.weight(t), budget, rel, speeds);
+      auto d = best_double(dag.weight(t), budget, rel, speeds);
+      if (!s.is_ok() && !d.is_ok()) return kInf;
+      if (!s.is_ok()) {
+        choice[static_cast<std::size_t>(t)] = from_exec_choice(d.value());
+      } else if (!d.is_ok() || s.value().energy <= d.value().energy) {
+        choice[static_cast<std::size_t>(t)] = from_exec_choice(s.value());
+      } else {
+        choice[static_cast<std::size_t>(t)] = from_exec_choice(d.value());
+      }
+    }
+    // Greedy replica upgrades.
+    int pool = idle_pool;
+    for (;;) {
+      int best_task = -1;
+      FtChoice best_upgrade;
+      double best_gain_per_slot = 0.0;
+      for (graph::TaskId t = 0; t < n; ++t) {
+        if (choice[static_cast<std::size_t>(t)].strategy == FtStrategy::kReplication) {
+          continue;  // one upgrade per task
+        }
+        const double budget = t == src ? t0 : window;
+        for (int k = 2; k <= max_replicas; ++k) {
+          const int slots = k - 1;
+          if (slots > pool) break;
+          auto rep = best_replication(dag.weight(t), budget, k, rel, speeds);
+          if (!rep.is_ok()) continue;
+          const double gain = choice[static_cast<std::size_t>(t)].energy -
+                              rep.value().energy;
+          if (gain <= 1e-12) continue;
+          const double per_slot = gain / static_cast<double>(slots);
+          if (per_slot > best_gain_per_slot) {
+            best_gain_per_slot = per_slot;
+            best_task = t;
+            best_upgrade = rep.value();
+          }
+        }
+      }
+      if (best_task < 0) break;
+      pool -= best_upgrade.processors - 1;
+      choice[static_cast<std::size_t>(best_task)] = best_upgrade;
+    }
+    double energy = 0.0;
+    for (const auto& c : choice) energy += c.energy;
+    if (out) {
+      out->choices = std::move(choice);
+      out->energy = energy;
+      out->source_time = t0;
+      out->replicas_used = idle_pool - pool;
+    }
+    return energy;
+  };
+
+  const double w0 = dag.weight(src);
+  double max_child = 0.0;
+  for (graph::TaskId c : children) max_child = std::max(max_child, dag.weight(c));
+  const double t0_lo = std::max(w0 / speeds.fmax(), 1e-12 * deadline);
+  const double t0_hi = deadline - max_child / speeds.fmax();
+  if (t0_lo > t0_hi) {
+    return common::Status::infeasible("fork: even all-fmax misses the deadline");
+  }
+  const double t0 = opt::grid_refine_minimize(
+      [&](double x) { return plan_at(x, nullptr); }, t0_lo, t0_hi, grid);
+  ForkFtSolution out;
+  if (!std::isfinite(plan_at(t0, &out))) {
+    return common::Status::infeasible("fork: no feasible strategy assignment");
+  }
+  return out;
+}
+
+}  // namespace easched::tricrit

@@ -1,0 +1,85 @@
+#pragma once
+// Replication, and the replication/re-execution trade-off — the paper's
+// closing research direction (section V):
+//
+//   "More efficient solutions to the tri-criteria optimization problem
+//    (deadline, energy, reliability) could be achieved through combining
+//    replication with re-execution. A promising (and ambitious) research
+//    direction would be to search for the best trade-offs that can be
+//    achieved between these techniques that both increase reliability, but
+//    whose impact on execution time and energy consumption is very
+//    different."
+//
+// Semantics (following [Assayad, Girault, Kalla]):
+//   * replication degree k runs the task on k processors SIMULTANEOUSLY at
+//     a common speed g: wall-clock time w/g, energy k*w*g^2 (all replicas
+//     always run), reliability 1 - lambda(g)^k;
+//   * re-execution runs the second attempt on the SAME processor only
+//     after a failure, but worst-case provisioning charges both: time
+//     2w/g, energy 2*w*g^2, reliability 1 - lambda(g)^2.
+// With equal redundancy k = 2 the two consume identical energy and give
+// identical reliability — replication is purely a time-for-processors
+// trade, which is exactly the "very different impact on execution time"
+// the paper points at. This module quantifies that trade-off.
+
+#include "common/status.hpp"
+#include "graph/dag.hpp"
+#include "model/reliability.hpp"
+#include "model/speed_model.hpp"
+#include "tricrit/reexec.hpp"
+
+namespace easched::tricrit {
+
+/// Fault-tolerance strategy for one task.
+enum class FtStrategy { kSingle, kReExecution, kReplication };
+
+constexpr const char* to_string(FtStrategy s) noexcept {
+  switch (s) {
+    case FtStrategy::kSingle: return "single";
+    case FtStrategy::kReExecution: return "re-execution";
+    case FtStrategy::kReplication: return "replication";
+  }
+  return "unknown";
+}
+
+/// One task's fault-tolerance decision.
+struct FtChoice {
+  FtStrategy strategy = FtStrategy::kSingle;
+  double speed = 0.0;   ///< common speed of all attempts
+  int attempts = 1;     ///< executions (re-exec) or replicas (replication)
+  double energy = 0.0;  ///< attempts * w * speed^2 (all attempts charged)
+  double time = 0.0;    ///< wall-clock: w/speed (replication) else attempts*w/speed
+  int processors = 1;   ///< processors occupied simultaneously
+};
+
+/// Best replication of degree `replicas` within the wall-clock budget:
+/// g = max(w/budget, f_multi(w, replicas)); kInfeasible when g > fmax.
+common::Result<FtChoice> best_replication(double weight, double budget, int replicas,
+                                          const model::ReliabilityModel& rel,
+                                          const model::SpeedModel& speeds);
+
+/// Minimum-energy choice among single / re-execution / replication degrees
+/// 2..max_replicas, given the wall-clock budget and a simultaneous
+/// processor cap. kInfeasible when nothing fits.
+common::Result<FtChoice> best_ft_choice(double weight, double budget, int max_replicas,
+                                        const model::ReliabilityModel& rel,
+                                        const model::SpeedModel& speeds);
+
+/// TRI-CRIT on a fork where children may replicate onto idle processors
+/// (the combined replication + re-execution solver the paper calls for).
+/// `processors` bounds the total simultaneous replicas across children;
+/// children are assumed mapped one-per-processor as in solve_fork_tricrit.
+struct ForkFtSolution {
+  std::vector<FtChoice> choices;  ///< indexed by task id
+  double energy = 0.0;
+  double source_time = 0.0;
+  int replicas_used = 0;  ///< extra processors consumed by replication
+};
+
+common::Result<ForkFtSolution> solve_fork_ft(const graph::Dag& dag, double deadline,
+                                             int processors,
+                                             const model::ReliabilityModel& rel,
+                                             const model::SpeedModel& speeds,
+                                             int max_replicas = 3, int grid = 512);
+
+}  // namespace easched::tricrit

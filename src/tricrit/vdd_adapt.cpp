@@ -1,0 +1,105 @@
+#include "tricrit/vdd_adapt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/energy.hpp"
+
+namespace easched::tricrit {
+
+namespace {
+
+// Two-speed profile processing work w in time t with bracket (lo, hi).
+std::vector<model::SpeedInterval> mix_profile(double w, double t, double lo, double hi) {
+  std::vector<model::SpeedInterval> profile;
+  if (hi - lo < 1e-12) {
+    profile.push_back(model::SpeedInterval{hi, w / hi});
+    return profile;
+  }
+  const auto [a_lo, a_hi] = model::two_speed_mix(w, t, lo, hi);
+  if (a_lo > 0.0) profile.push_back(model::SpeedInterval{lo, a_lo});
+  if (a_hi > 0.0) profile.push_back(model::SpeedInterval{hi, a_hi});
+  return profile;
+}
+
+}  // namespace
+
+common::Result<VddAdaptResult> adapt_to_vdd(const graph::Dag& dag,
+                                            const TriCritSolution& cont,
+                                            const model::ReliabilityModel& rel,
+                                            const model::SpeedModel& vdd) {
+  if (vdd.kind() != model::SpeedModelKind::kVddHopping) {
+    return common::Status::unsupported("adapt_to_vdd needs the VDD-HOPPING model");
+  }
+  const int n = dag.num_tasks();
+  EASCHED_CHECK(cont.schedule.num_tasks() == n);
+
+  VddAdaptResult out{TriCritSolution(n), cont.energy, 0.0, 0};
+  for (graph::TaskId t = 0; t < n; ++t) {
+    const double w = dag.weight(t);
+    const auto& decision = cont.schedule.at(t);
+    const double threshold = rel.threshold_failure(w);
+
+    // theta in [0,1] interpolates each execution's duration between the
+    // continuous duration (theta=0, lowest energy) and the pure-upper-level
+    // duration (theta=1, best reliability). Build all executions for a
+    // given theta and test the task's combined reliability.
+    auto build = [&](double theta) {
+      std::vector<std::vector<model::SpeedInterval>> profiles;
+      for (const auto& exec : decision.executions) {
+        double f = exec.speed;
+        if (f < vdd.fmin()) f = vdd.fmin();
+        EASCHED_CHECK_MSG(f <= vdd.fmax() * (1.0 + 1e-9),
+                          "continuous speed above the fastest VDD level");
+        f = std::min(f, vdd.fmax());
+        const auto [lo, hi] = vdd.bracket(f);
+        const double t_cont = std::min(exec.duration(w), w / lo);
+        const double t_fast = w / hi;
+        const double dur = t_cont + theta * (t_fast - t_cont);
+        profiles.push_back(mix_profile(w, dur, lo, hi));
+      }
+      return profiles;
+    };
+    auto ok = [&](const std::vector<std::vector<model::SpeedInterval>>& profiles) {
+      if (w == 0.0) return true;
+      double combined = 1.0;
+      for (const auto& p : profiles) combined *= rel.mixed_failure(p);
+      return combined <= threshold * (1.0 + 1e-9);
+    };
+
+    auto profiles = build(0.0);
+    if (!ok(profiles)) {
+      ++out.tightened_tasks;
+      // Bisect the smallest theta restoring the constraint; theta=1 always
+      // works (pure upper level dominates the continuous speed).
+      double lo_theta = 0.0, hi_theta = 1.0;
+      for (int it = 0; it < 60; ++it) {
+        const double mid = 0.5 * (lo_theta + hi_theta);
+        if (ok(build(mid))) {
+          hi_theta = mid;
+        } else {
+          lo_theta = mid;
+        }
+      }
+      profiles = build(hi_theta);
+      if (!ok(profiles)) {
+        return common::Status::infeasible("task " + std::to_string(t) +
+                                          ": VDD adaptation cannot restore reliability");
+      }
+    }
+
+    sched::TaskDecision d;
+    double energy = 0.0;
+    for (auto& p : profiles) {
+      energy += model::vdd_energy(p);
+      d.executions.push_back(sched::Execution::vdd(std::move(p)));
+    }
+    if (d.executions.size() == 2) ++out.solution.re_executed;
+    out.solution.schedule.at(t) = std::move(d);
+    out.solution.energy += energy;
+  }
+  out.energy_loss_ratio = cont.energy > 0.0 ? out.solution.energy / cont.energy : 1.0;
+  return out;
+}
+
+}  // namespace easched::tricrit

@@ -1,0 +1,44 @@
+#pragma once
+// VDD-HOPPING TRI-CRIT (claim C10).
+//
+// The paper: TRI-CRIT under VDD-HOPPING is NP-complete (while BI-CRIT was
+// polynomial), and the CONTINUOUS heuristics adapt: "for a solution given
+// by a heuristic for the CONTINUOUS model, if a task should be executed at
+// the continuous speed f, then we would execute it at the two closest
+// discrete speeds that bound f, while matching the execution time and
+// reliability for this task. There remains to quantify the performance
+// loss incurred by the latter constraints." — bench_tricrit_vdd does the
+// quantification.
+//
+// Mixing semantics: failure probability accumulates linearly in time,
+// lambda_mix = sum_s rate(f_s) * alpha_s (model/reliability.hpp). Since
+// rate() is convex in f, the work/time-matched two-speed mix has *slightly
+// worse* reliability than the continuous execution it replaces; the
+// adapter then shortens the execution (shifting work to the upper level)
+// until the task constraint holds again — at the pure upper level the
+// constraint always holds, so the search is well-defined; shrinking times
+// keeps the deadline satisfied.
+
+#include "common/status.hpp"
+#include "graph/dag.hpp"
+#include "model/reliability.hpp"
+#include "model/speed_model.hpp"
+#include "tricrit/reexec.hpp"
+
+namespace easched::tricrit {
+
+struct VddAdaptResult {
+  TriCritSolution solution;
+  double continuous_energy = 0.0;  ///< energy of the input schedule
+  double energy_loss_ratio = 0.0;  ///< vdd energy / continuous energy
+  int tightened_tasks = 0;         ///< tasks that needed the reliability fix-up
+};
+
+/// Converts a CONTINUOUS TRI-CRIT schedule into a VDD-HOPPING one.
+/// `vdd` must span the continuous speeds actually used (fmax level >= them).
+common::Result<VddAdaptResult> adapt_to_vdd(const graph::Dag& dag,
+                                            const TriCritSolution& continuous_solution,
+                                            const model::ReliabilityModel& rel,
+                                            const model::SpeedModel& vdd);
+
+}  // namespace easched::tricrit

@@ -1,0 +1,224 @@
+#include "bicrit/closed_form.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/tolerance.hpp"
+#include "graph/generators.hpp"
+#include "sched/validator.hpp"
+
+namespace easched::bicrit {
+namespace {
+
+using model::SpeedModel;
+
+TEST(ChainClosedForm, UniformSpeedSumWOverD) {
+  const auto dag = graph::make_chain({2.0, 3.0, 5.0});
+  const auto speeds = SpeedModel::continuous(0.1, 10.0);
+  auto r = solve_chain(dag, 4.0, speeds);
+  ASSERT_TRUE(r.is_ok());
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_NEAR(r.value().schedule.at(t).executions.front().speed, 2.5, 1e-12);
+  }
+  // E = (sum w)^3 / D^2 = 1000/16.
+  EXPECT_NEAR(r.value().energy, 62.5, 1e-9);
+  EXPECT_FALSE(r.value().clamped);
+}
+
+TEST(ChainClosedForm, InfeasibleAboveFmax) {
+  const auto dag = graph::make_chain({10.0});
+  EXPECT_FALSE(solve_chain(dag, 1.0, SpeedModel::continuous(0.1, 1.0)).is_ok());
+}
+
+TEST(ChainClosedForm, ClampsUpToFmin) {
+  const auto dag = graph::make_chain({1.0, 1.0});
+  auto r = solve_chain(dag, 100.0, SpeedModel::continuous(0.5, 1.0));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r.value().clamped);
+  EXPECT_DOUBLE_EQ(r.value().schedule.at(0).executions.front().speed, 0.5);
+}
+
+TEST(ChainClosedForm, RejectsNonChain) {
+  // A 2-node fork degenerates to a chain and is accepted; a real fork is not.
+  EXPECT_FALSE(solve_chain(graph::make_fork({1.0, 2.0, 3.0}), 10.0,
+                           SpeedModel::continuous(0.1, 1.0))
+                   .is_ok());
+}
+
+TEST(ChainClosedForm, RejectsDiscreteModel) {
+  const auto dag = graph::make_chain({1.0});
+  EXPECT_FALSE(solve_chain(dag, 1.0, SpeedModel::discrete({1.0})).is_ok());
+}
+
+TEST(ForkClosedForm, MatchesPaperTheorem) {
+  // Paper section III: f0 = ((sum wi^3)^(1/3) + w0)/D, fi = f0 wi / agg.
+  const std::vector<double> w{2.0, 1.0, 2.0, 3.0};  // w0=2, children 1,2,3
+  const auto dag = graph::make_fork(w);
+  const double D = 10.0;
+  const auto speeds = SpeedModel::continuous(0.01, 10.0);
+  auto r = solve_fork(dag, D, speeds);
+  ASSERT_TRUE(r.is_ok());
+  const double agg = std::cbrt(1.0 + 8.0 + 27.0);
+  const double f0 = (agg + 2.0) / D;
+  EXPECT_NEAR(r.value().schedule.at(0).executions.front().speed, f0, 1e-12);
+  for (int c = 1; c <= 3; ++c) {
+    EXPECT_NEAR(r.value().schedule.at(c).executions.front().speed,
+                f0 * w[static_cast<std::size_t>(c)] / agg, 1e-12);
+  }
+  // E = ((sum wi^3)^(1/3) + w0)^3 / D^2.
+  EXPECT_NEAR(r.value().energy, std::pow(agg + 2.0, 3.0) / (D * D), 1e-9);
+  EXPECT_FALSE(r.value().clamped);
+}
+
+TEST(ForkClosedForm, FmaxFallbackMatchesPaper) {
+  // Deadline so tight that f0 > fmax but the all-fmax schedule still fits:
+  // the theorem's fallback puts the source at fmax and the children at
+  // wi/D' with D' = D - w0/fmax.
+  const std::vector<double> w{4.0, 1.0, 2.0};
+  const auto dag = graph::make_fork(w);
+  const auto speeds = SpeedModel::continuous(0.01, 2.0);
+  // fmax makespan = 4/2 + 2/2 = 3; f0 = (cbrt(9)+4)/D > 2 iff D < 3.04.
+  const double D = 3.02;
+  auto r = solve_fork(dag, D, speeds);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_TRUE(r.value().clamped);
+  const double f_src = r.value().schedule.at(0).executions.front().speed;
+  EXPECT_NEAR(f_src, 2.0, 1e-5);
+  const double window = D - 4.0 / 2.0;
+  EXPECT_NEAR(r.value().schedule.at(1).executions.front().speed, 1.0 / window, 1e-4);
+  EXPECT_NEAR(r.value().schedule.at(2).executions.front().speed, 2.0 / window, 1e-4);
+}
+
+TEST(ForkClosedForm, InfeasibleWhenChildrenCannotFit) {
+  const auto dag = graph::make_fork({4.0, 3.0});
+  // w0/fmax + wc/fmax = 3.5 > D.
+  EXPECT_FALSE(solve_fork(dag, 3.0, SpeedModel::continuous(0.01, 2.0)).is_ok());
+}
+
+TEST(ForkClosedForm, ChildrenSpeedsNeverExceedSource) {
+  common::Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto w = graph::random_weights(6, {0.5, 5.0}, rng);
+    const auto dag = graph::make_fork(w);
+    auto r = solve_fork(dag, 8.0, SpeedModel::continuous(0.001, 100.0));
+    ASSERT_TRUE(r.is_ok());
+    const double f0 = r.value().schedule.at(0).executions.front().speed;
+    for (int c = 1; c < 6; ++c) {
+      EXPECT_LE(r.value().schedule.at(c).executions.front().speed, f0 + 1e-9);
+    }
+  }
+}
+
+TEST(EquivalentWeight, SeriesAddsParallelCubeRoots) {
+  // Build tree manually: series(task0, parallel(task1, task2)).
+  graph::Dag dag;
+  dag.add_task(2.0);
+  dag.add_task(3.0);
+  dag.add_task(4.0);
+  graph::SpTree tree;
+  const int t0 = tree.add_task(0);
+  const int t1 = tree.add_task(1);
+  const int t2 = tree.add_task(2);
+  const int par = tree.add_parallel(t1, t2);
+  const int root = tree.add_series(t0, par);
+  tree.set_root(root);
+  const double expected = 2.0 + std::cbrt(27.0 + 64.0);
+  EXPECT_NEAR(equivalent_weight(tree, dag, root), expected, 1e-12);
+}
+
+TEST(EquivalentWeight, DummiesAreNeutral) {
+  graph::Dag dag;
+  dag.add_task(5.0);
+  graph::SpTree tree;
+  const int t = tree.add_task(0);
+  const int d = tree.add_dummy();
+  const int s = tree.add_series(t, d);
+  const int p = tree.add_parallel(s, tree.add_dummy());
+  tree.set_root(p);
+  EXPECT_NEAR(equivalent_weight(tree, dag, p), 5.0, 1e-12);
+}
+
+TEST(SpClosedForm, ChainViaSpMatchesChainFormula) {
+  const auto dag = graph::make_chain({2.0, 3.0, 5.0});
+  const auto speeds = SpeedModel::continuous(0.1, 10.0);
+  auto sp = solve_series_parallel(dag, 4.0, speeds);
+  auto ch = solve_chain(dag, 4.0, speeds);
+  ASSERT_TRUE(sp.is_ok());
+  ASSERT_TRUE(ch.is_ok());
+  EXPECT_NEAR(sp.value().energy, ch.value().energy, 1e-9);
+}
+
+TEST(SpClosedForm, ForkViaSpMatchesForkTheorem) {
+  const auto dag = graph::make_fork({2.0, 1.0, 2.0, 3.0});
+  const auto speeds = SpeedModel::continuous(0.001, 10.0);
+  auto sp = solve_series_parallel(dag, 10.0, speeds);
+  auto fk = solve_fork(dag, 10.0, speeds);
+  ASSERT_TRUE(sp.is_ok());
+  ASSERT_TRUE(fk.is_ok());
+  EXPECT_NEAR(sp.value().energy, fk.value().energy, 1e-9);
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_NEAR(sp.value().schedule.at(t).executions.front().speed,
+                fk.value().schedule.at(t).executions.front().speed, 1e-9);
+  }
+}
+
+TEST(SpClosedForm, EnergyEqualsEquivalentWeightFormula) {
+  common::Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto dag = graph::make_random_series_parallel(12, {1.0, 4.0}, rng);
+    auto tree = graph::decompose_series_parallel(dag);
+    ASSERT_TRUE(tree.is_ok());
+    const double D = 20.0;
+    const auto speeds = SpeedModel::continuous(1e-6, 1e6);
+    auto r = solve_sp_tree(dag, tree.value(), D, speeds);
+    ASSERT_TRUE(r.is_ok());
+    const double W = equivalent_weight(tree.value(), dag, tree.value().root());
+    EXPECT_NEAR(r.value().energy, W * W * W / (D * D), 1e-6 * r.value().energy)
+        << "trial " << trial;
+  }
+}
+
+TEST(SpClosedForm, ScheduleIsDeadlineFeasibleOnOwnProcessors) {
+  common::Rng rng(10);
+  const auto dag = graph::make_random_series_parallel(15, {1.0, 4.0}, rng);
+  const double D = 30.0;
+  const auto speeds = SpeedModel::continuous(1e-6, 1e6);
+  auto r = solve_series_parallel(dag, D, speeds);
+  ASSERT_TRUE(r.is_ok());
+  const auto mapping = sched::Mapping::one_task_per_processor(dag);
+  sched::ValidationInput in;
+  in.speed_model = &speeds;
+  in.deadline = D;
+  EXPECT_TRUE(sched::validate_schedule(dag, mapping, r.value().schedule, in).is_ok());
+}
+
+TEST(SpClosedForm, RejectsNonSpGraph) {
+  graph::Dag d;  // the N graph
+  for (int i = 0; i < 4; ++i) d.add_task(1.0);
+  d.add_edge(0, 2);
+  d.add_edge(0, 3);
+  d.add_edge(1, 3);
+  EXPECT_FALSE(solve_series_parallel(d, 5.0, SpeedModel::continuous(0.1, 1.0)).is_ok());
+}
+
+TEST(SpClosedForm, UnsupportedWhenFmaxTooSlow) {
+  const auto dag = graph::make_chain({10.0, 10.0});
+  auto r = solve_series_parallel(dag, 1.0, SpeedModel::continuous(0.1, 1.0));
+  EXPECT_FALSE(r.is_ok());
+}
+
+TEST(EnergyScaling, EnergyScalesInverseSquareOfDeadline) {
+  // E(D) = W^3/D^2: doubling D divides energy by 4 (paper's fork formula).
+  const auto dag = graph::make_fork({2.0, 1.0, 2.0});
+  const auto speeds = SpeedModel::continuous(1e-6, 1e6);
+  auto e1 = solve_fork(dag, 5.0, speeds);
+  auto e2 = solve_fork(dag, 10.0, speeds);
+  ASSERT_TRUE(e1.is_ok());
+  ASSERT_TRUE(e2.is_ok());
+  EXPECT_NEAR(e1.value().energy / e2.value().energy, 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace easched::bicrit

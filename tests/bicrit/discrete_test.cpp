@@ -1,0 +1,172 @@
+#include "bicrit/discrete_exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/validator.hpp"
+
+namespace easched::bicrit {
+namespace {
+
+using model::SpeedModel;
+
+double fmax_makespan(const graph::Dag& dag, const sched::Mapping& mapping, double fmax) {
+  std::vector<double> d(static_cast<std::size_t>(dag.num_tasks()));
+  for (int t = 0; t < dag.num_tasks(); ++t) {
+    d[static_cast<std::size_t>(t)] = dag.weight(t) / fmax;
+  }
+  return graph::time_analysis(mapping.augmented_graph(dag), d, 0.0).makespan;
+}
+
+TEST(DiscreteBnb, SingleTaskPicksSlowestFeasibleLevel) {
+  const auto dag = graph::make_independent({2.0});
+  auto mapping = sched::Mapping(1, 1);
+  mapping.assign(0, 0);
+  const auto speeds = SpeedModel::discrete({0.5, 1.0, 2.0});
+  // D = 2.5: durations 4 / 2 / 1 -> slowest feasible is 1.0.
+  auto r = solve_discrete_bnb(dag, mapping, 2.5, speeds);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_DOUBLE_EQ(r.value().schedule.at(0).executions.front().speed, 1.0);
+  EXPECT_TRUE(r.value().proven_optimal);
+}
+
+TEST(DiscreteBnb, KnapsackTradeoffOnChain) {
+  // Two tasks, levels {1, 2}, D = 3, weights {2, 2}: both at 1 needs 4 (too
+  // slow); one at 2 and one at 1 needs 3 (ok), E = 2*4 + 2*1 = 10; both at
+  // 2 needs 2, E = 16. Optimum: 10.
+  const auto dag = graph::make_chain({2.0, 2.0});
+  const auto mapping = sched::Mapping::single_processor(dag, {0, 1});
+  const auto speeds = SpeedModel::discrete({1.0, 2.0});
+  auto r = solve_discrete_bnb(dag, mapping, 3.0, speeds);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_NEAR(r.value().energy, 10.0, 1e-9);
+}
+
+TEST(DiscreteBnb, MatchesExhaustiveSearch) {
+  common::Rng rng(1);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto dag = graph::make_random_dag(7, 0.3, {1.0, 4.0}, rng);
+    const auto mapping = sched::list_schedule(dag, 2, sched::PriorityPolicy::kCriticalPath);
+    const auto speeds = SpeedModel::discrete({0.4, 0.7, 1.0});
+    const double D = fmax_makespan(dag, mapping, 1.0) * rng.uniform(1.2, 2.0);
+    BnbOptions bounded;
+    BnbOptions exhaustive;
+    exhaustive.use_energy_bound = false;
+    auto a = solve_discrete_bnb(dag, mapping, D, speeds, bounded);
+    auto b = solve_discrete_bnb(dag, mapping, D, speeds, exhaustive);
+    ASSERT_TRUE(a.is_ok()) << trial;
+    ASSERT_TRUE(b.is_ok()) << trial;
+    EXPECT_NEAR(a.value().energy, b.value().energy, 1e-9) << trial;
+    EXPECT_LE(a.value().nodes_explored, b.value().nodes_explored) << "bound should prune";
+  }
+}
+
+TEST(DiscreteBnb, InfeasibleWhenFmaxMissesDeadline) {
+  const auto dag = graph::make_independent({10.0});
+  auto mapping = sched::Mapping(1, 1);
+  mapping.assign(0, 0);
+  EXPECT_FALSE(solve_discrete_bnb(dag, mapping, 1.0, SpeedModel::discrete({1.0})).is_ok());
+}
+
+TEST(DiscreteBnb, WorksWithIncrementalModel) {
+  const auto dag = graph::make_chain({1.0, 1.0});
+  const auto mapping = sched::Mapping::single_processor(dag, {0, 1});
+  const auto speeds = SpeedModel::incremental(0.5, 1.0, 0.25);
+  auto r = solve_discrete_bnb(dag, mapping, 3.0, speeds);
+  ASSERT_TRUE(r.is_ok());
+  sched::ValidationInput in;
+  in.speed_model = &speeds;
+  in.deadline = 3.0;
+  EXPECT_TRUE(sched::validate_schedule(dag, mapping, r.value().schedule, in).is_ok());
+}
+
+TEST(DiscreteBnb, RejectsContinuousModel) {
+  const auto dag = graph::make_independent({1.0});
+  auto mapping = sched::Mapping(1, 1);
+  mapping.assign(0, 0);
+  EXPECT_FALSE(
+      solve_discrete_bnb(dag, mapping, 5.0, SpeedModel::continuous(0.5, 1.0)).is_ok());
+}
+
+TEST(ChainDp, MatchesBnbOnChains) {
+  common::Rng rng(2);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int n = 6;
+    const auto weights = graph::random_weights(n, {1.0, 4.0}, rng);
+    const auto dag = graph::make_chain(weights);
+    std::vector<graph::TaskId> order(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+    const auto mapping = sched::Mapping::single_processor(dag, order);
+    const auto speeds = SpeedModel::discrete({0.5, 0.75, 1.0});
+    double total = 0.0;
+    for (double w : weights) total += w;
+    const double D = total / 1.0 * rng.uniform(1.15, 1.8);
+    auto dp = solve_chain_discrete_dp(weights, D, speeds, 40000);
+    auto bnb = solve_discrete_bnb(dag, mapping, D, speeds);
+    ASSERT_TRUE(dp.is_ok()) << trial;
+    ASSERT_TRUE(bnb.is_ok()) << trial;
+    // DP rounds durations up -> it can only be >= the exact optimum, and
+    // with fine buckets it should be equal or very close.
+    EXPECT_GE(dp.value().energy, bnb.value().energy - 1e-9) << trial;
+    EXPECT_LE(dp.value().energy, bnb.value().energy * 1.02) << trial;
+  }
+}
+
+TEST(ChainDp, ResultIsDeadlineFeasible) {
+  common::Rng rng(3);
+  const auto weights = graph::random_weights(8, {1.0, 3.0}, rng);
+  const auto speeds = SpeedModel::discrete(model::xscale_levels());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  const double D = total * 1.4;  // fmax = 1.0
+  auto dp = solve_chain_discrete_dp(weights, D, speeds, 5000);
+  ASSERT_TRUE(dp.is_ok());
+  double makespan = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    makespan += weights[i] / dp.value().schedule.at(static_cast<int>(i)).executions.front().speed;
+  }
+  EXPECT_LE(makespan, D * (1.0 + 1e-9));
+}
+
+TEST(ChainDp, InfeasibleDetected) {
+  EXPECT_FALSE(
+      solve_chain_discrete_dp({5.0}, 1.0, SpeedModel::discrete({1.0, 2.0}), 1000).is_ok());
+}
+
+TEST(DiscreteGreedy, FeasibleAndAboveOptimal) {
+  common::Rng rng(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto dag = graph::make_random_dag(8, 0.25, {1.0, 3.0}, rng);
+    const auto mapping = sched::list_schedule(dag, 2, sched::PriorityPolicy::kCriticalPath);
+    const auto speeds = SpeedModel::discrete({0.4, 0.7, 1.0});
+    const double D = fmax_makespan(dag, mapping, 1.0) * 1.5;
+    auto greedy = solve_discrete_greedy(dag, mapping, D, speeds);
+    auto exact = solve_discrete_bnb(dag, mapping, D, speeds);
+    ASSERT_TRUE(greedy.is_ok()) << trial << ": " << greedy.status().to_string();
+    ASSERT_TRUE(exact.is_ok());
+    sched::ValidationInput in;
+    in.speed_model = &speeds;
+    in.deadline = D;
+    EXPECT_TRUE(sched::validate_schedule(dag, mapping, greedy.value().schedule, in).is_ok())
+        << trial;
+    EXPECT_GE(greedy.value().energy, exact.value().energy - 1e-9) << trial;
+    // Greedy should be decent: within 25% of optimal on these instances.
+    EXPECT_LE(greedy.value().energy, exact.value().energy * 1.25) << trial;
+  }
+}
+
+TEST(DiscreteGreedy, TightDeadlineFallsBackToFastLevels) {
+  const auto dag = graph::make_chain({2.0, 2.0});
+  const auto mapping = sched::Mapping::single_processor(dag, {0, 1});
+  const auto speeds = SpeedModel::discrete({0.5, 1.0});
+  auto r = solve_discrete_greedy(dag, mapping, 4.0, speeds);  // fmax makespan = 4
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_DOUBLE_EQ(r.value().schedule.at(0).executions.front().speed, 1.0);
+  EXPECT_DOUBLE_EQ(r.value().schedule.at(1).executions.front().speed, 1.0);
+}
+
+}  // namespace
+}  // namespace easched::bicrit

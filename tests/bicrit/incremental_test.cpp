@@ -1,0 +1,116 @@
+#include "bicrit/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bicrit/discrete_exact.hpp"
+#include "common/rng.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/validator.hpp"
+
+namespace easched::bicrit {
+namespace {
+
+using model::SpeedModel;
+
+double fmax_makespan(const graph::Dag& dag, const sched::Mapping& mapping, double fmax) {
+  std::vector<double> d(static_cast<std::size_t>(dag.num_tasks()));
+  for (int t = 0; t < dag.num_tasks(); ++t) {
+    d[static_cast<std::size_t>(t)] = dag.weight(t) / fmax;
+  }
+  return graph::time_analysis(mapping.augmented_graph(dag), d, 0.0).makespan;
+}
+
+TEST(IncrementalBound, FormulaMatchesPaper) {
+  const auto inc = SpeedModel::incremental(1.0, 2.0, 0.1);
+  // (1 + 0.1/1)^2 (1 + 1/4)^2 = 1.21 * 1.5625.
+  EXPECT_NEAR(incremental_ratio_bound(inc, 4), 1.21 * 1.5625, 1e-12);
+}
+
+TEST(IncrementalBound, TightensWithDeltaAndK) {
+  const auto fine = SpeedModel::incremental(1.0, 2.0, 0.01);
+  const auto coarse = SpeedModel::incremental(1.0, 2.0, 0.5);
+  EXPECT_LT(incremental_ratio_bound(fine, 100), incremental_ratio_bound(coarse, 100));
+  EXPECT_LT(incremental_ratio_bound(fine, 100), incremental_ratio_bound(fine, 2));
+}
+
+TEST(IncrementalApprox, ObservedRatioWithinProvenBound) {
+  common::Rng rng(1);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto dag = graph::make_random_dag(10, 0.25, {1.0, 4.0}, rng);
+    const auto mapping = sched::list_schedule(dag, 3, sched::PriorityPolicy::kCriticalPath);
+    const auto inc = SpeedModel::incremental(0.3, 1.5, 0.15);
+    const double D = fmax_makespan(dag, mapping, 1.5) * rng.uniform(1.3, 2.5);
+    auto r = solve_incremental_approx(dag, mapping, D, inc, 10);
+    ASSERT_TRUE(r.is_ok()) << trial << ": " << r.status().to_string();
+    EXPECT_LE(r.value().observed_ratio, r.value().ratio_bound * (1.0 + 1e-9)) << trial;
+    EXPECT_GE(r.value().observed_ratio, 1.0 - 1e-9) << trial;
+  }
+}
+
+TEST(IncrementalApprox, ScheduleIsFeasibleAndAdmissible) {
+  common::Rng rng(2);
+  const auto dag = graph::make_layered(3, 3, 0.4, {1.0, 3.0}, rng);
+  const auto mapping = sched::list_schedule(dag, 3, sched::PriorityPolicy::kCriticalPath);
+  const auto inc = SpeedModel::incremental(0.4, 1.2, 0.2);
+  const double D = fmax_makespan(dag, mapping, 1.2) * 1.6;
+  auto r = solve_incremental_approx(dag, mapping, D, inc, 5);
+  ASSERT_TRUE(r.is_ok());
+  sched::ValidationInput in;
+  in.speed_model = &inc;
+  in.deadline = D;
+  EXPECT_TRUE(sched::validate_schedule(dag, mapping, r.value().schedule, in).is_ok());
+}
+
+TEST(IncrementalApprox, ContinuousEnergyIsALowerBound) {
+  common::Rng rng(3);
+  const auto dag = graph::make_chain(6, {1.0, 3.0}, rng);
+  const auto topo = graph::topological_order(dag).value();
+  const auto mapping = sched::Mapping::single_processor(dag, topo);
+  const auto inc = SpeedModel::incremental(0.3, 1.0, 0.1);
+  const double D = dag.total_weight() / 1.0 * 1.5;
+  auto approx = solve_incremental_approx(dag, mapping, D, inc, 10);
+  auto exact = solve_discrete_bnb(dag, mapping, D, inc);
+  ASSERT_TRUE(approx.is_ok());
+  ASSERT_TRUE(exact.is_ok());
+  // cont <= exact <= approx, and approx within bound of cont.
+  EXPECT_LE(approx.value().continuous_energy, exact.value().energy * (1.0 + 1e-6));
+  EXPECT_GE(approx.value().energy, exact.value().energy - 1e-9);
+  EXPECT_LE(approx.value().energy,
+            approx.value().continuous_energy * approx.value().ratio_bound);
+}
+
+TEST(IncrementalApprox, FinerDeltaImprovesEnergy) {
+  common::Rng rng(4);
+  const auto dag = graph::make_chain(5, {1.0, 3.0}, rng);
+  const auto topo = graph::topological_order(dag).value();
+  const auto mapping = sched::Mapping::single_processor(dag, topo);
+  const double D = dag.total_weight() * 1.4;
+  const auto coarse = SpeedModel::incremental(0.3, 1.0, 0.35);
+  const auto fine = SpeedModel::incremental(0.3, 1.0, 0.05);
+  auto rc = solve_incremental_approx(dag, mapping, D, coarse, 10);
+  auto rf = solve_incremental_approx(dag, mapping, D, fine, 10);
+  ASSERT_TRUE(rc.is_ok());
+  ASSERT_TRUE(rf.is_ok());
+  EXPECT_LE(rf.value().energy, rc.value().energy * (1.0 + 1e-9));
+}
+
+TEST(IncrementalApprox, RejectsNonIncrementalModel) {
+  const auto dag = graph::make_independent({1.0});
+  auto mapping = sched::Mapping(1, 1);
+  mapping.assign(0, 0);
+  EXPECT_FALSE(
+      solve_incremental_approx(dag, mapping, 5.0, SpeedModel::discrete({1.0}), 5).is_ok());
+}
+
+TEST(IncrementalApprox, InfeasibleDeadlinePropagates) {
+  const auto dag = graph::make_independent({10.0});
+  auto mapping = sched::Mapping(1, 1);
+  mapping.assign(0, 0);
+  const auto inc = SpeedModel::incremental(0.5, 1.0, 0.1);
+  EXPECT_FALSE(solve_incremental_approx(dag, mapping, 1.0, inc, 5).is_ok());
+}
+
+}  // namespace
+}  // namespace easched::bicrit

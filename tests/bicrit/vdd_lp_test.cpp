@@ -1,0 +1,174 @@
+#include "bicrit/vdd_lp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bicrit/continuous_dag.hpp"
+#include "bicrit/discrete_exact.hpp"
+#include "common/rng.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/validator.hpp"
+
+namespace easched::bicrit {
+namespace {
+
+using model::SpeedModel;
+
+double fmax_makespan(const graph::Dag& dag, const sched::Mapping& mapping, double fmax) {
+  std::vector<double> d(static_cast<std::size_t>(dag.num_tasks()));
+  for (int t = 0; t < dag.num_tasks(); ++t) {
+    d[static_cast<std::size_t>(t)] = dag.weight(t) / fmax;
+  }
+  return graph::time_analysis(mapping.augmented_graph(dag), d, 0.0).makespan;
+}
+
+TEST(VddLp, SingleTaskUsesTwoBracketingSpeeds) {
+  // One task, w = 2, D = 2.5: ideal continuous speed 0.8 sits between
+  // levels 0.5 and 1.0 -> mix of exactly those two.
+  const auto dag = graph::make_independent({2.0});
+  auto mapping = sched::Mapping(1, 1);
+  mapping.assign(0, 0);
+  const auto speeds = SpeedModel::vdd_hopping({0.5, 1.0, 2.0});
+  auto r = solve_vdd_lp(dag, mapping, 2.5, speeds);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_LE(r.value().max_speeds_per_task, 2);
+  EXPECT_TRUE(r.value().speeds_adjacent);
+  // Energy: alpha_lo*0.125 + alpha_hi*1 with alpha_lo+alpha_hi=2.5 and
+  // 0.5 alpha_lo + 1 alpha_hi = 2  =>  alpha_hi = 1.5, alpha_lo = 1.
+  EXPECT_NEAR(r.value().energy, 1.0 * 0.125 + 1.5 * 1.0, 1e-6);
+}
+
+TEST(VddLp, MatchesHandComputedMixOnChain) {
+  const auto dag = graph::make_chain({1.0, 1.0});
+  const auto mapping = sched::Mapping::single_processor(dag, {0, 1});
+  const auto speeds = SpeedModel::vdd_hopping({0.5, 1.0});
+  // D = 3: continuous optimum would be uniform speed 2/3; mix per task.
+  auto r = solve_vdd_lp(dag, mapping, 3.0, speeds);
+  ASSERT_TRUE(r.is_ok());
+  // Each task: time t with 0.5 a + 1 b = 1, a + b = t; total time 3.
+  // By symmetry t = 1.5 per task: b = 0.5/0.5... solve: a+b=1.5,
+  // 0.5a+b=1 -> a=1, b=0.5; E per task = 0.125 + 0.5 = 0.625.
+  EXPECT_NEAR(r.value().energy, 1.25, 1e-6);
+}
+
+TEST(VddLp, SandwichContinuousBelowVddBelowDiscrete) {
+  // The paper's intuition: VDD "smooths out the discrete nature of the
+  // speeds" — its optimum sits between CONTINUOUS and DISCRETE.
+  common::Rng rng(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto dag = graph::make_random_dag(7, 0.3, {1.0, 3.0}, rng);
+    const auto mapping = sched::list_schedule(dag, 2, sched::PriorityPolicy::kCriticalPath);
+    const auto levels = model::xscale_levels();
+    const auto vdd = SpeedModel::vdd_hopping(levels);
+    const auto disc = SpeedModel::discrete(levels);
+    const auto cont = SpeedModel::continuous(levels.front(), levels.back());
+    const double D = fmax_makespan(dag, mapping, 1.0) * 1.7;
+    auto r_cont = solve_continuous(dag, mapping, D, cont);
+    auto r_vdd = solve_vdd_lp(dag, mapping, D, vdd);
+    auto r_disc = solve_discrete_bnb(dag, mapping, D, disc);
+    ASSERT_TRUE(r_cont.is_ok()) << trial;
+    ASSERT_TRUE(r_vdd.is_ok()) << trial;
+    ASSERT_TRUE(r_disc.is_ok()) << trial;
+    EXPECT_LE(r_cont.value().energy, r_vdd.value().energy * (1.0 + 1e-6)) << trial;
+    EXPECT_LE(r_vdd.value().energy, r_disc.value().energy * (1.0 + 1e-6)) << trial;
+  }
+}
+
+TEST(VddLp, TwoSpeedLemmaHoldsAcrossInstances) {
+  // Claim C8: basic optimal solutions use at most two speeds per task.
+  common::Rng rng(5);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto dag = graph::make_layered(3, 3, 0.4, {1.0, 4.0}, rng);
+    const auto mapping = sched::list_schedule(dag, 3, sched::PriorityPolicy::kCriticalPath);
+    const auto vdd = SpeedModel::vdd_hopping({0.3, 0.6, 0.9, 1.2, 1.5});
+    const double D = fmax_makespan(dag, mapping, 1.5) * 1.8;
+    auto r = solve_vdd_lp(dag, mapping, D, vdd);
+    ASSERT_TRUE(r.is_ok()) << trial;
+    EXPECT_LE(r.value().max_speeds_per_task, 2) << trial;
+    EXPECT_TRUE(r.value().speeds_adjacent) << trial;
+  }
+}
+
+TEST(VddLp, ScheduleValidates) {
+  common::Rng rng(6);
+  const auto dag = graph::make_random_dag(8, 0.25, {1.0, 3.0}, rng);
+  const auto mapping = sched::list_schedule(dag, 2, sched::PriorityPolicy::kCriticalPath);
+  const auto vdd = SpeedModel::vdd_hopping(model::xscale_levels());
+  const double D = fmax_makespan(dag, mapping, 1.0) * 1.5;
+  auto r = solve_vdd_lp(dag, mapping, D, vdd);
+  ASSERT_TRUE(r.is_ok());
+  sched::ValidationInput in;
+  in.speed_model = &vdd;
+  in.deadline = D;
+  EXPECT_TRUE(sched::validate_schedule(dag, mapping, r.value().schedule, in).is_ok());
+}
+
+TEST(VddLp, InfeasibleDeadlineDetected) {
+  const auto dag = graph::make_independent({10.0});
+  auto mapping = sched::Mapping(1, 1);
+  mapping.assign(0, 0);
+  EXPECT_FALSE(solve_vdd_lp(dag, mapping, 1.0, SpeedModel::vdd_hopping({0.5, 1.0})).is_ok());
+}
+
+TEST(VddLp, LooseDeadlineRunsAllAtSlowestLevel) {
+  const auto dag = graph::make_independent({1.0});
+  auto mapping = sched::Mapping(1, 1);
+  mapping.assign(0, 0);
+  const auto vdd = SpeedModel::vdd_hopping({0.5, 1.0});
+  auto r = solve_vdd_lp(dag, mapping, 100.0, vdd);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_NEAR(r.value().energy, 1.0 * 0.25, 1e-6);  // w * fmin^2
+}
+
+TEST(VddLp, RejectsNonVddModel) {
+  const auto dag = graph::make_independent({1.0});
+  auto mapping = sched::Mapping(1, 1);
+  mapping.assign(0, 0);
+  EXPECT_FALSE(solve_vdd_lp(dag, mapping, 1.0, SpeedModel::discrete({1.0})).is_ok());
+}
+
+TEST(VddFromContinuous, UpperBoundsLpOptimum) {
+  common::Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto dag = graph::make_random_dag(7, 0.3, {1.0, 3.0}, rng);
+    const auto mapping = sched::list_schedule(dag, 2, sched::PriorityPolicy::kCriticalPath);
+    const auto levels = model::xscale_levels();
+    const auto vdd = SpeedModel::vdd_hopping(levels);
+    const auto cont = SpeedModel::continuous(levels.front(), levels.back());
+    const double D = fmax_makespan(dag, mapping, 1.0) * 1.6;
+    auto r_cont = solve_continuous(dag, mapping, D, cont);
+    ASSERT_TRUE(r_cont.is_ok());
+    auto rounded = vdd_from_continuous(dag, r_cont.value().durations, vdd);
+    auto lp = solve_vdd_lp(dag, mapping, D, vdd);
+    ASSERT_TRUE(rounded.is_ok()) << trial;
+    ASSERT_TRUE(lp.is_ok());
+    EXPECT_GE(rounded.value().energy, lp.value().energy - 1e-6) << trial;
+    // And rounding is usually very close (within a few percent).
+    EXPECT_LE(rounded.value().energy, lp.value().energy * 1.10) << trial;
+  }
+}
+
+TEST(VddFromContinuous, ProfilesProcessExactWork) {
+  const auto dag = graph::make_independent({3.0});
+  const auto vdd = SpeedModel::vdd_hopping({0.5, 1.0, 2.0});
+  auto r = vdd_from_continuous(dag, {4.0}, vdd);  // f = 0.75
+  ASSERT_TRUE(r.is_ok());
+  const auto& prof = r.value().schedule.at(0).executions.front().profile;
+  EXPECT_NEAR(model::vdd_work(prof), 3.0, 1e-9);
+  EXPECT_NEAR(model::vdd_time(prof), 4.0, 1e-9);
+}
+
+TEST(VddFromContinuous, SlowerThanFminRunsAtFmin) {
+  const auto dag = graph::make_independent({1.0});
+  const auto vdd = SpeedModel::vdd_hopping({0.5, 1.0});
+  auto r = vdd_from_continuous(dag, {10.0}, vdd);  // f = 0.1 < fmin
+  ASSERT_TRUE(r.is_ok());
+  const auto& prof = r.value().schedule.at(0).executions.front().profile;
+  ASSERT_EQ(prof.size(), 1u);
+  EXPECT_DOUBLE_EQ(prof.front().speed, 0.5);
+  EXPECT_NEAR(model::vdd_time(prof), 2.0, 1e-12);  // finishes early
+}
+
+}  // namespace
+}  // namespace easched::bicrit

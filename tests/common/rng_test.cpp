@@ -1,0 +1,128 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace easched::common {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.5, 3.5);
+    EXPECT_GE(u, 2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentred) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowNeverReachesBound) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(15);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(17);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(8)];
+  for (int c : counts) EXPECT_NEAR(c, n / 8, n / 80);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(19);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialHasCorrectMean) {
+  Rng rng(25);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  Rng parent(31);
+  Rng c0 = parent.split(0);
+  Rng c1 = parent.split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += c0.next_u64() == c1.next_u64() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitIsDeterministicAndDoesNotAdvanceParent) {
+  Rng parent(33);
+  const auto before = Rng(33).next_u64();
+  Rng a = parent.split(5);
+  Rng b = parent.split(5);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_EQ(parent.next_u64(), before);
+}
+
+}  // namespace
+}  // namespace easched::common

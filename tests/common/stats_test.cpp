@@ -1,0 +1,106 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace easched::common {
+namespace {
+
+TEST(OnlineStats, MeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, SingleSampleHasZeroVariance) {
+  OnlineStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i * 0.7) * 10.0;
+    all.add(x);
+    (i < 37 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmptyIsIdentity) {
+  OnlineStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  OnlineStats b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(OnlineStats, Ci95ShrinksWithSamples) {
+  OnlineStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2);
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(Proportion, EstimateAndWilson) {
+  Proportion p{30, 100};
+  EXPECT_DOUBLE_EQ(p.estimate(), 0.3);
+  const auto [lo, hi] = p.wilson95();
+  EXPECT_LT(lo, 0.3);
+  EXPECT_GT(hi, 0.3);
+  EXPECT_GE(lo, 0.0);
+  EXPECT_LE(hi, 1.0);
+}
+
+TEST(Proportion, ZeroTrials) {
+  Proportion p;
+  EXPECT_DOUBLE_EQ(p.estimate(), 0.0);
+  const auto [lo, hi] = p.wilson95();
+  EXPECT_DOUBLE_EQ(lo, 0.0);
+  EXPECT_DOUBLE_EQ(hi, 1.0);
+}
+
+TEST(Proportion, ExtremeCountsStayInUnitInterval) {
+  Proportion all{100, 100}, none{0, 100};
+  EXPECT_LE(all.wilson95().second, 1.0);
+  EXPECT_LT(all.wilson95().first, 1.0);  // Wilson pulls away from the boundary
+  EXPECT_GE(none.wilson95().first, 0.0);
+  EXPECT_GT(none.wilson95().second, 0.0);
+}
+
+TEST(QuantileSorted, InterpolatesLinearly) {
+  std::vector<double> v{0.0, 1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.125), 0.5);
+}
+
+TEST(QuantileSorted, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(quantile_sorted({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted({7.0}, 0.99), 7.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted({1.0, 2.0}, -0.5), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(quantile_sorted({1.0, 2.0}, 1.5), 2.0);   // clamped
+}
+
+}  // namespace
+}  // namespace easched::common

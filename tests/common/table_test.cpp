@@ -1,0 +1,66 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace easched::common {
+namespace {
+
+TEST(Table, PrintsHeaderRuleAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::logic_error);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"k", "v"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"quote\"inside", "line\nbreak"});
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainFieldsUnquoted) {
+  Table t({"x"});
+  t.add_row({"simple"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x\nsimple\n");
+}
+
+TEST(Format, Helpers) {
+  EXPECT_EQ(format_int(42), "42");
+  EXPECT_EQ(format_int(-7), "-7");
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_ratio(1.5), "1.5000x");
+  EXPECT_EQ(format_pct(0.123, 1), "12.3%");
+  EXPECT_EQ(format_g(0.000123456), "0.000123456");
+}
+
+TEST(Format, GUsesCompactNotation) {
+  EXPECT_EQ(format_g(1e10), "1e+10");
+  EXPECT_EQ(format_g(1.0), "1");
+}
+
+}  // namespace
+}  // namespace easched::common

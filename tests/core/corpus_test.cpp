@@ -1,0 +1,88 @@
+#include "core/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/analysis.hpp"
+
+namespace easched::core {
+namespace {
+
+TEST(Corpus, ContainsAllFamilies) {
+  common::Rng rng(1);
+  CorpusOptions opt;
+  opt.instances_per_family = 1;
+  const auto corpus = standard_corpus(rng, opt);
+  std::set<std::string> names;
+  for (const auto& inst : corpus) names.insert(inst.name);
+  for (const char* family : {"chain", "fork", "join", "fork-join", "out-tree", "sp",
+                             "layered", "random-dag"}) {
+    EXPECT_TRUE(names.count(family)) << family;
+  }
+}
+
+TEST(Corpus, EveryInstanceHasValidMapping) {
+  common::Rng rng(2);
+  const auto corpus = standard_corpus(rng, {});
+  for (const auto& inst : corpus) {
+    EXPECT_TRUE(inst.mapping.validate(inst.dag).is_ok()) << inst.name;
+    EXPECT_TRUE(inst.dag.validate().is_ok()) << inst.name;
+  }
+}
+
+TEST(Corpus, InstancesPerFamilyRespected) {
+  common::Rng rng(3);
+  CorpusOptions opt;
+  opt.instances_per_family = 2;
+  const auto corpus = standard_corpus(rng, opt);
+  int chains = 0;
+  for (const auto& inst : corpus) chains += inst.name == "chain" ? 1 : 0;
+  EXPECT_EQ(chains, 2);
+}
+
+TEST(Corpus, ChainMappedOnSingleProcessor) {
+  common::Rng rng(4);
+  CorpusOptions opt;
+  opt.instances_per_family = 1;
+  for (const auto& inst : standard_corpus(rng, opt)) {
+    if (inst.name == "chain") {
+      EXPECT_EQ(inst.mapping.num_processors(), 1);
+      EXPECT_TRUE(graph::is_chain(inst.dag));
+    }
+    if (inst.name == "fork") {
+      EXPECT_TRUE(graph::is_fork(inst.dag));
+      EXPECT_EQ(inst.mapping.num_processors(), inst.dag.num_tasks());
+    }
+  }
+}
+
+TEST(Corpus, DeadlineWithSlackScalesLinearly) {
+  common::Rng rng(5);
+  CorpusOptions opt;
+  opt.instances_per_family = 1;
+  const auto corpus = standard_corpus(rng, opt);
+  const auto& inst = corpus.front();
+  const double d1 = deadline_with_slack(inst, 1.0, 1.0);
+  const double d2 = deadline_with_slack(inst, 1.0, 2.0);
+  EXPECT_NEAR(d2, 2.0 * d1, 1e-9);
+  EXPECT_GT(d1, 0.0);
+}
+
+TEST(Corpus, DeterministicForSeed) {
+  common::Rng a(7), b(7);
+  CorpusOptions opt;
+  opt.instances_per_family = 1;
+  const auto c1 = standard_corpus(a, opt);
+  const auto c2 = standard_corpus(b, opt);
+  ASSERT_EQ(c1.size(), c2.size());
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    ASSERT_EQ(c1[i].dag.num_tasks(), c2[i].dag.num_tasks());
+    for (int t = 0; t < c1[i].dag.num_tasks(); ++t) {
+      EXPECT_DOUBLE_EQ(c1[i].dag.weight(t), c2[i].dag.weight(t));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace easched::core

@@ -1,0 +1,146 @@
+#include "graph/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace easched::graph {
+namespace {
+
+Dag diamond() {
+  Dag d;  // 0 -> {1,2} -> 3
+  for (int i = 0; i < 4; ++i) d.add_task(1.0);
+  d.add_edge(0, 1);
+  d.add_edge(0, 2);
+  d.add_edge(1, 3);
+  d.add_edge(2, 3);
+  return d;
+}
+
+TEST(TopologicalOrder, RespectsEdges) {
+  const Dag d = diamond();
+  auto order = topological_order(d);
+  ASSERT_TRUE(order.is_ok());
+  std::vector<int> pos(4);
+  for (int i = 0; i < 4; ++i) {
+    pos[static_cast<std::size_t>(order.value()[static_cast<std::size_t>(i)])] = i;
+  }
+  for (TaskId u = 0; u < 4; ++u) {
+    for (TaskId v : d.successors(u)) EXPECT_LT(pos[static_cast<std::size_t>(u)], pos[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(TopologicalOrder, DetectsCycle) {
+  Dag d;
+  d.add_task(1.0);
+  d.add_task(1.0);
+  d.add_edge(0, 1);
+  d.add_edge(1, 0);
+  EXPECT_FALSE(topological_order(d).is_ok());
+  EXPECT_FALSE(is_acyclic(d));
+}
+
+TEST(TimeAnalysis, DiamondAsapAlapSlack) {
+  const Dag d = diamond();
+  const std::vector<double> dur{1.0, 2.0, 1.0, 1.0};
+  const auto ta = time_analysis(d, dur, 5.0);
+  // ASAP: 0 at 0; 1,2 at 1; 3 at max(1+2, 1+1)=3. Makespan 4.
+  EXPECT_DOUBLE_EQ(ta.asap[0], 0.0);
+  EXPECT_DOUBLE_EQ(ta.asap[1], 1.0);
+  EXPECT_DOUBLE_EQ(ta.asap[2], 1.0);
+  EXPECT_DOUBLE_EQ(ta.asap[3], 3.0);
+  EXPECT_DOUBLE_EQ(ta.makespan, 4.0);
+  // ALAP anchored at 5: task3 starts 4; task1 starts 4-2=2; task2 4-1=3;
+  // task0 min(2-1, 3-1)=1.
+  EXPECT_DOUBLE_EQ(ta.alap[3], 4.0);
+  EXPECT_DOUBLE_EQ(ta.alap[1], 2.0);
+  EXPECT_DOUBLE_EQ(ta.alap[2], 3.0);
+  EXPECT_DOUBLE_EQ(ta.alap[0], 1.0);
+  // Slack: horizon - makespan = 1 for critical tasks (0,1,3); 2 for task2.
+  EXPECT_DOUBLE_EQ(ta.slack[0], 1.0);
+  EXPECT_DOUBLE_EQ(ta.slack[1], 1.0);
+  EXPECT_DOUBLE_EQ(ta.slack[2], 2.0);
+  EXPECT_DOUBLE_EQ(ta.slack[3], 1.0);
+}
+
+TEST(TimeAnalysis, SlackLowerBoundProperty) {
+  common::Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Dag d = make_random_dag(20, 0.2, {1.0, 5.0}, rng);
+    std::vector<double> dur(20);
+    for (auto& x : dur) x = rng.uniform(0.5, 2.0);
+    const double horizon = 100.0;
+    const auto ta = time_analysis(d, dur, horizon);
+    for (int t = 0; t < 20; ++t) {
+      EXPECT_GE(ta.slack[static_cast<std::size_t>(t)],
+                horizon - ta.makespan - 1e-9);
+    }
+  }
+}
+
+TEST(CriticalPath, ChainIsWholeChain) {
+  common::Rng rng(5);
+  const Dag d = make_chain(6, {1.0, 3.0}, rng);
+  const auto path = critical_path(d, std::vector<double>(6, 1.0));
+  EXPECT_EQ(path.size(), 6u);
+}
+
+TEST(CriticalPath, PicksHeavierBranch) {
+  const Dag d = diamond();
+  const std::vector<double> dur{1.0, 5.0, 1.0, 1.0};
+  const auto path = critical_path(d, dur);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], 0);
+  EXPECT_EQ(path[1], 1);
+  EXPECT_EQ(path[2], 3);
+}
+
+TEST(CriticalPath, LengthMatchesMakespan) {
+  common::Rng rng(6);
+  const Dag d = make_layered(4, 4, 0.4, {1.0, 4.0}, rng);
+  std::vector<double> dur(static_cast<std::size_t>(d.num_tasks()));
+  for (auto& x : dur) x = rng.uniform(0.5, 2.0);
+  const auto path = critical_path(d, dur);
+  double len = 0.0;
+  for (TaskId t : path) len += dur[static_cast<std::size_t>(t)];
+  EXPECT_NEAR(len, time_analysis(d, dur, 0.0).makespan, 1e-12);
+}
+
+TEST(DepthLevels, Diamond) {
+  const auto depth = depth_levels(diamond());
+  EXPECT_EQ(depth[0], 0);
+  EXPECT_EQ(depth[1], 1);
+  EXPECT_EQ(depth[2], 1);
+  EXPECT_EQ(depth[3], 2);
+}
+
+TEST(StructurePredicates, Chain) {
+  common::Rng rng(7);
+  EXPECT_TRUE(is_chain(make_chain(5, {1.0, 2.0}, rng)));
+  EXPECT_FALSE(is_chain(diamond()));
+  EXPECT_FALSE(is_chain(make_fork({1.0, 2.0, 3.0})));
+  Dag single;
+  single.add_task(1.0);
+  EXPECT_TRUE(is_chain(single));
+}
+
+TEST(StructurePredicates, Fork) {
+  EXPECT_TRUE(is_fork(make_fork({1.0, 2.0, 3.0, 4.0})));
+  EXPECT_FALSE(is_fork(diamond()));
+  common::Rng rng(8);
+  EXPECT_FALSE(is_fork(make_chain(3, {1.0, 2.0}, rng)));
+  // Two-task chain is both a chain and (degenerately) a fork with 1 child.
+  EXPECT_TRUE(is_fork(make_fork({1.0, 2.0})));
+}
+
+TEST(StructurePredicates, Join) {
+  EXPECT_TRUE(is_join(make_join({1.0, 2.0, 3.0})));
+  EXPECT_FALSE(is_join(make_fork({1.0, 2.0, 3.0})));
+  EXPECT_FALSE(is_join(diamond()));
+}
+
+}  // namespace
+}  // namespace easched::graph

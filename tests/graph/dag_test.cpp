@@ -1,0 +1,109 @@
+#include "graph/dag.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easched::graph {
+namespace {
+
+TEST(Dag, AddTasksAssignsSequentialIds) {
+  Dag d;
+  EXPECT_EQ(d.add_task(1.0), 0);
+  EXPECT_EQ(d.add_task(2.0), 1);
+  EXPECT_EQ(d.num_tasks(), 2);
+  EXPECT_DOUBLE_EQ(d.weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.weight(1), 2.0);
+}
+
+TEST(Dag, DefaultNamesAreGenerated) {
+  Dag d;
+  d.add_task(1.0);
+  d.add_task(1.0, "custom");
+  EXPECT_EQ(d.name(0), "T0");
+  EXPECT_EQ(d.name(1), "custom");
+}
+
+TEST(Dag, EdgesTrackBothDirections) {
+  Dag d;
+  d.add_task(1.0);
+  d.add_task(1.0);
+  d.add_task(1.0);
+  d.add_edge(0, 1);
+  d.add_edge(0, 2);
+  EXPECT_EQ(d.num_edges(), 2);
+  EXPECT_EQ(d.out_degree(0), 2);
+  EXPECT_EQ(d.in_degree(1), 1);
+  EXPECT_EQ(d.in_degree(2), 1);
+  EXPECT_TRUE(d.has_edge(0, 1));
+  EXPECT_FALSE(d.has_edge(1, 0));
+}
+
+TEST(Dag, DuplicateEdgesIgnored) {
+  Dag d;
+  d.add_task(1.0);
+  d.add_task(1.0);
+  d.add_edge(0, 1);
+  d.add_edge(0, 1);
+  EXPECT_EQ(d.num_edges(), 1);
+}
+
+TEST(Dag, SelfLoopThrows) {
+  Dag d;
+  d.add_task(1.0);
+  EXPECT_THROW(d.add_edge(0, 0), std::logic_error);
+}
+
+TEST(Dag, OutOfRangeEdgeThrows) {
+  Dag d;
+  d.add_task(1.0);
+  EXPECT_THROW(d.add_edge(0, 5), std::logic_error);
+  EXPECT_THROW(d.add_edge(-1, 0), std::logic_error);
+}
+
+TEST(Dag, NegativeWeightThrows) {
+  Dag d;
+  EXPECT_THROW(d.add_task(-1.0), std::logic_error);
+  d.add_task(1.0);
+  EXPECT_THROW(d.set_weight(0, -2.0), std::logic_error);
+}
+
+TEST(Dag, SourcesAndSinks) {
+  Dag d;  // 0 -> 1 -> 2, 3 isolated
+  for (int i = 0; i < 4; ++i) d.add_task(1.0);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  EXPECT_EQ(d.sources(), (std::vector<TaskId>{0, 3}));
+  EXPECT_EQ(d.sinks(), (std::vector<TaskId>{2, 3}));
+}
+
+TEST(Dag, TotalWeight) {
+  Dag d;
+  d.add_task(1.5);
+  d.add_task(2.5);
+  EXPECT_DOUBLE_EQ(d.total_weight(), 4.0);
+}
+
+TEST(Dag, ValidateAcceptsDagRejectsCycle) {
+  Dag d;
+  for (int i = 0; i < 3; ++i) d.add_task(1.0);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  EXPECT_TRUE(d.validate().is_ok());
+  d.add_edge(2, 0);
+  EXPECT_FALSE(d.validate().is_ok());
+}
+
+TEST(Dag, SetWeightUpdates) {
+  Dag d;
+  d.add_task(1.0);
+  d.set_weight(0, 9.0);
+  EXPECT_DOUBLE_EQ(d.weight(0), 9.0);
+}
+
+TEST(Dag, ZeroWeightAllowed) {
+  Dag d;
+  EXPECT_NO_THROW(d.add_task(0.0));
+  EXPECT_DOUBLE_EQ(d.total_weight(), 0.0);
+}
+
+}  // namespace
+}  // namespace easched::graph

@@ -1,0 +1,117 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+
+namespace easched::graph {
+namespace {
+
+TEST(Generators, ChainShape) {
+  common::Rng rng(1);
+  const Dag d = make_chain(7, {1.0, 2.0}, rng);
+  EXPECT_EQ(d.num_tasks(), 7);
+  EXPECT_EQ(d.num_edges(), 6);
+  EXPECT_TRUE(is_chain(d));
+}
+
+TEST(Generators, ChainExplicitWeights) {
+  const Dag d = make_chain({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d.weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.weight(2), 3.0);
+  EXPECT_TRUE(d.has_edge(0, 1));
+  EXPECT_TRUE(d.has_edge(1, 2));
+}
+
+TEST(Generators, ForkShape) {
+  const Dag d = make_fork({5.0, 1.0, 2.0, 3.0});
+  EXPECT_TRUE(is_fork(d));
+  EXPECT_DOUBLE_EQ(d.weight(0), 5.0);
+  EXPECT_EQ(d.out_degree(0), 3);
+}
+
+TEST(Generators, JoinShape) {
+  const Dag d = make_join({1.0, 2.0, 9.0});
+  EXPECT_TRUE(is_join(d));
+  EXPECT_DOUBLE_EQ(d.weight(2), 9.0);
+}
+
+TEST(Generators, ForkJoinShape) {
+  const Dag d = make_fork_join({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(d.num_tasks(), 4);
+  EXPECT_EQ(d.sources().size(), 1u);
+  EXPECT_EQ(d.sinks().size(), 1u);
+  EXPECT_EQ(d.num_edges(), 4);  // 2 middles * 2
+}
+
+TEST(Generators, OutTreeProperties) {
+  common::Rng rng(2);
+  const Dag d = make_out_tree(20, 3, {1.0, 2.0}, rng);
+  EXPECT_EQ(d.num_tasks(), 20);
+  EXPECT_EQ(d.num_edges(), 19);  // tree
+  EXPECT_TRUE(is_acyclic(d));
+  for (TaskId t = 1; t < 20; ++t) EXPECT_LE(d.in_degree(t), 1);
+  for (TaskId t = 0; t < 20; ++t) EXPECT_LE(d.out_degree(t), 3);
+}
+
+TEST(Generators, LayeredProperties) {
+  common::Rng rng(3);
+  const Dag d = make_layered(5, 4, 0.3, {1.0, 2.0}, rng);
+  EXPECT_EQ(d.num_tasks(), 20);
+  EXPECT_TRUE(is_acyclic(d));
+  // Every non-last-layer task has at least one successor.
+  for (TaskId t = 0; t < 16; ++t) EXPECT_GE(d.out_degree(t), 1) << t;
+}
+
+TEST(Generators, RandomDagAcyclicAndWeightsInRange) {
+  common::Rng rng(4);
+  const Dag d = make_random_dag(30, 0.2, {2.0, 3.0}, rng);
+  EXPECT_TRUE(is_acyclic(d));
+  for (TaskId t = 0; t < 30; ++t) {
+    EXPECT_GE(d.weight(t), 2.0);
+    EXPECT_LE(d.weight(t), 3.0);
+  }
+}
+
+TEST(Generators, RandomSpTaskCountApproximatesTarget) {
+  common::Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Dag d = make_random_series_parallel(25, {1.0, 2.0}, rng);
+    EXPECT_GE(d.num_tasks(), 25);      // parallel blocks add source+sink tasks
+    EXPECT_LE(d.num_tasks(), 25 * 3);  // but never explode
+    EXPECT_TRUE(is_acyclic(d));
+  }
+}
+
+TEST(Generators, IndependentHasNoEdges) {
+  const Dag d = make_independent({1.0, 2.0});
+  EXPECT_EQ(d.num_edges(), 0);
+}
+
+TEST(Generators, DeterministicGivenSeed) {
+  common::Rng a(42), b(42);
+  const Dag d1 = make_random_dag(15, 0.3, {1.0, 2.0}, a);
+  const Dag d2 = make_random_dag(15, 0.3, {1.0, 2.0}, b);
+  ASSERT_EQ(d1.num_edges(), d2.num_edges());
+  for (TaskId t = 0; t < 15; ++t) EXPECT_DOUBLE_EQ(d1.weight(t), d2.weight(t));
+}
+
+TEST(Generators, RandomWeightsRespectSpec) {
+  common::Rng rng(6);
+  const auto w = random_weights(100, {0.5, 0.6}, rng);
+  for (double x : w) {
+    EXPECT_GE(x, 0.5);
+    EXPECT_LE(x, 0.6);
+  }
+}
+
+TEST(Generators, InvalidArgumentsThrow) {
+  common::Rng rng(7);
+  EXPECT_THROW(make_chain({}), std::logic_error);
+  EXPECT_THROW(make_fork({1.0}), std::logic_error);
+  EXPECT_THROW(make_fork_join({1.0, 2.0}), std::logic_error);
+  EXPECT_THROW(random_weights(3, {-1.0, 2.0}, rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace easched::graph

@@ -1,0 +1,137 @@
+#include "graph/series_parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace easched::graph {
+namespace {
+
+TEST(SpTree, BuildAndQuery) {
+  SpTree t;
+  const int a = t.add_task(0);
+  const int b = t.add_task(1);
+  const int s = t.add_series(a, b);
+  t.set_root(s);
+  EXPECT_EQ(t.node(s).kind, SpTree::Kind::kSeries);
+  auto tasks = t.tasks_under(t.root());
+  std::sort(tasks.begin(), tasks.end());
+  EXPECT_EQ(tasks, (std::vector<TaskId>{0, 1}));
+}
+
+TEST(Decompose, SingleTask) {
+  Dag d;
+  d.add_task(2.0);
+  auto tree = decompose_series_parallel(d);
+  ASSERT_TRUE(tree.is_ok());
+  EXPECT_EQ(tree.value().tasks_under(tree.value().root()), std::vector<TaskId>{0});
+}
+
+TEST(Decompose, Chain) {
+  common::Rng rng(1);
+  const Dag d = make_chain(6, {1.0, 2.0}, rng);
+  auto tree = decompose_series_parallel(d);
+  ASSERT_TRUE(tree.is_ok());
+  auto tasks = tree.value().tasks_under(tree.value().root());
+  EXPECT_EQ(tasks.size(), 6u);
+}
+
+TEST(Decompose, ForkIsSp) {
+  const Dag d = make_fork({1.0, 2.0, 3.0, 4.0});
+  EXPECT_TRUE(is_series_parallel(d));
+}
+
+TEST(Decompose, JoinIsSp) {
+  const Dag d = make_join({1.0, 2.0, 3.0});
+  EXPECT_TRUE(is_series_parallel(d));
+}
+
+TEST(Decompose, ForkJoinIsSp) {
+  const Dag d = make_fork_join({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_TRUE(is_series_parallel(d));
+}
+
+TEST(Decompose, DiamondIsSp) {
+  Dag d;
+  for (int i = 0; i < 4; ++i) d.add_task(1.0);
+  d.add_edge(0, 1);
+  d.add_edge(0, 2);
+  d.add_edge(1, 3);
+  d.add_edge(2, 3);
+  EXPECT_TRUE(is_series_parallel(d));
+}
+
+TEST(Decompose, IndependentTasksAreSp) {
+  // Disjoint tasks join through the virtual source/sink: a pure parallel
+  // composition.
+  const Dag d = make_independent({1.0, 2.0, 3.0});
+  EXPECT_TRUE(is_series_parallel(d));
+}
+
+TEST(Decompose, OutTreesAreSp) {
+  common::Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Dag d = make_out_tree(15, 3, {1.0, 2.0}, rng);
+    EXPECT_TRUE(is_series_parallel(d)) << "trial " << trial;
+  }
+}
+
+TEST(Decompose, NGraphIsNotSp) {
+  // The classic N obstruction: 0->2, 0->3, 1->3 (plus nothing else).
+  Dag d;
+  for (int i = 0; i < 4; ++i) d.add_task(1.0);
+  d.add_edge(0, 2);
+  d.add_edge(0, 3);
+  d.add_edge(1, 3);
+  EXPECT_FALSE(is_series_parallel(d));
+}
+
+TEST(Decompose, CompleteBipartiteSeriesIsNotEdgeSp) {
+  // K2,2 between two task pairs: not reducible (documented limitation —
+  // the closed form does not exist there either).
+  Dag d;
+  for (int i = 0; i < 4; ++i) d.add_task(1.0);
+  d.add_edge(0, 2);
+  d.add_edge(0, 3);
+  d.add_edge(1, 2);
+  d.add_edge(1, 3);
+  EXPECT_FALSE(is_series_parallel(d));
+}
+
+TEST(Decompose, GeneratorAlwaysRecognised) {
+  common::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Dag d = make_random_series_parallel(20, {1.0, 5.0}, rng);
+    auto tree = decompose_series_parallel(d);
+    ASSERT_TRUE(tree.is_ok()) << "trial " << trial;
+    // Every task appears exactly once among the leaves.
+    auto tasks = tree.value().tasks_under(tree.value().root());
+    std::sort(tasks.begin(), tasks.end());
+    ASSERT_EQ(static_cast<int>(tasks.size()), d.num_tasks());
+    for (int i = 0; i < d.num_tasks(); ++i) EXPECT_EQ(tasks[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Decompose, RandomDagsUsuallyRejected) {
+  common::Rng rng(4);
+  int rejected = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Dag d = make_random_dag(12, 0.3, {1.0, 2.0}, rng);
+    if (!is_series_parallel(d)) ++rejected;
+  }
+  EXPECT_GT(rejected, 5);  // dense random DAGs are almost never SP
+}
+
+TEST(Decompose, LeafCountMatchesTaskCount) {
+  common::Rng rng(5);
+  const Dag d = make_random_series_parallel(30, {1.0, 2.0}, rng);
+  auto tree = decompose_series_parallel(d);
+  ASSERT_TRUE(tree.is_ok());
+  EXPECT_EQ(tree.value().tasks_under(tree.value().root()).size(), 30u);
+}
+
+}  // namespace
+}  // namespace easched::graph

@@ -1,0 +1,118 @@
+// End-to-end sweeps over the standard corpus: generate -> map -> solve ->
+// validate for every solver that applies, mirroring how the benches drive
+// the library.
+
+#include <gtest/gtest.h>
+
+#include "core/corpus.hpp"
+#include "core/solvers.hpp"
+#include "graph/analysis.hpp"
+#include "sim/fault_sim.hpp"
+
+namespace easched::core {
+namespace {
+
+CorpusOptions small_corpus() {
+  CorpusOptions opt;
+  opt.tasks = 8;
+  opt.processors = 3;
+  opt.instances_per_family = 1;
+  return opt;
+}
+
+TEST(EndToEnd, BiCritAutoSolvesWholeCorpusContinuous) {
+  common::Rng rng(201);
+  for (const auto& inst : standard_corpus(rng, small_corpus())) {
+    const double D = deadline_with_slack(inst, 1.0, 1.5);
+    BiCritProblem p(inst.dag, inst.mapping, model::SpeedModel::continuous(0.1, 1.0), D);
+    auto r = solve(p);
+    ASSERT_TRUE(r.is_ok()) << inst.name << ": " << r.status().to_string();
+    EXPECT_TRUE(p.check(r.value().schedule).is_ok()) << inst.name;
+    EXPECT_GT(r.value().energy, 0.0) << inst.name;
+  }
+}
+
+TEST(EndToEnd, BiCritVddSolvesWholeCorpus) {
+  common::Rng rng(202);
+  for (const auto& inst : standard_corpus(rng, small_corpus())) {
+    const double D = deadline_with_slack(inst, 1.0, 1.6);
+    BiCritProblem p(inst.dag, inst.mapping,
+                    model::SpeedModel::vdd_hopping(model::xscale_levels()), D);
+    auto r = solve(p);
+    ASSERT_TRUE(r.is_ok()) << inst.name << ": " << r.status().to_string();
+    EXPECT_TRUE(p.check(r.value().schedule).is_ok()) << inst.name;
+  }
+}
+
+TEST(EndToEnd, TriCritBestOfSolvesWholeCorpus) {
+  common::Rng rng(203);
+  const model::ReliabilityModel rel(1e-5, 3.0, 0.1, 1.0, 0.8);
+  for (const auto& inst : standard_corpus(rng, small_corpus())) {
+    const double D = deadline_with_slack(inst, 1.0, 2.0) / 0.8;
+    TriCritProblem p(inst.dag, inst.mapping, model::SpeedModel::continuous(0.1, 1.0), rel,
+                     D);
+    auto r = solve(p, TriCritSolver::kBestOf);
+    ASSERT_TRUE(r.is_ok()) << inst.name << ": " << r.status().to_string();
+    EXPECT_TRUE(p.check(r.value().schedule).is_ok()) << inst.name;
+  }
+}
+
+TEST(EndToEnd, TriCritScheduleSurvivesFaultInjection) {
+  common::Rng rng(204);
+  const model::ReliabilityModel rel(1e-3, 3.0, 0.1, 1.0, 0.8);
+  auto corpus = standard_corpus(rng, small_corpus());
+  const auto& inst = corpus.front();  // chain
+  const double D = deadline_with_slack(inst, 1.0, 2.5) / 0.8;
+  TriCritProblem p(inst.dag, inst.mapping, model::SpeedModel::continuous(0.1, 1.0), rel, D);
+  auto r = solve(p, TriCritSolver::kBestOf);
+  ASSERT_TRUE(r.is_ok());
+  sim::SimOptions opt;
+  opt.trials = 20000;
+  const auto report = sim::simulate(inst.dag, r.value().schedule, rel, opt);
+  // Every task's observed success rate must beat the per-task threshold
+  // R_i(frel) (up to CI noise).
+  for (int t = 0; t < inst.dag.num_tasks(); ++t) {
+    const double threshold = 1.0 - rel.threshold_failure(inst.dag.weight(t));
+    const auto [lo, hi] = report.per_task[static_cast<std::size_t>(t)].success.wilson95();
+    EXPECT_GE(hi, threshold) << "task " << t;
+  }
+  EXPECT_LE(report.actual_energy.mean(), report.worst_case_energy + 1e-9);
+}
+
+TEST(EndToEnd, EnergyDeadlineParetoMonotone) {
+  common::Rng rng(205);
+  auto corpus = standard_corpus(rng, small_corpus());
+  for (const auto& inst : corpus) {
+    if (inst.name != "layered" && inst.name != "sp") continue;
+    double prev = 1e300;
+    for (double slack : {1.2, 1.6, 2.4, 4.0}) {
+      const double D = deadline_with_slack(inst, 1.0, slack);
+      BiCritProblem p(inst.dag, inst.mapping, model::SpeedModel::continuous(0.05, 1.0), D);
+      auto r = solve(p, BiCritSolver::kContinuousIpm);
+      ASSERT_TRUE(r.is_ok()) << inst.name << " slack " << slack;
+      EXPECT_LE(r.value().energy, prev * (1.0 + 1e-7)) << inst.name;
+      prev = r.value().energy;
+    }
+  }
+}
+
+TEST(EndToEnd, TriCritEnergyAtMostBiCritWithFrelFloor) {
+  // TRI-CRIT with re-execution can only improve on the "run singles at
+  // >= frel" baseline, never worse (best-of includes that baseline).
+  common::Rng rng(206);
+  const model::ReliabilityModel rel(1e-5, 3.0, 0.1, 1.0, 0.8);
+  for (const auto& inst : standard_corpus(rng, small_corpus())) {
+    const double D = deadline_with_slack(inst, 1.0, 3.0) / 0.8;
+    TriCritProblem tri(inst.dag, inst.mapping, model::SpeedModel::continuous(0.1, 1.0),
+                       rel, D);
+    BiCritProblem bi(inst.dag, inst.mapping, model::SpeedModel::continuous(0.8, 1.0), D);
+    auto r_tri = solve(tri, TriCritSolver::kBestOf);
+    auto r_bi = solve(bi, BiCritSolver::kContinuousIpm);
+    if (!r_bi.is_ok()) continue;
+    ASSERT_TRUE(r_tri.is_ok()) << inst.name;
+    EXPECT_LE(r_tri.value().energy, r_bi.value().energy * (1.0 + 1e-4)) << inst.name;
+  }
+}
+
+}  // namespace
+}  // namespace easched::core

@@ -1,0 +1,120 @@
+#include "linalg/factor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace easched::linalg {
+namespace {
+
+Matrix random_spd(std::size_t n, common::Rng& rng) {
+  // A = B B^T + n*I is SPD.
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) b(r, c) = rng.uniform(-1.0, 1.0);
+  Matrix a = b.multiply(b.transposed());
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+TEST(Cholesky, SolvesDiagonalSystem) {
+  Matrix a(3, 3);
+  a(0, 0) = 4.0; a(1, 1) = 9.0; a(2, 2) = 16.0;
+  auto f = Cholesky::factor(a);
+  ASSERT_TRUE(f.is_ok());
+  const Vector x = f.value().solve({4.0, 18.0, 48.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(Cholesky, ResidualSmallOnRandomSpd) {
+  common::Rng rng(42);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t n = 20;
+    const Matrix a = random_spd(n, rng);
+    Vector b(n);
+    for (auto& v : b) v = rng.uniform(-5.0, 5.0);
+    auto f = Cholesky::factor(a);
+    ASSERT_TRUE(f.is_ok());
+    const Vector x = f.value().solve(b);
+    const Vector r = subtract(a.multiply(x), b);
+    EXPECT_LT(norm_inf(r), 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0; a(1, 0) = 2.0; a(1, 1) = 1.0;  // eigenvalues 3, -1
+  EXPECT_FALSE(Cholesky::factor(a).is_ok());
+}
+
+TEST(Cholesky, RejectsZeroMatrix) {
+  EXPECT_FALSE(Cholesky::factor(Matrix(3, 3)).is_ok());
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 0.0; a(0, 1) = 1.0; a(1, 0) = 2.0; a(1, 1) = 0.0;  // needs pivoting
+  auto f = Lu::factor(a);
+  ASSERT_TRUE(f.is_ok());
+  const Vector x = f.value().solve({3.0, 4.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, DeterminantWithPivoting) {
+  Matrix a(2, 2);
+  a(0, 0) = 0.0; a(0, 1) = 1.0; a(1, 0) = 1.0; a(1, 1) = 0.0;  // det = -1
+  auto f = Lu::factor(a);
+  ASSERT_TRUE(f.is_ok());
+  EXPECT_NEAR(f.value().determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, ResidualSmallOnRandomMatrix) {
+  common::Rng rng(7);
+  const std::size_t n = 25;
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-3.0, 3.0);
+  Vector b(n);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  auto f = Lu::factor(a);
+  ASSERT_TRUE(f.is_ok());
+  const Vector x = f.value().solve(b);
+  EXPECT_LT(norm_inf(subtract(a.multiply(x), b)), 1e-9);
+}
+
+TEST(Lu, RejectsSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0; a(1, 0) = 2.0; a(1, 1) = 4.0;  // rank 1
+  EXPECT_FALSE(Lu::factor(a).is_ok());
+}
+
+TEST(SolveSpd, FallsBackToLuNearSemidefinite) {
+  // Symmetric but indefinite: Cholesky fails, LU succeeds.
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 3.0; a(1, 0) = 3.0; a(1, 1) = 1.0;
+  auto x = solve_spd(a, {4.0, 4.0});
+  ASSERT_TRUE(x.is_ok());
+  EXPECT_NEAR(x.value()[0], 1.0, 1e-12);
+  EXPECT_NEAR(x.value()[1], 1.0, 1e-12);
+}
+
+TEST(CholeskyVsLu, AgreeOnSpd) {
+  common::Rng rng(99);
+  const std::size_t n = 12;
+  const Matrix a = random_spd(n, rng);
+  Vector b(n);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  auto c = Cholesky::factor(a);
+  auto l = Lu::factor(a);
+  ASSERT_TRUE(c.is_ok());
+  ASSERT_TRUE(l.is_ok());
+  const Vector x1 = c.value().solve(b);
+  const Vector x2 = l.value().solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace easched::linalg

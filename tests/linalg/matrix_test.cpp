@@ -1,0 +1,94 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easched::linalg {
+namespace {
+
+TEST(Matrix, IdentityMultiplyIsIdentity) {
+  const Matrix eye = Matrix::identity(4);
+  const Vector x{1.0, -2.0, 3.0, 0.5};
+  const Vector y = eye.multiply(x);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(Matrix, MultiplyKnownValues) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  const Vector y = a.multiply(Vector{1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(Matrix, MultiplyTransposedAgreesWithExplicitTranspose) {
+  Matrix a(3, 2);
+  int v = 1;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 2; ++c) a(r, c) = v++;
+  const Vector x{1.0, 2.0, 3.0};
+  const Vector y1 = a.multiply_transposed(x);
+  const Vector y2 = a.transposed().multiply(x);
+  ASSERT_EQ(y1.size(), y2.size());
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+}
+
+TEST(Matrix, MatrixProduct) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, AddOuterAccumulates) {
+  Matrix m(2, 2);
+  m.add_outer(2.0, {1.0, 2.0}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(m(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 12.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 16.0);
+}
+
+TEST(Matrix, SizeMismatchThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(a.multiply(Vector{1.0, 2.0}), std::logic_error);
+  EXPECT_THROW(a.multiply_transposed(Vector{1.0}), std::logic_error);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  Matrix m(2, 2);
+  m(0, 0) = 3.0;
+  m(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(VectorOps, DotNormAxpy) {
+  const Vector a{1.0, 2.0, 3.0}, b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 12.0);
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf({-7.0, 2.0}), 7.0);
+  Vector y{1.0, 1.0, 1.0};
+  axpy(2.0, a, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[2], 7.0);
+}
+
+TEST(VectorOps, ScaleAddSubtract) {
+  Vector v{1.0, -2.0};
+  scale(v, -3.0);
+  EXPECT_DOUBLE_EQ(v[0], -3.0);
+  EXPECT_DOUBLE_EQ(v[1], 6.0);
+  const Vector s = subtract({5.0, 5.0}, {2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s[0], 3.0);
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+  const Vector t = add({1.0, 2.0}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(t[0], 4.0);
+  EXPECT_DOUBLE_EQ(t[1], 6.0);
+}
+
+}  // namespace
+}  // namespace easched::linalg

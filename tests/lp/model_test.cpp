@@ -1,0 +1,75 @@
+#include "lp/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easched::lp {
+namespace {
+
+TEST(LpModel, AddVariablesAndConstraints) {
+  LpModel m;
+  const int x = m.add_variable(0.0, 10.0, 1.0, "x");
+  const int y = m.add_variable(-kInf, kInf, -2.0, "y");
+  EXPECT_EQ(x, 0);
+  EXPECT_EQ(y, 1);
+  EXPECT_EQ(m.num_variables(), 2);
+  const int row = m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 5.0, "cap");
+  EXPECT_EQ(row, 0);
+  EXPECT_EQ(m.num_constraints(), 1);
+  EXPECT_EQ(m.variable(x).name, "x");
+  EXPECT_EQ(m.row(row).name, "cap");
+}
+
+TEST(LpModel, DuplicateTermsAreMerged) {
+  LpModel m;
+  const int x = m.add_variable(0.0, kInf, 0.0);
+  m.add_constraint({{x, 1.0}, {x, 2.0}}, Sense::kEqual, 3.0);
+  ASSERT_EQ(m.row(0).terms.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.row(0).terms[0].coef, 3.0);
+}
+
+TEST(LpModel, ZeroCoefficientsAreDropped) {
+  LpModel m;
+  const int x = m.add_variable(0.0, kInf, 0.0);
+  const int y = m.add_variable(0.0, kInf, 0.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}, {y, -1.0}}, Sense::kLessEqual, 1.0);
+  EXPECT_EQ(m.row(0).terms.size(), 1u);
+}
+
+TEST(LpModel, BadBoundsThrow) {
+  LpModel m;
+  EXPECT_THROW(m.add_variable(2.0, 1.0, 0.0), std::logic_error);
+}
+
+TEST(LpModel, UnknownVariableInConstraintThrows) {
+  LpModel m;
+  m.add_variable(0.0, 1.0, 0.0);
+  EXPECT_THROW(m.add_constraint({{5, 1.0}}, Sense::kEqual, 0.0), std::logic_error);
+}
+
+TEST(LpModel, ObjectiveValue) {
+  LpModel m;
+  m.add_variable(0.0, kInf, 2.0);
+  m.add_variable(0.0, kInf, -1.0);
+  EXPECT_DOUBLE_EQ(m.objective_value({3.0, 4.0}), 2.0);
+}
+
+TEST(LpModel, MaxViolationCoversBoundsAndRows) {
+  LpModel m;
+  const int x = m.add_variable(0.0, 1.0, 0.0);
+  m.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, 0.5);
+  EXPECT_DOUBLE_EQ(m.max_violation({0.7}), 0.0);
+  EXPECT_DOUBLE_EQ(m.max_violation({-0.2}), 0.7);  // bound 0.2, row 0.7
+  EXPECT_DOUBLE_EQ(m.max_violation({1.5}), 0.5);   // upper bound
+}
+
+TEST(LpModel, MaxViolationEquality) {
+  LpModel m;
+  const int x = m.add_variable(-kInf, kInf, 0.0);
+  m.add_constraint({{x, 2.0}}, Sense::kEqual, 4.0);
+  EXPECT_DOUBLE_EQ(m.max_violation({2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(m.max_violation({3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(m.max_violation({1.0}), 2.0);
+}
+
+}  // namespace
+}  // namespace easched::lp

@@ -1,0 +1,82 @@
+#include "model/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+
+namespace easched::model {
+namespace {
+
+TEST(Energy, ExecutionEnergyIsWF2) {
+  // E = f^3 * t with t = w/f gives w f^2 (paper section II).
+  EXPECT_DOUBLE_EQ(execution_energy(2.0, 3.0), 18.0);
+  EXPECT_DOUBLE_EQ(execution_energy(0.0, 3.0), 0.0);
+}
+
+TEST(Energy, PowerTimeEnergyIsF3T) {
+  EXPECT_DOUBLE_EQ(power_time_energy(2.0, 5.0), 40.0);
+}
+
+TEST(Energy, ConsistencyBetweenForms) {
+  const double w = 3.7, f = 1.3;
+  EXPECT_NEAR(execution_energy(w, f), power_time_energy(f, w / f), 1e-12);
+}
+
+TEST(Energy, VddProfileAggregates) {
+  const std::vector<SpeedInterval> prof{{1.0, 2.0}, {2.0, 0.5}};
+  EXPECT_DOUBLE_EQ(vdd_work(prof), 3.0);   // 1*2 + 2*0.5
+  EXPECT_DOUBLE_EQ(vdd_time(prof), 2.5);
+  EXPECT_DOUBLE_EQ(vdd_energy(prof), 6.0); // 1*2 + 8*0.5
+}
+
+TEST(Energy, EmptyProfileIsZero) {
+  EXPECT_DOUBLE_EQ(vdd_energy({}), 0.0);
+  EXPECT_DOUBLE_EQ(vdd_work({}), 0.0);
+  EXPECT_DOUBLE_EQ(vdd_time({}), 0.0);
+}
+
+TEST(TwoSpeedMix, ExactWorkAndTime) {
+  // w = 3, t = 2.5, levels 1 and 2: alpha_lo = 2, alpha_hi = 0.5.
+  const auto [a, b] = two_speed_mix(3.0, 2.5, 1.0, 2.0);
+  EXPECT_NEAR(a, 2.0, 1e-12);
+  EXPECT_NEAR(b, 0.5, 1e-12);
+}
+
+TEST(TwoSpeedMix, PureLowWhenTimeIsMaximal) {
+  const auto [a, b] = two_speed_mix(2.0, 2.0, 1.0, 2.0);  // t = w/lo
+  EXPECT_NEAR(a, 2.0, 1e-12);
+  EXPECT_NEAR(b, 0.0, 1e-12);
+}
+
+TEST(TwoSpeedMix, PureHighWhenTimeIsMinimal) {
+  const auto [a, b] = two_speed_mix(2.0, 1.0, 1.0, 2.0);  // t = w/hi
+  EXPECT_NEAR(a, 0.0, 1e-12);
+  EXPECT_NEAR(b, 1.0, 1e-12);
+}
+
+TEST(TwoSpeedMix, MatchesContinuousEnergyBound) {
+  // The mix uses more energy than the ideal continuous speed w/t but less
+  // than running everything at the high level in the same time... the
+  // relevant sandwich: E_cont <= E_mix <= E_hi-only-with-idle is implied by
+  // convexity; check the first inequality numerically.
+  const double w = 5.0, t = 3.0, lo = 1.0, hi = 3.0;
+  const auto [a, b] = two_speed_mix(w, t, lo, hi);
+  const double e_mix = lo * lo * lo * a + hi * hi * hi * b;
+  const double f_cont = w / t;
+  EXPECT_GE(e_mix, w * f_cont * f_cont - 1e-12);
+}
+
+TEST(TwoSpeedMix, OutOfRangeTimeThrows) {
+  EXPECT_THROW(two_speed_mix(2.0, 3.0, 1.0, 2.0), std::logic_error);   // t > w/lo
+  EXPECT_THROW(two_speed_mix(2.0, 0.5, 1.0, 2.0), std::logic_error);   // t < w/hi
+  EXPECT_THROW(two_speed_mix(2.0, 1.0, -1.0, 2.0), std::logic_error);  // bad level
+}
+
+TEST(TwoSpeedMix, DegenerateEqualLevels) {
+  const auto [a, b] = two_speed_mix(2.0, 2.0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(a, 2.0);
+  EXPECT_DOUBLE_EQ(b, 0.0);
+}
+
+}  // namespace
+}  // namespace easched::model

@@ -1,0 +1,134 @@
+// Parameterized property sweep over the reliability model: the invariants
+// every (lambda0, d, frel) combination must satisfy. These back the
+// assumptions the TRI-CRIT solvers rely on (monotone lambda, f_inf
+// semantics, convexity effects of VDD mixing).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/reliability.hpp"
+
+namespace easched::model {
+namespace {
+
+struct RelParams {
+  double lambda0;
+  double d;
+  double frel;
+};
+
+class ReliabilityPropertyTest : public ::testing::TestWithParam<RelParams> {
+ protected:
+  ReliabilityModel make() const {
+    const auto& p = GetParam();
+    return ReliabilityModel(p.lambda0, p.d, 0.2, 1.0, p.frel);
+  }
+};
+
+TEST_P(ReliabilityPropertyTest, RateMonotoneDecreasingInSpeed) {
+  const auto m = make();
+  double prev = m.rate(0.2);
+  for (double f = 0.25; f <= 1.0 + 1e-12; f += 0.05) {
+    const double cur = m.rate(f);
+    EXPECT_LE(cur, prev * (1.0 + 1e-12)) << f;
+    prev = cur;
+  }
+}
+
+TEST_P(ReliabilityPropertyTest, RateAtFmaxIsLambda0) {
+  EXPECT_NEAR(make().rate(1.0), GetParam().lambda0, 1e-15);
+}
+
+TEST_P(ReliabilityPropertyTest, FailureScalesLinearlyInWeight) {
+  const auto m = make();
+  for (double f : {0.3, 0.6, 1.0}) {
+    EXPECT_NEAR(m.failure_prob(4.0, f), 2.0 * m.failure_prob(2.0, f), 1e-15) << f;
+  }
+}
+
+TEST_P(ReliabilityPropertyTest, SingleOkExactlyAboveFrel) {
+  const auto m = make();
+  const double frel = GetParam().frel;
+  EXPECT_TRUE(m.single_ok(1.0, frel));
+  EXPECT_TRUE(m.single_ok(1.0, std::min(1.0, frel + 0.05)));
+  if (frel > 0.25) {
+    EXPECT_FALSE(m.single_ok(1.0, frel - 0.05));
+  }
+}
+
+TEST_P(ReliabilityPropertyTest, FInfNeverAboveFrel) {
+  const auto m = make();
+  for (double w : {0.1, 1.0, 10.0}) {
+    auto f = m.f_inf(w);
+    ASSERT_TRUE(f.is_ok()) << w;
+    EXPECT_LE(f.value(), GetParam().frel + 1e-9) << w;
+    EXPECT_GE(f.value(), m.fmin() - 1e-12) << w;
+    // Pair constraint satisfied at f_inf.
+    EXPECT_TRUE(m.pair_ok(w, f.value(), f.value(), 1e-6)) << w;
+  }
+}
+
+TEST_P(ReliabilityPropertyTest, FMultiMonotoneInAttempts) {
+  const auto m = make();
+  double prev = 1.0 + 1e-9;
+  for (int k = 1; k <= 4; ++k) {
+    auto f = m.f_multi(2.0, k);
+    ASSERT_TRUE(f.is_ok()) << k;
+    EXPECT_LE(f.value(), prev + 1e-12) << k;
+    prev = f.value();
+  }
+}
+
+TEST_P(ReliabilityPropertyTest, FInfIncreasesWithWeight) {
+  // Heavier tasks fail more, so their minimal re-execution speed is higher.
+  const auto m = make();
+  double prev = 0.0;
+  for (double w : {0.01, 0.1, 1.0, 10.0, 100.0}) {
+    auto f = m.f_inf(w);
+    ASSERT_TRUE(f.is_ok()) << w;
+    EXPECT_GE(f.value(), prev - 1e-12) << w;
+    prev = f.value();
+  }
+}
+
+TEST_P(ReliabilityPropertyTest, MixedFailureAtLeastContinuous) {
+  // rate() is convex in f, so any work/time-matched two-speed mix has at
+  // least the continuous failure probability.
+  const auto m = make();
+  const double w = 2.0;
+  for (double f : {0.35, 0.55, 0.75}) {
+    const double lo = f - 0.1, hi = f + 0.1;
+    const double t = w / f;
+    const auto [a, b] = two_speed_mix(w, t, lo, hi);
+    const double mixed = m.mixed_failure({{lo, a}, {hi, b}});
+    EXPECT_GE(mixed, m.failure_prob(w, f) - 1e-15) << f;
+  }
+}
+
+TEST_P(ReliabilityPropertyTest, PairBeatsSingleAtEqualTotalWorkRate) {
+  // Two attempts at the same speed are at least as reliable as one. The
+  // algebraic lambda can exceed 1 at extreme parameters (the paper's model
+  // is unclamped); probabilities clamp as in the simulator.
+  const auto m = make();
+  for (double f : {0.3, 0.6, 0.9}) {
+    const double single = std::min(1.0, m.failure_prob(1.0, f));
+    EXPECT_LE(single * single, single + 1e-15) << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelSweep, ReliabilityPropertyTest,
+    ::testing::Values(RelParams{1e-6, 1.0, 0.8}, RelParams{1e-5, 3.0, 0.8},
+                      RelParams{1e-4, 3.0, 0.6}, RelParams{1e-3, 5.0, 0.9},
+                      RelParams{1e-5, 0.0, 0.7},   // speed-insensitive fault rate
+                      RelParams{1e-2, 4.0, 1.0}),  // threshold at fmax
+    [](const auto& info) {
+      const auto& p = info.param;
+      return "l" + std::to_string(static_cast<int>(-std::log10(p.lambda0))) + "_d" +
+             std::to_string(static_cast<int>(p.d)) + "_frel" +
+             std::to_string(static_cast<int>(p.frel * 100));
+    });
+
+}  // namespace
+}  // namespace easched::model

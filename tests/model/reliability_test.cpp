@@ -1,0 +1,158 @@
+#include "model/reliability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace easched::model {
+namespace {
+
+ReliabilityModel make_model(double frel = 0.8) {
+  return ReliabilityModel(1e-5, 3.0, 0.2, 1.0, frel);
+}
+
+TEST(Reliability, RateAtFmaxIsLambda0) {
+  const auto m = make_model();
+  EXPECT_NEAR(m.rate(1.0), 1e-5, 1e-18);
+}
+
+TEST(Reliability, RateIncreasesAsSpeedDrops) {
+  // The DVFS effect (Zhu et al.): lower speed, higher fault rate.
+  const auto m = make_model();
+  EXPECT_GT(m.rate(0.5), m.rate(0.9));
+  EXPECT_GT(m.rate(0.2), m.rate(0.5));
+  EXPECT_NEAR(m.rate(0.2), 1e-5 * std::exp(3.0), 1e-12);
+}
+
+TEST(Reliability, FailureProbMatchesEquationOne) {
+  // lambda_i(f) = lambda0 e^{d (fmax-f)/(fmax-fmin)} w/f (paper eq. (1)).
+  const auto m = make_model();
+  const double w = 2.0, f = 0.6;
+  const double expected = 1e-5 * std::exp(3.0 * (1.0 - 0.6) / 0.8) * w / f;
+  EXPECT_NEAR(m.failure_prob(w, f), expected, 1e-15);
+  EXPECT_NEAR(m.reliability(w, f), 1.0 - expected, 1e-15);
+}
+
+TEST(Reliability, FailureStrictlyDecreasingInSpeed) {
+  const auto m = make_model();
+  double prev = m.failure_prob(1.0, 0.2);
+  for (double f = 0.3; f <= 1.0; f += 0.1) {
+    const double cur = m.failure_prob(1.0, f);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Reliability, ZeroWeightNeverFails) {
+  const auto m = make_model();
+  EXPECT_DOUBLE_EQ(m.failure_prob(0.0, 0.5), 0.0);
+  EXPECT_TRUE(m.single_ok(0.0, 0.2));
+  EXPECT_TRUE(m.pair_ok(0.0, 0.2, 0.2));
+}
+
+TEST(Reliability, SingleOkIffSpeedAtLeastFrel) {
+  const auto m = make_model(0.8);
+  EXPECT_TRUE(m.single_ok(1.0, 0.8));
+  EXPECT_TRUE(m.single_ok(1.0, 0.9));
+  EXPECT_FALSE(m.single_ok(1.0, 0.7));
+}
+
+TEST(Reliability, PairConstraintIsProduct) {
+  const auto m = make_model(0.8);
+  const double w = 1.0;
+  // Very slow single execution fails the constraint...
+  EXPECT_FALSE(m.single_ok(w, 0.4));
+  // ...but two executions at 0.4 are fine: lambda(0.4)^2 << lambda(0.8).
+  EXPECT_TRUE(m.pair_ok(w, 0.4, 0.4));
+}
+
+TEST(Reliability, PairWithOneFastExecutionOk) {
+  const auto m = make_model(0.8);
+  EXPECT_TRUE(m.pair_ok(1.0, 0.9, 0.2));  // first alone already meets it
+}
+
+TEST(Reliability, ThresholdFailureScalesWithWeight) {
+  const auto m = make_model();
+  EXPECT_NEAR(m.threshold_failure(2.0), 2.0 * m.threshold_failure(1.0), 1e-18);
+}
+
+TEST(Reliability, FInfBelowFrelAndSatisfiesPair) {
+  const auto m = make_model(0.8);
+  for (double w : {0.5, 1.0, 5.0, 20.0}) {
+    auto finf = m.f_inf(w);
+    ASSERT_TRUE(finf.is_ok());
+    const double g = finf.value();
+    EXPECT_LT(g, 0.8) << "f_inf should allow running slower than frel";
+    if (g > m.fmin()) {
+      // At f_inf the pair constraint is tight.
+      const double prod = m.failure_prob(w, g) * m.failure_prob(w, g);
+      EXPECT_NEAR(prod / m.threshold_failure(w), 1.0, 1e-6);
+    }
+    EXPECT_TRUE(m.pair_ok(w, g, g, 1e-6));
+    // Slightly slower must violate (when not clamped at fmin).
+    if (g > m.fmin() * 1.01) {
+      EXPECT_FALSE(m.pair_ok(w, g * 0.98, g * 0.98));
+    }
+  }
+}
+
+TEST(Reliability, FInfClampsAtFminForTinyTasks) {
+  const auto m = make_model(0.8);
+  // Tiny weight: lambda is tiny, even fmin satisfies the pair constraint.
+  auto finf = m.f_inf(1e-9);
+  ASSERT_TRUE(finf.is_ok());
+  EXPECT_DOUBLE_EQ(finf.value(), m.fmin());
+}
+
+TEST(Reliability, MixedFailureMatchesSingleSpeedCase) {
+  const auto m = make_model();
+  const double w = 2.0, f = 0.5;
+  const std::vector<SpeedInterval> prof{{f, w / f}};
+  EXPECT_NEAR(m.mixed_failure(prof), m.failure_prob(w, f), 1e-15);
+}
+
+TEST(Reliability, MixedFailureWorseThanContinuousByConvexity) {
+  // Work/time-matched two-speed mix has a (slightly) higher failure
+  // probability than the continuous speed it replaces: rate() is convex.
+  const auto m = make_model();
+  const double w = 2.0, f = 0.7, lo = 0.6, hi = 0.8;
+  const double t = w / f;
+  const auto [a, b] = two_speed_mix(w, t, lo, hi);
+  const std::vector<SpeedInterval> prof{{lo, a}, {hi, b}};
+  EXPECT_GE(m.mixed_failure(prof), m.failure_prob(w, f) - 1e-15);
+}
+
+TEST(Reliability, EqualSpeedReexecutionIsOptimal) {
+  // Numerical check of the companion-paper lemma assumed by the chain
+  // solvers: for a fixed total time budget of both executions, the failure
+  // product lambda(f1)*lambda(f2) with 1/f1 + 1/f2 fixed is minimised...
+  // actually energy is minimised at equal speeds; verify energy here.
+  const double w = 2.0, total_time = 6.0;
+  auto energy = [&](double t1) {
+    const double t2 = total_time - t1;
+    const double f1 = w / t1, f2 = w / t2;
+    return w * f1 * f1 + w * f2 * f2;
+  };
+  const double e_equal = energy(total_time / 2.0);
+  for (double t1 = 0.5; t1 <= 5.5; t1 += 0.25) {
+    EXPECT_GE(energy(t1), e_equal - 1e-12);
+  }
+}
+
+TEST(Reliability, DefaultFactory) {
+  const auto m = default_reliability(0.2, 1.0, 0.8);
+  EXPECT_DOUBLE_EQ(m.lambda0(), 1e-5);
+  EXPECT_DOUBLE_EQ(m.sensitivity(), 3.0);
+  EXPECT_DOUBLE_EQ(m.frel(), 0.8);
+}
+
+TEST(Reliability, InvalidParametersThrow) {
+  EXPECT_THROW(ReliabilityModel(0.0, 3.0, 0.2, 1.0, 0.8), std::logic_error);
+  EXPECT_THROW(ReliabilityModel(1e-5, -1.0, 0.2, 1.0, 0.8), std::logic_error);
+  EXPECT_THROW(ReliabilityModel(1e-5, 3.0, 1.0, 1.0, 1.0), std::logic_error);
+  EXPECT_THROW(ReliabilityModel(1e-5, 3.0, 0.2, 1.0, 0.1), std::logic_error);
+  EXPECT_THROW(ReliabilityModel(1e-5, 3.0, 0.2, 1.0, 1.5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace easched::model

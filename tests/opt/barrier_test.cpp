@@ -1,0 +1,139 @@
+#include "opt/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace easched::opt {
+namespace {
+
+TEST(InversePowerObjective, ValueGradientHessian) {
+  InversePowerObjective obj;
+  obj.add_term(0, 8.0);   // 8/x0^2
+  obj.add_linear(1, 3.0); // 3*x1
+  const Vector x{2.0, 5.0};
+  EXPECT_DOUBLE_EQ(obj.value(x), 2.0 + 15.0);
+  Vector g(2, 0.0);
+  obj.add_gradient(x, g);
+  EXPECT_DOUBLE_EQ(g[0], -2.0 * 8.0 / 8.0);  // -2c/x^3 = -2
+  EXPECT_DOUBLE_EQ(g[1], 3.0);
+  Vector h(2, 0.0);
+  obj.add_hessian_diag(x, h);
+  EXPECT_DOUBLE_EQ(h[0], 6.0 * 8.0 / 16.0);  // 6c/x^4 = 3
+  EXPECT_DOUBLE_EQ(h[1], 0.0);
+}
+
+TEST(Barrier, SingleVariableBudget) {
+  // min 1/x^2 s.t. x <= 3 (and objective keeps x > 0): optimum x = 3.
+  InversePowerObjective obj;
+  obj.add_term(0, 1.0);
+  std::vector<LinearConstraint> cons{{{ {0, 1.0} }, 3.0}};
+  auto res = minimize_barrier(obj, cons, Vector{1.0});
+  ASSERT_TRUE(res.status.is_ok()) << res.status.to_string();
+  EXPECT_NEAR(res.x[0], 3.0, 1e-5);
+  EXPECT_NEAR(res.objective, 1.0 / 9.0, 1e-7);
+}
+
+TEST(Barrier, TwoTaskTimeShareMatchesWaterfillStructure) {
+  // min 1/x0^2 + 8/x1^2 s.t. x0 + x1 <= 3: optimal split 1:2.
+  InversePowerObjective obj;
+  obj.add_term(0, 1.0);
+  obj.add_term(1, 8.0);
+  std::vector<LinearConstraint> cons{{{ {0, 1.0}, {1, 1.0} }, 3.0}};
+  auto res = minimize_barrier(obj, cons, Vector{1.4, 1.4});
+  ASSERT_TRUE(res.status.is_ok());
+  EXPECT_NEAR(res.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(res.x[1], 2.0, 1e-4);
+  EXPECT_NEAR(res.objective, 1.0 + 2.0, 1e-5);
+}
+
+TEST(Barrier, BoxConstraintsBind) {
+  // min 1/x^2 s.t. x <= 5, x <= 2 -> x = 2 (tighter bound wins).
+  InversePowerObjective obj;
+  obj.add_term(0, 1.0);
+  std::vector<LinearConstraint> cons{{{ {0, 1.0} }, 5.0}, {{ {0, 1.0} }, 2.0}};
+  auto res = minimize_barrier(obj, cons, Vector{0.5});
+  ASSERT_TRUE(res.status.is_ok());
+  EXPECT_NEAR(res.x[0], 2.0, 1e-5);
+}
+
+TEST(Barrier, RejectsInfeasibleStart) {
+  InversePowerObjective obj;
+  obj.add_term(0, 1.0);
+  std::vector<LinearConstraint> cons{{{ {0, 1.0} }, 1.0}};
+  auto res = minimize_barrier(obj, cons, Vector{2.0});  // violates x <= 1
+  EXPECT_FALSE(res.status.is_ok());
+}
+
+TEST(Barrier, RejectsNonPositiveObjectiveCoordinate) {
+  InversePowerObjective obj;
+  obj.add_term(0, 1.0);
+  std::vector<LinearConstraint> cons{{{ {0, -1.0} }, 5.0}};  // x >= -5 — weak
+  auto res = minimize_barrier(obj, cons, Vector{-1.0});
+  EXPECT_FALSE(res.status.is_ok());
+}
+
+TEST(Barrier, GapCertificateHolds) {
+  // Known optimum: min 1/x^2, x <= 4 -> f* = 1/16. Certificate:
+  // f(x_final) - f* <= gap_bound.
+  InversePowerObjective obj;
+  obj.add_term(0, 1.0);
+  std::vector<LinearConstraint> cons{{{ {0, 1.0} }, 4.0}};
+  auto res = minimize_barrier(obj, cons, Vector{1.0});
+  ASSERT_TRUE(res.status.is_ok());
+  EXPECT_LE(res.objective - 1.0 / 16.0, res.gap_bound + 1e-12);
+}
+
+TEST(Barrier, EqualityLikeThinInterval) {
+  // x sandwiched in [1.999999, 2.000001]: still converges to ~2.
+  InversePowerObjective obj;
+  obj.add_term(0, 1.0);
+  std::vector<LinearConstraint> cons{
+      {{{0, 1.0}}, 2.000001},
+      {{{0, -1.0}}, -1.999999},
+  };
+  auto res = minimize_barrier(obj, cons, Vector{2.0});
+  ASSERT_TRUE(res.status.is_ok());
+  EXPECT_NEAR(res.x[0], 2.0, 1e-4);
+}
+
+TEST(Barrier, ChainProgramMatchesClosedForm) {
+  // 3-task chain as a full (s, d) program: durations d_i, starts s_i.
+  // Optimal: uniform speed sum(w)/D -> d_i = w_i * D / sum(w).
+  const std::vector<double> w{1.0, 2.0, 3.0};
+  const double D = 3.0;
+  const int n = 3;
+  InversePowerObjective obj;
+  for (int i = 0; i < n; ++i) obj.add_term(n + i, w[static_cast<std::size_t>(i)] *
+                                                     w[static_cast<std::size_t>(i)] *
+                                                     w[static_cast<std::size_t>(i)]);
+  std::vector<LinearConstraint> cons;
+  // chain edges: s_i + d_i <= s_{i+1}
+  for (int i = 0; i + 1 < n; ++i) {
+    cons.push_back({{{i, 1.0}, {n + i, 1.0}, {i + 1, -1.0}}, 0.0});
+  }
+  for (int i = 0; i < n; ++i) {
+    cons.push_back({{{i, 1.0}, {n + i, 1.0}}, D});
+    cons.push_back({{{i, -1.0}}, 0.0});
+  }
+  // Strictly feasible start: fast uniform speed 4 (makespan 1.5), spread.
+  Vector x0(static_cast<std::size_t>(2 * n));
+  double tstart = 0.1;
+  for (int i = 0; i < n; ++i) {
+    x0[static_cast<std::size_t>(i)] = tstart;
+    x0[static_cast<std::size_t>(n + i)] = w[static_cast<std::size_t>(i)] / 4.0;
+    tstart += w[static_cast<std::size_t>(i)] / 4.0 + 0.1;
+  }
+  auto res = minimize_barrier(obj, cons, x0);
+  ASSERT_TRUE(res.status.is_ok());
+  const double total = 6.0;
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(res.x[static_cast<std::size_t>(n + i)], w[static_cast<std::size_t>(i)] * D / total,
+                1e-3)
+        << "duration " << i;
+  }
+  EXPECT_NEAR(res.objective, total * total * total / (D * D), 1e-4);
+}
+
+}  // namespace
+}  // namespace easched::opt

@@ -1,0 +1,81 @@
+#include "opt/scalar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace easched::opt {
+namespace {
+
+TEST(Bisect, FindsSquareRoot) {
+  auto r = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_NEAR(r.value(), std::sqrt(2.0), 1e-10);
+}
+
+TEST(Bisect, HandlesDecreasingFunction) {
+  auto r = bisect([](double x) { return 1.0 - x; }, 0.0, 5.0);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_NEAR(r.value(), 1.0, 1e-10);
+}
+
+TEST(Bisect, ExactEndpointRoots) {
+  auto lo = bisect([](double x) { return x; }, 0.0, 1.0);
+  ASSERT_TRUE(lo.is_ok());
+  EXPECT_DOUBLE_EQ(lo.value(), 0.0);
+  auto hi = bisect([](double x) { return x - 1.0; }, 0.0, 1.0);
+  ASSERT_TRUE(hi.is_ok());
+  EXPECT_DOUBLE_EQ(hi.value(), 1.0);
+}
+
+TEST(Bisect, RejectsSameSign) {
+  EXPECT_FALSE(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0).is_ok());
+}
+
+TEST(GoldenSection, FindsParabolaMinimum) {
+  const double x = golden_section_minimize(
+      [](double v) { return (v - 1.7) * (v - 1.7) + 3.0; }, -10.0, 10.0);
+  EXPECT_NEAR(x, 1.7, 1e-7);
+}
+
+TEST(GoldenSection, BoundaryMinimum) {
+  const double x = golden_section_minimize([](double v) { return v; }, 2.0, 5.0);
+  EXPECT_NEAR(x, 2.0, 1e-6);
+}
+
+TEST(GoldenSection, NonSmoothUnimodal) {
+  const double x = golden_section_minimize(
+      [](double v) { return std::fabs(v - 0.3) + 1.0; }, -2.0, 2.0);
+  EXPECT_NEAR(x, 0.3, 1e-7);
+}
+
+TEST(GridRefine, FindsGlobalMinAmongLocalMinima) {
+  // Two valleys; the deeper one is at x = 4.
+  auto f = [](double x) {
+    const double a = (x - 1.0) * (x - 1.0) + 0.5;
+    const double b = (x - 4.0) * (x - 4.0);
+    return std::min(a, b);
+  };
+  const double x = grid_refine_minimize(f, 0.0, 5.0, 128);
+  EXPECT_NEAR(x, 4.0, 1e-5);
+}
+
+TEST(GridRefine, PiecewiseWithInfeasibleRegions) {
+  // +inf plateaus model infeasible windows, as in the fork TRI-CRIT profile.
+  auto f = [](double x) {
+    if (x < 1.0 || x > 3.0) return std::numeric_limits<double>::infinity();
+    return (x - 2.5) * (x - 2.5);
+  };
+  const double x = grid_refine_minimize(f, 0.0, 5.0, 256);
+  EXPECT_NEAR(x, 2.5, 1e-5);
+}
+
+TEST(GridRefine, RefinementImprovesOnGrid) {
+  auto f = [](double x) { return (x - 0.123456) * (x - 0.123456); };
+  const double x = grid_refine_minimize(f, 0.0, 1.0, 16);
+  EXPECT_NEAR(x, 0.123456, 1e-6);  // much finer than the 1/15 grid
+}
+
+}  // namespace
+}  // namespace easched::opt

@@ -1,0 +1,171 @@
+#include "opt/waterfill.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace easched::opt {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Waterfill, SingleTaskUsesWholeBudget) {
+  WaterfillProblem p{{8.0}, {0.1}, {kInf}, 2.0};
+  auto sol = waterfill(p);
+  ASSERT_TRUE(sol.is_ok());
+  EXPECT_NEAR(sol.value().t[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol.value().energy, 2.0, 1e-9);
+}
+
+TEST(Waterfill, UnconstrainedOptimumProportionalToCubeRoot) {
+  // With no binding box bounds, t_j proportional to c_j^(1/3).
+  WaterfillProblem p{{1.0, 8.0}, {1e-6, 1e-6}, {kInf, kInf}, 3.0};
+  auto sol = waterfill(p);
+  ASSERT_TRUE(sol.is_ok());
+  EXPECT_NEAR(sol.value().t[1] / sol.value().t[0], 2.0, 1e-6);
+  EXPECT_NEAR(sol.value().t[0] + sol.value().t[1], 3.0, 1e-9);
+}
+
+TEST(Waterfill, ChainEquivalence) {
+  // For a 1-proc chain with c_j = w_j^3 the optimum is uniform speed
+  // sum(w)/D: t_j = w_j * D / sum(w).
+  const std::vector<double> w{2.0, 3.0, 5.0};
+  const double D = 4.0;
+  WaterfillProblem p;
+  for (double wi : w) {
+    p.coef.push_back(wi * wi * wi);
+    p.lo.push_back(1e-9);
+    p.hi.push_back(kInf);
+  }
+  p.budget = D;
+  auto sol = waterfill(p);
+  ASSERT_TRUE(sol.is_ok());
+  const double total = 10.0;
+  for (std::size_t j = 0; j < w.size(); ++j) {
+    EXPECT_NEAR(sol.value().t[j], w[j] * D / total, 1e-8);
+  }
+  // Energy = (sum w)^3 / D^2.
+  EXPECT_NEAR(sol.value().energy, total * total * total / (D * D), 1e-6);
+}
+
+TEST(Waterfill, RespectsUpperBounds) {
+  // Task 0 is capped; the remaining time goes to task 1.
+  WaterfillProblem p{{1.0, 1.0}, {0.01, 0.01}, {0.5, kInf}, 2.0};
+  auto sol = waterfill(p);
+  ASSERT_TRUE(sol.is_ok());
+  EXPECT_NEAR(sol.value().t[0], 0.5, 1e-9);
+  EXPECT_NEAR(sol.value().t[1], 1.5, 1e-9);
+}
+
+TEST(Waterfill, RespectsLowerBounds) {
+  // Task 0 must take at least 1.5; only 0.5 remains for task 1.
+  WaterfillProblem p{{1.0, 1.0}, {1.5, 0.01}, {kInf, kInf}, 2.0};
+  auto sol = waterfill(p);
+  ASSERT_TRUE(sol.is_ok());
+  EXPECT_NEAR(sol.value().t[0], 1.5, 1e-9);
+  EXPECT_NEAR(sol.value().t[1], 0.5, 1e-9);
+}
+
+TEST(Waterfill, InfeasibleWhenLowerBoundsExceedBudget) {
+  WaterfillProblem p{{1.0, 1.0}, {1.0, 1.5}, {kInf, kInf}, 2.0};
+  EXPECT_FALSE(waterfill(p).is_ok());
+}
+
+TEST(Waterfill, SlackBudgetTakesUpperBounds) {
+  WaterfillProblem p{{1.0, 1.0}, {0.1, 0.1}, {0.6, 0.7}, 100.0};
+  auto sol = waterfill(p);
+  ASSERT_TRUE(sol.is_ok());
+  EXPECT_NEAR(sol.value().t[0], 0.6, 1e-12);
+  EXPECT_NEAR(sol.value().t[1], 0.7, 1e-12);
+  EXPECT_DOUBLE_EQ(sol.value().multiplier, 0.0);
+}
+
+TEST(Waterfill, ZeroCoefficientTasksTakeMinimumTime) {
+  WaterfillProblem p{{0.0, 1.0}, {0.3, 0.1}, {kInf, kInf}, 1.0};
+  auto sol = waterfill(p);
+  ASSERT_TRUE(sol.is_ok());
+  EXPECT_DOUBLE_EQ(sol.value().t[0], 0.3);
+  EXPECT_NEAR(sol.value().t[1], 0.7, 1e-9);
+}
+
+TEST(Waterfill, KktOptimalityOnRandomInstances) {
+  // Verify first-order optimality: for interior allocations,
+  // 2 c_j / t_j^3 equals the common multiplier; clamped ones satisfy the
+  // complementary inequalities.
+  common::Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 6;
+    WaterfillProblem p;
+    for (int j = 0; j < n; ++j) {
+      p.coef.push_back(rng.uniform(0.5, 20.0));
+      p.lo.push_back(rng.uniform(0.05, 0.2));
+      p.hi.push_back(rng.uniform(0.8, 3.0));
+    }
+    p.budget = rng.uniform(1.0, 4.0);
+    double lo_sum = 0.0;
+    for (double l : p.lo) lo_sum += l;
+    if (lo_sum > p.budget) continue;
+    auto sol = waterfill(p);
+    ASSERT_TRUE(sol.is_ok());
+    const auto& t = sol.value().t;
+    const double mu = sol.value().multiplier;
+    double total = 0.0;
+    for (int j = 0; j < n; ++j) {
+      total += t[j];
+      const double grad = 2.0 * p.coef[static_cast<std::size_t>(j)] /
+                          (t[static_cast<std::size_t>(j)] * t[static_cast<std::size_t>(j)] *
+                           t[static_cast<std::size_t>(j)]);
+      if (t[static_cast<std::size_t>(j)] > p.lo[static_cast<std::size_t>(j)] * 1.001 &&
+          t[static_cast<std::size_t>(j)] < p.hi[static_cast<std::size_t>(j)] * 0.999) {
+        EXPECT_NEAR(grad / mu, 1.0, 1e-4) << "trial " << trial << " task " << j;
+      } else if (t[static_cast<std::size_t>(j)] <=
+                 p.lo[static_cast<std::size_t>(j)] * 1.001) {
+        // Clamped at the minimum time: its unconstrained allocation is even
+        // smaller, i.e. 2c/t^3 <= mu at t = lo.
+        EXPECT_LE(grad, mu * 1.001) << "clamped-lo gradient must not exceed mu";
+      } else {
+        // Clamped at the maximum time: wants more time than allowed.
+        EXPECT_GE(grad, mu * 0.999) << "clamped-hi gradient must be at least mu";
+      }
+    }
+    EXPECT_LE(total, p.budget * (1.0 + 1e-9));
+  }
+}
+
+TEST(Waterfill, BeatsPerturbations) {
+  // Property: random feasible perturbations never have lower energy.
+  common::Rng rng(11);
+  WaterfillProblem p{{3.0, 7.0, 1.0}, {0.1, 0.1, 0.1}, {2.0, 2.0, 2.0}, 2.5};
+  auto sol = waterfill(p);
+  ASSERT_TRUE(sol.is_ok());
+  const double opt = sol.value().energy;
+  for (int k = 0; k < 200; ++k) {
+    std::vector<double> t(3);
+    double sum = 0.0;
+    for (int j = 0; j < 3; ++j) {
+      t[static_cast<std::size_t>(j)] = rng.uniform(0.1, 2.0);
+      sum += t[static_cast<std::size_t>(j)];
+    }
+    if (sum > p.budget) {
+      const double scale_f = p.budget / sum;
+      bool ok = true;
+      for (int j = 0; j < 3; ++j) {
+        t[static_cast<std::size_t>(j)] *= scale_f;
+        if (t[static_cast<std::size_t>(j)] < 0.1) ok = false;
+      }
+      if (!ok) continue;
+    }
+    double e = 0.0;
+    for (int j = 0; j < 3; ++j) {
+      e += p.coef[static_cast<std::size_t>(j)] /
+           (t[static_cast<std::size_t>(j)] * t[static_cast<std::size_t>(j)]);
+    }
+    EXPECT_GE(e, opt - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace easched::opt

@@ -1,0 +1,134 @@
+#include "sched/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace easched::sched {
+namespace {
+
+TEST(Gantt, ChainTimelineIsSequential) {
+  const auto dag = graph::make_chain({2.0, 4.0});
+  const auto mapping = Mapping::single_processor(dag, {0, 1});
+  const auto s = Schedule::uniform(dag, 2.0);
+  const auto tl = build_timeline(dag, mapping, s);
+  ASSERT_EQ(tl.size(), 2u);
+  EXPECT_DOUBLE_EQ(tl[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(tl[0].finish, 1.0);
+  EXPECT_DOUBLE_EQ(tl[1].start, 1.0);
+  EXPECT_DOUBLE_EQ(tl[1].finish, 3.0);
+  EXPECT_DOUBLE_EQ(timeline_makespan(tl), 3.0);
+}
+
+TEST(Gantt, ReexecutionsAreBackToBack) {
+  const auto dag = graph::make_independent({2.0});
+  Mapping m(1, 1);
+  m.assign(0, 0);
+  Schedule s(1);
+  s.at(0) = TaskDecision::re_exec(1.0, 2.0);
+  const auto tl = build_timeline(dag, m, s);
+  ASSERT_EQ(tl.size(), 2u);
+  EXPECT_EQ(tl[0].execution, 0);
+  EXPECT_EQ(tl[1].execution, 1);
+  EXPECT_DOUBLE_EQ(tl[0].finish, tl[1].start);
+  EXPECT_DOUBLE_EQ(tl[1].finish, 3.0);
+}
+
+TEST(Gantt, MakespanMatchesSchedMakespan) {
+  common::Rng rng(1);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto dag = graph::make_layered(3, 4, 0.4, {1.0, 5.0}, rng);
+    const auto mapping = list_schedule(dag, 3, PriorityPolicy::kCriticalPath);
+    const auto s = Schedule::uniform(dag, 1.5);
+    const auto tl = build_timeline(dag, mapping, s);
+    EXPECT_NEAR(timeline_makespan(tl), makespan(dag, mapping, s), 1e-12) << trial;
+  }
+}
+
+TEST(Gantt, EntriesRespectPrecedence) {
+  common::Rng rng(2);
+  const auto dag = graph::make_random_dag(12, 0.3, {1.0, 3.0}, rng);
+  const auto mapping = list_schedule(dag, 3, PriorityPolicy::kCriticalPath);
+  const auto s = Schedule::uniform(dag, 1.0);
+  const auto tl = build_timeline(dag, mapping, s);
+  // First-execution start of a successor >= last finish of predecessor.
+  std::vector<double> first_start(12, 0.0), last_finish(12, 0.0);
+  for (const auto& e : tl) {
+    if (e.execution == 0) first_start[static_cast<std::size_t>(e.task)] = e.start;
+    last_finish[static_cast<std::size_t>(e.task)] =
+        std::max(last_finish[static_cast<std::size_t>(e.task)], e.finish);
+  }
+  for (graph::TaskId u = 0; u < 12; ++u) {
+    for (graph::TaskId v : dag.successors(u)) {
+      EXPECT_GE(first_start[static_cast<std::size_t>(v)],
+                last_finish[static_cast<std::size_t>(u)] - 1e-12);
+    }
+  }
+}
+
+TEST(Gantt, EntriesOnSameProcessorDoNotOverlap) {
+  common::Rng rng(3);
+  const auto dag = graph::make_random_dag(10, 0.25, {1.0, 3.0}, rng);
+  const auto mapping = list_schedule(dag, 2, PriorityPolicy::kCriticalPath);
+  const auto s = Schedule::uniform(dag, 1.0);
+  const auto tl = build_timeline(dag, mapping, s);
+  for (std::size_t i = 0; i + 1 < tl.size(); ++i) {
+    if (tl[i].processor != tl[i + 1].processor) continue;
+    EXPECT_LE(tl[i].finish, tl[i + 1].start + 1e-12)
+        << "overlap between entries " << i << " and " << i + 1;
+  }
+}
+
+TEST(Gantt, TextOutputContainsRowsAndMakespan) {
+  const auto dag = graph::make_chain({2.0, 4.0});
+  const auto mapping = Mapping::single_processor(dag, {0, 1});
+  const auto s = Schedule::uniform(dag, 2.0);
+  std::ostringstream os;
+  write_gantt(os, dag, mapping, s);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("P0 |"), std::string::npos);
+  EXPECT_NE(out.find("T0[0.00,1.00]"), std::string::npos);
+  EXPECT_NE(out.find("makespan: 3.00"), std::string::npos);
+}
+
+TEST(Gantt, TextMarksReexecutions) {
+  const auto dag = graph::make_independent({2.0});
+  Mapping m(1, 1);
+  m.assign(0, 0);
+  Schedule s(1);
+  s.at(0) = TaskDecision::re_exec(1.0, 1.0);
+  std::ostringstream os;
+  write_gantt(os, dag, m, s);
+  EXPECT_NE(os.str().find("(re)"), std::string::npos);
+}
+
+TEST(Gantt, CsvHasHeaderAndRows) {
+  const auto dag = graph::make_chain({2.0, 4.0});
+  const auto mapping = Mapping::single_processor(dag, {0, 1});
+  const auto s = Schedule::uniform(dag, 2.0);
+  std::ostringstream os;
+  write_timeline_csv(os, dag, mapping, s);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("task,name,execution,processor,start,finish,speed"),
+            std::string::npos);
+  EXPECT_NE(out.find("0,T0,0,0,0,1,2"), std::string::npos);
+}
+
+TEST(Gantt, CsvReportsVddAverageSpeed) {
+  const auto dag = graph::make_independent({2.0});
+  Mapping m(1, 1);
+  m.assign(0, 0);
+  Schedule s(1);
+  // 1 unit at speed 1, 0.5 at speed 2: work 2, time 1.5, avg 4/3.
+  s.at(0) = TaskDecision{{Execution::vdd({{1.0, 1.0}, {2.0, 0.5}})}};
+  std::ostringstream os;
+  write_timeline_csv(os, dag, m, s);
+  EXPECT_NE(os.str().find("1.33333"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace easched::sched

@@ -1,0 +1,97 @@
+#include "sched/list_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "sched/schedule.hpp"
+
+namespace easched::sched {
+namespace {
+
+using Policy = PriorityPolicy;
+
+class ListSchedulerPolicyTest : public ::testing::TestWithParam<Policy> {};
+
+TEST_P(ListSchedulerPolicyTest, ProducesValidMappingOnManyGraphs) {
+  common::Rng rng(11);
+  common::Rng policy_rng(12);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto dag = trial % 2 == 0
+                         ? graph::make_layered(4, 5, 0.3, {1.0, 5.0}, rng)
+                         : graph::make_random_dag(18, 0.2, {1.0, 5.0}, rng);
+    for (int procs : {1, 2, 4}) {
+      const auto m = list_schedule(dag, procs, GetParam(), &policy_rng);
+      EXPECT_TRUE(m.validate(dag).is_ok())
+          << to_string(GetParam()) << " trial " << trial << " procs " << procs;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ListSchedulerPolicyTest,
+                         ::testing::Values(Policy::kCriticalPath, Policy::kHeaviestFirst,
+                                           Policy::kRoundRobin, Policy::kRandom),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Policy::kCriticalPath: return "CriticalPath";
+                             case Policy::kHeaviestFirst: return "HeaviestFirst";
+                             case Policy::kRoundRobin: return "RoundRobin";
+                             case Policy::kRandom: return "Random";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(ListScheduler, SingleProcessorIsTopologicalOrder) {
+  common::Rng rng(3);
+  const auto dag = graph::make_random_dag(12, 0.3, {1.0, 2.0}, rng);
+  const auto m = list_schedule(dag, 1, Policy::kCriticalPath);
+  EXPECT_TRUE(m.validate(dag).is_ok());
+  EXPECT_EQ(static_cast<int>(m.order_on(0).size()), dag.num_tasks());
+}
+
+TEST(ListScheduler, IndependentTasksSpreadAcrossProcessors) {
+  const auto dag = graph::make_independent({1.0, 1.0, 1.0, 1.0});
+  const auto m = list_schedule(dag, 4, Policy::kCriticalPath);
+  int used = 0;
+  for (int p = 0; p < 4; ++p) used += m.order_on(p).empty() ? 0 : 1;
+  EXPECT_EQ(used, 4);
+}
+
+TEST(ListScheduler, CriticalPathBeatsRandomOnAverageMakespan) {
+  // The classical expectation: CP list scheduling produces shorter (unit
+  // speed) makespans than random order on most layered instances.
+  common::Rng rng(19);
+  common::Rng policy_rng(20);
+  int cp_wins = 0, trials = 12;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto dag = graph::make_layered(5, 6, 0.3, {1.0, 10.0}, rng);
+    const auto cp = list_schedule(dag, 3, Policy::kCriticalPath);
+    const auto rnd = list_schedule(dag, 3, Policy::kRandom, &policy_rng);
+    const auto ms = [&](const Mapping& m) {
+      Schedule s = Schedule::uniform(dag, 1.0);
+      return makespan(dag, m, s);
+    };
+    if (ms(cp) <= ms(rnd) + 1e-9) ++cp_wins;
+  }
+  EXPECT_GE(cp_wins, trials / 2);
+}
+
+TEST(ListScheduler, RandomPolicyRequiresRng) {
+  const auto dag = graph::make_independent({1.0});
+  EXPECT_THROW(list_schedule(dag, 1, Policy::kRandom, nullptr), std::logic_error);
+}
+
+TEST(ListScheduler, EmptyGraph) {
+  graph::Dag dag;
+  const auto m = list_schedule(dag, 2, Policy::kCriticalPath);
+  EXPECT_EQ(m.num_tasks(), 0);
+}
+
+TEST(ListScheduler, PolicyNames) {
+  EXPECT_STREQ(to_string(Policy::kCriticalPath), "critical-path");
+  EXPECT_STREQ(to_string(Policy::kRandom), "random");
+}
+
+}  // namespace
+}  // namespace easched::sched

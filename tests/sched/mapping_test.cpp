@@ -1,0 +1,93 @@
+#include "sched/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+
+namespace easched::sched {
+namespace {
+
+TEST(Mapping, AssignTracksProcessorAndOrder) {
+  Mapping m(2, 3);
+  m.assign(0, 0);
+  m.assign(2, 0);
+  m.assign(1, 1);
+  EXPECT_EQ(m.processor_of(0), 0);
+  EXPECT_EQ(m.processor_of(2), 0);
+  EXPECT_EQ(m.processor_of(1), 1);
+  EXPECT_EQ(m.order_on(0), (std::vector<graph::TaskId>{0, 2}));
+  EXPECT_EQ(m.order_on(1), (std::vector<graph::TaskId>{1}));
+}
+
+TEST(Mapping, DoubleAssignThrows) {
+  Mapping m(1, 2);
+  m.assign(0, 0);
+  EXPECT_THROW(m.assign(0, 0), std::logic_error);
+}
+
+TEST(Mapping, ValidateRejectsUnassigned) {
+  const auto dag = graph::make_fork({1.0, 2.0, 3.0});
+  Mapping m(2, 3);
+  m.assign(0, 0);
+  EXPECT_FALSE(m.validate(dag).is_ok());
+}
+
+TEST(Mapping, ValidateRejectsOrderContradictingPrecedence) {
+  common::Rng rng(1);
+  const auto dag = graph::make_chain(3, {1.0, 2.0}, rng);  // 0 -> 1 -> 2
+  Mapping m(1, 3);
+  m.assign(2, 0);  // runs first but depends on 1
+  m.assign(1, 0);
+  m.assign(0, 0);
+  EXPECT_FALSE(m.validate(dag).is_ok());
+}
+
+TEST(Mapping, AugmentedGraphAddsProcessorEdges) {
+  const auto dag = graph::make_fork({1.0, 2.0, 3.0});  // 0 -> 1, 0 -> 2
+  Mapping m(1, 3);
+  m.assign(0, 0);
+  m.assign(1, 0);
+  m.assign(2, 0);
+  const auto aug = m.augmented_graph(dag);
+  EXPECT_TRUE(aug.has_edge(0, 1));  // original
+  EXPECT_TRUE(aug.has_edge(1, 2));  // processor order
+  EXPECT_EQ(aug.num_edges(), 3);
+  EXPECT_TRUE(m.validate(dag).is_ok());
+}
+
+TEST(Mapping, AugmentedGraphPreservesWeights) {
+  const auto dag = graph::make_fork({1.5, 2.5, 3.5});
+  auto m = Mapping::one_task_per_processor(dag);
+  const auto aug = m.augmented_graph(dag);
+  for (graph::TaskId t = 0; t < 3; ++t) EXPECT_DOUBLE_EQ(aug.weight(t), dag.weight(t));
+}
+
+TEST(Mapping, SingleProcessorFactory) {
+  common::Rng rng(2);
+  const auto dag = graph::make_chain(4, {1.0, 2.0}, rng);
+  const auto topo = graph::topological_order(dag).value();
+  const auto m = Mapping::single_processor(dag, topo);
+  EXPECT_EQ(m.num_processors(), 1);
+  EXPECT_TRUE(m.validate(dag).is_ok());
+}
+
+TEST(Mapping, OneTaskPerProcessorFactory) {
+  const auto dag = graph::make_fork({1.0, 2.0, 3.0});
+  const auto m = Mapping::one_task_per_processor(dag);
+  EXPECT_EQ(m.num_processors(), 3);
+  EXPECT_TRUE(m.validate(dag).is_ok());
+  const auto aug = m.augmented_graph(dag);
+  EXPECT_EQ(aug.num_edges(), dag.num_edges());  // no extra edges
+}
+
+TEST(Mapping, InvalidConstructionThrows) {
+  EXPECT_THROW(Mapping(0, 3), std::logic_error);
+  Mapping m(1, 1);
+  EXPECT_THROW(m.assign(0, 5), std::logic_error);
+  EXPECT_THROW(m.assign(7, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace easched::sched

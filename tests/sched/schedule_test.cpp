@@ -1,0 +1,108 @@
+#include "sched/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace easched::sched {
+namespace {
+
+TEST(Execution, ConstantSpeedDurationAndEnergy) {
+  const auto e = Execution::at_speed(2.0);
+  EXPECT_DOUBLE_EQ(e.duration(4.0), 2.0);
+  EXPECT_DOUBLE_EQ(e.energy(4.0), 16.0);
+  EXPECT_FALSE(e.is_vdd());
+}
+
+TEST(Execution, ZeroWeightHasZeroCost) {
+  const auto e = Execution::at_speed(1.0);
+  EXPECT_DOUBLE_EQ(e.duration(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.energy(0.0), 0.0);
+}
+
+TEST(Execution, VddProfileDurationAndEnergy) {
+  const auto e = Execution::vdd({{1.0, 1.0}, {2.0, 0.5}});
+  EXPECT_TRUE(e.is_vdd());
+  EXPECT_DOUBLE_EQ(e.duration(2.0), 1.5);
+  EXPECT_DOUBLE_EQ(e.energy(2.0), 1.0 + 4.0);
+}
+
+TEST(Execution, FailureProbUsesModel) {
+  const model::ReliabilityModel rel(1e-5, 3.0, 0.2, 1.0, 0.8);
+  const auto e = Execution::at_speed(0.5);
+  EXPECT_NEAR(e.failure_prob(2.0, rel), rel.failure_prob(2.0, 0.5), 1e-15);
+}
+
+TEST(TaskDecision, Factories) {
+  const auto s = TaskDecision::single(1.5);
+  EXPECT_FALSE(s.re_executed());
+  EXPECT_EQ(s.executions.size(), 1u);
+  const auto r = TaskDecision::re_exec(0.5, 0.6);
+  EXPECT_TRUE(r.re_executed());
+  EXPECT_EQ(r.executions.size(), 2u);
+}
+
+TEST(Schedule, UniformSchedule) {
+  common::Rng rng(1);
+  const auto dag = graph::make_chain(3, {1.0, 2.0}, rng);
+  const auto s = Schedule::uniform(dag, 2.0);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_DOUBLE_EQ(s.at(t).executions.front().speed, 2.0);
+  }
+  EXPECT_EQ(s.num_re_executed(), 0);
+}
+
+TEST(Schedule, TotalEnergySumsExecutions) {
+  const auto dag = graph::make_independent({1.0, 2.0});
+  Schedule s(2);
+  s.at(0) = TaskDecision::single(1.0);     // E = 1
+  s.at(1) = TaskDecision::re_exec(1.0, 2.0);  // E = 2 + 8 = 10
+  EXPECT_DOUBLE_EQ(s.total_energy(dag), 11.0);
+  EXPECT_EQ(s.num_re_executed(), 1);
+}
+
+TEST(Schedule, DurationsIncludeBothExecutions) {
+  const auto dag = graph::make_independent({2.0});
+  Schedule s(1);
+  s.at(0) = TaskDecision::re_exec(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(s.task_duration(dag, 0), 2.0 + 1.0);
+}
+
+TEST(Makespan, ChainOnOneProcessorIsSumOfDurations) {
+  common::Rng rng(2);
+  const auto dag = graph::make_chain(4, {1.0, 3.0}, rng);
+  const auto m = list_schedule(dag, 1, PriorityPolicy::kCriticalPath);
+  const auto s = Schedule::uniform(dag, 2.0);
+  EXPECT_NEAR(makespan(dag, m, s), dag.total_weight() / 2.0, 1e-12);
+}
+
+TEST(Makespan, ParallelForkUsesLongestBranch) {
+  const auto dag = graph::make_fork({1.0, 2.0, 6.0});
+  const auto m = Mapping::one_task_per_processor(dag);
+  const auto s = Schedule::uniform(dag, 1.0);
+  EXPECT_DOUBLE_EQ(makespan(dag, m, s), 1.0 + 6.0);
+}
+
+TEST(Makespan, SharedProcessorSerialisesIndependentTasks) {
+  const auto dag = graph::make_independent({3.0, 4.0});
+  Mapping m(1, 2);
+  m.assign(0, 0);
+  m.assign(1, 0);
+  const auto s = Schedule::uniform(dag, 1.0);
+  EXPECT_DOUBLE_EQ(makespan(dag, m, s), 7.0);
+}
+
+TEST(Makespan, ReexecutionExtendsWorstCase) {
+  // The paper's convention: both executions occupy the schedule.
+  const auto dag = graph::make_independent({2.0});
+  Mapping m(1, 1);
+  m.assign(0, 0);
+  Schedule s(1);
+  s.at(0) = TaskDecision::re_exec(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(makespan(dag, m, s), 4.0);
+}
+
+}  // namespace
+}  // namespace easched::sched

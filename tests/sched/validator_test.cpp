@@ -1,0 +1,146 @@
+#include "sched/validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace easched::sched {
+namespace {
+
+struct Fixture {
+  graph::Dag dag = graph::make_independent({2.0, 3.0});
+  Mapping mapping{2, 2};
+  model::SpeedModel speeds = model::SpeedModel::continuous(0.2, 1.0);
+  model::ReliabilityModel rel{1e-5, 3.0, 0.2, 1.0, 0.8};
+
+  Fixture() {
+    mapping.assign(0, 0);
+    mapping.assign(1, 1);
+  }
+
+  ValidationInput input(double deadline, bool tri = false) {
+    ValidationInput in;
+    in.speed_model = &speeds;
+    in.deadline = deadline;
+    if (tri) {
+      in.reliability = &rel;
+      in.allow_re_execution = true;
+    }
+    return in;
+  }
+};
+
+TEST(Validator, AcceptsFeasibleBiCritSchedule) {
+  Fixture fx;
+  auto s = Schedule::uniform(fx.dag, 1.0);
+  EXPECT_TRUE(validate_schedule(fx.dag, fx.mapping, s, fx.input(10.0)).is_ok());
+}
+
+TEST(Validator, RejectsDeadlineViolation) {
+  Fixture fx;
+  auto s = Schedule::uniform(fx.dag, 0.2);  // durations 10, 15
+  const auto st = validate_schedule(fx.dag, fx.mapping, s, fx.input(5.0));
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_NE(st.message().find("deadline"), std::string::npos);
+}
+
+TEST(Validator, RejectsSpeedOutsideContinuousRange) {
+  Fixture fx;
+  auto s = Schedule::uniform(fx.dag, 1.5);  // above fmax
+  EXPECT_FALSE(validate_schedule(fx.dag, fx.mapping, s, fx.input(10.0)).is_ok());
+  auto slow = Schedule::uniform(fx.dag, 0.1);  // below fmin
+  EXPECT_FALSE(validate_schedule(fx.dag, fx.mapping, slow, fx.input(1000.0)).is_ok());
+}
+
+TEST(Validator, RejectsNonLevelSpeedUnderDiscrete) {
+  Fixture fx;
+  fx.speeds = model::SpeedModel::discrete({0.5, 1.0});
+  auto s = Schedule::uniform(fx.dag, 0.7);
+  EXPECT_FALSE(validate_schedule(fx.dag, fx.mapping, s, fx.input(100.0)).is_ok());
+  auto ok = Schedule::uniform(fx.dag, 0.5);
+  EXPECT_TRUE(validate_schedule(fx.dag, fx.mapping, ok, fx.input(100.0)).is_ok());
+}
+
+TEST(Validator, RejectsReexecutionWhenNotAllowed) {
+  Fixture fx;
+  Schedule s(2);
+  s.at(0) = TaskDecision::re_exec(1.0, 1.0);
+  s.at(1) = TaskDecision::single(1.0);
+  EXPECT_FALSE(validate_schedule(fx.dag, fx.mapping, s, fx.input(100.0)).is_ok());
+}
+
+TEST(Validator, RejectsEmptyExecutionList) {
+  Fixture fx;
+  Schedule s(2);
+  s.at(1) = TaskDecision::single(1.0);
+  EXPECT_FALSE(validate_schedule(fx.dag, fx.mapping, s, fx.input(100.0)).is_ok());
+}
+
+TEST(Validator, TriCritReliabilityEnforced) {
+  Fixture fx;
+  // Single execution below frel violates the constraint.
+  auto s = Schedule::uniform(fx.dag, 0.5);
+  EXPECT_FALSE(validate_schedule(fx.dag, fx.mapping, s, fx.input(100.0, true)).is_ok());
+  // At frel it passes.
+  auto ok = Schedule::uniform(fx.dag, 0.8);
+  EXPECT_TRUE(validate_schedule(fx.dag, fx.mapping, ok, fx.input(100.0, true)).is_ok());
+}
+
+TEST(Validator, TriCritReexecutionRestoresReliability) {
+  Fixture fx;
+  Schedule s(2);
+  s.at(0) = TaskDecision::re_exec(0.5, 0.5);  // pair is fine
+  s.at(1) = TaskDecision::single(0.9);
+  EXPECT_TRUE(validate_schedule(fx.dag, fx.mapping, s, fx.input(100.0, true)).is_ok());
+}
+
+TEST(Validator, VddProfileMustMatchWork) {
+  Fixture fx;
+  fx.speeds = model::SpeedModel::vdd_hopping({0.5, 1.0});
+  Schedule s(2);
+  // Task 0 (w=2): profile processes only 1.5 work -> reject.
+  s.at(0) = TaskDecision{{Execution::vdd({{0.5, 1.0}, {1.0, 1.0}})}};
+  s.at(1) = TaskDecision{{Execution::vdd({{1.0, 3.0}})}};
+  EXPECT_FALSE(validate_schedule(fx.dag, fx.mapping, s, fx.input(100.0)).is_ok());
+  // Correct work: 0.5*2 + 1.0*1 = 2.
+  s.at(0) = TaskDecision{{Execution::vdd({{0.5, 2.0}, {1.0, 1.0}})}};
+  EXPECT_TRUE(validate_schedule(fx.dag, fx.mapping, s, fx.input(100.0)).is_ok());
+}
+
+TEST(Validator, VddProfileRejectsNonLevelSpeed) {
+  Fixture fx;
+  fx.speeds = model::SpeedModel::vdd_hopping({0.5, 1.0});
+  Schedule s(2);
+  s.at(0) = TaskDecision{{Execution::vdd({{0.7, 2.0 / 0.7}})}};
+  s.at(1) = TaskDecision{{Execution::vdd({{1.0, 3.0}})}};
+  EXPECT_FALSE(validate_schedule(fx.dag, fx.mapping, s, fx.input(100.0)).is_ok());
+}
+
+TEST(Validator, VddProfileUnderNonVddModelRejected) {
+  Fixture fx;  // continuous model
+  Schedule s(2);
+  s.at(0) = TaskDecision{{Execution::vdd({{0.5, 4.0}})}};
+  s.at(1) = TaskDecision::single(1.0);
+  EXPECT_FALSE(validate_schedule(fx.dag, fx.mapping, s, fx.input(100.0)).is_ok());
+}
+
+TEST(Validator, MismatchedScheduleSizeRejected) {
+  Fixture fx;
+  Schedule s(5);
+  EXPECT_FALSE(validate_schedule(fx.dag, fx.mapping, s, fx.input(10.0)).is_ok());
+}
+
+TEST(Validator, WorstCaseMakespanIncludesReexecutions) {
+  Fixture fx;
+  // Both tasks re-executed at 1.0: durations 4 and 6 on separate procs.
+  Schedule s(2);
+  s.at(0) = TaskDecision::re_exec(1.0, 1.0);
+  s.at(1) = TaskDecision::re_exec(1.0, 1.0);
+  EXPECT_TRUE(validate_schedule(fx.dag, fx.mapping, s, fx.input(6.0, true)).is_ok());
+  EXPECT_FALSE(validate_schedule(fx.dag, fx.mapping, s, fx.input(5.9, true)).is_ok());
+}
+
+}  // namespace
+}  // namespace easched::sched

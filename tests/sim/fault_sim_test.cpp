@@ -1,0 +1,140 @@
+#include "sim/fault_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace easched::sim {
+namespace {
+
+const model::ReliabilityModel kRel(1e-2, 3.0, 0.2, 1.0, 0.8);  // high rate for testing
+
+TEST(FaultSim, PerTaskSuccessMatchesAnalyticModel) {
+  const auto dag = graph::make_independent({2.0, 5.0});
+  sched::Schedule s(2);
+  s.at(0) = sched::TaskDecision::single(0.5);
+  s.at(1) = sched::TaskDecision::single(0.9);
+  SimOptions opt;
+  opt.trials = 200000;
+  const auto report = simulate(dag, s, kRel, opt);
+  for (int t = 0; t < 2; ++t) {
+    const auto& stats = report.per_task[static_cast<std::size_t>(t)];
+    const auto [lo, hi] = stats.success.wilson95();
+    EXPECT_LE(lo, stats.analytic_success) << t;
+    EXPECT_GE(hi, stats.analytic_success) << t;
+  }
+}
+
+TEST(FaultSim, ReexecutionBoostsObservedReliability) {
+  // Speed chosen so the failure probability is large but strictly < 1.
+  const auto dag = graph::make_independent({5.0});
+  sched::Schedule single(1), redundant(1);
+  single.at(0) = sched::TaskDecision::single(0.6);
+  redundant.at(0) = sched::TaskDecision::re_exec(0.6, 0.6);
+  SimOptions opt;
+  opt.trials = 100000;
+  const auto r1 = simulate(dag, single, kRel, opt);
+  const auto r2 = simulate(dag, redundant, kRel, opt);
+  EXPECT_GT(r2.per_task[0].success.estimate(), r1.per_task[0].success.estimate());
+  // Analytic: 1-(1-R)^... => 1 - lambda^2 vs 1 - lambda.
+  EXPECT_GT(r2.per_task[0].analytic_success, r1.per_task[0].analytic_success);
+}
+
+TEST(FaultSim, ActualEnergyBelowWorstCaseWithReexecution) {
+  const auto dag = graph::make_independent({3.0, 3.0});
+  sched::Schedule s(2);
+  s.at(0) = sched::TaskDecision::re_exec(0.5, 0.5);
+  s.at(1) = sched::TaskDecision::re_exec(0.5, 0.5);
+  SimOptions opt;
+  opt.trials = 50000;
+  const auto report = simulate(dag, s, kRel, opt);
+  // Worst case charges both executions; actual re-executes only on failure.
+  EXPECT_LT(report.actual_energy.mean(), report.worst_case_energy);
+  EXPECT_NEAR(report.worst_case_energy, s.total_energy(dag), 1e-9);
+  // Expected actual energy: per task E1 + p_fail*E2.
+  const double e1 = model::execution_energy(3.0, 0.5);
+  const double p = std::min(1.0, kRel.failure_prob(3.0, 0.5));
+  const double expected = 2.0 * (e1 + p * e1);
+  EXPECT_NEAR(report.actual_energy.mean(), expected, 0.05 * expected);
+}
+
+TEST(FaultSim, AppSuccessIsProductOfTaskSuccesses) {
+  const auto dag = graph::make_independent({4.0, 4.0, 4.0});
+  sched::Schedule s(3);
+  for (int t = 0; t < 3; ++t) s.at(t) = sched::TaskDecision::single(0.6);
+  SimOptions opt;
+  opt.trials = 200000;
+  const auto report = simulate(dag, s, kRel, opt);
+  double analytic = 1.0;
+  for (const auto& ts : report.per_task) analytic *= ts.analytic_success;
+  EXPECT_NEAR(report.app_success.estimate(), analytic, 0.01);
+}
+
+TEST(FaultSim, DeterministicAcrossThreadCounts) {
+  const auto dag = graph::make_independent({2.0, 3.0});
+  sched::Schedule s(2);
+  s.at(0) = sched::TaskDecision::re_exec(0.4, 0.4);
+  s.at(1) = sched::TaskDecision::single(0.8);
+  SimOptions a;
+  a.trials = 20000;
+  a.threads = 1;
+  SimOptions b = a;
+  b.threads = 8;
+  const auto ra = simulate(dag, s, kRel, a);
+  const auto rb = simulate(dag, s, kRel, b);
+  EXPECT_EQ(ra.per_task[0].success.successes, rb.per_task[0].success.successes);
+  EXPECT_EQ(ra.app_success.successes, rb.app_success.successes);
+  EXPECT_NEAR(ra.actual_energy.mean(), rb.actual_energy.mean(), 1e-9);
+}
+
+TEST(FaultSim, SeedChangesResults) {
+  const auto dag = graph::make_independent({5.0});
+  sched::Schedule s(1);
+  s.at(0) = sched::TaskDecision::single(0.7);
+  SimOptions a;
+  a.trials = 10000;
+  SimOptions b = a;
+  b.seed = 999;
+  const auto ra = simulate(dag, s, kRel, a);
+  const auto rb = simulate(dag, s, kRel, b);
+  EXPECT_NE(ra.per_task[0].success.successes, rb.per_task[0].success.successes);
+}
+
+TEST(FaultSim, VddExecutionFailureUsesMixedModel) {
+  const auto dag = graph::make_independent({4.0});
+  sched::Schedule s(1);
+  s.at(0) = sched::TaskDecision{
+      {sched::Execution::vdd({{0.4, 5.0}, {0.8, 2.5}})}};  // work 2+2 = 4
+  SimOptions opt;
+  opt.trials = 100000;
+  const auto report = simulate(dag, s, kRel, opt);
+  const double lam = std::min(
+      1.0, kRel.mixed_failure({{0.4, 5.0}, {0.8, 2.5}}));
+  EXPECT_NEAR(report.per_task[0].analytic_success, 1.0 - lam, 1e-12);
+  const auto [lo, hi] = report.per_task[0].success.wilson95();
+  EXPECT_LE(lo, 1.0 - lam);
+  EXPECT_GE(hi, 1.0 - lam);
+}
+
+TEST(FaultSim, FirstFailedRateMatchesLambda) {
+  const auto dag = graph::make_independent({5.0});
+  sched::Schedule s(1);
+  s.at(0) = sched::TaskDecision::single(0.3);
+  SimOptions opt;
+  opt.trials = 100000;
+  const auto report = simulate(dag, s, kRel, opt);
+  const double lam = std::min(1.0, kRel.failure_prob(5.0, 0.3));
+  const auto [lo, hi] = report.per_task[0].first_failed.wilson95();
+  EXPECT_LE(lo, lam);
+  EXPECT_GE(hi, lam);
+}
+
+TEST(FaultSim, ThrowsOnEmptyExecutionList) {
+  const auto dag = graph::make_independent({1.0});
+  sched::Schedule s(1);
+  EXPECT_THROW(simulate(dag, s, kRel, {}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace easched::sim

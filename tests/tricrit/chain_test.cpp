@@ -1,0 +1,224 @@
+#include "tricrit/chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "sched/mapping.hpp"
+#include "sched/validator.hpp"
+
+namespace easched::tricrit {
+namespace {
+
+const model::SpeedModel kSpeeds = model::SpeedModel::continuous(0.2, 1.0);
+const model::ReliabilityModel kRel(1e-5, 3.0, 0.2, 1.0, 0.8);
+
+void expect_valid(const std::vector<double>& weights, const ChainSolution& sol,
+                  double deadline) {
+  const auto dag = graph::make_chain(weights);
+  std::vector<graph::TaskId> order(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) order[i] = static_cast<int>(i);
+  const auto mapping = sched::Mapping::single_processor(dag, order);
+  sched::ValidationInput in;
+  in.speed_model = &kSpeeds;
+  in.reliability = &kRel;
+  in.deadline = deadline;
+  in.allow_re_execution = true;
+  EXPECT_TRUE(sched::validate_schedule(dag, mapping, sol.solution.schedule, in).is_ok());
+}
+
+TEST(ChainExact, TightDeadlineMeansNoReexecution) {
+  // D = sum(w)/frel: every task must run at frel, no room to re-execute.
+  const std::vector<double> w{1.0, 2.0, 1.5};
+  const double D = 4.5 / 0.8;
+  auto r = solve_chain_exact(w, D, kRel, kSpeeds);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().solution.re_executed, 0);
+  EXPECT_NEAR(r.value().solution.energy, 4.5 * 0.64, 1e-6);
+  expect_valid(w, r.value(), D);
+}
+
+TEST(ChainExact, LooseDeadlineReexecutesEverything) {
+  // With a huge deadline every task prefers two slow executions.
+  const std::vector<double> w{1.0, 2.0, 1.5};
+  auto r = solve_chain_exact(w, 1000.0, kRel, kSpeeds);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().solution.re_executed, 3);
+  expect_valid(w, r.value(), 1000.0);
+}
+
+TEST(ChainExact, IntermediateDeadlineSelectsSubset) {
+  // Calibrated so that only part of the chain can afford re-execution.
+  const std::vector<double> w{3.0, 0.5, 3.0, 0.4};
+  const double base = 6.9 / 0.8;  // all-single at frel
+  const double D = base * 1.35;
+  auto r = solve_chain_exact(w, D, kRel, kSpeeds);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_GT(r.value().solution.re_executed, 0);
+  EXPECT_LT(r.value().solution.re_executed, 4);
+  expect_valid(w, r.value(), D);
+}
+
+TEST(ChainExact, InfeasibleWhenEvenFmaxMisses) {
+  EXPECT_FALSE(solve_chain_exact({5.0, 5.0}, 9.0, kRel, kSpeeds).is_ok());
+}
+
+TEST(ChainExact, RefusesLargeN) {
+  std::vector<double> w(30, 1.0);
+  EXPECT_FALSE(solve_chain_exact(w, 100.0, kRel, kSpeeds).is_ok());
+}
+
+TEST(ChainExact, SubsetsExploredIsPowerOfTwo) {
+  auto r = solve_chain_exact({1.0, 1.0, 1.0}, 10.0, kRel, kSpeeds);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().subsets_explored, 8);
+}
+
+TEST(ChainGreedy, MatchesExactOnEasyInstances) {
+  common::Rng rng(1);
+  int matches = 0;
+  const int trials = 10;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto w = graph::random_weights(6, {0.5, 3.0}, rng);
+    double total = 0.0;
+    for (double x : w) total += x;
+    const double D = (total / 0.8) * rng.uniform(1.05, 2.5);
+    auto exact = solve_chain_exact(w, D, kRel, kSpeeds);
+    auto greedy = solve_chain_greedy(w, D, kRel, kSpeeds);
+    ASSERT_TRUE(exact.is_ok()) << trial;
+    ASSERT_TRUE(greedy.is_ok()) << trial;
+    EXPECT_GE(greedy.value().solution.energy,
+              exact.value().solution.energy * (1.0 - 1e-9))
+        << trial;
+    if (greedy.value().solution.energy <=
+        exact.value().solution.energy * (1.0 + 1e-6)) {
+      ++matches;
+    }
+    expect_valid(w, greedy.value(), D);
+  }
+  // The greedy should find the optimum on a clear majority of instances.
+  EXPECT_GE(matches, trials * 7 / 10);
+}
+
+TEST(ChainGreedy, NeverBeatsExact) {
+  common::Rng rng(2);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto w = graph::random_weights(5, {0.5, 2.0}, rng);
+    double total = 0.0;
+    for (double x : w) total += x;
+    const double D = (total / 0.8) * rng.uniform(1.0, 3.0);
+    auto exact = solve_chain_exact(w, D, kRel, kSpeeds);
+    auto greedy = solve_chain_greedy(w, D, kRel, kSpeeds);
+    if (!exact.is_ok() || !greedy.is_ok()) continue;
+    EXPECT_GE(greedy.value().solution.energy,
+              exact.value().solution.energy - 1e-9)
+        << trial;
+  }
+}
+
+TEST(ChainGreedy, UniformSlowdownBaselineWhenNoGain) {
+  // Deadline exactly sum(w)/frel: greedy stays all-single at frel.
+  const std::vector<double> w{1.0, 1.0};
+  const double D = 2.0 / 0.8;
+  auto r = solve_chain_greedy(w, D, kRel, kSpeeds);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().solution.re_executed, 0);
+  for (int t = 0; t < 2; ++t) {
+    EXPECT_NEAR(r.value().solution.schedule.at(t).executions.front().speed, 0.8, 1e-9);
+  }
+}
+
+TEST(ChainGreedy, EnergyNonIncreasingInDeadline) {
+  const std::vector<double> w{1.0, 2.0, 1.0, 0.5};
+  double prev = 1e300;
+  for (double factor : {1.05, 1.3, 1.8, 2.5, 4.0, 10.0}) {
+    const double D = (4.5 / 0.8) * factor;
+    auto r = solve_chain_greedy(w, D, kRel, kSpeeds);
+    ASSERT_TRUE(r.is_ok()) << factor;
+    EXPECT_LE(r.value().solution.energy, prev * (1.0 + 1e-9)) << factor;
+    prev = r.value().solution.energy;
+  }
+}
+
+TEST(ChainSolvers, ReexecutionSavesEnergyVsSingleOnlyBaseline) {
+  // The headline TRI-CRIT effect: with slack, re-execution beats running
+  // at frel. Compare greedy against the all-single water-filling.
+  const std::vector<double> w{1.0, 1.0, 1.0};
+  const double D = 3.0 / 0.8 * 3.0;  // generous slack
+  auto greedy = solve_chain_greedy(w, D, kRel, kSpeeds);
+  ASSERT_TRUE(greedy.is_ok());
+  const double single_energy = 3.0 * 0.64;  // all at frel
+  EXPECT_LT(greedy.value().solution.energy, single_energy);
+  EXPECT_GT(greedy.value().solution.re_executed, 0);
+}
+
+TEST(ChainSolvers, RejectDiscreteModel) {
+  const auto disc = model::SpeedModel::discrete({0.5, 1.0});
+  EXPECT_FALSE(solve_chain_exact({1.0}, 10.0, kRel, disc).is_ok());
+  EXPECT_FALSE(solve_chain_greedy({1.0}, 10.0, kRel, disc).is_ok());
+  EXPECT_FALSE(solve_chain_bnb({1.0}, 10.0, kRel, disc).is_ok());
+}
+
+TEST(ChainBnb, MatchesExhaustiveEnumeration) {
+  common::Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 4 + static_cast<int>(rng.below(7));  // 4..10 tasks
+    const auto w = graph::random_weights(n, {0.5, 3.0}, rng);
+    double total = 0.0;
+    for (double x : w) total += x;
+    const double D = (total / 0.8) * rng.uniform(1.05, 3.0);
+    auto exact = solve_chain_exact(w, D, kRel, kSpeeds);
+    auto bnb = solve_chain_bnb(w, D, kRel, kSpeeds);
+    ASSERT_EQ(exact.is_ok(), bnb.is_ok()) << trial;
+    if (!exact.is_ok()) continue;
+    EXPECT_NEAR(bnb.value().solution.energy, exact.value().solution.energy,
+                1e-7 * exact.value().solution.energy)
+        << trial;
+    EXPECT_EQ(bnb.value().solution.re_executed, exact.value().solution.re_executed)
+        << trial;
+  }
+}
+
+TEST(ChainBnb, PrunesAgainstEnumeration) {
+  common::Rng rng(6);
+  const auto w = graph::random_weights(14, {0.5, 3.0}, rng);
+  double total = 0.0;
+  for (double x : w) total += x;
+  const double D = total / 0.8 * 1.6;
+  auto bnb = solve_chain_bnb(w, D, kRel, kSpeeds);
+  ASSERT_TRUE(bnb.is_ok());
+  // Full enumeration evaluates 2^14 = 16384 subsets; B&B must beat that
+  // (its node count includes internal nodes, so compare against 2^15).
+  EXPECT_LT(bnb.value().subsets_explored, 1LL << 15);
+}
+
+TEST(ChainBnb, ScalesBeyondEnumerationLimit) {
+  common::Rng rng(7);
+  const auto w = graph::random_weights(26, {0.5, 3.0}, rng);  // 2^26 subsets
+  double total = 0.0;
+  for (double x : w) total += x;
+  const double D = total / 0.8 * 1.5;
+  auto bnb = solve_chain_bnb(w, D, kRel, kSpeeds, /*max_nodes=*/2'000'000);
+  ASSERT_TRUE(bnb.is_ok()) << bnb.status().to_string();
+  auto greedy = solve_chain_greedy(w, D, kRel, kSpeeds);
+  ASSERT_TRUE(greedy.is_ok());
+  EXPECT_LE(bnb.value().solution.energy,
+            greedy.value().solution.energy * (1.0 + 1e-9));
+}
+
+TEST(ChainBnb, InfeasibleDetected) {
+  EXPECT_FALSE(solve_chain_bnb({5.0, 5.0}, 9.0, kRel, kSpeeds).is_ok());
+}
+
+TEST(ChainBnb, NodeCapReported) {
+  common::Rng rng(8);
+  const auto w = graph::random_weights(20, {0.5, 3.0}, rng);
+  double total = 0.0;
+  for (double x : w) total += x;
+  auto r = solve_chain_bnb(w, total / 0.8 * 2.0, kRel, kSpeeds, /*max_nodes=*/5);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), common::StatusCode::kNotConverged);
+}
+
+}  // namespace
+}  // namespace easched::tricrit

@@ -1,0 +1,247 @@
+#include "tricrit/heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/validator.hpp"
+#include "tricrit/chain.hpp"
+
+namespace easched::tricrit {
+namespace {
+
+const model::SpeedModel kSpeeds = model::SpeedModel::continuous(0.2, 1.0);
+const model::ReliabilityModel kRel(1e-5, 3.0, 0.2, 1.0, 0.8);
+
+double fmax_makespan(const graph::Dag& dag, const sched::Mapping& mapping) {
+  std::vector<double> d(static_cast<std::size_t>(dag.num_tasks()));
+  for (int t = 0; t < dag.num_tasks(); ++t) {
+    d[static_cast<std::size_t>(t)] = dag.weight(t) / kSpeeds.fmax();
+  }
+  return graph::time_analysis(mapping.augmented_graph(dag), d, 0.0).makespan;
+}
+
+void expect_valid(const graph::Dag& dag, const sched::Mapping& mapping,
+                  const TriCritSolution& sol, double deadline, const char* tag) {
+  sched::ValidationInput in;
+  in.speed_model = &kSpeeds;
+  in.reliability = &kRel;
+  in.deadline = deadline;
+  in.allow_re_execution = true;
+  in.feasibility_tolerance = 1e-6;
+  EXPECT_TRUE(sched::validate_schedule(dag, mapping, sol.schedule, in).is_ok()) << tag;
+}
+
+TEST(ContinuousWithModes, AllSingleChainMatchesWaterfilling) {
+  const auto dag = graph::make_chain({1.0, 2.0, 1.0});
+  const auto mapping = sched::Mapping::single_processor(dag, {0, 1, 2});
+  const double D = 4.0 / 0.8 * 1.0;  // exactly all-at-frel
+  std::vector<bool> modes(3, false);
+  auto r = continuous_with_modes(dag, mapping, D, kRel, kSpeeds, modes);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_NEAR(r.value().schedule.at(t).executions.front().speed, 0.8, 1e-4);
+  }
+}
+
+TEST(ContinuousWithModes, ReexecModeUsesEffectiveWeight) {
+  const auto dag = graph::make_chain({1.0});
+  const auto mapping = sched::Mapping::single_processor(dag, {0});
+  std::vector<bool> modes{true};
+  const double D = 8.0;  // g = 2w/D = 0.25 if budget-bound; f_inf may bind
+  auto r = continuous_with_modes(dag, mapping, D, kRel, kSpeeds, modes);
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_EQ(r.value().schedule.at(0).executions.size(), 2u);
+  const double g = r.value().schedule.at(0).executions.front().speed;
+  EXPECT_TRUE(kRel.pair_ok(1.0, g, g, 1e-6));
+}
+
+TEST(ContinuousWithModes, InfeasibleModeSetDetected) {
+  // Re-executing a task whose two executions cannot fit in the deadline.
+  const auto dag = graph::make_chain({4.0});
+  const auto mapping = sched::Mapping::single_processor(dag, {0});
+  std::vector<bool> modes{true};
+  EXPECT_FALSE(continuous_with_modes(dag, mapping, 7.0, kRel, kSpeeds, modes).is_ok());
+}
+
+using HeuristicFn = common::Result<TriCritSolution> (*)(const graph::Dag&,
+                                                        const sched::Mapping&, double,
+                                                        const model::ReliabilityModel&,
+                                                        const model::SpeedModel&,
+                                                        const HeuristicOptions&);
+
+struct HeuristicCase {
+  const char* name;
+  HeuristicFn fn;
+};
+
+class HeuristicFeasibilityTest : public ::testing::TestWithParam<HeuristicCase> {};
+
+TEST_P(HeuristicFeasibilityTest, FeasibleAcrossGraphFamiliesAndSlacks) {
+  common::Rng rng(7);
+  const auto fn = GetParam().fn;
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<std::pair<const char*, graph::Dag>> dags;
+    dags.emplace_back("chain", graph::make_chain(8, {1.0, 3.0}, rng));
+    dags.emplace_back("fork", graph::make_fork(graph::random_weights(8, {1.0, 3.0}, rng)));
+    dags.emplace_back("layered", graph::make_layered(3, 3, 0.4, {1.0, 3.0}, rng));
+    dags.emplace_back("sp", graph::make_random_series_parallel(8, {1.0, 3.0}, rng));
+    for (auto& [name, dag] : dags) {
+      const auto mapping =
+          sched::list_schedule(dag, 3, sched::PriorityPolicy::kCriticalPath);
+      for (double slack : {1.35, 2.0, 4.0}) {
+        const double D = fmax_makespan(dag, mapping) * slack / 0.8;
+        auto r = fn(dag, mapping, D, kRel, kSpeeds, {});
+        ASSERT_TRUE(r.is_ok())
+            << GetParam().name << " " << name << " slack " << slack << ": "
+            << r.status().to_string();
+        expect_valid(dag, mapping, r.value(), D, name);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothFamilies, HeuristicFeasibilityTest,
+    ::testing::Values(HeuristicCase{"A", &heuristic_uniform_reexec},
+                      HeuristicCase{"B", &heuristic_slack_reexec},
+                      HeuristicCase{"BestOf", &heuristic_best_of}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(HeuristicA, ChainWithBigSlackReexecutes) {
+  const auto dag = graph::make_chain({1.0, 1.0, 1.0});
+  const auto mapping = sched::Mapping::single_processor(dag, {0, 1, 2});
+  const double D = 3.0 / 0.8 * 4.0;
+  auto r = heuristic_uniform_reexec(dag, mapping, D, kRel, kSpeeds);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_GT(r.value().re_executed, 0);
+}
+
+TEST(HeuristicB, ForkChildrenGetReexecutedFirst) {
+  const auto dag = graph::make_fork({2.0, 1.0, 1.0, 1.0});
+  const auto mapping = sched::Mapping::one_task_per_processor(dag);
+  const double D = (3.0 / 0.8) * 1.9;
+  auto r = heuristic_slack_reexec(dag, mapping, D, kRel, kSpeeds);
+  ASSERT_TRUE(r.is_ok());
+  int child_reexec = 0;
+  for (int c = 1; c < 4; ++c) {
+    child_reexec += r.value().schedule.at(c).re_executed() ? 1 : 0;
+  }
+  EXPECT_GT(child_reexec, 0);
+}
+
+TEST(BestOf, NeverWorseThanEitherHeuristic) {
+  common::Rng rng(9);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto dag = graph::make_layered(3, 3, 0.5, {1.0, 3.0}, rng);
+    const auto mapping = sched::list_schedule(dag, 3, sched::PriorityPolicy::kCriticalPath);
+    const double D = fmax_makespan(dag, mapping) / 0.8 * 2.2;
+    auto a = heuristic_uniform_reexec(dag, mapping, D, kRel, kSpeeds);
+    auto b = heuristic_slack_reexec(dag, mapping, D, kRel, kSpeeds);
+    auto best = heuristic_best_of(dag, mapping, D, kRel, kSpeeds);
+    ASSERT_TRUE(best.is_ok()) << trial;
+    if (a.is_ok()) {
+      EXPECT_LE(best.value().energy, a.value().energy * (1.0 + 1e-9)) << trial;
+    }
+    if (b.is_ok()) {
+      EXPECT_LE(best.value().energy, b.value().energy * (1.0 + 1e-9)) << trial;
+    }
+  }
+}
+
+TEST(Heuristics, CloseToExactOnSmallChains) {
+  common::Rng rng(10);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto w = graph::random_weights(6, {0.5, 2.5}, rng);
+    const auto dag = graph::make_chain(w);
+    std::vector<graph::TaskId> order(w.size());
+    for (std::size_t i = 0; i < w.size(); ++i) order[i] = static_cast<int>(i);
+    const auto mapping = sched::Mapping::single_processor(dag, order);
+    double total = 0.0;
+    for (double x : w) total += x;
+    const double D = (total / 0.8) * rng.uniform(1.2, 2.5);
+    auto exact = solve_chain_exact(w, D, kRel, kSpeeds);
+    auto best = heuristic_best_of(dag, mapping, D, kRel, kSpeeds);
+    ASSERT_TRUE(exact.is_ok()) << trial;
+    ASSERT_TRUE(best.is_ok()) << trial;
+    EXPECT_GE(best.value().energy, exact.value().solution.energy * (1.0 - 1e-6)) << trial;
+    EXPECT_LE(best.value().energy, exact.value().solution.energy * 1.15) << trial;
+  }
+}
+
+TEST(Heuristics, PolishNeverHurts) {
+  common::Rng rng(11);
+  const auto dag = graph::make_layered(3, 3, 0.4, {1.0, 3.0}, rng);
+  const auto mapping = sched::list_schedule(dag, 3, sched::PriorityPolicy::kCriticalPath);
+  const double D = fmax_makespan(dag, mapping) / 0.8 * 2.0;
+  HeuristicOptions no_polish;
+  no_polish.polish = false;
+  auto raw = heuristic_uniform_reexec(dag, mapping, D, kRel, kSpeeds, no_polish);
+  auto polished = heuristic_uniform_reexec(dag, mapping, D, kRel, kSpeeds, {});
+  ASSERT_TRUE(raw.is_ok());
+  ASSERT_TRUE(polished.is_ok());
+  EXPECT_LE(polished.value().energy, raw.value().energy * (1.0 + 1e-9));
+}
+
+TEST(HeuristicC, NeverWorseThanBaselineAndFeasible) {
+  common::Rng rng(12);
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto dag = graph::make_layered(3, 3, 0.4, {1.0, 3.0}, rng);
+    const auto mapping = sched::list_schedule(dag, 3, sched::PriorityPolicy::kCriticalPath);
+    const double D = fmax_makespan(dag, mapping) / 0.8 * 2.0;
+    std::vector<bool> none(static_cast<std::size_t>(dag.num_tasks()), false);
+    auto base = continuous_with_modes(dag, mapping, D, kRel, kSpeeds, none);
+    auto greedy = heuristic_greedy_reexec(dag, mapping, D, kRel, kSpeeds);
+    ASSERT_TRUE(base.is_ok()) << trial;
+    ASSERT_TRUE(greedy.is_ok()) << trial;
+    EXPECT_LE(greedy.value().energy, base.value().energy * (1.0 + 1e-9)) << trial;
+    expect_valid(dag, mapping, greedy.value(), D, "heuristic-C");
+  }
+}
+
+TEST(HeuristicC, MatchesChainGreedyOnChains) {
+  common::Rng rng(13);
+  const auto w = graph::random_weights(6, {0.5, 2.0}, rng);
+  const auto dag = graph::make_chain(w);
+  std::vector<graph::TaskId> order(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) order[i] = static_cast<int>(i);
+  const auto mapping = sched::Mapping::single_processor(dag, order);
+  double total = 0.0;
+  for (double x : w) total += x;
+  const double D = total / 0.8 * 1.8;
+  auto c = heuristic_greedy_reexec(dag, mapping, D, kRel, kSpeeds);
+  auto chain = solve_chain_greedy(w, D, kRel, kSpeeds);
+  ASSERT_TRUE(c.is_ok());
+  ASSERT_TRUE(chain.is_ok());
+  // Same strategy, different inner solvers (IPM vs water-filling): energies
+  // agree to solver tolerance.
+  EXPECT_NEAR(c.value().energy, chain.value().solution.energy,
+              1e-3 * chain.value().solution.energy);
+}
+
+TEST(HeuristicC, AtLeastAsGoodAsAandBOnSmallDags) {
+  common::Rng rng(14);
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto dag = graph::make_random_dag(8, 0.25, {1.0, 3.0}, rng);
+    const auto mapping = sched::list_schedule(dag, 3, sched::PriorityPolicy::kCriticalPath);
+    const double D = fmax_makespan(dag, mapping) / 0.8 * 2.2;
+    auto c = heuristic_greedy_reexec(dag, mapping, D, kRel, kSpeeds);
+    auto best = heuristic_best_of(dag, mapping, D, kRel, kSpeeds);
+    if (!c.is_ok() || !best.is_ok()) continue;
+    // The thorough variant should not lose by more than numerical noise.
+    EXPECT_LE(c.value().energy, best.value().energy * 1.02) << trial;
+  }
+}
+
+TEST(Heuristics, InfeasibleDeadlinePropagates) {
+  const auto dag = graph::make_chain({5.0});
+  const auto mapping = sched::Mapping::single_processor(dag, {0});
+  EXPECT_FALSE(heuristic_uniform_reexec(dag, mapping, 1.0, kRel, kSpeeds).is_ok());
+  EXPECT_FALSE(heuristic_slack_reexec(dag, mapping, 1.0, kRel, kSpeeds).is_ok());
+  EXPECT_FALSE(heuristic_best_of(dag, mapping, 1.0, kRel, kSpeeds).is_ok());
+}
+
+}  // namespace
+}  // namespace easched::tricrit

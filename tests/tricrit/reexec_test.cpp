@@ -1,0 +1,128 @@
+#include "tricrit/reexec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace easched::tricrit {
+namespace {
+
+const model::SpeedModel kSpeeds = model::SpeedModel::continuous(0.2, 1.0);
+const model::ReliabilityModel kRel(1e-5, 3.0, 0.2, 1.0, 0.8);
+
+TEST(BestSingle, TightBudgetForcesFastSpeed) {
+  auto c = best_single(2.0, 2.2, kRel, kSpeeds);  // w/t = 0.909 > frel
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_FALSE(c.value().re_executed);
+  EXPECT_NEAR(c.value().speed, 2.0 / 2.2, 1e-12);
+  EXPECT_NEAR(c.value().energy, 2.0 * c.value().speed * c.value().speed, 1e-12);
+}
+
+TEST(BestSingle, LooseBudgetFloorsAtFrel) {
+  auto c = best_single(2.0, 100.0, kRel, kSpeeds);
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_DOUBLE_EQ(c.value().speed, 0.8);  // frel, not fmin
+  EXPECT_NEAR(c.value().time_used, 2.5, 1e-12);
+}
+
+TEST(BestSingle, InfeasibleAboveFmax) {
+  EXPECT_FALSE(best_single(2.0, 1.5, kRel, kSpeeds).is_ok());  // needs 1.33
+}
+
+TEST(BestSingle, ZeroWeightTrivial) {
+  auto c = best_single(0.0, 1.0, kRel, kSpeeds);
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_DOUBLE_EQ(c.value().energy, 0.0);
+  EXPECT_DOUBLE_EQ(c.value().time_used, 0.0);
+}
+
+TEST(BestDouble, UsesFInfFloorWhenBudgetLoose) {
+  auto c = best_double(2.0, 1000.0, kRel, kSpeeds);
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_TRUE(c.value().re_executed);
+  const double finf = kRel.f_inf(2.0).value();
+  EXPECT_NEAR(c.value().speed, std::max(finf, kSpeeds.fmin()), 1e-9);
+  EXPECT_NEAR(c.value().energy, 2.0 * 2.0 * c.value().speed * c.value().speed, 1e-12);
+}
+
+TEST(BestDouble, TightBudgetRunsBothAtRequiredSpeed) {
+  auto c = best_double(2.0, 5.0, kRel, kSpeeds);  // g = 4/5 = 0.8
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_NEAR(c.value().speed, 0.8, 1e-12);
+  EXPECT_NEAR(c.value().time_used, 5.0, 1e-12);
+}
+
+TEST(BestDouble, InfeasibleWhenBothExecutionsCannotFit) {
+  EXPECT_FALSE(best_double(2.0, 3.0, kRel, kSpeeds).is_ok());  // needs g=4/3>1
+}
+
+TEST(BestChoice, PrefersSingleWhenTimeIsScarce) {
+  // Budget 2.6 for w=2: single at 0.77→floors to 0.8, double needs g=1.54
+  // (infeasible) -> single.
+  auto c = best_choice(2.0, 2.6, kRel, kSpeeds);
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_FALSE(c.value().re_executed);
+}
+
+TEST(BestChoice, PrefersDoubleWhenTimeIsAbundant) {
+  // With lots of time, two slow executions beat one at frel iff
+  // 2 g^2 < frel^2, i.e. g < frel/sqrt(2) ≈ 0.566. f_inf for w=2 is well
+  // below that here.
+  auto c = best_choice(2.0, 1000.0, kRel, kSpeeds);
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_TRUE(c.value().re_executed);
+  auto s = best_single(2.0, 1000.0, kRel, kSpeeds);
+  EXPECT_LT(c.value().energy, s.value().energy);
+}
+
+TEST(BestChoice, CrossoverBudgetExists) {
+  // Sweep budgets: the choice flips from single to double exactly once.
+  int flips = 0;
+  bool last_double = false;
+  bool first = true;
+  for (double budget = 2.2; budget < 30.0; budget += 0.1) {
+    auto c = best_choice(2.0, budget, kRel, kSpeeds);
+    if (!c.is_ok()) continue;
+    if (!first && c.value().re_executed != last_double) ++flips;
+    last_double = c.value().re_executed;
+    first = false;
+  }
+  EXPECT_EQ(flips, 1);
+  EXPECT_TRUE(last_double);
+}
+
+TEST(BestChoice, EnergyMonotoneNonIncreasingInBudget) {
+  double prev = 1e300;
+  for (double budget = 2.2; budget < 40.0; budget *= 1.3) {
+    auto c = best_choice(2.0, budget, kRel, kSpeeds);
+    if (!c.is_ok()) continue;
+    EXPECT_LE(c.value().energy, prev + 1e-12);
+    prev = c.value().energy;
+  }
+}
+
+TEST(BestChoice, RespectsReliabilityConstraintAlways) {
+  for (double budget : {2.2, 3.0, 5.0, 8.0, 15.0, 50.0}) {
+    auto c = best_choice(2.0, budget, kRel, kSpeeds);
+    if (!c.is_ok()) continue;
+    if (c.value().re_executed) {
+      EXPECT_TRUE(kRel.pair_ok(2.0, c.value().speed, c.value().speed, 1e-6)) << budget;
+    } else {
+      EXPECT_TRUE(kRel.single_ok(2.0, c.value().speed, 1e-6)) << budget;
+    }
+  }
+}
+
+TEST(ApplyChoice, UpdatesScheduleAndCounters) {
+  TriCritSolution sol(2);
+  apply_choice(sol, 0, ExecChoice{false, 0.9, 1.62, 2.0});
+  apply_choice(sol, 1, ExecChoice{true, 0.5, 1.0, 8.0});
+  EXPECT_EQ(sol.re_executed, 1);
+  EXPECT_NEAR(sol.energy, 2.62, 1e-12);
+  EXPECT_EQ(sol.schedule.at(0).executions.size(), 1u);
+  EXPECT_EQ(sol.schedule.at(1).executions.size(), 2u);
+  EXPECT_DOUBLE_EQ(sol.schedule.at(1).executions[0].speed, 0.5);
+}
+
+}  // namespace
+}  // namespace easched::tricrit

@@ -1,0 +1,191 @@
+#include "tricrit/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "tricrit/fork.hpp"
+
+namespace easched::tricrit {
+namespace {
+
+const model::SpeedModel kSpeeds = model::SpeedModel::continuous(0.2, 1.0);
+const model::ReliabilityModel kRel(1e-5, 3.0, 0.2, 1.0, 0.8);
+
+TEST(FMulti, DecreasesWithAttempts) {
+  double prev = kRel.frel();
+  for (int k = 2; k <= 5; ++k) {
+    auto f = kRel.f_multi(2.0, k);
+    ASSERT_TRUE(f.is_ok()) << k;
+    EXPECT_LE(f.value(), prev + 1e-12) << k;
+    prev = f.value();
+  }
+}
+
+TEST(FMulti, OneAttemptIsFrel) {
+  auto f = kRel.f_multi(2.0, 1);
+  ASSERT_TRUE(f.is_ok());
+  EXPECT_DOUBLE_EQ(f.value(), 0.8);
+}
+
+TEST(FMulti, TwoAttemptsMatchesFInf) {
+  auto a = kRel.f_multi(3.0, 2);
+  auto b = kRel.f_inf(3.0);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_DOUBLE_EQ(a.value(), b.value());
+}
+
+TEST(FMulti, ConstraintTightAtSolution) {
+  for (int k : {2, 3, 4}) {
+    auto f = kRel.f_multi(5.0, k);
+    ASSERT_TRUE(f.is_ok());
+    if (f.value() > kRel.fmin() * 1.01) {
+      const double lhs = std::pow(kRel.failure_prob(5.0, f.value()), k);
+      EXPECT_NEAR(lhs / kRel.threshold_failure(5.0), 1.0, 1e-5) << k;
+    }
+  }
+}
+
+TEST(Replication, SameEnergyAsReexecHalfTheTime) {
+  // Degree-2 replication == re-execution in energy and reliability, but
+  // parallel: wall-clock halves. (The paper's "very different impact".)
+  const double w = 2.0, budget = 100.0;
+  auto rep = best_replication(w, budget, 2, kRel, kSpeeds);
+  auto re = best_double(w, budget, kRel, kSpeeds);
+  ASSERT_TRUE(rep.is_ok());
+  ASSERT_TRUE(re.is_ok());
+  EXPECT_NEAR(rep.value().energy, re.value().energy, 1e-9);
+  EXPECT_NEAR(rep.value().time, re.value().time_used / 2.0, 1e-9);
+  EXPECT_EQ(rep.value().processors, 2);
+}
+
+TEST(Replication, TightBudgetFavoursReplication) {
+  // Budget too small for two sequential executions but fine for parallel
+  // replicas: replication feasible where re-execution is not.
+  const double w = 2.0;
+  const double budget = 3.0;  // 2w/g <= 3 needs g >= 4/3 > fmax
+  EXPECT_FALSE(best_double(w, budget, kRel, kSpeeds).is_ok());
+  auto rep = best_replication(w, budget, 2, kRel, kSpeeds);
+  ASSERT_TRUE(rep.is_ok());
+  EXPECT_LE(rep.value().time, budget + 1e-12);
+}
+
+TEST(Replication, HigherDegreeAllowsSlowerSpeed) {
+  // Heavy task so f_multi(w, 2) sits strictly above fmin: the degree-3
+  // floor is then strictly lower.
+  const double w = 100.0, budget = 1e6;
+  auto r2 = best_replication(w, budget, 2, kRel, kSpeeds);
+  auto r3 = best_replication(w, budget, 3, kRel, kSpeeds);
+  ASSERT_TRUE(r2.is_ok());
+  ASSERT_TRUE(r3.is_ok());
+  EXPECT_GT(r2.value().speed, kSpeeds.fmin());
+  EXPECT_LT(r3.value().speed, r2.value().speed);
+}
+
+TEST(Replication, InfeasibleAboveFmax) {
+  EXPECT_FALSE(best_replication(2.0, 1.5, 2, kRel, kSpeeds).is_ok());  // needs 4/3
+}
+
+TEST(BestFtChoice, PicksSingleUnderTightBudget) {
+  auto c = best_ft_choice(2.0, 2.4, 3, kRel, kSpeeds);
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_EQ(c.value().strategy, FtStrategy::kSingle);
+}
+
+TEST(BestFtChoice, PicksRedundancyUnderLooseBudget) {
+  auto c = best_ft_choice(2.0, 1000.0, 3, kRel, kSpeeds);
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_NE(c.value().strategy, FtStrategy::kSingle);
+  auto s = best_single(2.0, 1000.0, kRel, kSpeeds);
+  EXPECT_LT(c.value().energy, s.value().energy);
+}
+
+TEST(BestFtChoice, EnergyNeverAboveReexecOnly) {
+  common::Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const double w = rng.uniform(0.5, 5.0);
+    const double budget = rng.uniform(2.0 * w / 1.0, 40.0);
+    auto ft = best_ft_choice(w, budget, 3, kRel, kSpeeds);
+    auto re = best_choice(w, budget, kRel, kSpeeds);
+    if (!re.is_ok()) continue;
+    ASSERT_TRUE(ft.is_ok()) << trial;
+    EXPECT_LE(ft.value().energy, re.value().energy + 1e-12) << trial;
+  }
+}
+
+TEST(ForkFt, NoIdleProcessorsReducesToReexecSolver) {
+  const auto dag = graph::make_fork({2.0, 1.0, 1.5});
+  const double D = 12.0;
+  auto ft = solve_fork_ft(dag, D, /*processors=*/3, kRel, kSpeeds);
+  auto re = solve_fork_tricrit(dag, D, kRel, kSpeeds);
+  ASSERT_TRUE(ft.is_ok()) << ft.status().to_string();
+  ASSERT_TRUE(re.is_ok());
+  EXPECT_EQ(ft.value().replicas_used, 0);
+  EXPECT_NEAR(ft.value().energy, re.value().solution.energy,
+              1e-3 * re.value().solution.energy);
+}
+
+TEST(ForkFt, IdleProcessorsNeverHurt) {
+  const auto dag = graph::make_fork({2.0, 1.0, 1.5, 0.8});
+  for (double D : {5.5, 8.0, 14.0, 30.0}) {
+    auto base = solve_fork_ft(dag, D, 4, kRel, kSpeeds);
+    auto more = solve_fork_ft(dag, D, 8, kRel, kSpeeds);
+    if (!base.is_ok()) continue;
+    ASSERT_TRUE(more.is_ok()) << D;
+    EXPECT_LE(more.value().energy, base.value().energy * (1.0 + 1e-6)) << D;
+  }
+}
+
+TEST(ForkFt, TightDeadlineUsesReplicationNotReexec) {
+  // Window too small for sequential re-execution; with idle processors the
+  // solver should still buy reliability-energy gains via replication.
+  const auto dag = graph::make_fork({1.0, 2.0, 2.0});
+  const double D = 5.4;  // all-single at frel: 1/0.8 + 2/0.8 = 3.75; 2 execs: 6.25 > D
+  auto ft = solve_fork_ft(dag, D, 6, kRel, kSpeeds);
+  ASSERT_TRUE(ft.is_ok());
+  int replicated = 0, reexecuted = 0;
+  for (const auto& c : ft.value().choices) {
+    replicated += c.strategy == FtStrategy::kReplication ? 1 : 0;
+    reexecuted += c.strategy == FtStrategy::kReExecution ? 1 : 0;
+  }
+  EXPECT_GT(replicated, 0);
+}
+
+TEST(ForkFt, RespectsProcessorPool) {
+  const auto dag = graph::make_fork({1.0, 1.0, 1.0, 1.0, 1.0});
+  auto ft = solve_fork_ft(dag, 50.0, /*processors=*/7, kRel, kSpeeds);
+  ASSERT_TRUE(ft.is_ok());
+  EXPECT_LE(ft.value().replicas_used, 2);
+  int extra = 0;
+  for (const auto& c : ft.value().choices) extra += c.processors - 1;
+  EXPECT_EQ(extra, ft.value().replicas_used);
+}
+
+TEST(ForkFt, AllChoicesMeetReliability) {
+  const auto dag = graph::make_fork({2.0, 1.0, 1.5});
+  auto ft = solve_fork_ft(dag, 20.0, 6, kRel, kSpeeds);
+  ASSERT_TRUE(ft.is_ok());
+  for (int t = 0; t < dag.num_tasks(); ++t) {
+    const auto& c = ft.value().choices[static_cast<std::size_t>(t)];
+    const double lam = kRel.failure_prob(dag.weight(t), c.speed);
+    EXPECT_LE(std::pow(lam, c.attempts),
+              kRel.threshold_failure(dag.weight(t)) * (1.0 + 1e-6))
+        << t;
+  }
+}
+
+TEST(ForkFt, RejectsTooFewProcessors) {
+  const auto dag = graph::make_fork({1.0, 1.0, 1.0});
+  EXPECT_FALSE(solve_fork_ft(dag, 10.0, 2, kRel, kSpeeds).is_ok());
+}
+
+TEST(StrategyNames, Stable) {
+  EXPECT_STREQ(to_string(FtStrategy::kSingle), "single");
+  EXPECT_STREQ(to_string(FtStrategy::kReplication), "replication");
+}
+
+}  // namespace
+}  // namespace easched::tricrit

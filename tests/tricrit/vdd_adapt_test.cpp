@@ -1,0 +1,130 @@
+#include "tricrit/vdd_adapt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/validator.hpp"
+#include "tricrit/heuristics.hpp"
+
+namespace easched::tricrit {
+namespace {
+
+const model::SpeedModel kCont = model::SpeedModel::continuous(0.2, 1.0);
+const model::SpeedModel kVdd =
+    model::SpeedModel::vdd_hopping({0.2, 0.4, 0.6, 0.8, 1.0});
+const model::ReliabilityModel kRel(1e-5, 3.0, 0.2, 1.0, 0.8);
+
+TriCritSolution single_task_solution(double w, double f) {
+  TriCritSolution sol(1);
+  apply_choice(sol, 0, ExecChoice{false, f, model::execution_energy(w, f), w / f});
+  return sol;
+}
+
+TEST(VddAdapt, LevelSpeedPassesThroughExactly) {
+  graph::Dag dag;
+  dag.add_task(2.0);
+  auto cont = single_task_solution(2.0, 0.8);
+  auto r = adapt_to_vdd(dag, cont, kRel, kVdd);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_NEAR(r.value().solution.energy, cont.energy, 1e-9);
+  EXPECT_EQ(r.value().tightened_tasks, 0);
+}
+
+TEST(VddAdapt, OffLevelSpeedBecomesTwoLevelMix) {
+  graph::Dag dag;
+  dag.add_task(2.0);
+  auto cont = single_task_solution(2.0, 0.9);  // between 0.8 and 1.0
+  auto r = adapt_to_vdd(dag, cont, kRel, kVdd);
+  ASSERT_TRUE(r.is_ok());
+  const auto& prof = r.value().solution.schedule.at(0).executions.front().profile;
+  ASSERT_GE(prof.size(), 1u);
+  ASSERT_LE(prof.size(), 2u);
+  EXPECT_NEAR(model::vdd_work(prof), 2.0, 1e-9);
+  // Duration never exceeds the continuous duration (deadline preserved).
+  EXPECT_LE(model::vdd_time(prof), 2.0 / 0.9 + 1e-9);
+}
+
+TEST(VddAdapt, ReliabilityRestoredByTightening) {
+  // A single execution just above frel: the work/time-matched mix has
+  // slightly worse reliability, so the adapter must tighten.
+  graph::Dag dag;
+  dag.add_task(5.0);
+  auto cont = single_task_solution(5.0, 0.81);  // off-level, near frel
+  auto r = adapt_to_vdd(dag, cont, kRel, kVdd);
+  ASSERT_TRUE(r.is_ok());
+  const auto& prof = r.value().solution.schedule.at(0).executions.front().profile;
+  EXPECT_LE(kRel.mixed_failure(prof), kRel.threshold_failure(5.0) * (1.0 + 1e-6));
+}
+
+TEST(VddAdapt, EnergyLossIsSmallAndAboveOne) {
+  common::Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto dag = graph::make_layered(3, 3, 0.4, {1.0, 3.0}, rng);
+    const auto mapping = sched::list_schedule(dag, 3, sched::PriorityPolicy::kCriticalPath);
+    std::vector<double> dmax(static_cast<std::size_t>(dag.num_tasks()));
+    for (int t = 0; t < dag.num_tasks(); ++t) {
+      dmax[static_cast<std::size_t>(t)] = dag.weight(t);
+    }
+    const double D =
+        graph::time_analysis(mapping.augmented_graph(dag), dmax, 0.0).makespan / 0.8 * 2.0;
+    auto cont = heuristic_best_of(dag, mapping, D, kRel, kCont);
+    ASSERT_TRUE(cont.is_ok()) << trial;
+    auto r = adapt_to_vdd(dag, cont.value(), kRel, kVdd);
+    ASSERT_TRUE(r.is_ok()) << trial;
+    EXPECT_GE(r.value().energy_loss_ratio, 1.0 - 1e-9) << trial;
+    EXPECT_LE(r.value().energy_loss_ratio, 1.6) << trial;  // mixing is cheap
+  }
+}
+
+TEST(VddAdapt, AdaptedScheduleValidatesUnderVddModel) {
+  common::Rng rng(4);
+  const auto dag = graph::make_chain(6, {1.0, 3.0}, rng);
+  const auto topo = graph::topological_order(dag).value();
+  const auto mapping = sched::Mapping::single_processor(dag, topo);
+  const double D = dag.total_weight() / 0.8 * 2.5;
+  auto cont = heuristic_best_of(dag, mapping, D, kRel, kCont);
+  ASSERT_TRUE(cont.is_ok());
+  auto r = adapt_to_vdd(dag, cont.value(), kRel, kVdd);
+  ASSERT_TRUE(r.is_ok());
+  sched::ValidationInput in;
+  in.speed_model = &kVdd;
+  in.reliability = &kRel;
+  in.deadline = D;
+  in.allow_re_execution = true;
+  in.feasibility_tolerance = 1e-6;
+  EXPECT_TRUE(
+      sched::validate_schedule(dag, mapping, r.value().solution.schedule, in).is_ok());
+}
+
+TEST(VddAdapt, ReexecutionsKeepBothExecutions) {
+  graph::Dag dag;
+  dag.add_task(2.0);
+  TriCritSolution cont(1);
+  apply_choice(cont, 0, ExecChoice{true, 0.45, 2.0 * model::execution_energy(2.0, 0.45),
+                                   2.0 * 2.0 / 0.45});
+  auto r = adapt_to_vdd(dag, cont, kRel, kVdd);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().solution.schedule.at(0).executions.size(), 2u);
+  EXPECT_EQ(r.value().solution.re_executed, 1);
+}
+
+TEST(VddAdapt, RejectsNonVddModel) {
+  graph::Dag dag;
+  dag.add_task(1.0);
+  auto cont = single_task_solution(1.0, 0.8);
+  EXPECT_FALSE(adapt_to_vdd(dag, cont, kRel, kCont).is_ok());
+}
+
+TEST(VddAdapt, SpeedAboveTopLevelRejected) {
+  graph::Dag dag;
+  dag.add_task(1.0);
+  auto cont = single_task_solution(1.0, 0.9);
+  const auto small_vdd = model::SpeedModel::vdd_hopping({0.2, 0.5});
+  EXPECT_THROW((void)adapt_to_vdd(dag, cont, kRel, small_vdd), std::logic_error);
+}
+
+}  // namespace
+}  // namespace easched::tricrit
