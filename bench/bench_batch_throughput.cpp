@@ -1,0 +1,66 @@
+// E13: batch execution throughput — api::solve_batch fans the standard
+// corpus across the thread pool. Expected shape: identical per-family
+// energy aggregates at every thread count (batching never changes
+// results), with wall time dropping as threads increase until the corpus
+// runs out of parallelism.
+
+#include <algorithm>
+#include <iostream>
+
+#include "api/batch.hpp"
+#include "bench_util.hpp"
+#include "common/parallel.hpp"
+
+int main(int argc, char** argv) {
+  using namespace easched;
+  bench::banner("E13 batch throughput",
+                "solve_batch: corpus sweeps on the thread pool, results unchanged",
+                "whole-corpus wall time and per-family energy by thread count");
+
+  common::Rng rng(bench::corpus_seed(argc, argv, 13));
+  core::CorpusOptions copt;
+  copt.tasks = 14;
+  copt.processors = 4;
+  copt.instances_per_family = 3;
+  const auto corpus = core::standard_corpus(rng, copt);
+  const auto jobs =
+      api::corpus_bicrit_jobs(corpus, model::SpeedModel::continuous(0.1, 1.0), 1.8);
+
+  const std::size_t hw = common::default_thread_count();
+  std::vector<std::size_t> counts{1, 2, 4, hw};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+
+  double serial_ms = 0.0;
+  common::Table table({"threads", "jobs", "solved", "failed", "wall_ms", "speedup"});
+  for (std::size_t threads : counts) {
+    api::BatchOptions opt;
+    opt.threads = threads;
+    const auto report = api::solve_batch(jobs, opt);
+    if (threads == 1) serial_ms = report.wall_ms;
+    table.add_row({common::format_int(static_cast<long long>(threads)),
+                   common::format_int(static_cast<long long>(jobs.size())),
+                   common::format_int(static_cast<long long>(report.solved)),
+                   common::format_int(static_cast<long long>(report.failed)),
+                   common::format_fixed(report.wall_ms, 1),
+                   serial_ms > 0.0 ? common::format_ratio(serial_ms / report.wall_ms)
+                                   : "-"});
+  }
+  table.print(std::cout);
+
+  api::BatchOptions opt;
+  opt.threads = hw;
+  const auto report = api::solve_batch(jobs, opt);
+  std::cout << "\nper-family aggregates (threads=" << hw << "):\n\n";
+  common::Table families({"family", "solved", "mean_energy", "sd_energy", "mean_ms"});
+  for (const auto& [family, agg] : report.by_family) {
+    families.add_row({family, common::format_int(static_cast<long long>(agg.solved)),
+                      common::format_g(agg.energy.mean()),
+                      common::format_g(agg.energy.stddev()),
+                      common::format_fixed(agg.wall_ms.mean(), 2)});
+  }
+  families.print(std::cout);
+  std::cout << "\nShapes: per-family mean energy identical across thread counts; wall\n"
+               "time scales down with threads until per-family imbalance dominates.\n";
+  return 0;
+}

@@ -10,13 +10,13 @@
 #include "core/corpus.hpp"
 #include "sched/list_scheduler.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace easched;
   bench::banner("E3 continuous DAG solver",
                 "C2: BI-CRIT on general DAGs is a convex program (GP equivalent)",
                 "energy vs deadline per DAG family (interior point on the mapped graph)");
 
-  common::Rng rng(3);
+  common::Rng rng(bench::corpus_seed(argc, argv, 3));
   core::CorpusOptions copt;
   copt.tasks = 20;
   copt.processors = 4;

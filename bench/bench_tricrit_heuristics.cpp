@@ -11,13 +11,13 @@
 #include "core/corpus.hpp"
 #include "tricrit/heuristics.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace easched;
   bench::banner("E10 TRI-CRIT heuristics",
                 "C6: complementary heuristic families; BEST-OF wins everywhere",
                 "normalised energy (1.0 = per-instance best) by DAG family");
 
-  common::Rng rng(10);
+  common::Rng rng(bench::corpus_seed(argc, argv, 10));
   const auto speeds = model::SpeedModel::continuous(0.2, 1.0);
   const model::ReliabilityModel rel(1e-5, 3.0, 0.2, 1.0, 0.8);
 

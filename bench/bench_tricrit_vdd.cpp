@@ -12,13 +12,13 @@
 #include "tricrit/heuristics.hpp"
 #include "tricrit/vdd_adapt.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace easched;
   bench::banner("E11 TRI-CRIT VDD adaptation",
                 "C10: continuous heuristic -> two-level mixes, time & reliability kept",
                 "energy loss ratio by level-set granularity and DAG family");
 
-  common::Rng rng(11);
+  common::Rng rng(bench::corpus_seed(argc, argv, 11));
   const auto cont = model::SpeedModel::continuous(0.2, 1.0);
   const model::ReliabilityModel rel(1e-5, 3.0, 0.2, 1.0, 0.8);
 

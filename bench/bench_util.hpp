@@ -2,7 +2,10 @@
 // Shared helpers for the experiment benches. Each bench binary prints
 // self-contained tables; EXPERIMENTS.md records the expected shapes.
 
+#include <cerrno>
 #include <chrono>
+#include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -28,6 +31,34 @@ class Stopwatch {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Explicit corpus seed: `--seed N` on the bench command line overrides
+/// `def`, so repeated runs (and runs across machines) generate identical
+/// instance sets and sweeps stay comparable. Every bench that calls
+/// core::standard_corpus threads its seed through this. A missing or
+/// non-numeric value aborts rather than silently falling back — a wrong
+/// seed would defeat the reproducibility the flag exists for.
+inline std::uint64_t corpus_seed(int argc, char** argv, std::uint64_t def) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) != "--seed") continue;
+    if (i + 1 >= argc) {
+      std::cerr << "--seed requires a value\n";
+      std::exit(2);
+    }
+    const char* value = argv[i + 1];
+    char* end = nullptr;
+    errno = 0;
+    const std::uint64_t seed = std::strtoull(value, &end, 10);
+    // strtoull accepts a leading '-' (wrapping) and clamps on overflow —
+    // both would silently turn a typo into a different corpus.
+    if (value[0] == '-' || end == value || *end != '\0' || errno == ERANGE) {
+      std::cerr << "--seed: not an unsigned 64-bit decimal integer: " << value << "\n";
+      std::exit(2);
+    }
+    return seed;
+  }
+  return def;
+}
 
 /// Makespan of the instance when every task runs at `fmax`.
 inline double fmax_makespan(const graph::Dag& dag, const sched::Mapping& mapping,

@@ -1,6 +1,8 @@
 // Command-line driver: solve BI-CRIT/TRI-CRIT for a DAG read from the
 // text format of graph/io.hpp — the entry point a downstream user scripts
-// against without writing C++.
+// against without writing C++. Runs on the registry-driven api layer:
+// any registered solver can be requested by name, and with no --solver
+// the registry auto-selects by capability.
 //
 // Usage:
 //   easched_cli <dag-file> --deadline D [options]
@@ -10,6 +12,9 @@
 //     --vdd                 treat the level set as VDD-HOPPING
 //     --frel F              enable TRI-CRIT with threshold speed F
 //     --lambda0 L --dexp D  reliability parameters (default 1e-5 / 3)
+//     --solver NAME         registry solver name (default: auto-select)
+//     --slack S             deadline-slack policy (scales D; default 1)
+//     --list-solvers        print the registry and exit
 //     --gantt               print the timeline
 //     --csv                 print the timeline as CSV
 //
@@ -24,8 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "api/registry.hpp"
 #include "core/problem.hpp"
-#include "core/solvers.hpp"
 #include "graph/io.hpp"
 #include "sched/gantt.hpp"
 #include "sched/list_scheduler.hpp"
@@ -43,8 +48,24 @@ std::vector<double> parse_levels(const std::string& arg) {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0 << " <dag-file> --deadline D [--processors P]\n"
             << "  [--fmin F] [--fmax F] [--levels f1,f2,...] [--vdd]\n"
-            << "  [--frel F] [--lambda0 L] [--dexp D] [--gantt] [--csv]\n";
+            << "  [--frel F] [--lambda0 L] [--dexp D]\n"
+            << "  [--solver NAME] [--slack S] [--list-solvers] [--gantt] [--csv]\n";
   return 2;
+}
+
+int list_solvers() {
+  using namespace easched;
+  const auto& registry = api::SolverRegistry::instance();
+  std::cout << "registered solvers (name / problem / exact / auto):\n";
+  for (const auto& name : registry.names()) {
+    const auto* solver = registry.find(name);
+    const auto& caps = solver->capabilities();
+    std::cout << "  " << name << "  [" << api::to_string(caps.problem) << "] "
+              << (caps.exact ? "exact" : "heuristic") << " "
+              << (caps.auto_priority >= 0 ? "auto-selectable" : "explicit-only")
+              << "  — " << caps.paper_ref << "\n";
+  }
+  return 0;
 }
 
 }  // namespace
@@ -53,12 +74,13 @@ int main(int argc, char** argv) {
   using namespace easched;
   if (argc < 2) return usage(argv[0]);
 
-  std::string dag_path;
+  std::string dag_path, solver_name;
   double deadline = -1.0, fmin = 0.2, fmax = 1.0, lambda0 = 1e-5, dexp = 3.0;
   std::optional<double> frel;
   std::optional<std::vector<double>> levels;
   bool vdd = false, gantt = false, csv = false;
   int processors = 2;
+  api::SolveOptions options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -87,6 +109,12 @@ int main(int argc, char** argv) {
       lambda0 = std::stod(next());
     } else if (arg == "--dexp") {
       dexp = std::stod(next());
+    } else if (arg == "--solver") {
+      solver_name = next();
+    } else if (arg == "--slack") {
+      options.deadline_slack = std::stod(next());
+    } else if (arg == "--list-solvers") {
+      return list_solvers();
     } else if (arg == "--gantt") {
       gantt = true;
     } else if (arg == "--csv") {
@@ -118,51 +146,46 @@ int main(int argc, char** argv) {
       levels ? (vdd ? model::SpeedModel::vdd_hopping(*levels)
                     : model::SpeedModel::discrete(*levels))
              : model::SpeedModel::continuous(fmin, fmax);
+  if (levels) {
+    fmin = speeds.fmin();
+    fmax = speeds.fmax();
+  }
 
-  sched::Schedule schedule(0);
-  double energy = 0.0;
-  std::string solver;
+  // Fold the slack policy into the problem once: solver and feasibility
+  // check then agree on the same effective deadline, and the request can
+  // keep the default slack of 1.
+  const double effective_deadline = deadline * options.deadline_slack;
+  options.deadline_slack = 1.0;
+  common::Result<api::SolveReport> result = common::Status::internal("unsolved");
   if (frel) {
-    if (levels) {
-      std::cerr << "TRI-CRIT solving is implemented for the CONTINUOUS model; drop "
-                   "--levels or --frel\n";
-      return 1;
-    }
     model::ReliabilityModel rel(lambda0, dexp, fmin, fmax, *frel);
-    core::TriCritProblem p(dag.value(), mapping, speeds, rel, deadline);
-    auto r = core::solve(p, core::TriCritSolver::kBestOf);
-    if (!r.is_ok()) {
-      std::cerr << "solve failed: " << r.status().to_string() << "\n";
-      return 1;
-    }
-    std::cout << "re-executed tasks: " << r.value().re_executed << "\n";
-    schedule = std::move(r.value().schedule);
-    energy = r.value().energy;
-    solver = r.value().solver;
-    if (!p.check(schedule).is_ok()) {
+    core::TriCritProblem p(dag.value(), mapping, speeds, rel, effective_deadline);
+    result = api::solve(api::SolveRequest(p, solver_name, options));
+    if (result.is_ok() && !p.check(result.value().schedule).is_ok()) {
       std::cerr << "internal error: schedule failed validation\n";
       return 1;
     }
   } else {
-    core::BiCritProblem p(dag.value(), mapping, speeds, deadline);
-    auto r = core::solve(p);
-    if (!r.is_ok()) {
-      std::cerr << "solve failed: " << r.status().to_string() << "\n";
-      return 1;
-    }
-    schedule = std::move(r.value().schedule);
-    energy = r.value().energy;
-    solver = r.value().solver;
-    if (!p.check(schedule).is_ok()) {
+    core::BiCritProblem p(dag.value(), mapping, speeds, effective_deadline);
+    result = api::solve(api::SolveRequest(p, solver_name, options));
+    if (result.is_ok() && !p.check(result.value().schedule).is_ok()) {
       std::cerr << "internal error: schedule failed validation\n";
       return 1;
     }
   }
+  if (!result.is_ok()) {
+    std::cerr << "solve failed: " << result.status().to_string() << "\n";
+    return 1;
+  }
 
-  std::cout << "solver: " << solver << "\nenergy: " << energy
-            << "\nmakespan: " << sched::makespan(dag.value(), mapping, schedule)
-            << " (deadline " << deadline << ")\n";
-  if (gantt) sched::write_gantt(std::cout, dag.value(), mapping, schedule);
-  if (csv) sched::write_timeline_csv(std::cout, dag.value(), mapping, schedule);
+  const api::SolveReport& report = result.value();
+  if (report.problem == api::ProblemKind::kTriCrit) {
+    std::cout << "re-executed tasks: " << report.re_executed << "\n";
+  }
+  std::cout << "solver: " << report.solver << "\nenergy: " << report.energy
+            << "\nmakespan: " << report.makespan << " (deadline " << effective_deadline
+            << ")\nwall time: " << report.wall_ms << " ms\n";
+  if (gantt) sched::write_gantt(std::cout, dag.value(), mapping, report.schedule);
+  if (csv) sched::write_timeline_csv(std::cout, dag.value(), mapping, report.schedule);
   return 0;
 }

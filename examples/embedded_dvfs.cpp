@@ -9,8 +9,8 @@
 #include <iostream>
 
 #include "common/table.hpp"
+#include "api/registry.hpp"
 #include "core/problem.hpp"
-#include "core/solvers.hpp"
 #include "graph/generators.hpp"
 #include "sched/list_scheduler.hpp"
 
@@ -35,47 +35,52 @@ int main() {
   const double deadline = 12.0;  // fmax makespan is 7.5 -> modest slack
 
   const auto levels = model::xscale_levels();  // {0.15, 0.4, 0.6, 0.8, 1.0}
-  common::Table table({"model", "solver", "energy", "vs continuous"});
+  common::Table table({"model", "solver", "energy", "vs continuous", "time_ms"});
 
   double cont_energy = 0.0;
   {
     core::BiCritProblem p(dag, mapping,
                           model::SpeedModel::continuous(levels.front(), levels.back()),
                           deadline);
-    auto r = core::solve(p);
+    auto r = api::solve(p);
     if (!r.is_ok()) {
       std::cerr << "continuous failed: " << r.status().to_string() << "\n";
       return 1;
     }
     cont_energy = r.value().energy;
     table.add_row({"CONTINUOUS", r.value().solver, common::format_g(r.value().energy),
-                   common::format_ratio(1.0)});
+                   common::format_ratio(1.0), common::format_fixed(r.value().wall_ms, 2)});
   }
   {
     core::BiCritProblem p(dag, mapping, model::SpeedModel::vdd_hopping(levels), deadline);
-    auto r = core::solve(p);
+    auto r = api::solve(p);
     if (r.is_ok()) {
       table.add_row({"VDD-HOPPING", r.value().solver, common::format_g(r.value().energy),
-                     common::format_ratio(r.value().energy / cont_energy)});
+                     common::format_ratio(r.value().energy / cont_energy),
+                     common::format_fixed(r.value().wall_ms, 2)});
     }
   }
   {
     const auto inc = model::SpeedModel::incremental(levels.front(), levels.back(), 0.05);
     core::BiCritProblem p(dag, mapping, inc, deadline);
-    auto r = core::solve(p, core::BiCritSolver::kIncrementalApprox, /*approx_K=*/50);
+    api::SolveOptions opts;
+    opts.approx_K = 50;
+    auto r = api::solve(p, "incremental-approx", opts);
     if (r.is_ok()) {
       table.add_row({"INCREMENTAL d=0.05", r.value().solver,
                      common::format_g(r.value().energy),
-                     common::format_ratio(r.value().energy / cont_energy)});
+                     common::format_ratio(r.value().energy / cont_energy),
+                     common::format_fixed(r.value().wall_ms, 2)});
     }
   }
   {
     core::BiCritProblem p(dag, mapping, model::SpeedModel::discrete(levels), deadline);
-    auto r = core::solve(p);
+    auto r = api::solve(p);
     if (r.is_ok()) {
       table.add_row({"DISCRETE (XScale)", r.value().solver,
                      common::format_g(r.value().energy),
-                     common::format_ratio(r.value().energy / cont_energy)});
+                     common::format_ratio(r.value().energy / cont_energy),
+                     common::format_fixed(r.value().wall_ms, 2)});
     }
   }
 

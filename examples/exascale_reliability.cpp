@@ -6,8 +6,8 @@
 #include <iostream>
 
 #include "common/table.hpp"
+#include "api/registry.hpp"
 #include "core/problem.hpp"
-#include "core/solvers.hpp"
 #include "graph/analysis.hpp"
 #include "graph/generators.hpp"
 #include "sched/list_scheduler.hpp"
@@ -33,7 +33,7 @@ int main() {
   const double deadline = fmax_ms / rel.frel() * 2.2;
 
   core::TriCritProblem problem(dag, mapping, speeds, rel, deadline);
-  auto best = core::solve(problem, core::TriCritSolver::kBestOf);
+  auto best = api::solve(problem, "best-of");
   if (!best.is_ok()) {
     std::cerr << "solve failed: " << best.status().to_string() << "\n";
     return 1;
@@ -48,7 +48,7 @@ int main() {
   // Compare against the no-re-execution baseline (all singles at >= frel).
   core::BiCritProblem baseline(dag, mapping, model::SpeedModel::continuous(0.8, 1.0),
                                deadline);
-  auto base = core::solve(baseline, core::BiCritSolver::kContinuousIpm);
+  auto base = api::solve(baseline, "continuous-ipm");
   if (base.is_ok()) {
     std::cout << "baseline (no re-execution, speeds >= frel): energy "
               << base.value().energy << "\n"

@@ -3,13 +3,14 @@
 //
 //   $ ./examples/quickstart
 //
-// Walks through the core API: Dag -> Mapping (list scheduling) ->
-// BiCritProblem -> solve() -> validated Schedule.
+// Walks through the public API: Dag -> Mapping (list scheduling) ->
+// BiCritProblem -> api::solve() (registry auto-selection) -> validated
+// Schedule.
 
 #include <iostream>
 
+#include "api/registry.hpp"
 #include "core/problem.hpp"
-#include "core/solvers.hpp"
 #include "graph/io.hpp"
 #include "sched/gantt.hpp"
 #include "sched/list_scheduler.hpp"
@@ -42,16 +43,19 @@ int main() {
   }
 
   // 3. BI-CRIT: minimise energy subject to deadline D = 10 with speeds in
-  //    [0.2, 1.0] (normalised DVFS range).
+  //    [0.2, 1.0] (normalised DVFS range). The registry picks the best
+  //    applicable solver for the instance's structure and speed model.
   core::BiCritProblem problem(dag, mapping, model::SpeedModel::continuous(0.2, 1.0), 10.0);
-  auto result = core::solve(problem);
+  auto result = api::solve(problem);
   if (!result.is_ok()) {
     std::cerr << "solve failed: " << result.status().to_string() << "\n";
     return 1;
   }
 
-  std::cout << "\nsolver: " << result.value().solver
-            << "\ntotal energy: " << result.value().energy << "\n";
+  std::cout << "\nsolver: " << result.value().solver << " ("
+            << result.value().wall_ms << " ms)"
+            << "\ntotal energy: " << result.value().energy
+            << "\nmakespan: " << result.value().makespan << " (deadline 10)\n";
   for (graph::TaskId t = 0; t < dag.num_tasks(); ++t) {
     const auto& exec = result.value().schedule.at(t).executions.front();
     std::cout << "  " << dag.name(t) << ": speed " << exec.speed << ", duration "

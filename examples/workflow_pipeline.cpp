@@ -8,9 +8,10 @@
 
 #include <iostream>
 
+#include "api/registry.hpp"
 #include "bicrit/closed_form.hpp"
-#include "bicrit/continuous_dag.hpp"
 #include "common/table.hpp"
+#include "core/problem.hpp"
 #include "graph/series_parallel.hpp"
 #include "sched/mapping.hpp"
 
@@ -52,8 +53,9 @@ int main() {
   common::Table table({"deadline", "E_closed_form", "W^3/D^2", "E_interior_point",
                        "speed(stage_in)", "speed(c1)"});
   for (double D : {8.0, 10.0, 14.0, 20.0, 30.0}) {
-    auto cf = bicrit::solve_sp_tree(dag, tree.value(), D, speeds);
-    auto ipm = bicrit::solve_continuous(dag, mapping, D, speeds);
+    core::BiCritProblem problem(dag, mapping, speeds, D);
+    auto cf = api::solve(problem, "closed-form-sp");
+    auto ipm = api::solve(problem, "continuous-ipm");
     if (!cf.is_ok() || !ipm.is_ok()) {
       std::cout << "D=" << D << ": " << cf.status().to_string() << " / "
                 << ipm.status().to_string() << "\n";

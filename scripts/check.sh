@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verify in Release mode with -Wall -Wextra, failing on any warning
+# in the src/api layer (EASCHED_WERROR_API promotes them to errors).
+#
+#   scripts/check.sh [build-dir]
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-check}"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DEASCHED_WERROR_API=ON \
+  -DCMAKE_CXX_FLAGS="-Wall -Wextra"
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+echo "check.sh: OK"

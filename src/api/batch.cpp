@@ -1,0 +1,87 @@
+#include "api/batch.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/parallel.hpp"
+
+namespace easched::api {
+
+BatchReport solve_batch(const std::vector<BatchJob>& jobs, const BatchOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+
+  BatchReport report;
+  report.results.assign(jobs.size(), common::Status::internal("job not executed"));
+
+  common::parallel_for(
+      jobs.size(),
+      [&](std::size_t i) {
+        const BatchJob& job = jobs[i];
+        const std::string& solver = job.solver.empty() ? options.solver : job.solver;
+        if ((job.bicrit != nullptr) == (job.tricrit != nullptr)) {
+          report.results[i] = common::Status::invalid(
+              "batch job must carry exactly one of a BI-CRIT or TRI-CRIT problem");
+          return;
+        }
+        report.results[i] =
+            job.bicrit != nullptr
+                ? solve(SolveRequest(*job.bicrit, solver, options.solve))
+                : solve(SolveRequest(*job.tricrit, solver, options.solve));
+      },
+      options.threads);
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    FamilyAggregate& agg = report.by_family[jobs[i].family];
+    const auto& result = report.results[i];
+    if (!result.is_ok()) {
+      ++agg.failed;
+      ++report.failed;
+      continue;
+    }
+    agg.energy.add(result.value().energy);
+    agg.wall_ms.add(result.value().wall_ms);
+    agg.makespan.add(result.value().makespan);
+    ++agg.solved;
+    ++report.solved;
+  }
+  report.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return report;
+}
+
+std::vector<BatchJob> corpus_bicrit_jobs(const std::vector<core::Instance>& corpus,
+                                         const model::SpeedModel& speeds,
+                                         double slack_factor) {
+  std::vector<BatchJob> jobs;
+  jobs.reserve(corpus.size());
+  for (const auto& inst : corpus) {
+    const double deadline = core::deadline_with_slack(inst, speeds.fmax(), slack_factor);
+    BatchJob job;
+    job.family = inst.name;
+    job.bicrit = std::make_shared<const core::BiCritProblem>(inst.dag, inst.mapping,
+                                                             speeds, deadline);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<BatchJob> corpus_tricrit_jobs(const std::vector<core::Instance>& corpus,
+                                          const model::SpeedModel& speeds,
+                                          const model::ReliabilityModel& reliability,
+                                          double slack_factor) {
+  std::vector<BatchJob> jobs;
+  jobs.reserve(corpus.size());
+  for (const auto& inst : corpus) {
+    const double deadline =
+        core::deadline_with_slack(inst, speeds.fmax(), slack_factor) / reliability.frel();
+    BatchJob job;
+    job.family = inst.name;
+    job.tricrit = std::make_shared<const core::TriCritProblem>(
+        inst.dag, inst.mapping, speeds, reliability, deadline);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace easched::api

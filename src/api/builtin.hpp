@@ -1,0 +1,33 @@
+#pragma once
+// Internal: registration hooks and shared helpers for the built-in
+// solver family. Registration is done by plain functions (rather than
+// static-initialiser registrars) so static linking cannot drop the
+// translation units; SolverRegistry::instance() calls them once.
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "graph/dag.hpp"
+#include "sched/schedule.hpp"
+
+namespace easched::api {
+
+class SolverRegistry;
+
+void register_builtin_bicrit_solvers(SolverRegistry& registry);
+void register_builtin_tricrit_solvers(SolverRegistry& registry);
+
+/// The chain solvers (bicrit discrete DP, tricrit chain family) work on a
+/// weight vector in chain order; these helpers convert between that view
+/// and the Dag/Schedule world. `order` receives the chain's unique
+/// topological order; kUnsupported when the graph is not a chain.
+common::Result<std::vector<double>> chain_weights(const graph::Dag& dag,
+                                                  std::string_view solver_name,
+                                                  std::vector<graph::TaskId>& order);
+
+/// Maps a schedule indexed by chain position back onto task ids.
+sched::Schedule chain_schedule_to_tasks(const std::vector<graph::TaskId>& order,
+                                        const sched::Schedule& by_position);
+
+}  // namespace easched::api

@@ -1,0 +1,332 @@
+// BI-CRIT members of the solver family, adapted onto the api::Solver
+// interface. Registry names are stable (tests and the README table rely
+// on them); auto-selection priorities reproduce the routing the old enum
+// facade's kAuto implemented:
+//   chain/fork closed forms > interior point  (CONTINUOUS)
+//   vdd-lp                                    (VDD-HOPPING)
+//   bnb (small search space) > greedy         (DISCRETE/INCREMENTAL)
+// closed-form-sp, incremental-approx and discrete-chain-dp are
+// explicit-by-name only, matching the facade.
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "api/builtin.hpp"
+#include "api/registry.hpp"
+#include "bicrit/closed_form.hpp"
+#include "bicrit/continuous_dag.hpp"
+#include "bicrit/discrete_exact.hpp"
+#include "bicrit/incremental.hpp"
+#include "bicrit/vdd_lp.hpp"
+#include "graph/analysis.hpp"
+
+namespace easched::api {
+
+common::Result<std::vector<double>> chain_weights(const graph::Dag& dag,
+                                                  std::string_view solver_name,
+                                                  std::vector<graph::TaskId>& order) {
+  if (!graph::is_chain(dag)) {
+    return common::Status::unsupported(std::string(solver_name) + " needs a chain graph");
+  }
+  auto topo = graph::topological_order(dag);
+  if (!topo.is_ok()) return topo.status();
+  order = std::move(topo).take();
+  std::vector<double> weights;
+  weights.reserve(order.size());
+  for (graph::TaskId t : order) weights.push_back(dag.weight(t));
+  return weights;
+}
+
+sched::Schedule chain_schedule_to_tasks(const std::vector<graph::TaskId>& order,
+                                        const sched::Schedule& by_position) {
+  sched::Schedule schedule(static_cast<int>(order.size()));
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    schedule.at(order[pos]) = by_position.at(static_cast<int>(pos));
+  }
+  return schedule;
+}
+
+namespace {
+
+using model::SpeedModelKind;
+
+constexpr unsigned kDiscreteKinds =
+    speed_bit(SpeedModelKind::kDiscrete) | speed_bit(SpeedModelKind::kIncremental);
+
+SolveReport report_from(sched::Schedule schedule, double energy) {
+  SolveReport report;
+  report.schedule = std::move(schedule);
+  report.energy = energy;
+  return report;
+}
+
+class ClosedFormChainSolver final : public Solver {
+ public:
+  std::string_view name() const noexcept override { return "closed-form-chain"; }
+  const Capabilities& capabilities() const noexcept override {
+    static const Capabilities caps{ProblemKind::kBiCrit,
+                                   speed_bit(SpeedModelKind::kContinuous),
+                                   structure_bit(GraphClass::kChain),
+                                   /*exact=*/true,
+                                   /*auto_priority=*/100,
+                                   "section III: chain closed form"};
+    return caps;
+  }
+
+ protected:
+  common::Result<SolveReport> do_run(const SolveRequest& request) const override {
+    if (!graph::is_chain(request.dag())) {
+      return common::Status::unsupported("closed-form-chain needs a chain graph");
+    }
+    auto r = bicrit::solve_chain(request.dag(), request.deadline(), request.speeds());
+    if (!r.is_ok()) return r.status();
+    auto report = report_from(std::move(r.value().schedule), r.value().energy);
+    report.exact = true;
+    return report;
+  }
+};
+
+class ClosedFormForkSolver final : public Solver {
+ public:
+  std::string_view name() const noexcept override { return "closed-form-fork"; }
+  const Capabilities& capabilities() const noexcept override {
+    static const Capabilities caps{ProblemKind::kBiCrit,
+                                   speed_bit(SpeedModelKind::kContinuous),
+                                   structure_bit(GraphClass::kFork),
+                                   /*exact=*/true,
+                                   /*auto_priority=*/90,
+                                   "section III: fork theorem"};
+    return caps;
+  }
+
+  bool accepts(const SolveRequest& request) const override {
+    // The fork theorem assumes every branch on its own processor; route
+    // thinner mappings to the general continuous solver instead.
+    return Solver::accepts(request) &&
+           request.mapping().num_processors() >= request.dag().num_tasks() - 1;
+  }
+
+ protected:
+  common::Result<SolveReport> do_run(const SolveRequest& request) const override {
+    if (!graph::is_fork(request.dag())) {
+      return common::Status::unsupported("closed-form-fork needs a fork graph");
+    }
+    auto r = bicrit::solve_fork(request.dag(), request.deadline(), request.speeds());
+    if (!r.is_ok()) return r.status();
+    auto report = report_from(std::move(r.value().schedule), r.value().energy);
+    report.exact = true;
+    return report;
+  }
+};
+
+class ClosedFormSpSolver final : public Solver {
+ public:
+  std::string_view name() const noexcept override { return "closed-form-sp"; }
+  const Capabilities& capabilities() const noexcept override {
+    static const Capabilities caps{ProblemKind::kBiCrit,
+                                   speed_bit(SpeedModelKind::kContinuous),
+                                   structure_bit(GraphClass::kChain) |
+                                       structure_bit(GraphClass::kFork) |
+                                       structure_bit(GraphClass::kSeriesParallel),
+                                   /*exact=*/true,
+                                   /*auto_priority=*/-1,  // explicit-only: assumes
+                                                          // one processor per branch
+                                   "section III: SP/tree closed forms"};
+    return caps;
+  }
+
+ protected:
+  common::Result<SolveReport> do_run(const SolveRequest& request) const override {
+    auto r = bicrit::solve_series_parallel(request.dag(), request.deadline(),
+                                           request.speeds());
+    if (!r.is_ok()) return r.status();
+    auto report = report_from(std::move(r.value().schedule), r.value().energy);
+    report.exact = true;
+    return report;
+  }
+};
+
+class ContinuousIpmSolver final : public Solver {
+ public:
+  std::string_view name() const noexcept override { return "continuous-ipm"; }
+  const Capabilities& capabilities() const noexcept override {
+    static const Capabilities caps{ProblemKind::kBiCrit,
+                                   speed_bit(SpeedModelKind::kContinuous),
+                                   kAllStructures,
+                                   /*exact=*/true,
+                                   /*auto_priority=*/50,
+                                   "section III: convex program on general DAGs"};
+    return caps;
+  }
+
+ protected:
+  common::Result<SolveReport> do_run(const SolveRequest& request) const override {
+    bicrit::ContinuousOptions opts;
+    if (request.options.gap_tolerance > 0.0) {
+      opts.barrier.gap_tolerance = request.options.gap_tolerance;
+    }
+    auto r = bicrit::solve_continuous(request.dag(), request.mapping(),
+                                      request.deadline(), request.speeds(), opts);
+    if (!r.is_ok()) return r.status();
+    auto report = report_from(std::move(r.value().schedule), r.value().energy);
+    report.exact = true;
+    report.iterations = r.value().newton_steps;
+    report.gap_bound = r.value().gap_bound;
+    return report;
+  }
+};
+
+class VddLpSolver final : public Solver {
+ public:
+  std::string_view name() const noexcept override { return "vdd-lp"; }
+  const Capabilities& capabilities() const noexcept override {
+    static const Capabilities caps{ProblemKind::kBiCrit,
+                                   speed_bit(SpeedModelKind::kVddHopping),
+                                   kAllStructures,
+                                   /*exact=*/true,
+                                   /*auto_priority=*/100,
+                                   "section IV: VDD-HOPPING LP"};
+    return caps;
+  }
+
+ protected:
+  common::Result<SolveReport> do_run(const SolveRequest& request) const override {
+    auto r = bicrit::solve_vdd_lp(request.dag(), request.mapping(), request.deadline(),
+                                  request.speeds());
+    if (!r.is_ok()) return r.status();
+    auto report = report_from(std::move(r.value().schedule), r.value().energy);
+    report.exact = true;
+    report.iterations = r.value().lp_iterations;
+    return report;
+  }
+};
+
+class DiscreteBnbSolver final : public Solver {
+ public:
+  std::string_view name() const noexcept override { return "discrete-bnb"; }
+  const Capabilities& capabilities() const noexcept override {
+    static const Capabilities caps{ProblemKind::kBiCrit,
+                                   kDiscreteKinds,
+                                   kAllStructures,
+                                   /*exact=*/true,
+                                   /*auto_priority=*/60,
+                                   "section IV: DISCRETE is NP-complete (exact B&B)"};
+    return caps;
+  }
+
+  bool accepts(const SolveRequest& request) const override {
+    if (!Solver::accepts(request)) return false;
+    // Exact search only when the level^task space is small enough;
+    // beyond that auto-selection falls through to discrete-greedy.
+    const double states =
+        std::pow(static_cast<double>(request.speeds().num_levels()),
+                 static_cast<double>(request.dag().num_tasks()));
+    return states <= 2e6;
+  }
+
+ protected:
+  common::Result<SolveReport> do_run(const SolveRequest& request) const override {
+    bicrit::BnbOptions opts;
+    if (request.options.max_nodes > 0) opts.max_nodes = request.options.max_nodes;
+    auto r = bicrit::solve_discrete_bnb(request.dag(), request.mapping(),
+                                        request.deadline(), request.speeds(), opts);
+    if (!r.is_ok()) return r.status();
+    auto report = report_from(std::move(r.value().schedule), r.value().energy);
+    report.exact = r.value().proven_optimal;
+    report.iterations = r.value().nodes_explored;
+    return report;
+  }
+};
+
+class DiscreteGreedySolver final : public Solver {
+ public:
+  std::string_view name() const noexcept override { return "discrete-greedy"; }
+  const Capabilities& capabilities() const noexcept override {
+    static const Capabilities caps{ProblemKind::kBiCrit,
+                                   kDiscreteKinds,
+                                   kAllStructures,
+                                   /*exact=*/false,
+                                   /*auto_priority=*/50,
+                                   "section IV: round-up + reclaim heuristic"};
+    return caps;
+  }
+
+ protected:
+  common::Result<SolveReport> do_run(const SolveRequest& request) const override {
+    auto r = bicrit::solve_discrete_greedy(request.dag(), request.mapping(),
+                                           request.deadline(), request.speeds());
+    if (!r.is_ok()) return r.status();
+    return report_from(std::move(r.value().schedule), r.value().energy);
+  }
+};
+
+class IncrementalApproxSolver final : public Solver {
+ public:
+  std::string_view name() const noexcept override { return "incremental-approx"; }
+  const Capabilities& capabilities() const noexcept override {
+    static const Capabilities caps{
+        ProblemKind::kBiCrit,
+        speed_bit(SpeedModelKind::kIncremental),
+        kAllStructures,
+        /*exact=*/false,
+        /*auto_priority=*/-1,  // explicit-only, as in the enum facade
+        "section IV: (1+delta/fmin)^2 (1+1/K)^2 approximation"};
+    return caps;
+  }
+
+ protected:
+  common::Result<SolveReport> do_run(const SolveRequest& request) const override {
+    auto r = bicrit::solve_incremental_approx(request.dag(), request.mapping(),
+                                              request.deadline(), request.speeds(),
+                                              request.options.approx_K);
+    if (!r.is_ok()) return r.status();
+    auto report = report_from(std::move(r.value().schedule), r.value().energy);
+    report.gap_bound = r.value().ratio_bound;
+    return report;
+  }
+};
+
+class DiscreteChainDpSolver final : public Solver {
+ public:
+  std::string_view name() const noexcept override { return "discrete-chain-dp"; }
+  const Capabilities& capabilities() const noexcept override {
+    static const Capabilities caps{ProblemKind::kBiCrit,
+                                   kDiscreteKinds,
+                                   structure_bit(GraphClass::kChain),
+                                   /*exact=*/false,  // exact for the rounded instance
+                                   /*auto_priority=*/-1,
+                                   "section IV: pseudo-polynomial chain DP"};
+    return caps;
+  }
+
+ protected:
+  common::Result<SolveReport> do_run(const SolveRequest& request) const override {
+    std::vector<graph::TaskId> order;
+    auto weights = chain_weights(request.dag(), "discrete-chain-dp", order);
+    if (!weights.is_ok()) return weights.status();
+    auto r = bicrit::solve_chain_discrete_dp(weights.value(), request.deadline(),
+                                             request.speeds(), request.options.dp_buckets);
+    if (!r.is_ok()) return r.status();
+    auto report =
+        report_from(chain_schedule_to_tasks(order, r.value().schedule), r.value().energy);
+    report.iterations = r.value().nodes_explored;
+    return report;
+  }
+};
+
+}  // namespace
+
+void register_builtin_bicrit_solvers(SolverRegistry& registry) {
+  (void)registry.add(std::make_unique<ClosedFormChainSolver>());
+  (void)registry.add(std::make_unique<ClosedFormForkSolver>());
+  (void)registry.add(std::make_unique<ClosedFormSpSolver>());
+  (void)registry.add(std::make_unique<ContinuousIpmSolver>());
+  (void)registry.add(std::make_unique<VddLpSolver>());
+  (void)registry.add(std::make_unique<DiscreteBnbSolver>());
+  (void)registry.add(std::make_unique<DiscreteGreedySolver>());
+  (void)registry.add(std::make_unique<IncrementalApproxSolver>());
+  (void)registry.add(std::make_unique<DiscreteChainDpSolver>());
+}
+
+}  // namespace easched::api

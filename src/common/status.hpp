@@ -21,6 +21,7 @@ enum class StatusCode {
   kNotConverged,     ///< iterative solver hit its iteration/time limit
   kInvalidArgument,  ///< structurally bad input (cycle, bad mapping, ...)
   kUnsupported,      ///< operation not defined for this input class
+  kNotFound,         ///< named entity (solver, file, ...) does not exist
   kInternal,         ///< invariant violation inside the library
 };
 
@@ -33,6 +34,7 @@ constexpr const char* to_string(StatusCode code) noexcept {
     case StatusCode::kNotConverged: return "NOT_CONVERGED";
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kUnsupported: return "UNSUPPORTED";
+    case StatusCode::kNotFound: return "NOT_FOUND";
     case StatusCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";
@@ -51,6 +53,7 @@ class [[nodiscard]] Status {
   static Status infeasible(std::string msg) { return {StatusCode::kInfeasible, std::move(msg)}; }
   static Status invalid(std::string msg) { return {StatusCode::kInvalidArgument, std::move(msg)}; }
   static Status unsupported(std::string msg) { return {StatusCode::kUnsupported, std::move(msg)}; }
+  static Status not_found(std::string msg) { return {StatusCode::kNotFound, std::move(msg)}; }
   static Status not_converged(std::string msg) { return {StatusCode::kNotConverged, std::move(msg)}; }
   static Status internal(std::string msg) { return {StatusCode::kInternal, std::move(msg)}; }
 

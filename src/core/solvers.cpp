@@ -1,161 +1,76 @@
+// Deprecated enum facade, now a thin shim over the registry-driven
+// easched::api layer. Enum values map onto registry names; kAuto maps
+// onto capability-based auto-selection (api::SolverRegistry::select),
+// which reproduces the facade's historical routing exactly.
+
 #include "core/solvers.hpp"
 
-#include <cmath>
-
-#include "bicrit/closed_form.hpp"
-#include "bicrit/continuous_dag.hpp"
-#include "bicrit/discrete_exact.hpp"
-#include "bicrit/incremental.hpp"
-#include "bicrit/vdd_lp.hpp"
+#include "api/registry.hpp"
 #include "graph/analysis.hpp"
-#include "graph/series_parallel.hpp"
-#include "tricrit/chain.hpp"
-#include "tricrit/fork.hpp"
-#include "tricrit/heuristics.hpp"
 
 namespace easched::core {
 
 namespace {
 
-common::Result<SolveOutcome> from_closed_form(common::Result<bicrit::ClosedFormResult> r,
-                                              const char* name) {
+common::Result<SolveOutcome> from_report(common::Result<api::SolveReport> r) {
   if (!r.is_ok()) return r.status();
-  return SolveOutcome{std::move(r.value().schedule), r.value().energy, name, 0};
+  auto report = std::move(r).take();
+  return SolveOutcome{std::move(report.schedule), report.energy, std::move(report.solver),
+                      report.re_executed};
 }
 
 }  // namespace
 
-common::Result<SolveOutcome> solve(const BiCritProblem& p, BiCritSolver solver, int approx_K) {
-  if (auto st = p.validate(); !st.is_ok()) return st;
-  using model::SpeedModelKind;
+common::Result<SolveOutcome> solve(const BiCritProblem& p, BiCritSolver solver,
+                                   int approx_K) {
+  api::SolveOptions options;
+  options.approx_K = approx_K;
 
+  std::string name;
   switch (solver) {
-    case BiCritSolver::kAuto: {
-      switch (p.speeds.kind()) {
-        case SpeedModelKind::kContinuous:
-          if (graph::is_chain(p.dag)) {
-            return from_closed_form(bicrit::solve_chain(p.dag, p.deadline, p.speeds),
-                                    "closed-form-chain");
-          }
-          if (graph::is_fork(p.dag) &&
-              p.mapping.num_processors() >= p.dag.num_tasks() - 1) {
-            return from_closed_form(bicrit::solve_fork(p.dag, p.deadline, p.speeds),
-                                    "closed-form-fork");
-          }
-          return solve(p, BiCritSolver::kContinuousIpm, approx_K);
-        case SpeedModelKind::kVddHopping:
-          return solve(p, BiCritSolver::kVddLp, approx_K);
-        case SpeedModelKind::kDiscrete:
-        case SpeedModelKind::kIncremental: {
-          const double states =
-              std::pow(static_cast<double>(p.speeds.num_levels()),
-                       static_cast<double>(p.dag.num_tasks()));
-          return solve(p,
-                       states <= 2e6 ? BiCritSolver::kDiscreteBnb
-                                     : BiCritSolver::kDiscreteGreedy,
-                       approx_K);
-        }
-      }
-      return common::Status::internal("unhandled speed model kind");
-    }
-    case BiCritSolver::kClosedForm: {
-      if (graph::is_chain(p.dag)) {
-        return from_closed_form(bicrit::solve_chain(p.dag, p.deadline, p.speeds),
-                                "closed-form-chain");
-      }
-      if (graph::is_fork(p.dag)) {
-        return from_closed_form(bicrit::solve_fork(p.dag, p.deadline, p.speeds),
-                                "closed-form-fork");
-      }
-      return from_closed_form(bicrit::solve_series_parallel(p.dag, p.deadline, p.speeds),
-                              "closed-form-sp");
-    }
-    case BiCritSolver::kContinuousIpm: {
-      auto r = bicrit::solve_continuous(p.dag, p.mapping, p.deadline, p.speeds);
-      if (!r.is_ok()) return r.status();
-      return SolveOutcome{std::move(r.value().schedule), r.value().energy, "continuous-ipm", 0};
-    }
-    case BiCritSolver::kVddLp: {
-      auto r = bicrit::solve_vdd_lp(p.dag, p.mapping, p.deadline, p.speeds);
-      if (!r.is_ok()) return r.status();
-      return SolveOutcome{std::move(r.value().schedule), r.value().energy, "vdd-lp", 0};
-    }
-    case BiCritSolver::kDiscreteBnb: {
-      auto r = bicrit::solve_discrete_bnb(p.dag, p.mapping, p.deadline, p.speeds);
-      if (!r.is_ok()) return r.status();
-      return SolveOutcome{std::move(r.value().schedule), r.value().energy, "discrete-bnb", 0};
-    }
-    case BiCritSolver::kDiscreteGreedy: {
-      auto r = bicrit::solve_discrete_greedy(p.dag, p.mapping, p.deadline, p.speeds);
-      if (!r.is_ok()) return r.status();
-      return SolveOutcome{std::move(r.value().schedule), r.value().energy, "discrete-greedy",
-                          0};
-    }
-    case BiCritSolver::kIncrementalApprox: {
-      auto r = bicrit::solve_incremental_approx(p.dag, p.mapping, p.deadline, p.speeds,
-                                                approx_K);
-      if (!r.is_ok()) return r.status();
-      return SolveOutcome{std::move(r.value().schedule), r.value().energy,
-                          "incremental-approx", 0};
-    }
+    case BiCritSolver::kAuto:
+      break;  // empty name = registry auto-selection
+    case BiCritSolver::kClosedForm:
+      // The enum conflated the three structure-specific closed forms; the
+      // registry names them individually.
+      name = graph::is_chain(p.dag)  ? "closed-form-chain"
+             : graph::is_fork(p.dag) ? "closed-form-fork"
+                                     : "closed-form-sp";
+      break;
+    case BiCritSolver::kContinuousIpm:
+      name = "continuous-ipm";
+      break;
+    case BiCritSolver::kVddLp:
+      name = "vdd-lp";
+      break;
+    case BiCritSolver::kDiscreteBnb:
+      name = "discrete-bnb";
+      break;
+    case BiCritSolver::kDiscreteGreedy:
+      name = "discrete-greedy";
+      break;
+    case BiCritSolver::kIncrementalApprox:
+      name = "incremental-approx";
+      break;
   }
-  return common::Status::internal("unhandled solver kind");
+  if (name.empty() && solver != BiCritSolver::kAuto) {
+    return common::Status::internal("unhandled solver kind");
+  }
+  return from_report(api::solve(api::SolveRequest(p, std::move(name), options)));
 }
 
 common::Result<SolveOutcome> solve(const TriCritProblem& p, TriCritSolver solver) {
-  if (auto st = p.validate(); !st.is_ok()) return st;
-
+  std::string name;
   switch (solver) {
-    case TriCritSolver::kChainExact:
-    case TriCritSolver::kChainGreedy: {
-      if (!graph::is_chain(p.dag)) {
-        return common::Status::unsupported("chain solvers need a chain graph");
-      }
-      // Chain order = the unique topological order.
-      auto topo = graph::topological_order(p.dag);
-      std::vector<double> weights;
-      for (graph::TaskId t : topo.value()) weights.push_back(p.dag.weight(t));
-      auto r = solver == TriCritSolver::kChainExact
-                   ? tricrit::solve_chain_exact(weights, p.deadline, p.reliability, p.speeds)
-                   : tricrit::solve_chain_greedy(weights, p.deadline, p.reliability, p.speeds);
-      if (!r.is_ok()) return r.status();
-      // Map chain-position schedule back to task ids.
-      sched::Schedule sched(p.dag.num_tasks());
-      for (std::size_t pos = 0; pos < topo.value().size(); ++pos) {
-        sched.at(topo.value()[pos]) = r.value().solution.schedule.at(static_cast<int>(pos));
-      }
-      return SolveOutcome{std::move(sched), r.value().solution.energy,
-                          to_string(solver), r.value().solution.re_executed};
-    }
-    case TriCritSolver::kForkPoly: {
-      auto r = tricrit::solve_fork_tricrit(p.dag, p.deadline, p.reliability, p.speeds);
-      if (!r.is_ok()) return r.status();
-      return SolveOutcome{std::move(r.value().solution.schedule), r.value().solution.energy,
-                          "fork-poly", r.value().solution.re_executed};
-    }
-    case TriCritSolver::kHeuristicA: {
-      auto r = tricrit::heuristic_uniform_reexec(p.dag, p.mapping, p.deadline, p.reliability,
-                                                 p.speeds);
-      if (!r.is_ok()) return r.status();
-      return SolveOutcome{std::move(r.value().schedule), r.value().energy, "heuristic-A",
-                          r.value().re_executed};
-    }
-    case TriCritSolver::kHeuristicB: {
-      auto r = tricrit::heuristic_slack_reexec(p.dag, p.mapping, p.deadline, p.reliability,
-                                               p.speeds);
-      if (!r.is_ok()) return r.status();
-      return SolveOutcome{std::move(r.value().schedule), r.value().energy, "heuristic-B",
-                          r.value().re_executed};
-    }
-    case TriCritSolver::kBestOf: {
-      auto r = tricrit::heuristic_best_of(p.dag, p.mapping, p.deadline, p.reliability,
-                                          p.speeds);
-      if (!r.is_ok()) return r.status();
-      return SolveOutcome{std::move(r.value().schedule), r.value().energy, "best-of",
-                          r.value().re_executed};
-    }
+    case TriCritSolver::kChainExact: name = "chain-exact"; break;
+    case TriCritSolver::kChainGreedy: name = "chain-greedy"; break;
+    case TriCritSolver::kForkPoly: name = "fork-poly"; break;
+    case TriCritSolver::kHeuristicA: name = "heuristic-A"; break;
+    case TriCritSolver::kHeuristicB: name = "heuristic-B"; break;
+    case TriCritSolver::kBestOf: name = "best-of"; break;
   }
-  return common::Status::internal("unhandled solver kind");
+  if (name.empty()) return common::Status::internal("unhandled solver kind");
+  return from_report(api::solve(api::SolveRequest(p, std::move(name))));
 }
 
 }  // namespace easched::core

@@ -1,7 +1,11 @@
 #pragma once
-// Unified solver facade: pick a solver by enum, get a Schedule + energy.
-// Thin dispatch over the bicrit/ and tricrit/ modules; examples and
-// benches use this, tests mostly target the modules directly.
+// DEPRECATED enum solver facade, kept as a thin shim over the
+// registry-driven API in api/registry.hpp so existing callers keep
+// working. New code should use easched::api — `api::solve()` with a
+// registry solver name (or auto-selection), and `api::solve_batch()` for
+// corpus sweeps. The enums below cannot express per-solver options,
+// telemetry, or solvers added after this facade froze (chain-bnb,
+// discrete-chain-dp, vdd-adapt, and any user-registered solver).
 
 #include <string>
 

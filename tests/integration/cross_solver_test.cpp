@@ -6,18 +6,14 @@
 
 #include <gtest/gtest.h>
 
-#include "bicrit/closed_form.hpp"
+#include "api/registry.hpp"
 #include "bicrit/continuous_dag.hpp"
-#include "bicrit/discrete_exact.hpp"
-#include "bicrit/incremental.hpp"
 #include "bicrit/vdd_lp.hpp"
 #include "common/rng.hpp"
 #include "graph/analysis.hpp"
 #include "graph/generators.hpp"
 #include "sched/list_scheduler.hpp"
 #include "tricrit/chain.hpp"
-#include "tricrit/fork.hpp"
-#include "tricrit/heuristics.hpp"
 
 namespace easched {
 namespace {
@@ -46,10 +42,13 @@ TEST_P(ModelOrderingTest, ContinuousVddDiscreteOrdering) {
     const auto mapping = sched::list_schedule(dag, 2, sched::PriorityPolicy::kCriticalPath);
     const auto levels = model::xscale_levels();
     const double D = fmax_makespan(dag, mapping, levels.back()) * slack;
-    auto cont = bicrit::solve_continuous(dag, mapping, D,
-                                         SpeedModel::continuous(levels.front(), levels.back()));
-    auto vdd = bicrit::solve_vdd_lp(dag, mapping, D, SpeedModel::vdd_hopping(levels));
-    auto disc = bicrit::solve_discrete_bnb(dag, mapping, D, SpeedModel::discrete(levels));
+    core::BiCritProblem cont_p(dag, mapping,
+                               SpeedModel::continuous(levels.front(), levels.back()), D);
+    core::BiCritProblem vdd_p(dag, mapping, SpeedModel::vdd_hopping(levels), D);
+    core::BiCritProblem disc_p(dag, mapping, SpeedModel::discrete(levels), D);
+    auto cont = api::solve(cont_p, "continuous-ipm");
+    auto vdd = api::solve(vdd_p, "vdd-lp");
+    auto disc = api::solve(disc_p, "discrete-bnb");
     ASSERT_TRUE(cont.is_ok()) << trial;
     ASSERT_TRUE(vdd.is_ok()) << trial;
     ASSERT_TRUE(disc.is_ok()) << trial;
@@ -82,8 +81,9 @@ TEST(CrossSolver, ClosedFormVsIpmOnAllSpFamilies) {
       const auto& dag = dags[k];
       const auto mapping = sched::Mapping::one_task_per_processor(dag);
       const double D = fmax_makespan(dag, mapping, 1.0) * 1.3;  // any speed reachable
-      auto cf = bicrit::solve_series_parallel(dag, D, speeds);
-      auto ipm = bicrit::solve_continuous(dag, mapping, D, speeds);
+      core::BiCritProblem p(dag, mapping, speeds, D);
+      auto cf = api::solve(p, "closed-form-sp");
+      auto ipm = api::solve(p, "continuous-ipm");
       ASSERT_TRUE(cf.is_ok()) << k;
       ASSERT_TRUE(ipm.is_ok()) << k;
       EXPECT_NEAR(ipm.value().energy / cf.value().energy, 1.0, 5e-4)
@@ -100,14 +100,17 @@ TEST(CrossSolver, IncrementalBnbWithinApproxBoundOfContinuous) {
     const auto mapping = sched::Mapping::single_processor(dag, topo);
     const auto inc = SpeedModel::incremental(0.3, 1.2, 0.15);
     const double D = dag.total_weight() / 1.2 * rng.uniform(1.2, 2.0);
-    auto exact = bicrit::solve_discrete_bnb(dag, mapping, D, inc);
-    auto approx = bicrit::solve_incremental_approx(dag, mapping, D, inc, 20);
+    core::BiCritProblem p(dag, mapping, inc, D);
+    api::SolveOptions opts;
+    opts.approx_K = 20;
+    auto exact = api::solve(p, "discrete-bnb");
+    auto approx = api::solve(p, "incremental-approx", opts);
     ASSERT_TRUE(exact.is_ok()) << trial;
     ASSERT_TRUE(approx.is_ok()) << trial;
     // exact <= approx <= bound * continuous <= bound * exact.
     EXPECT_LE(exact.value().energy, approx.value().energy * (1.0 + 1e-9)) << trial;
     EXPECT_LE(approx.value().energy,
-              approx.value().ratio_bound * exact.value().energy * (1.0 + 1e-9))
+              approx.value().gap_bound * exact.value().energy * (1.0 + 1e-9))
         << trial;
   }
 }
@@ -125,9 +128,10 @@ TEST(CrossSolver, TriCritChainGreedyVsHeuristicsVsExact) {
     double total = 0.0;
     for (double x : w) total += x;
     const double D = total / 0.8 * rng.uniform(1.3, 3.0);
+    core::TriCritProblem p(dag, mapping, speeds, rel, D);
     auto exact = tricrit::solve_chain_exact(w, D, rel, speeds);
     auto greedy = tricrit::solve_chain_greedy(w, D, rel, speeds);
-    auto best = tricrit::heuristic_best_of(dag, mapping, D, rel, speeds);
+    auto best = api::solve(p, "best-of");
     ASSERT_TRUE(exact.is_ok()) << trial;
     ASSERT_TRUE(greedy.is_ok()) << trial;
     ASSERT_TRUE(best.is_ok()) << trial;
@@ -148,13 +152,16 @@ TEST(CrossSolver, TriCritForkPolyVsHeuristics) {
     const auto dag = graph::make_fork(w);
     const auto mapping = sched::Mapping::one_task_per_processor(dag);
     const double D = fmax_makespan(dag, mapping, 1.0) / 0.8 * rng.uniform(1.4, 3.0);
-    auto poly = tricrit::solve_fork_tricrit(dag, D, rel, speeds, 2048);
-    auto best = tricrit::heuristic_best_of(dag, mapping, D, rel, speeds);
+    core::TriCritProblem p(dag, mapping, speeds, rel, D);
+    api::SolveOptions opts;
+    opts.fork_grid = 2048;
+    auto poly = api::solve(p, "fork-poly", opts);
+    auto best = api::solve(p, "best-of");
     ASSERT_TRUE(poly.is_ok()) << trial;
     ASSERT_TRUE(best.is_ok()) << trial;
     // The dedicated poly algorithm should never lose to the generic
     // heuristics by more than numerical noise, and usually wins.
-    EXPECT_LE(poly.value().solution.energy, best.value().energy * (1.0 + 1e-3)) << trial;
+    EXPECT_LE(poly.value().energy, best.value().energy * (1.0 + 1e-3)) << trial;
   }
 }
 

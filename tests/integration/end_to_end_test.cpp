@@ -4,8 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "api/registry.hpp"
 #include "core/corpus.hpp"
-#include "core/solvers.hpp"
 #include "graph/analysis.hpp"
 #include "sim/fault_sim.hpp"
 
@@ -25,7 +25,7 @@ TEST(EndToEnd, BiCritAutoSolvesWholeCorpusContinuous) {
   for (const auto& inst : standard_corpus(rng, small_corpus())) {
     const double D = deadline_with_slack(inst, 1.0, 1.5);
     BiCritProblem p(inst.dag, inst.mapping, model::SpeedModel::continuous(0.1, 1.0), D);
-    auto r = solve(p);
+    auto r = api::solve(p);
     ASSERT_TRUE(r.is_ok()) << inst.name << ": " << r.status().to_string();
     EXPECT_TRUE(p.check(r.value().schedule).is_ok()) << inst.name;
     EXPECT_GT(r.value().energy, 0.0) << inst.name;
@@ -38,7 +38,7 @@ TEST(EndToEnd, BiCritVddSolvesWholeCorpus) {
     const double D = deadline_with_slack(inst, 1.0, 1.6);
     BiCritProblem p(inst.dag, inst.mapping,
                     model::SpeedModel::vdd_hopping(model::xscale_levels()), D);
-    auto r = solve(p);
+    auto r = api::solve(p);
     ASSERT_TRUE(r.is_ok()) << inst.name << ": " << r.status().to_string();
     EXPECT_TRUE(p.check(r.value().schedule).is_ok()) << inst.name;
   }
@@ -51,7 +51,7 @@ TEST(EndToEnd, TriCritBestOfSolvesWholeCorpus) {
     const double D = deadline_with_slack(inst, 1.0, 2.0) / 0.8;
     TriCritProblem p(inst.dag, inst.mapping, model::SpeedModel::continuous(0.1, 1.0), rel,
                      D);
-    auto r = solve(p, TriCritSolver::kBestOf);
+    auto r = api::solve(p, "best-of");
     ASSERT_TRUE(r.is_ok()) << inst.name << ": " << r.status().to_string();
     EXPECT_TRUE(p.check(r.value().schedule).is_ok()) << inst.name;
   }
@@ -64,7 +64,7 @@ TEST(EndToEnd, TriCritScheduleSurvivesFaultInjection) {
   const auto& inst = corpus.front();  // chain
   const double D = deadline_with_slack(inst, 1.0, 2.5) / 0.8;
   TriCritProblem p(inst.dag, inst.mapping, model::SpeedModel::continuous(0.1, 1.0), rel, D);
-  auto r = solve(p, TriCritSolver::kBestOf);
+  auto r = api::solve(p, "best-of");
   ASSERT_TRUE(r.is_ok());
   sim::SimOptions opt;
   opt.trials = 20000;
@@ -88,7 +88,7 @@ TEST(EndToEnd, EnergyDeadlineParetoMonotone) {
     for (double slack : {1.2, 1.6, 2.4, 4.0}) {
       const double D = deadline_with_slack(inst, 1.0, slack);
       BiCritProblem p(inst.dag, inst.mapping, model::SpeedModel::continuous(0.05, 1.0), D);
-      auto r = solve(p, BiCritSolver::kContinuousIpm);
+      auto r = api::solve(p, "continuous-ipm");
       ASSERT_TRUE(r.is_ok()) << inst.name << " slack " << slack;
       EXPECT_LE(r.value().energy, prev * (1.0 + 1e-7)) << inst.name;
       prev = r.value().energy;
@@ -106,8 +106,8 @@ TEST(EndToEnd, TriCritEnergyAtMostBiCritWithFrelFloor) {
     TriCritProblem tri(inst.dag, inst.mapping, model::SpeedModel::continuous(0.1, 1.0),
                        rel, D);
     BiCritProblem bi(inst.dag, inst.mapping, model::SpeedModel::continuous(0.8, 1.0), D);
-    auto r_tri = solve(tri, TriCritSolver::kBestOf);
-    auto r_bi = solve(bi, BiCritSolver::kContinuousIpm);
+    auto r_tri = api::solve(tri, "best-of");
+    auto r_bi = api::solve(bi, "continuous-ipm");
     if (!r_bi.is_ok()) continue;
     ASSERT_TRUE(r_tri.is_ok()) << inst.name;
     EXPECT_LE(r_tri.value().energy, r_bi.value().energy * (1.0 + 1e-4)) << inst.name;

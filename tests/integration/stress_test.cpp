@@ -6,9 +6,9 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "api/registry.hpp"
 #include "core/corpus.hpp"
 #include "core/problem.hpp"
-#include "core/solvers.hpp"
 #include "graph/analysis.hpp"
 #include "graph/generators.hpp"
 #include "sched/list_scheduler.hpp"
@@ -59,7 +59,7 @@ TEST_P(StressTest, BiCritAutoAlwaysFeasibleOrCleanlyInfeasible) {
                                   : model::SpeedModel::discrete(levels);
     }
     core::BiCritProblem p(std::move(dag), std::move(mapping), std::move(speeds), D);
-    auto r = core::solve(p);
+    auto r = api::solve(p);
     if (D < base * (1.0 - 1e-9)) {
       EXPECT_FALSE(r.is_ok()) << "round " << round << ": accepted infeasible deadline";
       continue;
@@ -94,7 +94,7 @@ TEST_P(StressTest, TriCritBestOfAlwaysValidates) {
     const double D = base / frel * rng.uniform(1.05, 4.0);
     core::TriCritProblem p(std::move(dag), std::move(mapping),
                            model::SpeedModel::continuous(fmin, fmax), rel, D);
-    auto r = core::solve(p, core::TriCritSolver::kBestOf);
+    auto r = api::solve(p, "best-of");
     ASSERT_TRUE(r.is_ok()) << "round " << round << ": " << r.status().to_string();
     EXPECT_TRUE(p.check(r.value().schedule).is_ok()) << "round " << round;
   }
