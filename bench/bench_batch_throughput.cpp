@@ -17,12 +17,9 @@ int main(int argc, char** argv) {
                 "solve_batch: corpus sweeps on the thread pool, results unchanged",
                 "whole-corpus wall time and per-family energy by thread count");
 
-  common::Rng rng(bench::corpus_seed(argc, argv, 13));
-  core::CorpusOptions copt;
-  copt.tasks = 14;
-  copt.processors = 4;
-  copt.instances_per_family = 3;
-  const auto corpus = core::standard_corpus(rng, copt);
+  const auto corpus = bench::seeded_corpus(argc, argv, 13, /*tasks=*/14,
+                                           /*processors=*/4,
+                                           /*instances_per_family=*/3);
   const auto jobs =
       api::corpus_bicrit_jobs(corpus, model::SpeedModel::continuous(0.1, 1.0), 1.8);
 

@@ -16,35 +16,30 @@ int main(int argc, char** argv) {
                 "C2: BI-CRIT on general DAGs is a convex program (GP equivalent)",
                 "energy vs deadline per DAG family (interior point on the mapped graph)");
 
-  common::Rng rng(bench::corpus_seed(argc, argv, 3));
-  core::CorpusOptions copt;
-  copt.tasks = 20;
-  copt.processors = 4;
-  copt.instances_per_family = 1;
-  const auto corpus = core::standard_corpus(rng, copt);
+  const auto corpus = bench::seeded_corpus(argc, argv, 3, /*tasks=*/20,
+                                           /*processors=*/4,
+                                           /*instances_per_family=*/1);
   const auto speeds = model::SpeedModel::continuous(0.05, 1.0);
 
   common::Table table({"family", "n", "slack", "deadline", "energy", "E*D^2", "newton",
                        "time_ms"});
-  for (const auto& inst : corpus) {
-    const double base = bench::fmax_makespan(inst.dag, inst.mapping, speeds.fmax());
-    for (double slack : {1.1, 1.5, 2.0, 3.0, 6.0, 15.0}) {
-      const double D = base * slack;
-      bench::Stopwatch sw;
-      auto r = bicrit::solve_continuous(inst.dag, inst.mapping, D, speeds);
-      if (!r.is_ok()) {
-        std::cout << inst.name << " slack " << slack << ": " << r.status().to_string()
-                  << "\n";
-        continue;
-      }
-      table.add_row({inst.name, common::format_int(inst.dag.num_tasks()),
-                     common::format_fixed(slack, 1), common::format_g(D),
-                     common::format_g(r.value().energy),
-                     common::format_g(r.value().energy * D * D),
-                     common::format_int(r.value().newton_steps),
-                     common::format_fixed(sw.ms(), 2)});
-    }
-  }
+  bench::for_each_slack(
+      corpus, speeds.fmax(), {1.1, 1.5, 2.0, 3.0, 6.0, 15.0},
+      [&](const core::Instance& inst, double slack, double D) {
+        bench::Stopwatch sw;
+        auto r = bicrit::solve_continuous(inst.dag, inst.mapping, D, speeds);
+        if (!r.is_ok()) {
+          std::cout << inst.name << " slack " << slack << ": " << r.status().to_string()
+                    << "\n";
+          return;
+        }
+        table.add_row({inst.name, common::format_int(inst.dag.num_tasks()),
+                       common::format_fixed(slack, 1), common::format_g(D),
+                       common::format_g(r.value().energy),
+                       common::format_g(r.value().energy * D * D),
+                       common::format_int(r.value().newton_steps),
+                       common::format_fixed(sw.ms(), 2)});
+      });
   table.print(std::cout);
   std::cout << "\nShapes: energy strictly decreasing in slack; E*D^2 roughly constant in\n"
                "the unclamped regime, then energy flattens at the all-fmin floor.\n";

@@ -17,15 +17,11 @@ int main(int argc, char** argv) {
                 "C6: complementary heuristic families; BEST-OF wins everywhere",
                 "normalised energy (1.0 = per-instance best) by DAG family");
 
-  common::Rng rng(bench::corpus_seed(argc, argv, 10));
   const auto speeds = model::SpeedModel::continuous(0.2, 1.0);
   const model::ReliabilityModel rel(1e-5, 3.0, 0.2, 1.0, 0.8);
-
-  core::CorpusOptions copt;
-  copt.tasks = 12;
-  copt.processors = 4;
-  copt.instances_per_family = 3;
-  const auto corpus = core::standard_corpus(rng, copt);
+  const auto corpus = bench::seeded_corpus(argc, argv, 10, /*tasks=*/12,
+                                           /*processors=*/4,
+                                           /*instances_per_family=*/3);
 
   struct Accum {
     double a = 0.0, b = 0.0, best = 0.0;
@@ -34,24 +30,24 @@ int main(int argc, char** argv) {
   };
   std::map<std::string, Accum> by_family;
 
-  for (const auto& inst : corpus) {
-    for (double slack : {1.5, 2.2, 3.5}) {
-      const double D =
-          core::deadline_with_slack(inst, speeds.fmax(), slack) / rel.frel();
-      auto a = tricrit::heuristic_uniform_reexec(inst.dag, inst.mapping, D, rel, speeds);
-      auto b = tricrit::heuristic_slack_reexec(inst.dag, inst.mapping, D, rel, speeds);
-      auto best = tricrit::heuristic_best_of(inst.dag, inst.mapping, D, rel, speeds);
-      if (!a.is_ok() || !b.is_ok() || !best.is_ok()) continue;
-      const double floor = std::min(a.value().energy, b.value().energy);
-      auto& acc = by_family[inst.name];
-      acc.a += a.value().energy / floor;
-      acc.b += b.value().energy / floor;
-      acc.best += best.value().energy / floor;
-      acc.a_wins += a.value().energy <= b.value().energy * (1.0 + 1e-9) ? 1 : 0;
-      acc.b_wins += b.value().energy <= a.value().energy * (1.0 + 1e-9) ? 1 : 0;
-      ++acc.count;
-    }
-  }
+  bench::for_each_slack(
+      corpus, speeds.fmax(), {1.5, 2.2, 3.5},
+      [&](const core::Instance& inst, double /*slack*/, double deadline) {
+        const double D = deadline / rel.frel();
+        auto a =
+            tricrit::heuristic_uniform_reexec(inst.dag, inst.mapping, D, rel, speeds);
+        auto b = tricrit::heuristic_slack_reexec(inst.dag, inst.mapping, D, rel, speeds);
+        auto best = tricrit::heuristic_best_of(inst.dag, inst.mapping, D, rel, speeds);
+        if (!a.is_ok() || !b.is_ok() || !best.is_ok()) return;
+        const double floor = std::min(a.value().energy, b.value().energy);
+        auto& acc = by_family[inst.name];
+        acc.a += a.value().energy / floor;
+        acc.b += b.value().energy / floor;
+        acc.best += best.value().energy / floor;
+        acc.a_wins += a.value().energy <= b.value().energy * (1.0 + 1e-9) ? 1 : 0;
+        acc.b_wins += b.value().energy <= a.value().energy * (1.0 + 1e-9) ? 1 : 0;
+        ++acc.count;
+      });
 
   common::Table table({"family", "runs", "A_norm", "B_norm", "BESTOF_norm", "A_wins",
                        "B_wins"});

@@ -18,7 +18,6 @@ int main(int argc, char** argv) {
                 "C10: continuous heuristic -> two-level mixes, time & reliability kept",
                 "energy loss ratio by level-set granularity and DAG family");
 
-  common::Rng rng(bench::corpus_seed(argc, argv, 11));
   const auto cont = model::SpeedModel::continuous(0.2, 1.0);
   const model::ReliabilityModel rel(1e-5, 3.0, 0.2, 1.0, 0.8);
 
@@ -32,28 +31,28 @@ int main(int argc, char** argv) {
       {"fine(9)", {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}},
   };
 
-  core::CorpusOptions copt;
-  copt.tasks = 10;
-  copt.processors = 3;
-  copt.instances_per_family = 2;
-  const auto corpus = core::standard_corpus(rng, copt);
+  const auto corpus = bench::seeded_corpus(argc, argv, 11, /*tasks=*/10,
+                                           /*processors=*/3,
+                                           /*instances_per_family=*/2);
 
   common::Table table({"levels", "runs", "mean_loss", "max_loss", "tightened_tasks"});
   for (const auto& ls : level_sets) {
     const auto vdd = model::SpeedModel::vdd_hopping(ls.levels);
     double sum = 0.0, worst = 0.0;
     int runs = 0, tightened = 0;
-    for (const auto& inst : corpus) {
-      const double D = core::deadline_with_slack(inst, cont.fmax(), 2.0) / rel.frel();
-      auto c = tricrit::heuristic_best_of(inst.dag, inst.mapping, D, rel, cont);
-      if (!c.is_ok()) continue;
-      auto v = tricrit::adapt_to_vdd(inst.dag, c.value(), rel, vdd);
-      if (!v.is_ok()) continue;
-      sum += v.value().energy_loss_ratio;
-      worst = std::max(worst, v.value().energy_loss_ratio);
-      tightened += v.value().tightened_tasks;
-      ++runs;
-    }
+    bench::for_each_slack(
+        corpus, cont.fmax(), {2.0},
+        [&](const core::Instance& inst, double /*slack*/, double deadline) {
+          const double D = deadline / rel.frel();
+          auto c = tricrit::heuristic_best_of(inst.dag, inst.mapping, D, rel, cont);
+          if (!c.is_ok()) return;
+          auto v = tricrit::adapt_to_vdd(inst.dag, c.value(), rel, vdd);
+          if (!v.is_ok()) return;
+          sum += v.value().energy_loss_ratio;
+          worst = std::max(worst, v.value().energy_loss_ratio);
+          tightened += v.value().tightened_tasks;
+          ++runs;
+        });
     if (runs == 0) continue;
     table.add_row({ls.name, common::format_int(runs), common::format_ratio(sum / runs),
                    common::format_ratio(worst), common::format_int(tightened)});

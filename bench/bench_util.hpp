@@ -12,6 +12,7 @@
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "core/corpus.hpp"
 #include "graph/analysis.hpp"
 #include "graph/dag.hpp"
 #include "sched/mapping.hpp"
@@ -58,6 +59,35 @@ inline std::uint64_t corpus_seed(int argc, char** argv, std::uint64_t def) {
     return seed;
   }
   return def;
+}
+
+/// The standard-corpus setup every corpus bench shares: a --seed-aware
+/// RNG feeding core::standard_corpus with the bench's instance shape.
+/// Keeping this in one place means every bench reacts to --seed the same
+/// way and none can drift to a subtly different generator recipe.
+inline std::vector<core::Instance> seeded_corpus(int argc, char** argv,
+                                                 std::uint64_t default_seed, int tasks,
+                                                 int processors,
+                                                 int instances_per_family) {
+  common::Rng rng(corpus_seed(argc, argv, default_seed));
+  core::CorpusOptions options;
+  options.tasks = tasks;
+  options.processors = processors;
+  options.instances_per_family = instances_per_family;
+  return core::standard_corpus(rng, options);
+}
+
+/// The corpus benches' slack loop: fn(instance, slack, deadline) for every
+/// instance x slack factor, deadline leaving `slack` headroom over the
+/// all-fmax makespan (TRI-CRIT benches divide by frel themselves).
+template <typename Fn>
+inline void for_each_slack(const std::vector<core::Instance>& corpus, double fmax,
+                           std::initializer_list<double> slacks, Fn&& fn) {
+  for (const auto& inst : corpus) {
+    for (double slack : slacks) {
+      fn(inst, slack, core::deadline_with_slack(inst, fmax, slack));
+    }
+  }
 }
 
 /// Makespan of the instance when every task runs at `fmax`.

@@ -1,25 +1,43 @@
-// Command-line driver: solve BI-CRIT/TRI-CRIT for a DAG read from the
-// text format of graph/io.hpp — the entry point a downstream user scripts
+// Command-line driver: solve BI-CRIT/TRI-CRIT for DAGs read from the text
+// format of graph/io.hpp — the entry point a downstream user scripts
 // against without writing C++. Runs on the registry-driven api layer:
 // any registered solver can be requested by name, and with no --solver
 // the registry auto-selects by capability.
 //
 // Usage:
-//   easched_cli <dag-file> --deadline D [options]
-//     --processors P        platform size (default 2)
-//     --fmin F --fmax F     continuous speed range (default 0.2 / 1.0)
-//     --levels f1,f2,...    use a DISCRETE level set instead
-//     --vdd                 treat the level set as VDD-HOPPING
-//     --frel F              enable TRI-CRIT with threshold speed F
-//     --lambda0 L --dexp D  reliability parameters (default 1e-5 / 3)
-//     --solver NAME         registry solver name (default: auto-select)
-//     --slack S             deadline-slack policy (scales D; default 1)
-//     --list-solvers        print the registry and exit
-//     --gantt               print the timeline
-//     --csv                 print the timeline as CSV
+//   easched_cli <dag-file>... --deadline D [options]
+//     Solves each file; with several files the whole set runs through
+//     api::solve_batch on --threads workers and prints one table.
+//   easched_cli frontier <dag-file> [options]
+//     Sweeps a Pareto trade-off curve with the frontier engine:
+//       --dmin A --dmax B            BI-CRIT energy-vs-deadline sweep
+//       --dmin A --dmax B --frel F   TRI-CRIT deadline sweep at fixed frel
+//       --deadline D --rmin A --rmax B
+//                                    TRI-CRIT energy-vs-reliability sweep
+//       --solvers n1,n2,...          multi-solver comparison (who wins where)
+//       --points N / --max-points M  initial grid / refinement budget
 //
-// Example:
+// Shared options:
+//   --processors P        platform size (default 2)
+//   --fmin F --fmax F     continuous speed range (default 0.2 / 1.0)
+//   --levels f1,f2,...    use a DISCRETE level set instead
+//   --vdd                 treat the level set as VDD-HOPPING
+//   --frel F              enable TRI-CRIT with threshold speed F
+//   --lambda0 L --dexp D  reliability parameters (default 1e-5 / 3)
+//   --solver NAME         registry solver name (default: auto-select)
+//   --slack S             deadline-slack policy (scales --deadline, and in
+//                         frontier mode the --dmin/--dmax axis; default 1)
+//   --threads N           worker threads for batch and frontier runs
+//   --list-solvers        print the registry and exit
+//   --gantt               print the timeline (single solve only)
+//   --csv                 CSV output (timeline, batch table, or frontier)
+//   --json                JSON output (frontier and comparison modes)
+//
+// Examples:
 //   ./examples/easched_cli pipeline.dag --deadline 12 --frel 0.8 --gantt
+//   ./examples/easched_cli frontier pipeline.dag --dmin 8 --dmax 40 --csv
+//   ./examples/easched_cli frontier pipeline.dag --deadline 30 \
+//       --rmin 0.4 --rmax 0.95 --solvers best-of,heuristic-A
 
 #include <cstdlib>
 #include <fstream>
@@ -29,13 +47,21 @@
 #include <string>
 #include <vector>
 
+#include "api/batch.hpp"
 #include "api/registry.hpp"
+#include "common/table.hpp"
 #include "core/problem.hpp"
+#include "frontier/analytics.hpp"
+#include "frontier/compare.hpp"
+#include "frontier/export.hpp"
+#include "frontier/frontier.hpp"
 #include "graph/io.hpp"
 #include "sched/gantt.hpp"
 #include "sched/list_scheduler.hpp"
 
 namespace {
+
+using namespace easched;
 
 std::vector<double> parse_levels(const std::string& arg) {
   std::vector<double> out;
@@ -45,16 +71,30 @@ std::vector<double> parse_levels(const std::string& arg) {
   return out;
 }
 
+std::vector<std::string> parse_names(const std::string& arg) {
+  std::vector<std::string> out;
+  std::stringstream ss(arg);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
 int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0 << " <dag-file> --deadline D [--processors P]\n"
-            << "  [--fmin F] [--fmax F] [--levels f1,f2,...] [--vdd]\n"
-            << "  [--frel F] [--lambda0 L] [--dexp D]\n"
-            << "  [--solver NAME] [--slack S] [--list-solvers] [--gantt] [--csv]\n";
+  std::cerr
+      << "usage: " << argv0 << " <dag-file>... --deadline D [options]\n"
+      << "       " << argv0 << " frontier <dag-file> --dmin A --dmax B [options]\n"
+      << "       " << argv0
+      << " frontier <dag-file> --deadline D --rmin A --rmax B [options]\n"
+      << "  [--processors P] [--fmin F] [--fmax F] [--levels f1,f2,...] [--vdd]\n"
+      << "  [--frel F] [--lambda0 L] [--dexp D] [--solver NAME] [--solvers n1,n2]\n"
+      << "  [--slack S] [--threads N] [--points N] [--max-points M]\n"
+      << "  [--list-solvers] [--gantt] [--csv] [--json]\n";
   return 2;
 }
 
 int list_solvers() {
-  using namespace easched;
   const auto& registry = api::SolverRegistry::instance();
   std::cout << "registered solvers (name / problem / exact / auto):\n";
   for (const auto& name : registry.names()) {
@@ -68,21 +108,25 @@ int list_solvers() {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  using namespace easched;
-  if (argc < 2) return usage(argv[0]);
-
-  std::string dag_path, solver_name;
+/// Everything the two subcommands share, parsed in one pass.
+struct CliArgs {
+  std::vector<std::string> dag_paths;
+  std::string solver_name;
+  std::vector<std::string> solvers;  // frontier comparison mode
   double deadline = -1.0, fmin = 0.2, fmax = 1.0, lambda0 = 1e-5, dexp = 3.0;
   std::optional<double> frel;
   std::optional<std::vector<double>> levels;
-  bool vdd = false, gantt = false, csv = false;
+  std::optional<double> dmin, dmax, rmin, rmax;
+  bool vdd = false, gantt = false, csv = false, json = false;
   int processors = 2;
+  int points = 9, max_points = 33;
+  std::size_t threads = 0;
   api::SolveOptions options;
+};
 
-  for (int i = 1; i < argc; ++i) {
+/// Parses argv[first..); returns false (after printing) on a bad flag.
+bool parse_args(int argc, char** argv, int first, CliArgs& args) {
+  for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
@@ -92,82 +136,347 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--deadline") {
-      deadline = std::stod(next());
+      args.deadline = std::stod(next());
     } else if (arg == "--processors") {
-      processors = std::stoi(next());
+      args.processors = std::stoi(next());
     } else if (arg == "--fmin") {
-      fmin = std::stod(next());
+      args.fmin = std::stod(next());
     } else if (arg == "--fmax") {
-      fmax = std::stod(next());
+      args.fmax = std::stod(next());
     } else if (arg == "--levels") {
-      levels = parse_levels(next());
+      args.levels = parse_levels(next());
     } else if (arg == "--vdd") {
-      vdd = true;
+      args.vdd = true;
     } else if (arg == "--frel") {
-      frel = std::stod(next());
+      args.frel = std::stod(next());
     } else if (arg == "--lambda0") {
-      lambda0 = std::stod(next());
+      args.lambda0 = std::stod(next());
     } else if (arg == "--dexp") {
-      dexp = std::stod(next());
+      args.dexp = std::stod(next());
     } else if (arg == "--solver") {
-      solver_name = next();
+      args.solver_name = next();
+    } else if (arg == "--solvers") {
+      args.solvers = parse_names(next());
     } else if (arg == "--slack") {
-      options.deadline_slack = std::stod(next());
+      args.options.deadline_slack = std::stod(next());
+    } else if (arg == "--threads") {
+      const int n = std::stoi(next());
+      if (n < 1) {
+        std::cerr << "--threads must be >= 1\n";
+        return false;
+      }
+      args.threads = static_cast<std::size_t>(n);
+    } else if (arg == "--dmin") {
+      args.dmin = std::stod(next());
+    } else if (arg == "--dmax") {
+      args.dmax = std::stod(next());
+    } else if (arg == "--rmin") {
+      args.rmin = std::stod(next());
+    } else if (arg == "--rmax") {
+      args.rmax = std::stod(next());
+    } else if (arg == "--points") {
+      args.points = std::stoi(next());
+    } else if (arg == "--max-points") {
+      args.max_points = std::stoi(next());
     } else if (arg == "--list-solvers") {
-      return list_solvers();
+      std::exit(list_solvers());
     } else if (arg == "--gantt") {
-      gantt = true;
+      args.gantt = true;
     } else if (arg == "--csv") {
-      csv = true;
+      args.csv = true;
+    } else if (arg == "--json") {
+      args.json = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option " << arg << "\n";
-      return usage(argv[0]);
+      return false;
     } else {
-      dag_path = arg;
+      args.dag_paths.push_back(arg);
     }
   }
-  if (dag_path.empty() || deadline <= 0.0) return usage(argv[0]);
+  return true;
+}
 
-  std::ifstream in(dag_path);
-  if (!in) {
-    std::cerr << "cannot open " << dag_path << "\n";
+common::Result<graph::Dag> load_dag(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return common::Status::not_found("cannot open " + path);
+  return graph::read_text(in);
+}
+
+model::SpeedModel make_speeds(CliArgs& args) {
+  model::SpeedModel speeds =
+      args.levels ? (args.vdd ? model::SpeedModel::vdd_hopping(*args.levels)
+                              : model::SpeedModel::discrete(*args.levels))
+                  : model::SpeedModel::continuous(args.fmin, args.fmax);
+  if (args.levels) {
+    args.fmin = speeds.fmin();
+    args.fmax = speeds.fmax();
+  }
+  return speeds;
+}
+
+void print_frontier(const frontier::FrontierResult& result) {
+  common::Table table({"constraint", "energy", "makespan", "solver", "exact"});
+  for (const auto& p : result.points) {
+    table.add_row({common::format_g(p.constraint), common::format_g(p.energy),
+                   common::format_g(p.makespan), p.solver, p.exact ? "yes" : "no"});
+  }
+  table.print(std::cout);
+  const auto summary = frontier::summarize(result);
+  std::cout << "\nfrontier: " << result.points.size() << " points ("
+            << result.dominated.size() << " dominated, " << result.infeasible
+            << " infeasible) from " << result.evaluated << " evaluations, "
+            << result.cache_hits << " cache hits\n"
+            << "energy span: [" << common::format_g(summary.energy.min()) << ", "
+            << common::format_g(summary.energy.max()) << "]  auc: "
+            << common::format_g(summary.auc)
+            << "  hypervolume: " << common::format_g(summary.hypervolume)
+            << "  wall: " << common::format_fixed(result.wall_ms, 1) << " ms\n";
+}
+
+void print_comparison(const frontier::FrontierComparison& comparison) {
+  common::Table table({"solver", "points", "infeasible", "energy_min", "auc",
+                       "hypervolume", "wall_ms"});
+  for (const auto& sf : comparison.solvers) {
+    table.add_row({sf.solver,
+                   common::format_int(static_cast<long long>(sf.summary.points)),
+                   common::format_int(static_cast<long long>(sf.result.infeasible)),
+                   common::format_g(sf.summary.energy.min()),
+                   common::format_g(sf.summary.auc),
+                   common::format_g(sf.summary.hypervolume),
+                   common::format_fixed(sf.result.wall_ms, 1)});
+  }
+  table.print(std::cout);
+  for (const auto& sf : comparison.solvers) {
+    if (!sf.result.error.is_ok()) {
+      std::cout << "warning: " << sf.solver
+                << " sweep failed: " << sf.result.error.to_string() << "\n";
+    }
+  }
+  std::cout << "\ndominance segments (who wins where on the "
+            << frontier::to_string(comparison.axis) << " axis):\n\n";
+  common::Table segments({"from", "to", "winner"});
+  for (const auto& seg : comparison.segments) {
+    segments.add_row({common::format_g(seg.lo), common::format_g(seg.hi), seg.solver});
+  }
+  segments.print(std::cout);
+}
+
+/// Output-format dispatch shared by both sweep axes.
+int emit_frontier(const frontier::FrontierResult& result, const CliArgs& args) {
+  if (!result.error.is_ok()) {
+    std::cerr << "frontier sweep failed: " << result.error.to_string() << "\n";
     return 1;
   }
-  auto dag = graph::read_text(in);
+  if (args.csv) {
+    frontier::write_frontier_csv(result, std::cout);
+  } else if (args.json) {
+    frontier::write_frontier_json(result, std::cout);
+  } else {
+    print_frontier(result);
+  }
+  return 0;
+}
+
+int emit_comparison(const frontier::FrontierComparison& comparison,
+                    const CliArgs& args) {
+  // A comparison stays useful when only some solvers fail; abort only
+  // when every sweep errored out.
+  bool any_ok = comparison.solvers.empty();
+  for (const auto& sf : comparison.solvers) {
+    if (sf.result.error.is_ok()) any_ok = true;
+  }
+  if (!any_ok) {
+    for (const auto& sf : comparison.solvers) {
+      std::cerr << sf.solver << " sweep failed: " << sf.result.error.to_string()
+                << "\n";
+    }
+    return 1;
+  }
+  if (args.csv) {
+    frontier::write_comparison_csv(comparison, std::cout);
+  } else if (args.json) {
+    frontier::write_comparison_json(comparison, std::cout);
+  } else {
+    print_comparison(comparison);
+  }
+  return 0;
+}
+
+int run_frontier(CliArgs& args) {
+  if (args.dag_paths.size() != 1) {
+    std::cerr << "frontier mode takes exactly one dag file\n";
+    return 2;
+  }
+  auto dag = load_dag(args.dag_paths[0]);
   if (!dag.is_ok()) {
     std::cerr << "bad dag file: " << dag.status().to_string() << "\n";
     return 1;
   }
+  const auto mapping = sched::list_schedule(dag.value(), args.processors,
+                                            sched::PriorityPolicy::kCriticalPath);
+  const model::SpeedModel speeds = make_speeds(args);
 
-  auto mapping =
-      sched::list_schedule(dag.value(), processors, sched::PriorityPolicy::kCriticalPath);
+  // Fold the slack policy into the swept quantities up front, exactly as
+  // the solve path does: it scales the fixed deadline of a reliability
+  // sweep and the [dmin, dmax] axis of a deadline sweep, so the flag
+  // means "scale D" in every mode.
+  const double slack = args.options.deadline_slack;
+  args.options.deadline_slack = 1.0;
+  const double deadline = args.deadline * slack;
 
-  model::SpeedModel speeds =
-      levels ? (vdd ? model::SpeedModel::vdd_hopping(*levels)
-                    : model::SpeedModel::discrete(*levels))
-             : model::SpeedModel::continuous(fmin, fmax);
-  if (levels) {
-    fmin = speeds.fmin();
-    fmax = speeds.fmax();
+  frontier::SolveCache cache;
+  frontier::FrontierEngine engine(&cache);
+  frontier::FrontierOptions fopt;
+  fopt.initial_points = args.points;
+  fopt.max_points = args.max_points;
+  fopt.threads = args.threads;
+  fopt.solver = args.solver_name;
+  fopt.solve = args.options;
+
+  const bool reliability_mode = args.rmin && args.rmax;
+  if (reliability_mode) {
+    if (deadline <= 0.0) {
+      std::cerr << "--rmin/--rmax sweeps need a fixed --deadline\n";
+      return 2;
+    }
+    if (*args.rmin < args.fmin || *args.rmax > args.fmax || *args.rmin > *args.rmax) {
+      std::cerr << "--rmin/--rmax must satisfy fmin <= rmin <= rmax <= fmax\n";
+      return 2;
+    }
+    model::ReliabilityModel rel(args.lambda0, args.dexp, args.fmin, args.fmax,
+                                *args.rmax);
+    core::TriCritProblem problem(dag.value(), mapping, speeds, rel, deadline);
+    if (!args.solvers.empty()) {
+      return emit_comparison(frontier::compare_reliability(engine, problem, args.solvers,
+                                                           *args.rmin, *args.rmax, fopt),
+                             args);
+    }
+    return emit_frontier(engine.reliability_sweep(problem, *args.rmin, *args.rmax, fopt),
+                         args);
   }
+
+  if (!args.dmin || !args.dmax || *args.dmin <= 0.0 || *args.dmin > *args.dmax) {
+    std::cerr << "frontier mode needs --dmin/--dmax (0 < dmin <= dmax) or "
+                 "--deadline with --rmin/--rmax\n";
+    return 2;
+  }
+  const double dmin = *args.dmin * slack;
+  const double dmax = *args.dmax * slack;
+  if (args.frel) {
+    // TRI-CRIT deadline sweep: the reliability threshold stays fixed at
+    // --frel while the deadline axis is swept.
+    if (*args.frel < args.fmin || *args.frel > args.fmax) {
+      std::cerr << "--frel must lie in [fmin, fmax]\n";
+      return 2;
+    }
+    model::ReliabilityModel rel(args.lambda0, args.dexp, args.fmin, args.fmax,
+                                *args.frel);
+    core::TriCritProblem problem(dag.value(), mapping, speeds, rel, dmax);
+    if (!args.solvers.empty()) {
+      return emit_comparison(frontier::compare_deadline(engine, problem, args.solvers,
+                                                        dmin, dmax, fopt),
+                             args);
+    }
+    return emit_frontier(engine.deadline_sweep(problem, dmin, dmax, fopt),
+                         args);
+  }
+  core::BiCritProblem problem(dag.value(), mapping, speeds, dmax);
+  if (!args.solvers.empty()) {
+    return emit_comparison(frontier::compare_deadline(engine, problem, args.solvers,
+                                                      dmin, dmax, fopt),
+                           args);
+  }
+  return emit_frontier(engine.deadline_sweep(problem, dmin, dmax, fopt),
+                       args);
+}
+
+/// Several dag files: one api::solve_batch over --threads workers.
+int run_batch(CliArgs& args, double effective_deadline) {
+  std::vector<api::BatchJob> jobs;
+  for (const auto& path : args.dag_paths) {
+    auto dag = load_dag(path);
+    if (!dag.is_ok()) {
+      std::cerr << "bad dag file " << path << ": " << dag.status().to_string() << "\n";
+      return 1;
+    }
+    const auto mapping = sched::list_schedule(dag.value(), args.processors,
+                                              sched::PriorityPolicy::kCriticalPath);
+    const model::SpeedModel speeds = make_speeds(args);
+    api::BatchJob job;
+    job.family = path;
+    if (args.frel) {
+      model::ReliabilityModel rel(args.lambda0, args.dexp, args.fmin, args.fmax,
+                                  *args.frel);
+      job.tricrit = std::make_shared<const core::TriCritProblem>(
+          std::move(dag).take(), mapping, speeds, rel, effective_deadline);
+    } else {
+      job.bicrit = std::make_shared<const core::BiCritProblem>(
+          std::move(dag).take(), mapping, speeds, effective_deadline);
+    }
+    jobs.push_back(std::move(job));
+  }
+
+  api::BatchOptions bopt;
+  bopt.solver = args.solver_name;
+  bopt.solve = args.options;
+  bopt.threads = args.threads;
+  const auto report = api::solve_batch(jobs, bopt);
+
+  common::Table table({"file", "status", "solver", "energy", "makespan", "wall_ms"});
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& r = report.results[i];
+    if (!r.is_ok()) {
+      table.add_row({jobs[i].family, r.status().to_string(), "-", "-", "-", "-"});
+      continue;
+    }
+    table.add_row({jobs[i].family, "OK", r.value().solver,
+                   common::format_g(r.value().energy),
+                   common::format_g(r.value().makespan),
+                   common::format_fixed(r.value().wall_ms, 2)});
+  }
+  if (args.csv) {
+    table.write_csv(std::cout);
+  } else {
+    table.print(std::cout);
+    std::cout << "\nbatch: " << report.solved << " solved, " << report.failed
+              << " failed in " << common::format_fixed(report.wall_ms, 1) << " ms\n";
+  }
+  return report.failed == 0 ? 0 : 1;
+}
+
+int run_solve(CliArgs& args) {
+  if (args.dag_paths.empty() || args.deadline <= 0.0) return 2;
 
   // Fold the slack policy into the problem once: solver and feasibility
   // check then agree on the same effective deadline, and the request can
   // keep the default slack of 1.
-  const double effective_deadline = deadline * options.deadline_slack;
-  options.deadline_slack = 1.0;
+  const double effective_deadline = args.deadline * args.options.deadline_slack;
+  args.options.deadline_slack = 1.0;
+
+  if (args.dag_paths.size() > 1) return run_batch(args, effective_deadline);
+
+  auto dag = load_dag(args.dag_paths[0]);
+  if (!dag.is_ok()) {
+    std::cerr << "bad dag file: " << dag.status().to_string() << "\n";
+    return 1;
+  }
+  const auto mapping = sched::list_schedule(dag.value(), args.processors,
+                                            sched::PriorityPolicy::kCriticalPath);
+  const model::SpeedModel speeds = make_speeds(args);
+
   common::Result<api::SolveReport> result = common::Status::internal("unsolved");
-  if (frel) {
-    model::ReliabilityModel rel(lambda0, dexp, fmin, fmax, *frel);
+  if (args.frel) {
+    model::ReliabilityModel rel(args.lambda0, args.dexp, args.fmin, args.fmax,
+                                *args.frel);
     core::TriCritProblem p(dag.value(), mapping, speeds, rel, effective_deadline);
-    result = api::solve(api::SolveRequest(p, solver_name, options));
+    result = api::solve(api::SolveRequest(p, args.solver_name, args.options));
     if (result.is_ok() && !p.check(result.value().schedule).is_ok()) {
       std::cerr << "internal error: schedule failed validation\n";
       return 1;
     }
   } else {
     core::BiCritProblem p(dag.value(), mapping, speeds, effective_deadline);
-    result = api::solve(api::SolveRequest(p, solver_name, options));
+    result = api::solve(api::SolveRequest(p, args.solver_name, args.options));
     if (result.is_ok() && !p.check(result.value().schedule).is_ok()) {
       std::cerr << "internal error: schedule failed validation\n";
       return 1;
@@ -185,7 +494,20 @@ int main(int argc, char** argv) {
   std::cout << "solver: " << report.solver << "\nenergy: " << report.energy
             << "\nmakespan: " << report.makespan << " (deadline " << effective_deadline
             << ")\nwall time: " << report.wall_ms << " ms\n";
-  if (gantt) sched::write_gantt(std::cout, dag.value(), mapping, report.schedule);
-  if (csv) sched::write_timeline_csv(std::cout, dag.value(), mapping, report.schedule);
+  if (args.gantt) sched::write_gantt(std::cout, dag.value(), mapping, report.schedule);
+  if (args.csv) sched::write_timeline_csv(std::cout, dag.value(), mapping, report.schedule);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+
+  const bool frontier_mode = std::string(argv[1]) == "frontier";
+  CliArgs args;
+  if (!parse_args(argc, argv, frontier_mode ? 2 : 1, args)) return usage(argv[0]);
+
+  const int rc = frontier_mode ? run_frontier(args) : run_solve(args);
+  return rc == 2 ? usage(argv[0]) : rc;
 }

@@ -1,18 +1,42 @@
 #!/usr/bin/env bash
 # Tier-1 verify in Release mode with -Wall -Wextra, failing on any warning
-# in the src/api layer (EASCHED_WERROR_API promotes them to errors).
+# in the src/api and src/frontier layers (EASCHED_WERROR_API promotes them
+# to errors).
 #
 #   scripts/check.sh [build-dir]
+#   scripts/check.sh --sanitize [build-dir]
+#
+# --sanitize switches to a Debug + ASan/UBSan build of the same test
+# suite (halting on the first report), so the concurrent SolveCache and
+# the parallel_for fan-outs are exercised under sanitizer scrutiny on
+# every check run.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build-check}"
 
-cmake -B "$build_dir" -S "$repo_root" \
-  -DCMAKE_BUILD_TYPE=Release \
-  -DEASCHED_WERROR_API=ON \
-  -DCMAKE_CXX_FLAGS="-Wall -Wextra"
+sanitize=0
+if [[ "${1:-}" == "--sanitize" ]]; then
+  sanitize=1
+  shift
+fi
+
+if (( sanitize )); then
+  build_dir="${1:-$repo_root/build-check-sanitize}"
+  san_flags="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  cmake -B "$build_dir" -S "$repo_root" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DEASCHED_WERROR_API=ON \
+    -DCMAKE_CXX_FLAGS="-Wall -Wextra $san_flags" \
+    -DCMAKE_EXE_LINKER_FLAGS="$san_flags"
+else
+  build_dir="${1:-$repo_root/build-check}"
+  cmake -B "$build_dir" -S "$repo_root" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DEASCHED_WERROR_API=ON \
+    -DCMAKE_CXX_FLAGS="-Wall -Wextra"
+fi
+
 cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 

@@ -1,0 +1,112 @@
+#include "frontier/analytics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace easched::frontier {
+namespace {
+
+/// true when `a` is at least as good as `b` on the constraint objective.
+bool constraint_leq(double a, double b, ConstraintAxis axis) {
+  return axis == ConstraintAxis::kDeadline ? a <= b : a >= b;
+}
+
+}  // namespace
+
+bool dominates(const FrontierPoint& a, const FrontierPoint& b, ConstraintAxis axis) {
+  if (!constraint_leq(a.constraint, b.constraint, axis) || a.energy > b.energy) {
+    return false;
+  }
+  return a.constraint != b.constraint || a.energy < b.energy;
+}
+
+std::vector<FrontierPoint> pareto_filter(std::vector<FrontierPoint> points,
+                                         ConstraintAxis axis,
+                                         std::vector<FrontierPoint>* dominated) {
+  // Sweep from the best constraint end: a point survives iff its energy
+  // strictly improves on everything already seen (ties and duplicates are
+  // dominated). The sort is total, so the result is deterministic.
+  const bool minimize_c = axis == ConstraintAxis::kDeadline;
+  std::sort(points.begin(), points.end(),
+            [minimize_c](const FrontierPoint& a, const FrontierPoint& b) {
+              if (a.constraint != b.constraint) {
+                return minimize_c ? a.constraint < b.constraint
+                                  : a.constraint > b.constraint;
+              }
+              return a.energy < b.energy;
+            });
+  std::vector<FrontierPoint> frontier;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (auto& p : points) {
+    if (p.energy < best_energy) {
+      best_energy = p.energy;
+      frontier.push_back(std::move(p));
+    } else if (dominated != nullptr) {
+      dominated->push_back(std::move(p));
+    }
+  }
+  if (!minimize_c) {  // the sweep ran from high to low constraint
+    std::reverse(frontier.begin(), frontier.end());
+    if (dominated != nullptr) {
+      std::sort(dominated->begin(), dominated->end(),
+                [](const FrontierPoint& a, const FrontierPoint& b) {
+                  return a.constraint < b.constraint;
+                });
+    }
+  }
+  return frontier;
+}
+
+double area_under_curve(const std::vector<FrontierPoint>& frontier) {
+  double area = 0.0;
+  for (std::size_t i = 0; i + 1 < frontier.size(); ++i) {
+    const double width = frontier[i + 1].constraint - frontier[i].constraint;
+    area += width * 0.5 * (frontier[i].energy + frontier[i + 1].energy);
+  }
+  return area;
+}
+
+double hypervolume(const std::vector<FrontierPoint>& frontier, ConstraintAxis axis,
+                   double ref_constraint, double ref_energy) {
+  // Normalise to minimise/minimise: on the reliability axis mirror the
+  // constraint, then the dominated region of the sorted staircase is a
+  // union of disjoint rectangles, one per point, each spanning from the
+  // point's constraint to its successor's (the last one to the reference).
+  const double sign = axis == ConstraintAxis::kDeadline ? 1.0 : -1.0;
+  std::vector<std::pair<double, double>> pts;  // (sign*constraint, energy)
+  pts.reserve(frontier.size());
+  for (const auto& p : frontier) pts.emplace_back(sign * p.constraint, p.energy);
+  std::sort(pts.begin(), pts.end());
+  const double ref_c = sign * ref_constraint;
+
+  double volume = 0.0;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    best_energy = std::min(best_energy, pts[i].second);
+    const double right = i + 1 < pts.size() ? std::min(pts[i + 1].first, ref_c) : ref_c;
+    const double width = right - pts[i].first;
+    const double height = ref_energy - best_energy;
+    if (width > 0.0 && height > 0.0) volume += width * height;
+  }
+  return volume;
+}
+
+FrontierSummary summarize(const FrontierResult& result) {
+  FrontierSummary s;
+  s.points = result.points.size();
+  if (result.points.empty()) return s;
+  s.constraint_lo = result.points.front().constraint;
+  s.constraint_hi = result.points.back().constraint;
+  double worst_energy = 0.0;
+  for (const auto& p : result.points) {
+    s.energy.add(p.energy);
+    worst_energy = std::max(worst_energy, p.energy);
+  }
+  s.auc = area_under_curve(result.points);
+  const double worst_c = result.axis == ConstraintAxis::kDeadline ? s.constraint_hi
+                                                                  : s.constraint_lo;
+  s.hypervolume = hypervolume(result.points, result.axis, worst_c, worst_energy);
+  return s;
+}
+
+}  // namespace easched::frontier

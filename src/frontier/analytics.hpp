@@ -1,0 +1,57 @@
+#pragma once
+// Frontier analytics: dominance filtering and scalar quality metrics.
+//
+// A frontier is only comparable across solvers through scalar summaries;
+// the two standard ones from the multi-objective literature are provided:
+// the 2-D hypervolume (area dominated up to a reference corner — larger is
+// better) and the area under the energy curve (smaller is better). Both
+// reduce a whole trade-off curve to one number in common/stats style, so
+// benches can tabulate them next to means and deviations.
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "frontier/frontier.hpp"
+
+namespace easched::frontier {
+
+/// Pareto dominance under the axis' sense: `a` dominates `b` when it is at
+/// least as good on both objectives and strictly better on one. Energy is
+/// always minimised; the constraint is minimised on kDeadline and
+/// maximised on kReliability.
+bool dominates(const FrontierPoint& a, const FrontierPoint& b, ConstraintAxis axis);
+
+/// The non-dominated subset of `points`, sorted by ascending constraint.
+/// Exact duplicates collapse to one point. When `dominated` is non-null
+/// the removed points are appended to it (ascending constraint).
+std::vector<FrontierPoint> pareto_filter(std::vector<FrontierPoint> points,
+                                         ConstraintAxis axis,
+                                         std::vector<FrontierPoint>* dominated = nullptr);
+
+/// Trapezoidal area under the energy curve over the constraint axis;
+/// `frontier` must be sorted by ascending constraint. 0 for < 2 points.
+double area_under_curve(const std::vector<FrontierPoint>& frontier);
+
+/// 2-D hypervolume: the area dominated by the frontier inside the box
+/// bounded by the reference corner (ref_constraint, ref_energy). The
+/// reference must be weakly worse than every point (it is clamped per
+/// point otherwise). Larger is better; 0 for an empty frontier.
+double hypervolume(const std::vector<FrontierPoint>& frontier, ConstraintAxis axis,
+                   double ref_constraint, double ref_energy);
+
+/// Scalar summary of a sweep, ready for bench tables.
+struct FrontierSummary {
+  std::size_t points = 0;          ///< frontier size
+  double constraint_lo = 0.0;      ///< frontier constraint span
+  double constraint_hi = 0.0;
+  common::OnlineStats energy;      ///< over the frontier points
+  double auc = 0.0;                ///< area_under_curve
+  double hypervolume = 0.0;        ///< against the frontier's worst corner
+};
+
+/// Summarises `result.points`; the hypervolume reference is the frontier's
+/// own worst corner (worst constraint, worst energy), so it measures the
+/// curvature captured between the curve's extremes.
+FrontierSummary summarize(const FrontierResult& result);
+
+}  // namespace easched::frontier

@@ -1,0 +1,173 @@
+#include "frontier/cache.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+
+#include "core/problem.hpp"
+#include "graph/dag.hpp"
+#include "model/reliability.hpp"
+#include "model/speed_model.hpp"
+#include "sched/mapping.hpp"
+
+namespace easched::frontier {
+namespace {
+
+// The fingerprint is built from fixed-width little-endian-independent
+// fields (doubles as IEEE bit patterns, ints as int64), each preceded by a
+// one-byte tag. Tags make the serialisation prefix-free across sections,
+// so two different requests can never concatenate to the same string.
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void append_i64(std::string& out, long long v) {
+  append_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void append_double(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  append_u64(out, bits);
+}
+
+void append_tag(std::string& out, char tag) { out.push_back(tag); }
+
+void append_dag(std::string& out, const graph::Dag& dag) {
+  append_tag(out, 'G');
+  append_i64(out, dag.num_tasks());
+  for (graph::TaskId t = 0; t < dag.num_tasks(); ++t) append_double(out, dag.weight(t));
+  append_tag(out, 'E');
+  append_i64(out, dag.num_edges());
+  for (graph::TaskId t = 0; t < dag.num_tasks(); ++t) {
+    for (graph::TaskId s : dag.successors(t)) {
+      append_i64(out, t);
+      append_i64(out, s);
+    }
+  }
+}
+
+void append_mapping(std::string& out, const sched::Mapping& mapping) {
+  append_tag(out, 'M');
+  append_i64(out, mapping.num_processors());
+  for (int p = 0; p < mapping.num_processors(); ++p) {
+    const auto& order = mapping.order_on(p);
+    append_i64(out, static_cast<long long>(order.size()));
+    for (graph::TaskId t : order) append_i64(out, t);
+  }
+}
+
+void append_speeds(std::string& out, const model::SpeedModel& speeds) {
+  append_tag(out, 'S');
+  append_i64(out, static_cast<long long>(speeds.kind()));
+  append_double(out, speeds.fmin());
+  append_double(out, speeds.fmax());
+  append_double(out, speeds.delta());
+  append_i64(out, speeds.num_levels());
+  for (double level : speeds.levels()) append_double(out, level);
+}
+
+void append_reliability(std::string& out, const model::ReliabilityModel& rel) {
+  append_tag(out, 'R');
+  append_double(out, rel.lambda0());
+  append_double(out, rel.sensitivity());
+  append_double(out, rel.fmin());
+  append_double(out, rel.fmax());
+  append_double(out, rel.frel());
+}
+
+void append_options(std::string& out, const api::SolveOptions& opt) {
+  // deadline_slack is deliberately absent: it is already folded into the
+  // effective deadline, so (D=10, slack=1) and (D=5, slack=2) share a key.
+  append_tag(out, 'O');
+  append_i64(out, opt.approx_K);
+  append_double(out, opt.gap_tolerance);
+  append_i64(out, opt.max_nodes);
+  append_i64(out, opt.dp_buckets);
+  append_i64(out, opt.fork_grid);
+  append_i64(out, opt.polish ? 1 : 0);
+}
+
+}  // namespace
+
+std::string canonical_fingerprint(const api::SolveRequest& request) {
+  std::string out;
+  out.reserve(256);
+  append_tag(out, 'P');
+  append_i64(out, static_cast<long long>(request.kind()));
+  append_dag(out, request.dag());
+  append_mapping(out, request.mapping());
+  append_speeds(out, request.speeds());
+  if (request.kind() == api::ProblemKind::kTriCrit) {
+    append_reliability(out, request.tricrit->reliability);
+  }
+  append_tag(out, 'D');
+  append_double(out, request.deadline());
+  append_tag(out, 'N');
+  append_i64(out, static_cast<long long>(request.solver.size()));
+  out += request.solver;
+  append_options(out, request.options);
+  return out;
+}
+
+SolveCache::SolveCache(std::size_t shards) {
+  std::size_t n = 1;
+  while (n < shards) n <<= 1;
+  mask_ = n - 1;
+  shards_ = std::make_unique<Shard[]>(n);
+}
+
+SolveCache::Shard& SolveCache::shard_for(const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key)&mask_];
+}
+
+common::Result<api::SolveReport> SolveCache::solve(const api::SolveRequest& request,
+                                                   bool* cache_hit) {
+  const std::string key = canonical_fingerprint(request);
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (cache_hit != nullptr) *cache_hit = true;
+      return it->second;
+    }
+  }
+  // Miss: run the solver with no lock held, then store first-write-wins.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (cache_hit != nullptr) *cache_hit = false;
+  common::Result<api::SolveReport> result = api::solve(request);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto [it, inserted] = shard.entries.emplace(key, std::move(result));
+  (void)inserted;  // a racing miss may have stored first; return that entry
+  return it->second;
+}
+
+CacheStats SolveCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.entries = size();
+  return s;
+}
+
+std::size_t SolveCache::size() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i <= mask_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mutex);
+    total += shards_[i].entries.size();
+  }
+  return total;
+}
+
+void SolveCache::clear() {
+  for (std::size_t i = 0; i <= mask_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mutex);
+    shards_[i].entries.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace easched::frontier

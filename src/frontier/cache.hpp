@@ -1,0 +1,89 @@
+#pragma once
+// SolveCache — thread-safe memoization of api::solve.
+//
+// Frontier sweeps, benches and repeat traffic issue many *identical*
+// requests: the same instance, speed model, solver and constraint point.
+// The cache keys each request by a canonical fingerprint of everything the
+// solve outcome depends on — the full problem content (graph weights and
+// edges, mapping orders, speed model, reliability parameters), the
+// *effective* deadline after the slack policy, the solver name, and every
+// SolveOptions knob a solver may read — so a hit is guaranteed to carry
+// the bit-identical result the solver would have recomputed.
+//
+// The fingerprint is an exact serialisation, not just a hash: entries
+// compare on the full key, so hash collisions can never return a wrong
+// result. Storage is sharded; each shard holds its own mutex so parallel
+// sweep workers rarely contend, and solver runs always happen outside any
+// lock. Failures (infeasible point, unsupported instance) are cached too —
+// they are as deterministic as successes and sweeps probe many of them.
+//
+// Caveat: the fingerprint includes the solver *name*, so the cache assumes
+// the registry binding of a name never changes. Call clear() if you
+// replace registry contents mid-process (the built-in registry never does).
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "api/registry.hpp"
+#include "api/solver.hpp"
+#include "common/status.hpp"
+
+namespace easched::frontier {
+
+/// Monotonic counters of cache effectiveness (entries is a snapshot).
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t entries = 0;
+
+  double hit_rate() const noexcept {
+    const std::size_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Exact canonical serialisation of everything `api::solve(request)`
+/// depends on. Two requests share a fingerprint iff a solver cannot tell
+/// them apart (task names are excluded: no algorithm reads them).
+std::string canonical_fingerprint(const api::SolveRequest& request);
+
+class SolveCache {
+ public:
+  /// `shards` is rounded up to a power of two (default suits up to the
+  /// parallel_for thread cap).
+  explicit SolveCache(std::size_t shards = 16);
+
+  SolveCache(const SolveCache&) = delete;
+  SolveCache& operator=(const SolveCache&) = delete;
+
+  /// api::solve through the cache. On a miss the solver runs outside any
+  /// lock and the result is stored first-write-wins (concurrent misses of
+  /// the same key both solve; the stored entry is whichever landed first,
+  /// and all callers return the stored entry). `cache_hit`, when non-null,
+  /// reports whether this call was served from the cache.
+  common::Result<api::SolveReport> solve(const api::SolveRequest& request,
+                                         bool* cache_hit = nullptr);
+
+  CacheStats stats() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, common::Result<api::SolveReport>> entries;
+  };
+
+  Shard& shard_for(const std::string& key) const;
+
+  std::size_t mask_;  ///< shard count - 1 (power of two)
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+};
+
+}  // namespace easched::frontier

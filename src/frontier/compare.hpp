@@ -1,0 +1,75 @@
+#pragma once
+// Multi-solver frontier comparison: sweep N registered solvers over the
+// same instance and report which one dominates where.
+//
+// Heuristics are rarely uniformly best — the paper's own evaluation shows
+// the chain-centric and parallelism-centric TRI-CRIT families winning on
+// different instance classes, and the same holds along the constraint
+// axis: an exact solver may own the tight-deadline knee while a cheap
+// heuristic matches it on the flat tail. The comparison makes that
+// structure explicit as dominance segments: maximal constraint intervals
+// with a single winning solver (lowest interpolated frontier energy).
+
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "frontier/analytics.hpp"
+#include "frontier/frontier.hpp"
+
+namespace easched::frontier {
+
+/// One solver's sweep plus its scalar summary.
+struct SolverFrontier {
+  std::string solver;
+  FrontierResult result;
+  FrontierSummary summary;
+};
+
+/// A maximal constraint interval on which `solver` has the lowest
+/// interpolated frontier energy (ties go to the solver listed first).
+struct DominanceSegment {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::string solver;
+};
+
+struct FrontierComparison {
+  ConstraintAxis axis = ConstraintAxis::kDeadline;
+  std::vector<SolverFrontier> solvers;      ///< in the order requested
+  std::vector<DominanceSegment> segments;   ///< ascending, non-overlapping
+};
+
+/// Sweeps every named solver over deadlines [dmin, dmax] of the same
+/// BI-CRIT instance. Solvers that fail on every point contribute an empty
+/// frontier and never win a segment.
+FrontierComparison compare_deadline(const FrontierEngine& engine,
+                                    const core::BiCritProblem& problem,
+                                    const std::vector<std::string>& solvers,
+                                    double dmin, double dmax,
+                                    const FrontierOptions& options = {});
+
+/// TRI-CRIT deadline-axis comparison at the problem's fixed reliability
+/// threshold.
+FrontierComparison compare_deadline(const FrontierEngine& engine,
+                                    const core::TriCritProblem& problem,
+                                    const std::vector<std::string>& solvers,
+                                    double dmin, double dmax,
+                                    const FrontierOptions& options = {});
+
+/// Sweeps every named solver over reliability thresholds [rmin, rmax] of
+/// the same TRI-CRIT instance.
+FrontierComparison compare_reliability(const FrontierEngine& engine,
+                                       const core::TriCritProblem& problem,
+                                       const std::vector<std::string>& solvers,
+                                       double rmin, double rmax,
+                                       const FrontierOptions& options = {});
+
+/// Interpolated frontier energy of `frontier` (sorted ascending
+/// constraint) at `constraint`: linear between points, extended flat
+/// towards the *loose* side of the axis (a looser constraint can always
+/// reuse the nearest point's solution), +infinity beyond the tight side.
+double frontier_energy_at(const std::vector<FrontierPoint>& frontier,
+                          ConstraintAxis axis, double constraint);
+
+}  // namespace easched::frontier

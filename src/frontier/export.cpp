@@ -1,0 +1,120 @@
+#include "frontier/export.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace easched::frontier {
+namespace {
+
+/// %.17g: enough digits that strtod reconstructs the exact double.
+std::string format_exact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void write_point_json(const FrontierPoint& p, std::ostream& os) {
+  os << "{\"constraint\": " << format_exact(p.constraint)
+     << ", \"energy\": " << format_exact(p.energy)
+     << ", \"makespan\": " << format_exact(p.makespan) << ", \"solver\": \""
+     << json_escape(p.solver) << "\", \"exact\": " << (p.exact ? "true" : "false")
+     << "}";
+}
+
+void write_points_json(const std::vector<FrontierPoint>& points, std::ostream& os) {
+  os << "[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i != 0) os << ", ";
+    write_point_json(points[i], os);
+  }
+  os << "]";
+}
+
+void write_frontier_json_value(const FrontierResult& result, std::ostream& os) {
+  os << "{\"axis\": \"" << to_string(result.axis) << "\""
+     << ", \"evaluated\": " << result.evaluated
+     << ", \"infeasible\": " << result.infeasible
+     << ", \"cache_hits\": " << result.cache_hits
+     << ", \"wall_ms\": " << format_exact(result.wall_ms);
+  if (!result.error.is_ok()) {
+    os << ", \"error\": \"" << json_escape(result.error.to_string()) << "\"";
+  }
+  os << ", \"points\": ";
+  write_points_json(result.points, os);
+  os << ", \"dominated\": ";
+  write_points_json(result.dominated, os);
+  os << "}";
+}
+
+}  // namespace
+
+void write_frontier_csv(const FrontierResult& result, std::ostream& os) {
+  common::Table table({"constraint", "energy", "makespan", "solver", "exact"});
+  for (const auto& p : result.points) {
+    table.add_row({format_exact(p.constraint), format_exact(p.energy),
+                   format_exact(p.makespan), p.solver, p.exact ? "1" : "0"});
+  }
+  table.write_csv(os);
+}
+
+void write_frontier_json(const FrontierResult& result, std::ostream& os) {
+  write_frontier_json_value(result, os);
+  os << "\n";
+}
+
+void write_comparison_csv(const FrontierComparison& comparison, std::ostream& os) {
+  common::Table table({"solver", "constraint", "energy", "makespan", "exact"});
+  for (const auto& sf : comparison.solvers) {
+    for (const auto& p : sf.result.points) {
+      table.add_row({sf.solver, format_exact(p.constraint), format_exact(p.energy),
+                     format_exact(p.makespan), p.exact ? "1" : "0"});
+    }
+  }
+  table.write_csv(os);
+}
+
+void write_comparison_json(const FrontierComparison& comparison, std::ostream& os) {
+  os << "{\"axis\": \"" << to_string(comparison.axis) << "\", \"solvers\": [";
+  for (std::size_t i = 0; i < comparison.solvers.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << "{\"solver\": \"" << json_escape(comparison.solvers[i].solver)
+       << "\", \"frontier\": ";
+    write_frontier_json_value(comparison.solvers[i].result, os);
+    os << "}";
+  }
+  os << "], \"segments\": [";
+  for (std::size_t i = 0; i < comparison.segments.size(); ++i) {
+    if (i != 0) os << ", ";
+    const auto& seg = comparison.segments[i];
+    os << "{\"lo\": " << format_exact(seg.lo) << ", \"hi\": " << format_exact(seg.hi)
+       << ", \"solver\": \"" << json_escape(seg.solver) << "\"}";
+  }
+  os << "]}\n";
+}
+
+std::string frontier_to_csv(const FrontierResult& result) {
+  std::ostringstream os;
+  write_frontier_csv(result, os);
+  return os.str();
+}
+
+std::string frontier_to_json(const FrontierResult& result) {
+  std::ostringstream os;
+  write_frontier_json(result, os);
+  return os.str();
+}
+
+}  // namespace easched::frontier

@@ -1,0 +1,36 @@
+#pragma once
+// Frontier serialisation, graph/io-style: CSV for spreadsheets and
+// plotting scripts, JSON for structured consumers. Numeric fields are
+// written with round-trip precision (%.17g) so exported curves reload
+// bit-identically — the same guarantee the SolveCache gives in-process.
+
+#include <iosfwd>
+#include <string>
+
+#include "frontier/compare.hpp"
+#include "frontier/frontier.hpp"
+
+namespace easched::frontier {
+
+/// CSV with header `constraint,energy,makespan,solver,exact` — one row per
+/// frontier point, ascending constraint.
+void write_frontier_csv(const FrontierResult& result, std::ostream& os);
+
+/// JSON object: axis, telemetry (evaluated / infeasible / cache_hits /
+/// wall_ms), and the `points` and `dominated` arrays.
+void write_frontier_json(const FrontierResult& result, std::ostream& os);
+
+/// Long-format CSV of a multi-solver comparison: header
+/// `solver,constraint,energy,makespan,exact`, grouped by solver in the
+/// order swept. Dominance segments live in the struct, not the CSV.
+void write_comparison_csv(const FrontierComparison& comparison, std::ostream& os);
+
+/// JSON object: axis, per-solver frontiers (each the write_frontier_json
+/// shape), and the dominance `segments` array.
+void write_comparison_json(const FrontierComparison& comparison, std::ostream& os);
+
+/// String convenience wrappers (round-trip tests, CLI capture).
+std::string frontier_to_csv(const FrontierResult& result);
+std::string frontier_to_json(const FrontierResult& result);
+
+}  // namespace easched::frontier

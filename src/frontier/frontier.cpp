@@ -1,0 +1,248 @@
+#include "frontier/frontier.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <map>
+
+#include "api/registry.hpp"
+#include "common/parallel.hpp"
+#include "frontier/analytics.hpp"
+
+namespace easched::frontier {
+namespace {
+
+/// Evaluates one constraint point; fills *cache_hit when served warm.
+using EvalFn = std::function<common::Result<api::SolveReport>(double, bool*)>;
+
+struct Eval {
+  bool feasible = false;
+  bool cache_hit = false;
+  FrontierPoint point;  ///< valid when feasible
+  common::Status status = common::Status::ok();
+};
+
+/// Statuses that legitimately vary per constraint point. Anything else
+/// (unknown solver, invalid options, internal errors) would fail the
+/// same way at every point and must abort the sweep instead.
+bool point_level_failure(const common::Status& status) {
+  switch (status.code()) {
+    case common::StatusCode::kInfeasible:
+    case common::StatusCode::kUnsupported:
+    case common::StatusCode::kNotConverged:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Shared sweep driver: uniform grid, then bisection rounds. All decisions
+/// (which intervals to split, in which order) derive from the solved
+/// energies and the total order on constraints, never from timing or
+/// thread interleaving — so the evaluated set is deterministic.
+FrontierResult run_sweep(ConstraintAxis axis, double lo, double hi,
+                         const FrontierOptions& options, const EvalFn& eval_at) {
+  const auto start = std::chrono::steady_clock::now();
+  EASCHED_CHECK_MSG(lo > 0.0 && lo <= hi, "frontier sweep needs 0 < lo <= hi");
+
+  FrontierResult result;
+  result.axis = axis;
+
+  const int initial = std::max(1, options.initial_points);
+  const int max_points = std::max(initial, options.max_points);
+  const double span = hi - lo;
+  const double min_gap = span * std::max(options.min_rel_spacing, 0.0);
+
+  std::map<double, Eval> evaluated;  // keyed by constraint, ascending
+  std::atomic<std::size_t> cache_hits{0};
+
+  auto evaluate_batch = [&](const std::vector<double>& constraints) {
+    std::vector<Eval> evals(constraints.size());
+    common::parallel_for(
+        constraints.size(),
+        [&](std::size_t i) {
+          Eval e;
+          auto r = eval_at(constraints[i], &e.cache_hit);
+          if (r.is_ok()) {
+            e.feasible = true;
+            e.point.constraint = constraints[i];
+            e.point.energy = r.value().energy;
+            e.point.makespan = r.value().makespan;
+            e.point.solver = r.value().solver;
+            e.point.exact = r.value().exact;
+          } else {
+            e.status = r.status();
+          }
+          if (e.cache_hit) cache_hits.fetch_add(1, std::memory_order_relaxed);
+          evals[i] = std::move(e);
+        },
+        options.threads);
+    for (std::size_t i = 0; i < constraints.size(); ++i) {
+      evaluated.emplace(constraints[i], std::move(evals[i]));
+    }
+  };
+
+  std::vector<double> grid;
+  if (span == 0.0 || initial == 1) {
+    grid.push_back(lo);
+  } else {
+    for (int i = 0; i < initial; ++i) {
+      // Pin the last point to `hi` exactly: lo + span * 1.0 can land one
+      // ulp outside the range and fail the callers' bound checks.
+      grid.push_back(i == initial - 1 ? hi
+                                      : lo + span * static_cast<double>(i) / (initial - 1));
+    }
+  }
+  evaluate_batch(grid);
+
+  // Deterministic: the scan runs in constraint order, not solve order.
+  auto request_level_error = [&]() -> common::Status {
+    for (const auto& [c, e] : evaluated) {
+      if (!e.feasible && !e.status.is_ok() && !point_level_failure(e.status)) {
+        return e.status;
+      }
+    }
+    return common::Status::ok();
+  };
+
+  result.error = request_level_error();
+  for (int round = 0; result.error.is_ok() && round < options.max_refine_rounds;
+       ++round) {
+    const int budget = max_points - static_cast<int>(evaluated.size());
+    if (budget <= 0) break;
+
+    std::vector<std::pair<double, const Eval*>> all(evaluated.size());
+    std::size_t idx = 0;
+    for (const auto& [c, e] : evaluated) all[idx++] = {c, &e};
+
+    // Candidate midpoints, scored by how much the curve bends there; the
+    // feasibility boundary always refines first (the knee lives there).
+    std::vector<std::pair<double, double>> candidates;  // (score, midpoint)
+    auto propose = [&](double a, double b, double score) {
+      if (b - a <= 2.0 * min_gap) return;
+      const double mid = 0.5 * (a + b);
+      if (evaluated.count(mid) != 0) return;
+      candidates.emplace_back(score, mid);
+    };
+    for (std::size_t i = 0; i + 1 < all.size(); ++i) {
+      if (all[i].second->feasible != all[i + 1].second->feasible) {
+        propose(all[i].first, all[i + 1].first,
+                std::numeric_limits<double>::infinity());
+      }
+    }
+    std::vector<const Eval*> feasible;
+    double e_min = std::numeric_limits<double>::infinity();
+    double e_max = -std::numeric_limits<double>::infinity();
+    for (const auto& [c, e] : all) {
+      if (!e->feasible) continue;
+      feasible.push_back(e);
+      e_min = std::min(e_min, e->point.energy);
+      e_max = std::max(e_max, e->point.energy);
+    }
+    const double e_range = e_max - e_min;
+    if (e_range > 0.0) {
+      for (std::size_t i = 1; i + 1 < feasible.size(); ++i) {
+        const FrontierPoint& a = feasible[i - 1]->point;
+        const FrontierPoint& b = feasible[i]->point;
+        const FrontierPoint& c = feasible[i + 1]->point;
+        const double t = (b.constraint - a.constraint) / (c.constraint - a.constraint);
+        const double chord = a.energy + t * (c.energy - a.energy);
+        const double deviation = std::abs(b.energy - chord) / e_range;
+        if (deviation > options.bend_tolerance) {
+          propose(a.constraint, b.constraint, deviation);
+          propose(b.constraint, c.constraint, deviation);
+        }
+      }
+    }
+    if (candidates.empty()) break;
+
+    std::sort(candidates.begin(), candidates.end(),
+              [](const std::pair<double, double>& x, const std::pair<double, double>& y) {
+                if (x.first != y.first) return x.first > y.first;
+                return x.second < y.second;
+              });
+    std::vector<double> batch;
+    for (const auto& [score, mid] : candidates) {
+      if (static_cast<int>(batch.size()) >= budget) break;
+      if (std::find(batch.begin(), batch.end(), mid) == batch.end()) {
+        batch.push_back(mid);
+      }
+    }
+    if (batch.empty()) break;
+    evaluate_batch(batch);
+    result.error = request_level_error();
+  }
+
+  std::vector<FrontierPoint> feasible_points;
+  for (auto& [c, e] : evaluated) {
+    if (e.feasible) {
+      feasible_points.push_back(std::move(e.point));
+    } else if (point_level_failure(e.status)) {
+      ++result.infeasible;
+    }
+  }
+  result.evaluated = evaluated.size();
+  result.cache_hits = cache_hits.load(std::memory_order_relaxed);
+  result.points = pareto_filter(std::move(feasible_points), axis, &result.dominated);
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+}  // namespace
+
+FrontierResult FrontierEngine::deadline_sweep(const core::BiCritProblem& problem,
+                                              double dmin, double dmax,
+                                              const FrontierOptions& options) const {
+  EASCHED_CHECK_MSG(problem.deadline > 0.0,
+                    "deadline_sweep needs a positive anchor deadline");
+  return run_sweep(ConstraintAxis::kDeadline, dmin, dmax, options,
+                   [&](double deadline, bool* cache_hit) {
+                     // The slack policy retargets the fixed problem to the
+                     // swept deadline without rebuilding the instance.
+                     api::SolveOptions solve_options = options.solve;
+                     solve_options.deadline_slack = deadline / problem.deadline;
+                     api::SolveRequest request(problem, options.solver, solve_options);
+                     return cache_ != nullptr ? cache_->solve(request, cache_hit)
+                                              : api::solve(request);
+                   });
+}
+
+FrontierResult FrontierEngine::deadline_sweep(const core::TriCritProblem& problem,
+                                              double dmin, double dmax,
+                                              const FrontierOptions& options) const {
+  EASCHED_CHECK_MSG(problem.deadline > 0.0,
+                    "deadline_sweep needs a positive anchor deadline");
+  return run_sweep(ConstraintAxis::kDeadline, dmin, dmax, options,
+                   [&](double deadline, bool* cache_hit) {
+                     api::SolveOptions solve_options = options.solve;
+                     solve_options.deadline_slack = deadline / problem.deadline;
+                     api::SolveRequest request(problem, options.solver, solve_options);
+                     return cache_ != nullptr ? cache_->solve(request, cache_hit)
+                                              : api::solve(request);
+                   });
+}
+
+FrontierResult FrontierEngine::reliability_sweep(const core::TriCritProblem& problem,
+                                                 double rmin, double rmax,
+                                                 const FrontierOptions& options) const {
+  const model::ReliabilityModel& base = problem.reliability;
+  EASCHED_CHECK_MSG(rmin >= base.fmin() && rmax <= base.fmax(),
+                    "reliability sweep range must lie within [fmin, fmax]");
+  return run_sweep(ConstraintAxis::kReliability, rmin, rmax, options,
+                   [&](double frel, bool* cache_hit) {
+                     model::ReliabilityModel rel(base.lambda0(), base.sensitivity(),
+                                                 base.fmin(), base.fmax(), frel);
+                     core::TriCritProblem swept(problem.dag, problem.mapping,
+                                                problem.speeds, rel, problem.deadline);
+                     api::SolveRequest request(swept, options.solver, options.solve);
+                     return cache_ != nullptr ? cache_->solve(request, cache_hit)
+                                              : api::solve(request);
+                   });
+}
+
+}  // namespace easched::frontier

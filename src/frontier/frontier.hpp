@@ -1,0 +1,119 @@
+#pragma once
+// FrontierEngine — adaptive Pareto trade-off sweeps over the solver API.
+//
+// The paper's contribution is the *trade-off* between energy and the
+// deadline / reliability constraints; a single api::solve only answers one
+// point of it. The engine sweeps a constraint axis and returns the Pareto
+// frontier of (constraint, energy) points:
+//
+//  * BI-CRIT:  energy vs deadline   (deadline_sweep; lower deadline and
+//              lower energy are both better),
+//  * TRI-CRIT: energy vs the reliability threshold speed frel
+//              (reliability_sweep; higher frel and lower energy are both
+//              better).
+//
+// Sweeps start from a uniform grid and refine by recursive bisection where
+// the curve bends (large deviation of a point from the chord of its
+// neighbours) and across the feasibility boundary, so the point budget
+// concentrates at the knee instead of the flat tail. Each evaluation round
+// fans out via common::parallel_for; refinement decisions depend only on
+// solved energies, so the returned points are bit-identical for every
+// thread count, and — through the optional SolveCache — for warm re-runs.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "api/solver.hpp"
+#include "core/problem.hpp"
+#include "frontier/cache.hpp"
+
+namespace easched::frontier {
+
+/// Which constraint the sweep varies, and hence the dominance sense:
+/// kDeadline minimises the constraint, kReliability maximises it; energy
+/// is always minimised.
+enum class ConstraintAxis { kDeadline, kReliability };
+
+constexpr const char* to_string(ConstraintAxis axis) noexcept {
+  switch (axis) {
+    case ConstraintAxis::kDeadline: return "deadline";
+    case ConstraintAxis::kReliability: return "reliability";
+  }
+  return "unknown";
+}
+
+/// One solved trade-off point.
+struct FrontierPoint {
+  double constraint = 0.0;  ///< deadline or frel, per the sweep axis
+  double energy = 0.0;
+  double makespan = 0.0;
+  std::string solver;  ///< concrete solver that produced the point
+  bool exact = false;  ///< solver certified the point optimal
+};
+
+struct FrontierOptions {
+  int initial_points = 9;        ///< uniform grid size (>= 1)
+  int max_points = 33;           ///< total evaluation budget (>= initial)
+  int max_refine_rounds = 8;     ///< bisection rounds after the grid
+  double bend_tolerance = 0.02;  ///< relative chord deviation that triggers
+                                 ///< refinement of the surrounding intervals
+  double min_rel_spacing = 1e-3; ///< intervals narrower than this fraction
+                                 ///< of the sweep span are never split
+  std::string solver;            ///< registry name; empty = auto-select per point
+  api::SolveOptions solve;       ///< forwarded to every solve (deadline_slack is
+                                 ///< overridden by deadline_sweep)
+  std::size_t threads = 0;       ///< parallel_for workers; 0 = default
+};
+
+struct FrontierResult {
+  ConstraintAxis axis = ConstraintAxis::kDeadline;
+  /// The Pareto frontier: ascending constraint, every point non-dominated.
+  std::vector<FrontierPoint> points;
+  /// Feasible points that were dominated (heuristic wobble, duplicates).
+  std::vector<FrontierPoint> dominated;
+  std::size_t evaluated = 0;   ///< solve attempts (feasible + infeasible)
+  std::size_t infeasible = 0;  ///< constraint points no solver could meet
+  std::size_t cache_hits = 0;  ///< evaluations served by the SolveCache
+  double wall_ms = 0.0;
+  /// First *request-level* failure (unknown solver name, invalid options,
+  /// internal error): such a status would repeat at every constraint
+  /// point, so the sweep stops refining and surfaces it here instead of
+  /// miscounting it as infeasibility. Point-level statuses (infeasible,
+  /// unsupported instance, no convergence) stay in `infeasible`.
+  common::Status error = common::Status::ok();
+};
+
+class FrontierEngine {
+ public:
+  /// `cache` (optional, not owned) memoizes every evaluation; share one
+  /// cache across sweeps to make repeat traffic hit instead of re-solve.
+  explicit FrontierEngine(SolveCache* cache = nullptr) : cache_(cache) {}
+
+  SolveCache* cache() const noexcept { return cache_; }
+
+  /// BI-CRIT energy-vs-deadline frontier over deadlines [dmin, dmax].
+  /// The problem's own deadline only anchors the slack policy; every
+  /// evaluation solves at the swept deadline. Requires 0 < dmin <= dmax
+  /// and problem.deadline > 0.
+  FrontierResult deadline_sweep(const core::BiCritProblem& problem, double dmin,
+                                double dmax, const FrontierOptions& options = {}) const;
+
+  /// TRI-CRIT energy-vs-deadline frontier at the problem's fixed
+  /// reliability threshold (same axis and dominance sense as the BI-CRIT
+  /// overload; re-execution decisions vary along the curve).
+  FrontierResult deadline_sweep(const core::TriCritProblem& problem, double dmin,
+                                double dmax, const FrontierOptions& options = {}) const;
+
+  /// TRI-CRIT energy-vs-reliability frontier over threshold speeds
+  /// [rmin, rmax] (within the reliability model's [fmin, fmax]); the
+  /// deadline stays fixed at the problem's.
+  FrontierResult reliability_sweep(const core::TriCritProblem& problem, double rmin,
+                                   double rmax,
+                                   const FrontierOptions& options = {}) const;
+
+ private:
+  SolveCache* cache_;
+};
+
+}  // namespace easched::frontier

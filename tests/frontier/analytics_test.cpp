@@ -1,0 +1,195 @@
+// Frontier analytics, export and comparison on hand-built curves, where
+// every dominance relation, area and segment is checkable on paper.
+
+#include "frontier/analytics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "frontier/compare.hpp"
+#include "frontier/export.hpp"
+
+namespace easched::frontier {
+namespace {
+
+FrontierPoint point(double constraint, double energy) {
+  FrontierPoint p;
+  p.constraint = constraint;
+  p.energy = energy;
+  p.solver = "test";
+  return p;
+}
+
+TEST(Dominates, DeadlineAxisMinimisesBoth) {
+  const auto a = point(1.0, 5.0);
+  EXPECT_TRUE(dominates(a, point(2.0, 5.0), ConstraintAxis::kDeadline));
+  EXPECT_TRUE(dominates(a, point(1.0, 6.0), ConstraintAxis::kDeadline));
+  EXPECT_TRUE(dominates(a, point(2.0, 6.0), ConstraintAxis::kDeadline));
+  EXPECT_FALSE(dominates(a, point(1.0, 5.0), ConstraintAxis::kDeadline));
+  EXPECT_FALSE(dominates(a, point(0.5, 6.0), ConstraintAxis::kDeadline));
+  EXPECT_FALSE(dominates(a, point(2.0, 4.0), ConstraintAxis::kDeadline));
+}
+
+TEST(Dominates, ReliabilityAxisMaximisesTheConstraint) {
+  const auto a = point(0.8, 5.0);
+  EXPECT_TRUE(dominates(a, point(0.7, 5.0), ConstraintAxis::kReliability));
+  EXPECT_TRUE(dominates(a, point(0.8, 6.0), ConstraintAxis::kReliability));
+  EXPECT_FALSE(dominates(a, point(0.9, 6.0), ConstraintAxis::kReliability));
+  EXPECT_FALSE(dominates(a, point(0.7, 4.0), ConstraintAxis::kReliability));
+}
+
+TEST(ParetoFilter, KeepsOnlyTheNonDominatedStaircase) {
+  std::vector<FrontierPoint> dominated;
+  const auto frontier = pareto_filter(
+      {point(3.0, 2.0), point(1.0, 9.0), point(2.0, 4.0), point(2.5, 4.5),
+       point(2.0, 4.0), point(4.0, 2.0)},
+      ConstraintAxis::kDeadline, &dominated);
+  ASSERT_EQ(frontier.size(), 3u);
+  EXPECT_EQ(frontier[0].constraint, 1.0);
+  EXPECT_EQ(frontier[1].constraint, 2.0);
+  EXPECT_EQ(frontier[2].constraint, 3.0);
+  // (2.5, 4.5) dominated by (2, 4); the duplicate (2, 4) collapses;
+  // (4, 2) dominated by (3, 2).
+  EXPECT_EQ(dominated.size(), 3u);
+  for (std::size_t i = 0; i + 1 < frontier.size(); ++i) {
+    EXPECT_LT(frontier[i].constraint, frontier[i + 1].constraint);
+    EXPECT_GT(frontier[i].energy, frontier[i + 1].energy);
+  }
+}
+
+TEST(ParetoFilter, ReliabilitySenseKeepsHighConstraintLowEnergy) {
+  const auto frontier =
+      pareto_filter({point(0.5, 2.0), point(0.7, 3.0), point(0.6, 3.5),
+                     point(0.9, 3.0), point(0.8, 5.0)},
+                    ConstraintAxis::kReliability);
+  // (0.6, 3.5) is dominated by (0.7, 3); (0.8, 5) by (0.9, 3);
+  // (0.7, 3) by (0.9, 3).
+  ASSERT_EQ(frontier.size(), 2u);
+  EXPECT_EQ(frontier[0].constraint, 0.5);
+  EXPECT_EQ(frontier[1].constraint, 0.9);
+  EXPECT_LT(frontier[0].energy, frontier[1].energy);
+}
+
+TEST(AreaUnderCurve, TrapezoidRule) {
+  EXPECT_EQ(area_under_curve({}), 0.0);
+  EXPECT_EQ(area_under_curve({point(1.0, 4.0)}), 0.0);
+  // (1,4)-(2,2): 3; (2,2)-(4,1): 3.
+  EXPECT_DOUBLE_EQ(area_under_curve({point(1.0, 4.0), point(2.0, 2.0), point(4.0, 1.0)}),
+                   6.0);
+}
+
+TEST(Hypervolume, StaircaseAreaAgainstTheReference) {
+  // Frontier (1,4),(2,2),(4,1); reference corner (5,5).
+  // [1,2)x[4,5] = 1; [2,4)x[2,5] = 6; [4,5]x[1,5] = 4.
+  const std::vector<FrontierPoint> frontier{point(1.0, 4.0), point(2.0, 2.0),
+                                            point(4.0, 1.0)};
+  EXPECT_DOUBLE_EQ(hypervolume(frontier, ConstraintAxis::kDeadline, 5.0, 5.0), 11.0);
+  // Points beyond the reference contribute nothing.
+  EXPECT_DOUBLE_EQ(hypervolume(frontier, ConstraintAxis::kDeadline, 2.0, 5.0), 1.0);
+  EXPECT_EQ(hypervolume({}, ConstraintAxis::kDeadline, 5.0, 5.0), 0.0);
+
+  // Reliability axis mirrors the constraint: frontier (0.6,1),(0.8,2),
+  // reference (0.5, 3): [0.8..0.6]x[2,3] -> 0.2*1; [0.6..0.5]x[1,3] -> 0.1*2.
+  const std::vector<FrontierPoint> rel{point(0.6, 1.0), point(0.8, 2.0)};
+  EXPECT_NEAR(hypervolume(rel, ConstraintAxis::kReliability, 0.5, 3.0), 0.4, 1e-12);
+}
+
+TEST(Summarize, ReportsSpanAucAndHypervolume) {
+  FrontierResult result;
+  result.axis = ConstraintAxis::kDeadline;
+  result.points = {point(1.0, 4.0), point(2.0, 2.0), point(4.0, 1.0)};
+  const auto s = summarize(result);
+  EXPECT_EQ(s.points, 3u);
+  EXPECT_EQ(s.constraint_lo, 1.0);
+  EXPECT_EQ(s.constraint_hi, 4.0);
+  EXPECT_EQ(s.energy.min(), 1.0);
+  EXPECT_EQ(s.energy.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.auc, 6.0);
+  // Worst corner (4,4): [1,2)x[4,4] = 0 height... [1,2) gives 4-4=0? No:
+  // best energy at [1,2) is 4 -> height 0; [2,4) height 2 -> 4; tail width 0.
+  EXPECT_DOUBLE_EQ(s.hypervolume, 4.0);
+  EXPECT_EQ(summarize(FrontierResult{}).points, 0u);
+}
+
+TEST(FrontierEnergyAt, InterpolatesAndExtendsTowardsTheLooseSide) {
+  const std::vector<FrontierPoint> frontier{point(2.0, 8.0), point(4.0, 4.0),
+                                            point(8.0, 2.0)};
+  // Exact hits and interior interpolation.
+  EXPECT_DOUBLE_EQ(frontier_energy_at(frontier, ConstraintAxis::kDeadline, 4.0), 4.0);
+  EXPECT_DOUBLE_EQ(frontier_energy_at(frontier, ConstraintAxis::kDeadline, 3.0), 6.0);
+  EXPECT_DOUBLE_EQ(frontier_energy_at(frontier, ConstraintAxis::kDeadline, 6.0), 3.0);
+  // Tighter than the sweep: unknown, +inf. Looser: flat extension.
+  EXPECT_TRUE(std::isinf(frontier_energy_at(frontier, ConstraintAxis::kDeadline, 1.0)));
+  EXPECT_DOUBLE_EQ(frontier_energy_at(frontier, ConstraintAxis::kDeadline, 10.0), 2.0);
+  // The reliability axis is mirrored: high frel is the tight side.
+  EXPECT_TRUE(
+      std::isinf(frontier_energy_at(frontier, ConstraintAxis::kReliability, 10.0)));
+  EXPECT_DOUBLE_EQ(frontier_energy_at(frontier, ConstraintAxis::kReliability, 1.0), 8.0);
+  EXPECT_TRUE(std::isinf(frontier_energy_at({}, ConstraintAxis::kDeadline, 1.0)));
+}
+
+TEST(Export, CsvRoundTripsExactDoubles) {
+  FrontierResult result;
+  result.axis = ConstraintAxis::kDeadline;
+  result.points = {point(1.0 / 3.0, 2.0 / 7.0), point(0.5, 0.25)};
+  result.points[0].makespan = 1.0 / 3.0;
+  result.points[0].exact = true;
+
+  const std::string csv = frontier_to_csv(result);
+  std::istringstream lines(csv);
+  std::string header, row;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_EQ(header, "constraint,energy,makespan,solver,exact");
+  ASSERT_TRUE(std::getline(lines, row));
+  std::istringstream cells(row);
+  std::string c, e;
+  std::getline(cells, c, ',');
+  std::getline(cells, e, ',');
+  EXPECT_EQ(std::stod(c), 1.0 / 3.0) << "%.17g must round-trip the double exactly";
+  EXPECT_EQ(std::stod(e), 2.0 / 7.0);
+  ASSERT_TRUE(std::getline(lines, row));
+  EXPECT_FALSE(std::getline(lines, row)) << "one row per point";
+}
+
+TEST(Export, JsonCarriesAxisTelemetryAndPoints) {
+  FrontierResult result;
+  result.axis = ConstraintAxis::kReliability;
+  result.points = {point(0.5, 2.0)};
+  result.evaluated = 7;
+  result.infeasible = 2;
+  result.cache_hits = 3;
+  const std::string json = frontier_to_json(result);
+  EXPECT_NE(json.find("\"axis\": \"reliability\""), std::string::npos);
+  EXPECT_NE(json.find("\"evaluated\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"infeasible\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hits\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"solver\": \"test\""), std::string::npos);
+  EXPECT_NE(json.find("\"points\": [{"), std::string::npos);
+  EXPECT_NE(json.find("\"dominated\": []"), std::string::npos);
+}
+
+TEST(Comparison, SegmentsPickThePointwiseWinner) {
+  // Hand-build two frontiers: A wins on tight deadlines, B on loose ones.
+  SolverFrontier a;
+  a.solver = "A";
+  a.result.axis = ConstraintAxis::kDeadline;
+  a.result.points = {point(1.0, 10.0), point(2.0, 6.0), point(4.0, 5.0)};
+  SolverFrontier b;
+  b.solver = "B";
+  b.result.axis = ConstraintAxis::kDeadline;
+  b.result.points = {point(2.0, 8.0), point(4.0, 2.0)};
+
+  // Mimic build_comparison through the public entry: evaluate both at the
+  // union {1, 2, 4}. A: 10, 6, 5. B: inf, 8, 2. Winners: A, A, B.
+  EXPECT_DOUBLE_EQ(frontier_energy_at(a.result.points, ConstraintAxis::kDeadline, 2.0),
+                   6.0);
+  EXPECT_TRUE(std::isinf(
+      frontier_energy_at(b.result.points, ConstraintAxis::kDeadline, 1.0)));
+  EXPECT_DOUBLE_EQ(frontier_energy_at(b.result.points, ConstraintAxis::kDeadline, 4.0),
+                   2.0);
+}
+
+}  // namespace
+}  // namespace easched::frontier

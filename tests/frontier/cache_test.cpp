@@ -1,0 +1,193 @@
+// SolveCache acceptance: the canonical fingerprint separates exactly the
+// requests a solver could tell apart, hits return the stored report
+// unchanged, failures are memoized like successes, and a hammered cache
+// stays consistent under the thread pool.
+
+#include "frontier/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hpp"
+#include "core/problem.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace easched::frontier {
+namespace {
+
+graph::Dag diamond_dag() {
+  graph::Dag dag;
+  const auto a = dag.add_task(2.0, "a");
+  const auto b = dag.add_task(3.0, "b");
+  const auto c = dag.add_task(5.0, "c");
+  const auto d = dag.add_task(1.5, "d");
+  dag.add_edge(a, b);
+  dag.add_edge(a, c);
+  dag.add_edge(b, d);
+  dag.add_edge(c, d);
+  return dag;
+}
+
+core::BiCritProblem diamond_problem(double deadline,
+                                    model::SpeedModel speeds =
+                                        model::SpeedModel::continuous(0.2, 1.0)) {
+  const auto dag = diamond_dag();
+  const auto mapping =
+      sched::list_schedule(dag, 2, sched::PriorityPolicy::kCriticalPath);
+  return core::BiCritProblem(dag, mapping, std::move(speeds), deadline);
+}
+
+TEST(CanonicalFingerprint, EqualRequestsShareAKey) {
+  const auto p1 = diamond_problem(12.0);
+  const auto p2 = diamond_problem(12.0);
+  EXPECT_EQ(canonical_fingerprint(api::SolveRequest(p1)),
+            canonical_fingerprint(api::SolveRequest(p2)));
+}
+
+TEST(CanonicalFingerprint, SlackFoldsIntoTheEffectiveDeadline) {
+  const auto p1 = diamond_problem(12.0);
+  const auto p2 = diamond_problem(6.0);
+  api::SolveOptions doubled;
+  doubled.deadline_slack = 2.0;
+  // 6 * 2 == 12 * 1 exactly in binary, so the keys must collide (that is
+  // the point: sweeps retarget deadlines through the slack policy).
+  EXPECT_EQ(canonical_fingerprint(api::SolveRequest(p1)),
+            canonical_fingerprint(api::SolveRequest(p2, "", doubled)));
+}
+
+TEST(CanonicalFingerprint, SeparatesEverySolveRelevantField) {
+  const auto base = diamond_problem(12.0);
+  const std::string key = canonical_fingerprint(api::SolveRequest(base));
+
+  EXPECT_NE(key, canonical_fingerprint(api::SolveRequest(diamond_problem(12.5))));
+  EXPECT_NE(key, canonical_fingerprint(api::SolveRequest(
+                     diamond_problem(12.0, model::SpeedModel::continuous(0.1, 1.0)))));
+  EXPECT_NE(key, canonical_fingerprint(api::SolveRequest(
+                     diamond_problem(12.0, model::SpeedModel::discrete({0.2, 1.0})))));
+  EXPECT_NE(key, canonical_fingerprint(api::SolveRequest(base, "continuous-ipm")));
+
+  api::SolveOptions options;
+  options.approx_K = 11;
+  EXPECT_NE(key, canonical_fingerprint(api::SolveRequest(base, "", options)));
+
+  auto heavier = diamond_problem(12.0);
+  heavier.dag.set_weight(0, 2.5);
+  EXPECT_NE(key, canonical_fingerprint(api::SolveRequest(heavier)));
+
+  // Task names are cosmetic: no algorithm reads them.
+  auto renamed = diamond_problem(12.0);
+  renamed.dag.set_name(0, "renamed");
+  EXPECT_EQ(key, canonical_fingerprint(api::SolveRequest(renamed)));
+}
+
+TEST(CanonicalFingerprint, TriCritIncludesReliability) {
+  const auto dag = diamond_dag();
+  const auto mapping =
+      sched::list_schedule(dag, 2, sched::PriorityPolicy::kCriticalPath);
+  const auto speeds = model::SpeedModel::continuous(0.2, 1.0);
+  const core::TriCritProblem p1(dag, mapping, speeds,
+                                model::default_reliability(0.2, 1.0, 0.8), 20.0);
+  const core::TriCritProblem p2(dag, mapping, speeds,
+                                model::default_reliability(0.2, 1.0, 0.7), 20.0);
+  EXPECT_NE(canonical_fingerprint(api::SolveRequest(p1)),
+            canonical_fingerprint(api::SolveRequest(p2)));
+}
+
+TEST(SolveCache, HitReturnsTheStoredReport) {
+  const auto problem = diamond_problem(14.0);
+  SolveCache cache;
+
+  bool hit = true;
+  const auto cold = cache.solve(api::SolveRequest(problem), &hit);
+  ASSERT_TRUE(cold.is_ok());
+  EXPECT_FALSE(hit);
+
+  const auto warm = cache.solve(api::SolveRequest(problem), &hit);
+  ASSERT_TRUE(warm.is_ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(cold.value().energy, warm.value().energy);
+  EXPECT_EQ(cold.value().makespan, warm.value().makespan);
+  EXPECT_EQ(cold.value().solver, warm.value().solver);
+  EXPECT_EQ(cold.value().wall_ms, warm.value().wall_ms)
+      << "a hit must return the stored report, not re-time a solve";
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(SolveCache, FailuresAreMemoizedToo) {
+  // Deadline below the all-fmax critical path: every solver refuses.
+  const auto problem = diamond_problem(0.5);
+  SolveCache cache;
+
+  bool hit = true;
+  const auto cold = cache.solve(api::SolveRequest(problem), &hit);
+  EXPECT_FALSE(cold.is_ok());
+  EXPECT_FALSE(hit);
+
+  const auto warm = cache.solve(api::SolveRequest(problem), &hit);
+  EXPECT_FALSE(warm.is_ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(cold.status().code(), warm.status().code());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SolveCache, ClearForgetsEntriesAndCounters) {
+  const auto problem = diamond_problem(14.0);
+  SolveCache cache;
+  (void)cache.solve(api::SolveRequest(problem));
+  (void)cache.solve(api::SolveRequest(problem));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+
+  bool hit = true;
+  (void)cache.solve(api::SolveRequest(problem), &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST(SolveCache, ConcurrentMixedWorkloadStaysConsistent) {
+  // 64 workers hammer 8 distinct requests; every result must equal the
+  // uncached reference and the books must balance. Run under
+  // check.sh --sanitize this doubles as the data-race check.
+  std::vector<core::BiCritProblem> problems;
+  problems.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    problems.push_back(diamond_problem(10.0 + i));
+  }
+  std::vector<double> reference;
+  reference.reserve(problems.size());
+  for (const auto& p : problems) {
+    const auto r = api::solve(api::SolveRequest(p));
+    ASSERT_TRUE(r.is_ok());
+    reference.push_back(r.value().energy);
+  }
+
+  SolveCache cache(4);
+  const std::size_t kCalls = 64;
+  std::vector<double> energies(kCalls, -1.0);
+  common::parallel_for(
+      kCalls,
+      [&](std::size_t i) {
+        const auto& p = problems[i % problems.size()];
+        const auto r = cache.solve(api::SolveRequest(p));
+        ASSERT_TRUE(r.is_ok());
+        energies[i] = r.value().energy;
+      },
+      /*threads=*/8);
+
+  for (std::size_t i = 0; i < kCalls; ++i) {
+    EXPECT_EQ(energies[i], reference[i % problems.size()]) << i;
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kCalls);
+  EXPECT_EQ(stats.entries, problems.size());
+  EXPECT_GE(stats.misses, problems.size())
+      << "every distinct request misses at least once";
+}
+
+}  // namespace
+}  // namespace easched::frontier

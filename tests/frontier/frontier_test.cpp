@@ -1,0 +1,255 @@
+// FrontierEngine invariants — the ISSUE's property suite:
+//  * every returned point is non-dominated (pairwise, under the axis'
+//    dominance sense),
+//  * the frontier is monotone along the constraint axis (energy strictly
+//    decreasing in the deadline, strictly increasing in frel),
+//  * cached (warm) and cold sweeps return bit-identical points, as do
+//    sweeps at different thread counts.
+
+#include "frontier/frontier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/corpus.hpp"
+#include "frontier/analytics.hpp"
+
+namespace easched::frontier {
+namespace {
+
+std::vector<core::Instance> small_corpus() {
+  common::Rng rng(77);
+  core::CorpusOptions options;
+  options.tasks = 8;
+  options.processors = 3;
+  options.instances_per_family = 1;
+  return core::standard_corpus(rng, options);
+}
+
+double fmax_deadline(const core::Instance& inst, double fmax) {
+  return core::deadline_with_slack(inst, fmax, 1.0);
+}
+
+void expect_frontier_invariants(const FrontierResult& result, double lo, double hi) {
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    const auto& p = result.points[i];
+    EXPECT_GE(p.constraint, lo);
+    EXPECT_LE(p.constraint, hi);
+    EXPECT_GT(p.energy, 0.0);
+    for (std::size_t j = 0; j < result.points.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(dominates(result.points[j], p, result.axis))
+          << "point " << j << " dominates point " << i;
+    }
+  }
+  for (std::size_t i = 0; i + 1 < result.points.size(); ++i) {
+    EXPECT_LT(result.points[i].constraint, result.points[i + 1].constraint);
+    if (result.axis == ConstraintAxis::kDeadline) {
+      EXPECT_GT(result.points[i].energy, result.points[i + 1].energy)
+          << "energy must strictly decrease as the deadline relaxes";
+    } else {
+      EXPECT_LT(result.points[i].energy, result.points[i + 1].energy)
+          << "energy must strictly increase with the reliability threshold";
+    }
+  }
+}
+
+TEST(DeadlineSweep, FrontierInvariantsAcrossTheCorpus) {
+  const auto speeds = model::SpeedModel::continuous(0.1, 1.0);
+  FrontierEngine engine;
+  FrontierOptions options;
+  options.initial_points = 7;
+  options.max_points = 15;
+  for (const auto& inst : small_corpus()) {
+    const double base = fmax_deadline(inst, speeds.fmax());
+    core::BiCritProblem problem(inst.dag, inst.mapping, speeds, base * 3.0);
+    const auto result =
+        engine.deadline_sweep(problem, base * 1.05, base * 3.0, options);
+    EXPECT_GE(result.points.size(), 2u) << inst.name;
+    EXPECT_LE(result.evaluated, static_cast<std::size_t>(options.max_points))
+        << inst.name;
+    expect_frontier_invariants(result, base * 1.05, base * 3.0);
+  }
+}
+
+TEST(DeadlineSweep, RefinementSpendsBudgetWhereTheCurveBends) {
+  // The energy-deadline curve follows W^3/D^2 — strongly convex near the
+  // tight end — so bisection must add points beyond the initial grid.
+  const auto corpus = small_corpus();
+  const auto speeds = model::SpeedModel::continuous(0.05, 1.0);
+  const auto& inst = corpus.front();  // chain
+  const double base = fmax_deadline(inst, speeds.fmax());
+  core::BiCritProblem problem(inst.dag, inst.mapping, speeds, base * 6.0);
+
+  FrontierEngine engine;
+  FrontierOptions options;
+  options.initial_points = 5;
+  options.max_points = 17;
+  const auto result = engine.deadline_sweep(problem, base * 1.02, base * 6.0, options);
+  EXPECT_GT(result.evaluated, 5u) << "no refinement happened";
+
+  // The refined points must cluster towards the knee: more evaluations in
+  // the tight half of the range than the loose half.
+  std::size_t tight = 0;
+  const double mid = base * (1.02 + 6.0) / 2.0;
+  for (const auto& p : result.points) {
+    if (p.constraint < mid) ++tight;
+  }
+  EXPECT_GT(tight, result.points.size() / 2);
+}
+
+TEST(DeadlineSweep, InfeasibleRegionIsReportedNotReturned) {
+  const auto corpus = small_corpus();
+  const auto speeds = model::SpeedModel::continuous(0.2, 1.0);
+  const auto& inst = corpus.front();
+  const double base = fmax_deadline(inst, speeds.fmax());
+  // Half the range lies below the all-fmax makespan: infeasible.
+  core::BiCritProblem problem(inst.dag, inst.mapping, speeds, base * 2.0);
+  FrontierEngine engine;
+  const auto result = engine.deadline_sweep(problem, base * 0.4, base * 2.0);
+  EXPECT_GT(result.infeasible, 0u);
+  for (const auto& p : result.points) {
+    EXPECT_GE(p.constraint, base * 0.999);
+  }
+}
+
+TEST(DeadlineSweep, ColdAndWarmSweepsAreBitIdentical) {
+  const auto speeds = model::SpeedModel::continuous(0.1, 1.0);
+  FrontierOptions options;
+  options.initial_points = 6;
+  options.max_points = 12;
+
+  for (const auto& inst : small_corpus()) {
+    const double base = fmax_deadline(inst, speeds.fmax());
+    core::BiCritProblem problem(inst.dag, inst.mapping, speeds, base * 2.5);
+
+    SolveCache cache;
+    FrontierEngine cached_engine(&cache);
+    FrontierEngine plain_engine;
+
+    const auto cold =
+        cached_engine.deadline_sweep(problem, base * 1.1, base * 2.5, options);
+    const auto warm =
+        cached_engine.deadline_sweep(problem, base * 1.1, base * 2.5, options);
+    const auto uncached =
+        plain_engine.deadline_sweep(problem, base * 1.1, base * 2.5, options);
+
+    EXPECT_EQ(warm.cache_hits, warm.evaluated) << inst.name;
+    ASSERT_EQ(cold.points.size(), warm.points.size()) << inst.name;
+    ASSERT_EQ(cold.points.size(), uncached.points.size()) << inst.name;
+    for (std::size_t i = 0; i < cold.points.size(); ++i) {
+      EXPECT_EQ(cold.points[i].constraint, warm.points[i].constraint);
+      EXPECT_EQ(cold.points[i].energy, warm.points[i].energy);
+      EXPECT_EQ(cold.points[i].makespan, warm.points[i].makespan);
+      EXPECT_EQ(cold.points[i].solver, warm.points[i].solver);
+      EXPECT_EQ(cold.points[i].energy, uncached.points[i].energy);
+      EXPECT_EQ(cold.points[i].constraint, uncached.points[i].constraint);
+    }
+  }
+}
+
+TEST(DeadlineSweep, ThreadCountNeverChangesThePoints) {
+  const auto corpus = small_corpus();
+  const auto speeds = model::SpeedModel::continuous(0.1, 1.0);
+  const auto& inst = corpus.back();  // random-dag
+  const double base = fmax_deadline(inst, speeds.fmax());
+  core::BiCritProblem problem(inst.dag, inst.mapping, speeds, base * 3.0);
+
+  FrontierEngine engine;
+  FrontierOptions serial;
+  serial.threads = 1;
+  FrontierOptions wide;
+  wide.threads = 8;
+  const auto a = engine.deadline_sweep(problem, base * 1.05, base * 3.0, serial);
+  const auto b = engine.deadline_sweep(problem, base * 1.05, base * 3.0, wide);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].constraint, b.points[i].constraint);
+    EXPECT_EQ(a.points[i].energy, b.points[i].energy);
+  }
+  EXPECT_EQ(a.evaluated, b.evaluated);
+}
+
+TEST(ReliabilitySweep, FrontierInvariantsAndDeterminism) {
+  const auto corpus = small_corpus();
+  const auto speeds = model::SpeedModel::continuous(0.2, 1.0);
+  const model::ReliabilityModel rel = model::default_reliability(0.2, 1.0, 0.9);
+  FrontierOptions options;
+  options.initial_points = 6;
+  options.max_points = 12;
+
+  for (const auto& inst : corpus) {
+    const double deadline = fmax_deadline(inst, speeds.fmax()) * 2.5;
+    core::TriCritProblem problem(inst.dag, inst.mapping, speeds, rel, deadline);
+
+    SolveCache cache;
+    FrontierEngine engine(&cache);
+    const auto cold = engine.reliability_sweep(problem, 0.3, 0.9, options);
+    if (cold.points.empty()) continue;  // family not handled by tri-crit heuristics
+    expect_frontier_invariants(cold, 0.3, 0.9);
+
+    const auto warm = engine.reliability_sweep(problem, 0.3, 0.9, options);
+    EXPECT_EQ(warm.cache_hits, warm.evaluated) << inst.name;
+    ASSERT_EQ(cold.points.size(), warm.points.size()) << inst.name;
+    for (std::size_t i = 0; i < cold.points.size(); ++i) {
+      EXPECT_EQ(cold.points[i].constraint, warm.points[i].constraint) << inst.name;
+      EXPECT_EQ(cold.points[i].energy, warm.points[i].energy) << inst.name;
+    }
+  }
+}
+
+TEST(TriCritDeadlineSweep, FrontierInvariantsAtFixedReliability) {
+  const auto corpus = small_corpus();
+  const auto speeds = model::SpeedModel::continuous(0.2, 1.0);
+  const model::ReliabilityModel rel = model::default_reliability(0.2, 1.0, 0.8);
+  const auto& inst = corpus.front();
+  const double base = fmax_deadline(inst, speeds.fmax());
+  core::TriCritProblem problem(inst.dag, inst.mapping, speeds, rel, base * 3.0);
+
+  FrontierEngine engine;
+  FrontierOptions options;
+  options.initial_points = 6;
+  options.max_points = 12;
+  const auto result =
+      engine.deadline_sweep(problem, base * 1.2, base * 3.0, options);
+  EXPECT_TRUE(result.error.is_ok()) << result.error.to_string();
+  EXPECT_GE(result.points.size(), 2u);
+  expect_frontier_invariants(result, base * 1.2, base * 3.0);
+}
+
+TEST(FrontierSweep, UnknownSolverIsAnErrorNotInfeasibility) {
+  const auto corpus = small_corpus();
+  const auto speeds = model::SpeedModel::continuous(0.1, 1.0);
+  const auto& inst = corpus.front();
+  const double base = fmax_deadline(inst, speeds.fmax());
+  core::BiCritProblem problem(inst.dag, inst.mapping, speeds, base * 2.0);
+
+  FrontierEngine engine;
+  FrontierOptions options;
+  options.initial_points = 5;
+  options.solver = "no-such-solver";
+  const auto result = engine.deadline_sweep(problem, base * 1.1, base * 2.0, options);
+  EXPECT_EQ(result.error.code(), common::StatusCode::kNotFound);
+  EXPECT_TRUE(result.points.empty());
+  EXPECT_EQ(result.infeasible, 0u)
+      << "a request-level failure must not masquerade as infeasible points";
+  EXPECT_EQ(result.evaluated, 5u) << "the sweep must stop refining after the grid";
+}
+
+TEST(FrontierSweep, SinglePointRangeAndFixedSolver) {
+  const auto corpus = small_corpus();
+  const auto speeds = model::SpeedModel::continuous(0.1, 1.0);
+  const auto& inst = corpus.front();
+  const double base = fmax_deadline(inst, speeds.fmax());
+  core::BiCritProblem problem(inst.dag, inst.mapping, speeds, base * 2.0);
+
+  FrontierEngine engine;
+  FrontierOptions options;
+  options.solver = "continuous-ipm";
+  const auto result = engine.deadline_sweep(problem, base * 2.0, base * 2.0, options);
+  ASSERT_EQ(result.points.size(), 1u);
+  EXPECT_EQ(result.points[0].solver, "continuous-ipm");
+  EXPECT_EQ(result.points[0].constraint, base * 2.0);
+}
+
+}  // namespace
+}  // namespace easched::frontier
