@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_throughput.dir/bench/bench_batch_throughput.cpp.o"
+  "CMakeFiles/bench_batch_throughput.dir/bench/bench_batch_throughput.cpp.o.d"
+  "bench_batch_throughput"
+  "bench_batch_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_continuous_dag.dir/bench/bench_continuous_dag.cpp.o"
+  "CMakeFiles/bench_continuous_dag.dir/bench/bench_continuous_dag.cpp.o.d"
+  "bench_continuous_dag"
+  "bench_continuous_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_continuous_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

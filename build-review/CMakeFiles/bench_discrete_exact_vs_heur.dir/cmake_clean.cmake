@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_discrete_exact_vs_heur.dir/bench/bench_discrete_exact_vs_heur.cpp.o"
+  "CMakeFiles/bench_discrete_exact_vs_heur.dir/bench/bench_discrete_exact_vs_heur.cpp.o.d"
+  "bench_discrete_exact_vs_heur"
+  "bench_discrete_exact_vs_heur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discrete_exact_vs_heur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_discrete_exact_vs_heur.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_frontier_sweep.dir/bench/bench_frontier_sweep.cpp.o"
+  "CMakeFiles/bench_frontier_sweep.dir/bench/bench_frontier_sweep.cpp.o.d"
+  "bench_frontier_sweep"
+  "bench_frontier_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frontier_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

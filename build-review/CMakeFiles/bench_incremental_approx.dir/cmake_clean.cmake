@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incremental_approx.dir/bench/bench_incremental_approx.cpp.o"
+  "CMakeFiles/bench_incremental_approx.dir/bench/bench_incremental_approx.cpp.o.d"
+  "bench_incremental_approx"
+  "bench_incremental_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incremental_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mapping_ablation.dir/bench/bench_mapping_ablation.cpp.o"
+  "CMakeFiles/bench_mapping_ablation.dir/bench/bench_mapping_ablation.cpp.o.d"
+  "bench_mapping_ablation"
+  "bench_mapping_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mapping_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reliability_sim.dir/bench/bench_reliability_sim.cpp.o"
+  "CMakeFiles/bench_reliability_sim.dir/bench/bench_reliability_sim.cpp.o.d"
+  "bench_reliability_sim"
+  "bench_reliability_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reliability_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

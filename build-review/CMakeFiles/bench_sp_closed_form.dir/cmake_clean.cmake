@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sp_closed_form.dir/bench/bench_sp_closed_form.cpp.o"
+  "CMakeFiles/bench_sp_closed_form.dir/bench/bench_sp_closed_form.cpp.o.d"
+  "bench_sp_closed_form"
+  "bench_sp_closed_form.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sp_closed_form.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

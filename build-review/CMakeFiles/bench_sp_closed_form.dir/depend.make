@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sp_closed_form.
+# This may be replaced when dependencies are built.

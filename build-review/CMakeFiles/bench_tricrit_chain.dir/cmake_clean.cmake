@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tricrit_chain.dir/bench/bench_tricrit_chain.cpp.o"
+  "CMakeFiles/bench_tricrit_chain.dir/bench/bench_tricrit_chain.cpp.o.d"
+  "bench_tricrit_chain"
+  "bench_tricrit_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tricrit_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

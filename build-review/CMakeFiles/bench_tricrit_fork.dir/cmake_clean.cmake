@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tricrit_fork.dir/bench/bench_tricrit_fork.cpp.o"
+  "CMakeFiles/bench_tricrit_fork.dir/bench/bench_tricrit_fork.cpp.o.d"
+  "bench_tricrit_fork"
+  "bench_tricrit_fork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tricrit_fork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

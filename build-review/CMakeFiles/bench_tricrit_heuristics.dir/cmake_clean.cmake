@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tricrit_heuristics.dir/bench/bench_tricrit_heuristics.cpp.o"
+  "CMakeFiles/bench_tricrit_heuristics.dir/bench/bench_tricrit_heuristics.cpp.o.d"
+  "bench_tricrit_heuristics"
+  "bench_tricrit_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tricrit_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

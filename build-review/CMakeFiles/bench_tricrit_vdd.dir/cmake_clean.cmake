@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tricrit_vdd.dir/bench/bench_tricrit_vdd.cpp.o"
+  "CMakeFiles/bench_tricrit_vdd.dir/bench/bench_tricrit_vdd.cpp.o.d"
+  "bench_tricrit_vdd"
+  "bench_tricrit_vdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tricrit_vdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

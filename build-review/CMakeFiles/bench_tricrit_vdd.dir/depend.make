@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tricrit_vdd.
+# This may be replaced when dependencies are built.

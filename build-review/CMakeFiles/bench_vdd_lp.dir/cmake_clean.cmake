@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vdd_lp.dir/bench/bench_vdd_lp.cpp.o"
+  "CMakeFiles/bench_vdd_lp.dir/bench/bench_vdd_lp.cpp.o.d"
+  "bench_vdd_lp"
+  "bench_vdd_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vdd_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vdd_two_speeds.dir/bench/bench_vdd_two_speeds.cpp.o"
+  "CMakeFiles/bench_vdd_two_speeds.dir/bench/bench_vdd_two_speeds.cpp.o.d"
+  "bench_vdd_two_speeds"
+  "bench_vdd_two_speeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vdd_two_speeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_vdd_two_speeds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/batch.cpp" "CMakeFiles/easched.dir/src/api/batch.cpp.o" "gcc" "CMakeFiles/easched.dir/src/api/batch.cpp.o.d"
+  "/root/repo/src/api/builtin_bicrit.cpp" "CMakeFiles/easched.dir/src/api/builtin_bicrit.cpp.o" "gcc" "CMakeFiles/easched.dir/src/api/builtin_bicrit.cpp.o.d"
+  "/root/repo/src/api/builtin_tricrit.cpp" "CMakeFiles/easched.dir/src/api/builtin_tricrit.cpp.o" "gcc" "CMakeFiles/easched.dir/src/api/builtin_tricrit.cpp.o.d"
+  "/root/repo/src/api/registry.cpp" "CMakeFiles/easched.dir/src/api/registry.cpp.o" "gcc" "CMakeFiles/easched.dir/src/api/registry.cpp.o.d"
+  "/root/repo/src/api/solver.cpp" "CMakeFiles/easched.dir/src/api/solver.cpp.o" "gcc" "CMakeFiles/easched.dir/src/api/solver.cpp.o.d"
+  "/root/repo/src/bicrit/closed_form.cpp" "CMakeFiles/easched.dir/src/bicrit/closed_form.cpp.o" "gcc" "CMakeFiles/easched.dir/src/bicrit/closed_form.cpp.o.d"
+  "/root/repo/src/bicrit/continuous_dag.cpp" "CMakeFiles/easched.dir/src/bicrit/continuous_dag.cpp.o" "gcc" "CMakeFiles/easched.dir/src/bicrit/continuous_dag.cpp.o.d"
+  "/root/repo/src/bicrit/discrete_exact.cpp" "CMakeFiles/easched.dir/src/bicrit/discrete_exact.cpp.o" "gcc" "CMakeFiles/easched.dir/src/bicrit/discrete_exact.cpp.o.d"
+  "/root/repo/src/bicrit/incremental.cpp" "CMakeFiles/easched.dir/src/bicrit/incremental.cpp.o" "gcc" "CMakeFiles/easched.dir/src/bicrit/incremental.cpp.o.d"
+  "/root/repo/src/bicrit/vdd_lp.cpp" "CMakeFiles/easched.dir/src/bicrit/vdd_lp.cpp.o" "gcc" "CMakeFiles/easched.dir/src/bicrit/vdd_lp.cpp.o.d"
+  "/root/repo/src/common/parallel.cpp" "CMakeFiles/easched.dir/src/common/parallel.cpp.o" "gcc" "CMakeFiles/easched.dir/src/common/parallel.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/easched.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/easched.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "CMakeFiles/easched.dir/src/common/stats.cpp.o" "gcc" "CMakeFiles/easched.dir/src/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "CMakeFiles/easched.dir/src/common/table.cpp.o" "gcc" "CMakeFiles/easched.dir/src/common/table.cpp.o.d"
+  "/root/repo/src/core/corpus.cpp" "CMakeFiles/easched.dir/src/core/corpus.cpp.o" "gcc" "CMakeFiles/easched.dir/src/core/corpus.cpp.o.d"
+  "/root/repo/src/core/problem.cpp" "CMakeFiles/easched.dir/src/core/problem.cpp.o" "gcc" "CMakeFiles/easched.dir/src/core/problem.cpp.o.d"
+  "/root/repo/src/core/solvers.cpp" "CMakeFiles/easched.dir/src/core/solvers.cpp.o" "gcc" "CMakeFiles/easched.dir/src/core/solvers.cpp.o.d"
+  "/root/repo/src/frontier/analytics.cpp" "CMakeFiles/easched.dir/src/frontier/analytics.cpp.o" "gcc" "CMakeFiles/easched.dir/src/frontier/analytics.cpp.o.d"
+  "/root/repo/src/frontier/cache.cpp" "CMakeFiles/easched.dir/src/frontier/cache.cpp.o" "gcc" "CMakeFiles/easched.dir/src/frontier/cache.cpp.o.d"
+  "/root/repo/src/frontier/compare.cpp" "CMakeFiles/easched.dir/src/frontier/compare.cpp.o" "gcc" "CMakeFiles/easched.dir/src/frontier/compare.cpp.o.d"
+  "/root/repo/src/frontier/export.cpp" "CMakeFiles/easched.dir/src/frontier/export.cpp.o" "gcc" "CMakeFiles/easched.dir/src/frontier/export.cpp.o.d"
+  "/root/repo/src/frontier/frontier.cpp" "CMakeFiles/easched.dir/src/frontier/frontier.cpp.o" "gcc" "CMakeFiles/easched.dir/src/frontier/frontier.cpp.o.d"
+  "/root/repo/src/graph/analysis.cpp" "CMakeFiles/easched.dir/src/graph/analysis.cpp.o" "gcc" "CMakeFiles/easched.dir/src/graph/analysis.cpp.o.d"
+  "/root/repo/src/graph/dag.cpp" "CMakeFiles/easched.dir/src/graph/dag.cpp.o" "gcc" "CMakeFiles/easched.dir/src/graph/dag.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "CMakeFiles/easched.dir/src/graph/generators.cpp.o" "gcc" "CMakeFiles/easched.dir/src/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "CMakeFiles/easched.dir/src/graph/io.cpp.o" "gcc" "CMakeFiles/easched.dir/src/graph/io.cpp.o.d"
+  "/root/repo/src/graph/series_parallel.cpp" "CMakeFiles/easched.dir/src/graph/series_parallel.cpp.o" "gcc" "CMakeFiles/easched.dir/src/graph/series_parallel.cpp.o.d"
+  "/root/repo/src/linalg/factor.cpp" "CMakeFiles/easched.dir/src/linalg/factor.cpp.o" "gcc" "CMakeFiles/easched.dir/src/linalg/factor.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "CMakeFiles/easched.dir/src/linalg/matrix.cpp.o" "gcc" "CMakeFiles/easched.dir/src/linalg/matrix.cpp.o.d"
+  "/root/repo/src/lp/model.cpp" "CMakeFiles/easched.dir/src/lp/model.cpp.o" "gcc" "CMakeFiles/easched.dir/src/lp/model.cpp.o.d"
+  "/root/repo/src/lp/simplex.cpp" "CMakeFiles/easched.dir/src/lp/simplex.cpp.o" "gcc" "CMakeFiles/easched.dir/src/lp/simplex.cpp.o.d"
+  "/root/repo/src/model/energy.cpp" "CMakeFiles/easched.dir/src/model/energy.cpp.o" "gcc" "CMakeFiles/easched.dir/src/model/energy.cpp.o.d"
+  "/root/repo/src/model/reliability.cpp" "CMakeFiles/easched.dir/src/model/reliability.cpp.o" "gcc" "CMakeFiles/easched.dir/src/model/reliability.cpp.o.d"
+  "/root/repo/src/model/speed_model.cpp" "CMakeFiles/easched.dir/src/model/speed_model.cpp.o" "gcc" "CMakeFiles/easched.dir/src/model/speed_model.cpp.o.d"
+  "/root/repo/src/opt/barrier.cpp" "CMakeFiles/easched.dir/src/opt/barrier.cpp.o" "gcc" "CMakeFiles/easched.dir/src/opt/barrier.cpp.o.d"
+  "/root/repo/src/opt/scalar.cpp" "CMakeFiles/easched.dir/src/opt/scalar.cpp.o" "gcc" "CMakeFiles/easched.dir/src/opt/scalar.cpp.o.d"
+  "/root/repo/src/opt/waterfill.cpp" "CMakeFiles/easched.dir/src/opt/waterfill.cpp.o" "gcc" "CMakeFiles/easched.dir/src/opt/waterfill.cpp.o.d"
+  "/root/repo/src/sched/gantt.cpp" "CMakeFiles/easched.dir/src/sched/gantt.cpp.o" "gcc" "CMakeFiles/easched.dir/src/sched/gantt.cpp.o.d"
+  "/root/repo/src/sched/list_scheduler.cpp" "CMakeFiles/easched.dir/src/sched/list_scheduler.cpp.o" "gcc" "CMakeFiles/easched.dir/src/sched/list_scheduler.cpp.o.d"
+  "/root/repo/src/sched/mapping.cpp" "CMakeFiles/easched.dir/src/sched/mapping.cpp.o" "gcc" "CMakeFiles/easched.dir/src/sched/mapping.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "CMakeFiles/easched.dir/src/sched/schedule.cpp.o" "gcc" "CMakeFiles/easched.dir/src/sched/schedule.cpp.o.d"
+  "/root/repo/src/sched/validator.cpp" "CMakeFiles/easched.dir/src/sched/validator.cpp.o" "gcc" "CMakeFiles/easched.dir/src/sched/validator.cpp.o.d"
+  "/root/repo/src/sim/fault_sim.cpp" "CMakeFiles/easched.dir/src/sim/fault_sim.cpp.o" "gcc" "CMakeFiles/easched.dir/src/sim/fault_sim.cpp.o.d"
+  "/root/repo/src/tricrit/chain.cpp" "CMakeFiles/easched.dir/src/tricrit/chain.cpp.o" "gcc" "CMakeFiles/easched.dir/src/tricrit/chain.cpp.o.d"
+  "/root/repo/src/tricrit/fork.cpp" "CMakeFiles/easched.dir/src/tricrit/fork.cpp.o" "gcc" "CMakeFiles/easched.dir/src/tricrit/fork.cpp.o.d"
+  "/root/repo/src/tricrit/heuristics.cpp" "CMakeFiles/easched.dir/src/tricrit/heuristics.cpp.o" "gcc" "CMakeFiles/easched.dir/src/tricrit/heuristics.cpp.o.d"
+  "/root/repo/src/tricrit/reexec.cpp" "CMakeFiles/easched.dir/src/tricrit/reexec.cpp.o" "gcc" "CMakeFiles/easched.dir/src/tricrit/reexec.cpp.o.d"
+  "/root/repo/src/tricrit/replication.cpp" "CMakeFiles/easched.dir/src/tricrit/replication.cpp.o" "gcc" "CMakeFiles/easched.dir/src/tricrit/replication.cpp.o.d"
+  "/root/repo/src/tricrit/vdd_adapt.cpp" "CMakeFiles/easched.dir/src/tricrit/vdd_adapt.cpp.o" "gcc" "CMakeFiles/easched.dir/src/tricrit/vdd_adapt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

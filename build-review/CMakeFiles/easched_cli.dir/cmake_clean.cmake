@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easched_cli.dir/examples/easched_cli.cpp.o"
+  "CMakeFiles/easched_cli.dir/examples/easched_cli.cpp.o.d"
+  "easched_cli"
+  "easched_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

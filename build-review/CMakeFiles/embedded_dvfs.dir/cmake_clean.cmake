@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_dvfs.dir/examples/embedded_dvfs.cpp.o"
+  "CMakeFiles/embedded_dvfs.dir/examples/embedded_dvfs.cpp.o.d"
+  "embedded_dvfs"
+  "embedded_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exascale_reliability.dir/examples/exascale_reliability.cpp.o"
+  "CMakeFiles/exascale_reliability.dir/examples/exascale_reliability.cpp.o.d"
+  "exascale_reliability"
+  "exascale_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exascale_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

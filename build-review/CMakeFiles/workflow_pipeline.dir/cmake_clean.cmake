@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_pipeline.dir/examples/workflow_pipeline.cpp.o"
+  "CMakeFiles/workflow_pipeline.dir/examples/workflow_pipeline.cpp.o.d"
+  "workflow_pipeline"
+  "workflow_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easched_api_tests.dir/api/batch_test.cpp.o"
+  "CMakeFiles/easched_api_tests.dir/api/batch_test.cpp.o.d"
+  "CMakeFiles/easched_api_tests.dir/api/registry_test.cpp.o"
+  "CMakeFiles/easched_api_tests.dir/api/registry_test.cpp.o.d"
+  "easched_api_tests"
+  "easched_api_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easched_api_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easched_bicrit_tests.dir/bicrit/closed_form_test.cpp.o"
+  "CMakeFiles/easched_bicrit_tests.dir/bicrit/closed_form_test.cpp.o.d"
+  "CMakeFiles/easched_bicrit_tests.dir/bicrit/continuous_dag_test.cpp.o"
+  "CMakeFiles/easched_bicrit_tests.dir/bicrit/continuous_dag_test.cpp.o.d"
+  "CMakeFiles/easched_bicrit_tests.dir/bicrit/discrete_test.cpp.o"
+  "CMakeFiles/easched_bicrit_tests.dir/bicrit/discrete_test.cpp.o.d"
+  "CMakeFiles/easched_bicrit_tests.dir/bicrit/incremental_test.cpp.o"
+  "CMakeFiles/easched_bicrit_tests.dir/bicrit/incremental_test.cpp.o.d"
+  "CMakeFiles/easched_bicrit_tests.dir/bicrit/vdd_lp_test.cpp.o"
+  "CMakeFiles/easched_bicrit_tests.dir/bicrit/vdd_lp_test.cpp.o.d"
+  "easched_bicrit_tests"
+  "easched_bicrit_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easched_bicrit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

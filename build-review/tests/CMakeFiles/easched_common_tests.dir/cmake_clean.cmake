@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easched_common_tests.dir/common/parallel_test.cpp.o"
+  "CMakeFiles/easched_common_tests.dir/common/parallel_test.cpp.o.d"
+  "CMakeFiles/easched_common_tests.dir/common/rng_test.cpp.o"
+  "CMakeFiles/easched_common_tests.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/easched_common_tests.dir/common/stats_test.cpp.o"
+  "CMakeFiles/easched_common_tests.dir/common/stats_test.cpp.o.d"
+  "CMakeFiles/easched_common_tests.dir/common/status_test.cpp.o"
+  "CMakeFiles/easched_common_tests.dir/common/status_test.cpp.o.d"
+  "CMakeFiles/easched_common_tests.dir/common/table_test.cpp.o"
+  "CMakeFiles/easched_common_tests.dir/common/table_test.cpp.o.d"
+  "easched_common_tests"
+  "easched_common_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easched_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/corpus_test.cpp" "tests/CMakeFiles/easched_core_tests.dir/core/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/easched_core_tests.dir/core/corpus_test.cpp.o.d"
+  "/root/repo/tests/core/problem_test.cpp" "tests/CMakeFiles/easched_core_tests.dir/core/problem_test.cpp.o" "gcc" "tests/CMakeFiles/easched_core_tests.dir/core/problem_test.cpp.o.d"
+  "/root/repo/tests/core/solvers_test.cpp" "tests/CMakeFiles/easched_core_tests.dir/core/solvers_test.cpp.o" "gcc" "tests/CMakeFiles/easched_core_tests.dir/core/solvers_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/easched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

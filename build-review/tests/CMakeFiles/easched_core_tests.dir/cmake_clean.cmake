@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easched_core_tests.dir/core/corpus_test.cpp.o"
+  "CMakeFiles/easched_core_tests.dir/core/corpus_test.cpp.o.d"
+  "CMakeFiles/easched_core_tests.dir/core/problem_test.cpp.o"
+  "CMakeFiles/easched_core_tests.dir/core/problem_test.cpp.o.d"
+  "CMakeFiles/easched_core_tests.dir/core/solvers_test.cpp.o"
+  "CMakeFiles/easched_core_tests.dir/core/solvers_test.cpp.o.d"
+  "easched_core_tests"
+  "easched_core_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easched_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

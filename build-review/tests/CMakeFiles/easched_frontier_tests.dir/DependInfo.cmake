@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/frontier/analytics_test.cpp" "tests/CMakeFiles/easched_frontier_tests.dir/frontier/analytics_test.cpp.o" "gcc" "tests/CMakeFiles/easched_frontier_tests.dir/frontier/analytics_test.cpp.o.d"
+  "/root/repo/tests/frontier/cache_test.cpp" "tests/CMakeFiles/easched_frontier_tests.dir/frontier/cache_test.cpp.o" "gcc" "tests/CMakeFiles/easched_frontier_tests.dir/frontier/cache_test.cpp.o.d"
+  "/root/repo/tests/frontier/frontier_test.cpp" "tests/CMakeFiles/easched_frontier_tests.dir/frontier/frontier_test.cpp.o" "gcc" "tests/CMakeFiles/easched_frontier_tests.dir/frontier/frontier_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/easched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

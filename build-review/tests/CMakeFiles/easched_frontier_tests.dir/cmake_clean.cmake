@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easched_frontier_tests.dir/frontier/analytics_test.cpp.o"
+  "CMakeFiles/easched_frontier_tests.dir/frontier/analytics_test.cpp.o.d"
+  "CMakeFiles/easched_frontier_tests.dir/frontier/cache_test.cpp.o"
+  "CMakeFiles/easched_frontier_tests.dir/frontier/cache_test.cpp.o.d"
+  "CMakeFiles/easched_frontier_tests.dir/frontier/frontier_test.cpp.o"
+  "CMakeFiles/easched_frontier_tests.dir/frontier/frontier_test.cpp.o.d"
+  "easched_frontier_tests"
+  "easched_frontier_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easched_frontier_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

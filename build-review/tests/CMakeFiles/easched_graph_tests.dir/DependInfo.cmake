@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/analysis_test.cpp" "tests/CMakeFiles/easched_graph_tests.dir/graph/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/easched_graph_tests.dir/graph/analysis_test.cpp.o.d"
+  "/root/repo/tests/graph/dag_test.cpp" "tests/CMakeFiles/easched_graph_tests.dir/graph/dag_test.cpp.o" "gcc" "tests/CMakeFiles/easched_graph_tests.dir/graph/dag_test.cpp.o.d"
+  "/root/repo/tests/graph/generators_test.cpp" "tests/CMakeFiles/easched_graph_tests.dir/graph/generators_test.cpp.o" "gcc" "tests/CMakeFiles/easched_graph_tests.dir/graph/generators_test.cpp.o.d"
+  "/root/repo/tests/graph/io_test.cpp" "tests/CMakeFiles/easched_graph_tests.dir/graph/io_test.cpp.o" "gcc" "tests/CMakeFiles/easched_graph_tests.dir/graph/io_test.cpp.o.d"
+  "/root/repo/tests/graph/series_parallel_test.cpp" "tests/CMakeFiles/easched_graph_tests.dir/graph/series_parallel_test.cpp.o" "gcc" "tests/CMakeFiles/easched_graph_tests.dir/graph/series_parallel_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/easched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easched_graph_tests.dir/graph/analysis_test.cpp.o"
+  "CMakeFiles/easched_graph_tests.dir/graph/analysis_test.cpp.o.d"
+  "CMakeFiles/easched_graph_tests.dir/graph/dag_test.cpp.o"
+  "CMakeFiles/easched_graph_tests.dir/graph/dag_test.cpp.o.d"
+  "CMakeFiles/easched_graph_tests.dir/graph/generators_test.cpp.o"
+  "CMakeFiles/easched_graph_tests.dir/graph/generators_test.cpp.o.d"
+  "CMakeFiles/easched_graph_tests.dir/graph/io_test.cpp.o"
+  "CMakeFiles/easched_graph_tests.dir/graph/io_test.cpp.o.d"
+  "CMakeFiles/easched_graph_tests.dir/graph/series_parallel_test.cpp.o"
+  "CMakeFiles/easched_graph_tests.dir/graph/series_parallel_test.cpp.o.d"
+  "easched_graph_tests"
+  "easched_graph_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easched_graph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

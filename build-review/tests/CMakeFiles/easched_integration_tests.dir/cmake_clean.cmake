@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easched_integration_tests.dir/integration/cross_solver_test.cpp.o"
+  "CMakeFiles/easched_integration_tests.dir/integration/cross_solver_test.cpp.o.d"
+  "CMakeFiles/easched_integration_tests.dir/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/easched_integration_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "CMakeFiles/easched_integration_tests.dir/integration/property_test.cpp.o"
+  "CMakeFiles/easched_integration_tests.dir/integration/property_test.cpp.o.d"
+  "CMakeFiles/easched_integration_tests.dir/integration/stress_test.cpp.o"
+  "CMakeFiles/easched_integration_tests.dir/integration/stress_test.cpp.o.d"
+  "easched_integration_tests"
+  "easched_integration_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easched_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

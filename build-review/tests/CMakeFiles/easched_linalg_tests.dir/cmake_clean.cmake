@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easched_linalg_tests.dir/linalg/factor_test.cpp.o"
+  "CMakeFiles/easched_linalg_tests.dir/linalg/factor_test.cpp.o.d"
+  "CMakeFiles/easched_linalg_tests.dir/linalg/matrix_test.cpp.o"
+  "CMakeFiles/easched_linalg_tests.dir/linalg/matrix_test.cpp.o.d"
+  "easched_linalg_tests"
+  "easched_linalg_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easched_linalg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easched_lp_tests.dir/lp/model_test.cpp.o"
+  "CMakeFiles/easched_lp_tests.dir/lp/model_test.cpp.o.d"
+  "CMakeFiles/easched_lp_tests.dir/lp/simplex_test.cpp.o"
+  "CMakeFiles/easched_lp_tests.dir/lp/simplex_test.cpp.o.d"
+  "easched_lp_tests"
+  "easched_lp_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easched_lp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model/energy_test.cpp" "tests/CMakeFiles/easched_model_tests.dir/model/energy_test.cpp.o" "gcc" "tests/CMakeFiles/easched_model_tests.dir/model/energy_test.cpp.o.d"
+  "/root/repo/tests/model/reliability_param_test.cpp" "tests/CMakeFiles/easched_model_tests.dir/model/reliability_param_test.cpp.o" "gcc" "tests/CMakeFiles/easched_model_tests.dir/model/reliability_param_test.cpp.o.d"
+  "/root/repo/tests/model/reliability_test.cpp" "tests/CMakeFiles/easched_model_tests.dir/model/reliability_test.cpp.o" "gcc" "tests/CMakeFiles/easched_model_tests.dir/model/reliability_test.cpp.o.d"
+  "/root/repo/tests/model/speed_model_test.cpp" "tests/CMakeFiles/easched_model_tests.dir/model/speed_model_test.cpp.o" "gcc" "tests/CMakeFiles/easched_model_tests.dir/model/speed_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/easched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easched_model_tests.dir/model/energy_test.cpp.o"
+  "CMakeFiles/easched_model_tests.dir/model/energy_test.cpp.o.d"
+  "CMakeFiles/easched_model_tests.dir/model/reliability_param_test.cpp.o"
+  "CMakeFiles/easched_model_tests.dir/model/reliability_param_test.cpp.o.d"
+  "CMakeFiles/easched_model_tests.dir/model/reliability_test.cpp.o"
+  "CMakeFiles/easched_model_tests.dir/model/reliability_test.cpp.o.d"
+  "CMakeFiles/easched_model_tests.dir/model/speed_model_test.cpp.o"
+  "CMakeFiles/easched_model_tests.dir/model/speed_model_test.cpp.o.d"
+  "easched_model_tests"
+  "easched_model_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easched_model_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easched_opt_tests.dir/opt/barrier_test.cpp.o"
+  "CMakeFiles/easched_opt_tests.dir/opt/barrier_test.cpp.o.d"
+  "CMakeFiles/easched_opt_tests.dir/opt/scalar_test.cpp.o"
+  "CMakeFiles/easched_opt_tests.dir/opt/scalar_test.cpp.o.d"
+  "CMakeFiles/easched_opt_tests.dir/opt/waterfill_test.cpp.o"
+  "CMakeFiles/easched_opt_tests.dir/opt/waterfill_test.cpp.o.d"
+  "easched_opt_tests"
+  "easched_opt_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easched_opt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

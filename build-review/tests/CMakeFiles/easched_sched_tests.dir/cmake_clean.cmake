@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easched_sched_tests.dir/sched/gantt_test.cpp.o"
+  "CMakeFiles/easched_sched_tests.dir/sched/gantt_test.cpp.o.d"
+  "CMakeFiles/easched_sched_tests.dir/sched/list_scheduler_test.cpp.o"
+  "CMakeFiles/easched_sched_tests.dir/sched/list_scheduler_test.cpp.o.d"
+  "CMakeFiles/easched_sched_tests.dir/sched/mapping_test.cpp.o"
+  "CMakeFiles/easched_sched_tests.dir/sched/mapping_test.cpp.o.d"
+  "CMakeFiles/easched_sched_tests.dir/sched/schedule_test.cpp.o"
+  "CMakeFiles/easched_sched_tests.dir/sched/schedule_test.cpp.o.d"
+  "CMakeFiles/easched_sched_tests.dir/sched/validator_test.cpp.o"
+  "CMakeFiles/easched_sched_tests.dir/sched/validator_test.cpp.o.d"
+  "easched_sched_tests"
+  "easched_sched_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easched_sched_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

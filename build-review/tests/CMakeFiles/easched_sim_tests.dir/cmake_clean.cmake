@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easched_sim_tests.dir/sim/fault_sim_test.cpp.o"
+  "CMakeFiles/easched_sim_tests.dir/sim/fault_sim_test.cpp.o.d"
+  "easched_sim_tests"
+  "easched_sim_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easched_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

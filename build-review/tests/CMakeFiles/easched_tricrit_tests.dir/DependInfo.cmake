@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tricrit/chain_test.cpp" "tests/CMakeFiles/easched_tricrit_tests.dir/tricrit/chain_test.cpp.o" "gcc" "tests/CMakeFiles/easched_tricrit_tests.dir/tricrit/chain_test.cpp.o.d"
+  "/root/repo/tests/tricrit/fork_test.cpp" "tests/CMakeFiles/easched_tricrit_tests.dir/tricrit/fork_test.cpp.o" "gcc" "tests/CMakeFiles/easched_tricrit_tests.dir/tricrit/fork_test.cpp.o.d"
+  "/root/repo/tests/tricrit/heuristics_test.cpp" "tests/CMakeFiles/easched_tricrit_tests.dir/tricrit/heuristics_test.cpp.o" "gcc" "tests/CMakeFiles/easched_tricrit_tests.dir/tricrit/heuristics_test.cpp.o.d"
+  "/root/repo/tests/tricrit/reexec_test.cpp" "tests/CMakeFiles/easched_tricrit_tests.dir/tricrit/reexec_test.cpp.o" "gcc" "tests/CMakeFiles/easched_tricrit_tests.dir/tricrit/reexec_test.cpp.o.d"
+  "/root/repo/tests/tricrit/replication_test.cpp" "tests/CMakeFiles/easched_tricrit_tests.dir/tricrit/replication_test.cpp.o" "gcc" "tests/CMakeFiles/easched_tricrit_tests.dir/tricrit/replication_test.cpp.o.d"
+  "/root/repo/tests/tricrit/vdd_adapt_test.cpp" "tests/CMakeFiles/easched_tricrit_tests.dir/tricrit/vdd_adapt_test.cpp.o" "gcc" "tests/CMakeFiles/easched_tricrit_tests.dir/tricrit/vdd_adapt_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/easched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easched_tricrit_tests.dir/tricrit/chain_test.cpp.o"
+  "CMakeFiles/easched_tricrit_tests.dir/tricrit/chain_test.cpp.o.d"
+  "CMakeFiles/easched_tricrit_tests.dir/tricrit/fork_test.cpp.o"
+  "CMakeFiles/easched_tricrit_tests.dir/tricrit/fork_test.cpp.o.d"
+  "CMakeFiles/easched_tricrit_tests.dir/tricrit/heuristics_test.cpp.o"
+  "CMakeFiles/easched_tricrit_tests.dir/tricrit/heuristics_test.cpp.o.d"
+  "CMakeFiles/easched_tricrit_tests.dir/tricrit/reexec_test.cpp.o"
+  "CMakeFiles/easched_tricrit_tests.dir/tricrit/reexec_test.cpp.o.d"
+  "CMakeFiles/easched_tricrit_tests.dir/tricrit/replication_test.cpp.o"
+  "CMakeFiles/easched_tricrit_tests.dir/tricrit/replication_test.cpp.o.d"
+  "CMakeFiles/easched_tricrit_tests.dir/tricrit/vdd_adapt_test.cpp.o"
+  "CMakeFiles/easched_tricrit_tests.dir/tricrit/vdd_adapt_test.cpp.o.d"
+  "easched_tricrit_tests"
+  "easched_tricrit_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easched_tricrit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

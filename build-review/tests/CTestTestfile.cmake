@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(easched_api_tests "/root/repo/build-review/tests/easched_api_tests")
+set_tests_properties(easched_api_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(easched_bicrit_tests "/root/repo/build-review/tests/easched_bicrit_tests")
+set_tests_properties(easched_bicrit_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(easched_common_tests "/root/repo/build-review/tests/easched_common_tests")
+set_tests_properties(easched_common_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(easched_core_tests "/root/repo/build-review/tests/easched_core_tests")
+set_tests_properties(easched_core_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(easched_frontier_tests "/root/repo/build-review/tests/easched_frontier_tests")
+set_tests_properties(easched_frontier_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(easched_graph_tests "/root/repo/build-review/tests/easched_graph_tests")
+set_tests_properties(easched_graph_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(easched_integration_tests "/root/repo/build-review/tests/easched_integration_tests")
+set_tests_properties(easched_integration_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(easched_linalg_tests "/root/repo/build-review/tests/easched_linalg_tests")
+set_tests_properties(easched_linalg_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(easched_lp_tests "/root/repo/build-review/tests/easched_lp_tests")
+set_tests_properties(easched_lp_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(easched_model_tests "/root/repo/build-review/tests/easched_model_tests")
+set_tests_properties(easched_model_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(easched_opt_tests "/root/repo/build-review/tests/easched_opt_tests")
+set_tests_properties(easched_opt_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(easched_sched_tests "/root/repo/build-review/tests/easched_sched_tests")
+set_tests_properties(easched_sched_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(easched_sim_tests "/root/repo/build-review/tests/easched_sim_tests")
+set_tests_properties(easched_sim_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(easched_tricrit_tests "/root/repo/build-review/tests/easched_tricrit_tests")
+set_tests_properties(easched_tricrit_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
