@@ -16,6 +16,12 @@
 //                                    TRI-CRIT energy-vs-reliability sweep
 //       --solvers n1,n2,...          multi-solver comparison (who wins where)
 //       --points N / --max-points M  initial grid / refinement budget
+//       --cache-cap N                LRU-cap the SolveCache at N entries
+//                                    (default 0 = unbounded)
+//   easched_cli frontier <old.dag> <new.dag> --resweep [options]
+//     Incremental update: sweeps the old instance, then resweeps the new
+//     (slightly changed) instance warm-started from the old curve — the
+//     printed frontier is bit-identical to a cold sweep of the new file.
 //
 // Shared options:
 //   --processors P        platform size (default 2)
@@ -39,6 +45,7 @@
 //   ./examples/easched_cli frontier pipeline.dag --deadline 30 \
 //       --rmin 0.4 --rmax 0.95 --solvers best-of,heuristic-A
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -90,7 +97,7 @@ int usage(const char* argv0) {
       << "  [--processors P] [--fmin F] [--fmax F] [--levels f1,f2,...] [--vdd]\n"
       << "  [--frel F] [--lambda0 L] [--dexp D] [--solver NAME] [--solvers n1,n2]\n"
       << "  [--slack S] [--threads N] [--points N] [--max-points M]\n"
-      << "  [--list-solvers] [--gantt] [--csv] [--json]\n";
+      << "  [--cache-cap N] [--resweep] [--list-solvers] [--gantt] [--csv] [--json]\n";
   return 2;
 }
 
@@ -117,10 +124,11 @@ struct CliArgs {
   std::optional<double> frel;
   std::optional<std::vector<double>> levels;
   std::optional<double> dmin, dmax, rmin, rmax;
-  bool vdd = false, gantt = false, csv = false, json = false;
+  bool vdd = false, gantt = false, csv = false, json = false, resweep = false;
   int processors = 2;
   int points = 9, max_points = 33;
   std::size_t threads = 0;
+  std::size_t cache_cap = 0;
   api::SolveOptions options;
 };
 
@@ -178,6 +186,15 @@ bool parse_args(int argc, char** argv, int first, CliArgs& args) {
       args.points = std::stoi(next());
     } else if (arg == "--max-points") {
       args.max_points = std::stoi(next());
+    } else if (arg == "--cache-cap") {
+      const long long cap = std::stoll(next());
+      if (cap < 0) {
+        std::cerr << "--cache-cap must be >= 0\n";
+        return false;
+      }
+      args.cache_cap = static_cast<std::size_t>(cap);
+    } else if (arg == "--resweep") {
+      args.resweep = true;
     } else if (arg == "--list-solvers") {
       std::exit(list_solvers());
     } else if (arg == "--gantt") {
@@ -225,7 +242,9 @@ void print_frontier(const frontier::FrontierResult& result) {
   std::cout << "\nfrontier: " << result.points.size() << " points ("
             << result.dominated.size() << " dominated, " << result.infeasible
             << " infeasible) from " << result.evaluated << " evaluations, "
-            << result.cache_hits << " cache hits\n"
+            << result.cache_hits << " cache hits";
+  if (result.prefetched > 0) std::cout << " (" << result.prefetched << " prefetched)";
+  std::cout << "\n"
             << "energy span: [" << common::format_g(summary.energy.min()) << ", "
             << common::format_g(summary.energy.max()) << "]  auc: "
             << common::format_g(summary.auc)
@@ -303,8 +322,16 @@ int emit_comparison(const frontier::FrontierComparison& comparison,
 }
 
 int run_frontier(CliArgs& args) {
-  if (args.dag_paths.size() != 1) {
-    std::cerr << "frontier mode takes exactly one dag file\n";
+  // --resweep takes the old and the changed instance; plain sweeps one.
+  const std::size_t expected_files = args.resweep ? 2 : 1;
+  if (args.dag_paths.size() != expected_files) {
+    std::cerr << (args.resweep
+                      ? "frontier --resweep takes exactly two dag files (old, new)\n"
+                      : "frontier mode takes exactly one dag file\n");
+    return 2;
+  }
+  if (args.resweep && !args.solvers.empty()) {
+    std::cerr << "--resweep and --solvers cannot be combined\n";
     return 2;
   }
   auto dag = load_dag(args.dag_paths[0]);
@@ -314,6 +341,18 @@ int run_frontier(CliArgs& args) {
   }
   const auto mapping = sched::list_schedule(dag.value(), args.processors,
                                             sched::PriorityPolicy::kCriticalPath);
+  std::optional<graph::Dag> new_dag;
+  std::optional<sched::Mapping> new_mapping;
+  if (args.resweep) {
+    auto loaded = load_dag(args.dag_paths[1]);
+    if (!loaded.is_ok()) {
+      std::cerr << "bad dag file: " << loaded.status().to_string() << "\n";
+      return 1;
+    }
+    new_dag = std::move(loaded).take();
+    new_mapping = sched::list_schedule(*new_dag, args.processors,
+                                       sched::PriorityPolicy::kCriticalPath);
+  }
   const model::SpeedModel speeds = make_speeds(args);
 
   // Fold the slack policy into the swept quantities up front, exactly as
@@ -324,7 +363,16 @@ int run_frontier(CliArgs& args) {
   args.options.deadline_slack = 1.0;
   const double deadline = args.deadline * slack;
 
-  frontier::SolveCache cache;
+  // Shards never exceed the cap: SolveCache rounds the shard count *up*
+  // to a power of two, so pick the largest power of two <= min(16, cap)
+  // — otherwise the floor-split per-shard LRU would keep one entry per
+  // shard and overshoot a small --cache-cap.
+  std::size_t shards = 16;
+  if (args.cache_cap > 0) {
+    shards = 1;
+    while (shards * 2 <= std::min<std::size_t>(16, args.cache_cap)) shards *= 2;
+  }
+  frontier::SolveCache cache(shards, args.cache_cap);
   frontier::FrontierEngine engine(&cache);
   frontier::FrontierOptions fopt;
   fopt.initial_points = args.points;
@@ -332,6 +380,26 @@ int run_frontier(CliArgs& args) {
   fopt.threads = args.threads;
   fopt.solver = args.solver_name;
   fopt.solve = args.options;
+
+  // In resweep mode, sweep the old instance first and report the changed
+  // instance's curve (bit-identical to its cold sweep) warm-started from
+  // the old one.
+  auto note_prev = [&](const frontier::FrontierResult& prev) {
+    if (!args.csv && !args.json) {
+      std::cout << "old instance '" << args.dag_paths[0] << "': "
+                << prev.points.size() << " frontier points from " << prev.evaluated
+                << " evaluations in " << common::format_fixed(prev.wall_ms, 1)
+                << " ms; resweeping '" << args.dag_paths[1] << "'\n\n";
+    }
+  };
+  auto note_cache = [&]() {
+    if (!args.csv && !args.json) {
+      const auto stats = cache.stats();
+      std::cout << "cache: " << stats.entries << " entries, " << stats.hits
+                << " hits / " << stats.misses << " misses, " << stats.evictions
+                << " evictions\n";
+    }
+  };
 
   const bool reliability_mode = args.rmin && args.rmax;
   if (reliability_mode) {
@@ -350,6 +418,15 @@ int run_frontier(CliArgs& args) {
       return emit_comparison(frontier::compare_reliability(engine, problem, args.solvers,
                                                            *args.rmin, *args.rmax, fopt),
                              args);
+    }
+    if (args.resweep) {
+      const auto prev = engine.reliability_sweep(problem, *args.rmin, *args.rmax, fopt);
+      note_prev(prev);
+      core::TriCritProblem changed(*new_dag, *new_mapping, speeds, rel, deadline);
+      const int rc = emit_frontier(
+          engine.resweep_reliability(prev, changed, *args.rmin, *args.rmax, fopt), args);
+      note_cache();
+      return rc;
     }
     return emit_frontier(engine.reliability_sweep(problem, *args.rmin, *args.rmax, fopt),
                          args);
@@ -377,6 +454,14 @@ int run_frontier(CliArgs& args) {
                                                         dmin, dmax, fopt),
                              args);
     }
+    if (args.resweep) {
+      const auto prev = engine.deadline_sweep(problem, dmin, dmax, fopt);
+      note_prev(prev);
+      core::TriCritProblem changed(*new_dag, *new_mapping, speeds, rel, dmax);
+      const int rc = emit_frontier(engine.resweep(prev, changed, dmin, dmax, fopt), args);
+      note_cache();
+      return rc;
+    }
     return emit_frontier(engine.deadline_sweep(problem, dmin, dmax, fopt),
                          args);
   }
@@ -385,6 +470,14 @@ int run_frontier(CliArgs& args) {
     return emit_comparison(frontier::compare_deadline(engine, problem, args.solvers,
                                                       dmin, dmax, fopt),
                            args);
+  }
+  if (args.resweep) {
+    const auto prev = engine.deadline_sweep(problem, dmin, dmax, fopt);
+    note_prev(prev);
+    core::BiCritProblem changed(*new_dag, *new_mapping, speeds, dmax);
+    const int rc = emit_frontier(engine.resweep(prev, changed, dmin, dmax, fopt), args);
+    note_cache();
+    return rc;
   }
   return emit_frontier(engine.deadline_sweep(problem, dmin, dmax, fopt),
                        args);

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Perf baseline snapshot: builds the benches in Release mode, runs the
+# frontier sweep bench several times, and writes the per-metric *medians*
+# to BENCH_frontier.json at the repo root — cold sweep, warm sweep,
+# perturbed-instance resweep, and the warm-lookup scaling curve. Future
+# PRs diff their own snapshot against the committed numbers instead of
+# eyeballing one noisy run.
+#
+#   scripts/bench_snapshot.sh [runs] [build-dir]
+#
+# Defaults: 3 runs, build dir ./build-bench. The bench's own acceptance
+# bars (warm >= 5x, resweep >= 5x + bit-identical, flat warm lookups)
+# still gate: a failing run fails the snapshot.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+runs="${1:-3}"
+build_dir="${2:-$repo_root/build-bench}"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DEASCHED_BUILD_TESTS=OFF \
+  -DEASCHED_BUILD_EXAMPLES=OFF > /dev/null
+cmake --build "$build_dir" -j "$(nproc)" --target bench_frontier_sweep > /dev/null
+
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+
+for ((i = 0; i < runs; ++i)); do
+  "$build_dir/bench_frontier_sweep" --json-out "$tmp_dir/run_$i.json" \
+    > "$tmp_dir/run_$i.log"
+  echo "bench_snapshot: run $((i + 1))/$runs ok"
+done
+
+python3 - "$tmp_dir" "$runs" "$repo_root/BENCH_frontier.json" <<'PY'
+import json, statistics, sys
+
+tmp_dir, runs, out_path = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+samples = [json.load(open(f"{tmp_dir}/run_{i}.json")) for i in range(runs)]
+
+def med(key):
+    return statistics.median(s[key] for s in samples)
+
+snapshot = {
+    "runs": runs,
+    "cold_ms": med("cold_ms"),
+    "warm_ms": med("warm_ms"),
+    "warm_speedup": med("warm_speedup"),
+    "perturbed_cold_ms": med("perturbed_cold_ms"),
+    "resweep_ms": med("resweep_ms"),
+    "resweep_speedup": med("resweep_speedup"),
+    "resweep_identical": all(s["resweep_identical"] for s in samples),
+    "warm_lookup_us_per_probe": {
+        n: statistics.median(s["warm_lookup_us_per_probe"][n] for s in samples)
+        for n in samples[0]["warm_lookup_us_per_probe"]
+    },
+    "warm_lookup_flat": all(s["warm_lookup_flat"] for s in samples),
+}
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2)
+    f.write("\n")
+print(f"bench_snapshot: wrote {out_path}")
+print(json.dumps(snapshot, indent=2))
+PY

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "graph/analysis.hpp"
 
@@ -105,12 +106,36 @@ common::Result<ContinuousSolution> solve_continuous(const Dag& dag,
     cons.push_back(LinearConstraint{{{n + t, -1.0}}, -w / fmax});          // d >= w/fmax
   }
 
-  // ---- Strictly feasible start: uniform speed strictly between the
-  //      critical speed m1/D and fmax, slack spread by depth. --------------
-  const double f_crit = m1 / deadline;  // in (fmin, fmax) here
-  const double f_start = 0.5 * (f_crit + fmax);
-  const auto d0 = durations_at_speed(dag, f_start);
-  const auto ta = graph::time_analysis(aug, d0, deadline);
+  // ---- Strictly feasible start: a warm-start duration hint (clamped
+  //      strictly inside the speed bounds) when it keeps slack, else a
+  //      uniform speed strictly between the critical speed m1/D and fmax.
+  //      Slack is spread by depth either way. ----------------------------
+  std::vector<double> d0;
+  std::optional<graph::TimeAnalysis> warm_ta;
+  if (options.start_durations.size() == static_cast<std::size_t>(n)) {
+    d0.resize(static_cast<std::size_t>(n));
+    for (TaskId t = 0; t < n; ++t) {
+      const double w = dag.weight(t);
+      // Pull the hint strictly inside (w/fmax, w/fmin): converged warm
+      // starts often sit exactly on a bound, where the barrier is
+      // undefined.
+      const double lo_d = (w / fmax) * (1.0 + 1e-9);
+      const double hi_d = (w / fmin) * (1.0 - 1e-9);
+      d0[static_cast<std::size_t>(t)] =
+          std::clamp(options.start_durations[static_cast<std::size_t>(t)], lo_d, hi_d);
+    }
+    warm_ta = graph::time_analysis(aug, d0, deadline);
+    if (warm_ta->makespan >= deadline) {
+      d0.clear();  // hint lost its slack under the new deadline: cold start
+      warm_ta.reset();
+    }
+  }
+  if (d0.empty()) {
+    const double f_crit = m1 / deadline;  // in (fmin, fmax) here
+    const double f_start = 0.5 * (f_crit + fmax);
+    d0 = durations_at_speed(dag, f_start);
+  }
+  const auto ta = warm_ta ? std::move(*warm_ta) : graph::time_analysis(aug, d0, deadline);
   const auto depth = graph::depth_levels(aug);
   const int max_depth = *std::max_element(depth.begin(), depth.end());
   const double slack = deadline - ta.makespan;  // > 0 by construction

@@ -29,6 +29,15 @@ namespace easched::bicrit {
 
 struct ContinuousOptions {
   opt::BarrierOptions barrier;
+  /// Optional warm start: per-task durations of a neighbouring solution
+  /// (e.g. the previous iterate of a tightening re-solve, or a nearby
+  /// sweep point). When the size matches the task count they are clamped
+  /// strictly inside the speed bounds and used as the barrier's starting
+  /// point if the clamped point still has deadline slack; otherwise the
+  /// standard cold start is used. Purely a performance hint: the barrier
+  /// converges to the same optimum either way (to solver tolerance), and
+  /// a given (instance, hint) pair is deterministic.
+  std::vector<double> start_durations;
 };
 
 struct ContinuousSolution {

@@ -34,6 +34,11 @@ common::Result<IncrementalApprox> solve_incremental_approx(const graph::Dag& dag
   if (cont.value().gap_bound > cont.value().energy / (2.0 * static_cast<double>(K))) {
     opts.barrier.gap_tolerance =
         std::max(1e-14, cont.value().energy / (2.0 * static_cast<double>(K)));
+    // Warm-start the tightening re-solve from the first pass' iterate:
+    // the barrier resumes next to the optimum instead of redoing the
+    // whole path, which is the same previous-solution reuse the frontier
+    // engine's resweep applies one level up.
+    opts.start_durations = cont.value().durations;
     auto tighter = solve_continuous(dag, mapping, deadline, cont_model, opts);
     if (tighter.is_ok()) cont = std::move(tighter);
   }

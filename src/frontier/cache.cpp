@@ -1,153 +1,197 @@
 #include "frontier/cache.hpp"
 
-#include <cstdint>
 #include <cstring>
-#include <functional>
 
 #include "core/problem.hpp"
-#include "graph/dag.hpp"
-#include "model/reliability.hpp"
-#include "model/speed_model.hpp"
-#include "sched/mapping.hpp"
 
 namespace easched::frontier {
 namespace {
 
-// The fingerprint is built from fixed-width little-endian-independent
-// fields (doubles as IEEE bit patterns, ints as int64), each preceded by a
-// one-byte tag. Tags make the serialisation prefix-free across sections,
-// so two different requests can never concatenate to the same string.
-void append_u64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-}
+using api::mix64;
 
-void append_i64(std::string& out, long long v) {
-  append_u64(out, static_cast<std::uint64_t>(v));
-}
-
-void append_double(std::string& out, double v) {
+std::uint64_t double_bits(double v) {
   std::uint64_t bits = 0;
   std::memcpy(&bits, &v, sizeof(bits));
-  append_u64(out, bits);
-}
-
-void append_tag(std::string& out, char tag) { out.push_back(tag); }
-
-void append_dag(std::string& out, const graph::Dag& dag) {
-  append_tag(out, 'G');
-  append_i64(out, dag.num_tasks());
-  for (graph::TaskId t = 0; t < dag.num_tasks(); ++t) append_double(out, dag.weight(t));
-  append_tag(out, 'E');
-  append_i64(out, dag.num_edges());
-  for (graph::TaskId t = 0; t < dag.num_tasks(); ++t) {
-    for (graph::TaskId s : dag.successors(t)) {
-      append_i64(out, t);
-      append_i64(out, s);
-    }
-  }
-}
-
-void append_mapping(std::string& out, const sched::Mapping& mapping) {
-  append_tag(out, 'M');
-  append_i64(out, mapping.num_processors());
-  for (int p = 0; p < mapping.num_processors(); ++p) {
-    const auto& order = mapping.order_on(p);
-    append_i64(out, static_cast<long long>(order.size()));
-    for (graph::TaskId t : order) append_i64(out, t);
-  }
-}
-
-void append_speeds(std::string& out, const model::SpeedModel& speeds) {
-  append_tag(out, 'S');
-  append_i64(out, static_cast<long long>(speeds.kind()));
-  append_double(out, speeds.fmin());
-  append_double(out, speeds.fmax());
-  append_double(out, speeds.delta());
-  append_i64(out, speeds.num_levels());
-  for (double level : speeds.levels()) append_double(out, level);
-}
-
-void append_reliability(std::string& out, const model::ReliabilityModel& rel) {
-  append_tag(out, 'R');
-  append_double(out, rel.lambda0());
-  append_double(out, rel.sensitivity());
-  append_double(out, rel.fmin());
-  append_double(out, rel.fmax());
-  append_double(out, rel.frel());
-}
-
-void append_options(std::string& out, const api::SolveOptions& opt) {
-  // deadline_slack is deliberately absent: it is already folded into the
-  // effective deadline, so (D=10, slack=1) and (D=5, slack=2) share a key.
-  append_tag(out, 'O');
-  append_i64(out, opt.approx_K);
-  append_double(out, opt.gap_tolerance);
-  append_i64(out, opt.max_nodes);
-  append_i64(out, opt.dp_buckets);
-  append_i64(out, opt.fork_grid);
-  append_i64(out, opt.polish ? 1 : 0);
+  return bits;
 }
 
 }  // namespace
 
 std::string canonical_fingerprint(const api::SolveRequest& request) {
-  std::string out;
-  out.reserve(256);
-  append_tag(out, 'P');
-  append_i64(out, static_cast<long long>(request.kind()));
-  append_dag(out, request.dag());
-  append_mapping(out, request.mapping());
-  append_speeds(out, request.speeds());
-  if (request.kind() == api::ProblemKind::kTriCrit) {
-    append_reliability(out, request.tricrit->reliability);
-  }
-  append_tag(out, 'D');
-  append_double(out, request.deadline());
-  append_tag(out, 'N');
-  append_i64(out, static_cast<long long>(request.solver.size()));
-  out += request.solver;
-  append_options(out, request.options);
+  std::string out = api::instance_bytes(request);
+  api::append_point_bytes(out, request);
   return out;
 }
 
-SolveCache::SolveCache(std::size_t shards) {
+std::uint64_t InstanceInterner::intern(const api::InstanceDigest& digest,
+                                       std::string bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& bucket = by_digest_[digest.lo];
+  for (const Blob& blob : bucket) {
+    // Exact-equality fallback: the digest narrows the candidates, the
+    // byte comparison decides. A digest collision between different
+    // instances lands two blobs in one bucket with distinct ids.
+    if (blob.digest == digest && blob.bytes == bytes) return blob.id;
+  }
+  const std::uint64_t id = next_id_++;
+  bucket.push_back(Blob{digest, std::move(bytes), id});
+  return id;
+}
+
+std::size_t InstanceInterner::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [lo, bucket] : by_digest_) total += bucket.size();
+  return total;
+}
+
+void InstanceInterner::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  by_digest_.clear();
+  // next_id_ stays monotonic: a context interned before this clear keeps
+  // an id no future intern can be assigned, so its keys simply miss.
+}
+
+SolveCache::SolveCache(std::size_t shards, std::size_t max_entries) {
   std::size_t n = 1;
   while (n < shards) n <<= 1;
   mask_ = n - 1;
+  capacity_ = max_entries;
+  if (max_entries > 0) {
+    // Floor split: with max_entries >= shards the resident total never
+    // exceeds the cap (it may undershoot by < shards). Caps smaller than
+    // the shard count degrade to one entry per shard.
+    shard_capacity_ = max_entries / n;
+    if (shard_capacity_ == 0) shard_capacity_ = 1;
+  }
   shards_ = std::make_unique<Shard[]>(n);
 }
 
-SolveCache::Shard& SolveCache::shard_for(const std::string& key) const {
-  return shards_[std::hash<std::string>{}(key)&mask_];
+SolveCache::InstanceContext SolveCache::context_for(const api::SolveRequest& request) {
+  std::string bytes = api::instance_bytes(request);
+  const api::InstanceDigest digest = api::digest_bytes(bytes);
+  InstanceContext context;
+  context.instance = instances_.intern(digest, std::move(bytes));
+  {
+    std::lock_guard<std::mutex> lock(solver_mutex_);
+    auto [it, inserted] =
+        solver_ids_.emplace(request.solver, solver_ids_.size() + 1);
+    context.solver = it->second;
+  }
+  return context;
 }
 
-common::Result<api::SolveReport> SolveCache::solve(const api::SolveRequest& request,
-                                                   bool* cache_hit) {
-  const std::string key = canonical_fingerprint(request);
-  Shard& shard = shard_for(key);
+CacheKey SolveCache::key_for(const InstanceContext& context,
+                             const api::SolveRequest& request) {
+  return key_for(context, request.kind(), request.deadline(),
+                 request.kind() == api::ProblemKind::kTriCrit
+                     ? request.tricrit->reliability.frel()
+                     : 0.0,
+                 request.options);
+}
+
+CacheKey SolveCache::key_for(const InstanceContext& context, api::ProblemKind kind,
+                             double effective_deadline, double frel,
+                             const api::SolveOptions& opt) {
+  CacheKey key;
+  key.instance = context.instance;
+  key.solver = context.solver;
+  key.deadline_bits = double_bits(effective_deadline);
+  key.frel_bits = kind == api::ProblemKind::kTriCrit ? double_bits(frel) : 0;
+  key.approx_K = opt.approx_K;
+  key.gap_tolerance_bits = double_bits(opt.gap_tolerance);
+  key.max_nodes = opt.max_nodes;
+  key.dp_buckets = opt.dp_buckets;
+  key.fork_grid = opt.fork_grid;
+  key.polish = opt.polish ? 1 : 0;
+
+  // Hash once here; shard selection and the map lookup both reuse it.
+  std::uint64_t h = 0x2545f4914f6cdd1dULL;
+  h = mix64(h ^ key.instance);
+  h = mix64(h ^ key.solver);
+  h = mix64(h ^ key.deadline_bits);
+  h = mix64(h ^ key.frel_bits);
+  h = mix64(h ^ static_cast<std::uint64_t>(key.approx_K));
+  h = mix64(h ^ key.gap_tolerance_bits);
+  h = mix64(h ^ static_cast<std::uint64_t>(key.max_nodes));
+  h = mix64(h ^ static_cast<std::uint64_t>(key.dp_buckets));
+  h = mix64(h ^ static_cast<std::uint64_t>(key.fork_grid));
+  h = mix64(h ^ static_cast<std::uint64_t>(key.polish));
+  key.hash = h;
+  return key;
+}
+
+SolveCache::CachedResult SolveCache::try_get(const CacheKey& key, bool* cache_hit) {
+  Shard& shard = shards_[key.hash & mask_];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    // No miss accounting here: the caller follows up with solve_shared,
+    // which records it (and may itself hit if a racer stored meanwhile).
+    if (cache_hit != nullptr) *cache_hit = false;
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (cache_hit != nullptr) *cache_hit = true;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->result;
+}
+
+SolveCache::CachedResult SolveCache::solve_shared(const api::SolveRequest& request,
+                                                  const CacheKey& key, bool* cache_hit) {
+  // The key's single precomputed hash selects the shard and indexes the
+  // shard map — a probe never hashes twice.
+  Shard& shard = shards_[key.hash & mask_];
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    auto it = shard.entries.find(key);
-    if (it != shard.entries.end()) {
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       if (cache_hit != nullptr) *cache_hit = true;
-      return it->second;
+      // Touch: a hit moves the entry to the front of the LRU order.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->result;
     }
   }
   // Miss: run the solver with no lock held, then store first-write-wins.
   misses_.fetch_add(1, std::memory_order_relaxed);
   if (cache_hit != nullptr) *cache_hit = false;
-  common::Result<api::SolveReport> result = api::solve(request);
+  CachedResult result =
+      std::make_shared<const common::Result<api::SolveReport>>(api::solve(request));
   std::lock_guard<std::mutex> lock(shard.mutex);
-  auto [it, inserted] = shard.entries.emplace(key, std::move(result));
-  (void)inserted;  // a racing miss may have stored first; return that entry
-  return it->second;
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // A racing miss stored first; return that entry (bit-identical to
+    // ours — solvers are deterministic — but first-write-wins keeps the
+    // stored report unique).
+    return it->second->result;
+  }
+  shard.lru.emplace_front(key, std::move(result));
+  shard.index.emplace(key, shard.lru.begin());
+  if (shard_capacity_ > 0 && shard.lru.size() > shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return shard.lru.front().result;
+}
+
+common::Result<api::SolveReport> SolveCache::solve(const api::SolveRequest& request,
+                                                   const CacheKey& key,
+                                                   bool* cache_hit) {
+  return *solve_shared(request, key, cache_hit);
+}
+
+common::Result<api::SolveReport> SolveCache::solve(const api::SolveRequest& request,
+                                                   bool* cache_hit) {
+  return solve(request, key_for(context_for(request), request), cache_hit);
 }
 
 CacheStats SolveCache::stats() const {
   CacheStats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
   s.entries = size();
   return s;
 }
@@ -156,7 +200,7 @@ std::size_t SolveCache::size() const {
   std::size_t total = 0;
   for (std::size_t i = 0; i <= mask_; ++i) {
     std::lock_guard<std::mutex> lock(shards_[i].mutex);
-    total += shards_[i].entries.size();
+    total += shards_[i].index.size();
   }
   return total;
 }
@@ -164,10 +208,13 @@ std::size_t SolveCache::size() const {
 void SolveCache::clear() {
   for (std::size_t i = 0; i <= mask_; ++i) {
     std::lock_guard<std::mutex> lock(shards_[i].mutex);
-    shards_[i].entries.clear();
+    shards_[i].index.clear();
+    shards_[i].lru.clear();
   }
+  instances_.clear();
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace easched::frontier

@@ -3,31 +3,51 @@
 //
 // Frontier sweeps, benches and repeat traffic issue many *identical*
 // requests: the same instance, speed model, solver and constraint point.
-// The cache keys each request by a canonical fingerprint of everything the
-// solve outcome depends on — the full problem content (graph weights and
-// edges, mapping orders, speed model, reliability parameters), the
-// *effective* deadline after the slack policy, the solver name, and every
-// SolveOptions knob a solver may read — so a hit is guaranteed to carry
-// the bit-identical result the solver would have recomputed.
+// Within one sweep only a couple of scalars (the effective deadline, or
+// the reliability threshold frel) change between hundreds of probes, so
+// the cache key is split to match:
 //
-// The fingerprint is an exact serialisation, not just a hash: entries
-// compare on the full key, so hash collisions can never return a wrong
-// result. Storage is sharded; each shard holds its own mutex so parallel
-// sweep workers rarely contend, and solver runs always happen outside any
-// lock. Failures (infeasible point, unsupported instance) are cached too —
-// they are as deterministic as successes and sweeps probe many of them.
+//  * the *instance* part (kind, graph, mapping, speeds, reliability
+//    statics) is serialised once into exact canonical bytes
+//    (api::instance_bytes), condensed into a 128-bit api::InstanceDigest
+//    and *interned*: the InstanceInterner resolves digest -> small id by
+//    exact byte comparison, so two instances that collide on the digest
+//    still receive distinct ids and a hit can never alias requests a
+//    solver could tell apart;
+//  * the *point* part is a POD CacheKey: the interned instance id, the
+//    interned solver-name id, the IEEE bit patterns of the effective
+//    deadline and frel, and every SolveOptions knob a solver may read.
 //
-// Caveat: the fingerprint includes the solver *name*, so the cache assumes
-// the registry binding of a name never changes. Call clear() if you
-// replace registry contents mid-process (the built-in registry never does).
+// A sweep interns once (context_for) and then probes with O(1) keys —
+// warm-path lookup cost is independent of the instance size. The key's
+// hash is computed once at construction and reused for both shard
+// selection and the per-shard map lookup, so a probe hashes exactly once.
+//
+// Storage is sharded; each shard holds its own mutex so parallel sweep
+// workers rarely contend, and solver runs always happen outside any lock.
+// Shards keep their entries on an intrusive LRU list: with a non-zero
+// capacity the least-recently-used entry is evicted on insert (evictions
+// are counted in CacheStats); the default capacity 0 means unbounded,
+// preserving the grow-forever behaviour earlier releases had. Failures
+// (infeasible point, unsupported instance) are cached too — they are as
+// deterministic as successes and sweeps probe many of them.
+//
+// Caveat: the key includes the solver *name*, so the cache assumes the
+// registry binding of a name never changes. Call clear() if you replace
+// registry contents mid-process (the built-in registry never does).
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "api/digest.hpp"
 #include "api/registry.hpp"
 #include "api/solver.hpp"
 #include "common/status.hpp"
@@ -39,6 +59,7 @@ struct CacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
   std::size_t entries = 0;
+  std::size_t evictions = 0;  ///< LRU entries dropped by the size cap
 
   double hit_rate() const noexcept {
     const std::size_t total = hits + misses;
@@ -47,43 +68,170 @@ struct CacheStats {
 };
 
 /// Exact canonical serialisation of everything `api::solve(request)`
-/// depends on. Two requests share a fingerprint iff a solver cannot tell
-/// them apart (task names are excluded: no algorithm reads them).
+/// depends on (api::instance_bytes + the per-point suffix). Two requests
+/// share a fingerprint iff a solver cannot tell them apart. Kept for
+/// exact-byte consumers (persistent spill, tests); the in-memory hot path
+/// uses the interned CacheKey instead and never builds this per probe.
 std::string canonical_fingerprint(const api::SolveRequest& request);
+
+/// Resolves (digest, exact bytes) pairs to small dense ids. Two calls
+/// return the same id iff the bytes are identical: digest collisions are
+/// broken by comparing the stored byte strings, so ids are an *exact*
+/// identity for instances. Thread-safe; ids stay valid for the interner's
+/// lifetime.
+class InstanceInterner {
+ public:
+  std::uint64_t intern(const api::InstanceDigest& digest, std::string bytes);
+  std::size_t size() const;
+  /// Drops every interned blob but keeps the id counter monotonic, so ids
+  /// held by stale contexts can never collide with freshly interned ones.
+  void clear();
+
+ private:
+  struct Blob {
+    api::InstanceDigest digest;
+    std::string bytes;
+    std::uint64_t id = 0;
+  };
+
+  mutable std::mutex mutex_;
+  /// digest.lo -> candidates; the full digest and bytes disambiguate.
+  std::unordered_map<std::uint64_t, std::vector<Blob>> by_digest_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// POD per-point cache key. `instance` and `solver` are interner ids
+/// (exact identities), the rest are bit patterns of the point scalars, so
+/// operator== is exact and collision-free by construction; `hash` is
+/// precomputed so a probe hashes once for both shard and map.
+struct CacheKey {
+  std::uint64_t instance = 0;
+  std::uint64_t solver = 0;
+  std::uint64_t deadline_bits = 0;
+  std::uint64_t frel_bits = 0;  ///< 0 for BI-CRIT (kind is in the instance)
+  std::int64_t approx_K = 0;
+  std::uint64_t gap_tolerance_bits = 0;
+  std::int64_t max_nodes = 0;
+  std::int64_t dp_buckets = 0;
+  std::int64_t fork_grid = 0;
+  std::int64_t polish = 0;
+  std::uint64_t hash = 0;
+
+  friend bool operator==(const CacheKey& a, const CacheKey& b) noexcept {
+    return a.instance == b.instance && a.solver == b.solver &&
+           a.deadline_bits == b.deadline_bits && a.frel_bits == b.frel_bits &&
+           a.approx_K == b.approx_K && a.gap_tolerance_bits == b.gap_tolerance_bits &&
+           a.max_nodes == b.max_nodes && a.dp_buckets == b.dp_buckets &&
+           a.fork_grid == b.fork_grid && a.polish == b.polish;
+  }
+};
 
 class SolveCache {
  public:
+  /// Everything a sweep interns once and reuses per probe.
+  struct InstanceContext {
+    std::uint64_t instance = 0;
+    std::uint64_t solver = 0;
+  };
+
   /// `shards` is rounded up to a power of two (default suits up to the
-  /// parallel_for thread cap).
-  explicit SolveCache(std::size_t shards = 16);
+  /// parallel_for thread cap). `max_entries` > 0 caps the entry count
+  /// with per-shard LRU eviction: the cap is floor-split across shards
+  /// (at least 1 per shard), so the resident total never exceeds
+  /// `max_entries` when it is >= the shard count and degrades to one
+  /// entry per shard below that. 0 keeps the cache unbounded. The cap
+  /// bounds *entries*; interned instance blobs are only released by
+  /// clear() (see ROADMAP).
+  explicit SolveCache(std::size_t shards = 16, std::size_t max_entries = 0);
 
   SolveCache(const SolveCache&) = delete;
   SolveCache& operator=(const SolveCache&) = delete;
 
-  /// api::solve through the cache. On a miss the solver runs outside any
-  /// lock and the result is stored first-write-wins (concurrent misses of
-  /// the same key both solve; the stored entry is whichever landed first,
-  /// and all callers return the stored entry). `cache_hit`, when non-null,
-  /// reports whether this call was served from the cache.
+  /// Stored entries are immutable and shared: a hit hands back the stored
+  /// result without copying the schedule, which keeps the warm path O(1)
+  /// in the instance size (a SolveReport copy is O(tasks)).
+  using CachedResult = std::shared_ptr<const common::Result<api::SolveReport>>;
+
+  /// Interns the instance bytes and the solver name of `request` —
+  /// O(instance size), once per sweep, never per probe.
+  InstanceContext context_for(const api::SolveRequest& request);
+
+  /// Builds the POD key for one probe from an interned context — O(1) in
+  /// the instance size. The hash is computed here, once.
+  static CacheKey key_for(const InstanceContext& context,
+                          const api::SolveRequest& request);
+
+  /// Same key without materialising a request: callers that derive the
+  /// point scalars directly (e.g. a reliability sweep, whose swept
+  /// problem would otherwise be deep-copied per probe just to be keyed)
+  /// pass them explicitly. `frel` is ignored for BI-CRIT.
+  static CacheKey key_for(const InstanceContext& context, api::ProblemKind kind,
+                          double effective_deadline, double frel,
+                          const api::SolveOptions& options);
+
+  /// Lookup-only probe: returns the stored result (counting a hit and
+  /// touching the LRU order) or null without any accounting — the caller
+  /// is expected to follow up with solve_shared, which records the miss.
+  CachedResult try_get(const CacheKey& key, bool* cache_hit = nullptr);
+
+  /// api::solve through the cache, keyed by a precomputed `key` (which
+  /// must have been built via key_for from this cache's context for this
+  /// request). On a miss the solver runs outside any lock and the result
+  /// is stored first-write-wins (concurrent misses of the same key both
+  /// solve; the stored entry is whichever landed first, and all callers
+  /// return the stored entry). `cache_hit`, when non-null, reports
+  /// whether this call was served from the cache. Never null. The pointee
+  /// outlives eviction and clear() — holders keep it alive.
+  CachedResult solve_shared(const api::SolveRequest& request, const CacheKey& key,
+                            bool* cache_hit = nullptr);
+
+  /// By-value convenience over solve_shared (copies the stored report).
+  common::Result<api::SolveReport> solve(const api::SolveRequest& request,
+                                         const CacheKey& key,
+                                         bool* cache_hit = nullptr);
+
+  /// Convenience overload: interns and keys internally (O(instance size)
+  /// per call — fine for one-off traffic; sweeps use context_for +
+  /// key_for to stay O(1) per probe).
   common::Result<api::SolveReport> solve(const api::SolveRequest& request,
                                          bool* cache_hit = nullptr);
 
   CacheStats stats() const;
   std::size_t size() const;
+  /// Total entry cap (0 = unbounded) and the derived per-shard cap.
+  std::size_t capacity() const noexcept { return capacity_; }
   void clear();
 
  private:
-  struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<std::string, common::Result<api::SolveReport>> entries;
+  struct Entry {
+    CacheKey key;
+    CachedResult result;
+    Entry(const CacheKey& k, CachedResult r) : key(k), result(std::move(r)) {}
   };
 
-  Shard& shard_for(const std::string& key) const;
+  struct KeyHash {
+    std::size_t operator()(const CacheKey& k) const noexcept {
+      return static_cast<std::size_t>(k.hash);
+    }
+  };
 
-  std::size_t mask_;  ///< shard count - 1 (power of two)
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Front = most recently used; eviction pops the back.
+    std::list<Entry> lru;
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index;
+  };
+
+  std::size_t mask_ = 0;  ///< shard count - 1 (power of two)
+  std::size_t capacity_ = 0;
+  std::size_t shard_capacity_ = 0;  ///< 0 = unbounded
   std::unique_ptr<Shard[]> shards_;
+  InstanceInterner instances_;
+  mutable std::mutex solver_mutex_;
+  std::unordered_map<std::string, std::uint64_t> solver_ids_;
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> evictions_{0};
 };
 
 }  // namespace easched::frontier

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <map>
 
 #include "api/registry.hpp"
@@ -16,7 +17,78 @@ namespace easched::frontier {
 namespace {
 
 /// Evaluates one constraint point; fills *cache_hit when served warm.
-using EvalFn = std::function<common::Result<api::SolveReport>(double, bool*)>;
+/// Results come back shared so a warm probe never copies the stored
+/// schedule — the lookup stays O(1) in the instance size.
+using EvalResult = SolveCache::CachedResult;
+using EvalFn = std::function<EvalResult(double, bool*)>;
+
+EvalResult wrap_uncached(common::Result<api::SolveReport> result) {
+  return std::make_shared<const common::Result<api::SolveReport>>(std::move(result));
+}
+
+/// The one deadline-axis eval used by sweeps and resweeps alike: with a
+/// cache it interns the instance once (here, not per probe) and issues
+/// O(1) POD-keyed lookups; without one it solves directly. Sharing the
+/// builder guarantees a resweep's prefetch writes exactly the keys its
+/// replay reads.
+template <typename Problem>
+EvalFn make_deadline_eval(SolveCache* cache, const Problem& problem,
+                          const FrontierOptions& options) {
+  if (cache == nullptr) {
+    return [&problem, &options](double deadline, bool*) {
+      api::SolveOptions solve_options = options.solve;
+      // The slack policy retargets the fixed problem to the swept
+      // deadline without rebuilding the instance.
+      solve_options.deadline_slack = deadline / problem.deadline;
+      return wrap_uncached(
+          api::solve(api::SolveRequest(problem, options.solver, solve_options)));
+    };
+  }
+  api::SolveRequest anchor(problem, options.solver, options.solve);
+  const SolveCache::InstanceContext context = cache->context_for(anchor);
+  return [cache, &problem, &options, context](double deadline, bool* cache_hit) {
+    api::SolveOptions solve_options = options.solve;
+    solve_options.deadline_slack = deadline / problem.deadline;
+    api::SolveRequest request(problem, options.solver, solve_options);
+    return cache->solve_shared(request, SolveCache::key_for(context, request),
+                               cache_hit);
+  };
+}
+
+/// Reliability-axis counterpart: frel lives in the per-point key suffix,
+/// so one interned context serves every threshold of the sweep.
+EvalFn make_reliability_eval(SolveCache* cache, const core::TriCritProblem& problem,
+                             const FrontierOptions& options) {
+  const model::ReliabilityModel& base = problem.reliability;
+  auto swept_request = [&problem, &base, &options](double frel) {
+    model::ReliabilityModel rel(base.lambda0(), base.sensitivity(), base.fmin(),
+                                base.fmax(), frel);
+    return core::TriCritProblem(problem.dag, problem.mapping, problem.speeds, rel,
+                                problem.deadline);
+  };
+  if (cache == nullptr) {
+    return [&options, swept_request](double frel, bool*) {
+      const core::TriCritProblem swept = swept_request(frel);
+      return wrap_uncached(
+          api::solve(api::SolveRequest(swept, options.solver, options.solve)));
+    };
+  }
+  api::SolveRequest anchor(problem, options.solver, options.solve);
+  const SolveCache::InstanceContext context = cache->context_for(anchor);
+  return [cache, &problem, &options, swept_request, context](double frel,
+                                                             bool* cache_hit) {
+    // Key first, from the point scalars alone: materialising the swept
+    // problem copies the whole DAG and mapping, which a warm probe must
+    // not pay — that copy happens only on the miss path below.
+    const CacheKey key = SolveCache::key_for(
+        context, api::ProblemKind::kTriCrit,
+        problem.deadline * options.solve.deadline_slack, frel, options.solve);
+    if (EvalResult found = cache->try_get(key, cache_hit)) return found;
+    const core::TriCritProblem swept = swept_request(frel);
+    api::SolveRequest request(swept, options.solver, options.solve);
+    return cache->solve_shared(request, key, cache_hit);
+  };
+}
 
 struct Eval {
   bool feasible = false;
@@ -37,6 +109,24 @@ bool point_level_failure(const common::Status& status) {
     default:
       return false;
   }
+}
+
+/// The uniform starting grid of a sweep over [lo, hi]. Factored out so
+/// resweep's prefetch reproduces the replay's grid doubles bit-exactly.
+std::vector<double> initial_grid(double lo, double hi, int initial) {
+  std::vector<double> grid;
+  const double span = hi - lo;
+  if (span == 0.0 || initial == 1) {
+    grid.push_back(lo);
+    return grid;
+  }
+  for (int i = 0; i < initial; ++i) {
+    // Pin the last point to `hi` exactly: lo + span * 1.0 can land one
+    // ulp outside the range and fail the callers' bound checks.
+    grid.push_back(i == initial - 1 ? hi
+                                    : lo + span * static_cast<double>(i) / (initial - 1));
+  }
+  return grid;
 }
 
 /// Shared sweep driver: uniform grid, then bisection rounds. All decisions
@@ -65,16 +155,16 @@ FrontierResult run_sweep(ConstraintAxis axis, double lo, double hi,
         constraints.size(),
         [&](std::size_t i) {
           Eval e;
-          auto r = eval_at(constraints[i], &e.cache_hit);
-          if (r.is_ok()) {
+          const EvalResult r = eval_at(constraints[i], &e.cache_hit);
+          if (r->is_ok()) {
             e.feasible = true;
             e.point.constraint = constraints[i];
-            e.point.energy = r.value().energy;
-            e.point.makespan = r.value().makespan;
-            e.point.solver = r.value().solver;
-            e.point.exact = r.value().exact;
+            e.point.energy = r->value().energy;
+            e.point.makespan = r->value().makespan;
+            e.point.solver = r->value().solver;
+            e.point.exact = r->value().exact;
           } else {
-            e.status = r.status();
+            e.status = r->status();
           }
           if (e.cache_hit) cache_hits.fetch_add(1, std::memory_order_relaxed);
           evals[i] = std::move(e);
@@ -85,18 +175,7 @@ FrontierResult run_sweep(ConstraintAxis axis, double lo, double hi,
     }
   };
 
-  std::vector<double> grid;
-  if (span == 0.0 || initial == 1) {
-    grid.push_back(lo);
-  } else {
-    for (int i = 0; i < initial; ++i) {
-      // Pin the last point to `hi` exactly: lo + span * 1.0 can land one
-      // ulp outside the range and fail the callers' bound checks.
-      grid.push_back(i == initial - 1 ? hi
-                                      : lo + span * static_cast<double>(i) / (initial - 1));
-    }
-  }
-  evaluate_batch(grid);
+  evaluate_batch(initial_grid(lo, hi, initial));
 
   // Deterministic: the scan runs in constraint order, not solve order.
   auto request_level_error = [&]() -> common::Status {
@@ -177,7 +256,9 @@ FrontierResult run_sweep(ConstraintAxis axis, double lo, double hi,
   }
 
   std::vector<FrontierPoint> feasible_points;
+  result.probes.reserve(evaluated.size());
   for (auto& [c, e] : evaluated) {
+    result.probes.push_back(c);
     if (e.feasible) {
       feasible_points.push_back(std::move(e.point));
     } else if (point_level_failure(e.status)) {
@@ -193,6 +274,55 @@ FrontierResult run_sweep(ConstraintAxis axis, double lo, double hi,
   return result;
 }
 
+/// Prefetch phase of resweep: solve prev's probe positions (clipped to
+/// the new range, deduplicated against the replay's grid which is solved
+/// either way) in one parallel batch through `eval_at`, so the replay
+/// finds them cached. Returns how many probes were prefetched.
+std::size_t prefetch_probes(const FrontierResult& prev, double lo, double hi,
+                            const FrontierOptions& options, const EvalFn& eval_at) {
+  const int initial = std::max(1, options.initial_points);
+  std::vector<double> batch = initial_grid(lo, hi, initial);
+  for (double c : prev.probes) {
+    if (c >= lo && c <= hi) batch.push_back(c);
+  }
+  // Seeds from results that predate the probe trace: curve + dominated.
+  if (prev.probes.empty()) {
+    for (const auto& p : prev.points) {
+      if (p.constraint >= lo && p.constraint <= hi) batch.push_back(p.constraint);
+    }
+    for (const auto& p : prev.dominated) {
+      if (p.constraint >= lo && p.constraint <= hi) batch.push_back(p.constraint);
+    }
+  }
+  std::sort(batch.begin(), batch.end());
+  batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+  common::parallel_for(
+      batch.size(),
+      [&](std::size_t i) {
+        bool hit = false;
+        (void)eval_at(batch[i], &hit);
+      },
+      options.threads);
+  return batch.size();
+}
+
+/// Shared resweep scaffold: speculative prefetch (when the engine has a
+/// cache), then the exact replay `sweep`, with the full prefetch+replay
+/// span as wall_ms. `eval` may be null (no cache: nothing to prefetch).
+FrontierResult resweep_run(const FrontierResult& prev, double lo, double hi,
+                           const FrontierOptions& options, const EvalFn* eval,
+                           const std::function<FrontierResult()>& sweep) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t prefetched =
+      eval != nullptr ? prefetch_probes(prev, lo, hi, options, *eval) : 0;
+  FrontierResult result = sweep();
+  result.prefetched = prefetched;
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
 }  // namespace
 
 FrontierResult FrontierEngine::deadline_sweep(const core::BiCritProblem& problem,
@@ -201,15 +331,7 @@ FrontierResult FrontierEngine::deadline_sweep(const core::BiCritProblem& problem
   EASCHED_CHECK_MSG(problem.deadline > 0.0,
                     "deadline_sweep needs a positive anchor deadline");
   return run_sweep(ConstraintAxis::kDeadline, dmin, dmax, options,
-                   [&](double deadline, bool* cache_hit) {
-                     // The slack policy retargets the fixed problem to the
-                     // swept deadline without rebuilding the instance.
-                     api::SolveOptions solve_options = options.solve;
-                     solve_options.deadline_slack = deadline / problem.deadline;
-                     api::SolveRequest request(problem, options.solver, solve_options);
-                     return cache_ != nullptr ? cache_->solve(request, cache_hit)
-                                              : api::solve(request);
-                   });
+                   make_deadline_eval(cache_, problem, options));
 }
 
 FrontierResult FrontierEngine::deadline_sweep(const core::TriCritProblem& problem,
@@ -218,13 +340,7 @@ FrontierResult FrontierEngine::deadline_sweep(const core::TriCritProblem& proble
   EASCHED_CHECK_MSG(problem.deadline > 0.0,
                     "deadline_sweep needs a positive anchor deadline");
   return run_sweep(ConstraintAxis::kDeadline, dmin, dmax, options,
-                   [&](double deadline, bool* cache_hit) {
-                     api::SolveOptions solve_options = options.solve;
-                     solve_options.deadline_slack = deadline / problem.deadline;
-                     api::SolveRequest request(problem, options.solver, solve_options);
-                     return cache_ != nullptr ? cache_->solve(request, cache_hit)
-                                              : api::solve(request);
-                   });
+                   make_deadline_eval(cache_, problem, options));
 }
 
 FrontierResult FrontierEngine::reliability_sweep(const core::TriCritProblem& problem,
@@ -234,15 +350,54 @@ FrontierResult FrontierEngine::reliability_sweep(const core::TriCritProblem& pro
   EASCHED_CHECK_MSG(rmin >= base.fmin() && rmax <= base.fmax(),
                     "reliability sweep range must lie within [fmin, fmax]");
   return run_sweep(ConstraintAxis::kReliability, rmin, rmax, options,
-                   [&](double frel, bool* cache_hit) {
-                     model::ReliabilityModel rel(base.lambda0(), base.sensitivity(),
-                                                 base.fmin(), base.fmax(), frel);
-                     core::TriCritProblem swept(problem.dag, problem.mapping,
-                                                problem.speeds, rel, problem.deadline);
-                     api::SolveRequest request(swept, options.solver, options.solve);
-                     return cache_ != nullptr ? cache_->solve(request, cache_hit)
-                                              : api::solve(request);
-                   });
+                   make_reliability_eval(cache_, problem, options));
+}
+
+FrontierResult FrontierEngine::resweep(const FrontierResult& prev,
+                                       const core::BiCritProblem& problem, double dmin,
+                                       double dmax, const FrontierOptions& options) const {
+  EASCHED_CHECK_MSG(prev.axis == ConstraintAxis::kDeadline,
+                    "resweep needs a deadline-axis previous curve");
+  EASCHED_CHECK_MSG(problem.deadline > 0.0,
+                    "resweep needs a positive anchor deadline");
+  const EvalFn eval = make_deadline_eval(cache_, problem, options);
+  return resweep_run(prev, dmin, dmax, options, cache_ != nullptr ? &eval : nullptr,
+                     [&] {
+                       return run_sweep(ConstraintAxis::kDeadline, dmin, dmax, options,
+                                        eval);
+                     });
+}
+
+FrontierResult FrontierEngine::resweep(const FrontierResult& prev,
+                                       const core::TriCritProblem& problem, double dmin,
+                                       double dmax, const FrontierOptions& options) const {
+  EASCHED_CHECK_MSG(prev.axis == ConstraintAxis::kDeadline,
+                    "resweep needs a deadline-axis previous curve");
+  EASCHED_CHECK_MSG(problem.deadline > 0.0,
+                    "resweep needs a positive anchor deadline");
+  const EvalFn eval = make_deadline_eval(cache_, problem, options);
+  return resweep_run(prev, dmin, dmax, options, cache_ != nullptr ? &eval : nullptr,
+                     [&] {
+                       return run_sweep(ConstraintAxis::kDeadline, dmin, dmax, options,
+                                        eval);
+                     });
+}
+
+FrontierResult FrontierEngine::resweep_reliability(const FrontierResult& prev,
+                                                   const core::TriCritProblem& problem,
+                                                   double rmin, double rmax,
+                                                   const FrontierOptions& options) const {
+  EASCHED_CHECK_MSG(prev.axis == ConstraintAxis::kReliability,
+                    "resweep_reliability needs a reliability-axis previous curve");
+  const model::ReliabilityModel& base = problem.reliability;
+  EASCHED_CHECK_MSG(rmin >= base.fmin() && rmax <= base.fmax(),
+                    "reliability sweep range must lie within [fmin, fmax]");
+  const EvalFn eval = make_reliability_eval(cache_, problem, options);
+  return resweep_run(prev, rmin, rmax, options, cache_ != nullptr ? &eval : nullptr,
+                     [&] {
+                       return run_sweep(ConstraintAxis::kReliability, rmin, rmax,
+                                        options, eval);
+                     });
 }
 
 }  // namespace easched::frontier

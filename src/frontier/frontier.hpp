@@ -19,6 +19,23 @@
 // fans out via common::parallel_for; refinement decisions depend only on
 // solved energies, so the returned points are bit-identical for every
 // thread count, and — through the optional SolveCache — for warm re-runs.
+//
+// Sweeps with a cache intern the instance once (SolveCache::context_for)
+// and probe with O(1) POD keys, so the per-probe lookup cost is
+// independent of the instance size.
+//
+// resweep() is the incremental-update path for repeat traffic on
+// *changed* instances: given the previous curve of a neighbouring
+// instance, it speculatively prefetches the previous probe positions in
+// one fully parallel batch (warm-starting the new curve from where the
+// old one needed points), then replays the standard adaptive sweep, which
+// now finds almost every probe already cached. Because the replay is the
+// very same deterministic algorithm a cold sweep runs — the prefetch only
+// changes *when* a value is computed, never *what* is computed — the
+// resweep curve is bit-identical to a cold sweep of the changed instance,
+// even when the change moved the knee and the refinement re-bisects
+// different intervals (drifted probes simply miss the prefetch and solve
+// on demand).
 
 #include <cstddef>
 #include <string>
@@ -72,9 +89,13 @@ struct FrontierResult {
   std::vector<FrontierPoint> points;
   /// Feasible points that were dominated (heuristic wobble, duplicates).
   std::vector<FrontierPoint> dominated;
+  /// Every constraint value the sweep evaluated (ascending), feasible or
+  /// not — the probe trace a later resweep() seeds its prefetch from.
+  std::vector<double> probes;
   std::size_t evaluated = 0;   ///< solve attempts (feasible + infeasible)
   std::size_t infeasible = 0;  ///< constraint points no solver could meet
   std::size_t cache_hits = 0;  ///< evaluations served by the SolveCache
+  std::size_t prefetched = 0;  ///< resweep only: probes solved speculatively
   double wall_ms = 0.0;
   /// First *request-level* failure (unknown solver name, invalid options,
   /// internal error): such a status would repeat at every constraint
@@ -111,6 +132,33 @@ class FrontierEngine {
   FrontierResult reliability_sweep(const core::TriCritProblem& problem, double rmin,
                                    double rmax,
                                    const FrontierOptions& options = {}) const;
+
+  /// Incremental re-sweep of a *changed* instance, warm-started from the
+  /// curve of a neighbouring instance (`prev`, from any earlier sweep of
+  /// this engine or another): prefetches prev's probe positions in one
+  /// parallel batch through the cache, then replays the standard
+  /// deadline sweep. The returned curve is bit-identical to
+  /// deadline_sweep(problem, dmin, dmax, options) by construction; the
+  /// prefetch only shifts work into one embarrassingly parallel phase and
+  /// lets repeat traffic on the changed instance hit instead of re-solve.
+  /// Intervals whose endpoint energies did not move re-bisect to the very
+  /// probes that were prefetched; only moved intervals solve new points
+  /// during the replay. Without a cache the prefetch is skipped and this
+  /// degenerates to a plain (still correct) cold sweep.
+  FrontierResult resweep(const FrontierResult& prev, const core::BiCritProblem& problem,
+                         double dmin, double dmax,
+                         const FrontierOptions& options = {}) const;
+
+  /// TRI-CRIT deadline-axis resweep at the problem's fixed frel.
+  FrontierResult resweep(const FrontierResult& prev, const core::TriCritProblem& problem,
+                         double dmin, double dmax,
+                         const FrontierOptions& options = {}) const;
+
+  /// TRI-CRIT reliability-axis resweep over [rmin, rmax].
+  FrontierResult resweep_reliability(const FrontierResult& prev,
+                                     const core::TriCritProblem& problem, double rmin,
+                                     double rmax,
+                                     const FrontierOptions& options = {}) const;
 
  private:
   SolveCache* cache_;

@@ -149,6 +149,150 @@ TEST(SolveCache, ClearForgetsEntriesAndCounters) {
   EXPECT_FALSE(hit);
 }
 
+TEST(InstanceInterner, SameBytesShareAnIdForgedCollisionsDoNot) {
+  InstanceInterner interner;
+  // The digest narrows candidates; the exact byte comparison decides. Two
+  // different byte strings under a *forged identical digest* — the
+  // collision case a 128-bit hash makes astronomically rare but the
+  // interner must still survive — get distinct ids.
+  const api::InstanceDigest forged{0xdeadbeefULL, 0x1234ULL};
+  const auto a = interner.intern(forged, "instance-a");
+  const auto b = interner.intern(forged, "instance-b");
+  EXPECT_NE(a, b) << "digest collision must not alias different instances";
+  EXPECT_EQ(a, interner.intern(forged, "instance-a"));
+  EXPECT_EQ(b, interner.intern(forged, "instance-b"));
+  EXPECT_EQ(interner.size(), 2u);
+
+  // Same bytes under a different digest are a different identity: the
+  // digest is part of what callers derive from the bytes, so this only
+  // happens across incompatible serialisation versions.
+  const api::InstanceDigest other{0xdeadbeefULL, 0x5678ULL};
+  EXPECT_NE(a, interner.intern(other, "instance-a"));
+}
+
+TEST(SolveCacheCollisionFallback, ForgedDigestCollisionStillSeparatesRequests) {
+  // End-to-end version of the interner property: two problems that differ
+  // only in one task weight route through the digest-keyed cache and must
+  // produce their own energies even though they share shard machinery.
+  const auto p1 = diamond_problem(14.0);
+  auto p2 = diamond_problem(14.0);
+  p2.dag.set_weight(0, 2.5);
+
+  const auto d1 = api::instance_digest(api::SolveRequest(p1));
+  const auto d2 = api::instance_digest(api::SolveRequest(p2));
+  EXPECT_NE(d1, d2) << "a one-weight perturbation must change the digest";
+
+  SolveCache cache;
+  const auto r1 = cache.solve(api::SolveRequest(p1));
+  bool hit = true;
+  const auto r2 = cache.solve(api::SolveRequest(p2), &hit);
+  ASSERT_TRUE(r1.is_ok());
+  ASSERT_TRUE(r2.is_ok());
+  EXPECT_FALSE(hit) << "the perturbed instance must miss, not alias the original";
+  EXPECT_NE(r1.value().energy, r2.value().energy);
+
+  // Perturbing the weight *back* restores the original identity: the
+  // interner keys on exact bytes, so the original entry hits again.
+  p2.dag.set_weight(0, 2.0);
+  const auto r3 = cache.solve(api::SolveRequest(p2), &hit);
+  ASSERT_TRUE(r3.is_ok());
+  EXPECT_TRUE(hit) << "identical bytes must re-intern to the same id";
+  EXPECT_EQ(r1.value().energy, r3.value().energy);
+}
+
+TEST(SolveCachePropertyTest, PerturbingAnyOneWeightInvalidatesOnlyTheDigest) {
+  // Property over every task: bumping task t's weight yields a fresh
+  // digest (no stale hit) and restoring it yields a hit — the digest is
+  // exactly as fine-grained as the instance content.
+  const auto base = diamond_problem(14.0);
+  SolveCache cache;
+  const auto cold = cache.solve(api::SolveRequest(base));
+  ASSERT_TRUE(cold.is_ok());
+
+  for (graph::TaskId t = 0; t < base.dag.num_tasks(); ++t) {
+    auto perturbed = diamond_problem(14.0);
+    const double w = perturbed.dag.weight(t);
+    perturbed.dag.set_weight(t, w * 1.25);
+    EXPECT_NE(api::instance_digest(api::SolveRequest(base)),
+              api::instance_digest(api::SolveRequest(perturbed)))
+        << "task " << t;
+    bool hit = true;
+    const auto r = cache.solve(api::SolveRequest(perturbed), &hit);
+    EXPECT_FALSE(hit) << "stale hit after perturbing task " << t;
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_NE(r.value().energy, cold.value().energy) << "task " << t;
+
+    perturbed.dag.set_weight(t, w);
+    (void)cache.solve(api::SolveRequest(perturbed), &hit);
+    EXPECT_TRUE(hit) << "restored weight must hit again, task " << t;
+  }
+}
+
+TEST(SolveCacheLru, CapEvictsLeastRecentlyUsedInOrder) {
+  // One shard, room for two entries: A, B fill it; touching A makes B the
+  // LRU entry, so inserting C evicts B (not A).
+  const auto a = diamond_problem(10.0);
+  const auto b = diamond_problem(11.0);
+  const auto c = diamond_problem(12.0);
+  SolveCache cache(/*shards=*/1, /*max_entries=*/2);
+  EXPECT_EQ(cache.capacity(), 2u);
+
+  (void)cache.solve(api::SolveRequest(a));
+  (void)cache.solve(api::SolveRequest(b));
+  bool hit = false;
+  (void)cache.solve(api::SolveRequest(a), &hit);  // touch A: B is now LRU
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  (void)cache.solve(api::SolveRequest(c));  // evicts B
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  (void)cache.solve(api::SolveRequest(a), &hit);
+  EXPECT_TRUE(hit) << "A was touched and must survive the eviction";
+  (void)cache.solve(api::SolveRequest(b), &hit);
+  EXPECT_FALSE(hit) << "B was the least recently used entry and must be gone";
+  // Re-solving B evicted the next-LRU entry (C) to stay within the cap.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(SolveCacheLru, DefaultIsUnbounded) {
+  SolveCache cache;
+  EXPECT_EQ(cache.capacity(), 0u);
+  for (int i = 0; i < 12; ++i) {
+    (void)cache.solve(api::SolveRequest(diamond_problem(10.0 + i)));
+  }
+  EXPECT_EQ(cache.size(), 12u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(SolveCacheKey, ContextAndKeyProbeMatchesConvenienceOverload) {
+  // The O(1) per-probe path (context_for once + key_for per probe) and
+  // the per-call convenience overload must address the same entries.
+  const auto problem = diamond_problem(14.0);
+  SolveCache cache;
+
+  api::SolveRequest request(problem);
+  const auto context = cache.context_for(request);
+  bool hit = true;
+  const auto cold = cache.solve(request, SolveCache::key_for(context, request), &hit);
+  ASSERT_TRUE(cold.is_ok());
+  EXPECT_FALSE(hit);
+
+  const auto warm = cache.solve(api::SolveRequest(problem), &hit);
+  ASSERT_TRUE(warm.is_ok());
+  EXPECT_TRUE(hit) << "convenience overload must hit the keyed entry";
+  EXPECT_EQ(cold.value().energy, warm.value().energy);
+
+  // Slack folding carries over to the POD key: (D=7, slack=2) == (D=14).
+  const auto half = diamond_problem(7.0);
+  api::SolveOptions doubled;
+  doubled.deadline_slack = 2.0;
+  (void)cache.solve(api::SolveRequest(half, "", doubled), &hit);
+  EXPECT_TRUE(hit) << "equal effective deadlines must share a key";
+}
+
 TEST(SolveCache, ConcurrentMixedWorkloadStaysConsistent) {
   // 64 workers hammer 8 distinct requests; every result must equal the
   // uncached reference and the books must balance. Run under

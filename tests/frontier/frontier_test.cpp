@@ -169,6 +169,139 @@ TEST(DeadlineSweep, ThreadCountNeverChangesThePoints) {
   EXPECT_EQ(a.evaluated, b.evaluated);
 }
 
+TEST(Resweep, BitIdenticalToColdSweepOfThePerturbedInstance) {
+  // The ISSUE acceptance property: after perturbing one task weight, a
+  // resweep seeded from the stale curve must return exactly the curve a
+  // cold sweep of the perturbed instance returns — same constraints,
+  // energies, makespans, solvers, bit for bit — across thread counts.
+  const auto speeds = model::SpeedModel::continuous(0.1, 1.0);
+  FrontierOptions options;
+  options.initial_points = 6;
+  options.max_points = 14;
+
+  for (const auto& inst : small_corpus()) {
+    const double base = fmax_deadline(inst, speeds.fmax());
+    core::BiCritProblem problem(inst.dag, inst.mapping, speeds, base * 2.5);
+
+    SolveCache cache;
+    FrontierEngine engine(&cache);
+    const auto prev = engine.deadline_sweep(problem, base * 1.1, base * 2.5, options);
+    ASSERT_FALSE(prev.probes.empty()) << inst.name;
+
+    // Perturb one weight; the perturbed instance shares nothing with the
+    // cached entries (fresh digest), so the resweep does real solving.
+    core::BiCritProblem perturbed = problem;
+    perturbed.dag.set_weight(0, perturbed.dag.weight(0) * 1.05);
+
+    FrontierEngine plain_engine;  // no cache: the reference cold sweep
+    const auto cold =
+        plain_engine.deadline_sweep(perturbed, base * 1.1, base * 2.5, options);
+
+    for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      SolveCache resweep_cache;
+      FrontierEngine resweep_engine(&resweep_cache);
+      FrontierOptions threaded = options;
+      threaded.threads = threads;
+      const auto warm =
+          resweep_engine.resweep(prev, perturbed, base * 1.1, base * 2.5, threaded);
+      EXPECT_GT(warm.prefetched, 0u) << inst.name;
+      ASSERT_EQ(cold.points.size(), warm.points.size())
+          << inst.name << " threads=" << threads;
+      for (std::size_t i = 0; i < cold.points.size(); ++i) {
+        EXPECT_EQ(cold.points[i].constraint, warm.points[i].constraint) << inst.name;
+        EXPECT_EQ(cold.points[i].energy, warm.points[i].energy) << inst.name;
+        EXPECT_EQ(cold.points[i].makespan, warm.points[i].makespan) << inst.name;
+        EXPECT_EQ(cold.points[i].solver, warm.points[i].solver) << inst.name;
+        EXPECT_EQ(cold.points[i].exact, warm.points[i].exact) << inst.name;
+      }
+      ASSERT_EQ(cold.probes.size(), warm.probes.size()) << inst.name;
+      for (std::size_t i = 0; i < cold.probes.size(); ++i) {
+        EXPECT_EQ(cold.probes[i], warm.probes[i]) << inst.name;
+      }
+      EXPECT_EQ(cold.infeasible, warm.infeasible) << inst.name;
+    }
+  }
+}
+
+TEST(Resweep, ReplayFindsThePrefetchedProbesCached) {
+  // When the instance did not change at all, the prefetch re-fills every
+  // probe of the replay: the replayed sweep runs at pure cache speed.
+  const auto corpus = small_corpus();
+  const auto speeds = model::SpeedModel::continuous(0.1, 1.0);
+  const auto& inst = corpus.front();
+  const double base = fmax_deadline(inst, speeds.fmax());
+  core::BiCritProblem problem(inst.dag, inst.mapping, speeds, base * 2.5);
+
+  SolveCache cache;
+  FrontierEngine engine(&cache);
+  FrontierOptions options;
+  options.initial_points = 6;
+  options.max_points = 14;
+  const auto prev = engine.deadline_sweep(problem, base * 1.1, base * 2.5, options);
+
+  SolveCache fresh_cache;
+  FrontierEngine fresh_engine(&fresh_cache);
+  const auto again = fresh_engine.resweep(prev, problem, base * 1.1, base * 2.5, options);
+  EXPECT_EQ(again.cache_hits, again.evaluated)
+      << "an unchanged instance must replay fully from the prefetch";
+  ASSERT_EQ(prev.points.size(), again.points.size());
+  for (std::size_t i = 0; i < prev.points.size(); ++i) {
+    EXPECT_EQ(prev.points[i].energy, again.points[i].energy);
+  }
+}
+
+TEST(Resweep, WithoutACacheDegeneratesToACorrectColdSweep) {
+  const auto corpus = small_corpus();
+  const auto speeds = model::SpeedModel::continuous(0.1, 1.0);
+  const auto& inst = corpus.front();
+  const double base = fmax_deadline(inst, speeds.fmax());
+  core::BiCritProblem problem(inst.dag, inst.mapping, speeds, base * 2.5);
+
+  FrontierEngine plain_engine;
+  FrontierOptions options;
+  options.initial_points = 5;
+  options.max_points = 11;
+  const auto cold = plain_engine.deadline_sweep(problem, base * 1.1, base * 2.5, options);
+  const auto re = plain_engine.resweep(cold, problem, base * 1.1, base * 2.5, options);
+  EXPECT_EQ(re.prefetched, 0u) << "no cache: prefetching would just double-solve";
+  ASSERT_EQ(cold.points.size(), re.points.size());
+  for (std::size_t i = 0; i < cold.points.size(); ++i) {
+    EXPECT_EQ(cold.points[i].energy, re.points[i].energy);
+    EXPECT_EQ(cold.points[i].constraint, re.points[i].constraint);
+  }
+}
+
+TEST(ResweepReliability, BitIdenticalAcrossTheAxis) {
+  const auto corpus = small_corpus();
+  const auto speeds = model::SpeedModel::continuous(0.2, 1.0);
+  const model::ReliabilityModel rel = model::default_reliability(0.2, 1.0, 0.9);
+  const auto& inst = corpus.front();
+  const double deadline = fmax_deadline(inst, speeds.fmax()) * 2.5;
+  core::TriCritProblem problem(inst.dag, inst.mapping, speeds, rel, deadline);
+
+  FrontierOptions options;
+  options.initial_points = 5;
+  options.max_points = 9;
+  SolveCache cache;
+  FrontierEngine engine(&cache);
+  const auto prev = engine.reliability_sweep(problem, 0.3, 0.9, options);
+  if (prev.points.empty()) GTEST_SKIP() << "family not handled by tri-crit heuristics";
+
+  core::TriCritProblem perturbed = problem;
+  perturbed.dag.set_weight(0, perturbed.dag.weight(0) * 1.05);
+
+  FrontierEngine plain_engine;
+  const auto cold = plain_engine.reliability_sweep(perturbed, 0.3, 0.9, options);
+  SolveCache fresh_cache;
+  FrontierEngine fresh_engine(&fresh_cache);
+  const auto warm = fresh_engine.resweep_reliability(prev, perturbed, 0.3, 0.9, options);
+  ASSERT_EQ(cold.points.size(), warm.points.size());
+  for (std::size_t i = 0; i < cold.points.size(); ++i) {
+    EXPECT_EQ(cold.points[i].constraint, warm.points[i].constraint);
+    EXPECT_EQ(cold.points[i].energy, warm.points[i].energy);
+  }
+}
+
 TEST(ReliabilitySweep, FrontierInvariantsAndDeterminism) {
   const auto corpus = small_corpus();
   const auto speeds = model::SpeedModel::continuous(0.2, 1.0);
