@@ -34,13 +34,6 @@ namespace {
 
 using namespace easched;
 
-const char* json_out_path(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--json-out") return argv[i + 1];
-  }
-  return nullptr;
-}
-
 bool identical_curves(const frontier::FrontierResult& a,
                       const frontier::FrontierResult& b) {
   if (a.points.size() != b.points.size()) return false;
@@ -281,7 +274,7 @@ int main(int argc, char** argv) {
   const bool resweep_ok =
       resweep_mismatches == 0 && (resweep_total <= 0.0 || resweep_speedup >= 5.0);
 
-  if (const char* path = json_out_path(argc, argv)) {
+  if (const char* path = bench::json_out_path(argc, argv)) {
     std::ofstream out(path);
     out << "{\n"
         << "  \"cold_ms\": " << common::format_g(cold_ms) << ",\n"

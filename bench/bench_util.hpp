@@ -19,6 +19,15 @@
 
 namespace easched::bench {
 
+/// The --json-out FILE argv scanner shared by every bench whose headline
+/// numbers feed scripts/bench_snapshot.sh; nullptr when the flag is absent.
+inline const char* json_out_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json-out") return argv[i + 1];
+  }
+  return nullptr;
+}
+
 /// Wall-clock stopwatch in milliseconds.
 class Stopwatch {
  public:

@@ -22,6 +22,22 @@
 //     Incremental update: sweeps the old instance, then resweeps the new
 //     (slightly changed) instance warm-started from the old curve — the
 //     printed frontier is bit-identical to a cold sweep of the new file.
+//   easched_cli store <stat|verify|compact> <log-file>
+//     Offline maintenance of a persistent solve-store log: record/byte
+//     counts (stat), a full CRC + payload decode scan (verify), or a
+//     rewrite dropping superseded and orphaned records (compact).
+//
+// Persistence options (frontier mode):
+//   --store FILE          back the SolveCache with an on-disk log: entries
+//                         load on open and fresh solves write through, so
+//                         a restarted process replays previous sweeps with
+//                         zero solver calls
+//   --store-mode M        both (default) | write-through | load-on-open
+//   --warm-start          on a full miss, seed the continuous solver from
+//                         the nearest stored schedule of the same instance
+//   --cache-cap-bytes N   LRU-cap the SolveCache at ~N resident bytes
+//   --cache-stats-out F   write CacheStats snapshots (per phase) to F
+//                         (.json for JSON, anything else CSV)
 //
 // Shared options:
 //   --processors P        platform size (default 2)
@@ -62,9 +78,11 @@
 #include "frontier/compare.hpp"
 #include "frontier/export.hpp"
 #include "frontier/frontier.hpp"
+#include "frontier/telemetry.hpp"
 #include "graph/io.hpp"
 #include "sched/gantt.hpp"
 #include "sched/list_scheduler.hpp"
+#include "store/store.hpp"
 
 namespace {
 
@@ -94,10 +112,13 @@ int usage(const char* argv0) {
       << "       " << argv0 << " frontier <dag-file> --dmin A --dmax B [options]\n"
       << "       " << argv0
       << " frontier <dag-file> --deadline D --rmin A --rmax B [options]\n"
+      << "       " << argv0 << " store <stat|verify|compact> <log-file>\n"
       << "  [--processors P] [--fmin F] [--fmax F] [--levels f1,f2,...] [--vdd]\n"
       << "  [--frel F] [--lambda0 L] [--dexp D] [--solver NAME] [--solvers n1,n2]\n"
       << "  [--slack S] [--threads N] [--points N] [--max-points M]\n"
-      << "  [--cache-cap N] [--resweep] [--list-solvers] [--gantt] [--csv] [--json]\n";
+      << "  [--cache-cap N] [--cache-cap-bytes N] [--store FILE] [--store-mode M]\n"
+      << "  [--warm-start] [--cache-stats-out F] [--resweep] [--list-solvers]\n"
+      << "  [--gantt] [--csv] [--json]\n";
   return 2;
 }
 
@@ -125,10 +146,15 @@ struct CliArgs {
   std::optional<std::vector<double>> levels;
   std::optional<double> dmin, dmax, rmin, rmax;
   bool vdd = false, gantt = false, csv = false, json = false, resweep = false;
+  bool warm_start = false;
   int processors = 2;
   int points = 9, max_points = 33;
   std::size_t threads = 0;
   std::size_t cache_cap = 0;
+  std::size_t cache_cap_bytes = 0;
+  std::string store_path;
+  std::string store_mode = "both";  // both | write-through | load-on-open
+  std::string cache_stats_out;
   api::SolveOptions options;
 };
 
@@ -193,6 +219,26 @@ bool parse_args(int argc, char** argv, int first, CliArgs& args) {
         return false;
       }
       args.cache_cap = static_cast<std::size_t>(cap);
+    } else if (arg == "--cache-cap-bytes") {
+      const long long cap = std::stoll(next());
+      if (cap < 0) {
+        std::cerr << "--cache-cap-bytes must be >= 0\n";
+        return false;
+      }
+      args.cache_cap_bytes = static_cast<std::size_t>(cap);
+    } else if (arg == "--store") {
+      args.store_path = next();
+    } else if (arg == "--store-mode") {
+      args.store_mode = next();
+      if (args.store_mode != "both" && args.store_mode != "write-through" &&
+          args.store_mode != "load-on-open") {
+        std::cerr << "--store-mode must be both, write-through or load-on-open\n";
+        return false;
+      }
+    } else if (arg == "--warm-start") {
+      args.warm_start = true;
+    } else if (arg == "--cache-stats-out") {
+      args.cache_stats_out = next();
     } else if (arg == "--resweep") {
       args.resweep = true;
     } else if (arg == "--list-solvers") {
@@ -372,7 +418,35 @@ int run_frontier(CliArgs& args) {
     shards = 1;
     while (shards * 2 <= std::min<std::size_t>(16, args.cache_cap)) shards *= 2;
   }
-  frontier::SolveCache cache(shards, args.cache_cap);
+
+  // Persistence: a --store log makes the cache outlive this process —
+  // previous runs' entries load before the sweep, and whatever this run
+  // solves is appended for the next one. Declared before the cache so it
+  // is destroyed after it (the cache keeps a raw pointer to it).
+  std::optional<store::SolveStore> solve_store;
+  frontier::SolveCache cache(shards, args.cache_cap, args.cache_cap_bytes);
+  if (!args.store_path.empty()) {
+    store::StoreOptions sopt;
+    sopt.path = args.store_path;
+    sopt.write_through = args.store_mode != "load-on-open";
+    sopt.load_on_open = args.store_mode != "write-through";
+    sopt.warm_start = args.warm_start;
+    auto opened = store::SolveStore::open(std::move(sopt));
+    if (!opened.is_ok()) {
+      std::cerr << "cannot open store: " << opened.status().to_string() << "\n";
+      return 1;
+    }
+    solve_store = std::move(opened).take();
+    const common::Status attached = cache.attach_store(&*solve_store);
+    if (!attached.is_ok()) {
+      std::cerr << "cannot attach store: " << attached.to_string() << "\n";
+      return 1;
+    }
+  }
+
+  frontier::CacheStatsLog stats_log;
+  stats_log.sample("open", cache);
+
   frontier::FrontierEngine engine(&cache);
   frontier::FrontierOptions fopt;
   fopt.initial_points = args.points;
@@ -385,6 +459,7 @@ int run_frontier(CliArgs& args) {
   // instance's curve (bit-identical to its cold sweep) warm-started from
   // the old one.
   auto note_prev = [&](const frontier::FrontierResult& prev) {
+    stats_log.sample("sweep-old", cache);
     if (!args.csv && !args.json) {
       std::cout << "old instance '" << args.dag_paths[0] << "': "
                 << prev.points.size() << " frontier points from " << prev.evaluated
@@ -392,15 +467,10 @@ int run_frontier(CliArgs& args) {
                 << " ms; resweeping '" << args.dag_paths[1] << "'\n\n";
     }
   };
-  auto note_cache = [&]() {
-    if (!args.csv && !args.json) {
-      const auto stats = cache.stats();
-      std::cout << "cache: " << stats.entries << " entries, " << stats.hits
-                << " hits / " << stats.misses << " misses, " << stats.evictions
-                << " evictions\n";
-    }
-  };
 
+  // The mode dispatch below returns from many points; run it inside a
+  // lambda so the telemetry/store epilogue runs exactly once either way.
+  const int rc = [&]() -> int {
   const bool reliability_mode = args.rmin && args.rmax;
   if (reliability_mode) {
     if (deadline <= 0.0) {
@@ -423,10 +493,8 @@ int run_frontier(CliArgs& args) {
       const auto prev = engine.reliability_sweep(problem, *args.rmin, *args.rmax, fopt);
       note_prev(prev);
       core::TriCritProblem changed(*new_dag, *new_mapping, speeds, rel, deadline);
-      const int rc = emit_frontier(
+      return emit_frontier(
           engine.resweep_reliability(prev, changed, *args.rmin, *args.rmax, fopt), args);
-      note_cache();
-      return rc;
     }
     return emit_frontier(engine.reliability_sweep(problem, *args.rmin, *args.rmax, fopt),
                          args);
@@ -458,9 +526,7 @@ int run_frontier(CliArgs& args) {
       const auto prev = engine.deadline_sweep(problem, dmin, dmax, fopt);
       note_prev(prev);
       core::TriCritProblem changed(*new_dag, *new_mapping, speeds, rel, dmax);
-      const int rc = emit_frontier(engine.resweep(prev, changed, dmin, dmax, fopt), args);
-      note_cache();
-      return rc;
+      return emit_frontier(engine.resweep(prev, changed, dmin, dmax, fopt), args);
     }
     return emit_frontier(engine.deadline_sweep(problem, dmin, dmax, fopt),
                          args);
@@ -475,12 +541,94 @@ int run_frontier(CliArgs& args) {
     const auto prev = engine.deadline_sweep(problem, dmin, dmax, fopt);
     note_prev(prev);
     core::BiCritProblem changed(*new_dag, *new_mapping, speeds, dmax);
-    const int rc = emit_frontier(engine.resweep(prev, changed, dmin, dmax, fopt), args);
-    note_cache();
-    return rc;
+    return emit_frontier(engine.resweep(prev, changed, dmin, dmax, fopt), args);
   }
   return emit_frontier(engine.deadline_sweep(problem, dmin, dmax, fopt),
                        args);
+  }();
+
+  // Epilogue, on every dispatch path: final telemetry snapshot, stats
+  // export, and the cache/store summary for human-readable runs.
+  stats_log.sample("final", cache);
+  if (!args.cache_stats_out.empty()) {
+    const common::Status written = stats_log.write_file(args.cache_stats_out);
+    if (!written.is_ok()) {
+      std::cerr << "cannot write cache stats: " << written.to_string() << "\n";
+    }
+  }
+  if (!args.csv && !args.json && rc == 0) {
+    const auto stats = cache.stats();
+    std::cout << "cache: " << stats.entries << " entries (~" << stats.bytes
+              << " bytes), " << stats.hits << " hits + " << stats.store_hits
+              << " store hits / " << stats.misses << " misses, " << stats.evictions
+              << " evictions (" << stats.spills << " spilled), " << stats.warm_seeds
+              << " warm-seeded solves, " << stats.interned_blobs
+              << " interned instances\n";
+    if (solve_store) {
+      const auto sstats = solve_store->stats();
+      std::cout << "store '" << args.store_path << "': " << sstats.entries
+                << " entries / " << sstats.blobs << " instances on disk ("
+                << sstats.file_bytes << " bytes), " << sstats.appended
+                << " appended this run\n";
+    }
+  }
+  return rc;
+}
+
+/// Offline maintenance of a solve-store log: easched_cli store <op> <file>.
+int run_store(int argc, char** argv) {
+  if (argc != 4) {
+    std::cerr << "usage: " << argv[0] << " store <stat|verify|compact> <log-file>\n";
+    return 2;
+  }
+  const std::string op = argv[2];
+  const std::string path = argv[3];
+  const auto print_stats = [](const store::StoreStats& s) {
+    // stat counts raw records (superseded included); verify decodes and
+    // reports live entries + superseded separately.
+    std::cout << "  instances: " << s.blobs << "\n  entries:   " << s.entries
+              << "\n  bytes:     " << s.file_bytes << "\n";
+    if (s.superseded > 0) {
+      std::cout << "  superseded: " << s.superseded << " (compact reclaims them)\n";
+    }
+    if (s.torn_bytes > 0) {
+      std::cout << "  torn tail: " << s.torn_bytes << " bytes (ignored)\n";
+    }
+  };
+  if (op == "stat") {
+    const auto stats = store::SolveStore::stat(path);
+    if (!stats.is_ok()) {
+      std::cerr << "stat failed: " << stats.status().to_string() << "\n";
+      return 1;
+    }
+    std::cout << "store log '" << path << "':\n";
+    print_stats(stats.value());
+    return 0;
+  }
+  if (op == "verify") {
+    const auto stats = store::SolveStore::verify(path);
+    if (!stats.is_ok()) {
+      std::cerr << "verify FAILED: " << stats.status().to_string() << "\n";
+      return 1;
+    }
+    std::cout << "store log '" << path << "' verified: every record decodes\n";
+    print_stats(stats.value());
+    return 0;
+  }
+  if (op == "compact") {
+    const auto report = store::SolveStore::compact(path);
+    if (!report.is_ok()) {
+      std::cerr << "compact failed: " << report.status().to_string() << "\n";
+      return 1;
+    }
+    const auto& r = report.value();
+    std::cout << "compacted '" << path << "': " << r.entries_in << " -> "
+              << r.entries_out << " entries, " << r.blobs_in << " -> " << r.blobs_out
+              << " instances, " << r.bytes_in << " -> " << r.bytes_out << " bytes\n";
+    return 0;
+  }
+  std::cerr << "unknown store operation '" << op << "'\n";
+  return 2;
 }
 
 /// Several dag files: one api::solve_batch over --threads workers.
@@ -597,6 +745,7 @@ int run_solve(CliArgs& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
 
+  if (std::string(argv[1]) == "store") return run_store(argc, argv);
   const bool frontier_mode = std::string(argv[1]) == "frontier";
   CliArgs args;
   if (!parse_args(argc, argv, frontier_mode ? 2 : 1, args)) return usage(argv[0]);

@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
 # Perf baseline snapshot: builds the benches in Release mode, runs the
-# frontier sweep bench several times, and writes the per-metric *medians*
-# to BENCH_frontier.json at the repo root — cold sweep, warm sweep,
-# perturbed-instance resweep, and the warm-lookup scaling curve. Future
-# PRs diff their own snapshot against the committed numbers instead of
-# eyeballing one noisy run.
+# frontier sweep, store restart and batch throughput benches several
+# times, and writes the per-metric *medians* to BENCH_frontier.json at
+# the repo root — cold/warm sweeps, perturbed-instance resweeps, the
+# warm-lookup scaling curve, restart-with-store replay, and batch
+# throughput. Future PRs diff their own snapshot against the committed
+# numbers instead of eyeballing one noisy run.
 #
 #   scripts/bench_snapshot.sh [runs] [build-dir]
 #
-# Defaults: 3 runs, build dir ./build-bench. The bench's own acceptance
-# bars (warm >= 5x, resweep >= 5x + bit-identical, flat warm lookups)
-# still gate: a failing run fails the snapshot.
+# Defaults: 3 runs, build dir ./build-bench. The benches' own acceptance
+# bars (warm >= 5x, resweep >= 5x + bit-identical, flat warm lookups,
+# restart >= 5x + zero solver calls) still gate: a failing run fails the
+# snapshot.
 
 set -euo pipefail
 
@@ -18,44 +20,73 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 runs="${1:-3}"
 build_dir="${2:-$repo_root/build-bench}"
 
+benches=(bench_frontier_sweep bench_store_restart bench_batch_throughput)
+
 cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=Release \
   -DEASCHED_BUILD_TESTS=OFF \
   -DEASCHED_BUILD_EXAMPLES=OFF > /dev/null
-cmake --build "$build_dir" -j "$(nproc)" --target bench_frontier_sweep > /dev/null
+cmake --build "$build_dir" -j "$(nproc)" --target "${benches[@]}" > /dev/null
 
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "$tmp_dir"' EXIT
 
-for ((i = 0; i < runs; ++i)); do
-  "$build_dir/bench_frontier_sweep" --json-out "$tmp_dir/run_$i.json" \
-    > "$tmp_dir/run_$i.log"
-  echo "bench_snapshot: run $((i + 1))/$runs ok"
+for bench in "${benches[@]}"; do
+  for ((i = 0; i < runs; ++i)); do
+    "$build_dir/$bench" --json-out "$tmp_dir/${bench}_$i.json" \
+      > "$tmp_dir/${bench}_$i.log"
+    echo "bench_snapshot: $bench run $((i + 1))/$runs ok"
+  done
 done
 
 python3 - "$tmp_dir" "$runs" "$repo_root/BENCH_frontier.json" <<'PY'
 import json, statistics, sys
 
 tmp_dir, runs, out_path = sys.argv[1], int(sys.argv[2]), sys.argv[3]
-samples = [json.load(open(f"{tmp_dir}/run_{i}.json")) for i in range(runs)]
 
-def med(key):
+def load(bench):
+    return [json.load(open(f"{tmp_dir}/{bench}_{i}.json")) for i in range(runs)]
+
+frontier = load("bench_frontier_sweep")
+store = load("bench_store_restart")
+batch = load("bench_batch_throughput")
+
+def med(samples, key):
     return statistics.median(s[key] for s in samples)
 
 snapshot = {
     "runs": runs,
-    "cold_ms": med("cold_ms"),
-    "warm_ms": med("warm_ms"),
-    "warm_speedup": med("warm_speedup"),
-    "perturbed_cold_ms": med("perturbed_cold_ms"),
-    "resweep_ms": med("resweep_ms"),
-    "resweep_speedup": med("resweep_speedup"),
-    "resweep_identical": all(s["resweep_identical"] for s in samples),
+    # frontier sweep path (bench_frontier_sweep)
+    "cold_ms": med(frontier, "cold_ms"),
+    "warm_ms": med(frontier, "warm_ms"),
+    "warm_speedup": med(frontier, "warm_speedup"),
+    "perturbed_cold_ms": med(frontier, "perturbed_cold_ms"),
+    "resweep_ms": med(frontier, "resweep_ms"),
+    "resweep_speedup": med(frontier, "resweep_speedup"),
+    "resweep_identical": all(s["resweep_identical"] for s in frontier),
     "warm_lookup_us_per_probe": {
-        n: statistics.median(s["warm_lookup_us_per_probe"][n] for s in samples)
-        for n in samples[0]["warm_lookup_us_per_probe"]
+        n: statistics.median(s["warm_lookup_us_per_probe"][n] for s in frontier)
+        for n in frontier[0]["warm_lookup_us_per_probe"]
     },
-    "warm_lookup_flat": all(s["warm_lookup_flat"] for s in samples),
+    "warm_lookup_flat": all(s["warm_lookup_flat"] for s in frontier),
+    # persistent store path (bench_store_restart)
+    "store_restart": {
+        "cold_ms": med(store, "cold_ms"),
+        "populate_ms": med(store, "populate_ms"),
+        "restart_ms": med(store, "restart_ms"),
+        "restart_speedup": med(store, "restart_speedup"),
+        "restart_solver_calls": max(s["restart_solver_calls"] for s in store),
+        "restart_identical": all(s["restart_identical"] for s in store),
+        "store_bytes": med(store, "store_bytes"),
+    },
+    # batch execution path (bench_batch_throughput)
+    "batch_throughput": {
+        "jobs": batch[0]["jobs"],
+        "serial_ms": med(batch, "serial_ms"),
+        "best_ms": med(batch, "best_ms"),
+        "best_speedup": med(batch, "best_speedup"),
+        "failed": max(s["failed"] for s in batch),
+    },
 }
 with open(out_path, "w") as f:
     json.dump(snapshot, f, indent=2)

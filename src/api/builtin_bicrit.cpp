@@ -166,6 +166,9 @@ class ContinuousIpmSolver final : public Solver {
     if (request.options.gap_tolerance > 0.0) {
       opts.barrier.gap_tolerance = request.options.gap_tolerance;
     }
+    // Warm start from a neighbouring solution when the caller has one
+    // (solve_continuous validates the size and clamps into the interior).
+    opts.start_durations = request.options.start_durations;
     auto r = bicrit::solve_continuous(request.dag(), request.mapping(),
                                       request.deadline(), request.speeds(), opts);
     if (!r.is_ok()) return r.status();

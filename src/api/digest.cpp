@@ -75,6 +75,8 @@ void append_reliability_statics(std::string& out, const model::ReliabilityModel&
 void append_options(std::string& out, const SolveOptions& opt) {
   // deadline_slack is deliberately absent: it is already folded into the
   // effective deadline, so (D=10, slack=1) and (D=5, slack=2) share a key.
+  // start_durations is absent too: it is a warm-start hint the barrier
+  // converges through, not an input that changes what problem is solved.
   append_tag(out, 'O');
   append_i64(out, opt.approx_K);
   append_double(out, opt.gap_tolerance);

@@ -18,6 +18,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.hpp"
 #include "core/problem.hpp"
@@ -107,6 +108,16 @@ struct SolveOptions {
   /// (> 1 relaxes, < 1 tightens; must stay > 0). Lets sweeps and batch
   /// runs scale deadlines without rebuilding problems.
   double deadline_slack = 1.0;
+  /// Cross-point warm start: per-task durations of a neighbouring
+  /// solution (e.g. the nearest cached schedule of the same instance at a
+  /// different deadline), forwarded to the continuous solver's barrier as
+  /// its starting point (bicrit::ContinuousOptions::start_durations).
+  /// Purely a performance hint — the barrier converges to the same
+  /// optimum to solver tolerance — so it is deliberately *excluded* from
+  /// request fingerprints and cache keys (api/digest.cpp) like
+  /// deadline_slack: two requests differing only in the hint are the same
+  /// problem. Solvers without an iterative core ignore it.
+  std::vector<double> start_durations;
 };
 
 /// A solve request: one problem (BI-CRIT or TRI-CRIT), an optional solver

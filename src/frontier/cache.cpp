@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "core/problem.hpp"
+#include "store/serialize.hpp"
+#include "store/store.hpp"
 
 namespace easched::frontier {
 namespace {
@@ -13,6 +15,57 @@ std::uint64_t double_bits(double v) {
   std::uint64_t bits = 0;
   std::memcpy(&bits, &v, sizeof(bits));
   return bits;
+}
+
+/// Computes the one hash shard selection and map lookup share.
+void hash_key(CacheKey& key) {
+  std::uint64_t h = 0x2545f4914f6cdd1dULL;
+  h = mix64(h ^ key.instance);
+  h = mix64(h ^ key.solver);
+  h = mix64(h ^ key.deadline_bits);
+  h = mix64(h ^ key.frel_bits);
+  h = mix64(h ^ static_cast<std::uint64_t>(key.approx_K));
+  h = mix64(h ^ key.gap_tolerance_bits);
+  h = mix64(h ^ static_cast<std::uint64_t>(key.max_nodes));
+  h = mix64(h ^ static_cast<std::uint64_t>(key.dp_buckets));
+  h = mix64(h ^ static_cast<std::uint64_t>(key.fork_grid));
+  h = mix64(h ^ static_cast<std::uint64_t>(key.polish));
+  key.hash = h;
+}
+
+/// The process-independent point identity of a key (what the store files
+/// entries under). Field-for-field the same scalars; only the interner
+/// ids are replaced by digest/bytes and solver name at the call sites.
+store::PointKey point_key_from(const CacheKey& key, std::uint8_t kind) {
+  store::PointKey point;
+  point.kind = kind;
+  point.deadline_bits = key.deadline_bits;
+  point.frel_bits = key.frel_bits;
+  point.approx_K = key.approx_K;
+  point.gap_tolerance_bits = key.gap_tolerance_bits;
+  point.max_nodes = key.max_nodes;
+  point.dp_buckets = key.dp_buckets;
+  point.fork_grid = key.fork_grid;
+  point.polish = key.polish;
+  return point;
+}
+
+/// Inverse of point_key_from, for store entries entering the cache.
+CacheKey key_from_point(std::uint64_t instance, std::uint64_t solver,
+                        const store::PointKey& point) {
+  CacheKey key;
+  key.instance = instance;
+  key.solver = solver;
+  key.deadline_bits = point.deadline_bits;
+  key.frel_bits = point.frel_bits;
+  key.approx_K = point.approx_K;
+  key.gap_tolerance_bits = point.gap_tolerance_bits;
+  key.max_nodes = point.max_nodes;
+  key.dp_buckets = point.dp_buckets;
+  key.fork_grid = point.fork_grid;
+  key.polish = point.polish;
+  hash_key(key);
+  return key;
 }
 
 }  // namespace
@@ -27,32 +80,73 @@ std::uint64_t InstanceInterner::intern(const api::InstanceDigest& digest,
                                        std::string bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& bucket = by_digest_[digest.lo];
-  for (const Blob& blob : bucket) {
+  for (std::uint64_t id : bucket) {
     // Exact-equality fallback: the digest narrows the candidates, the
     // byte comparison decides. A digest collision between different
     // instances lands two blobs in one bucket with distinct ids.
-    if (blob.digest == digest && blob.bytes == bytes) return blob.id;
+    auto it = by_id_.find(id);
+    if (it != by_id_.end() && it->second.digest == digest && *it->second.bytes == bytes) {
+      return id;
+    }
   }
   const std::uint64_t id = next_id_++;
-  bucket.push_back(Blob{digest, std::move(bytes), id});
+  by_id_.emplace(id, Blob{digest, std::make_shared<const std::string>(std::move(bytes)),
+                          /*refs=*/0});
+  bucket.push_back(id);
   return id;
 }
 
 std::size_t InstanceInterner::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::size_t total = 0;
-  for (const auto& [lo, bucket] : by_digest_) total += bucket.size();
-  return total;
+  return by_id_.size();
+}
+
+std::optional<InstanceInterner::BlobRef> InstanceInterner::find(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return std::nullopt;
+  return BlobRef{it->second.digest, it->second.bytes};
+}
+
+void InstanceInterner::add_ref(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_id_.find(id);
+  if (it != by_id_.end()) ++it->second.refs;
+}
+
+void InstanceInterner::release(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end() || it->second.refs == 0) return;
+  if (--it->second.refs > 0) return;
+  // Last entry gone: reclaim the bytes. A context still holding this id
+  // will miss and re-intern under a fresh id — ids are never reused, so
+  // reclamation can never alias two instances.
+  auto bucket = by_digest_.find(it->second.digest.lo);
+  if (bucket != by_digest_.end()) {
+    auto& ids = bucket->second;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] == id) {
+        ids[i] = ids.back();
+        ids.pop_back();
+        break;
+      }
+    }
+    if (ids.empty()) by_digest_.erase(bucket);
+  }
+  by_id_.erase(it);
 }
 
 void InstanceInterner::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
+  by_id_.clear();
   by_digest_.clear();
   // next_id_ stays monotonic: a context interned before this clear keeps
   // an id no future intern can be assigned, so its keys simply miss.
 }
 
-SolveCache::SolveCache(std::size_t shards, std::size_t max_entries) {
+SolveCache::SolveCache(std::size_t shards, std::size_t max_entries,
+                       std::size_t max_bytes) {
   std::size_t n = 1;
   while (n < shards) n <<= 1;
   mask_ = n - 1;
@@ -64,7 +158,51 @@ SolveCache::SolveCache(std::size_t shards, std::size_t max_entries) {
     shard_capacity_ = max_entries / n;
     if (shard_capacity_ == 0) shard_capacity_ = 1;
   }
+  capacity_bytes_ = max_bytes;
+  if (max_bytes > 0) {
+    shard_capacity_bytes_ = max_bytes / n;
+    if (shard_capacity_bytes_ == 0) shard_capacity_bytes_ = 1;
+  }
   shards_ = std::make_unique<Shard[]>(n);
+}
+
+common::Status SolveCache::attach_store(store::SolveStore* store) {
+  store_ = store;
+  if (store == nullptr || !store->options().load_on_open) return common::Status::ok();
+  // Pre-populate: every live store entry becomes a resident cache entry
+  // (marked persisted, so it can never be spilled back). Entries beyond
+  // the LRU caps are evicted as usual — a capped cache loads the most
+  // recently replayed subset rather than overflowing. Interning is
+  // memoized per blob (the for_each snapshot hands out one shared string
+  // per instance, so its address identifies the blob), keeping the load
+  // O(bytes + entries) instead of one full byte-compare per entry.
+  std::unordered_map<const std::string*, std::uint64_t> instance_memo;
+  std::unordered_map<std::string, std::uint64_t> solver_memo;
+  store->for_each([&](const api::InstanceDigest& digest, const std::string& bytes,
+                      const std::string& solver, const store::PointKey& point,
+                      const store::SolveStore::StoredResult& result) {
+    auto [instance_it, fresh_instance] = instance_memo.emplace(&bytes, 0);
+    if (fresh_instance) instance_it->second = instances_.intern(digest, bytes);
+    const std::uint64_t instance = instance_it->second;
+    auto [solver_it, fresh_solver] = solver_memo.emplace(solver, 0);
+    if (fresh_solver) {
+      std::lock_guard<std::mutex> lock(solver_mutex_);
+      auto [it, inserted] = solver_ids_.emplace(solver, solver_ids_.size() + 1);
+      if (inserted) solver_names_.push_back(solver);
+      solver_it->second = it->second;
+    }
+    const std::uint64_t solver_id = solver_it->second;
+    const CacheKey key = key_from_point(instance, solver_id, point);
+    Shard& shard = shards_[key.hash & mask_];
+    std::vector<Spill> spills;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      if (shard.index.find(key) != shard.index.end()) return;
+      insert_locked(shard, key, point.kind, result, /*persisted=*/true, spills);
+    }
+    spill_now(spills);  // loaded entries are persisted, so this is empty
+  });
+  return common::Status::ok();
 }
 
 SolveCache::InstanceContext SolveCache::context_for(const api::SolveRequest& request) {
@@ -76,9 +214,16 @@ SolveCache::InstanceContext SolveCache::context_for(const api::SolveRequest& req
     std::lock_guard<std::mutex> lock(solver_mutex_);
     auto [it, inserted] =
         solver_ids_.emplace(request.solver, solver_ids_.size() + 1);
+    if (inserted) solver_names_.push_back(request.solver);
     context.solver = it->second;
   }
   return context;
+}
+
+std::string SolveCache::solver_name_for(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(solver_mutex_);
+  if (id == 0 || id > solver_names_.size()) return {};
+  return solver_names_[id - 1];
 }
 
 CacheKey SolveCache::key_for(const InstanceContext& context,
@@ -104,20 +249,11 @@ CacheKey SolveCache::key_for(const InstanceContext& context, api::ProblemKind ki
   key.dp_buckets = opt.dp_buckets;
   key.fork_grid = opt.fork_grid;
   key.polish = opt.polish ? 1 : 0;
-
   // Hash once here; shard selection and the map lookup both reuse it.
-  std::uint64_t h = 0x2545f4914f6cdd1dULL;
-  h = mix64(h ^ key.instance);
-  h = mix64(h ^ key.solver);
-  h = mix64(h ^ key.deadline_bits);
-  h = mix64(h ^ key.frel_bits);
-  h = mix64(h ^ static_cast<std::uint64_t>(key.approx_K));
-  h = mix64(h ^ key.gap_tolerance_bits);
-  h = mix64(h ^ static_cast<std::uint64_t>(key.max_nodes));
-  h = mix64(h ^ static_cast<std::uint64_t>(key.dp_buckets));
-  h = mix64(h ^ static_cast<std::uint64_t>(key.fork_grid));
-  h = mix64(h ^ static_cast<std::uint64_t>(key.polish));
-  key.hash = h;
+  // start_durations is deliberately absent: it is a performance hint the
+  // barrier converges through, not an input a solver could distinguish
+  // results by (api/digest.cpp excludes it from fingerprints the same way).
+  hash_key(key);
   return key;
 }
 
@@ -137,6 +273,65 @@ SolveCache::CachedResult SolveCache::try_get(const CacheKey& key, bool* cache_hi
   return it->second->result;
 }
 
+SolveCache::CachedResult SolveCache::insert_locked(Shard& shard, const CacheKey& key,
+                                                   std::uint8_t kind,
+                                                   CachedResult result, bool persisted,
+                                                   std::vector<Spill>& spills) {
+  shard.lru.emplace_front(key, std::move(result));
+  Entry& entry = shard.lru.front();
+  entry.bytes = sizeof(Entry) + store::result_footprint_bytes(*entry.result);
+  entry.kind = kind;
+  entry.persisted = persisted;
+  shard.index.emplace(key, shard.lru.begin());
+  shard.bytes += entry.bytes;
+  instances_.add_ref(key.instance);
+  CachedResult out = entry.result;
+  evict_locked(shard, spills);
+  return out;
+}
+
+void SolveCache::evict_locked(Shard& shard, std::vector<Spill>& spills) {
+  const auto over = [&] {
+    if (shard_capacity_ > 0 && shard.lru.size() > shard_capacity_) return true;
+    // The byte cap never evicts a shard's last entry: a single oversized
+    // schedule still stays cached (mirrors the >=1-entry floor above).
+    return shard_capacity_bytes_ > 0 && shard.bytes > shard_capacity_bytes_ &&
+           shard.lru.size() > 1;
+  };
+  while (over()) {
+    Entry& victim = shard.lru.back();
+    if (!victim.persisted && store_ != nullptr && !store_->options().read_only &&
+        store_->options().spill_on_evict) {
+      // Spill instead of drop: the work was paid for, keep it on disk.
+      // Only *capture* here — the blob bytes are snapshotted before the
+      // release below can reclaim them, and the file write happens in
+      // spill_now() after the caller drops the shard lock, so eviction
+      // never blocks concurrent lookups on I/O.
+      if (auto blob = instances_.find(victim.key.instance)) {
+        spills.push_back(Spill{victim.key, victim.kind, victim.result, blob->digest,
+                               std::move(blob->bytes)});
+      }
+    }
+    shard.bytes -= victim.bytes;
+    instances_.release(victim.key.instance);
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SolveCache::spill_now(const std::vector<Spill>& spills) {
+  for (const Spill& spill : spills) {
+    if (store_ == nullptr) return;
+    if (store_
+            ->put(spill.digest, *spill.bytes, solver_name_for(spill.key.solver),
+                  point_key_from(spill.key, spill.kind), spill.result)
+            .is_ok()) {
+      spills_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
 SolveCache::CachedResult SolveCache::solve_shared(const api::SolveRequest& request,
                                                   const CacheKey& key, bool* cache_hit) {
   // The key's single precomputed hash selects the shard and indexes the
@@ -153,27 +348,100 @@ SolveCache::CachedResult SolveCache::solve_shared(const api::SolveRequest& reque
       return it->second->result;
     }
   }
-  // Miss: run the solver with no lock held, then store first-write-wins.
+  const auto kind = static_cast<std::uint8_t>(request.kind());
+
+  // In-memory miss: another process may already have paid for this point.
+  // The store speaks (digest, exact bytes); normally both come straight
+  // from the interner, but if LRU pressure reclaimed the blob while this
+  // context still held its id, recompute them from the request — O(n),
+  // on a path that is about to run a solver anyway, and far better than
+  // silently losing store lookups and write-through for the rest of the
+  // context's life.
+  api::InstanceDigest digest;
+  std::shared_ptr<const std::string> instance_bytes;
+  if (store_ != nullptr) {
+    if (auto blob = instances_.find(key.instance)) {
+      digest = blob->digest;
+      instance_bytes = std::move(blob->bytes);
+    } else {
+      auto recomputed =
+          std::make_shared<const std::string>(api::instance_bytes(request));
+      digest = api::digest_bytes(*recomputed);
+      instance_bytes = std::move(recomputed);
+    }
+    if (CachedResult stored = store_->find(digest, *instance_bytes, request.solver,
+                                           point_key_from(key, kind))) {
+      store_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (cache_hit != nullptr) *cache_hit = true;
+      std::vector<Spill> spills;
+      CachedResult out;
+      {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.index.find(key);
+        if (it != shard.index.end()) {
+          out = it->second->result;
+        } else {
+          out = insert_locked(shard, key, kind, std::move(stored), /*persisted=*/true,
+                              spills);
+        }
+      }
+      spill_now(spills);
+      return out;
+    }
+  }
+
+  // Full miss: run the solver with no lock held, then store
+  // first-write-wins. With warm starts enabled, seed the barrier from the
+  // nearest stored schedule of the same instance — purely a performance
+  // hint (the optimum is the same to solver tolerance), which is why it
+  // is opt-in: seeded solves may differ from cold ones in low-order bits.
   misses_.fetch_add(1, std::memory_order_relaxed);
   if (cache_hit != nullptr) *cache_hit = false;
-  CachedResult result =
-      std::make_shared<const common::Result<api::SolveReport>>(api::solve(request));
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  auto it = shard.index.find(key);
-  if (it != shard.index.end()) {
-    // A racing miss stored first; return that entry (bit-identical to
-    // ours — solvers are deterministic — but first-write-wins keeps the
-    // stored report unique).
-    return it->second->result;
+  CachedResult result;
+  if (store_ != nullptr && store_->options().warm_start &&
+      request.kind() == api::ProblemKind::kBiCrit &&
+      request.options.start_durations.empty()) {
+    api::SolveRequest seeded = request;
+    if (CachedResult neighbor =
+            store_->nearest_schedule(digest, *instance_bytes, request.deadline())) {
+      if (neighbor->is_ok() &&
+          neighbor->value().schedule.num_tasks() == request.dag().num_tasks()) {
+        seeded.options.start_durations =
+            neighbor->value().schedule.durations(request.dag());
+        warm_seeds_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    result = std::make_shared<const common::Result<api::SolveReport>>(api::solve(seeded));
+  } else {
+    result =
+        std::make_shared<const common::Result<api::SolveReport>>(api::solve(request));
   }
-  shard.lru.emplace_front(key, std::move(result));
-  shard.index.emplace(key, shard.lru.begin());
-  if (shard_capacity_ > 0 && shard.lru.size() > shard_capacity_) {
-    shard.index.erase(shard.lru.back().key);
-    shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+
+  bool persisted = false;
+  if (store_ != nullptr && !store_->options().read_only &&
+      store_->options().write_through) {
+    persisted = store_
+                    ->put(digest, *instance_bytes, request.solver,
+                          point_key_from(key, kind), result)
+                    .is_ok();
   }
-  return shard.lru.front().result;
+
+  std::vector<Spill> spills;
+  CachedResult out;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // A racing miss stored first; return that entry (bit-identical to
+      // ours — solvers are deterministic — but first-write-wins keeps the
+      // stored report unique).
+      out = it->second->result;
+    } else {
+      out = insert_locked(shard, key, kind, std::move(result), persisted, spills);
+    }
+  }
+  spill_now(spills);
+  return out;
 }
 
 common::Result<api::SolveReport> SolveCache::solve(const api::SolveRequest& request,
@@ -191,8 +459,16 @@ CacheStats SolveCache::stats() const {
   CacheStats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
+  s.store_hits = store_hits_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
-  s.entries = size();
+  s.spills = spills_.load(std::memory_order_relaxed);
+  s.warm_seeds = warm_seeds_.load(std::memory_order_relaxed);
+  s.interned_blobs = instances_.size();
+  for (std::size_t i = 0; i <= mask_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mutex);
+    s.entries += shards_[i].index.size();
+    s.bytes += shards_[i].bytes;
+  }
   return s;
 }
 
@@ -210,11 +486,15 @@ void SolveCache::clear() {
     std::lock_guard<std::mutex> lock(shards_[i].mutex);
     shards_[i].index.clear();
     shards_[i].lru.clear();
+    shards_[i].bytes = 0;
   }
   instances_.clear();
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  store_hits_.store(0, std::memory_order_relaxed);
   evictions_.store(0, std::memory_order_relaxed);
+  spills_.store(0, std::memory_order_relaxed);
+  warm_seeds_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace easched::frontier

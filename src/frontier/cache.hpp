@@ -26,11 +26,25 @@
 // Storage is sharded; each shard holds its own mutex so parallel sweep
 // workers rarely contend, and solver runs always happen outside any lock.
 // Shards keep their entries on an intrusive LRU list: with a non-zero
-// capacity the least-recently-used entry is evicted on insert (evictions
-// are counted in CacheStats); the default capacity 0 means unbounded,
-// preserving the grow-forever behaviour earlier releases had. Failures
-// (infeasible point, unsupported instance) are cached too — they are as
-// deterministic as successes and sweeps probe many of them.
+// `max_entries` (or `max_bytes`) capacity the least-recently-used entry
+// is evicted on insert (evictions are counted in CacheStats); the default
+// capacity 0 means unbounded, preserving the grow-forever behaviour
+// earlier releases had. Eviction releases the entry's reference on its
+// interned instance blob, so an instance's bytes are reclaimed once its
+// last entry leaves the cache (`interned_blobs` in CacheStats tracks the
+// live count). Failures (infeasible point, unsupported instance) are
+// cached too — they are as deterministic as successes and sweeps probe
+// many of them.
+//
+// Persistence: attach_store() connects a store::SolveStore. Depending on
+// the store's options the cache then (a) pre-populates its shards from
+// the log (`load_on_open`) so a restarted process replays previous
+// traffic with zero solver calls, (b) appends every fresh solve
+// (`write_through`), (c) persists LRU victims that were never written
+// (`spill_on_evict`), and (d) on a full miss seeds the continuous
+// solver's barrier from the nearest stored schedule of the same instance
+// (`warm_start`, via api::SolveOptions::start_durations). Store-served
+// misses count as `store_hits` and report cache_hit = true to callers.
 //
 // Caveat: the key includes the solver *name*, so the cache assumes the
 // registry binding of a name never changes. Call clear() if you replace
@@ -42,6 +56,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -52,18 +67,31 @@
 #include "api/solver.hpp"
 #include "common/status.hpp"
 
+namespace easched::store {
+class SolveStore;
+struct PointKey;
+}  // namespace easched::store
+
 namespace easched::frontier {
 
-/// Monotonic counters of cache effectiveness (entries is a snapshot).
+/// Monotonic counters of cache effectiveness (entries/bytes/interned_blobs
+/// are snapshots).
 struct CacheStats {
-  std::size_t hits = 0;
-  std::size_t misses = 0;
+  std::size_t hits = 0;        ///< served from an in-memory shard
+  std::size_t misses = 0;      ///< solver actually ran
+  std::size_t store_hits = 0;  ///< in-memory miss served by the attached store
   std::size_t entries = 0;
-  std::size_t evictions = 0;  ///< LRU entries dropped by the size cap
+  std::size_t bytes = 0;          ///< approximate resident entry bytes
+  std::size_t evictions = 0;      ///< LRU entries dropped by the size caps
+  std::size_t spills = 0;         ///< evicted entries persisted to the store
+  std::size_t warm_seeds = 0;     ///< solves seeded from a stored neighbour
+  std::size_t interned_blobs = 0; ///< live instance blobs in the interner
 
   double hit_rate() const noexcept {
-    const std::size_t total = hits + misses;
-    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    const std::size_t total = hits + store_hits + misses;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(hits + store_hits) / static_cast<double>(total);
   }
 };
 
@@ -77,12 +105,31 @@ std::string canonical_fingerprint(const api::SolveRequest& request);
 /// Resolves (digest, exact bytes) pairs to small dense ids. Two calls
 /// return the same id iff the bytes are identical: digest collisions are
 /// broken by comparing the stored byte strings, so ids are an *exact*
-/// identity for instances. Thread-safe; ids stay valid for the interner's
-/// lifetime.
+/// identity for instances. Blobs are reference-counted by cache entries
+/// (add_ref/release): when the last entry of an instance is evicted its
+/// bytes are reclaimed, and a context still holding the stale id simply
+/// misses (ids are never reused, so reclamation can never alias). The
+/// initial intern() itself takes no reference — a blob with no entries
+/// yet lives until clear(), exactly the pre-refcount behaviour.
+/// Thread-safe.
 class InstanceInterner {
  public:
   std::uint64_t intern(const api::InstanceDigest& digest, std::string bytes);
-  std::size_t size() const;
+  std::size_t size() const;  ///< live (non-reclaimed) blobs
+
+  /// Digest and bytes of a live id; nullopt once the blob was reclaimed.
+  struct BlobRef {
+    api::InstanceDigest digest;
+    std::shared_ptr<const std::string> bytes;
+  };
+  std::optional<BlobRef> find(std::uint64_t id) const;
+
+  /// Entry bookkeeping: one add_ref per cache entry holding `id`, one
+  /// release when that entry is evicted or erased. release() of the last
+  /// reference reclaims the blob. Both tolerate already-reclaimed ids.
+  void add_ref(std::uint64_t id);
+  void release(std::uint64_t id);
+
   /// Drops every interned blob but keeps the id counter monotonic, so ids
   /// held by stale contexts can never collide with freshly interned ones.
   void clear();
@@ -90,13 +137,14 @@ class InstanceInterner {
  private:
   struct Blob {
     api::InstanceDigest digest;
-    std::string bytes;
-    std::uint64_t id = 0;
+    std::shared_ptr<const std::string> bytes;
+    std::size_t refs = 0;
   };
 
   mutable std::mutex mutex_;
-  /// digest.lo -> candidates; the full digest and bytes disambiguate.
-  std::unordered_map<std::uint64_t, std::vector<Blob>> by_digest_;
+  std::unordered_map<std::uint64_t, Blob> by_id_;
+  /// digest.lo -> candidate ids; the full digest and bytes disambiguate.
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> by_digest_;
   std::uint64_t next_id_ = 1;
 };
 
@@ -139,10 +187,13 @@ class SolveCache {
   /// with per-shard LRU eviction: the cap is floor-split across shards
   /// (at least 1 per shard), so the resident total never exceeds
   /// `max_entries` when it is >= the shard count and degrades to one
-  /// entry per shard below that. 0 keeps the cache unbounded. The cap
-  /// bounds *entries*; interned instance blobs are only released by
-  /// clear() (see ROADMAP).
-  explicit SolveCache(std::size_t shards = 16, std::size_t max_entries = 0);
+  /// entry per shard below that. `max_bytes` > 0 additionally caps the
+  /// approximate resident bytes (schedules scale with task count, so an
+  /// entry cap alone does not bound memory); it is floor-split the same
+  /// way and a shard always retains at least its most recent entry.
+  /// 0 keeps the respective cap unbounded.
+  explicit SolveCache(std::size_t shards = 16, std::size_t max_entries = 0,
+                      std::size_t max_bytes = 0);
 
   SolveCache(const SolveCache&) = delete;
   SolveCache& operator=(const SolveCache&) = delete;
@@ -151,6 +202,16 @@ class SolveCache {
   /// result without copying the schedule, which keeps the warm path O(1)
   /// in the instance size (a SolveReport copy is O(tasks)).
   using CachedResult = std::shared_ptr<const common::Result<api::SolveReport>>;
+
+  /// Connects a persistent store (not owned; must outlive this cache or
+  /// be detached with attach_store(nullptr)). With load_on_open set the
+  /// store's live entries are interned and inserted immediately — after
+  /// that, repeat traffic previously paid for by another process is
+  /// served without a single solver call. The store's other policies
+  /// (write_through / spill_on_evict / warm_start) apply to subsequent
+  /// solve_shared traffic; see store/store.hpp.
+  common::Status attach_store(store::SolveStore* store);
+  store::SolveStore* store() const noexcept { return store_; }
 
   /// Interns the instance bytes and the solver name of `request` —
   /// O(instance size), once per sweep, never per probe.
@@ -172,16 +233,21 @@ class SolveCache {
   /// Lookup-only probe: returns the stored result (counting a hit and
   /// touching the LRU order) or null without any accounting — the caller
   /// is expected to follow up with solve_shared, which records the miss.
+  /// Never consults the store (the miss path of solve_shared does).
   CachedResult try_get(const CacheKey& key, bool* cache_hit = nullptr);
 
   /// api::solve through the cache, keyed by a precomputed `key` (which
   /// must have been built via key_for from this cache's context for this
-  /// request). On a miss the solver runs outside any lock and the result
-  /// is stored first-write-wins (concurrent misses of the same key both
-  /// solve; the stored entry is whichever landed first, and all callers
-  /// return the stored entry). `cache_hit`, when non-null, reports
-  /// whether this call was served from the cache. Never null. The pointee
-  /// outlives eviction and clear() — holders keep it alive.
+  /// request). On an in-memory miss the attached store (if any) is
+  /// consulted first — a store hit is inserted and served without running
+  /// a solver. On a full miss the solver runs outside any lock (seeded
+  /// from the nearest stored neighbour when the store enables warm
+  /// starts) and the result is stored first-write-wins (concurrent misses
+  /// of the same key both solve; the stored entry is whichever landed
+  /// first, and all callers return the stored entry). `cache_hit`, when
+  /// non-null, reports whether this call was served without running a
+  /// solver. Never null. The pointee outlives eviction and clear() —
+  /// holders keep it alive.
   CachedResult solve_shared(const api::SolveRequest& request, const CacheKey& key,
                             bool* cache_hit = nullptr);
 
@@ -198,14 +264,18 @@ class SolveCache {
 
   CacheStats stats() const;
   std::size_t size() const;
-  /// Total entry cap (0 = unbounded) and the derived per-shard cap.
+  /// Total entry cap (0 = unbounded) and the byte cap (0 = unbounded).
   std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t capacity_bytes() const noexcept { return capacity_bytes_; }
   void clear();
 
  private:
   struct Entry {
     CacheKey key;
     CachedResult result;
+    std::size_t bytes = 0;       ///< approximate resident footprint
+    std::uint8_t kind = 0;       ///< api::ProblemKind, for store spills
+    bool persisted = false;      ///< already in the store; never re-spilled
     Entry(const CacheKey& k, CachedResult r) : key(k), result(std::move(r)) {}
   };
 
@@ -220,18 +290,56 @@ class SolveCache {
     /// Front = most recently used; eviction pops the back.
     std::list<Entry> lru;
     std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index;
+    std::size_t bytes = 0;  ///< sum of entry footprints
   };
+
+  /// An evicted entry waiting to be persisted. Everything the append
+  /// needs is captured at eviction time (the shared_ptr keeps the blob
+  /// bytes alive past their interner reclamation), so the file write can
+  /// happen with no shard lock held.
+  struct Spill {
+    CacheKey key;
+    std::uint8_t kind = 0;
+    CachedResult result;
+    api::InstanceDigest digest;
+    std::shared_ptr<const std::string> bytes;
+  };
+
+  /// Inserts under the shard lock (caller must hold it), charging bytes,
+  /// taking the blob reference and running the eviction loop. Returns the
+  /// stored result (the racer's, if one beat us to the key). Victims the
+  /// store should keep are appended to `spills` — the caller writes them
+  /// via spill_now() *after* releasing the shard lock, so eviction never
+  /// stalls concurrent lookups on file I/O.
+  CachedResult insert_locked(Shard& shard, const CacheKey& key, std::uint8_t kind,
+                             CachedResult result, bool persisted,
+                             std::vector<Spill>& spills);
+  /// Evicts LRU entries while either cap is exceeded, collecting
+  /// never-persisted victims into `spills` when the store asks for that.
+  void evict_locked(Shard& shard, std::vector<Spill>& spills);
+  /// Appends collected victims to the store. Takes no cache locks; call
+  /// with none held.
+  void spill_now(const std::vector<Spill>& spills);
+  /// Reverse of the solver-name interning (empty string for unknown ids).
+  std::string solver_name_for(std::uint64_t id) const;
 
   std::size_t mask_ = 0;  ///< shard count - 1 (power of two)
   std::size_t capacity_ = 0;
   std::size_t shard_capacity_ = 0;  ///< 0 = unbounded
+  std::size_t capacity_bytes_ = 0;
+  std::size_t shard_capacity_bytes_ = 0;  ///< 0 = unbounded
   std::unique_ptr<Shard[]> shards_;
   InstanceInterner instances_;
+  store::SolveStore* store_ = nullptr;
   mutable std::mutex solver_mutex_;
   std::unordered_map<std::string, std::uint64_t> solver_ids_;
+  std::vector<std::string> solver_names_;  ///< id - 1 -> name
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> store_hits_{0};
   std::atomic<std::size_t> evictions_{0};
+  std::atomic<std::size_t> spills_{0};
+  std::atomic<std::size_t> warm_seeds_{0};
 };
 
 }  // namespace easched::frontier

@@ -1,0 +1,114 @@
+#include "frontier/telemetry.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace easched::frontier {
+namespace {
+
+std::string format_rate(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+std::string format_ms(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string csv_escape(const std::string& s) {
+  // Labels are caller-chosen; commas and quotes must survive the trip.
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      // Labels are caller-chosen: control characters must not leak into
+      // the JSON string literal raw.
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void CacheStatsLog::sample(const std::string& label, const SolveCache& cache) {
+  sample(label, cache.stats());
+}
+
+void CacheStatsLog::sample(const std::string& label, const CacheStats& stats) {
+  CacheStatsSample s;
+  s.label = label;
+  s.elapsed_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - epoch_)
+                     .count();
+  s.stats = stats;
+  samples_.push_back(std::move(s));
+}
+
+void CacheStatsLog::write_csv(std::ostream& os) const {
+  os << "label,elapsed_ms,hits,misses,store_hits,hit_rate,entries,bytes,"
+        "evictions,spills,warm_seeds,interned_blobs\n";
+  for (const auto& s : samples_) {
+    os << csv_escape(s.label) << ',' << format_ms(s.elapsed_ms) << ',' << s.stats.hits
+       << ',' << s.stats.misses << ',' << s.stats.store_hits << ','
+       << format_rate(s.stats.hit_rate()) << ',' << s.stats.entries << ','
+       << s.stats.bytes << ',' << s.stats.evictions << ',' << s.stats.spills << ','
+       << s.stats.warm_seeds << ',' << s.stats.interned_blobs << '\n';
+  }
+}
+
+void CacheStatsLog::write_json(std::ostream& os) const {
+  os << "{\"samples\": [";
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const auto& s = samples_[i];
+    if (i != 0) os << ", ";
+    os << "{\"label\": \"" << json_escape(s.label) << "\""
+       << ", \"elapsed_ms\": " << format_ms(s.elapsed_ms)
+       << ", \"hits\": " << s.stats.hits << ", \"misses\": " << s.stats.misses
+       << ", \"store_hits\": " << s.stats.store_hits
+       << ", \"hit_rate\": " << format_rate(s.stats.hit_rate())
+       << ", \"entries\": " << s.stats.entries << ", \"bytes\": " << s.stats.bytes
+       << ", \"evictions\": " << s.stats.evictions << ", \"spills\": " << s.stats.spills
+       << ", \"warm_seeds\": " << s.stats.warm_seeds
+       << ", \"interned_blobs\": " << s.stats.interned_blobs << "}";
+  }
+  os << "]}\n";
+}
+
+common::Status CacheStatsLog::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return common::Status::not_found("cannot open '" + path + "' for writing");
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  if (json) {
+    write_json(out);
+  } else {
+    write_csv(out);
+  }
+  if (!out.good()) return common::Status::internal("short write to '" + path + "'");
+  return common::Status::ok();
+}
+
+}  // namespace easched::frontier

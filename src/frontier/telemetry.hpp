@@ -1,0 +1,55 @@
+#pragma once
+// Cache hit-rate telemetry export — CacheStats snapshots as a time series.
+//
+// A production process wants to watch its cache work, not just read one
+// final total: a CacheStatsLog collects labelled snapshots ("after load",
+// "sweep 12", "shutdown") with a monotonic timestamp, and writes the
+// series as CSV or JSON for dashboards and offline diffing. CacheStats
+// counters are cumulative, so consumers derive per-interval rates by
+// differencing adjacent rows; hit_rate is also emitted per row for the
+// common "one glance" case.
+//
+// Writers pick the format by extension (`.json` — everything else is
+// CSV), which is what the CLI's --cache-stats-out flag forwards to.
+
+#include <chrono>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "frontier/cache.hpp"
+
+namespace easched::frontier {
+
+/// One labelled cumulative snapshot.
+struct CacheStatsSample {
+  std::string label;
+  double elapsed_ms = 0.0;  ///< since the log was constructed
+  CacheStats stats;
+};
+
+class CacheStatsLog {
+ public:
+  CacheStatsLog() : epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Records `cache.stats()` (or a stats value) under `label`.
+  void sample(const std::string& label, const SolveCache& cache);
+  void sample(const std::string& label, const CacheStats& stats);
+
+  const std::vector<CacheStatsSample>& samples() const noexcept { return samples_; }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  /// One header row plus one row per sample.
+  void write_csv(std::ostream& os) const;
+  /// {"samples": [{...}, ...]} with every counter as a number.
+  void write_json(std::ostream& os) const;
+  /// Writes to `path`, JSON when it ends in ".json", CSV otherwise.
+  common::Status write_file(const std::string& path) const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<CacheStatsSample> samples_;
+};
+
+}  // namespace easched::frontier

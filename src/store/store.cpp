@@ -1,0 +1,360 @@
+#include "store/store.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace easched::store {
+namespace {
+
+std::uint64_t mix_hash(std::uint64_t h, std::uint64_t v) { return api::mix64(h ^ v); }
+
+double bits_to_double(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::size_t SolveStore::EntryKeyHash::operator()(const EntryKey& k) const noexcept {
+  std::uint64_t h = 0x51afd6ed558ccd6dULL;
+  h = mix_hash(h, k.blob_id);
+  h = mix_hash(h, std::hash<std::string>{}(k.solver));
+  h = mix_hash(h, k.point.kind);
+  h = mix_hash(h, k.point.deadline_bits);
+  h = mix_hash(h, k.point.frel_bits);
+  h = mix_hash(h, static_cast<std::uint64_t>(k.point.approx_K));
+  h = mix_hash(h, k.point.gap_tolerance_bits);
+  h = mix_hash(h, static_cast<std::uint64_t>(k.point.max_nodes));
+  h = mix_hash(h, static_cast<std::uint64_t>(k.point.dp_buckets));
+  h = mix_hash(h, static_cast<std::uint64_t>(k.point.fork_grid));
+  h = mix_hash(h, static_cast<std::uint64_t>(k.point.polish));
+  return static_cast<std::size_t>(h);
+}
+
+common::Result<SolveStore> SolveStore::open(StoreOptions options) {
+  common::Result<RecordLog> log = RecordLog::open(options.path, options.read_only);
+  if (!log.is_ok()) return log.status();
+  SolveStore st(std::move(options), std::move(log).take());
+  // Load every intact record. Decode failures are tolerated record by
+  // record (a record that passed its CRC but does not decode was written
+  // by a future format and is skipped); torn tails were already handled
+  // by the log layer.
+  common::Result<PollReport> polled =
+      st.log_.poll([&st](RecordType type, const std::string& payload) {
+        st.consume_record(type, payload);
+      });
+  if (!polled.is_ok()) return polled.status();
+  return st;
+}
+
+void SolveStore::consume_record(RecordType type, const std::string& payload) {
+  if (type == RecordType::kBlob) {
+    common::Result<BlobRecord> blob = decode_blob(payload);
+    if (blob.is_ok()) apply_blob(std::move(blob).take());
+  } else {
+    common::Result<EntryRecord> entry = decode_entry(payload);
+    if (entry.is_ok()) apply_entry(std::move(entry).take());
+  }
+}
+
+void SolveStore::apply_blob(BlobRecord blob) {
+  if (blob.id >= next_blob_id_) next_blob_id_ = blob.id + 1;
+  auto [it, inserted] = blobs_.emplace(
+      blob.id,
+      Blob{blob.digest, std::make_shared<const std::string>(std::move(blob.bytes))});
+  if (inserted) blob_ids_[blob.digest.lo].push_back(blob.id);
+}
+
+void SolveStore::apply_entry(EntryRecord entry) {
+  if (blobs_.find(entry.blob_id) == blobs_.end()) return;  // orphan: skip
+  EntryKey key{entry.blob_id, std::move(entry.solver), entry.point};
+  auto [it, inserted] = entries_.emplace(key, entry.result);
+  if (!inserted) {
+    ++superseded_;  // later record wins: the log is a last-write-wins map
+    it->second = entry.result;
+  }
+  if (entry.result->is_ok() &&
+      entry.point.kind == static_cast<std::uint8_t>(api::ProblemKind::kBiCrit)) {
+    schedules_[entry.blob_id][bits_to_double(entry.point.deadline_bits)] = entry.result;
+  }
+}
+
+std::uint64_t SolveStore::find_blob_id(const api::InstanceDigest& digest,
+                                       const std::string& bytes) const {
+  auto bucket = blob_ids_.find(digest.lo);
+  if (bucket == blob_ids_.end()) return 0;
+  for (std::uint64_t id : bucket->second) {
+    auto blob = blobs_.find(id);
+    // Digest narrows, exact bytes decide — collisions can never alias.
+    if (blob != blobs_.end() && blob->second.digest == digest &&
+        *blob->second.bytes == bytes) {
+      return id;
+    }
+  }
+  return 0;
+}
+
+common::Status SolveStore::put(const api::InstanceDigest& digest,
+                               const std::string& instance_bytes,
+                               const std::string& solver, const PointKey& point,
+                               const StoredResult& result) {
+  if (options_.read_only) {
+    return common::Status::unsupported("solve-store '" + options_.path +
+                                       "' is open read-only");
+  }
+  std::lock_guard<std::mutex> lock(*mutex_);
+  std::uint64_t blob_id = find_blob_id(digest, instance_bytes);
+  if (blob_id == 0) {
+    blob_id = next_blob_id_;
+    BlobRecord blob{blob_id, digest, instance_bytes};
+    common::Status appended = log_.append(RecordType::kBlob, encode_blob(blob));
+    if (!appended.is_ok()) return appended;
+    ++appended_;
+    apply_blob(std::move(blob));
+  }
+  EntryKey key{blob_id, solver, point};
+  auto existing = entries_.find(key);
+  if (existing != entries_.end()) return common::Status::ok();  // already persisted
+  EntryRecord entry{blob_id, solver, point, result};
+  common::Status appended = log_.append(RecordType::kEntry, encode_entry(entry));
+  if (!appended.is_ok()) return appended;
+  ++appended_;
+  apply_entry(std::move(entry));
+  return common::Status::ok();
+}
+
+SolveStore::StoredResult SolveStore::find(const api::InstanceDigest& digest,
+                                          const std::string& instance_bytes,
+                                          const std::string& solver,
+                                          const PointKey& point) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  const std::uint64_t blob_id = find_blob_id(digest, instance_bytes);
+  if (blob_id == 0) return nullptr;
+  auto it = entries_.find(EntryKey{blob_id, solver, point});
+  if (it == entries_.end()) return nullptr;
+  ++served_;
+  return it->second;
+}
+
+SolveStore::StoredResult SolveStore::nearest_schedule(const api::InstanceDigest& digest,
+                                                      const std::string& instance_bytes,
+                                                      double deadline,
+                                                      double* neighbor_deadline) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  const std::uint64_t blob_id = find_blob_id(digest, instance_bytes);
+  if (blob_id == 0) return nullptr;
+  auto per_blob = schedules_.find(blob_id);
+  if (per_blob == schedules_.end() || per_blob->second.empty()) return nullptr;
+  const auto& by_deadline = per_blob->second;
+  auto ge = by_deadline.lower_bound(deadline);
+  auto best = by_deadline.end();
+  if (ge != by_deadline.end()) best = ge;
+  if (ge != by_deadline.begin()) {
+    auto lt = std::prev(ge);
+    if (best == by_deadline.end() ||
+        deadline - lt->first < best->first - deadline) {
+      best = lt;
+    }
+  }
+  if (best == by_deadline.end()) return nullptr;
+  if (neighbor_deadline != nullptr) *neighbor_deadline = best->first;
+  return best->second;
+}
+
+common::Status SolveStore::refresh() {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  if (!options_.read_only) return common::Status::ok();  // writers are current
+  // Buffer before applying: when poll() detects the file was replaced
+  // (compaction) it re-delivers the *whole* new log, which must land in
+  // cleared maps — and a poll that fails must leave the current state
+  // untouched, not half-cleared.
+  std::vector<std::pair<RecordType, std::string>> batch;
+  common::Result<PollReport> polled =
+      log_.poll([&batch](RecordType type, const std::string& payload) {
+        batch.emplace_back(type, payload);
+      });
+  if (!polled.is_ok()) return polled.status();
+  if (polled.value().replaced) {
+    // The blob-id space may have been re-packed by the rewrite; rebuild
+    // derived state from scratch out of the buffered records.
+    blobs_.clear();
+    blob_ids_.clear();
+    entries_.clear();
+    schedules_.clear();
+    next_blob_id_ = 1;
+    superseded_ = 0;
+  }
+  for (const auto& [type, payload] : batch) consume_record(type, payload);
+  return common::Status::ok();
+}
+
+void SolveStore::for_each(
+    const std::function<void(const api::InstanceDigest&, const std::string&,
+                             const std::string&, const PointKey&, const StoredResult&)>&
+        fn) {
+  struct Row {
+    api::InstanceDigest digest;
+    std::shared_ptr<const std::string> bytes;
+    std::string solver;
+    PointKey point;
+    StoredResult result;
+  };
+  std::vector<Row> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    snapshot.reserve(entries_.size());
+    for (const auto& [key, result] : entries_) {
+      auto blob = blobs_.find(key.blob_id);
+      if (blob == blobs_.end()) continue;
+      snapshot.push_back(Row{blob->second.digest, blob->second.bytes, key.solver,
+                             key.point, result});
+    }
+  }
+  // Unlocked on purpose: fn may insert into a SolveCache whose eviction
+  // spills back into this store (shard lock -> store lock, never the
+  // reverse while a lock is held here).
+  for (const Row& row : snapshot) {
+    fn(row.digest, *row.bytes, row.solver, row.point, row.result);
+  }
+}
+
+StoreStats SolveStore::stats() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  StoreStats s;
+  s.blobs = blobs_.size();
+  s.entries = entries_.size();
+  s.superseded = superseded_;
+  s.file_bytes = log_.size_bytes();
+  s.torn_bytes = log_.truncated_bytes();
+  s.appended = appended_;
+  s.served = served_;
+  return s;
+}
+
+common::Status SolveStore::sync() {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return log_.sync();
+}
+
+common::Result<StoreStats> SolveStore::stat(const std::string& path) {
+  common::Result<RecordLog> log = RecordLog::open(path, /*read_only=*/true);
+  if (!log.is_ok()) return log.status();
+  StoreStats s;
+  common::Result<PollReport> polled =
+      log.value().poll([&s](RecordType type, const std::string&) {
+        if (type == RecordType::kBlob) {
+          ++s.blobs;
+        } else {
+          ++s.entries;
+        }
+      });
+  if (!polled.is_ok()) return polled.status();
+  s.file_bytes = log.value().size_bytes();
+  s.torn_bytes = polled.value().torn_bytes;
+  return s;
+}
+
+common::Result<StoreStats> SolveStore::verify(const std::string& path) {
+  common::Result<RecordLog> log = RecordLog::open(path, /*read_only=*/true);
+  if (!log.is_ok()) return log.status();
+  StoreStats s;
+  common::Status bad = common::Status::ok();
+  std::unordered_map<std::uint64_t, bool> blob_seen;
+  std::unordered_map<EntryKey, bool, EntryKeyHash> key_seen;
+  std::size_t record = 0;
+  common::Result<PollReport> polled =
+      log.value().poll([&](RecordType type, const std::string& payload) {
+        ++record;
+        if (!bad.is_ok()) return;
+        if (type == RecordType::kBlob) {
+          common::Result<BlobRecord> blob = decode_blob(payload);
+          if (!blob.is_ok()) {
+            bad = common::Status::invalid("record " + std::to_string(record) + ": " +
+                                          blob.status().message());
+            return;
+          }
+          blob_seen[blob.value().id] = true;
+          ++s.blobs;
+        } else {
+          common::Result<EntryRecord> entry = decode_entry(payload);
+          if (!entry.is_ok()) {
+            bad = common::Status::invalid("record " + std::to_string(record) + ": " +
+                                          entry.status().message());
+            return;
+          }
+          if (!blob_seen.count(entry.value().blob_id)) {
+            bad = common::Status::invalid(
+                "record " + std::to_string(record) + ": entry references blob " +
+                std::to_string(entry.value().blob_id) + " that no prior record defines");
+            return;
+          }
+          // Live-entry semantics, like open(): a re-recorded key counts
+          // as superseded, not as a second entry.
+          EntryKey key{entry.value().blob_id, std::move(entry.value().solver),
+                       entry.value().point};
+          if (key_seen.emplace(std::move(key), true).second) {
+            ++s.entries;
+          } else {
+            ++s.superseded;
+          }
+        }
+      });
+  if (!polled.is_ok()) return polled.status();
+  if (!bad.is_ok()) return bad;
+  s.file_bytes = log.value().size_bytes();
+  s.torn_bytes = polled.value().torn_bytes;
+  return s;
+}
+
+common::Result<CompactionReport> SolveStore::compact(const std::string& path) {
+  // Open as the (sole) writer: loads the live state, truncates any torn
+  // tail, and holds the flock so no other writer can race the rewrite.
+  StoreOptions options;
+  options.path = path;
+  common::Result<SolveStore> loaded = SolveStore::open(std::move(options));
+  if (!loaded.is_ok()) return loaded.status();
+  SolveStore& st = loaded.value();
+
+  CompactionReport report;
+  report.bytes_in = st.log_.size_bytes();
+  report.blobs_in = st.blobs_.size();
+  report.entries_in = st.entries_.size() + st.superseded_;
+
+  const std::string tmp_path = path + ".compact.tmp";
+  std::remove(tmp_path.c_str());
+  common::Result<RecordLog> tmp = RecordLog::open(tmp_path, /*read_only=*/false);
+  if (!tmp.is_ok()) return tmp.status();
+
+  // Group entries per blob so each surviving blob record precedes its
+  // entries; blobs no entry references are dropped (orphans).
+  std::unordered_map<std::uint64_t, std::vector<const decltype(st.entries_)::value_type*>>
+      by_blob;
+  for (const auto& kv : st.entries_) by_blob[kv.first.blob_id].push_back(&kv);
+  for (const auto& [blob_id, entry_rows] : by_blob) {
+    const Blob& blob = st.blobs_.at(blob_id);
+    common::Status appended = tmp.value().append(
+        RecordType::kBlob, encode_blob(BlobRecord{blob_id, blob.digest, *blob.bytes}));
+    if (!appended.is_ok()) return appended;
+    ++report.blobs_out;
+    for (const auto* kv : entry_rows) {
+      EntryRecord entry{blob_id, kv->first.solver, kv->first.point, kv->second};
+      appended = tmp.value().append(RecordType::kEntry, encode_entry(entry));
+      if (!appended.is_ok()) return appended;
+      ++report.entries_out;
+    }
+  }
+  common::Status synced = tmp.value().sync();
+  if (!synced.is_ok()) return synced;
+  report.bytes_out = tmp.value().size_bytes();
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return common::Status::internal("cannot rename '" + tmp_path + "' over '" + path +
+                                    "'");
+  }
+  // `st` still flocks the old inode until it goes out of scope; readers
+  // notice the inode change on their next refresh and rebuild.
+  return report;
+}
+
+}  // namespace easched::store

@@ -1,0 +1,194 @@
+#pragma once
+// SolveStore — the persistent half of the solve cache.
+//
+// A SolveStore owns one RecordLog and mirrors it in memory: every interned
+// instance blob and every live entry (latest record per key) is indexed so
+// lookups cost a hash probe, never file I/O. The in-memory SolveCache
+// (frontier/cache.hpp) attaches one store and drives it through three
+// policies picked in StoreOptions:
+//
+//  * write_through — every freshly solved entry is appended immediately,
+//    so the log is as warm as the process that just exited;
+//  * load_on_open  — SolveCache::attach_store pre-populates its shards
+//    from the store, so a restarted process replays previous traffic at
+//    cache speed with zero solver calls;
+//  * spill_on_evict — LRU-evicted entries that were never persisted are
+//    appended instead of dropped (only meaningful with write_through off);
+//  * warm_start    — on a miss with no stored entry, the nearest stored
+//    schedule of the *same instance* (different deadline) seeds the
+//    continuous solver's barrier via SolveOptions::start_durations.
+//
+// Identity is exact end to end: entries reference their instance by blob
+// id (not digest), and blob resolution compares the canonical bytes, so a
+// digest collision can never alias two instances — the same guarantee the
+// in-memory interner gives. Lookups keyed by (digest, bytes) rather than
+// process-local interner ids are what makes entries portable across
+// processes.
+//
+// The offline maintenance entry points (stat / verify / compact) operate
+// on a path; `easched_cli store` wraps them. Compaction rewrites the log
+// keeping only the latest record per entry key and only blobs still
+// referenced by a surviving entry, then atomically renames it into place
+// (readers detect the inode swap on their next refresh and rebuild).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/digest.hpp"
+#include "api/solver.hpp"
+#include "common/status.hpp"
+#include "store/log.hpp"
+#include "store/serialize.hpp"
+
+namespace easched::store {
+
+struct StoreOptions {
+  std::string path;
+  bool read_only = false;     ///< reader mode: never locks, never appends
+  bool write_through = true;  ///< append every fresh solve as it happens
+  bool load_on_open = true;   ///< pre-populate an attaching SolveCache
+  bool spill_on_evict = true; ///< persist unpersisted entries on LRU eviction
+  bool warm_start = false;    ///< nearest-neighbour barrier seeding (opt-in:
+                              ///< hints change low-order result bits, see
+                              ///< api::SolveOptions::start_durations)
+};
+
+struct StoreStats {
+  std::size_t blobs = 0;        ///< live interned instances
+  std::size_t entries = 0;      ///< live entries (latest record per key)
+  std::size_t superseded = 0;   ///< records replaced by a later same-key record
+  std::uint64_t file_bytes = 0; ///< log size on disk
+  std::uint64_t torn_bytes = 0; ///< bytes dropped as torn/corrupt tail
+  std::size_t appended = 0;     ///< records appended by this handle
+  std::size_t served = 0;       ///< lookups answered by this handle
+};
+
+struct CompactionReport {
+  std::size_t blobs_in = 0, blobs_out = 0;
+  std::size_t entries_in = 0, entries_out = 0;
+  std::uint64_t bytes_in = 0, bytes_out = 0;
+};
+
+class SolveStore {
+ public:
+  using StoredResult = std::shared_ptr<const common::Result<api::SolveReport>>;
+
+  /// Opens the log at options.path (creating it unless read_only) and
+  /// loads every intact record into the in-memory index. A torn tail is
+  /// truncated (writer) or ignored (reader), never fatal.
+  static common::Result<SolveStore> open(StoreOptions options);
+
+  SolveStore(SolveStore&&) = default;
+  SolveStore& operator=(SolveStore&&) = default;
+
+  const StoreOptions& options() const noexcept { return options_; }
+
+  /// Persists one solved point. The blob is appended once per distinct
+  /// instance; re-putting an identical key is a no-op (solves are
+  /// deterministic, the stored record already says it all). Thread-safe.
+  common::Status put(const api::InstanceDigest& digest, const std::string& instance_bytes,
+                     const std::string& solver, const PointKey& point,
+                     const StoredResult& result);
+
+  /// Exact lookup; null on miss. Thread-safe.
+  StoredResult find(const api::InstanceDigest& digest, const std::string& instance_bytes,
+                    const std::string& solver, const PointKey& point);
+
+  /// The stored *successful* BI-CRIT solve of the same instance whose
+  /// effective deadline is closest to `deadline`; null when the instance
+  /// has no such neighbour. Feeds warm starts. Thread-safe.
+  StoredResult nearest_schedule(const api::InstanceDigest& digest,
+                                const std::string& instance_bytes, double deadline,
+                                double* neighbor_deadline = nullptr);
+
+  /// Picks up records appended (or the whole log rewritten) by another
+  /// process since open/the last refresh. Writer handles are their own
+  /// source of truth and return immediately. Thread-safe.
+  common::Status refresh();
+
+  /// Every live entry with its instance resolved, for cache pre-loading.
+  /// Snapshots under the lock, then invokes `fn` unlocked — `fn` may call
+  /// back into anything, including a SolveCache that spills to this store.
+  void for_each(const std::function<void(
+                    const api::InstanceDigest& digest, const std::string& instance_bytes,
+                    const std::string& solver, const PointKey& point,
+                    const StoredResult& result)>& fn);
+
+  StoreStats stats() const;
+
+  /// Forces appended records to stable storage.
+  common::Status sync();
+
+  // ---- offline maintenance (easched_cli store) ----
+
+  /// *Raw* record/byte counts of the log at `path` without decoding
+  /// payloads — `entries` here counts entry *records*, superseded ones
+  /// included (telling them apart requires decoding; use verify()).
+  static common::Result<StoreStats> stat(const std::string& path);
+
+  /// Full scan: every record's CRC *and* payload must decode, and every
+  /// entry must reference a blob that precedes it. Counts live entries
+  /// and superseded records separately (same semantics as open()).
+  /// Returns the counts on success, the first inconsistency as a Status
+  /// otherwise (a torn tail is reported in torn_bytes, not as an error —
+  /// it is recoverable).
+  static common::Result<StoreStats> verify(const std::string& path);
+
+  /// Rewrites the log dropping superseded entry records and orphaned
+  /// blobs, then atomically renames the rewrite into place. Requires the
+  /// writer lock (fails fast when a live writer holds the log).
+  static common::Result<CompactionReport> compact(const std::string& path);
+
+ private:
+  explicit SolveStore(StoreOptions options, RecordLog log)
+      : options_(std::move(options)), log_(std::move(log)) {}
+
+  struct Blob {
+    api::InstanceDigest digest;
+    std::shared_ptr<const std::string> bytes;
+  };
+
+  /// Exact entry identity: blob id + solver name + point scalars.
+  struct EntryKey {
+    std::uint64_t blob_id = 0;
+    std::string solver;
+    PointKey point;
+
+    friend bool operator==(const EntryKey& a, const EntryKey& b) noexcept {
+      return a.blob_id == b.blob_id && a.point == b.point && a.solver == b.solver;
+    }
+  };
+  struct EntryKeyHash {
+    std::size_t operator()(const EntryKey& k) const noexcept;
+  };
+
+  /// Applies one decoded record to the in-memory index (lock held).
+  void apply_blob(BlobRecord blob);
+  void apply_entry(EntryRecord entry);
+  void consume_record(RecordType type, const std::string& payload);
+  /// Blob id for (digest, bytes), or 0 when the pair is not interned.
+  std::uint64_t find_blob_id(const api::InstanceDigest& digest,
+                             const std::string& bytes) const;
+
+  StoreOptions options_;
+  RecordLog log_;
+
+  mutable std::unique_ptr<std::mutex> mutex_ = std::make_unique<std::mutex>();
+  std::unordered_map<std::uint64_t, Blob> blobs_;                 ///< id -> blob
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> blob_ids_;  ///< digest.lo -> ids
+  std::unordered_map<EntryKey, StoredResult, EntryKeyHash> entries_;
+  /// Per-blob deadline -> successful BI-CRIT result, for nearest_schedule.
+  std::unordered_map<std::uint64_t, std::map<double, StoredResult>> schedules_;
+  std::uint64_t next_blob_id_ = 1;
+  std::size_t superseded_ = 0;
+  std::size_t appended_ = 0;
+  mutable std::size_t served_ = 0;
+};
+
+}  // namespace easched::store
