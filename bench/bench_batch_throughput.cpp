@@ -4,6 +4,12 @@
 // results), with wall time dropping as threads increase until the corpus
 // runs out of parallelism.
 //
+// Second half: the same corpus through the engine façade
+// (engine::Engine::submit(BatchQuery) on the persistent worker pool,
+// solves routed through the shared SolveCache). Acceptance: the façade
+// regresses < 5% versus the direct solve_batch path — the owned
+// cache/pool plumbing must be effectively free at batch granularity.
+//
 // With --json-out FILE the headline medians are written as JSON so
 // scripts/bench_snapshot.sh can track batch throughput next to the
 // frontier and store numbers.
@@ -16,11 +22,13 @@
 #include "api/batch.hpp"
 #include "bench_util.hpp"
 #include "common/parallel.hpp"
+#include "engine/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace easched;
   bench::banner("E13 batch throughput",
-                "solve_batch: corpus sweeps on the thread pool, results unchanged",
+                "solve_batch: corpus sweeps on the thread pool, results unchanged; "
+                "engine façade within 5%",
                 "whole-corpus wall time and per-family energy by thread count");
 
   const auto corpus = bench::seeded_corpus(argc, argv, 13, /*tasks=*/14,
@@ -70,6 +78,52 @@ int main(int argc, char** argv) {
   }
   families.print(std::cout);
 
+  // --- façade vs direct: best-of-N cold runs each (a fresh Engine per
+  // rep, so no warm cache hits flatter the façade). ---
+  constexpr int kReps = 5;
+  double direct_best = 0.0;
+  double facade_best = 0.0;
+  bool facade_identical = true;
+  std::size_t facade_failed = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto direct = api::solve_batch(jobs, opt);
+    if (direct_best <= 0.0 || direct.wall_ms < direct_best) direct_best = direct.wall_ms;
+
+    engine::EngineConfig config;
+    config.threads = hw;
+    auto eng = engine::Engine::create(config);
+    if (!eng.is_ok()) {
+      std::cerr << "engine creation failed: " << eng.status().to_string() << "\n";
+      return 1;
+    }
+    engine::BatchQuery query;
+    query.jobs = jobs;
+    auto handle = eng.value().submit(std::move(query));
+    const auto& facade = handle.get();
+    if (facade_best <= 0.0 || facade.wall_ms < facade_best) facade_best = facade.wall_ms;
+    facade_failed = std::max(facade_failed, facade.failed);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (facade.results[i].is_ok() != direct.results[i].is_ok() ||
+          (facade.results[i].is_ok() &&
+           facade.results[i].value().energy != direct.results[i].value().energy)) {
+        facade_identical = false;
+      }
+    }
+  }
+  const double overhead_pct =
+      direct_best > 0.0 ? (facade_best - direct_best) / direct_best * 100.0 : 0.0;
+  const bool facade_ok = facade_best <= direct_best * 1.05 && facade_identical &&
+                         facade_failed == report.failed;
+  std::cout << "\nengine façade vs direct solve_batch (threads=" << hw << ", best of "
+            << kReps << "):\n"
+            << "  direct:  " << common::format_fixed(direct_best, 2) << " ms\n"
+            << "  façade:  " << common::format_fixed(facade_best, 2) << " ms  ("
+            << common::format_fixed(overhead_pct, 1) << "% overhead, results "
+            << (facade_identical ? "identical" : "DIFFER") << ", "
+            << facade_failed << " failed)\n"
+            << "ACCEPTANCE (facade <= 1.05x direct, identical results): "
+            << (facade_ok ? "PASS" : "FAIL") << "\n";
+
   if (const char* path = bench::json_out_path(argc, argv)) {
     std::ofstream out(path);
     out << "{\n"
@@ -80,11 +134,17 @@ int main(int argc, char** argv) {
         << "  \"best_speedup\": "
         << common::format_g(best_ms > 0.0 ? serial_ms / best_ms : 0.0) << ",\n"
         << "  \"solved\": " << report.solved << ",\n"
-        << "  \"failed\": " << report.failed << "\n"
+        << "  \"failed\": " << report.failed << ",\n"
+        << "  \"facade_ms\": " << common::format_g(facade_best) << ",\n"
+        << "  \"facade_failed\": " << facade_failed << ",\n"
+        << "  \"facade_overhead_pct\": " << common::format_g(overhead_pct) << ",\n"
+        << "  \"facade_identical\": " << (facade_identical ? "true" : "false") << ",\n"
+        << "  \"facade_ok\": " << (facade_ok ? "true" : "false") << "\n"
         << "}\n";
   }
 
   std::cout << "\nShapes: per-family mean energy identical across thread counts; wall\n"
-               "time scales down with threads until per-family imbalance dominates.\n";
-  return 0;
+               "time scales down with threads until per-family imbalance dominates;\n"
+               "the engine façade tracks the direct path within 5%.\n";
+  return facade_ok ? 0 : 1;
 }

@@ -1,7 +1,12 @@
 // E1 (claim C1): the paper's fork theorem vs. the independent interior-
 // point solver. Expected shape: relative error ~1e-5 or below on every
 // instance; closed form orders of magnitude faster.
+//
+// With --json-out FILE the headline numbers (worst relative error,
+// closed-form speedup) are written as JSON for scripts/bench_snapshot.sh.
 
+#include <cmath>
+#include <fstream>
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -9,16 +14,20 @@
 #include "bicrit/continuous_dag.hpp"
 #include "graph/generators.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace easched;
   bench::banner("E1 fork closed form",
                 "C1: f0 = ((sum wi^3)^(1/3) + w0)/D, fi = f0 wi/(sum wi^3)^(1/3)",
                 "closed-form energy vs interior-point energy on random forks");
 
-  common::Rng rng(1);
+  common::Rng rng(bench::corpus_seed(argc, argv, 1));
   common::Table table({"n", "deadline", "E_closed", "E_ipm", "rel_err", "t_closed_ms",
                        "t_ipm_ms"});
   const auto speeds = model::SpeedModel::continuous(1e-4, 1e4);
+  double max_rel_err = 0.0;
+  double closed_ms_total = 0.0;
+  double ipm_ms_total = 0.0;
+  int rows = 0;
   for (int n : {4, 8, 16, 32, 64}) {
     const auto w = graph::random_weights(n, {1.0, 10.0}, rng);
     const auto dag = graph::make_fork(w);
@@ -38,12 +47,31 @@ int main() {
     }
     const double err =
         std::abs(ipm.value().energy - cf.value().energy) / cf.value().energy;
+    max_rel_err = std::max(max_rel_err, err);
+    closed_ms_total += t_cf;
+    ipm_ms_total += t_ipm;
+    ++rows;
     table.add_row({common::format_int(n), common::format_g(D),
                    common::format_g(cf.value().energy), common::format_g(ipm.value().energy),
                    common::format_g(err), common::format_fixed(t_cf, 3),
                    common::format_fixed(t_ipm, 3)});
   }
   table.print(std::cout);
-  std::cout << "\nPASS criterion: rel_err <= 1e-4 on every row.\n";
-  return 0;
+  const bool pass = max_rel_err <= 1e-4;
+  if (const char* path = bench::json_out_path(argc, argv)) {
+    std::ofstream out(path);
+    out << "{\n"
+        << "  \"rows\": " << rows << ",\n"
+        << "  \"max_rel_err\": " << common::format_g(max_rel_err) << ",\n"
+        << "  \"closed_ms\": " << common::format_g(closed_ms_total) << ",\n"
+        << "  \"ipm_ms\": " << common::format_g(ipm_ms_total) << ",\n"
+        << "  \"closed_speedup\": "
+        << common::format_g(closed_ms_total > 0.0 ? ipm_ms_total / closed_ms_total : 0.0)
+        << ",\n"
+        << "  \"pass\": " << (pass ? "true" : "false") << "\n"
+        << "}\n";
+  }
+  std::cout << "\nPASS criterion: rel_err <= 1e-4 on every row: "
+            << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
 }

@@ -2,8 +2,12 @@
 // graphs (equivalent-weight composition) vs. the interior-point solver.
 // Expected shape: relative error <= ~5e-4 on every family, and energy
 // exactly W^3/D^2 for the SP equivalent weight W.
+//
+// With --json-out FILE the worst relative error and the worst closed-form
+// vs W^3/D^2 deviation are written as JSON for scripts/bench_snapshot.sh.
 
 #include <cmath>
+#include <fstream>
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -12,16 +16,19 @@
 #include "graph/generators.hpp"
 #include "graph/series_parallel.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace easched;
   bench::banner("E2 series-parallel closed form",
                 "C1: series W=W1+W2, parallel W=(W1^3+W2^3)^(1/3), E=W^3/D^2",
                 "per-family closed form vs interior point");
 
-  common::Rng rng(2);
+  common::Rng rng(bench::corpus_seed(argc, argv, 2));
   const auto speeds = model::SpeedModel::continuous(1e-4, 1e4);
   common::Table table({"family", "n", "W_equiv", "E_closed", "W^3/D^2", "E_ipm", "rel_err"});
 
+  double max_rel_err = 0.0;
+  double max_formula_err = 0.0;
+  int rows = 0;
   for (int trial = 0; trial < 3; ++trial) {
     struct Case {
       std::string name;
@@ -46,12 +53,27 @@ int main() {
       const double formula = W * W * W / (D * D);
       const double err =
           std::abs(ipm.value().energy - cf.value().energy) / cf.value().energy;
+      max_rel_err = std::max(max_rel_err, err);
+      max_formula_err = std::max(
+          max_formula_err, std::abs(cf.value().energy - formula) / formula);
+      ++rows;
       table.add_row({c.name, common::format_int(c.dag.num_tasks()), common::format_g(W),
                      common::format_g(cf.value().energy), common::format_g(formula),
                      common::format_g(ipm.value().energy), common::format_g(err)});
     }
   }
   table.print(std::cout);
-  std::cout << "\nPASS criterion: rel_err <= 5e-4 and E_closed == W^3/D^2 on every row.\n";
-  return 0;
+  const bool pass = max_rel_err <= 5e-4 && max_formula_err <= 1e-9;
+  if (const char* path = bench::json_out_path(argc, argv)) {
+    std::ofstream out(path);
+    out << "{\n"
+        << "  \"rows\": " << rows << ",\n"
+        << "  \"max_rel_err\": " << common::format_g(max_rel_err) << ",\n"
+        << "  \"max_formula_err\": " << common::format_g(max_formula_err) << ",\n"
+        << "  \"pass\": " << (pass ? "true" : "false") << "\n"
+        << "}\n";
+  }
+  std::cout << "\nPASS criterion: rel_err <= 5e-4 and E_closed == W^3/D^2 on every row: "
+            << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
 }

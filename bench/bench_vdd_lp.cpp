@@ -3,7 +3,12 @@
 // instance ("VDD smooths out the discrete nature of the speeds"), with the
 // VDD-continuous gap far smaller than the discrete-continuous gap; the
 // neighbour-mix rounding of the continuous solution ~matches the LP.
+//
+// With --json-out FILE the sandwich check and the worst vdd/cont and
+// disc/cont ratios are written as JSON for scripts/bench_snapshot.sh.
 
+#include <algorithm>
+#include <fstream>
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -13,13 +18,13 @@
 #include "graph/generators.hpp"
 #include "sched/list_scheduler.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace easched;
   bench::banner("E4 VDD-HOPPING LP",
                 "C7: VDD BI-CRIT in P via LP; sandwich CONT <= VDD <= DISCRETE",
                 "XScale-like levels {0.15,0.4,0.6,0.8,1.0}; random mapped DAGs");
 
-  common::Rng rng(4);
+  common::Rng rng(bench::corpus_seed(argc, argv, 4));
   const auto levels = model::xscale_levels();
   const auto vdd = model::SpeedModel::vdd_hopping(levels);
   const auto disc = model::SpeedModel::discrete(levels);
@@ -27,6 +32,10 @@ int main() {
 
   common::Table table({"instance", "slack", "E_cont", "E_vdd", "E_mix", "E_disc",
                        "vdd/cont", "disc/cont", "lp_iters"});
+  int rows = 0;
+  double max_vdd_over_cont = 0.0;
+  double max_disc_over_cont = 0.0;
+  bool sandwich_ok = true;
   for (int trial = 0; trial < 4; ++trial) {
     const auto dag = graph::make_random_dag(9, 0.25, {1.0, 5.0}, rng);
     const auto mapping = sched::list_schedule(dag, 3, sched::PriorityPolicy::kCriticalPath);
@@ -38,6 +47,13 @@ int main() {
       auto r_disc = bicrit::solve_discrete_bnb(dag, mapping, D, disc);
       if (!r_cont.is_ok() || !r_vdd.is_ok() || !r_disc.is_ok()) continue;
       auto r_mix = bicrit::vdd_from_continuous(dag, r_cont.value().durations, vdd);
+      const double vdd_ratio = r_vdd.value().energy / r_cont.value().energy;
+      const double disc_ratio = r_disc.value().energy / r_cont.value().energy;
+      max_vdd_over_cont = std::max(max_vdd_over_cont, vdd_ratio);
+      max_disc_over_cont = std::max(max_disc_over_cont, disc_ratio);
+      // The sandwich with solver-tolerance headroom: CONT <= VDD <= DISC.
+      if (vdd_ratio < 1.0 - 1e-6 || disc_ratio < vdd_ratio - 1e-6) sandwich_ok = false;
+      ++rows;
       table.add_row(
           {"rand" + std::to_string(trial), common::format_fixed(slack, 1),
            common::format_g(r_cont.value().energy), common::format_g(r_vdd.value().energy),
@@ -49,6 +65,16 @@ int main() {
     }
   }
   table.print(std::cout);
-  std::cout << "\nShapes: 1 <= vdd/cont <= disc/cont on every row; vdd/cont close to 1.\n";
-  return 0;
+  if (const char* path = bench::json_out_path(argc, argv)) {
+    std::ofstream out(path);
+    out << "{\n"
+        << "  \"rows\": " << rows << ",\n"
+        << "  \"max_vdd_over_cont\": " << common::format_g(max_vdd_over_cont) << ",\n"
+        << "  \"max_disc_over_cont\": " << common::format_g(max_disc_over_cont) << ",\n"
+        << "  \"sandwich_ok\": " << (sandwich_ok ? "true" : "false") << "\n"
+        << "}\n";
+  }
+  std::cout << "\nShapes: 1 <= vdd/cont <= disc/cont on every row; vdd/cont close to 1: "
+            << (sandwich_ok ? "PASS" : "FAIL") << "\n";
+  return sandwich_ok ? 0 : 1;
 }

@@ -1,13 +1,18 @@
 // Command-line driver: solve BI-CRIT/TRI-CRIT for DAGs read from the text
 // format of graph/io.hpp — the entry point a downstream user scripts
-// against without writing C++. Runs on the registry-driven api layer:
-// any registered solver can be requested by name, and with no --solver
-// the registry auto-selects by capability.
+// against without writing C++. Runs on the engine façade
+// (engine/engine.hpp): one engine::Engine per invocation owns the solver
+// registry, the SolveCache, the optional persistent store and the worker
+// pool; --threads sets that pool's size everywhere. Any registered solver
+// can be requested by name, and with no --solver the registry
+// auto-selects by capability.
 //
 // Usage:
 //   easched_cli <dag-file>... --deadline D [options]
-//     Solves each file; with several files the whole set runs through
-//     api::solve_batch on --threads workers and prints one table.
+//     Solves each file; with several files the whole set runs as one
+//     batch query on the engine pool and prints one table. With --jobs
+//     each file is submitted as its own asynchronous job instead
+//     (Engine::submit), exercising per-job futures.
 //   easched_cli frontier <dag-file> [options]
 //     Sweeps a Pareto trade-off curve with the frontier engine:
 //       --dmin A --dmax B            BI-CRIT energy-vs-deadline sweep
@@ -18,6 +23,10 @@
 //       --points N / --max-points M  initial grid / refinement budget
 //       --cache-cap N                LRU-cap the SolveCache at N entries
 //                                    (default 0 = unbounded)
+//       --stream                     print each frontier point as the sweep
+//                                    discovers it (the engine's streaming
+//                                    observer; goes to stderr under
+//                                    --csv/--json so stdout stays clean)
 //   easched_cli frontier <old.dag> <new.dag> --resweep [options]
 //     Incremental update: sweeps the old instance, then resweeps the new
 //     (slightly changed) instance warm-started from the old curve — the
@@ -49,7 +58,8 @@
 //   --solver NAME         registry solver name (default: auto-select)
 //   --slack S             deadline-slack policy (scales --deadline, and in
 //                         frontier mode the --dmin/--dmax axis; default 1)
-//   --threads N           worker threads for batch and frontier runs
+//   --threads N           engine worker-pool size (batch, jobs and sweeps)
+//   --jobs                solve mode: one async engine job per file
 //   --list-solvers        print the registry and exit
 //   --gantt               print the timeline (single solve only)
 //   --csv                 CSV output (timeline, batch table, or frontier)
@@ -62,9 +72,12 @@
 //       --rmin 0.4 --rmax 0.95 --solvers best-of,heuristic-A
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -74,6 +87,7 @@
 #include "api/registry.hpp"
 #include "common/table.hpp"
 #include "core/problem.hpp"
+#include "engine/engine.hpp"
 #include "frontier/analytics.hpp"
 #include "frontier/compare.hpp"
 #include "frontier/export.hpp"
@@ -117,8 +131,8 @@ int usage(const char* argv0) {
       << "  [--frel F] [--lambda0 L] [--dexp D] [--solver NAME] [--solvers n1,n2]\n"
       << "  [--slack S] [--threads N] [--points N] [--max-points M]\n"
       << "  [--cache-cap N] [--cache-cap-bytes N] [--store FILE] [--store-mode M]\n"
-      << "  [--warm-start] [--cache-stats-out F] [--resweep] [--list-solvers]\n"
-      << "  [--gantt] [--csv] [--json]\n";
+      << "  [--warm-start] [--cache-stats-out F] [--resweep] [--jobs] [--stream]\n"
+      << "  [--list-solvers] [--gantt] [--csv] [--json]\n";
   return 2;
 }
 
@@ -146,7 +160,7 @@ struct CliArgs {
   std::optional<std::vector<double>> levels;
   std::optional<double> dmin, dmax, rmin, rmax;
   bool vdd = false, gantt = false, csv = false, json = false, resweep = false;
-  bool warm_start = false;
+  bool warm_start = false, jobs = false, stream = false;
   int processors = 2;
   int points = 9, max_points = 33;
   std::size_t threads = 0;
@@ -241,6 +255,10 @@ bool parse_args(int argc, char** argv, int first, CliArgs& args) {
       args.cache_stats_out = next();
     } else if (arg == "--resweep") {
       args.resweep = true;
+    } else if (arg == "--jobs") {
+      args.jobs = true;
+    } else if (arg == "--stream") {
+      args.stream = true;
     } else if (arg == "--list-solvers") {
       std::exit(list_solvers());
     } else if (arg == "--gantt") {
@@ -275,6 +293,38 @@ model::SpeedModel make_speeds(CliArgs& args) {
     args.fmax = speeds.fmax();
   }
   return speeds;
+}
+
+/// One engine per invocation: the declarative EngineConfig replaces the
+/// cache/store/thread plumbing every mode used to wire by hand.
+common::Result<engine::Engine> make_engine(const CliArgs& args) {
+  engine::EngineConfig config;
+  config.threads = args.threads;
+  config.cache_max_entries = args.cache_cap;
+  config.cache_max_bytes = args.cache_cap_bytes;
+  if (!args.store_path.empty()) {
+    config.store_path = args.store_path;
+    config.store_mode = args.store_mode == "write-through"
+                            ? engine::StoreMode::kWriteThrough
+                            : args.store_mode == "load-on-open"
+                                  ? engine::StoreMode::kLoadOnOpen
+                                  : engine::StoreMode::kBoth;
+    config.store_warm_start = args.warm_start;
+  }
+  return engine::Engine::create(std::move(config));
+}
+
+/// --stream: the engine's frontier observer, printing each point as the
+/// sweep discovers it. Under --csv/--json the stream goes to stderr so
+/// stdout stays machine-parseable.
+std::function<void(const frontier::FrontierPoint&)> make_streamer(const CliArgs& args) {
+  if (!args.stream) return {};
+  const bool to_stderr = args.csv || args.json;
+  return [to_stderr](const frontier::FrontierPoint& p) {
+    std::ostream& out = to_stderr ? std::cerr : std::cout;
+    out << "stream: " << common::format_g(p.constraint) << " -> "
+        << common::format_g(p.energy) << " [" << p.solver << "]\n";
+  };
 }
 
 void print_frontier(const frontier::FrontierResult& result) {
@@ -409,63 +459,53 @@ int run_frontier(CliArgs& args) {
   args.options.deadline_slack = 1.0;
   const double deadline = args.deadline * slack;
 
-  // Shards never exceed the cap: SolveCache rounds the shard count *up*
-  // to a power of two, so pick the largest power of two <= min(16, cap)
-  // — otherwise the floor-split per-shard LRU would keep one entry per
-  // shard and overshoot a small --cache-cap.
-  std::size_t shards = 16;
-  if (args.cache_cap > 0) {
-    shards = 1;
-    while (shards * 2 <= std::min<std::size_t>(16, args.cache_cap)) shards *= 2;
+  // The engine owns the cache, the optional store and the worker pool —
+  // the plumbing this mode used to assemble by hand.
+  auto created = make_engine(args);
+  if (!created.is_ok()) {
+    std::cerr << "cannot create engine: " << created.status().to_string() << "\n";
+    return 1;
   }
-
-  // Persistence: a --store log makes the cache outlive this process —
-  // previous runs' entries load before the sweep, and whatever this run
-  // solves is appended for the next one. Declared before the cache so it
-  // is destroyed after it (the cache keeps a raw pointer to it).
-  std::optional<store::SolveStore> solve_store;
-  frontier::SolveCache cache(shards, args.cache_cap, args.cache_cap_bytes);
-  if (!args.store_path.empty()) {
-    store::StoreOptions sopt;
-    sopt.path = args.store_path;
-    sopt.write_through = args.store_mode != "load-on-open";
-    sopt.load_on_open = args.store_mode != "write-through";
-    sopt.warm_start = args.warm_start;
-    auto opened = store::SolveStore::open(std::move(sopt));
-    if (!opened.is_ok()) {
-      std::cerr << "cannot open store: " << opened.status().to_string() << "\n";
-      return 1;
-    }
-    solve_store = std::move(opened).take();
-    const common::Status attached = cache.attach_store(&*solve_store);
-    if (!attached.is_ok()) {
-      std::cerr << "cannot attach store: " << attached.to_string() << "\n";
-      return 1;
-    }
-  }
+  engine::Engine& eng = created.value();
 
   frontier::CacheStatsLog stats_log;
-  stats_log.sample("open", cache);
+  stats_log.sample("open", eng.cache());
 
-  frontier::FrontierEngine engine(&cache);
   frontier::FrontierOptions fopt;
   fopt.initial_points = args.points;
   fopt.max_points = args.max_points;
-  fopt.threads = args.threads;
+  fopt.threads = args.threads;  // comparisons sweep via sweeper() directly
   fopt.solver = args.solver_name;
   fopt.solve = args.options;
+  const auto streamer = make_streamer(args);
+
+  // Single sweeps and resweeps go through the asynchronous submit path
+  // (with the --stream observer attached); comparisons use the internal
+  // sweeper, which shares the same cache/store.
+  auto submit_sweep = [&](engine::FrontierQuery query) {
+    query.observer = streamer;
+    return eng.submit(std::move(query)).get();
+  };
 
   // In resweep mode, sweep the old instance first and report the changed
   // instance's curve (bit-identical to its cold sweep) warm-started from
   // the old one.
   auto note_prev = [&](const frontier::FrontierResult& prev) {
-    stats_log.sample("sweep-old", cache);
+    stats_log.sample("sweep-old", eng.cache());
     if (!args.csv && !args.json) {
       std::cout << "old instance '" << args.dag_paths[0] << "': "
                 << prev.points.size() << " frontier points from " << prev.evaluated
                 << " evaluations in " << common::format_fixed(prev.wall_ms, 1)
                 << " ms; resweeping '" << args.dag_paths[1] << "'\n\n";
     }
+  };
+  auto submit_resweep = [&](frontier::FrontierResult prev, engine::FrontierQuery target) {
+    note_prev(prev);
+    engine::ResweepQuery query;
+    query.prev = std::move(prev);
+    query.target = std::move(target);
+    query.target.observer = streamer;
+    return eng.submit(std::move(query)).get();
   };
 
   // The mode dispatch below returns from many points; run it inside a
@@ -483,20 +523,26 @@ int run_frontier(CliArgs& args) {
     }
     model::ReliabilityModel rel(args.lambda0, args.dexp, args.fmin, args.fmax,
                                 *args.rmax);
-    core::TriCritProblem problem(dag.value(), mapping, speeds, rel, deadline);
+    const auto problem = std::make_shared<const core::TriCritProblem>(
+        dag.value(), mapping, speeds, rel, deadline);
     if (!args.solvers.empty()) {
-      return emit_comparison(frontier::compare_reliability(engine, problem, args.solvers,
-                                                           *args.rmin, *args.rmax, fopt),
-                             args);
+      return emit_comparison(
+          frontier::compare_reliability(eng.sweeper(), *problem, args.solvers,
+                                        *args.rmin, *args.rmax, fopt),
+          args);
     }
     if (args.resweep) {
-      const auto prev = engine.reliability_sweep(problem, *args.rmin, *args.rmax, fopt);
-      note_prev(prev);
-      core::TriCritProblem changed(*new_dag, *new_mapping, speeds, rel, deadline);
+      auto prev = eng.sweep(
+          engine::FrontierQuery::reliability(problem, *args.rmin, *args.rmax, fopt));
+      const auto changed = std::make_shared<const core::TriCritProblem>(
+          *new_dag, *new_mapping, speeds, rel, deadline);
       return emit_frontier(
-          engine.resweep_reliability(prev, changed, *args.rmin, *args.rmax, fopt), args);
+          submit_resweep(std::move(prev), engine::FrontierQuery::reliability(
+                                              changed, *args.rmin, *args.rmax, fopt)),
+          args);
     }
-    return emit_frontier(engine.reliability_sweep(problem, *args.rmin, *args.rmax, fopt),
+    return emit_frontier(submit_sweep(engine::FrontierQuery::reliability(
+                             problem, *args.rmin, *args.rmax, fopt)),
                          args);
   }
 
@@ -516,40 +562,48 @@ int run_frontier(CliArgs& args) {
     }
     model::ReliabilityModel rel(args.lambda0, args.dexp, args.fmin, args.fmax,
                                 *args.frel);
-    core::TriCritProblem problem(dag.value(), mapping, speeds, rel, dmax);
+    const auto problem = std::make_shared<const core::TriCritProblem>(
+        dag.value(), mapping, speeds, rel, dmax);
     if (!args.solvers.empty()) {
-      return emit_comparison(frontier::compare_deadline(engine, problem, args.solvers,
-                                                        dmin, dmax, fopt),
+      return emit_comparison(frontier::compare_deadline(eng.sweeper(), *problem,
+                                                        args.solvers, dmin, dmax, fopt),
                              args);
     }
     if (args.resweep) {
-      const auto prev = engine.deadline_sweep(problem, dmin, dmax, fopt);
-      note_prev(prev);
-      core::TriCritProblem changed(*new_dag, *new_mapping, speeds, rel, dmax);
-      return emit_frontier(engine.resweep(prev, changed, dmin, dmax, fopt), args);
+      auto prev = eng.sweep(engine::FrontierQuery::deadline(problem, dmin, dmax, fopt));
+      const auto changed = std::make_shared<const core::TriCritProblem>(
+          *new_dag, *new_mapping, speeds, rel, dmax);
+      return emit_frontier(
+          submit_resweep(std::move(prev),
+                         engine::FrontierQuery::deadline(changed, dmin, dmax, fopt)),
+          args);
     }
-    return emit_frontier(engine.deadline_sweep(problem, dmin, dmax, fopt),
-                         args);
+    return emit_frontier(
+        submit_sweep(engine::FrontierQuery::deadline(problem, dmin, dmax, fopt)), args);
   }
-  core::BiCritProblem problem(dag.value(), mapping, speeds, dmax);
+  const auto problem =
+      std::make_shared<const core::BiCritProblem>(dag.value(), mapping, speeds, dmax);
   if (!args.solvers.empty()) {
-    return emit_comparison(frontier::compare_deadline(engine, problem, args.solvers,
-                                                      dmin, dmax, fopt),
+    return emit_comparison(frontier::compare_deadline(eng.sweeper(), *problem,
+                                                      args.solvers, dmin, dmax, fopt),
                            args);
   }
   if (args.resweep) {
-    const auto prev = engine.deadline_sweep(problem, dmin, dmax, fopt);
-    note_prev(prev);
-    core::BiCritProblem changed(*new_dag, *new_mapping, speeds, dmax);
-    return emit_frontier(engine.resweep(prev, changed, dmin, dmax, fopt), args);
+    auto prev = eng.sweep(engine::FrontierQuery::deadline(problem, dmin, dmax, fopt));
+    const auto changed = std::make_shared<const core::BiCritProblem>(
+        *new_dag, *new_mapping, speeds, dmax);
+    return emit_frontier(
+        submit_resweep(std::move(prev),
+                       engine::FrontierQuery::deadline(changed, dmin, dmax, fopt)),
+        args);
   }
-  return emit_frontier(engine.deadline_sweep(problem, dmin, dmax, fopt),
-                       args);
+  return emit_frontier(
+      submit_sweep(engine::FrontierQuery::deadline(problem, dmin, dmax, fopt)), args);
   }();
 
   // Epilogue, on every dispatch path: final telemetry snapshot, stats
   // export, and the cache/store summary for human-readable runs.
-  stats_log.sample("final", cache);
+  stats_log.sample("final", eng.cache());
   if (!args.cache_stats_out.empty()) {
     const common::Status written = stats_log.write_file(args.cache_stats_out);
     if (!written.is_ok()) {
@@ -557,15 +611,15 @@ int run_frontier(CliArgs& args) {
     }
   }
   if (!args.csv && !args.json && rc == 0) {
-    const auto stats = cache.stats();
+    const auto stats = eng.cache_stats();
     std::cout << "cache: " << stats.entries << " entries (~" << stats.bytes
               << " bytes), " << stats.hits << " hits + " << stats.store_hits
               << " store hits / " << stats.misses << " misses, " << stats.evictions
               << " evictions (" << stats.spills << " spilled), " << stats.warm_seeds
               << " warm-seeded solves, " << stats.interned_blobs
               << " interned instances\n";
-    if (solve_store) {
-      const auto sstats = solve_store->stats();
+    if (eng.store() != nullptr) {
+      const auto sstats = eng.store()->stats();
       std::cout << "store '" << args.store_path << "': " << sstats.entries
                 << " entries / " << sstats.blobs << " instances on disk ("
                 << sstats.file_bytes << " bytes), " << sstats.appended
@@ -631,7 +685,9 @@ int run_store(int argc, char** argv) {
   return 2;
 }
 
-/// Several dag files: one api::solve_batch over --threads workers.
+/// Several dag files: one engine batch query on the worker pool, or —
+/// with --jobs — one asynchronous engine job per file (the submit path:
+/// every file gets its own JobHandle and the table joins the futures).
 int run_batch(CliArgs& args, double effective_deadline) {
   std::vector<api::BatchJob> jobs;
   for (const auto& path : args.dag_paths) {
@@ -657,11 +713,34 @@ int run_batch(CliArgs& args, double effective_deadline) {
     jobs.push_back(std::move(job));
   }
 
-  api::BatchOptions bopt;
-  bopt.solver = args.solver_name;
-  bopt.solve = args.options;
-  bopt.threads = args.threads;
-  const auto report = api::solve_batch(jobs, bopt);
+  auto created = make_engine(args);
+  if (!created.is_ok()) {
+    std::cerr << "cannot create engine: " << created.status().to_string() << "\n";
+    return 1;
+  }
+  engine::Engine& eng = created.value();
+
+  api::BatchReport report;
+  if (args.jobs) {
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<engine::Engine::SolveHandle> handles;
+    handles.reserve(jobs.size());
+    for (const auto& job : jobs) {
+      handles.push_back(eng.submit(
+          job.bicrit != nullptr
+              ? engine::SolveQuery(job.bicrit, args.solver_name, args.options)
+              : engine::SolveQuery(job.tricrit, args.solver_name, args.options)));
+    }
+    std::vector<common::Result<api::SolveReport>> results;
+    results.reserve(handles.size());
+    for (auto& handle : handles) results.push_back(handle.get());
+    report = api::aggregate_batch(jobs, std::move(results));
+    report.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  } else {
+    report = eng.solve_batch(jobs, args.solver_name, args.options);
+  }
 
   common::Table table({"file", "status", "solver", "energy", "makespan", "wall_ms"});
   for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -705,19 +784,28 @@ int run_solve(CliArgs& args) {
                                             sched::PriorityPolicy::kCriticalPath);
   const model::SpeedModel speeds = make_speeds(args);
 
+  // One solve still goes through the façade: the engine is cheap to
+  // construct and the call shape matches every other mode.
+  auto created = make_engine(args);
+  if (!created.is_ok()) {
+    std::cerr << "cannot create engine: " << created.status().to_string() << "\n";
+    return 1;
+  }
+  engine::Engine& eng = created.value();
+
   common::Result<api::SolveReport> result = common::Status::internal("unsolved");
   if (args.frel) {
     model::ReliabilityModel rel(args.lambda0, args.dexp, args.fmin, args.fmax,
                                 *args.frel);
     core::TriCritProblem p(dag.value(), mapping, speeds, rel, effective_deadline);
-    result = api::solve(api::SolveRequest(p, args.solver_name, args.options));
+    result = eng.solve(p, args.solver_name, args.options);
     if (result.is_ok() && !p.check(result.value().schedule).is_ok()) {
       std::cerr << "internal error: schedule failed validation\n";
       return 1;
     }
   } else {
     core::BiCritProblem p(dag.value(), mapping, speeds, effective_deadline);
-    result = api::solve(api::SolveRequest(p, args.solver_name, args.options));
+    result = eng.solve(p, args.solver_name, args.options);
     if (result.is_ok() && !p.check(result.value().schedule).is_ok()) {
       std::cerr << "internal error: schedule failed validation\n";
       return 1;

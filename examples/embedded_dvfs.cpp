@@ -9,13 +9,22 @@
 #include <iostream>
 
 #include "common/table.hpp"
-#include "api/registry.hpp"
+#include "engine/engine.hpp"
 #include "core/problem.hpp"
 #include "graph/generators.hpp"
 #include "sched/list_scheduler.hpp"
 
 int main() {
   using namespace easched;
+
+  // One engine per process: solver registry, shared cache and worker
+  // pool in a single owned context (the public API surface).
+  auto created = engine::Engine::create();
+  if (!created.is_ok()) {
+    std::cerr << "engine creation failed: " << created.status().to_string() << "\n";
+    return 1;
+  }
+  engine::Engine& eng = created.value();
 
   // Pipeline: sample -> {demodulate, calibrate} -> fuse -> transmit.
   graph::Dag dag;
@@ -42,7 +51,7 @@ int main() {
     core::BiCritProblem p(dag, mapping,
                           model::SpeedModel::continuous(levels.front(), levels.back()),
                           deadline);
-    auto r = api::solve(p);
+    auto r = eng.solve(p);
     if (!r.is_ok()) {
       std::cerr << "continuous failed: " << r.status().to_string() << "\n";
       return 1;
@@ -53,7 +62,7 @@ int main() {
   }
   {
     core::BiCritProblem p(dag, mapping, model::SpeedModel::vdd_hopping(levels), deadline);
-    auto r = api::solve(p);
+    auto r = eng.solve(p);
     if (r.is_ok()) {
       table.add_row({"VDD-HOPPING", r.value().solver, common::format_g(r.value().energy),
                      common::format_ratio(r.value().energy / cont_energy),
@@ -65,7 +74,7 @@ int main() {
     core::BiCritProblem p(dag, mapping, inc, deadline);
     api::SolveOptions opts;
     opts.approx_K = 50;
-    auto r = api::solve(p, "incremental-approx", opts);
+    auto r = eng.solve(p, "incremental-approx", opts);
     if (r.is_ok()) {
       table.add_row({"INCREMENTAL d=0.05", r.value().solver,
                      common::format_g(r.value().energy),
@@ -75,7 +84,7 @@ int main() {
   }
   {
     core::BiCritProblem p(dag, mapping, model::SpeedModel::discrete(levels), deadline);
-    auto r = api::solve(p);
+    auto r = eng.solve(p);
     if (r.is_ok()) {
       table.add_row({"DISCRETE (XScale)", r.value().solver,
                      common::format_g(r.value().energy),

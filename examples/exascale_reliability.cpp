@@ -6,7 +6,7 @@
 #include <iostream>
 
 #include "common/table.hpp"
-#include "api/registry.hpp"
+#include "engine/engine.hpp"
 #include "core/problem.hpp"
 #include "graph/analysis.hpp"
 #include "graph/generators.hpp"
@@ -15,6 +15,15 @@
 
 int main() {
   using namespace easched;
+
+  // One engine per process: solver registry, shared cache and worker
+  // pool in a single owned context (the public API surface).
+  auto created = engine::Engine::create();
+  if (!created.is_ok()) {
+    std::cerr << "engine creation failed: " << created.status().to_string() << "\n";
+    return 1;
+  }
+  engine::Engine& eng = created.value();
 
   common::Rng rng(2026);
   // 6 layers x 8-wide layered DAG: a bulk-synchronous-style workload.
@@ -33,7 +42,7 @@ int main() {
   const double deadline = fmax_ms / rel.frel() * 2.2;
 
   core::TriCritProblem problem(dag, mapping, speeds, rel, deadline);
-  auto best = api::solve(problem, "best-of");
+  auto best = eng.solve(problem, "best-of");
   if (!best.is_ok()) {
     std::cerr << "solve failed: " << best.status().to_string() << "\n";
     return 1;
@@ -48,7 +57,7 @@ int main() {
   // Compare against the no-re-execution baseline (all singles at >= frel).
   core::BiCritProblem baseline(dag, mapping, model::SpeedModel::continuous(0.8, 1.0),
                                deadline);
-  auto base = api::solve(baseline, "continuous-ipm");
+  auto base = eng.solve(baseline, "continuous-ipm");
   if (base.is_ok()) {
     std::cout << "baseline (no re-execution, speeds >= frel): energy "
               << base.value().energy << "\n"

@@ -4,13 +4,15 @@
 //   $ ./examples/quickstart
 //
 // Walks through the public API: Dag -> Mapping (list scheduling) ->
-// BiCritProblem -> api::solve() (registry auto-selection) -> validated
-// Schedule.
+// BiCritProblem -> engine::Engine (the one context owning the solver
+// registry, result cache and worker pool) -> validated Schedule. One
+// engine per process is the intended shape; it serves synchronous calls
+// (engine.solve) and asynchronous jobs (engine.submit) alike.
 
 #include <iostream>
 
-#include "api/registry.hpp"
 #include "core/problem.hpp"
+#include "engine/engine.hpp"
 #include "graph/io.hpp"
 #include "sched/gantt.hpp"
 #include "sched/list_scheduler.hpp"
@@ -42,11 +44,24 @@ int main() {
     std::cout << "\n";
   }
 
-  // 3. BI-CRIT: minimise energy subject to deadline D = 10 with speeds in
+  // 3. The engine: construct once per process from a declarative config.
+  //    It owns the solver registry, a shared result cache and a worker
+  //    pool — every solve and sweep goes through it.
+  auto created = engine::Engine::create();
+  if (!created.is_ok()) {
+    std::cerr << "engine creation failed: " << created.status().to_string() << "\n";
+    return 1;
+  }
+  engine::Engine& eng = created.value();
+
+  // 4. BI-CRIT: minimise energy subject to deadline D = 10 with speeds in
   //    [0.2, 1.0] (normalised DVFS range). The registry picks the best
   //    applicable solver for the instance's structure and speed model.
+  //    submit() returns a future-style JobHandle; get() joins it (the
+  //    synchronous shorthand is eng.solve(problem)).
   core::BiCritProblem problem(dag, mapping, model::SpeedModel::continuous(0.2, 1.0), 10.0);
-  auto result = api::solve(problem);
+  auto job = eng.submit(engine::SolveQuery(problem));
+  auto result = job.get();
   if (!result.is_ok()) {
     std::cerr << "solve failed: " << result.status().to_string() << "\n";
     return 1;
@@ -62,11 +77,11 @@ int main() {
               << exec.duration(dag.weight(t)) << "\n";
   }
 
-  // 4. Timeline view (Gantt) of the optimised schedule.
+  // 5. Timeline view (Gantt) of the optimised schedule.
   std::cout << "\ntimeline:\n";
   sched::write_gantt(std::cout, dag, mapping, result.value().schedule);
 
-  // 5. Independent feasibility check (the validator used by all tests).
+  // 6. Independent feasibility check (the validator used by all tests).
   const auto check = problem.check(result.value().schedule);
   std::cout << "validator: " << check.to_string() << "\n";
   return check.is_ok() ? 0 : 1;

@@ -1,16 +1,21 @@
-// Trade-off explorer: the frontier engine end to end on a small pipeline.
+// Trade-off explorer: the engine façade end to end on a small pipeline.
 //
 //   $ ./examples/tradeoff_explorer
 //
-// Walks the energy-vs-deadline Pareto curve of a mapped DAG (BI-CRIT),
-// the energy-vs-reliability curve of the same instance (TRI-CRIT), and a
-// two-solver comparison showing which algorithm dominates where — all
-// through a shared SolveCache, so the second pass over any point is a
-// lookup, not a solve. Finishes by exporting the BI-CRIT frontier as CSV.
+// Submits the energy-vs-deadline Pareto sweep of a mapped DAG (BI-CRIT)
+// and the energy-vs-reliability sweep of the same instance (TRI-CRIT) as
+// two *concurrent* engine jobs — the deadline sweep streaming its points
+// through the observer as they are discovered — then runs a two-solver
+// comparison showing which algorithm dominates where. Everything funnels
+// through the engine's shared SolveCache, so the second pass over any
+// point is a lookup, not a solve. Finishes by exporting the BI-CRIT
+// frontier as CSV.
 
 #include <iostream>
+#include <mutex>
 
 #include "core/problem.hpp"
+#include "engine/engine.hpp"
 #include "frontier/analytics.hpp"
 #include "frontier/compare.hpp"
 #include "frontier/export.hpp"
@@ -37,19 +42,47 @@ int main() {
   const auto mapping = sched::list_schedule(dag, 3, sched::PriorityPolicy::kCriticalPath);
   const auto speeds = model::SpeedModel::continuous(0.2, 1.0);
 
-  // One cache for the whole session: every curve below funnels its solves
-  // through it, and repeated points (the comparison re-visits the sweep
-  // grid) come back for free.
-  frontier::SolveCache cache;
-  frontier::FrontierEngine engine(&cache);
+  // One engine for the whole session: every curve below funnels its
+  // solves through its shared cache, and repeated points (the comparison
+  // re-visits the sweep grid) come back for free.
+  auto created = engine::Engine::create();
+  if (!created.is_ok()) {
+    std::cerr << "engine creation failed: " << created.status().to_string() << "\n";
+    return 1;
+  }
+  engine::Engine& eng = created.value();
   frontier::FrontierOptions options;
   options.initial_points = 7;
   options.max_points = 19;
 
+  // 1 + 2 submitted together: the engine runs both trade-off curves as
+  //    concurrent jobs on its worker pool.
+  //
   // 1. BI-CRIT: how much energy does each unit of deadline slack buy?
+  //    The observer streams each point as the sweep discovers it —
+  //    exactly what an incremental plot (or an early-stopping driver)
+  //    would consume.
   core::BiCritProblem bicrit(dag, mapping, speeds, 30.0);
-  const auto deadline_curve = engine.deadline_sweep(bicrit, 8.0, 30.0, options);
-  std::cout << "energy vs deadline (" << deadline_curve.points.size()
+  std::mutex stream_mutex;
+  auto deadline_query = engine::FrontierQuery::deadline(bicrit, 8.0, 30.0, options);
+  deadline_query.observer = [&stream_mutex](const frontier::FrontierPoint& p) {
+    std::lock_guard<std::mutex> lock(stream_mutex);
+    std::cout << "  streamed: D = " << p.constraint << "  ->  E = " << p.energy
+              << "  [" << p.solver << "]\n";
+  };
+  std::cout << "energy vs deadline, streaming as discovered:\n";
+  auto deadline_job = eng.submit(std::move(deadline_query));
+
+  // 2. TRI-CRIT: the price of reliability at a fixed deadline. Sweeping
+  //    the threshold speed frel shows energy climbing as the reliability
+  //    requirement tightens (re-executions appear and speeds rise).
+  const model::ReliabilityModel rel = model::default_reliability(0.2, 1.0, 0.9);
+  core::TriCritProblem tricrit(dag, mapping, speeds, rel, 24.0);
+  auto reliability_job =
+      eng.submit(engine::FrontierQuery::reliability(tricrit, 0.3, 0.9, options));
+
+  const auto& deadline_curve = deadline_job.get();
+  std::cout << "\nfinal deadline curve (" << deadline_curve.points.size()
             << " Pareto points, " << deadline_curve.evaluated << " evaluations, "
             << deadline_curve.infeasible << " infeasible):\n";
   for (const auto& p : deadline_curve.points) {
@@ -60,12 +93,7 @@ int main() {
   std::cout << "area under curve: " << summary.auc
             << ", hypervolume: " << summary.hypervolume << "\n";
 
-  // 2. TRI-CRIT: the price of reliability at a fixed deadline. Sweeping
-  //    the threshold speed frel shows energy climbing as the reliability
-  //    requirement tightens (re-executions appear and speeds rise).
-  const model::ReliabilityModel rel = model::default_reliability(0.2, 1.0, 0.9);
-  core::TriCritProblem tricrit(dag, mapping, speeds, rel, 24.0);
-  const auto reliability_curve = engine.reliability_sweep(tricrit, 0.3, 0.9, options);
+  const auto& reliability_curve = reliability_job.get();
   std::cout << "\nenergy vs reliability threshold (deadline fixed at 24):\n";
   for (const auto& p : reliability_curve.points) {
     std::cout << "  frel = " << p.constraint << "  ->  E = " << p.energy << "  ["
@@ -80,13 +108,13 @@ int main() {
                                model::SpeedModel::discrete(model::xscale_levels()),
                                30.0);
   const auto comparison = frontier::compare_deadline(
-      engine, discrete, {"discrete-bnb", "discrete-greedy"}, 8.0, 30.0, options);
+      eng.sweeper(), discrete, {"discrete-bnb", "discrete-greedy"}, 8.0, 30.0, options);
   std::cout << "\ndominance segments (deadline axis):\n";
   for (const auto& seg : comparison.segments) {
     std::cout << "  [" << seg.lo << ", " << seg.hi << "] -> " << seg.solver << "\n";
   }
 
-  const auto stats = cache.stats();
+  const auto stats = eng.cache_stats();
   std::cout << "\ncache: " << stats.entries << " entries, " << stats.hits << " hits, "
             << stats.misses << " misses\n";
 

@@ -8,7 +8,7 @@
 
 #include <iostream>
 
-#include "api/registry.hpp"
+#include "engine/engine.hpp"
 #include "bicrit/closed_form.hpp"
 #include "common/table.hpp"
 #include "core/problem.hpp"
@@ -17,6 +17,15 @@
 
 int main() {
   using namespace easched;
+
+  // One engine per process: solver registry, shared cache and worker
+  // pool in a single owned context (the public API surface).
+  auto created = engine::Engine::create();
+  if (!created.is_ok()) {
+    std::cerr << "engine creation failed: " << created.status().to_string() << "\n";
+    return 1;
+  }
+  engine::Engine& eng = created.value();
 
   // stage_in -> (pipelineA: a1->a2 | pipelineB: b1->b2->b3 | c1) -> reduce
   graph::Dag dag;
@@ -54,8 +63,8 @@ int main() {
                        "speed(stage_in)", "speed(c1)"});
   for (double D : {8.0, 10.0, 14.0, 20.0, 30.0}) {
     core::BiCritProblem problem(dag, mapping, speeds, D);
-    auto cf = api::solve(problem, "closed-form-sp");
-    auto ipm = api::solve(problem, "continuous-ipm");
+    auto cf = eng.solve(problem, "closed-form-sp");
+    auto ipm = eng.solve(problem, "continuous-ipm");
     if (!cf.is_ok() || !ipm.is_ok()) {
       std::cout << "D=" << D << ": " << cf.status().to_string() << " / "
                 << ipm.status().to_string() << "\n";

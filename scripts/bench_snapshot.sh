@@ -1,18 +1,20 @@
 #!/usr/bin/env bash
 # Perf baseline snapshot: builds the benches in Release mode, runs the
-# frontier sweep, store restart and batch throughput benches several
-# times, and writes the per-metric *medians* to BENCH_frontier.json at
-# the repo root — cold/warm sweeps, perturbed-instance resweeps, the
-# warm-lookup scaling curve, restart-with-store replay, and batch
-# throughput. Future PRs diff their own snapshot against the committed
-# numbers instead of eyeballing one noisy run.
+# frontier sweep, store restart, batch throughput and the solver-family
+# corpus benches (fork/SP closed forms, VDD LP) several times, and writes
+# the per-metric *medians* to BENCH_frontier.json at the repo root —
+# cold/warm sweeps, perturbed-instance resweeps, the warm-lookup scaling
+# curve, restart-with-store replay, batch throughput (direct and through
+# the engine façade), and the solver-family accuracy/speed headlines.
+# Future PRs diff their own snapshot against the committed numbers
+# instead of eyeballing one noisy run.
 #
 #   scripts/bench_snapshot.sh [runs] [build-dir]
 #
 # Defaults: 3 runs, build dir ./build-bench. The benches' own acceptance
 # bars (warm >= 5x, resweep >= 5x + bit-identical, flat warm lookups,
-# restart >= 5x + zero solver calls) still gate: a failing run fails the
-# snapshot.
+# restart >= 5x + zero solver calls, facade overhead < 5%, closed-form
+# accuracy, VDD sandwich) still gate: a failing run fails the snapshot.
 
 set -euo pipefail
 
@@ -20,7 +22,8 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 runs="${1:-3}"
 build_dir="${2:-$repo_root/build-bench}"
 
-benches=(bench_frontier_sweep bench_store_restart bench_batch_throughput)
+benches=(bench_frontier_sweep bench_store_restart bench_batch_throughput
+         bench_fork_closed_form bench_sp_closed_form bench_vdd_lp)
 
 cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=Release \
@@ -50,6 +53,9 @@ def load(bench):
 frontier = load("bench_frontier_sweep")
 store = load("bench_store_restart")
 batch = load("bench_batch_throughput")
+fork_cf = load("bench_fork_closed_form")
+sp_cf = load("bench_sp_closed_form")
+vdd = load("bench_vdd_lp")
 
 def med(samples, key):
     return statistics.median(s[key] for s in samples)
@@ -79,13 +85,34 @@ snapshot = {
         "restart_identical": all(s["restart_identical"] for s in store),
         "store_bytes": med(store, "store_bytes"),
     },
-    # batch execution path (bench_batch_throughput)
+    # batch execution path (bench_batch_throughput), direct + engine facade
     "batch_throughput": {
         "jobs": batch[0]["jobs"],
         "serial_ms": med(batch, "serial_ms"),
         "best_ms": med(batch, "best_ms"),
         "best_speedup": med(batch, "best_speedup"),
         "failed": max(s["failed"] for s in batch),
+        "facade_ms": med(batch, "facade_ms"),
+        "facade_overhead_pct": med(batch, "facade_overhead_pct"),
+        "facade_ok": all(s["facade_ok"] for s in batch),
+    },
+    # solver-family corpus benches (closed forms + VDD LP)
+    "solver_families": {
+        "fork_closed_form": {
+            "max_rel_err": med(fork_cf, "max_rel_err"),
+            "closed_speedup": med(fork_cf, "closed_speedup"),
+            "pass": all(s["pass"] for s in fork_cf),
+        },
+        "sp_closed_form": {
+            "max_rel_err": med(sp_cf, "max_rel_err"),
+            "max_formula_err": med(sp_cf, "max_formula_err"),
+            "pass": all(s["pass"] for s in sp_cf),
+        },
+        "vdd_lp": {
+            "max_vdd_over_cont": med(vdd, "max_vdd_over_cont"),
+            "max_disc_over_cont": med(vdd, "max_disc_over_cont"),
+            "sandwich_ok": all(s["sandwich_ok"] for s in vdd),
+        },
     },
 }
 with open(out_path, "w") as f:

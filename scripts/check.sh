@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verify in Release mode with -Wall -Wextra, failing on any warning
-# in the src/api and src/frontier layers (EASCHED_WERROR_API promotes them
-# to errors).
+# in the src/api, src/engine, src/frontier and src/store layers
+# (EASCHED_WERROR_API promotes them to errors).
 #
 #   scripts/check.sh [build-dir]
 #   scripts/check.sh --sanitize [build-dir]

@@ -7,29 +7,10 @@
 
 namespace easched::api {
 
-BatchReport solve_batch(const std::vector<BatchJob>& jobs, const BatchOptions& options) {
-  const auto start = std::chrono::steady_clock::now();
-
+BatchReport aggregate_batch(const std::vector<BatchJob>& jobs,
+                            std::vector<common::Result<SolveReport>> results) {
   BatchReport report;
-  report.results.assign(jobs.size(), common::Status::internal("job not executed"));
-
-  common::parallel_for(
-      jobs.size(),
-      [&](std::size_t i) {
-        const BatchJob& job = jobs[i];
-        const std::string& solver = job.solver.empty() ? options.solver : job.solver;
-        if ((job.bicrit != nullptr) == (job.tricrit != nullptr)) {
-          report.results[i] = common::Status::invalid(
-              "batch job must carry exactly one of a BI-CRIT or TRI-CRIT problem");
-          return;
-        }
-        report.results[i] =
-            job.bicrit != nullptr
-                ? solve(SolveRequest(*job.bicrit, solver, options.solve))
-                : solve(SolveRequest(*job.tricrit, solver, options.solve));
-      },
-      options.threads);
-
+  report.results = std::move(results);
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     FamilyAggregate& agg = report.by_family[jobs[i].family];
     const auto& result = report.results[i];
@@ -44,6 +25,32 @@ BatchReport solve_batch(const std::vector<BatchJob>& jobs, const BatchOptions& o
     ++agg.solved;
     ++report.solved;
   }
+  return report;
+}
+
+BatchReport solve_batch(const std::vector<BatchJob>& jobs, const BatchOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<common::Result<SolveReport>> results(
+      jobs.size(), common::Result<SolveReport>(common::Status::internal("job not executed")));
+
+  common::parallel_for(
+      jobs.size(),
+      [&](std::size_t i) {
+        const BatchJob& job = jobs[i];
+        const std::string& solver = job.solver.empty() ? options.solver : job.solver;
+        if ((job.bicrit != nullptr) == (job.tricrit != nullptr)) {
+          results[i] = common::Status::invalid(
+              "batch job must carry exactly one of a BI-CRIT or TRI-CRIT problem");
+          return;
+        }
+        results[i] = job.bicrit != nullptr
+                         ? solve(SolveRequest(*job.bicrit, solver, options.solve))
+                         : solve(SolveRequest(*job.tricrit, solver, options.solve));
+      },
+      options.threads);
+
+  BatchReport report = aggregate_batch(jobs, std::move(results));
   report.wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - start)
                        .count();

@@ -62,6 +62,14 @@ struct BatchReport {
 /// the batch itself always completes.
 BatchReport solve_batch(const std::vector<BatchJob>& jobs, const BatchOptions& options = {});
 
+/// Folds index-aligned per-job outcomes into a BatchReport (per-family
+/// Welford aggregates, solved/failed counters). Shared by solve_batch and
+/// by executors that run the jobs themselves (the engine façade routes
+/// batch queries through its cache and worker pool, then aggregates
+/// here); wall_ms is left 0 for the caller to stamp.
+BatchReport aggregate_batch(const std::vector<BatchJob>& jobs,
+                            std::vector<common::Result<SolveReport>> results);
+
 /// BI-CRIT jobs over a corpus: one job per instance, deadline set to
 /// `slack_factor` headroom over the all-fmax makespan.
 std::vector<BatchJob> corpus_bicrit_jobs(const std::vector<core::Instance>& corpus,

@@ -3,10 +3,15 @@
 //
 // Every algorithm of the paper self-registers here under a stable name
 // (see api/builtin_bicrit.cpp and api/builtin_tricrit.cpp); downstream
-// code — examples, benches, the CLI, solve_batch — looks solvers up by
-// name or lets `select()` route an instance by capability query. Custom
-// solvers can be added at runtime via `add()`, which is how new scenarios
-// plug in without editing any facade.
+// code looks solvers up by name or lets `select()` route an instance by
+// capability query. Custom solvers can be added at runtime via `add()`,
+// which is how new scenarios plug in without editing any facade.
+//
+// DEPRECATION: `api::solve` (and `api::solve_batch`) are now the *thin
+// internals* under the engine façade — engine::Engine routes every query
+// through them while owning the cache, store and worker pool callers
+// previously wired by hand. Direct calls keep working for one release;
+// new code should construct an Engine (engine/engine.hpp).
 
 #include <memory>
 #include <mutex>

@@ -12,8 +12,10 @@
 // query, and all of them speak the same `SolveRequest` / `SolveReport`
 // vocabulary — so new scenarios plug in without touching any facade.
 //
-// The enum-based facade in core/solvers.hpp remains as a deprecated shim
-// over this layer.
+// This layer is the solver *vocabulary*, not the serving surface: callers
+// that want caching, persistence and asynchronous jobs construct an
+// engine::Engine (engine/engine.hpp) on top of it. The old enum facade in
+// core/solvers.hpp has been removed (the header keeps the migration map).
 
 #include <optional>
 #include <string>

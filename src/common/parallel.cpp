@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <limits>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -66,6 +68,118 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
       for (std::size_t i = begin; i < end; ++i) body(i);
     }
   });
+}
+
+WorkerPool::WorkerPool(std::size_t threads) {
+  std::size_t workers = threads == 0 ? default_thread_count() : threads;
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void WorkerPool::submit(std::function<void()> fn, int priority) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.emplace(TaskKey{-static_cast<long long>(priority), next_seq_++},
+                   std::move(fn));
+  }
+  ready_.notify_one();
+}
+
+std::function<void()> WorkerPool::next_task() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+  if (queue_.empty()) return {};  // stopping and drained
+  auto it = queue_.begin();
+  std::function<void()> fn = std::move(it->second);
+  queue_.erase(it);
+  return fn;
+}
+
+void WorkerPool::worker_loop() {
+  // Tasks queued before the stop request still run: the destructor drains
+  // the queue rather than abandoning accepted work (cancellation is the
+  // job layer's business, not the pool's).
+  while (std::function<void()> task = next_task()) task();
+}
+
+namespace {
+
+/// Shared state of one WorkerPool::parallel region. Helpers hold it via
+/// shared_ptr so a helper that fires after the region completed (all
+/// chunks claimed) no-ops safely even though the caller returned.
+struct ParallelRegion {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* body = nullptr;  ///< valid while
+                                                           ///< chunks remain
+  std::atomic<std::size_t> next{0};
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t done = 0;  ///< iterations finished (under mutex)
+  std::exception_ptr error;
+
+  /// Claims and runs chunks until none are left. Iterations count as done
+  /// even when the body throws (only the first exception is kept), so the
+  /// caller's completion wait can never hang on a failed region.
+  void drain() {
+    constexpr std::size_t kGrain = 16;
+    for (;;) {
+      const std::size_t begin = next.fetch_add(kGrain);
+      if (begin >= n) return;
+      const std::size_t end = std::min(begin + kGrain, n);
+      std::exception_ptr caught;
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          (*body)(i);
+        } catch (...) {
+          if (!caught) caught = std::current_exception();
+        }
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      if (caught && !error) error = caught;
+      done += end - begin;
+      if (done == n) done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void WorkerPool::parallel(std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1 || size() == 1) {
+    // Nothing to fan out (or no helper could exist beyond this thread):
+    // run inline; exceptions propagate directly.
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  auto region = std::make_shared<ParallelRegion>();
+  region->n = n;
+  region->body = &body;
+  // Idle workers join through max-priority helpers: sub-work of a running
+  // job always beats queued jobs, so a job's internal fan-out never
+  // inverts with lower-priority whole jobs behind it.
+  const std::size_t helpers = std::min(size(), (n - 1) / 16 + 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    submit([region] { region->drain(); }, std::numeric_limits<int>::max());
+  }
+  region->drain();  // the caller participates — nested use cannot deadlock
+  {
+    std::unique_lock<std::mutex> lock(region->mutex);
+    region->done_cv.wait(lock, [&] { return region->done == region->n; });
+    if (region->error) std::rethrow_exception(region->error);
+  }
 }
 
 void parallel_chunks(std::size_t n, std::size_t chunks,

@@ -7,8 +7,15 @@
 // that per-chunk RNG substreams give run-to-run reproducible results
 // independent of the number of worker threads.
 
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
 
 namespace easched::common {
 
@@ -34,5 +41,67 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
 void parallel_chunks(std::size_t n, std::size_t chunks,
                      const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
                      std::size_t threads = 0);
+
+/// Persistent worker pool: the serving-path counterpart of the transient
+/// parallel_for threads. Threads are spawned once and reused for every
+/// submitted task, so a long-lived server (the engine façade) pays thread
+/// start-up once instead of per request.
+///
+/// Two kinds of work share the pool:
+///  * submit(fn, priority) — an independent task (a job). Higher priority
+///    runs earlier; within a priority, FIFO. Tasks never run concurrently
+///    with themselves and there is no result plumbing here — callers
+///    (engine::JobHandle) layer their own completion state on top.
+///  * parallel(n, body) — a blocking data-parallel region, callable both
+///    from outside the pool and from *inside* a running task. The calling
+///    thread participates in executing the iterations (claiming chunks
+///    exactly like the pool helpers do), so nested use can never deadlock
+///    even on a single-threaded pool, and idle workers join in through
+///    max-priority helper tasks.
+///
+/// Exceptions thrown by a submitted task are swallowed after being routed
+/// to the task's own catch scope (submit wraps nothing — the caller's fn
+/// must handle its errors; engine jobs convert them to Status). Exceptions
+/// from parallel() bodies propagate to the parallel() caller, matching
+/// parallel_for.
+///
+/// The destructor finishes every already-submitted task, then joins.
+class WorkerPool {
+ public:
+  /// `threads` == 0 uses default_thread_count(). At least 1.
+  explicit WorkerPool(std::size_t threads = 0);
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+  ~WorkerPool();
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues one task. Thread-safe; may be called from inside a task.
+  void submit(std::function<void()> fn, int priority = 0);
+
+  /// Runs body(i) for i in [0, n), returning when all iterations finished.
+  /// The caller executes iterations itself while idle pool workers help;
+  /// results are independent of who ran what (body must be safe for
+  /// concurrent distinct i, as with parallel_for). The first exception a
+  /// body throws is rethrown here after every iteration completed.
+  void parallel(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+  /// Pops the highest-priority task; empty function when stopping and
+  /// drained.
+  std::function<void()> next_task();
+
+  /// Key = (-priority, sequence): map order is execution order. The
+  /// negated priority is widened to 64 bits so every int priority —
+  /// INT_MIN included — negates without overflow.
+  using TaskKey = std::pair<long long, std::uint64_t>;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::map<TaskKey, std::function<void()>> queue_;
+  std::uint64_t next_seq_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
 
 }  // namespace easched::common

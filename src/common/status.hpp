@@ -23,6 +23,8 @@ enum class StatusCode {
   kUnsupported,      ///< operation not defined for this input class
   kNotFound,         ///< named entity (solver, file, ...) does not exist
   kInternal,         ///< invariant violation inside the library
+  kCancelled,        ///< caller cancelled the operation before it finished
+  kDeadlineExceeded, ///< job deadline expired before the work could run
 };
 
 /// Human-readable name of a status code (stable, for logs and tests).
@@ -36,6 +38,8 @@ constexpr const char* to_string(StatusCode code) noexcept {
     case StatusCode::kUnsupported: return "UNSUPPORTED";
     case StatusCode::kNotFound: return "NOT_FOUND";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -56,6 +60,8 @@ class [[nodiscard]] Status {
   static Status not_found(std::string msg) { return {StatusCode::kNotFound, std::move(msg)}; }
   static Status not_converged(std::string msg) { return {StatusCode::kNotConverged, std::move(msg)}; }
   static Status internal(std::string msg) { return {StatusCode::kInternal, std::move(msg)}; }
+  static Status cancelled(std::string msg) { return {StatusCode::kCancelled, std::move(msg)}; }
+  static Status deadline_exceeded(std::string msg) { return {StatusCode::kDeadlineExceeded, std::move(msg)}; }
 
   bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
   explicit operator bool() const noexcept { return is_ok(); }

@@ -1,8 +1,9 @@
 #pragma once
 // The two optimisation problems of the paper (section II, Definitions 1-2)
-// as value types, plus the validation entry point. This is the primary
-// public API: build a Dag, a Mapping and a SpeedModel, wrap them in a
-// problem, and hand it to core/solvers.hpp.
+// as value types, plus the validation entry point. Build a Dag, a Mapping
+// and a SpeedModel, wrap them in a problem, and hand it to an
+// engine::Engine (engine/engine.hpp) — or to the lower-level api::solve
+// for one-off synchronous calls.
 
 #include <optional>
 

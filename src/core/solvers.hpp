@@ -1,77 +1,25 @@
 #pragma once
-// DEPRECATED enum solver facade, kept as a thin shim over the
-// registry-driven API in api/registry.hpp so existing callers keep
-// working. New code should use easched::api — `api::solve()` with a
-// registry solver name (or auto-selection), and `api::solve_batch()` for
-// corpus sweeps. The enums below cannot express per-solver options,
-// telemetry, or solvers added after this facade froze (chain-bnb,
-// discrete-chain-dp, vdd-adapt, and any user-registered solver).
+// REMOVED: the enum-based solver facade (core::solve with BiCritSolver /
+// TriCritSolver) is gone. It was deprecated when the registry-driven API
+// landed and its last in-tree users have been migrated.
+//
+// Migration:
+//   core::solve(problem)                      -> api::solve(problem)   [auto-select]
+//   core::solve(p, BiCritSolver::kClosedForm) -> api::solve(p, "closed-form-chain"
+//                                                / "closed-form-fork" / "closed-form-sp")
+//   core::solve(p, kContinuousIpm)            -> api::solve(p, "continuous-ipm")
+//   core::solve(p, kVddLp)                    -> api::solve(p, "vdd-lp")
+//   core::solve(p, kDiscreteBnb)              -> api::solve(p, "discrete-bnb")
+//   core::solve(p, kDiscreteGreedy)           -> api::solve(p, "discrete-greedy")
+//   core::solve(p, kIncrementalApprox, K)     -> api::solve(p, "incremental-approx",
+//                                                {.approx_K = K})
+//   core::solve(p, TriCritSolver::kChainExact)-> api::solve(p, "chain-exact")
+//   (kChainGreedy -> "chain-greedy", kForkPoly -> "fork-poly",
+//    kHeuristicA/B -> "heuristic-A"/"heuristic-B", kBestOf -> "best-of")
+//
+// New code should go one level higher still and construct an
+// engine::Engine (engine/engine.hpp): one context owning the registry,
+// cache, store and worker pool, with sync and async submission.
 
-#include <string>
-
-#include "core/problem.hpp"
-
-namespace easched::core {
-
-enum class BiCritSolver {
-  kAuto,              ///< closed form when the structure allows, else IPM/LP/B&B by model
-  kClosedForm,        ///< chain/fork/SP closed forms (CONTINUOUS only)
-  kContinuousIpm,     ///< barrier interior point (CONTINUOUS)
-  kVddLp,             ///< simplex on the VDD LP (VDD-HOPPING)
-  kDiscreteBnb,       ///< exact branch & bound (DISCRETE/INCREMENTAL)
-  kDiscreteGreedy,    ///< continuous round-up + reclaim (DISCRETE/INCREMENTAL)
-  kIncrementalApprox, ///< the (1+delta/fmin)^2(1+1/K)^2 scheme (INCREMENTAL)
-};
-
-constexpr const char* to_string(BiCritSolver s) noexcept {
-  switch (s) {
-    case BiCritSolver::kAuto: return "auto";
-    case BiCritSolver::kClosedForm: return "closed-form";
-    case BiCritSolver::kContinuousIpm: return "continuous-ipm";
-    case BiCritSolver::kVddLp: return "vdd-lp";
-    case BiCritSolver::kDiscreteBnb: return "discrete-bnb";
-    case BiCritSolver::kDiscreteGreedy: return "discrete-greedy";
-    case BiCritSolver::kIncrementalApprox: return "incremental-approx";
-  }
-  return "unknown";
-}
-
-enum class TriCritSolver {
-  kChainExact,     ///< subset enumeration + water-filling (chains, small n)
-  kChainGreedy,    ///< the paper's chain strategy
-  kForkPoly,       ///< the polynomial fork algorithm
-  kHeuristicA,     ///< uniform-slowdown heuristic (chain-centric)
-  kHeuristicB,     ///< slack-driven heuristic (parallelism-centric)
-  kBestOf,         ///< best of A and B
-};
-
-constexpr const char* to_string(TriCritSolver s) noexcept {
-  switch (s) {
-    case TriCritSolver::kChainExact: return "chain-exact";
-    case TriCritSolver::kChainGreedy: return "chain-greedy";
-    case TriCritSolver::kForkPoly: return "fork-poly";
-    case TriCritSolver::kHeuristicA: return "heuristic-A";
-    case TriCritSolver::kHeuristicB: return "heuristic-B";
-    case TriCritSolver::kBestOf: return "best-of";
-  }
-  return "unknown";
-}
-
-struct SolveOutcome {
-  sched::Schedule schedule;
-  double energy = 0.0;
-  std::string solver;     ///< which concrete solver produced the schedule
-  int re_executed = 0;    ///< TRI-CRIT only
-};
-
-/// Solves a BI-CRIT instance; kAuto picks closed forms for recognised
-/// structures under CONTINUOUS, the LP for VDD-HOPPING, B&B for small
-/// discrete instances and the greedy beyond.
-common::Result<SolveOutcome> solve(const BiCritProblem& problem,
-                                   BiCritSolver solver = BiCritSolver::kAuto,
-                                   int approx_K = 10);
-
-/// Solves a TRI-CRIT instance (CONTINUOUS model).
-common::Result<SolveOutcome> solve(const TriCritProblem& problem, TriCritSolver solver);
-
-}  // namespace easched::core
+#error \
+    "core/solvers.hpp was removed: use api/registry.hpp (api::solve with a registry solver name) or engine/engine.hpp (engine::Engine); see this header for the enum -> name mapping"

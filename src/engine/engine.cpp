@@ -1,0 +1,399 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+namespace easched::engine {
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   since)
+      .count();
+}
+
+frontier::FrontierResult frontier_error(frontier::ConstraintAxis axis,
+                                        common::Status status) {
+  frontier::FrontierResult result;
+  result.axis = axis;
+  result.error = std::move(status);
+  return result;
+}
+
+/// A BatchReport whose every slot carries `status` — the whole-batch
+/// failure shape (expired before start, executor threw).
+api::BatchReport batch_error(const std::vector<api::BatchJob>& jobs,
+                             const common::Status& status) {
+  std::vector<common::Result<api::SolveReport>> results(
+      jobs.size(), common::Result<api::SolveReport>(status));
+  return api::aggregate_batch(jobs, std::move(results));
+}
+
+// The executors below are free functions over the engine's components
+// (whose addresses are stable behind unique_ptr), so queued jobs never
+// capture the Engine itself and moving it with jobs in flight is safe.
+
+common::Result<api::SolveReport> execute_solve(frontier::SolveCache& cache,
+                                               const SolveQuery& query) {
+  if ((query.bicrit == nullptr) == (query.tricrit == nullptr)) {
+    return common::Status::invalid(
+        "solve query must carry exactly one of a BI-CRIT or TRI-CRIT problem");
+  }
+  if (query.bicrit != nullptr) {
+    return cache.solve(api::SolveRequest(*query.bicrit, query.solver, query.options));
+  }
+  return cache.solve(api::SolveRequest(*query.tricrit, query.solver, query.options));
+}
+
+api::BatchReport execute_batch(frontier::SolveCache& cache, common::WorkerPool& pool,
+                               const BatchQuery& query, const std::atomic<bool>* cancel,
+                               bool expired) {
+  const auto start = std::chrono::steady_clock::now();
+  if (expired) {
+    // No point fanning a dead batch across the pool just to stamp the
+    // same status into every slot.
+    api::BatchReport report = batch_error(
+        query.jobs,
+        common::Status::deadline_exceeded("batch job expired before it could run"));
+    report.wall_ms = elapsed_ms(start);
+    return report;
+  }
+  std::vector<common::Result<api::SolveReport>> results(
+      query.jobs.size(),
+      common::Result<api::SolveReport>(common::Status::internal("job not executed")));
+
+  pool.parallel(query.jobs.size(), [&](std::size_t i) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      // Cooperative: jobs not yet started report kCancelled; everything
+      // already solved stays in `results` (and the shared cache/store).
+      results[i] = common::Status::cancelled("batch cancelled");
+      return;
+    }
+    const api::BatchJob& job = query.jobs[i];
+    if ((job.bicrit != nullptr) == (job.tricrit != nullptr)) {
+      results[i] = common::Status::invalid(
+          "batch job must carry exactly one of a BI-CRIT or TRI-CRIT problem");
+      return;
+    }
+    const std::string& solver = job.solver.empty() ? query.solver : job.solver;
+    try {
+      if (job.bicrit != nullptr) {
+        api::SolveRequest request(*job.bicrit, solver, query.options);
+        results[i] = query.use_cache ? cache.solve(request) : api::solve(request);
+      } else {
+        api::SolveRequest request(*job.tricrit, solver, query.options);
+        results[i] = query.use_cache ? cache.solve(request) : api::solve(request);
+      }
+    } catch (const std::exception& e) {
+      results[i] = common::Status::internal(std::string("batch job threw: ") + e.what());
+    }
+  });
+
+  api::BatchReport report = api::aggregate_batch(query.jobs, std::move(results));
+  report.wall_ms = elapsed_ms(start);
+  return report;
+}
+
+/// FrontierOptions with the engine pool, cancel flag and observer chained in.
+frontier::FrontierOptions sweep_options(common::WorkerPool& pool,
+                                        const FrontierQuery& query,
+                                        const std::atomic<bool>* cancel) {
+  frontier::FrontierOptions options = query.options;
+  options.pool = &pool;
+  options.threads = 0;
+  if (cancel != nullptr) options.cancel = cancel;
+  if (query.observer) options.on_point = query.observer;
+  return options;
+}
+
+/// One axis/problem-kind dispatch for plain sweeps and resweeps alike:
+/// validates the query shape, then invokes the matching sweep callable
+/// with the engine-chained options. The callables receive
+/// (problem, lo, hi, options).
+template <typename BiSweep, typename TriSweep, typename RelSweep>
+frontier::FrontierResult dispatch_sweep(common::WorkerPool& pool,
+                                        const FrontierQuery& query,
+                                        const std::atomic<bool>* cancel,
+                                        const BiSweep& bicrit_deadline,
+                                        const TriSweep& tricrit_deadline,
+                                        const RelSweep& tricrit_reliability) {
+  const frontier::FrontierOptions options = sweep_options(pool, query, cancel);
+  if (query.axis == frontier::ConstraintAxis::kReliability) {
+    if (query.tricrit == nullptr) {
+      return frontier_error(query.axis, common::Status::invalid(
+                                            "reliability sweeps need a TRI-CRIT problem"));
+    }
+    return tricrit_reliability(*query.tricrit, query.lo, query.hi, options);
+  }
+  if ((query.bicrit == nullptr) == (query.tricrit == nullptr)) {
+    return frontier_error(
+        query.axis,
+        common::Status::invalid(
+            "frontier query must carry exactly one of a BI-CRIT or TRI-CRIT problem"));
+  }
+  if (query.bicrit != nullptr) {
+    return bicrit_deadline(*query.bicrit, query.lo, query.hi, options);
+  }
+  return tricrit_deadline(*query.tricrit, query.lo, query.hi, options);
+}
+
+frontier::FrontierResult execute_frontier(const frontier::FrontierEngine& sweeper,
+                                          common::WorkerPool& pool,
+                                          const FrontierQuery& query,
+                                          const std::atomic<bool>* cancel) {
+  return dispatch_sweep(
+      pool, query, cancel,
+      [&](const core::BiCritProblem& p, double lo, double hi,
+          const frontier::FrontierOptions& o) { return sweeper.deadline_sweep(p, lo, hi, o); },
+      [&](const core::TriCritProblem& p, double lo, double hi,
+          const frontier::FrontierOptions& o) { return sweeper.deadline_sweep(p, lo, hi, o); },
+      [&](const core::TriCritProblem& p, double lo, double hi,
+          const frontier::FrontierOptions& o) {
+        return sweeper.reliability_sweep(p, lo, hi, o);
+      });
+}
+
+frontier::FrontierResult execute_resweep(const frontier::FrontierEngine& sweeper,
+                                         common::WorkerPool& pool,
+                                         const ResweepQuery& query,
+                                         const std::atomic<bool>* cancel) {
+  const frontier::FrontierResult& prev = query.prev;
+  return dispatch_sweep(
+      pool, query.target, cancel,
+      [&](const core::BiCritProblem& p, double lo, double hi,
+          const frontier::FrontierOptions& o) { return sweeper.resweep(prev, p, lo, hi, o); },
+      [&](const core::TriCritProblem& p, double lo, double hi,
+          const frontier::FrontierOptions& o) { return sweeper.resweep(prev, p, lo, hi, o); },
+      [&](const core::TriCritProblem& p, double lo, double hi,
+          const frontier::FrontierOptions& o) {
+        return sweeper.resweep_reliability(prev, p, lo, hi, o);
+      });
+}
+
+}  // namespace
+
+// ---- FrontierQuery factories ----
+
+FrontierQuery FrontierQuery::deadline(const core::BiCritProblem& problem, double dmin,
+                                      double dmax, frontier::FrontierOptions opts) {
+  return deadline(std::make_shared<const core::BiCritProblem>(problem), dmin, dmax,
+                  std::move(opts));
+}
+
+FrontierQuery FrontierQuery::deadline(std::shared_ptr<const core::BiCritProblem> problem,
+                                      double dmin, double dmax,
+                                      frontier::FrontierOptions opts) {
+  FrontierQuery query;
+  query.bicrit = std::move(problem);
+  query.axis = frontier::ConstraintAxis::kDeadline;
+  query.lo = dmin;
+  query.hi = dmax;
+  query.options = std::move(opts);
+  return query;
+}
+
+FrontierQuery FrontierQuery::deadline(const core::TriCritProblem& problem, double dmin,
+                                      double dmax, frontier::FrontierOptions opts) {
+  return deadline(std::make_shared<const core::TriCritProblem>(problem), dmin, dmax,
+                  std::move(opts));
+}
+
+FrontierQuery FrontierQuery::deadline(std::shared_ptr<const core::TriCritProblem> problem,
+                                      double dmin, double dmax,
+                                      frontier::FrontierOptions opts) {
+  FrontierQuery query;
+  query.tricrit = std::move(problem);
+  query.axis = frontier::ConstraintAxis::kDeadline;
+  query.lo = dmin;
+  query.hi = dmax;
+  query.options = std::move(opts);
+  return query;
+}
+
+FrontierQuery FrontierQuery::reliability(const core::TriCritProblem& problem, double rmin,
+                                         double rmax, frontier::FrontierOptions opts) {
+  return reliability(std::make_shared<const core::TriCritProblem>(problem), rmin, rmax,
+                     std::move(opts));
+}
+
+FrontierQuery FrontierQuery::reliability(
+    std::shared_ptr<const core::TriCritProblem> problem, double rmin, double rmax,
+    frontier::FrontierOptions opts) {
+  FrontierQuery query;
+  query.tricrit = std::move(problem);
+  query.axis = frontier::ConstraintAxis::kReliability;
+  query.lo = rmin;
+  query.hi = rmax;
+  query.options = std::move(opts);
+  return query;
+}
+
+// ---- construction ----
+
+common::Result<Engine> Engine::create(EngineConfig config) {
+  Engine engine;
+  engine.config_ = config;
+
+  const std::size_t shards = config.cache_shards == 0 ? 16 : config.cache_shards;
+  engine.cache_ = std::make_unique<frontier::SolveCache>(
+      shards, config.cache_max_entries, config.cache_max_bytes);
+
+  if (!config.store_path.empty()) {
+    store::StoreOptions sopt;
+    sopt.path = config.store_path;
+    sopt.read_only = config.store_read_only;
+    sopt.write_through = config.store_mode != StoreMode::kLoadOnOpen;
+    sopt.load_on_open = config.store_mode != StoreMode::kWriteThrough;
+    sopt.warm_start = config.store_warm_start;
+    auto opened = store::SolveStore::open(std::move(sopt));
+    if (!opened.is_ok()) return opened.status();
+    engine.store_ = std::make_unique<store::SolveStore>(std::move(opened).take());
+    const common::Status attached = engine.cache_->attach_store(engine.store_.get());
+    if (!attached.is_ok()) return attached;
+  }
+
+  engine.sweeper_ = std::make_unique<frontier::FrontierEngine>(engine.cache_.get());
+  engine.next_job_id_ = std::make_unique<std::atomic<std::uint64_t>>(1);
+  engine.pool_ = std::make_unique<common::WorkerPool>(config.threads);
+  return engine;
+}
+
+// ---- submit plumbing ----
+
+template <typename T, typename Fn>
+JobHandle<T> Engine::enqueue(const SubmitOptions& opts, Fn run) {
+  auto state = std::make_shared<detail::JobState<T>>();
+  state->id = next_job_id_->fetch_add(1, std::memory_order_relaxed);
+  const auto submitted = std::chrono::steady_clock::now();
+  const double deadline_ms = opts.deadline_ms;
+  pool_->submit(
+      [state, submitted, deadline_ms, run = std::move(run)]() mutable {
+        const bool expired = deadline_ms > 0.0 && elapsed_ms(submitted) > deadline_ms;
+        state->complete(run(*state, expired));
+      },
+      opts.priority);
+  return JobHandle<T>(std::move(state));
+}
+
+Engine::SolveHandle Engine::submit(SolveQuery query, const SubmitOptions& opts) {
+  using R = common::Result<api::SolveReport>;
+  frontier::SolveCache* cache = cache_.get();
+  return enqueue<R>(opts, [cache, query = std::move(query)](
+                              detail::JobState<R>& state, bool expired) -> R {
+    if (expired) {
+      return common::Status::deadline_exceeded("solve job expired before it could run");
+    }
+    if (state.cancel.load(std::memory_order_relaxed)) {
+      return common::Status::cancelled("solve job cancelled before it ran");
+    }
+    try {
+      return execute_solve(*cache, query);
+    } catch (const std::exception& e) {
+      return common::Status::internal(std::string("solve job threw: ") + e.what());
+    } catch (...) {
+      return common::Status::internal("solve job threw a non-std exception");
+    }
+  });
+}
+
+Engine::BatchHandle Engine::submit(BatchQuery query, const SubmitOptions& opts) {
+  using R = api::BatchReport;
+  frontier::SolveCache* cache = cache_.get();
+  common::WorkerPool* pool = pool_.get();
+  return enqueue<R>(opts, [cache, pool, query = std::move(query)](
+                              detail::JobState<R>& state, bool expired) -> R {
+    try {
+      return execute_batch(*cache, *pool, query, &state.cancel, expired);
+    } catch (const std::exception& e) {
+      return batch_error(query.jobs,
+                         common::Status::internal(std::string("batch job threw: ") +
+                                                  e.what()));
+    } catch (...) {
+      return batch_error(query.jobs,
+                         common::Status::internal("batch job threw a non-std exception"));
+    }
+  });
+}
+
+Engine::FrontierHandle Engine::submit(FrontierQuery query, const SubmitOptions& opts) {
+  using R = frontier::FrontierResult;
+  const frontier::FrontierEngine* sweeper = sweeper_.get();
+  common::WorkerPool* pool = pool_.get();
+  return enqueue<R>(opts, [sweeper, pool, query = std::move(query)](
+                              detail::JobState<R>& state, bool expired) -> R {
+    if (expired) {
+      return frontier_error(query.axis, common::Status::deadline_exceeded(
+                                            "frontier job expired before it could run"));
+    }
+    try {
+      return execute_frontier(*sweeper, *pool, query, &state.cancel);
+    } catch (const std::exception& e) {
+      return frontier_error(
+          query.axis,
+          common::Status::internal(std::string("frontier job threw: ") + e.what()));
+    } catch (...) {
+      return frontier_error(query.axis, common::Status::internal(
+                                            "frontier job threw a non-std exception"));
+    }
+  });
+}
+
+Engine::FrontierHandle Engine::submit(ResweepQuery query, const SubmitOptions& opts) {
+  using R = frontier::FrontierResult;
+  const frontier::FrontierEngine* sweeper = sweeper_.get();
+  common::WorkerPool* pool = pool_.get();
+  return enqueue<R>(opts, [sweeper, pool, query = std::move(query)](
+                              detail::JobState<R>& state, bool expired) -> R {
+    if (expired) {
+      return frontier_error(query.target.axis,
+                            common::Status::deadline_exceeded(
+                                "resweep job expired before it could run"));
+    }
+    try {
+      return execute_resweep(*sweeper, *pool, query, &state.cancel);
+    } catch (const std::exception& e) {
+      return frontier_error(
+          query.target.axis,
+          common::Status::internal(std::string("resweep job threw: ") + e.what()));
+    } catch (...) {
+      return frontier_error(query.target.axis,
+                            common::Status::internal(
+                                "resweep job threw a non-std exception"));
+    }
+  });
+}
+
+// ---- synchronous conveniences ----
+
+common::Result<api::SolveReport> Engine::solve(const core::BiCritProblem& problem,
+                                               std::string solver,
+                                               const api::SolveOptions& options) {
+  return execute_solve(*cache_, SolveQuery(problem, std::move(solver), options));
+}
+
+common::Result<api::SolveReport> Engine::solve(const core::TriCritProblem& problem,
+                                               std::string solver,
+                                               const api::SolveOptions& options) {
+  return execute_solve(*cache_, SolveQuery(problem, std::move(solver), options));
+}
+
+api::BatchReport Engine::solve_batch(std::vector<api::BatchJob> jobs, std::string solver,
+                                     const api::SolveOptions& options) {
+  BatchQuery query;
+  query.jobs = std::move(jobs);
+  query.solver = std::move(solver);
+  query.options = options;
+  return execute_batch(*cache_, *pool_, query, nullptr, /*expired=*/false);
+}
+
+frontier::FrontierResult Engine::sweep(FrontierQuery query) {
+  return execute_frontier(*sweeper_, *pool_, query, nullptr);
+}
+
+frontier::FrontierResult Engine::resweep(ResweepQuery query) {
+  return execute_resweep(*sweeper_, *pool_, query, nullptr);
+}
+
+}  // namespace easched::engine

@@ -1,0 +1,326 @@
+#pragma once
+// easched::engine — the one owned entry point for solve, sweep and store.
+//
+// Below this layer the library is four loosely coupled pieces — the
+// solver registry (api/), the frontier sweep engine (frontier/), the
+// in-memory SolveCache and the persistent SolveStore (store/) — and
+// before this façade every caller wired them together by hand: build a
+// cache, open a store, attach, construct a FrontierEngine, pick thread
+// counts, and block synchronously per request. The Engine owns that
+// plumbing once:
+//
+//   engine::EngineConfig cfg;           // declarative: threads, cache
+//   cfg.store_path = "solves.log";      // caps, store path/mode, warm
+//   auto engine = engine::Engine::create(cfg);    // starts owned here
+//
+//   auto job = engine.value().submit(engine::SolveQuery(problem));
+//   ... do other work ...
+//   const auto& report = job.get();     // future-style join
+//
+// Every query type — SolveQuery, BatchQuery, FrontierQuery, ResweepQuery
+// — goes through the same submit() -> JobHandle API: jobs run on a
+// persistent common::WorkerPool, share one SolveCache (and SolveStore,
+// when configured), and support per-job priorities, deadlines and
+// cooperative cancellation. FrontierQuery additionally streams frontier
+// points to an observer as the sweep discovers them, enabling
+// incremental output and early stop; the streamed set reproduces the
+// synchronous sweep's curve bit-identically after dominance filtering.
+//
+// The pre-façade entry points (api::solve, api::solve_batch,
+// frontier::FrontierEngine) remain available as thin internals — the
+// Engine is built from them, and existing callers keep compiling — but
+// they are no longer the public surface: new code should construct an
+// Engine. Direct use is deprecated for one release.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <stdexcept>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/batch.hpp"
+#include "api/registry.hpp"
+#include "api/solver.hpp"
+#include "common/parallel.hpp"
+#include "common/status.hpp"
+#include "core/problem.hpp"
+#include "frontier/cache.hpp"
+#include "frontier/frontier.hpp"
+#include "store/store.hpp"
+
+namespace easched::engine {
+
+/// How a configured store backs the cache (see store/store.hpp).
+enum class StoreMode {
+  kBoth,          ///< load on open + write through (the default)
+  kWriteThrough,  ///< persist fresh solves, start cold
+  kLoadOnOpen,    ///< replay previous traffic, never append
+};
+
+/// Declarative construction: everything the Engine owns is picked here,
+/// once, instead of being wired by every caller.
+struct EngineConfig {
+  /// Worker-pool size shared by all jobs (and their internal fan-out);
+  /// 0 = common::default_thread_count().
+  std::size_t threads = 0;
+  /// SolveCache shape: shard count and the LRU caps (0 = unbounded).
+  /// SolveCache itself clamps the shard count below a small entry cap so
+  /// the floor-split per-shard LRU can never overshoot it.
+  std::size_t cache_shards = 16;
+  std::size_t cache_max_entries = 0;
+  std::size_t cache_max_bytes = 0;
+  /// Non-empty: open (creating unless read-only) a persistent SolveStore
+  /// at this path and attach it to the cache.
+  std::string store_path;
+  StoreMode store_mode = StoreMode::kBoth;
+  bool store_warm_start = false;  ///< nearest-neighbour barrier seeding
+  bool store_read_only = false;
+};
+
+/// Per-submission knobs.
+struct SubmitOptions {
+  /// Higher runs earlier; within a priority, submission order. A running
+  /// job's internal fan-out always outranks queued jobs.
+  int priority = 0;
+  /// > 0: if the job is still queued this many milliseconds after
+  /// submission, it completes with kDeadlineExceeded instead of running.
+  /// (A job that already started is cancelled cooperatively via
+  /// JobHandle::cancel, not by the deadline.)
+  double deadline_ms = 0.0;
+};
+
+/// One solve of one problem. Problems are shared (or copied in from a
+/// reference) so the query outlives the caller's stack — submit() is
+/// asynchronous.
+struct SolveQuery {
+  explicit SolveQuery(const core::BiCritProblem& problem, std::string solver_name = {},
+                      api::SolveOptions opts = {})
+      : bicrit(std::make_shared<const core::BiCritProblem>(problem)),
+        solver(std::move(solver_name)), options(opts) {}
+  explicit SolveQuery(const core::TriCritProblem& problem, std::string solver_name = {},
+                      api::SolveOptions opts = {})
+      : tricrit(std::make_shared<const core::TriCritProblem>(problem)),
+        solver(std::move(solver_name)), options(opts) {}
+  explicit SolveQuery(std::shared_ptr<const core::BiCritProblem> problem,
+                      std::string solver_name = {}, api::SolveOptions opts = {})
+      : bicrit(std::move(problem)), solver(std::move(solver_name)), options(opts) {}
+  explicit SolveQuery(std::shared_ptr<const core::TriCritProblem> problem,
+                      std::string solver_name = {}, api::SolveOptions opts = {})
+      : tricrit(std::move(problem)), solver(std::move(solver_name)), options(opts) {}
+
+  std::shared_ptr<const core::BiCritProblem> bicrit;
+  std::shared_ptr<const core::TriCritProblem> tricrit;
+  std::string solver;  ///< registry name; empty = auto-select
+  api::SolveOptions options;
+};
+
+/// A corpus of jobs solved as one unit, aggregated per family exactly
+/// like api::solve_batch — but executed on the engine pool and (by
+/// default) through the shared cache, so repeat corpora hit.
+struct BatchQuery {
+  std::vector<api::BatchJob> jobs;
+  std::string solver;        ///< batch-level solver; per-job override wins
+  api::SolveOptions options; ///< forwarded to every solve
+  /// Route solves through the shared SolveCache (repeat corpora hit; the
+  /// store policies apply). Off = call the registry directly, matching
+  /// api::solve_batch byte for byte in behaviour and overhead.
+  bool use_cache = true;
+};
+
+/// One Pareto sweep. Use the factories — they pick the axis and keep the
+/// problem alive for the asynchronous run.
+struct FrontierQuery {
+  /// BI-CRIT (or TRI-CRIT at fixed frel) energy-vs-deadline sweep.
+  static FrontierQuery deadline(const core::BiCritProblem& problem, double dmin,
+                                double dmax, frontier::FrontierOptions opts = {});
+  static FrontierQuery deadline(std::shared_ptr<const core::BiCritProblem> problem,
+                                double dmin, double dmax,
+                                frontier::FrontierOptions opts = {});
+  static FrontierQuery deadline(const core::TriCritProblem& problem, double dmin,
+                                double dmax, frontier::FrontierOptions opts = {});
+  static FrontierQuery deadline(std::shared_ptr<const core::TriCritProblem> problem,
+                                double dmin, double dmax,
+                                frontier::FrontierOptions opts = {});
+  /// TRI-CRIT energy-vs-reliability sweep over threshold speeds.
+  static FrontierQuery reliability(const core::TriCritProblem& problem, double rmin,
+                                   double rmax, frontier::FrontierOptions opts = {});
+  static FrontierQuery reliability(std::shared_ptr<const core::TriCritProblem> problem,
+                                   double rmin, double rmax,
+                                   frontier::FrontierOptions opts = {});
+
+  std::shared_ptr<const core::BiCritProblem> bicrit;
+  std::shared_ptr<const core::TriCritProblem> tricrit;
+  frontier::ConstraintAxis axis = frontier::ConstraintAxis::kDeadline;
+  double lo = 0.0;
+  double hi = 0.0;
+  frontier::FrontierOptions options;
+  /// Streaming observer: every feasible evaluation, in deterministic
+  /// order, as the sweep's rounds finish (see FrontierOptions::on_point).
+  /// Called from the job's thread — keep it quick, don't re-enter the
+  /// engine from it.
+  std::function<void(const frontier::FrontierPoint&)> observer;
+};
+
+/// Incremental update: re-sweep `target` warm-started from `prev` (the
+/// curve of a neighbouring instance). Bit-identical to a cold sweep of
+/// the target, typically much faster on repeat traffic.
+struct ResweepQuery {
+  frontier::FrontierResult prev;
+  FrontierQuery target;
+};
+
+namespace detail {
+/// Completion state shared between a JobHandle and the queued task.
+template <typename T>
+struct JobState {
+  std::uint64_t id = 0;
+  std::atomic<bool> cancel{false};
+  mutable std::mutex mutex;
+  mutable std::condition_variable cv;
+  std::optional<T> result;
+
+  void complete(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      result.emplace(std::move(value));
+    }
+    cv.notify_all();
+  }
+};
+}  // namespace detail
+
+/// Future-style handle on a submitted job. Copyable (all copies share
+/// the job); default-constructed handles are invalid. The handle never
+/// blocks the engine: dropping it detaches from a still-running job.
+template <typename T>
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  bool valid() const noexcept { return state_ != nullptr; }
+  /// Engine-unique job id (1-based), for logs.
+  std::uint64_t id() const noexcept { return state_ ? state_->id : 0; }
+
+  /// Requests cooperative cancellation: a queued job completes with
+  /// kCancelled without running; a running sweep/batch stops at its next
+  /// check point (between rounds / before the next job) with everything
+  /// already solved still cached and persisted. Never blocks.
+  void cancel() {
+    if (state_) state_->cancel.store(true, std::memory_order_relaxed);
+  }
+  bool cancel_requested() const noexcept {
+    return state_ && state_->cancel.load(std::memory_order_relaxed);
+  }
+
+  bool done() const {
+    if (!state_) return false;
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->result.has_value();
+  }
+  /// wait()/get() on an invalid handle are programming errors and throw
+  /// (there is no job whose completion could ever be awaited).
+  void wait() const {
+    if (!state_) throw std::logic_error("JobHandle::wait() on an invalid handle");
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock, [this] { return state_->result.has_value(); });
+  }
+  /// Blocks until the job completed, then returns its result. The
+  /// reference stays valid as long as any handle to the job exists.
+  const T& get() const {
+    wait();
+    return *state_->result;
+  }
+
+ private:
+  friend class Engine;
+  explicit JobHandle(std::shared_ptr<detail::JobState<T>> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::JobState<T>> state_;
+};
+
+class Engine {
+ public:
+  using SolveHandle = JobHandle<common::Result<api::SolveReport>>;
+  using BatchHandle = JobHandle<api::BatchReport>;
+  using FrontierHandle = JobHandle<frontier::FrontierResult>;
+
+  /// Builds the whole serving context from `config`: cache, optional
+  /// store (opened and attached; open errors surface here), sweep engine
+  /// and worker pool. The Engine is movable; handles and internals stay
+  /// valid across moves.
+  static common::Result<Engine> create(EngineConfig config = {});
+
+  Engine(Engine&&) = default;
+  /// Move *assignment* is deleted: the defaulted form would destroy the
+  /// target's store/cache/sweeper before its pool drained, handing
+  /// in-flight jobs freed components. Move-construct into a fresh
+  /// Engine instead (which is all Result<Engine> needs).
+  Engine& operator=(Engine&&) = delete;
+  /// Completes every submitted job (cancel first for a fast shutdown),
+  /// then joins the pool. Cache and store shut down after the last job.
+  ~Engine() = default;
+
+  // ---- asynchronous surface ----
+
+  SolveHandle submit(SolveQuery query, const SubmitOptions& opts = {});
+  BatchHandle submit(BatchQuery query, const SubmitOptions& opts = {});
+  FrontierHandle submit(FrontierQuery query, const SubmitOptions& opts = {});
+  FrontierHandle submit(ResweepQuery query, const SubmitOptions& opts = {});
+
+  // ---- synchronous conveniences (same shared cache/store/pool) ----
+
+  common::Result<api::SolveReport> solve(const core::BiCritProblem& problem,
+                                         std::string solver = {},
+                                         const api::SolveOptions& options = {});
+  common::Result<api::SolveReport> solve(const core::TriCritProblem& problem,
+                                         std::string solver = {},
+                                         const api::SolveOptions& options = {});
+  api::BatchReport solve_batch(std::vector<api::BatchJob> jobs, std::string solver = {},
+                               const api::SolveOptions& options = {});
+  frontier::FrontierResult sweep(FrontierQuery query);
+  frontier::FrontierResult resweep(ResweepQuery query);
+
+  // ---- owned state ----
+
+  const EngineConfig& config() const noexcept { return config_; }
+  std::size_t threads() const noexcept { return pool_->size(); }
+  frontier::CacheStats cache_stats() const { return cache_->stats(); }
+  frontier::SolveCache& cache() noexcept { return *cache_; }
+  /// The attached persistent store; nullptr when none was configured.
+  store::SolveStore* store() noexcept { return store_.get(); }
+  /// The internal sweep engine, for advanced flows the façade does not
+  /// wrap (multi-solver comparisons via frontier/compare.hpp). Sweeps run
+  /// through it share the engine cache but not the pool/cancel plumbing.
+  const frontier::FrontierEngine& sweeper() const noexcept { return *sweeper_; }
+
+ private:
+  Engine() = default;
+
+  /// Shared submit plumbing: allocates the job state, wraps `run` with
+  /// the queued-deadline check and enqueues it. `run(state, expired)`
+  /// must be noexcept-complete: convert its own failures into T. Queued
+  /// jobs capture only the pool/cache/sweeper addresses (stable behind
+  /// unique_ptr), never `this`, so moving the Engine with jobs in flight
+  /// is safe.
+  template <typename T, typename Fn>
+  JobHandle<T> enqueue(const SubmitOptions& opts, Fn run);
+
+  EngineConfig config_;
+  std::unique_ptr<store::SolveStore> store_;     ///< outlives the cache
+  std::unique_ptr<frontier::SolveCache> cache_;  ///< outlives the sweeper
+  std::unique_ptr<frontier::FrontierEngine> sweeper_;
+  std::unique_ptr<std::atomic<std::uint64_t>> next_job_id_;
+  /// Declared last: destroyed first, so every job finishes while the
+  /// cache and store are still alive.
+  std::unique_ptr<common::WorkerPool> pool_;
+};
+
+}  // namespace easched::engine

@@ -89,7 +89,10 @@ std::uint64_t InstanceInterner::intern(const api::InstanceDigest& digest,
       return id;
     }
   }
-  const std::uint64_t id = next_id_++;
+  // Mint the id with the current epoch in the top bits: epoch + sequence
+  // together are unique across the interner's whole life, which is what
+  // makes stale contexts miss instead of alias (see the class comment).
+  const std::uint64_t id = (epoch_ << kSeqBits) | next_seq_++;
   by_id_.emplace(id, Blob{digest, std::make_shared<const std::string>(std::move(bytes)),
                           /*refs=*/0});
   bucket.push_back(id);
@@ -99,6 +102,16 @@ std::uint64_t InstanceInterner::intern(const api::InstanceDigest& digest,
 std::size_t InstanceInterner::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return by_id_.size();
+}
+
+std::uint64_t InstanceInterner::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+bool InstanceInterner::live(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return id_epoch(id) == epoch_ && by_id_.find(id) != by_id_.end();
 }
 
 std::optional<InstanceInterner::BlobRef> InstanceInterner::find(std::uint64_t id) const {
@@ -141,14 +154,23 @@ void InstanceInterner::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   by_id_.clear();
   by_digest_.clear();
-  // next_id_ stays monotonic: a context interned before this clear keeps
-  // an id no future intern can be assigned, so its keys simply miss.
+  // New epoch, fresh sequence: a context interned before this clear keeps
+  // an id whose epoch tag no future intern can carry, so its keys simply
+  // miss — structurally, not by relying on a counter staying monotonic.
+  ++epoch_;
+  next_seq_ = 1;
 }
 
 SolveCache::SolveCache(std::size_t shards, std::size_t max_entries,
                        std::size_t max_bytes) {
   std::size_t n = 1;
   while (n < shards) n <<= 1;
+  // A cap below the shard count would overshoot: the floor split keeps at
+  // least one entry per shard, so shrink to the largest power of two not
+  // exceeding the cap (callers used to hand-roll exactly this clamp).
+  if (max_entries > 0) {
+    while (n > 1 && n > max_entries) n >>= 1;
+  }
   mask_ = n - 1;
   capacity_ = max_entries;
   if (max_entries > 0) {

@@ -108,14 +108,35 @@ std::string canonical_fingerprint(const api::SolveRequest& request);
 /// identity for instances. Blobs are reference-counted by cache entries
 /// (add_ref/release): when the last entry of an instance is evicted its
 /// bytes are reclaimed, and a context still holding the stale id simply
-/// misses (ids are never reused, so reclamation can never alias). The
-/// initial intern() itself takes no reference — a blob with no entries
-/// yet lives until clear(), exactly the pre-refcount behaviour.
-/// Thread-safe.
+/// misses — never aliases. That non-aliasing guarantee is *structural*:
+/// every id carries the interner's epoch in its top kEpochBits
+/// (id = epoch << kSeqBits | per-epoch sequence). clear() starts a new
+/// epoch and resets the sequence, so an id minted before a clear can
+/// never be re-minted after it even though the counter restarts, and a
+/// reclaimed-then-reinterned instance always reappears under a fresh
+/// sequence number within the epoch. A long-lived sweep handle therefore
+/// cannot alias a reused id no matter how the interner was recycled
+/// underneath it. Thread-safe.
 class InstanceInterner {
  public:
+  /// Epoch / sequence split of an id. 24 epoch bits allow 16M clear()
+  /// generations; 40 sequence bits allow 1T interns per generation.
+  static constexpr unsigned kEpochBits = 24;
+  static constexpr unsigned kSeqBits = 64 - kEpochBits;
+  static constexpr std::uint64_t id_epoch(std::uint64_t id) noexcept {
+    return id >> kSeqBits;
+  }
+  static constexpr std::uint64_t id_sequence(std::uint64_t id) noexcept {
+    return id & ((std::uint64_t{1} << kSeqBits) - 1);
+  }
+
   std::uint64_t intern(const api::InstanceDigest& digest, std::string bytes);
   std::size_t size() const;  ///< live (non-reclaimed) blobs
+  std::uint64_t epoch() const;  ///< current generation (starts at 0)
+  /// True while `id` resolves to a live blob: from the current epoch and
+  /// not reclaimed. A stale context can revalidate cheaply instead of
+  /// paying a miss per probe.
+  bool live(std::uint64_t id) const;
 
   /// Digest and bytes of a live id; nullopt once the blob was reclaimed.
   struct BlobRef {
@@ -130,8 +151,10 @@ class InstanceInterner {
   void add_ref(std::uint64_t id);
   void release(std::uint64_t id);
 
-  /// Drops every interned blob but keeps the id counter monotonic, so ids
-  /// held by stale contexts can never collide with freshly interned ones.
+  /// Drops every interned blob and starts a new epoch: future ids carry
+  /// the bumped generation tag, so ids held by stale contexts can never
+  /// collide with freshly interned ones even though the per-epoch
+  /// sequence counter restarts.
   void clear();
 
  private:
@@ -145,7 +168,8 @@ class InstanceInterner {
   std::unordered_map<std::uint64_t, Blob> by_id_;
   /// digest.lo -> candidate ids; the full digest and bytes disambiguate.
   std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> by_digest_;
-  std::uint64_t next_id_ = 1;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t next_seq_ = 1;  ///< per-epoch; id 0 stays invalid
 };
 
 /// POD per-point cache key. `instance` and `solver` are interner ids
@@ -185,13 +209,14 @@ class SolveCache {
   /// `shards` is rounded up to a power of two (default suits up to the
   /// parallel_for thread cap). `max_entries` > 0 caps the entry count
   /// with per-shard LRU eviction: the cap is floor-split across shards
-  /// (at least 1 per shard), so the resident total never exceeds
-  /// `max_entries` when it is >= the shard count and degrades to one
-  /// entry per shard below that. `max_bytes` > 0 additionally caps the
-  /// approximate resident bytes (schedules scale with task count, so an
-  /// entry cap alone does not bound memory); it is floor-split the same
-  /// way and a shard always retains at least its most recent entry.
-  /// 0 keeps the respective cap unbounded.
+  /// (at least 1 per shard), and a cap smaller than the requested shard
+  /// count shrinks the shard count to the largest power of two the cap
+  /// covers, so the resident total never exceeds `max_entries`.
+  /// `max_bytes` > 0 additionally caps the approximate resident bytes
+  /// (schedules scale with task count, so an entry cap alone does not
+  /// bound memory); it is floor-split the same way and a shard always
+  /// retains at least its most recent entry. 0 keeps the respective cap
+  /// unbounded.
   explicit SolveCache(std::size_t shards = 16, std::size_t max_entries = 0,
                       std::size_t max_bytes = 0);
 

@@ -149,32 +149,54 @@ FrontierResult run_sweep(ConstraintAxis axis, double lo, double hi,
   std::map<double, Eval> evaluated;  // keyed by constraint, ascending
   std::atomic<std::size_t> cache_hits{0};
 
+  const auto cancelled = [&options] {
+    return options.cancel != nullptr &&
+           options.cancel->load(std::memory_order_relaxed);
+  };
+
   auto evaluate_batch = [&](const std::vector<double>& constraints) {
     std::vector<Eval> evals(constraints.size());
-    common::parallel_for(
-        constraints.size(),
-        [&](std::size_t i) {
-          Eval e;
-          const EvalResult r = eval_at(constraints[i], &e.cache_hit);
-          if (r->is_ok()) {
-            e.feasible = true;
-            e.point.constraint = constraints[i];
-            e.point.energy = r->value().energy;
-            e.point.makespan = r->value().makespan;
-            e.point.solver = r->value().solver;
-            e.point.exact = r->value().exact;
-          } else {
-            e.status = r->status();
-          }
-          if (e.cache_hit) cache_hits.fetch_add(1, std::memory_order_relaxed);
-          evals[i] = std::move(e);
-        },
-        options.threads);
+    const auto eval_one = [&](std::size_t i) {
+      Eval e;
+      const EvalResult r = eval_at(constraints[i], &e.cache_hit);
+      if (r->is_ok()) {
+        e.feasible = true;
+        e.point.constraint = constraints[i];
+        e.point.energy = r->value().energy;
+        e.point.makespan = r->value().makespan;
+        e.point.solver = r->value().solver;
+        e.point.exact = r->value().exact;
+      } else {
+        e.status = r->status();
+      }
+      if (e.cache_hit) cache_hits.fetch_add(1, std::memory_order_relaxed);
+      evals[i] = std::move(e);
+    };
+    if (options.pool != nullptr) {
+      options.pool->parallel(constraints.size(), eval_one);
+    } else {
+      common::parallel_for(constraints.size(), eval_one, options.threads);
+    }
+    // Stream before the map absorbs the evals: batch order (grid order,
+    // then candidate-score order) is deterministic, so observers replaying
+    // the stream see the same sequence on every run and thread count.
+    if (options.on_point) {
+      for (const Eval& e : evals) {
+        if (e.feasible) options.on_point(e.point);
+      }
+    }
     for (std::size_t i = 0; i < constraints.size(); ++i) {
       evaluated.emplace(constraints[i], std::move(evals[i]));
     }
   };
 
+  if (cancelled()) {
+    result.error = common::Status::cancelled("frontier sweep cancelled");
+    result.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    return result;
+  }
   evaluate_batch(initial_grid(lo, hi, initial));
 
   // Deterministic: the scan runs in constraint order, not solve order.
@@ -190,6 +212,14 @@ FrontierResult run_sweep(ConstraintAxis axis, double lo, double hi,
   result.error = request_level_error();
   for (int round = 0; result.error.is_ok() && round < options.max_refine_rounds;
        ++round) {
+    if (cancelled()) {
+      // Cooperative stop between rounds: every in-flight solve of the
+      // previous round has completed and is cached/persisted, so the
+      // partial curve below is consistent — just shallower than a full
+      // sweep would be.
+      result.error = common::Status::cancelled("frontier sweep cancelled");
+      break;
+    }
     const int budget = max_points - static_cast<int>(evaluated.size());
     if (budget <= 0) break;
 
@@ -296,13 +326,20 @@ std::size_t prefetch_probes(const FrontierResult& prev, double lo, double hi,
   }
   std::sort(batch.begin(), batch.end());
   batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
-  common::parallel_for(
-      batch.size(),
-      [&](std::size_t i) {
-        bool hit = false;
-        (void)eval_at(batch[i], &hit);
-      },
-      options.threads);
+  const auto prefetch_one = [&](std::size_t i) {
+    // The prefetch is pure speculation, so a pending cancellation just
+    // skips the remaining probes — the replay handles the cancel status.
+    if (options.cancel != nullptr && options.cancel->load(std::memory_order_relaxed)) {
+      return;
+    }
+    bool hit = false;
+    (void)eval_at(batch[i], &hit);
+  };
+  if (options.pool != nullptr) {
+    options.pool->parallel(batch.size(), prefetch_one);
+  } else {
+    common::parallel_for(batch.size(), prefetch_one, options.threads);
+  }
   return batch.size();
 }
 

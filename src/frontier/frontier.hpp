@@ -1,6 +1,12 @@
 #pragma once
 // FrontierEngine — adaptive Pareto trade-off sweeps over the solver API.
 //
+// DEPRECATION: constructing a FrontierEngine directly is now the thin
+// internal path — engine::Engine (engine/engine.hpp) owns one, shares its
+// SolveCache with every other query type, runs sweeps as cancellable
+// pool jobs and streams points to observers. Direct use keeps working
+// for one release; new code should submit a FrontierQuery instead.
+//
 // The paper's contribution is the *trade-off* between energy and the
 // deadline / reliability constraints; a single api::solve only answers one
 // point of it. The engine sweeps a constraint axis and returns the Pareto
@@ -37,11 +43,14 @@
 // different intervals (drifted probes simply miss the prefetch and solve
 // on demand).
 
+#include <atomic>
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "api/solver.hpp"
+#include "common/parallel.hpp"
 #include "core/problem.hpp"
 #include "frontier/cache.hpp"
 
@@ -81,6 +90,26 @@ struct FrontierOptions {
   api::SolveOptions solve;       ///< forwarded to every solve (deadline_slack is
                                  ///< overridden by deadline_sweep)
   std::size_t threads = 0;       ///< parallel_for workers; 0 = default
+
+  // ---- execution & streaming hooks (set by the engine façade) ----
+
+  /// When non-null, evaluation rounds fan out on this persistent pool
+  /// (the calling thread participates) instead of transient parallel_for
+  /// threads; `threads` is ignored. Results are bit-identical either way.
+  common::WorkerPool* pool = nullptr;
+  /// Cooperative cancellation: checked between evaluation rounds. A set
+  /// flag stops the sweep early — the result carries the points gathered
+  /// so far and error = Status kCancelled. Every solve that already
+  /// started still completes and is cached normally, so a cancelled sweep
+  /// leaves the cache and any attached store fully consistent.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Streaming observer: called once for every *feasible* evaluation, in
+  /// a deterministic order (each round's batch order), as rounds finish.
+  /// The emitted set is exactly the sweep's feasible evaluations, so
+  /// pareto_filter(streamed points) reproduces the returned curve
+  /// bit-identically. Called from the sweeping thread; must not re-enter
+  /// the engine/sweep.
+  std::function<void(const FrontierPoint&)> on_point;
 };
 
 struct FrontierResult {

@@ -21,6 +21,15 @@ TEST(Status, FactoryFunctionsCarryCodeAndMessage) {
   EXPECT_EQ(Status::infeasible("deadline too tight").message(), "deadline too tight");
 }
 
+TEST(Status, JobLifecycleCodes) {
+  const Status cancelled = Status::cancelled("caller gave up");
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.to_string(), "CANCELLED: caller gave up");
+  const Status late = Status::deadline_exceeded("queued too long");
+  EXPECT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(late.to_string(), "DEADLINE_EXCEEDED: queued too long");
+}
+
 TEST(Status, ToStringIncludesCodeName) {
   EXPECT_EQ(Status::infeasible("msg").to_string(), "INFEASIBLE: msg");
 }

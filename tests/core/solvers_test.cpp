@@ -1,8 +1,22 @@
-#include "core/solvers.hpp"
+// Migration coverage for the retired core/solvers.hpp enum facade: every
+// behaviour the shim's tests pinned down is preserved by the registry
+// API it shimmed over. The old enum -> registry-name mapping:
+//   BiCritSolver::kAuto              -> api::solve(problem)  (auto-select)
+//   BiCritSolver::kClosedForm        -> "closed-form-chain" / "-fork" / "-sp"
+//   BiCritSolver::kContinuousIpm     -> "continuous-ipm"
+//   BiCritSolver::kVddLp             -> "vdd-lp"
+//   BiCritSolver::kDiscreteBnb       -> "discrete-bnb"
+//   BiCritSolver::kDiscreteGreedy    -> "discrete-greedy"
+//   BiCritSolver::kIncrementalApprox -> "incremental-approx"
+//   TriCritSolver::kChainExact       -> "chain-exact"     kChainGreedy -> "chain-greedy"
+//   TriCritSolver::kForkPoly         -> "fork-poly"       kBestOf      -> "best-of"
+//   TriCritSolver::kHeuristicA/B     -> "heuristic-A" / "heuristic-B"
 
 #include <gtest/gtest.h>
 
+#include "api/registry.hpp"
 #include "common/rng.hpp"
+#include "core/problem.hpp"
 #include "graph/analysis.hpp"
 #include "graph/generators.hpp"
 #include "sched/list_scheduler.hpp"
@@ -18,7 +32,7 @@ BiCritProblem chain_problem(model::SpeedModel speeds, double deadline) {
 
 TEST(SolveBiCrit, AutoPicksClosedFormForChain) {
   auto p = chain_problem(model::SpeedModel::continuous(0.1, 10.0), 4.0);
-  auto r = solve(p);
+  auto r = api::solve(p);
   ASSERT_TRUE(r.is_ok());
   EXPECT_EQ(r.value().solver, "closed-form-chain");
   EXPECT_NEAR(r.value().energy, 62.5, 1e-9);
@@ -27,7 +41,7 @@ TEST(SolveBiCrit, AutoPicksClosedFormForChain) {
 
 TEST(SolveBiCrit, AutoPicksLpForVdd) {
   auto p = chain_problem(model::SpeedModel::vdd_hopping({0.5, 1.0, 2.0}), 8.0);
-  auto r = solve(p);
+  auto r = api::solve(p);
   ASSERT_TRUE(r.is_ok());
   EXPECT_EQ(r.value().solver, "vdd-lp");
   EXPECT_TRUE(p.check(r.value().schedule).is_ok());
@@ -35,7 +49,7 @@ TEST(SolveBiCrit, AutoPicksLpForVdd) {
 
 TEST(SolveBiCrit, AutoPicksBnbForSmallDiscrete) {
   auto p = chain_problem(model::SpeedModel::discrete({0.5, 1.0, 2.0}), 8.0);
-  auto r = solve(p);
+  auto r = api::solve(p);
   ASSERT_TRUE(r.is_ok());
   EXPECT_EQ(r.value().solver, "discrete-bnb");
   EXPECT_TRUE(p.check(r.value().schedule).is_ok());
@@ -51,7 +65,7 @@ TEST(SolveBiCrit, AutoPicksGreedyForLargeDiscrete) {
       graph::time_analysis(mapping.augmented_graph(dag), dmax, 0.0).makespan * 1.5;
   BiCritProblem p(std::move(dag), std::move(mapping),
                   model::SpeedModel::discrete(model::xscale_levels()), D);
-  auto r = solve(p);
+  auto r = api::solve(p);
   ASSERT_TRUE(r.is_ok()) << r.status().to_string();
   EXPECT_EQ(r.value().solver, "discrete-greedy");
   EXPECT_TRUE(p.check(r.value().schedule).is_ok());
@@ -59,8 +73,8 @@ TEST(SolveBiCrit, AutoPicksGreedyForLargeDiscrete) {
 
 TEST(SolveBiCrit, ExplicitSolverSelection) {
   auto p = chain_problem(model::SpeedModel::continuous(0.1, 10.0), 4.0);
-  auto cf = solve(p, BiCritSolver::kClosedForm);
-  auto ipm = solve(p, BiCritSolver::kContinuousIpm);
+  auto cf = api::solve(p, "closed-form-chain");
+  auto ipm = api::solve(p, "continuous-ipm");
   ASSERT_TRUE(cf.is_ok());
   ASSERT_TRUE(ipm.is_ok());
   EXPECT_NEAR(cf.value().energy, ipm.value().energy, 1e-4 * cf.value().energy);
@@ -68,19 +82,21 @@ TEST(SolveBiCrit, ExplicitSolverSelection) {
 
 TEST(SolveBiCrit, IncrementalApproxEndToEnd) {
   auto p = chain_problem(model::SpeedModel::incremental(0.5, 2.5, 0.25), 4.0);
-  auto r = solve(p, BiCritSolver::kIncrementalApprox, /*approx_K=*/10);
+  api::SolveOptions options;
+  options.approx_K = 10;
+  auto r = api::solve(p, "incremental-approx", options);
   ASSERT_TRUE(r.is_ok()) << r.status().to_string();
   EXPECT_TRUE(p.check(r.value().schedule).is_ok());
 }
 
 TEST(SolveBiCrit, InvalidProblemRejected) {
   auto p = chain_problem(model::SpeedModel::continuous(0.1, 10.0), -1.0);
-  EXPECT_FALSE(solve(p).is_ok());
+  EXPECT_FALSE(api::solve(p).is_ok());
 }
 
 TEST(SolveBiCrit, InfeasiblePropagates) {
   auto p = chain_problem(model::SpeedModel::continuous(0.1, 1.0), 4.0);  // needs 2.5
-  EXPECT_FALSE(solve(p).is_ok());
+  EXPECT_FALSE(api::solve(p).is_ok());
 }
 
 TriCritProblem tri_chain_problem(double deadline) {
@@ -93,8 +109,8 @@ TriCritProblem tri_chain_problem(double deadline) {
 
 TEST(SolveTriCrit, ChainExactAndGreedy) {
   auto p = tri_chain_problem(12.0);
-  auto exact = solve(p, TriCritSolver::kChainExact);
-  auto greedy = solve(p, TriCritSolver::kChainGreedy);
+  auto exact = api::solve(p, "chain-exact");
+  auto greedy = api::solve(p, "chain-greedy");
   ASSERT_TRUE(exact.is_ok()) << exact.status().to_string();
   ASSERT_TRUE(greedy.is_ok());
   EXPECT_TRUE(p.check(exact.value().schedule).is_ok());
@@ -108,7 +124,7 @@ TEST(SolveTriCrit, ForkPoly) {
   TriCritProblem p(std::move(dag), std::move(mapping),
                    model::SpeedModel::continuous(0.2, 1.0),
                    model::ReliabilityModel(1e-5, 3.0, 0.2, 1.0, 0.8), 10.0);
-  auto r = solve(p, TriCritSolver::kForkPoly);
+  auto r = api::solve(p, "fork-poly");
   ASSERT_TRUE(r.is_ok());
   EXPECT_TRUE(p.check(r.value().schedule).is_ok());
 }
@@ -124,11 +140,10 @@ TEST(SolveTriCrit, HeuristicsOnGeneralDag) {
   TriCritProblem p(std::move(dag), std::move(mapping),
                    model::SpeedModel::continuous(0.2, 1.0),
                    model::ReliabilityModel(1e-5, 3.0, 0.2, 1.0, 0.8), D);
-  for (auto solver : {TriCritSolver::kHeuristicA, TriCritSolver::kHeuristicB,
-                      TriCritSolver::kBestOf}) {
-    auto r = solve(p, solver);
-    ASSERT_TRUE(r.is_ok()) << to_string(solver);
-    EXPECT_TRUE(p.check(r.value().schedule).is_ok()) << to_string(solver);
+  for (const char* solver : {"heuristic-A", "heuristic-B", "best-of"}) {
+    auto r = api::solve(p, solver);
+    ASSERT_TRUE(r.is_ok()) << solver;
+    EXPECT_TRUE(p.check(r.value().schedule).is_ok()) << solver;
   }
 }
 
@@ -138,12 +153,14 @@ TEST(SolveTriCrit, ChainSolverRejectsNonChain) {
   TriCritProblem p(std::move(dag), std::move(mapping),
                    model::SpeedModel::continuous(0.2, 1.0),
                    model::ReliabilityModel(1e-5, 3.0, 0.2, 1.0, 0.8), 10.0);
-  EXPECT_FALSE(solve(p, TriCritSolver::kChainExact).is_ok());
+  EXPECT_FALSE(api::solve(p, "chain-exact").is_ok());
 }
 
 TEST(SolverNames, Stable) {
-  EXPECT_STREQ(to_string(BiCritSolver::kVddLp), "vdd-lp");
-  EXPECT_STREQ(to_string(TriCritSolver::kBestOf), "best-of");
+  // The registry owns the stable names the enums used to map to.
+  const auto& registry = api::SolverRegistry::instance();
+  EXPECT_NE(registry.find("vdd-lp"), nullptr);
+  EXPECT_NE(registry.find("best-of"), nullptr);
 }
 
 }  // namespace

@@ -1,0 +1,543 @@
+// Engine façade: the async submit()/JobHandle surface over the shared
+// cache, store and worker pool. The acceptance-critical properties live
+// here:
+//   * concurrent mixed query types on ONE engine produce exactly the
+//     results their synchronous counterparts produce;
+//   * cancellation mid-sweep stops early and leaves the cache and store
+//     consistent (a following sweep completes bit-identical to cold);
+//   * a streamed FrontierQuery's observed points reproduce the
+//     synchronous sweep's curve bit-identically;
+//   * priorities order queued jobs, expired deadlines fail fast.
+
+#include "engine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/batch.hpp"
+#include "common/rng.hpp"
+#include "core/corpus.hpp"
+#include "frontier/analytics.hpp"
+#include "frontier/frontier.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "sched/list_scheduler.hpp"
+#include "store/store.hpp"
+
+namespace easched::engine {
+namespace {
+
+core::BiCritProblem random_bicrit(std::uint64_t seed, int tasks, double slack) {
+  common::Rng rng(seed);
+  auto dag = graph::make_random_dag(tasks, 0.2, {1.0, 4.0}, rng);
+  auto mapping = sched::list_schedule(dag, 3, sched::PriorityPolicy::kCriticalPath);
+  std::vector<double> d(static_cast<std::size_t>(dag.num_tasks()));
+  for (graph::TaskId t = 0; t < dag.num_tasks(); ++t) {
+    d[static_cast<std::size_t>(t)] = dag.weight(t);
+  }
+  const double deadline =
+      graph::time_analysis(mapping.augmented_graph(dag), d, 0.0).makespan * slack;
+  return core::BiCritProblem(std::move(dag), std::move(mapping),
+                             model::SpeedModel::continuous(0.1, 1.0), deadline);
+}
+
+core::TriCritProblem random_tricrit(std::uint64_t seed, int tasks, double slack) {
+  common::Rng rng(seed);
+  auto dag = graph::make_layered(3, (tasks + 2) / 3, 0.4, {1.0, 3.0}, rng);
+  auto mapping = sched::list_schedule(dag, 3, sched::PriorityPolicy::kCriticalPath);
+  std::vector<double> d(static_cast<std::size_t>(dag.num_tasks()));
+  for (graph::TaskId t = 0; t < dag.num_tasks(); ++t) {
+    d[static_cast<std::size_t>(t)] = dag.weight(t);
+  }
+  const model::ReliabilityModel rel(1e-5, 3.0, 0.2, 1.0, 0.8);
+  const double deadline =
+      graph::time_analysis(mapping.augmented_graph(dag), d, 0.0).makespan / rel.frel() *
+      slack;
+  return core::TriCritProblem(std::move(dag), std::move(mapping),
+                              model::SpeedModel::continuous(0.2, 1.0), rel, deadline);
+}
+
+bool same_curve(const std::vector<frontier::FrontierPoint>& a,
+                const std::vector<frontier::FrontierPoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].constraint != b[i].constraint || a[i].energy != b[i].energy ||
+        a[i].makespan != b[i].makespan || a[i].solver != b[i].solver ||
+        a[i].exact != b[i].exact) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string temp_store_path(const char* tag) {
+  return ::testing::TempDir() + "engine_" + tag + "_" +
+         std::to_string(::getpid()) + ".log";
+}
+
+TEST(Engine, SolveMatchesDirectApi) {
+  auto engine = Engine::create();
+  ASSERT_TRUE(engine.is_ok()) << engine.status().to_string();
+  const auto problem = random_bicrit(11, 10, 1.6);
+
+  auto via_engine = engine.value().solve(problem);
+  auto direct = api::solve(problem);
+  ASSERT_TRUE(via_engine.is_ok()) << via_engine.status().to_string();
+  ASSERT_TRUE(direct.is_ok());
+  EXPECT_EQ(via_engine.value().energy, direct.value().energy);
+  EXPECT_EQ(via_engine.value().solver, direct.value().solver);
+
+  // Second identical solve is served by the shared cache.
+  auto again = engine.value().solve(problem);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again.value().energy, direct.value().energy);
+  EXPECT_GE(engine.value().cache_stats().hits, 1u);
+}
+
+TEST(Engine, SubmitReturnsFutureStyleHandle) {
+  auto engine = Engine::create();
+  ASSERT_TRUE(engine.is_ok());
+  const auto problem = random_bicrit(12, 10, 1.5);
+
+  auto job = engine.value().submit(SolveQuery(problem));
+  ASSERT_TRUE(job.valid());
+  EXPECT_GT(job.id(), 0u);
+  job.wait();
+  EXPECT_TRUE(job.done());
+  const auto& result = job.get();
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  auto direct = api::solve(problem);
+  ASSERT_TRUE(direct.is_ok());
+  EXPECT_EQ(result.value().energy, direct.value().energy);
+}
+
+TEST(Engine, MovedEngineKeepsInFlightJobsValid) {
+  auto created = Engine::create();
+  ASSERT_TRUE(created.is_ok());
+  const auto problem = random_bicrit(13, 12, 1.5);
+  auto job = created.value().submit(SolveQuery(problem));
+  Engine moved = std::move(created).take();  // jobs hold component pointers
+  const auto& result = job.get();
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_GT(moved.threads(), 0u);
+}
+
+TEST(Engine, ConcurrentMixedQueriesOnOneEngine) {
+  EngineConfig config;
+  config.threads = 4;
+  auto created = Engine::create(config);
+  ASSERT_TRUE(created.is_ok());
+  Engine& engine = created.value();
+
+  // Reference values, computed synchronously and independently.
+  const auto bi = std::make_shared<const core::BiCritProblem>(random_bicrit(21, 10, 1.7));
+  const auto tri =
+      std::make_shared<const core::TriCritProblem>(random_tricrit(22, 9, 2.0));
+  const auto ref_solve = api::solve(*bi);
+  ASSERT_TRUE(ref_solve.is_ok());
+  frontier::FrontierOptions fopt;
+  fopt.initial_points = 5;
+  fopt.max_points = 11;
+  const frontier::FrontierEngine cold_sweeper(nullptr);
+  const auto ref_curve =
+      cold_sweeper.deadline_sweep(*bi, bi->deadline * 0.6, bi->deadline, fopt);
+  ASSERT_TRUE(ref_curve.error.is_ok());
+  const auto ref_tri = api::solve(*tri, "best-of");
+  ASSERT_TRUE(ref_tri.is_ok());
+
+  // N submitter threads x mixed query types, all against one engine.
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        switch ((t + round) % 3) {
+          case 0: {
+            auto job = engine.submit(SolveQuery(bi));
+            const auto& r = job.get();
+            if (!r.is_ok() || r.value().energy != ref_solve.value().energy) {
+              failures.fetch_add(1);
+            }
+            break;
+          }
+          case 1: {
+            auto job = engine.submit(
+                FrontierQuery::deadline(bi, bi->deadline * 0.6, bi->deadline, fopt));
+            const auto& r = job.get();
+            if (!r.error.is_ok() || !same_curve(r.points, ref_curve.points)) {
+              failures.fetch_add(1);
+            }
+            break;
+          }
+          default: {
+            auto job = engine.submit(SolveQuery(tri, "best-of"));
+            const auto& r = job.get();
+            if (!r.is_ok() || r.value().energy != ref_tri.value().energy) {
+              failures.fetch_add(1);
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const auto stats = engine.cache_stats();
+  // Repeat traffic hits the shared cache: distinct points are few, and
+  // though racing first encounters may each count a miss (first-write-
+  // wins), the repeats across 32 jobs dominate.
+  EXPECT_GT(stats.hits, stats.misses);
+}
+
+TEST(Engine, BatchQueryAggregatesLikeSolveBatch) {
+  EngineConfig config;
+  config.threads = 4;
+  auto created = Engine::create(config);
+  ASSERT_TRUE(created.is_ok());
+
+  common::Rng rng(31);
+  core::CorpusOptions copt;
+  copt.tasks = 8;
+  copt.processors = 3;
+  copt.instances_per_family = 2;
+  const auto corpus = core::standard_corpus(rng, copt);
+  const auto jobs =
+      api::corpus_bicrit_jobs(corpus, model::SpeedModel::continuous(0.1, 1.0), 1.8);
+
+  const auto direct = api::solve_batch(jobs);
+  BatchQuery query;
+  query.jobs = jobs;
+  auto handle = created.value().submit(std::move(query));
+  const auto& report = handle.get();
+
+  EXPECT_EQ(report.solved, direct.solved);
+  EXPECT_EQ(report.failed, direct.failed);
+  ASSERT_EQ(report.results.size(), direct.results.size());
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    ASSERT_EQ(report.results[i].is_ok(), direct.results[i].is_ok()) << i;
+    if (report.results[i].is_ok()) {
+      EXPECT_EQ(report.results[i].value().energy, direct.results[i].value().energy) << i;
+    }
+  }
+  for (const auto& [family, agg] : direct.by_family) {
+    auto it = report.by_family.find(family);
+    ASSERT_NE(it, report.by_family.end()) << family;
+    EXPECT_EQ(it->second.solved, agg.solved);
+    EXPECT_EQ(it->second.energy.mean(), agg.energy.mean()) << family;
+  }
+}
+
+TEST(Engine, StreamedFrontierReproducesCurveBitIdentically) {
+  EngineConfig config;
+  config.threads = 4;
+  auto created = Engine::create(config);
+  ASSERT_TRUE(created.is_ok());
+  const auto problem =
+      std::make_shared<const core::BiCritProblem>(random_bicrit(41, 12, 1.8));
+
+  frontier::FrontierOptions fopt;
+  fopt.initial_points = 7;
+  fopt.max_points = 19;
+
+  // Streamed points arrive from the sweeping job thread; the callback
+  // must be safe but the order is deterministic.
+  std::mutex streamed_mutex;
+  std::vector<frontier::FrontierPoint> streamed;
+  auto query = FrontierQuery::deadline(problem, problem->deadline * 0.55,
+                                       problem->deadline, fopt);
+  query.observer = [&](const frontier::FrontierPoint& point) {
+    std::lock_guard<std::mutex> lock(streamed_mutex);
+    streamed.push_back(point);
+  };
+  auto handle = created.value().submit(std::move(query));
+  const auto& result = handle.get();
+  ASSERT_TRUE(result.error.is_ok()) << result.error.to_string();
+
+  // The streamed set is exactly the feasible evaluations: dominance-
+  // filtering it reproduces the returned curve bit for bit.
+  EXPECT_EQ(streamed.size(), result.points.size() + result.dominated.size());
+  const auto filtered =
+      frontier::pareto_filter(streamed, frontier::ConstraintAxis::kDeadline);
+  EXPECT_TRUE(same_curve(filtered, result.points));
+
+  // And the async job matches the plain synchronous engine sweep.
+  frontier::SolveCache cold_cache;
+  const frontier::FrontierEngine cold(&cold_cache);
+  const auto sync_result =
+      cold.deadline_sweep(*problem, problem->deadline * 0.55, problem->deadline, fopt);
+  EXPECT_TRUE(same_curve(sync_result.points, result.points));
+}
+
+TEST(Engine, CancelledQueuedJobNeverRuns) {
+  EngineConfig config;
+  config.threads = 1;  // one worker: the blocker occupies it
+  auto created = Engine::create(config);
+  ASSERT_TRUE(created.is_ok());
+  const auto blocker =
+      std::make_shared<const core::BiCritProblem>(random_bicrit(51, 16, 1.6));
+  frontier::FrontierOptions fopt;
+  fopt.initial_points = 9;
+  fopt.max_points = 25;
+  auto blocking = created.value().submit(
+      FrontierQuery::deadline(blocker, blocker->deadline * 0.6, blocker->deadline, fopt));
+
+  auto victim = created.value().submit(SolveQuery(blocker));
+  victim.cancel();
+  const auto& result = victim.get();
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kCancelled);
+  blocking.wait();
+}
+
+TEST(Engine, CancellationMidSweepLeavesCacheAndStoreConsistent) {
+  const std::string path = temp_store_path("cancel");
+  std::remove(path.c_str());
+  const auto problem =
+      std::make_shared<const core::BiCritProblem>(random_bicrit(61, 14, 1.8));
+  frontier::FrontierOptions fopt;
+  fopt.initial_points = 9;
+  fopt.max_points = 33;
+
+  frontier::FrontierResult cancelled_result;
+  {
+    EngineConfig config;
+    config.threads = 2;
+    config.store_path = path;
+    auto created = Engine::create(config);
+    ASSERT_TRUE(created.is_ok()) << created.status().to_string();
+    Engine& engine = created.value();
+
+    // Gate the sweep on its first streamed point: the observer blocks the
+    // job thread until the main thread has issued cancel(), so the flag is
+    // deterministically observed *between rounds*, never before the job
+    // started — a true mid-sweep cancellation on every run.
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    bool first_point_seen = false;
+    bool cancel_issued = false;
+    auto query = FrontierQuery::deadline(problem, problem->deadline * 0.5,
+                                         problem->deadline, fopt);
+    query.observer = [&](const frontier::FrontierPoint&) {
+      std::unique_lock<std::mutex> lock(gate_mutex);
+      if (!first_point_seen) {
+        first_point_seen = true;
+        gate_cv.notify_all();
+        gate_cv.wait(lock, [&] { return cancel_issued; });
+      }
+    };
+    auto handle = engine.submit(std::move(query));
+    {
+      std::unique_lock<std::mutex> lock(gate_mutex);
+      gate_cv.wait(lock, [&] { return first_point_seen; });
+    }
+    handle.cancel();
+    {
+      std::lock_guard<std::mutex> lock(gate_mutex);
+      cancel_issued = true;
+    }
+    gate_cv.notify_all();
+    cancelled_result = handle.get();
+    EXPECT_EQ(cancelled_result.error.code(), common::StatusCode::kCancelled);
+    // The first round completed before the stop: a partial probe trace
+    // exists and everything in it is cached/persisted.
+    EXPECT_FALSE(cancelled_result.probes.empty());
+    EXPECT_LT(cancelled_result.evaluated, 33u);
+
+    // The same engine serves a full sweep afterwards: whatever the
+    // cancelled job cached stays valid (hits, never wrong results).
+    const auto full = engine.sweep(FrontierQuery::deadline(
+        problem, problem->deadline * 0.5, problem->deadline, fopt));
+    ASSERT_TRUE(full.error.is_ok()) << full.error.to_string();
+
+    frontier::SolveCache cold_cache;
+    const frontier::FrontierEngine cold(&cold_cache);
+    const auto reference = cold.deadline_sweep(*problem, problem->deadline * 0.5,
+                                               problem->deadline, fopt);
+    EXPECT_TRUE(same_curve(full.points, reference.points));
+  }
+
+  // The store the cancelled sweep wrote through must verify cleanly.
+  const auto verified = store::SolveStore::verify(path);
+  ASSERT_TRUE(verified.is_ok()) << verified.status().to_string();
+  std::remove(path.c_str());
+}
+
+TEST(Engine, PriorityOrdersQueuedJobs) {
+  EngineConfig config;
+  config.threads = 1;  // deterministic: one worker, queue order = run order
+  auto created = Engine::create(config);
+  ASSERT_TRUE(created.is_ok());
+  Engine& engine = created.value();
+
+  const auto blocker =
+      std::make_shared<const core::BiCritProblem>(random_bicrit(71, 16, 1.7));
+  const auto quick =
+      std::make_shared<const core::BiCritProblem>(random_bicrit(72, 8, 1.7));
+  frontier::FrontierOptions fopt;
+  fopt.initial_points = 7;
+  fopt.max_points = 15;
+
+  std::mutex order_mutex;
+  std::vector<std::string> first_points;
+  auto observe = [&](const char* tag) {
+    return [&, tag](const frontier::FrontierPoint&) {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      if (first_points.empty() || first_points.back() != tag) {
+        first_points.push_back(tag);
+      }
+    };
+  };
+
+  auto blocking_query = FrontierQuery::deadline(blocker, blocker->deadline * 0.6,
+                                                blocker->deadline, fopt);
+  auto blocking = engine.submit(std::move(blocking_query));
+
+  auto low_query =
+      FrontierQuery::deadline(quick, quick->deadline * 0.6, quick->deadline, fopt);
+  low_query.observer = observe("low");
+  SubmitOptions low_opts;
+  low_opts.priority = 0;
+  auto low = engine.submit(std::move(low_query), low_opts);
+
+  auto high_query =
+      FrontierQuery::deadline(quick, quick->deadline * 0.7, quick->deadline, fopt);
+  high_query.observer = observe("high");
+  SubmitOptions high_opts;
+  high_opts.priority = 5;
+  auto high = engine.submit(std::move(high_query), high_opts);
+
+  low.wait();
+  high.wait();
+  blocking.wait();
+  ASSERT_GE(first_points.size(), 2u);
+  EXPECT_EQ(first_points.front(), "high");  // outranked the earlier-queued low job
+}
+
+TEST(Engine, ExpiredDeadlineFailsFast) {
+  EngineConfig config;
+  config.threads = 1;
+  auto created = Engine::create(config);
+  ASSERT_TRUE(created.is_ok());
+  const auto blocker =
+      std::make_shared<const core::BiCritProblem>(random_bicrit(81, 16, 1.6));
+  frontier::FrontierOptions fopt;
+  fopt.initial_points = 9;
+  fopt.max_points = 25;
+  auto blocking = created.value().submit(
+      FrontierQuery::deadline(blocker, blocker->deadline * 0.6, blocker->deadline, fopt));
+
+  SubmitOptions opts;
+  opts.deadline_ms = 1e-3;  // expires while queued behind the blocker
+  auto late = created.value().submit(SolveQuery(blocker), opts);
+  const auto& result = late.get();
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kDeadlineExceeded);
+  blocking.wait();
+}
+
+TEST(Engine, ResweepThroughFacadeMatchesColdSweep) {
+  EngineConfig config;
+  config.threads = 4;
+  auto created = Engine::create(config);
+  ASSERT_TRUE(created.is_ok());
+  Engine& engine = created.value();
+
+  const auto old_problem =
+      std::make_shared<const core::BiCritProblem>(random_bicrit(91, 10, 1.8));
+  auto perturbed = *old_problem;  // same graph, tighter deadline anchor
+  const auto new_problem = std::make_shared<const core::BiCritProblem>(
+      perturbed.dag, perturbed.mapping, perturbed.speeds, perturbed.deadline * 0.97);
+
+  frontier::FrontierOptions fopt;
+  fopt.initial_points = 5;
+  fopt.max_points = 13;
+  const double lo = old_problem->deadline * 0.6;
+  const double hi = old_problem->deadline;
+
+  const auto prev = engine.sweep(FrontierQuery::deadline(old_problem, lo, hi, fopt));
+  ASSERT_TRUE(prev.error.is_ok());
+
+  ResweepQuery resweep;
+  resweep.prev = prev;
+  resweep.target = FrontierQuery::deadline(new_problem, lo, hi, fopt);
+  auto handle = engine.submit(std::move(resweep));
+  const auto& incremental = handle.get();
+  ASSERT_TRUE(incremental.error.is_ok()) << incremental.error.to_string();
+  EXPECT_GT(incremental.prefetched, 0u);
+
+  frontier::SolveCache cold_cache;
+  const frontier::FrontierEngine cold(&cold_cache);
+  const auto reference = cold.deadline_sweep(*new_problem, lo, hi, fopt);
+  EXPECT_TRUE(same_curve(incremental.points, reference.points));
+}
+
+TEST(Engine, InvalidQueriesSurfaceStatusesNotCrashes) {
+  auto created = Engine::create();
+  ASSERT_TRUE(created.is_ok());
+  Engine& engine = created.value();
+
+  // Reliability axis without a TRI-CRIT problem.
+  FrontierQuery bad;
+  bad.axis = frontier::ConstraintAxis::kReliability;
+  bad.lo = 0.4;
+  bad.hi = 0.9;
+  auto handle = engine.submit(std::move(bad));
+  EXPECT_EQ(handle.get().error.code(), common::StatusCode::kInvalidArgument);
+
+  // A sweep violating the lo/hi precondition comes back as a status, not
+  // a terminate() from the worker thread.
+  const auto problem = random_bicrit(99, 8, 1.6);
+  auto invalid_range = engine.submit(FrontierQuery::deadline(problem, -1.0, 2.0));
+  EXPECT_FALSE(invalid_range.get().error.is_ok());
+}
+
+TEST(Engine, StoreBackedEngineReplaysAcrossRestart) {
+  const std::string path = temp_store_path("restart");
+  std::remove(path.c_str());
+  const auto problem =
+      std::make_shared<const core::BiCritProblem>(random_bicrit(101, 10, 1.8));
+  frontier::FrontierOptions fopt;
+  fopt.initial_points = 5;
+  fopt.max_points = 11;
+  const double lo = problem->deadline * 0.6;
+  const double hi = problem->deadline;
+
+  frontier::FrontierResult first;
+  {
+    EngineConfig config;
+    config.store_path = path;
+    auto created = Engine::create(config);
+    ASSERT_TRUE(created.is_ok()) << created.status().to_string();
+    first = created.value().sweep(FrontierQuery::deadline(problem, lo, hi, fopt));
+    ASSERT_TRUE(first.error.is_ok());
+  }
+  {
+    EngineConfig config;
+    config.store_path = path;
+    auto created = Engine::create(config);
+    ASSERT_TRUE(created.is_ok());
+    const auto replay = created.value().sweep(FrontierQuery::deadline(problem, lo, hi, fopt));
+    ASSERT_TRUE(replay.error.is_ok());
+    EXPECT_TRUE(same_curve(replay.points, first.points));
+    // Every probe replays from the loaded store: zero fresh solver runs.
+    EXPECT_EQ(created.value().cache_stats().misses, 0u);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace easched::engine

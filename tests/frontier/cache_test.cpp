@@ -170,6 +170,80 @@ TEST(InstanceInterner, SameBytesShareAnIdForgedCollisionsDoNot) {
   EXPECT_NE(a, interner.intern(other, "instance-a"));
 }
 
+TEST(InstanceInterner, EpochTagMakesClearedIdsUnmintable) {
+  InstanceInterner interner;
+  EXPECT_EQ(interner.epoch(), 0u);
+  const api::InstanceDigest digest{0xaaULL, 0xbbULL};
+  const auto before = interner.intern(digest, "instance");
+  EXPECT_EQ(InstanceInterner::id_epoch(before), 0u);
+  EXPECT_TRUE(interner.live(before));
+
+  interner.clear();
+  EXPECT_EQ(interner.epoch(), 1u);
+  EXPECT_FALSE(interner.live(before));
+  EXPECT_FALSE(interner.find(before).has_value());
+
+  // The same bytes re-intern under the new epoch: the per-epoch sequence
+  // restarts (same low bits as `before`), yet the ids differ because the
+  // generation tag is part of the id — the structural non-alias guarantee.
+  const auto after = interner.intern(digest, "instance");
+  EXPECT_EQ(InstanceInterner::id_sequence(after), InstanceInterner::id_sequence(before));
+  EXPECT_EQ(InstanceInterner::id_epoch(after), 1u);
+  EXPECT_NE(after, before);
+  EXPECT_TRUE(interner.live(after));
+  EXPECT_FALSE(interner.live(before)) << "pre-clear ids stay dead forever";
+}
+
+TEST(InstanceInterner, ReclaimedThenReinternedInstanceGetsAFreshId) {
+  InstanceInterner interner;
+  const api::InstanceDigest digest{0x11ULL, 0x22ULL};
+  const auto original = interner.intern(digest, "instance");
+  interner.add_ref(original);
+  interner.release(original);  // last reference: blob reclaimed
+  EXPECT_FALSE(interner.live(original));
+
+  const auto fresh = interner.intern(digest, "instance");
+  EXPECT_NE(fresh, original) << "a reclaimed id is never handed out again";
+  EXPECT_EQ(InstanceInterner::id_epoch(fresh), InstanceInterner::id_epoch(original));
+  EXPECT_TRUE(interner.live(fresh));
+}
+
+TEST(SolveCache, StaleContextAfterClearMissesInsteadOfAliasing) {
+  // The ROADMAP interner-pinning hole, end to end: a long-lived sweep
+  // context outliving a clear() must never be served another instance's
+  // entry under a recycled id — it simply misses and re-solves.
+  const auto p1 = diamond_problem(14.0);
+  auto p2 = diamond_problem(14.0);
+  p2.dag.set_weight(0, 2.5);  // different instance, different optimum
+
+  SolveCache cache;
+  const api::SolveRequest r1(p1);
+  const auto stale_context = cache.context_for(r1);
+  const auto stale_key = SolveCache::key_for(stale_context, r1);
+  const auto before = cache.solve(r1, stale_key);
+  ASSERT_TRUE(before.is_ok());
+
+  cache.clear();
+
+  // A different instance interned after the clear restarts the sequence
+  // counter — without the epoch tag its id could collide with the stale
+  // context's.
+  const api::SolveRequest r2(p2);
+  const auto fresh_context = cache.context_for(r2);
+  EXPECT_NE(fresh_context.instance, stale_context.instance);
+  EXPECT_EQ(InstanceInterner::id_sequence(fresh_context.instance),
+            InstanceInterner::id_sequence(stale_context.instance));
+  ASSERT_TRUE(cache.solve(r2, SolveCache::key_for(fresh_context, r2)).is_ok());
+
+  // Probing through the stale context misses (no alias with p2's entry)
+  // and still computes p1's correct energy.
+  bool hit = true;
+  const auto replay = cache.solve(r1, stale_key, &hit);
+  ASSERT_TRUE(replay.is_ok());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(replay.value().energy, before.value().energy);
+}
+
 TEST(SolveCacheCollisionFallback, ForgedDigestCollisionStillSeparatesRequests) {
   // End-to-end version of the interner property: two problems that differ
   // only in one task weight route through the digest-keyed cache and must

@@ -10,13 +10,13 @@
 
 #include <string>
 
+#include "api/registry.hpp"
 #include "bicrit/continuous_dag.hpp"
 #include "bicrit/discrete_exact.hpp"
 #include "bicrit/vdd_lp.hpp"
 #include "common/rng.hpp"
 #include "core/corpus.hpp"
 #include "core/problem.hpp"
-#include "core/solvers.hpp"
 #include "graph/analysis.hpp"
 #include "tricrit/heuristics.hpp"
 
@@ -62,23 +62,24 @@ TEST_P(SolverPropertyTest, AllBiCritSolversFeasibleAndOrdered) {
   core::BiCritProblem cont_problem(inst.dag, inst.mapping, cont_model, D);
   EXPECT_TRUE(cont_problem.check(cont.value().schedule).is_ok());
 
+  // Registry solver names stand in for the retired core::BiCritSolver
+  // enums (the shim mapped kVddLp -> "vdd-lp" and so on).
   struct Candidate {
     const char* name;
     model::SpeedModel speeds;
-    core::BiCritSolver solver;
   };
   const std::vector<Candidate> candidates{
-      {"vdd-lp", model::SpeedModel::vdd_hopping(levels), core::BiCritSolver::kVddLp},
-      {"discrete-bnb", model::SpeedModel::discrete(levels), core::BiCritSolver::kDiscreteBnb},
-      {"discrete-greedy", model::SpeedModel::discrete(levels),
-       core::BiCritSolver::kDiscreteGreedy},
+      {"vdd-lp", model::SpeedModel::vdd_hopping(levels)},
+      {"discrete-bnb", model::SpeedModel::discrete(levels)},
+      {"discrete-greedy", model::SpeedModel::discrete(levels)},
       {"incremental-approx",
-       model::SpeedModel::incremental(levels.front(), levels.back(), 0.1),
-       core::BiCritSolver::kIncrementalApprox},
+       model::SpeedModel::incremental(levels.front(), levels.back(), 0.1)},
   };
+  api::SolveOptions options;
+  options.approx_K = 10;
   for (const auto& c : candidates) {
     core::BiCritProblem p(inst.dag, inst.mapping, c.speeds, D);
-    auto r = core::solve(p, c.solver, /*approx_K=*/10);
+    auto r = api::solve(p, c.name, options);
     ASSERT_TRUE(r.is_ok()) << c.name << ": " << r.status().to_string();
     EXPECT_TRUE(p.check(r.value().schedule).is_ok()) << c.name;           // P1
     EXPECT_GE(r.value().energy, cont.value().energy * (1.0 - 1e-6)) << c.name;  // P2
