@@ -29,6 +29,17 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=Release \
   -DEASCHED_BUILD_TESTS=OFF \
   -DEASCHED_BUILD_EXAMPLES=OFF > /dev/null
+
+# Refuse to snapshot a sanitizer build: ASan/TSan overheads would be
+# recorded as the repo's perf baseline and every later diff against it
+# would be noise. (Catches a reused build dir from check.sh --sanitize /
+# --tsan or a sanitizer flag inherited from the environment.)
+if grep -qE '(^CMAKE_(CXX|EXE_LINKER)_FLAGS[^=]*=.*-fsanitize|^EASCHED_TSAN:BOOL=ON)' \
+     "$build_dir/CMakeCache.txt" 2>/dev/null; then
+  echo "bench_snapshot: REFUSING to record a baseline from a sanitizer build" >&2
+  echo "bench_snapshot: ($build_dir has -fsanitize / EASCHED_TSAN=ON in CMakeCache.txt)" >&2
+  exit 1
+fi
 cmake --build "$build_dir" -j "$(nproc)" --target "${benches[@]}" > /dev/null
 
 tmp_dir="$(mktemp -d)"

@@ -19,7 +19,7 @@ SolverRegistry& SolverRegistry::instance() {
 
 common::Status SolverRegistry::add(std::unique_ptr<Solver> solver) {
   if (solver == nullptr) return common::Status::invalid("cannot register a null solver");
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::MutexLock lock(mutex_);
   for (const auto& existing : solvers_) {
     if (existing->name() == solver->name()) {
       return common::Status::invalid("solver '" + std::string(solver->name()) +
@@ -31,7 +31,7 @@ common::Status SolverRegistry::add(std::unique_ptr<Solver> solver) {
 }
 
 const Solver* SolverRegistry::find(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::MutexLock lock(mutex_);
   for (const auto& solver : solvers_) {
     if (solver->name() == name) return solver.get();
   }
@@ -39,7 +39,7 @@ const Solver* SolverRegistry::find(std::string_view name) const {
 }
 
 std::vector<std::string> SolverRegistry::names(std::optional<ProblemKind> kind) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::MutexLock lock(mutex_);
   std::vector<std::string> out;
   for (const auto& solver : solvers_) {
     if (kind && solver->capabilities().problem != *kind) continue;
@@ -50,7 +50,7 @@ std::vector<std::string> SolverRegistry::names(std::optional<ProblemKind> kind) 
 
 common::Result<const Solver*> SolverRegistry::select(const SolveRequest& request) const {
   request.structure();  // classify (and cache) outside the lock
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::MutexLock lock(mutex_);
   const Solver* best = nullptr;
   for (const auto& solver : solvers_) {
     if (!solver->accepts(request)) continue;
@@ -69,7 +69,7 @@ common::Result<const Solver*> SolverRegistry::select(const SolveRequest& request
 }
 
 std::size_t SolverRegistry::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::MutexLock lock(mutex_);
   return solvers_.size();
 }
 

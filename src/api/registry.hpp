@@ -14,14 +14,15 @@
 // new code should construct an Engine (engine/engine.hpp).
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "api/solver.hpp"
+#include "common/mutex.hpp"
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace easched::api {
 
@@ -55,9 +56,11 @@ class SolverRegistry {
  private:
   /// add() may race with solve_batch workers iterating the registry;
   /// all access to solvers_ is serialised (solver runs happen outside
-  /// the lock, so contention is a few pointer reads per solve).
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Solver>> solvers_;
+  /// the lock, so contention is a few pointer reads per solve). The
+  /// *elements* are immutable once registered and never removed, which
+  /// is why find()/select() may hand out raw Solver pointers.
+  mutable common::Mutex mutex_;
+  std::vector<std::unique_ptr<Solver>> solvers_ EASCHED_GUARDED_BY(mutex_);
 };
 
 /// Solves `request`: validation first, then explicit lookup (kNotFound for

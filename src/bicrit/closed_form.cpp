@@ -59,6 +59,7 @@ common::Result<ClosedFormResult> solve_fork(const Dag& dag, double deadline,
   const TaskId src = dag.sources().front();
   const double w0 = dag.weight(src);
   std::vector<TaskId> children;
+  children.reserve(static_cast<std::size_t>(dag.num_tasks() - 1));
   double cube_sum = 0.0;
   for (TaskId t = 0; t < dag.num_tasks(); ++t) {
     if (t == src) continue;

@@ -81,7 +81,7 @@ WorkerPool::WorkerPool(std::size_t threads) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   ready_.notify_all();
@@ -90,7 +90,7 @@ WorkerPool::~WorkerPool() {
 
 void WorkerPool::submit(std::function<void()> fn, int priority) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.emplace(TaskKey{-static_cast<long long>(priority), next_seq_++},
                    std::move(fn));
   }
@@ -98,8 +98,8 @@ void WorkerPool::submit(std::function<void()> fn, int priority) {
 }
 
 std::function<void()> WorkerPool::next_task() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+  MutexLock lock(mutex_);
+  while (!stopping_ && queue_.empty()) ready_.wait(mutex_);
   if (queue_.empty()) return {};  // stopping and drained
   auto it = queue_.begin();
   std::function<void()> fn = std::move(it->second);
@@ -124,10 +124,10 @@ struct ParallelRegion {
   const std::function<void(std::size_t)>* body = nullptr;  ///< valid while
                                                            ///< chunks remain
   std::atomic<std::size_t> next{0};
-  std::mutex mutex;
-  std::condition_variable done_cv;
-  std::size_t done = 0;  ///< iterations finished (under mutex)
-  std::exception_ptr error;
+  Mutex mutex;
+  CondVar done_cv;
+  std::size_t done EASCHED_GUARDED_BY(mutex) = 0;  ///< iterations finished
+  std::exception_ptr error EASCHED_GUARDED_BY(mutex);
 
   /// Claims and runs chunks until none are left. Iterations count as done
   /// even when the body throws (only the first exception is kept), so the
@@ -146,7 +146,7 @@ struct ParallelRegion {
           if (!caught) caught = std::current_exception();
         }
       }
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       if (caught && !error) error = caught;
       done += end - begin;
       if (done == n) done_cv.notify_all();
@@ -176,8 +176,8 @@ void WorkerPool::parallel(std::size_t n, const std::function<void(std::size_t)>&
   }
   region->drain();  // the caller participates — nested use cannot deadlock
   {
-    std::unique_lock<std::mutex> lock(region->mutex);
-    region->done_cv.wait(lock, [&] { return region->done == region->n; });
+    MutexLock lock(region->mutex);
+    while (region->done != region->n) region->done_cv.wait(region->mutex);
     if (region->error) std::rethrow_exception(region->error);
   }
 }

@@ -7,15 +7,16 @@
 // that per-chunk RNG substreams give run-to-run reproducible results
 // independent of the number of worker threads.
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace easched::common {
 
@@ -77,7 +78,7 @@ class WorkerPool {
   std::size_t size() const noexcept { return workers_.size(); }
 
   /// Enqueues one task. Thread-safe; may be called from inside a task.
-  void submit(std::function<void()> fn, int priority = 0);
+  void submit(std::function<void()> fn, int priority = 0) EASCHED_EXCLUDES(mutex_);
 
   /// Runs body(i) for i in [0, n), returning when all iterations finished.
   /// The caller executes iterations itself while idle pool workers help;
@@ -90,17 +91,19 @@ class WorkerPool {
   void worker_loop();
   /// Pops the highest-priority task; empty function when stopping and
   /// drained.
-  std::function<void()> next_task();
+  std::function<void()> next_task() EASCHED_EXCLUDES(mutex_);
 
   /// Key = (-priority, sequence): map order is execution order. The
   /// negated priority is widened to 64 bits so every int priority —
   /// INT_MIN included — negates without overflow.
   using TaskKey = std::pair<long long, std::uint64_t>;
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;
-  std::map<TaskKey, std::function<void()>> queue_;
-  std::uint64_t next_seq_ = 0;
-  bool stopping_ = false;
+  mutable Mutex mutex_;
+  CondVar ready_;
+  std::map<TaskKey, std::function<void()>> queue_ EASCHED_GUARDED_BY(mutex_);
+  std::uint64_t next_seq_ EASCHED_GUARDED_BY(mutex_) = 0;
+  bool stopping_ EASCHED_GUARDED_BY(mutex_) = false;
+  /// Only mutated in the constructor (before any worker can observe the
+  /// pool) and joined in the destructor; size() reads it lock-free.
   std::vector<std::thread> workers_;
 };
 

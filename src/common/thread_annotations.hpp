@@ -1,0 +1,66 @@
+#pragma once
+// Clang thread-safety capability annotations.
+//
+// These macros make the repo's locking discipline machine-checkable: a
+// member declared EASCHED_GUARDED_BY(mutex_) may only be touched while
+// mutex_ is held, a function declared EASCHED_REQUIRES(mutex_) may only
+// be called with it held, and scripts/check.sh builds the api/engine/
+// frontier/store layers with -Wthread-safety promoted to an error under
+// EASCHED_WERROR_API. On compilers without the capability attributes
+// (GCC) every macro expands to nothing, so annotated code stays portable.
+//
+// The analysis only understands annotated lock types — libstdc++'s
+// std::mutex carries no capability attributes — so concurrent code uses
+// the annotated wrappers in common/mutex.hpp (common::Mutex,
+// common::MutexLock, common::CondVar) instead of std::mutex directly.
+//
+// Macro cheat-sheet (see the Clang "Thread Safety Analysis" docs):
+//   EASCHED_CAPABILITY(x)        class is a capability (a lock)
+//   EASCHED_SCOPED_CAPABILITY    RAII class that acquires/releases one
+//   EASCHED_GUARDED_BY(m)        member readable/writable only under m
+//   EASCHED_PT_GUARDED_BY(m)     pointee guarded by m (pointer itself free)
+//   EASCHED_REQUIRES(m...)       caller must hold m
+//   EASCHED_ACQUIRE(m...)        function acquires m and does not release
+//   EASCHED_RELEASE(m...)        function releases m
+//   EASCHED_TRY_ACQUIRE(b, m...) acquires m iff the return value is b
+//   EASCHED_EXCLUDES(m...)       caller must NOT hold m (anti-deadlock)
+//   EASCHED_ASSERT_CAPABILITY(m) runtime assertion that m is held
+//   EASCHED_RETURN_CAPABILITY(m) function returns a reference to m
+//   EASCHED_NO_THREAD_SAFETY_ANALYSIS  opt a function out (justify it!)
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define EASCHED_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef EASCHED_THREAD_ANNOTATION
+#define EASCHED_THREAD_ANNOTATION(x)  // no-op on GCC and pre-capability Clang
+#endif
+
+#define EASCHED_CAPABILITY(x) EASCHED_THREAD_ANNOTATION(capability(x))
+#define EASCHED_SCOPED_CAPABILITY EASCHED_THREAD_ANNOTATION(scoped_lockable)
+#define EASCHED_GUARDED_BY(x) EASCHED_THREAD_ANNOTATION(guarded_by(x))
+#define EASCHED_PT_GUARDED_BY(x) EASCHED_THREAD_ANNOTATION(pt_guarded_by(x))
+#define EASCHED_ACQUIRED_BEFORE(...) \
+  EASCHED_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define EASCHED_ACQUIRED_AFTER(...) \
+  EASCHED_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define EASCHED_REQUIRES(...) \
+  EASCHED_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define EASCHED_REQUIRES_SHARED(...) \
+  EASCHED_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define EASCHED_ACQUIRE(...) \
+  EASCHED_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define EASCHED_ACQUIRE_SHARED(...) \
+  EASCHED_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define EASCHED_RELEASE(...) \
+  EASCHED_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define EASCHED_RELEASE_SHARED(...) \
+  EASCHED_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define EASCHED_TRY_ACQUIRE(...) \
+  EASCHED_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EASCHED_EXCLUDES(...) EASCHED_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define EASCHED_ASSERT_CAPABILITY(x) EASCHED_THREAD_ANNOTATION(assert_capability(x))
+#define EASCHED_RETURN_CAPABILITY(x) EASCHED_THREAD_ANNOTATION(lock_returned(x))
+#define EASCHED_NO_THREAD_SAFETY_ANALYSIS \
+  EASCHED_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -34,19 +34,19 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <stdexcept>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "api/batch.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "api/registry.hpp"
 #include "api/solver.hpp"
 #include "common/parallel.hpp"
@@ -183,16 +183,25 @@ template <typename T>
 struct JobState {
   std::uint64_t id = 0;
   std::atomic<bool> cancel{false};
-  mutable std::mutex mutex;
-  mutable std::condition_variable cv;
-  std::optional<T> result;
+  mutable common::Mutex mutex;
+  mutable common::CondVar cv;
+  std::optional<T> result EASCHED_GUARDED_BY(mutex);
 
-  void complete(T value) {
+  void complete(T value) EASCHED_EXCLUDES(mutex) {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      common::MutexLock lock(mutex);
       result.emplace(std::move(value));
     }
     cv.notify_all();
+  }
+
+  /// The completed value, readable without the mutex: complete() writes
+  /// `result` exactly once and nothing ever mutates it afterwards, and
+  /// every caller reaches this through a wait that observed the write
+  /// under the mutex (the release/acquire pair carries the
+  /// happens-before). Annotated out of the analysis for that reason.
+  const T& completed_value() const EASCHED_NO_THREAD_SAFETY_ANALYSIS {
+    return *result;
   }
 };
 }  // namespace detail
@@ -222,21 +231,23 @@ class JobHandle {
 
   bool done() const {
     if (!state_) return false;
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    common::MutexLock lock(state_->mutex);
     return state_->result.has_value();
   }
   /// wait()/get() on an invalid handle are programming errors and throw
   /// (there is no job whose completion could ever be awaited).
   void wait() const {
     if (!state_) throw std::logic_error("JobHandle::wait() on an invalid handle");
-    std::unique_lock<std::mutex> lock(state_->mutex);
-    state_->cv.wait(lock, [this] { return state_->result.has_value(); });
+    common::MutexLock lock(state_->mutex);
+    while (!state_->result.has_value()) state_->cv.wait(state_->mutex);
   }
   /// Blocks until the job completed, then returns its result. The
-  /// reference stays valid as long as any handle to the job exists.
+  /// reference stays valid as long as any handle to the job exists (the
+  /// completed value is immutable, so the unlocked read is safe — see
+  /// JobState::completed_value).
   const T& get() const {
     wait();
-    return *state_->result;
+    return state_->completed_value();
   }
 
  private:

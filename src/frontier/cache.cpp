@@ -78,7 +78,7 @@ std::string canonical_fingerprint(const api::SolveRequest& request) {
 
 std::uint64_t InstanceInterner::intern(const api::InstanceDigest& digest,
                                        std::string bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto& bucket = by_digest_[digest.lo];
   for (std::uint64_t id : bucket) {
     // Exact-equality fallback: the digest narrows the candidates, the
@@ -100,35 +100,35 @@ std::uint64_t InstanceInterner::intern(const api::InstanceDigest& digest,
 }
 
 std::size_t InstanceInterner::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return by_id_.size();
 }
 
 std::uint64_t InstanceInterner::epoch() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return epoch_;
 }
 
 bool InstanceInterner::live(std::uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return id_epoch(id) == epoch_ && by_id_.find(id) != by_id_.end();
 }
 
 std::optional<InstanceInterner::BlobRef> InstanceInterner::find(std::uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = by_id_.find(id);
   if (it == by_id_.end()) return std::nullopt;
   return BlobRef{it->second.digest, it->second.bytes};
 }
 
 void InstanceInterner::add_ref(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = by_id_.find(id);
   if (it != by_id_.end()) ++it->second.refs;
 }
 
 void InstanceInterner::release(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = by_id_.find(id);
   if (it == by_id_.end() || it->second.refs == 0) return;
   if (--it->second.refs > 0) return;
@@ -151,7 +151,7 @@ void InstanceInterner::release(std::uint64_t id) {
 }
 
 void InstanceInterner::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   by_id_.clear();
   by_digest_.clear();
   // New epoch, fresh sequence: a context interned before this clear keeps
@@ -189,7 +189,7 @@ SolveCache::SolveCache(std::size_t shards, std::size_t max_entries,
 }
 
 common::Status SolveCache::attach_store(store::SolveStore* store) {
-  store_ = store;
+  store_.store(store, std::memory_order_release);
   if (store == nullptr || !store->options().load_on_open) return common::Status::ok();
   // Pre-populate: every live store entry becomes a resident cache entry
   // (marked persisted, so it can never be spilled back). Entries beyond
@@ -208,7 +208,7 @@ common::Status SolveCache::attach_store(store::SolveStore* store) {
     const std::uint64_t instance = instance_it->second;
     auto [solver_it, fresh_solver] = solver_memo.emplace(solver, 0);
     if (fresh_solver) {
-      std::lock_guard<std::mutex> lock(solver_mutex_);
+      common::MutexLock lock(solver_mutex_);
       auto [it, inserted] = solver_ids_.emplace(solver, solver_ids_.size() + 1);
       if (inserted) solver_names_.push_back(solver);
       solver_it->second = it->second;
@@ -218,7 +218,7 @@ common::Status SolveCache::attach_store(store::SolveStore* store) {
     Shard& shard = shards_[key.hash & mask_];
     std::vector<Spill> spills;
     {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      common::MutexLock lock(shard.mutex);
       if (shard.index.find(key) != shard.index.end()) return;
       insert_locked(shard, key, point.kind, result, /*persisted=*/true, spills);
     }
@@ -233,7 +233,7 @@ SolveCache::InstanceContext SolveCache::context_for(const api::SolveRequest& req
   InstanceContext context;
   context.instance = instances_.intern(digest, std::move(bytes));
   {
-    std::lock_guard<std::mutex> lock(solver_mutex_);
+    common::MutexLock lock(solver_mutex_);
     auto [it, inserted] =
         solver_ids_.emplace(request.solver, solver_ids_.size() + 1);
     if (inserted) solver_names_.push_back(request.solver);
@@ -243,7 +243,7 @@ SolveCache::InstanceContext SolveCache::context_for(const api::SolveRequest& req
 }
 
 std::string SolveCache::solver_name_for(std::uint64_t id) const {
-  std::lock_guard<std::mutex> lock(solver_mutex_);
+  common::MutexLock lock(solver_mutex_);
   if (id == 0 || id > solver_names_.size()) return {};
   return solver_names_[id - 1];
 }
@@ -281,7 +281,7 @@ CacheKey SolveCache::key_for(const InstanceContext& context, api::ProblemKind ki
 
 SolveCache::CachedResult SolveCache::try_get(const CacheKey& key, bool* cache_hit) {
   Shard& shard = shards_[key.hash & mask_];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  common::MutexLock lock(shard.mutex);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     // No miss accounting here: the caller follows up with solve_shared,
@@ -313,17 +313,17 @@ SolveCache::CachedResult SolveCache::insert_locked(Shard& shard, const CacheKey&
 }
 
 void SolveCache::evict_locked(Shard& shard, std::vector<Spill>& spills) {
-  const auto over = [&] {
-    if (shard_capacity_ > 0 && shard.lru.size() > shard_capacity_) return true;
-    // The byte cap never evicts a shard's last entry: a single oversized
-    // schedule still stays cached (mirrors the >=1-entry floor above).
-    return shard_capacity_bytes_ > 0 && shard.bytes > shard_capacity_bytes_ &&
-           shard.lru.size() > 1;
-  };
-  while (over()) {
+  store::SolveStore* const store = store_.load(std::memory_order_acquire);
+  // The byte cap never evicts a shard's last entry: a single oversized
+  // schedule still stays cached (mirrors the >=1-entry floor above).
+  // Written as a plain loop condition (not a lambda) so the thread-safety
+  // analysis sees the guarded reads inside this REQUIRES(shard.mutex) body.
+  while ((shard_capacity_ > 0 && shard.lru.size() > shard_capacity_) ||
+         (shard_capacity_bytes_ > 0 && shard.bytes > shard_capacity_bytes_ &&
+          shard.lru.size() > 1)) {
     Entry& victim = shard.lru.back();
-    if (!victim.persisted && store_ != nullptr && !store_->options().read_only &&
-        store_->options().spill_on_evict) {
+    if (!victim.persisted && store != nullptr && !store->options().read_only &&
+        store->options().spill_on_evict) {
       // Spill instead of drop: the work was paid for, keep it on disk.
       // Only *capture* here — the blob bytes are snapshotted before the
       // release below can reclaim them, and the file write happens in
@@ -343,9 +343,10 @@ void SolveCache::evict_locked(Shard& shard, std::vector<Spill>& spills) {
 }
 
 void SolveCache::spill_now(const std::vector<Spill>& spills) {
+  store::SolveStore* const store = store_.load(std::memory_order_acquire);
+  if (store == nullptr) return;
   for (const Spill& spill : spills) {
-    if (store_ == nullptr) return;
-    if (store_
+    if (store
             ->put(spill.digest, *spill.bytes, solver_name_for(spill.key.solver),
                   point_key_from(spill.key, spill.kind), spill.result)
             .is_ok()) {
@@ -360,7 +361,7 @@ SolveCache::CachedResult SolveCache::solve_shared(const api::SolveRequest& reque
   // shard map — a probe never hashes twice.
   Shard& shard = shards_[key.hash & mask_];
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    common::MutexLock lock(shard.mutex);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -371,6 +372,10 @@ SolveCache::CachedResult SolveCache::solve_shared(const api::SolveRequest& reque
     }
   }
   const auto kind = static_cast<std::uint8_t>(request.kind());
+  // One snapshot of the attached store for the whole miss path: a
+  // concurrent attach_store must not hand half of this call one store
+  // and half another.
+  store::SolveStore* const store = store_.load(std::memory_order_acquire);
 
   // In-memory miss: another process may already have paid for this point.
   // The store speaks (digest, exact bytes); normally both come straight
@@ -381,7 +386,7 @@ SolveCache::CachedResult SolveCache::solve_shared(const api::SolveRequest& reque
   // context's life.
   api::InstanceDigest digest;
   std::shared_ptr<const std::string> instance_bytes;
-  if (store_ != nullptr) {
+  if (store != nullptr) {
     if (auto blob = instances_.find(key.instance)) {
       digest = blob->digest;
       instance_bytes = std::move(blob->bytes);
@@ -391,14 +396,14 @@ SolveCache::CachedResult SolveCache::solve_shared(const api::SolveRequest& reque
       digest = api::digest_bytes(*recomputed);
       instance_bytes = std::move(recomputed);
     }
-    if (CachedResult stored = store_->find(digest, *instance_bytes, request.solver,
-                                           point_key_from(key, kind))) {
+    if (CachedResult stored = store->find(digest, *instance_bytes, request.solver,
+                                          point_key_from(key, kind))) {
       store_hits_.fetch_add(1, std::memory_order_relaxed);
       if (cache_hit != nullptr) *cache_hit = true;
       std::vector<Spill> spills;
       CachedResult out;
       {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        common::MutexLock lock(shard.mutex);
         auto it = shard.index.find(key);
         if (it != shard.index.end()) {
           out = it->second->result;
@@ -420,12 +425,12 @@ SolveCache::CachedResult SolveCache::solve_shared(const api::SolveRequest& reque
   misses_.fetch_add(1, std::memory_order_relaxed);
   if (cache_hit != nullptr) *cache_hit = false;
   CachedResult result;
-  if (store_ != nullptr && store_->options().warm_start &&
+  if (store != nullptr && store->options().warm_start &&
       request.kind() == api::ProblemKind::kBiCrit &&
       request.options.start_durations.empty()) {
     api::SolveRequest seeded = request;
     if (CachedResult neighbor =
-            store_->nearest_schedule(digest, *instance_bytes, request.deadline())) {
+            store->nearest_schedule(digest, *instance_bytes, request.deadline())) {
       if (neighbor->is_ok() &&
           neighbor->value().schedule.num_tasks() == request.dag().num_tasks()) {
         seeded.options.start_durations =
@@ -440,9 +445,9 @@ SolveCache::CachedResult SolveCache::solve_shared(const api::SolveRequest& reque
   }
 
   bool persisted = false;
-  if (store_ != nullptr && !store_->options().read_only &&
-      store_->options().write_through) {
-    persisted = store_
+  if (store != nullptr && !store->options().read_only &&
+      store->options().write_through) {
+    persisted = store
                     ->put(digest, *instance_bytes, request.solver,
                           point_key_from(key, kind), result)
                     .is_ok();
@@ -451,7 +456,7 @@ SolveCache::CachedResult SolveCache::solve_shared(const api::SolveRequest& reque
   std::vector<Spill> spills;
   CachedResult out;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    common::MutexLock lock(shard.mutex);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       // A racing miss stored first; return that entry (bit-identical to
@@ -487,7 +492,7 @@ CacheStats SolveCache::stats() const {
   s.warm_seeds = warm_seeds_.load(std::memory_order_relaxed);
   s.interned_blobs = instances_.size();
   for (std::size_t i = 0; i <= mask_; ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i].mutex);
+    common::MutexLock lock(shards_[i].mutex);
     s.entries += shards_[i].index.size();
     s.bytes += shards_[i].bytes;
   }
@@ -497,7 +502,7 @@ CacheStats SolveCache::stats() const {
 std::size_t SolveCache::size() const {
   std::size_t total = 0;
   for (std::size_t i = 0; i <= mask_; ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i].mutex);
+    common::MutexLock lock(shards_[i].mutex);
     total += shards_[i].index.size();
   }
   return total;
@@ -505,7 +510,7 @@ std::size_t SolveCache::size() const {
 
 void SolveCache::clear() {
   for (std::size_t i = 0; i <= mask_; ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i].mutex);
+    common::MutexLock lock(shards_[i].mutex);
     shards_[i].index.clear();
     shards_[i].lru.clear();
     shards_[i].bytes = 0;

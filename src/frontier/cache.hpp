@@ -55,7 +55,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -65,7 +64,9 @@
 #include "api/digest.hpp"
 #include "api/registry.hpp"
 #include "api/solver.hpp"
+#include "common/mutex.hpp"
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace easched::store {
 class SolveStore;
@@ -164,12 +165,14 @@ class InstanceInterner {
     std::size_t refs = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, Blob> by_id_;
+  mutable common::Mutex mutex_;
+  std::unordered_map<std::uint64_t, Blob> by_id_ EASCHED_GUARDED_BY(mutex_);
   /// digest.lo -> candidate ids; the full digest and bytes disambiguate.
-  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> by_digest_;
-  std::uint64_t epoch_ = 0;
-  std::uint64_t next_seq_ = 1;  ///< per-epoch; id 0 stays invalid
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> by_digest_
+      EASCHED_GUARDED_BY(mutex_);
+  std::uint64_t epoch_ EASCHED_GUARDED_BY(mutex_) = 0;
+  /// Per-epoch; id 0 stays invalid.
+  std::uint64_t next_seq_ EASCHED_GUARDED_BY(mutex_) = 1;
 };
 
 /// POD per-point cache key. `instance` and `solver` are interner ids
@@ -236,7 +239,9 @@ class SolveCache {
   /// (write_through / spill_on_evict / warm_start) apply to subsequent
   /// solve_shared traffic; see store/store.hpp.
   common::Status attach_store(store::SolveStore* store);
-  store::SolveStore* store() const noexcept { return store_; }
+  store::SolveStore* store() const noexcept {
+    return store_.load(std::memory_order_acquire);
+  }
 
   /// Interns the instance bytes and the solver name of `request` —
   /// O(instance size), once per sweep, never per probe.
@@ -311,11 +316,12 @@ class SolveCache {
   };
 
   struct Shard {
-    mutable std::mutex mutex;
+    mutable common::Mutex mutex;
     /// Front = most recently used; eviction pops the back.
-    std::list<Entry> lru;
-    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index;
-    std::size_t bytes = 0;  ///< sum of entry footprints
+    std::list<Entry> lru EASCHED_GUARDED_BY(mutex);
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index
+        EASCHED_GUARDED_BY(mutex);
+    std::size_t bytes EASCHED_GUARDED_BY(mutex) = 0;  ///< sum of entry footprints
   };
 
   /// An evicted entry waiting to be persisted. Everything the append
@@ -338,10 +344,12 @@ class SolveCache {
   /// stalls concurrent lookups on file I/O.
   CachedResult insert_locked(Shard& shard, const CacheKey& key, std::uint8_t kind,
                              CachedResult result, bool persisted,
-                             std::vector<Spill>& spills);
+                             std::vector<Spill>& spills)
+      EASCHED_REQUIRES(shard.mutex);
   /// Evicts LRU entries while either cap is exceeded, collecting
   /// never-persisted victims into `spills` when the store asks for that.
-  void evict_locked(Shard& shard, std::vector<Spill>& spills);
+  void evict_locked(Shard& shard, std::vector<Spill>& spills)
+      EASCHED_REQUIRES(shard.mutex);
   /// Appends collected victims to the store. Takes no cache locks; call
   /// with none held.
   void spill_now(const std::vector<Spill>& spills);
@@ -355,10 +363,16 @@ class SolveCache {
   std::size_t shard_capacity_bytes_ = 0;  ///< 0 = unbounded
   std::unique_ptr<Shard[]> shards_;
   InstanceInterner instances_;
-  store::SolveStore* store_ = nullptr;
-  mutable std::mutex solver_mutex_;
-  std::unordered_map<std::string, std::uint64_t> solver_ids_;
-  std::vector<std::string> solver_names_;  ///< id - 1 -> name
+  /// Atomic, not mutex-guarded: attach_store may legitimately race live
+  /// solve traffic (a serving tier warming its store late), and readers
+  /// snapshot the pointer once per operation. The store itself is
+  /// internally synchronised; release/acquire orders its construction.
+  std::atomic<store::SolveStore*> store_{nullptr};
+  mutable common::Mutex solver_mutex_;
+  std::unordered_map<std::string, std::uint64_t> solver_ids_
+      EASCHED_GUARDED_BY(solver_mutex_);
+  /// id - 1 -> name.
+  std::vector<std::string> solver_names_ EASCHED_GUARDED_BY(solver_mutex_);
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
   std::atomic<std::size_t> store_hits_{0};

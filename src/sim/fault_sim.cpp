@@ -24,6 +24,7 @@ SimReport simulate(const graph::Dag& dag, const sched::Schedule& schedule,
     const double w = dag.weight(t);
     EASCHED_CHECK_MSG(!schedule.at(t).executions.empty(), "task without executions");
     double task_fail = 1.0;
+    execs[static_cast<std::size_t>(t)].reserve(schedule.at(t).executions.size());
     for (const auto& e : schedule.at(t).executions) {
       ExecInfo info;
       info.fail = std::clamp(e.failure_prob(w, rel), 0.0, 1.0);

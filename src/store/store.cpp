@@ -40,11 +40,16 @@ common::Result<SolveStore> SolveStore::open(StoreOptions options) {
   // Load every intact record. Decode failures are tolerated record by
   // record (a record that passed its CRC but does not decode was written
   // by a future format and is skipped); torn tails were already handled
-  // by the log layer.
-  common::Result<PollReport> polled =
-      st.log_.poll([&st](RecordType type, const std::string& payload) {
-        st.consume_record(type, payload);
-      });
+  // by the log layer. The handle is not published yet, but the load
+  // takes the lock anyway: consume_record requires it, and an
+  // uncontended acquire costs nothing.
+  common::Result<PollReport> polled = [&st] {
+    common::MutexLock lock(*st.mutex_);
+    return st.log_.poll([&st](RecordType type, const std::string& payload)
+                            EASCHED_NO_THREAD_SAFETY_ANALYSIS {
+                              st.consume_record(type, payload);
+                            });
+  }();
   if (!polled.is_ok()) return polled.status();
   return st;
 }
@@ -104,7 +109,7 @@ common::Status SolveStore::put(const api::InstanceDigest& digest,
     return common::Status::unsupported("solve-store '" + options_.path +
                                        "' is open read-only");
   }
-  std::lock_guard<std::mutex> lock(*mutex_);
+  common::MutexLock lock(*mutex_);
   std::uint64_t blob_id = find_blob_id(digest, instance_bytes);
   if (blob_id == 0) {
     blob_id = next_blob_id_;
@@ -129,7 +134,7 @@ SolveStore::StoredResult SolveStore::find(const api::InstanceDigest& digest,
                                           const std::string& instance_bytes,
                                           const std::string& solver,
                                           const PointKey& point) {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  common::MutexLock lock(*mutex_);
   const std::uint64_t blob_id = find_blob_id(digest, instance_bytes);
   if (blob_id == 0) return nullptr;
   auto it = entries_.find(EntryKey{blob_id, solver, point});
@@ -142,7 +147,7 @@ SolveStore::StoredResult SolveStore::nearest_schedule(const api::InstanceDigest&
                                                       const std::string& instance_bytes,
                                                       double deadline,
                                                       double* neighbor_deadline) {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  common::MutexLock lock(*mutex_);
   const std::uint64_t blob_id = find_blob_id(digest, instance_bytes);
   if (blob_id == 0) return nullptr;
   auto per_blob = schedules_.find(blob_id);
@@ -164,7 +169,7 @@ SolveStore::StoredResult SolveStore::nearest_schedule(const api::InstanceDigest&
 }
 
 common::Status SolveStore::refresh() {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  common::MutexLock lock(*mutex_);
   if (!options_.read_only) return common::Status::ok();  // writers are current
   // Buffer before applying: when poll() detects the file was replaced
   // (compaction) it re-delivers the *whole* new log, which must land in
@@ -203,7 +208,7 @@ void SolveStore::for_each(
   };
   std::vector<Row> snapshot;
   {
-    std::lock_guard<std::mutex> lock(*mutex_);
+    common::MutexLock lock(*mutex_);
     snapshot.reserve(entries_.size());
     for (const auto& [key, result] : entries_) {
       auto blob = blobs_.find(key.blob_id);
@@ -221,7 +226,7 @@ void SolveStore::for_each(
 }
 
 StoreStats SolveStore::stats() const {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  common::MutexLock lock(*mutex_);
   StoreStats s;
   s.blobs = blobs_.size();
   s.entries = entries_.size();
@@ -234,7 +239,7 @@ StoreStats SolveStore::stats() const {
 }
 
 common::Status SolveStore::sync() {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  common::MutexLock lock(*mutex_);
   return log_.sync();
 }
 
@@ -316,6 +321,9 @@ common::Result<CompactionReport> SolveStore::compact(const std::string& path) {
   common::Result<SolveStore> loaded = SolveStore::open(std::move(options));
   if (!loaded.is_ok()) return loaded.status();
   SolveStore& st = loaded.value();
+  // Sole owner of a just-opened handle, but the guarded indexes are read
+  // below — hold the (uncontended) lock for the rewrite.
+  common::MutexLock lock(*st.mutex_);
 
   CompactionReport report;
   report.bytes_in = st.log_.size_bytes();

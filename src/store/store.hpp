@@ -35,14 +35,15 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "api/digest.hpp"
 #include "api/solver.hpp"
+#include "common/mutex.hpp"
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 #include "store/log.hpp"
 #include "store/serialize.hpp"
 
@@ -169,26 +170,35 @@ class SolveStore {
   };
 
   /// Applies one decoded record to the in-memory index (lock held).
-  void apply_blob(BlobRecord blob);
-  void apply_entry(EntryRecord entry);
-  void consume_record(RecordType type, const std::string& payload);
+  void apply_blob(BlobRecord blob) EASCHED_REQUIRES(*mutex_);
+  void apply_entry(EntryRecord entry) EASCHED_REQUIRES(*mutex_);
+  void consume_record(RecordType type, const std::string& payload)
+      EASCHED_REQUIRES(*mutex_);
   /// Blob id for (digest, bytes), or 0 when the pair is not interned.
   std::uint64_t find_blob_id(const api::InstanceDigest& digest,
-                             const std::string& bytes) const;
+                             const std::string& bytes) const EASCHED_REQUIRES(*mutex_);
 
-  StoreOptions options_;
-  RecordLog log_;
+  StoreOptions options_;  ///< immutable after open(); read lock-free
 
-  mutable std::unique_ptr<std::mutex> mutex_ = std::make_unique<std::mutex>();
-  std::unordered_map<std::uint64_t, Blob> blobs_;                 ///< id -> blob
-  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> blob_ids_;  ///< digest.lo -> ids
-  std::unordered_map<EntryKey, StoredResult, EntryKeyHash> entries_;
+  /// Heap-allocated so SolveStore stays movable (a Mutex is not); every
+  /// index below plus the log is guarded by it. Lock order: a SolveCache
+  /// shard mutex may be held around put()/find() only via the documented
+  /// shard -> store direction (see common/mutex.hpp).
+  mutable std::unique_ptr<common::Mutex> mutex_ = std::make_unique<common::Mutex>();
+  RecordLog log_ EASCHED_GUARDED_BY(*mutex_);
+  std::unordered_map<std::uint64_t, Blob> blobs_
+      EASCHED_GUARDED_BY(*mutex_);  ///< id -> blob
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> blob_ids_
+      EASCHED_GUARDED_BY(*mutex_);  ///< digest.lo -> ids
+  std::unordered_map<EntryKey, StoredResult, EntryKeyHash> entries_
+      EASCHED_GUARDED_BY(*mutex_);
   /// Per-blob deadline -> successful BI-CRIT result, for nearest_schedule.
-  std::unordered_map<std::uint64_t, std::map<double, StoredResult>> schedules_;
-  std::uint64_t next_blob_id_ = 1;
-  std::size_t superseded_ = 0;
-  std::size_t appended_ = 0;
-  mutable std::size_t served_ = 0;
+  std::unordered_map<std::uint64_t, std::map<double, StoredResult>> schedules_
+      EASCHED_GUARDED_BY(*mutex_);
+  std::uint64_t next_blob_id_ EASCHED_GUARDED_BY(*mutex_) = 1;
+  std::size_t superseded_ EASCHED_GUARDED_BY(*mutex_) = 0;
+  std::size_t appended_ EASCHED_GUARDED_BY(*mutex_) = 0;
+  mutable std::size_t served_ EASCHED_GUARDED_BY(*mutex_) = 0;
 };
 
 }  // namespace easched::store

@@ -21,6 +21,7 @@ common::Result<ForkSolution> solve_fork_tricrit(const graph::Dag& dag, double de
   const graph::TaskId src = dag.sources().front();
   const double w0 = dag.weight(src);
   std::vector<graph::TaskId> children;
+  children.reserve(static_cast<std::size_t>(dag.num_tasks() - 1));
   for (graph::TaskId t = 0; t < dag.num_tasks(); ++t) {
     if (t != src) children.push_back(t);
   }

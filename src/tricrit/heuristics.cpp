@@ -120,6 +120,7 @@ common::Result<TriCritSolution> continuous_with_modes(const Dag& dag,
     objective.add_term(n + t, ew * ew * ew);
   }
   std::vector<opt::LinearConstraint> cons;
+  cons.reserve(static_cast<std::size_t>(aug.num_edges() + 4 * n));
   for (TaskId u = 0; u < n; ++u) {
     for (TaskId v : aug.successors(u)) {
       cons.push_back(opt::LinearConstraint{{{u, 1.0}, {n + u, 1.0}, {v, -1.0}}, 0.0});
@@ -251,6 +252,7 @@ common::Result<TriCritSolution> heuristic_slack_reexec(const Dag& dag,
     const auto ta = graph::time_analysis(aug, durations, deadline);
     // Rank not-yet-re-executed tasks by current slack.
     std::vector<TaskId> order;
+    order.reserve(static_cast<std::size_t>(n));
     for (TaskId t = 0; t < n; ++t) {
       if (!modes[static_cast<std::size_t>(t)]) order.push_back(t);
     }

@@ -90,6 +90,7 @@ common::Result<ForkFtSolution> solve_fork_ft(const graph::Dag& dag, double deadl
   }
   const graph::TaskId src = dag.sources().front();
   std::vector<graph::TaskId> children;
+  children.reserve(static_cast<std::size_t>(n - 1));
   for (graph::TaskId t = 0; t < n; ++t) {
     if (t != src) children.push_back(t);
   }

@@ -89,6 +89,7 @@ common::Result<VddAdaptResult> adapt_to_vdd(const graph::Dag& dag,
     }
 
     sched::TaskDecision d;
+    d.executions.reserve(profiles.size());
     double energy = 0.0;
     for (auto& p : profiles) {
       energy += model::vdd_energy(p);
