@@ -1,0 +1,394 @@
+// E16: serving tier — warm daemon vs cold per-process solves, plus
+// admission control under a 2x-overload trace.
+//
+// The daemon exists so repeat traffic stops paying process startup and
+// cold-cache solver cost: one long-lived engine amortises its SolveCache
+// across every request. This bench drives a real serve::Server over
+// loopback TCP with serve::Client and replays a deterministic, seeded
+// arrival trace mixing three SLA classes (different inter-arrival rates),
+// then deliberately overloads a capped daemon to watch admission control
+// shed.
+//
+//  * cold    — every solve boots a fresh engine::Engine (the per-process
+//              cost a daemon-less deployment pays for each request);
+//  * warm    — the same request mix against one daemon, twice: a paced
+//              open-loop replay of the arrival trace (reports the p50/p99
+//              a client actually sees), then the mix pipelined back-to-back
+//              (closed loop) to measure the daemon's service rate without
+//              the trace's idle gaps. Acceptance: closed-loop throughput
+//              >= 5x cold solves/sec;
+//  * overload— a tight-quota, 1-worker daemon offered ~2x what it can
+//              queue: some requests MUST come back OVERLOADED (shed, not
+//              queued forever), every request gets exactly one response,
+//              and the p99 of the *accepted* requests stays bounded.
+//
+// With --json-out FILE the headline numbers are written as JSON so
+// scripts/bench_snapshot.sh can fold them into the committed baseline.
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "engine/engine.hpp"
+#include "graph/io.hpp"
+#include "sched/list_scheduler.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace easched;
+using Clock = std::chrono::steady_clock;
+
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = q * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+/// One request of the replay trace: which problem, when it arrives
+/// (offset from trace start), and its SLA class (0 = interactive, 1 =
+/// batch, 2 = background — the classes differ in arrival rate).
+struct Arrival {
+  std::size_t problem = 0;
+  double at_ms = 0.0;
+  int sla = 0;
+};
+
+/// Deterministic seeded trace: three Poisson-ish arrival streams with
+/// per-class mean inter-arrival times, merged and sorted by time.
+std::vector<Arrival> make_trace(common::Rng& rng, std::size_t problems,
+                                int per_class, const double mean_gap_ms[3]) {
+  std::vector<Arrival> trace;
+  for (int sla = 0; sla < 3; ++sla) {
+    double t = 0.0;
+    for (int i = 0; i < per_class; ++i) {
+      t += rng.exponential(1.0 / mean_gap_ms[sla]);
+      trace.push_back({rng.below(problems), t, sla});
+    }
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const Arrival& a, const Arrival& b) { return a.at_ms < b.at_ms; });
+  return trace;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("E16 serve load",
+                "multi-tenant daemon: warm shared engine vs per-process solves",
+                "warm daemon must sustain >= 5x the cold per-process solve rate;\n"
+                "a 2x-overload trace against a capped daemon must shed with\n"
+                "OVERLOADED while the accepted requests' p99 stays bounded");
+
+  // 32-task DAGs: big enough that an uncached solve visibly outweighs a
+  // TCP round trip, so the cold/warm gap measures the cache, not syscalls.
+  const auto corpus = bench::seeded_corpus(argc, argv, 16, /*tasks=*/32,
+                                           /*processors=*/3,
+                                           /*instances_per_family=*/2);
+  const auto speeds = model::SpeedModel::continuous(0.2, 1.0);
+
+  // The problem set both phases share: one BI-CRIT instance per corpus
+  // entry, with its DAG pre-serialised to the wire text format.
+  struct WireProblem {
+    std::string dag_text;
+    double deadline = 0.0;
+    core::BiCritProblem local;
+  };
+  std::vector<WireProblem> problems;
+  for (const auto& inst : corpus) {
+    // The daemon rebuilds the mapping from the wire DAG with the same
+    // critical-path list scheduler — use it here too, so the deadline is
+    // feasible on both sides and cold/warm solve identical problems.
+    const auto mapping = sched::list_schedule(inst.dag, /*num_processors=*/3,
+                                              sched::PriorityPolicy::kCriticalPath);
+    const double deadline =
+        bench::fmax_makespan(inst.dag, mapping, speeds.fmax()) * 3.0;
+    problems.push_back({graph::to_text(inst.dag), deadline,
+                        core::BiCritProblem(inst.dag, mapping, speeds, deadline)});
+  }
+
+  const double mean_gap_ms[3] = {2.0, 5.0, 11.0};  // SLA0 / SLA1 / SLA2
+  common::Rng rng(bench::corpus_seed(argc, argv, 16) ^ 0x5e17eULL);
+  const auto trace =
+      make_trace(rng, problems.size(), /*per_class=*/20, mean_gap_ms);
+
+  // ---- cold: a fresh engine (fresh cache) per solve -----------------------
+  // The daemon-less deployment: each request pays engine construction and
+  // an uncached solve. Same request mix as the warm trace.
+  double cold_ms = 0.0;
+  {
+    bench::Stopwatch sw;
+    for (const auto& a : trace) {
+      auto eng = engine::Engine::create(engine::EngineConfig{});
+      if (!eng.is_ok()) {
+        std::cerr << "cannot create engine: " << eng.status().to_string() << "\n";
+        return 1;
+      }
+      const auto report =
+          eng.value().solve(problems[a.problem].local, "", api::SolveOptions{});
+      if (!report.is_ok()) {
+        std::cerr << "cold solve failed: " << report.status().to_string() << "\n";
+        return 1;
+      }
+    }
+    cold_ms = sw.ms();
+  }
+  const double cold_rps =
+      cold_ms > 0.0 ? 1000.0 * static_cast<double>(trace.size()) / cold_ms : 0.0;
+
+  // ---- warm: one daemon, the trace replayed open-loop over TCP ------------
+  double warm_ms = 0.0;       // paced replay wall (includes trace idle gaps)
+  double warm_burst_ms = 0.0; // closed-loop pipelined wall (service rate)
+  std::vector<double> latencies_ms;
+  std::vector<double> replay_latencies;
+  std::uint64_t warm_errors = 0;
+  std::string first_warm_error;
+  {
+    auto eng = engine::Engine::create(engine::EngineConfig{});
+    if (!eng.is_ok()) return 1;
+    serve::ServerConfig config;  // ephemeral port, no caps
+    auto server = serve::Server::create(&eng.value(), config);
+    if (!server.is_ok()) {
+      std::cerr << "cannot start daemon: " << server.status().to_string() << "\n";
+      return 1;
+    }
+    if (auto st = server.value().start(); !st.is_ok()) return 1;
+    auto client = serve::Client::connect("127.0.0.1", server.value().port(), "bench");
+    if (!client.is_ok()) {
+      std::cerr << "cannot connect: " << client.status().to_string() << "\n";
+      return 1;
+    }
+
+    std::map<std::uint64_t, Clock::time_point> sent_at;
+    const auto drain = [&](int timeout_ms) -> bool {
+      if (!client.value().poll(timeout_ms).is_ok()) return false;
+      const auto now = Clock::now();
+      for (auto it = sent_at.begin(); it != sent_at.end();) {
+        serve::SolveResponse response;
+        if (!client.value().take_solve(it->first, &response)) {
+          ++it;
+          continue;
+        }
+        if (!response.status.is_ok()) {
+          if (warm_errors == 0) first_warm_error = response.status.to_string();
+          ++warm_errors;
+        }
+        latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(now - it->second).count());
+        it = sent_at.erase(it);
+      }
+      return true;
+    };
+
+    bench::Stopwatch sw;
+    const auto start = Clock::now();
+    for (const auto& a : trace) {
+      // Open loop: fire each request at its trace time, draining any
+      // responses that arrived in the meantime (never blocking the trace).
+      std::this_thread::sleep_until(
+          start + std::chrono::duration<double, std::milli>(a.at_ms));
+      serve::SolveRequest request;
+      request.request_id = client.value().next_request_id();
+      request.problem.dag_text = problems[a.problem].dag_text;
+      request.problem.processors = 3;
+      request.problem.fmin = speeds.fmin();
+      request.problem.fmax = speeds.fmax();
+      request.problem.deadline = problems[a.problem].deadline;
+      sent_at[request.request_id] = Clock::now();
+      if (!client.value().send(request).is_ok()) {
+        std::cerr << "send failed mid-trace\n";
+        return 1;
+      }
+      if (!drain(0)) return 1;
+    }
+    while (!sent_at.empty()) {
+      if (!drain(50)) {
+        std::cerr << "connection died with " << sent_at.size()
+                  << " responses outstanding\n";
+        return 1;
+      }
+    }
+    warm_ms = sw.ms();
+    // Latency percentiles come from the paced replay only — the burst
+    // below deliberately saturates the daemon, so its queueing delay says
+    // nothing about what a paced client sees.
+    replay_latencies = latencies_ms;
+
+    // Closed loop: the same mix pipelined back-to-back against the
+    // now-warm daemon. No idle gaps, so wall time is pure service rate.
+    bench::Stopwatch burst_sw;
+    for (const auto& a : trace) {
+      serve::SolveRequest request;
+      request.request_id = client.value().next_request_id();
+      request.problem.dag_text = problems[a.problem].dag_text;
+      request.problem.processors = 3;
+      request.problem.fmin = speeds.fmin();
+      request.problem.fmax = speeds.fmax();
+      request.problem.deadline = problems[a.problem].deadline;
+      sent_at[request.request_id] = Clock::now();
+      if (!client.value().send(request).is_ok()) {
+        std::cerr << "send failed mid-burst\n";
+        return 1;
+      }
+    }
+    while (!sent_at.empty()) {
+      if (!drain(50)) {
+        std::cerr << "connection died with " << sent_at.size()
+                  << " burst responses outstanding\n";
+        return 1;
+      }
+    }
+    warm_burst_ms = burst_sw.ms();
+    server.value().stop();
+  }
+  const double warm_rps =
+      warm_burst_ms > 0.0
+          ? 1000.0 * static_cast<double>(trace.size()) / warm_burst_ms
+          : 0.0;
+  const double p50 = percentile(replay_latencies, 0.50);
+  const double p99 = percentile(replay_latencies, 0.99);
+  const double warm_speedup = cold_rps > 0.0 ? warm_rps / cold_rps : 0.0;
+
+  // ---- overload: tight caps, ~2x the daemon's queueable load --------------
+  // 1 worker + a short queue + a per-tenant quota, hit with a back-to-back
+  // burst of *unique* sweep requests (no cache help). Admission control
+  // must shed the excess as OVERLOADED instead of queueing unboundedly.
+  std::uint64_t overload_total = 0, overload_shed = 0, overload_ok = 0,
+                overload_other = 0;
+  std::vector<double> accepted_ms;
+  {
+    engine::EngineConfig config;
+    config.threads = 1;
+    config.max_queued_jobs = 4;
+    auto eng = engine::Engine::create(std::move(config));
+    if (!eng.is_ok()) return 1;
+    serve::ServerConfig sconfig;
+    sconfig.tenant_quota = 8;
+    auto server = serve::Server::create(&eng.value(), sconfig);
+    if (!server.is_ok()) return 1;
+    if (auto st = server.value().start(); !st.is_ok()) return 1;
+    auto client = serve::Client::connect("127.0.0.1", server.value().port(), "bench");
+    if (!client.is_ok()) return 1;
+
+    // Quota 8 on a 1-worker daemon: a burst of 16 is the 2x-overload trace.
+    const int burst = 16;
+    std::map<std::uint64_t, Clock::time_point> sent_at;
+    for (int i = 0; i < burst; ++i) {
+      const auto& p = problems[static_cast<std::size_t>(i) % problems.size()];
+      serve::SweepRequest request;
+      request.request_id = client.value().next_request_id();
+      request.problem.dag_text = p.dag_text;
+      request.problem.processors = 3;
+      request.problem.fmin = speeds.fmin();
+      request.problem.fmax = speeds.fmax();
+      // Perturb the deadline per request: every sweep is a distinct
+      // instance, so none of this burst rides the cache.
+      request.problem.deadline = p.deadline * (1.0 + 0.01 * i);
+      request.axis = serve::WireAxis::kDeadline;
+      request.lo = request.problem.deadline * 0.3;
+      request.hi = request.problem.deadline;
+      request.initial_points = 5;
+      request.max_points = 9;
+      sent_at[request.request_id] = Clock::now();
+      if (!client.value().send(request).is_ok()) return 1;
+    }
+    while (!sent_at.empty()) {
+      if (!client.value().poll(100).is_ok()) {
+        std::cerr << "overload connection died with " << sent_at.size()
+                  << " outstanding\n";
+        return 1;
+      }
+      const auto now = Clock::now();
+      for (auto it = sent_at.begin(); it != sent_at.end();) {
+        serve::SweepResponse response;
+        if (!client.value().take_sweep(it->first, &response)) {
+          ++it;
+          continue;
+        }
+        ++overload_total;
+        if (response.status.code() == common::StatusCode::kOverloaded) {
+          ++overload_shed;
+        } else if (response.status.is_ok()) {
+          ++overload_ok;
+          accepted_ms.push_back(
+              std::chrono::duration<double, std::milli>(now - it->second).count());
+        } else {
+          ++overload_other;
+        }
+        it = sent_at.erase(it);
+      }
+    }
+    server.value().stop();
+  }
+  const double shed_rate =
+      overload_total > 0
+          ? static_cast<double>(overload_shed) / static_cast<double>(overload_total)
+          : 0.0;
+  const double overload_p99 = percentile(accepted_ms, 0.99);
+
+  common::Table table({"phase", "requests", "wall_ms", "req_per_sec", "p50_ms",
+                       "p99_ms", "shed"});
+  table.add_row({"cold (engine per solve)",
+                 common::format_int(static_cast<long long>(trace.size())),
+                 common::format_fixed(cold_ms, 1), common::format_fixed(cold_rps, 1),
+                 "-", "-", "-"});
+  table.add_row({"warm daemon (paced replay)",
+                 common::format_int(static_cast<long long>(trace.size())),
+                 common::format_fixed(warm_ms, 1), "-",
+                 common::format_fixed(p50, 2), common::format_fixed(p99, 2), "0"});
+  table.add_row({"warm daemon (closed loop)",
+                 common::format_int(static_cast<long long>(trace.size())),
+                 common::format_fixed(warm_burst_ms, 1),
+                 common::format_fixed(warm_rps, 1), "-", "-", "0"});
+  table.add_row({"overload (2x burst)",
+                 common::format_int(static_cast<long long>(overload_total)),
+                 "-", "-", "-", common::format_fixed(overload_p99, 1),
+                 common::format_int(static_cast<long long>(overload_shed))});
+  table.print(std::cout);
+
+  std::cout << "\nwarm vs cold: " << common::format_ratio(warm_speedup)
+            << " (gate >= 5x)\noverload: " << overload_shed << "/" << overload_total
+            << " shed (" << common::format_pct(shed_rate) << "), " << overload_ok
+            << " served, " << overload_other
+            << " other failures; accepted p99 " << common::format_fixed(overload_p99, 1)
+            << " ms\n";
+  if (warm_errors > 0) {
+    std::cout << "warm phase: " << warm_errors
+              << " requests failed; first: " << first_warm_error << "\n";
+  }
+
+  const bool ok = warm_errors == 0 && warm_speedup >= 5.0 && overload_total == 16 &&
+                  overload_shed > 0 && overload_ok > 0 && overload_other == 0;
+
+  if (const char* path = bench::json_out_path(argc, argv)) {
+    std::ofstream out(path);
+    out << "{\n"
+        << "  \"cold_req_per_sec\": " << common::format_g(cold_rps) << ",\n"
+        << "  \"warm_req_per_sec\": " << common::format_g(warm_rps) << ",\n"
+        << "  \"warm_speedup\": " << common::format_g(warm_speedup) << ",\n"
+        << "  \"warm_p50_ms\": " << common::format_g(p50) << ",\n"
+        << "  \"warm_p99_ms\": " << common::format_g(p99) << ",\n"
+        << "  \"overload_requests\": " << overload_total << ",\n"
+        << "  \"overload_shed\": " << overload_shed << ",\n"
+        << "  \"overload_shed_rate\": " << common::format_g(shed_rate) << ",\n"
+        << "  \"overload_accepted_p99_ms\": " << common::format_g(overload_p99) << "\n"
+        << "}\n";
+  }
+
+  std::cout << "\nShapes: the warm daemon rides the shared SolveCache to >= 5x\n"
+               "cold throughput; overload sheds fast with OVERLOADED instead of\n"
+               "queueing, so the accepted requests' tail stays bounded.\n";
+  return ok ? 0 : 1;
+}

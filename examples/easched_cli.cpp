@@ -35,6 +35,21 @@
 //     Offline maintenance of a persistent solve-store log: record/byte
 //     counts (stat), a full CRC + payload decode scan (verify), or a
 //     rewrite dropping superseded and orphaned records (compact).
+//   easched_cli serve --listen host:port [options]
+//     Long-lived scheduling daemon (serve/server.hpp): accepts solve,
+//     sweep and stat requests over the serve protocol, multiplexed onto
+//     one shared engine. Admission control via --max-queued (global
+//     engine queue cap; over-cap submits shed with OVERLOADED) and
+//     --tenant-quota (per-tenant in-flight cap). Every engine flag
+//     (--threads, --store, --warm-start, cache caps) applies — a daemon
+//     with a store gives every connecting client cross-process warm
+//     starts. SIGINT/SIGTERM shut it down cleanly.
+//   easched_cli remote <host:port> solve <dag-file> --deadline D [options]
+//   easched_cli remote <host:port> sweep <dag-file> --dmin A --dmax B [options]
+//   easched_cli remote <host:port> stat
+//     Client side: ship the problem to a daemon (--tenant picks the
+//     isolation namespace; defaults to "default") and print the response
+//     in the same shape as the local subcommands.
 //
 // Persistence options (frontier mode):
 //   --store FILE          back the SolveCache with an on-disk log: entries
@@ -68,11 +83,12 @@
 // Examples:
 //   ./examples/easched_cli pipeline.dag --deadline 12 --frel 0.8 --gantt
 //   ./examples/easched_cli frontier pipeline.dag --dmin 8 --dmax 40 --csv
-//   ./examples/easched_cli frontier pipeline.dag --deadline 30 \
+//   ./examples/easched_cli frontier pipeline.dag --deadline 30
 //       --rmin 0.4 --rmax 0.95 --solvers best-of,heuristic-A
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
@@ -96,6 +112,9 @@
 #include "graph/io.hpp"
 #include "sched/gantt.hpp"
 #include "sched/list_scheduler.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "store/store.hpp"
 
 namespace {
@@ -127,6 +146,10 @@ int usage(const char* argv0) {
       << "       " << argv0
       << " frontier <dag-file> --deadline D --rmin A --rmax B [options]\n"
       << "       " << argv0 << " store <stat|verify|compact> <log-file>\n"
+      << "       " << argv0 << " serve --listen host:port [--max-queued N]\n"
+      << "         [--tenant-quota N] [--job-deadline-ms MS] [engine options]\n"
+      << "       " << argv0
+      << " remote <host:port> <solve|sweep|stat> [<dag-file>] [--tenant T]\n"
       << "  [--processors P] [--fmin F] [--fmax F] [--levels f1,f2,...] [--vdd]\n"
       << "  [--frel F] [--lambda0 L] [--dexp D] [--solver NAME] [--solvers n1,n2]\n"
       << "  [--slack S] [--threads N] [--points N] [--max-points M]\n"
@@ -170,6 +193,12 @@ struct CliArgs {
   std::string store_mode = "both";  // both | write-through | load-on-open
   std::string cache_stats_out;
   api::SolveOptions options;
+  // serve / remote mode
+  std::string listen;              // host:port the daemon binds
+  std::string tenant = "default";  // remote: cache/store isolation namespace
+  std::size_t max_queued = 0;      // engine admission cap (0 = unbounded)
+  std::size_t tenant_quota = 0;    // per-tenant in-flight cap (0 = unbounded)
+  double job_deadline_ms = 0.0;    // per-request wall-clock deadline
 };
 
 /// Parses argv[first..); returns false (after printing) on a bad flag.
@@ -253,6 +282,26 @@ bool parse_args(int argc, char** argv, int first, CliArgs& args) {
       args.warm_start = true;
     } else if (arg == "--cache-stats-out") {
       args.cache_stats_out = next();
+    } else if (arg == "--listen") {
+      args.listen = next();
+    } else if (arg == "--tenant") {
+      args.tenant = next();
+    } else if (arg == "--max-queued") {
+      const long long cap = std::stoll(next());
+      if (cap < 0) {
+        std::cerr << "--max-queued must be >= 0\n";
+        return false;
+      }
+      args.max_queued = static_cast<std::size_t>(cap);
+    } else if (arg == "--tenant-quota") {
+      const long long cap = std::stoll(next());
+      if (cap < 0) {
+        std::cerr << "--tenant-quota must be >= 0\n";
+        return false;
+      }
+      args.tenant_quota = static_cast<std::size_t>(cap);
+    } else if (arg == "--job-deadline-ms") {
+      args.job_deadline_ms = std::stod(next());
     } else if (arg == "--resweep") {
       args.resweep = true;
     } else if (arg == "--jobs") {
@@ -302,6 +351,7 @@ common::Result<engine::Engine> make_engine(const CliArgs& args) {
   config.threads = args.threads;
   config.cache_max_entries = args.cache_cap;
   config.cache_max_bytes = args.cache_cap_bytes;
+  config.max_queued_jobs = args.max_queued;
   if (!args.store_path.empty()) {
     config.store_path = args.store_path;
     config.store_mode = args.store_mode == "write-through"
@@ -828,12 +878,266 @@ int run_solve(CliArgs& args) {
   return 0;
 }
 
+// ---- serve / remote -------------------------------------------------------
+
+/// Splits "host:port"; false on a malformed spec.
+bool parse_host_port(const std::string& spec, std::string& host, int& port) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) return false;
+  host = spec.substr(0, colon);
+  try {
+    port = std::stoi(spec.substr(colon + 1));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return port >= 0 && port <= 65535;
+}
+
+serve::Server* g_server = nullptr;
+
+extern "C" void handle_stop_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+int run_serve(CliArgs& args) {
+  if (args.listen.empty()) {
+    std::cerr << "serve mode needs --listen host:port\n";
+    return 2;
+  }
+  serve::ServerConfig config;
+  if (!parse_host_port(args.listen, config.host, config.port)) {
+    std::cerr << "--listen: expected host:port, got '" << args.listen << "'\n";
+    return 2;
+  }
+  config.tenant_quota = args.tenant_quota;
+  config.default_job_deadline_ms = args.job_deadline_ms;
+
+  auto created = make_engine(args);
+  if (!created.is_ok()) {
+    std::cerr << "cannot create engine: " << created.status().to_string() << "\n";
+    return 1;
+  }
+  engine::Engine& eng = created.value();
+
+  auto server = serve::Server::create(&eng, config);
+  if (!server.is_ok()) {
+    std::cerr << "cannot start daemon: " << server.status().to_string() << "\n";
+    return 1;
+  }
+  std::cout << "easched daemon listening on " << config.host << ":"
+            << server.value().port() << " (" << eng.threads() << " worker threads"
+            << (args.max_queued > 0
+                    ? ", queue cap " + std::to_string(args.max_queued)
+                    : std::string(", unbounded queue"))
+            << (args.tenant_quota > 0
+                    ? ", tenant quota " + std::to_string(args.tenant_quota)
+                    : std::string())
+            << ")\n"
+            << std::flush;
+
+  g_server = &server.value();
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  const common::Status status = server.value().run();
+  g_server = nullptr;
+  server.value().stop();
+
+  const auto stats = server.value().stats();
+  std::cout << "daemon stopped: " << stats.connections << " connections, "
+            << stats.requests << " requests (" << stats.accepted << " accepted, "
+            << stats.shed << " shed, " << stats.completed << " completed), "
+            << stats.protocol_errors << " protocol errors\n";
+  if (!status.is_ok()) {
+    std::cerr << "serve loop failed: " << status.to_string() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+/// Builds the wire problem from the shared CLI flags + a dag file's text.
+serve::ProblemSpec make_problem_spec(const CliArgs& args, std::string dag_text,
+                                     double deadline) {
+  serve::ProblemSpec spec;
+  spec.dag_text = std::move(dag_text);
+  spec.processors = args.processors;
+  if (args.levels) {
+    spec.speed_kind = args.vdd ? model::SpeedModelKind::kVddHopping
+                               : model::SpeedModelKind::kDiscrete;
+    spec.levels = *args.levels;
+  } else {
+    spec.speed_kind = model::SpeedModelKind::kContinuous;
+    spec.fmin = args.fmin;
+    spec.fmax = args.fmax;
+  }
+  spec.deadline = deadline;
+  if (args.frel) {
+    spec.tricrit = true;
+    spec.lambda0 = args.lambda0;
+    spec.dexp = args.dexp;
+    spec.frel = *args.frel;
+  }
+  return spec;
+}
+
+common::Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return common::Status::not_found("cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+int run_remote(const std::string& endpoint, const std::string& op, CliArgs& args) {
+  std::string host;
+  int port = 0;
+  if (!parse_host_port(endpoint, host, port)) {
+    std::cerr << "remote: expected host:port, got '" << endpoint << "'\n";
+    return 2;
+  }
+  auto connected = serve::Client::connect(host, port, args.tenant);
+  if (!connected.is_ok()) {
+    std::cerr << "cannot connect: " << connected.status().to_string() << "\n";
+    return 1;
+  }
+  serve::Client& client = connected.value();
+
+  if (op == "stat") {
+    auto stat = client.stat();
+    if (!stat.is_ok()) {
+      std::cerr << "stat failed: " << stat.status().to_string() << "\n";
+      return 1;
+    }
+    const auto& s = stat.value();
+    std::cout << "daemon: " << s.threads << " threads, " << s.queued_jobs
+              << " queued jobs\ncache: " << s.cache_entries << " entries, "
+              << s.cache_hits << " hits + " << s.store_hits << " store hits / "
+              << s.cache_misses << " misses\n";
+    if (s.has_store) {
+      std::cout << "store: " << s.store_entries << " entries / " << s.store_blobs
+                << " instances (" << s.store_bytes << " bytes)\n";
+    }
+    std::cout << "tenant '" << args.tenant << "': " << s.tenant_accepted
+              << " accepted, " << s.tenant_shed << " shed, " << s.tenant_completed
+              << " completed, " << s.tenant_in_flight << " in flight\n";
+    return 0;
+  }
+
+  if (args.dag_paths.size() != 1) {
+    std::cerr << "remote " << op << " takes exactly one dag file\n";
+    return 2;
+  }
+  auto dag_text = read_file(args.dag_paths[0]);
+  if (!dag_text.is_ok()) {
+    std::cerr << dag_text.status().to_string() << "\n";
+    return 1;
+  }
+
+  if (op == "solve") {
+    if (args.deadline <= 0.0) {
+      std::cerr << "remote solve needs --deadline\n";
+      return 2;
+    }
+    const double effective_deadline = args.deadline * args.options.deadline_slack;
+    serve::SolveRequest request;
+    request.problem =
+        make_problem_spec(args, std::move(dag_text).take(), effective_deadline);
+    request.solver = args.solver_name;
+    request.job_deadline_ms = args.job_deadline_ms;
+    auto response = client.solve(std::move(request));
+    if (!response.is_ok()) {
+      std::cerr << "remote solve failed: " << response.status().to_string() << "\n";
+      return 1;
+    }
+    const auto& r = response.value();
+    if (!r.status.is_ok()) {
+      std::cerr << "solve failed: " << r.status.to_string() << "\n";
+      return 1;
+    }
+    if (r.re_executed > 0) std::cout << "re-executed tasks: " << r.re_executed << "\n";
+    std::cout << "solver: " << r.solver << "\nenergy: " << r.energy
+              << "\nmakespan: " << r.makespan << " (deadline " << effective_deadline
+              << ")\nwall time: " << r.wall_ms << " ms (daemon-side)\n";
+    return 0;
+  }
+
+  if (op == "sweep") {
+    serve::SweepRequest request;
+    const double slack = args.options.deadline_slack;
+    if (args.rmin && args.rmax) {
+      if (args.deadline <= 0.0) {
+        std::cerr << "remote sweep --rmin/--rmax needs a fixed --deadline\n";
+        return 2;
+      }
+      if (!args.frel) args.frel = *args.rmax;  // reliability sweeps are TRI-CRIT
+      request.axis = serve::WireAxis::kReliability;
+      request.lo = *args.rmin;
+      request.hi = *args.rmax;
+      request.problem = make_problem_spec(args, std::move(dag_text).take(),
+                                          args.deadline * slack);
+    } else {
+      if (!args.dmin || !args.dmax || *args.dmin <= 0.0 || *args.dmin > *args.dmax) {
+        std::cerr << "remote sweep needs --dmin/--dmax (0 < dmin <= dmax) or "
+                     "--deadline with --rmin/--rmax\n";
+        return 2;
+      }
+      request.axis = serve::WireAxis::kDeadline;
+      request.lo = *args.dmin * slack;
+      request.hi = *args.dmax * slack;
+      request.problem =
+          make_problem_spec(args, std::move(dag_text).take(), request.hi);
+    }
+    request.initial_points = args.points;
+    request.max_points = args.max_points;
+    request.solver = args.solver_name;
+    request.job_deadline_ms = args.job_deadline_ms;
+    auto response = client.sweep(std::move(request));
+    if (!response.is_ok()) {
+      std::cerr << "remote sweep failed: " << response.status().to_string() << "\n";
+      return 1;
+    }
+    const auto& r = response.value();
+    if (!r.status.is_ok()) {
+      std::cerr << "sweep failed: " << r.status.to_string() << "\n";
+      return 1;
+    }
+    common::Table table({"constraint", "energy", "makespan", "solver", "exact"});
+    for (const auto& p : r.points) {
+      table.add_row({common::format_g(p.constraint), common::format_g(p.energy),
+                     common::format_g(p.makespan), p.solver, p.exact ? "yes" : "no"});
+    }
+    table.print(std::cout);
+    std::cout << "\nfrontier: " << r.points.size() << " points (" << r.infeasible
+              << " infeasible) from " << r.evaluated << " evaluations, "
+              << r.cache_hits << " cache hits";
+    if (r.prefetched > 0) std::cout << " (" << r.prefetched << " prefetched)";
+    std::cout << "  wall: " << common::format_fixed(r.wall_ms, 1)
+              << " ms (daemon-side)\n";
+    return 0;
+  }
+
+  std::cerr << "unknown remote operation '" << op << "'\n";
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
 
   if (std::string(argv[1]) == "store") return run_store(argc, argv);
+  if (std::string(argv[1]) == "serve") {
+    CliArgs args;
+    if (!parse_args(argc, argv, 2, args)) return usage(argv[0]);
+    const int rc = run_serve(args);
+    return rc == 2 ? usage(argv[0]) : rc;
+  }
+  if (std::string(argv[1]) == "remote") {
+    if (argc < 4) return usage(argv[0]);
+    CliArgs args;
+    if (!parse_args(argc, argv, 4, args)) return usage(argv[0]);
+    const int rc = run_remote(argv[2], argv[3], args);
+    return rc == 2 ? usage(argv[0]) : rc;
+  }
   const bool frontier_mode = std::string(argv[1]) == "frontier";
   CliArgs args;
   if (!parse_args(argc, argv, frontier_mode ? 2 : 1, args)) return usage(argv[0]);

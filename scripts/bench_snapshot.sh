@@ -5,7 +5,8 @@
 # the per-metric *medians* to BENCH_frontier.json at the repo root —
 # cold/warm sweeps, perturbed-instance resweeps, the warm-lookup scaling
 # curve, restart-with-store replay, batch throughput (direct and through
-# the engine façade), and the solver-family accuracy/speed headlines.
+# the engine façade), the solver-family accuracy/speed headlines, and the
+# serving tier's warm-daemon throughput and overload-shedding numbers.
 # Future PRs diff their own snapshot against the committed numbers
 # instead of eyeballing one noisy run.
 #
@@ -23,7 +24,8 @@ runs="${1:-3}"
 build_dir="${2:-$repo_root/build-bench}"
 
 benches=(bench_frontier_sweep bench_store_restart bench_batch_throughput
-         bench_fork_closed_form bench_sp_closed_form bench_vdd_lp)
+         bench_fork_closed_form bench_sp_closed_form bench_vdd_lp
+         bench_serve_load)
 
 cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=Release \
@@ -67,6 +69,7 @@ batch = load("bench_batch_throughput")
 fork_cf = load("bench_fork_closed_form")
 sp_cf = load("bench_sp_closed_form")
 vdd = load("bench_vdd_lp")
+serve = load("bench_serve_load")
 
 def med(samples, key):
     return statistics.median(s[key] for s in samples)
@@ -124,6 +127,19 @@ snapshot = {
             "max_disc_over_cont": med(vdd, "max_disc_over_cont"),
             "sandwich_ok": all(s["sandwich_ok"] for s in vdd),
         },
+    },
+    # serving tier (bench_serve_load): warm daemon vs per-process solves,
+    # plus admission control under a 2x-overload burst
+    "serve_load": {
+        "cold_req_per_sec": med(serve, "cold_req_per_sec"),
+        "warm_req_per_sec": med(serve, "warm_req_per_sec"),
+        "warm_speedup": med(serve, "warm_speedup"),
+        "warm_p50_ms": med(serve, "warm_p50_ms"),
+        "warm_p99_ms": med(serve, "warm_p99_ms"),
+        "overload_requests": serve[0]["overload_requests"],
+        "overload_shed": med(serve, "overload_shed"),
+        "overload_shed_rate": med(serve, "overload_shed_rate"),
+        "overload_accepted_p99_ms": med(serve, "overload_accepted_p99_ms"),
     },
 }
 with open(out_path, "w") as f:

@@ -9,6 +9,7 @@
 #   release   check.sh            Release build + tier-1 suite, -Werror API
 #   asan      check.sh --sanitize Debug + ASan/UBSan over the same suite
 #   tsan      check.sh --tsan     Debug + ThreadSanitizer, incl. stress test
+#   serve     serve_smoke.sh      real daemon on an ephemeral port + load bench
 #   lint      lint.sh             clang-tidy (when present) + grep-lint
 
 set -uo pipefail
@@ -39,6 +40,7 @@ run_stage() { # name, command...
 run_stage release "$repo_root/scripts/check.sh"
 run_stage asan "$repo_root/scripts/check.sh" --sanitize
 run_stage tsan "$repo_root/scripts/check.sh" --tsan
+run_stage serve "$repo_root/scripts/serve_smoke.sh"
 run_stage lint "$repo_root/scripts/lint.sh"
 
 echo

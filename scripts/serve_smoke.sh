@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Serve-tier smoke gate: boots a real `easched_cli serve` daemon on an
+# ephemeral loopback port, drives it with the `remote` subcommand
+# (solve, sweep, stat), asserts a clean SIGTERM shutdown, then runs the
+# bench_serve_load replay trace (warm-vs-cold and overload-shedding
+# acceptance bars included). scripts/ci.sh runs this as its serve stage.
+#
+#   scripts/serve_smoke.sh [build-dir]
+#
+# Default build dir ./build-check (shared with check.sh, so a prior
+# release stage makes the builds here incremental no-ops).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-check}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "$build_dir" -j "$(nproc)" \
+  --target easched_cli bench_serve_load > /dev/null
+
+tmp_dir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  [[ -n "$daemon_pid" ]] && kill -9 "$daemon_pid" 2>/dev/null
+  rm -rf "$tmp_dir"
+}
+trap cleanup EXIT
+
+cat > "$tmp_dir/smoke.dag" <<'DAG'
+dag 4
+task 0 2 src
+task 1 3 left
+task 2 1 right
+task 3 2 sink
+edge 0 1
+edge 0 2
+edge 1 3
+edge 2 3
+DAG
+
+# ---- boot the daemon on an ephemeral port -------------------------------
+"$build_dir/easched_cli" serve --listen 127.0.0.1:0 --tenant-quota 8 \
+  > "$tmp_dir/daemon.log" 2>&1 &
+daemon_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+          "$tmp_dir/daemon.log" 2>/dev/null | head -n1)"
+  [[ -n "$port" ]] && break
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "serve_smoke: daemon died during startup:" >&2
+    cat "$tmp_dir/daemon.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ -z "$port" ]]; then
+  echo "serve_smoke: daemon never reported its port" >&2
+  cat "$tmp_dir/daemon.log" >&2
+  exit 1
+fi
+echo "serve_smoke: daemon up on 127.0.0.1:$port (pid $daemon_pid)"
+
+# ---- drive it with the remote subcommand --------------------------------
+"$build_dir/easched_cli" remote "127.0.0.1:$port" solve "$tmp_dir/smoke.dag" \
+  --deadline 14 | tee "$tmp_dir/solve.out"
+grep -q '^energy:' "$tmp_dir/solve.out"
+
+"$build_dir/easched_cli" remote "127.0.0.1:$port" sweep "$tmp_dir/smoke.dag" \
+  --dmin 8 --dmax 14 --points 5 --max-points 9 | tee "$tmp_dir/sweep.out"
+grep -q '^frontier:' "$tmp_dir/sweep.out"
+
+"$build_dir/easched_cli" remote "127.0.0.1:$port" stat | tee "$tmp_dir/stat.out"
+grep -q "tenant 'default': 2 accepted" "$tmp_dir/stat.out"
+
+# ---- clean SIGTERM shutdown ---------------------------------------------
+kill -TERM "$daemon_pid"
+daemon_rc=0
+wait "$daemon_pid" || daemon_rc=$?
+daemon_pid=""
+if (( daemon_rc != 0 )); then
+  echo "serve_smoke: daemon exited $daemon_rc on SIGTERM" >&2
+  cat "$tmp_dir/daemon.log" >&2
+  exit 1
+fi
+grep -q 'daemon stopped:' "$tmp_dir/daemon.log"
+echo "serve_smoke: clean shutdown"
+
+# ---- replay load bench (its acceptance bars gate) -----------------------
+"$build_dir/bench_serve_load" --json-out "$tmp_dir/serve_load.json"
+echo "serve_smoke: OK"

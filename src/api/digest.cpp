@@ -93,6 +93,16 @@ std::uint64_t rotl64(std::uint64_t x, int r) { return (x << r) | (x >> (64 - r))
 std::string instance_bytes(const SolveRequest& request) {
   std::string out;
   out.reserve(256);
+  // The namespace tag leads (when present) so tenants partition the byte
+  // space before any structural field. An empty namespace appends nothing,
+  // keeping the encoding byte-identical to pre-namespace stores; the 'T'
+  // tag never collides with the 'P' every un-namespaced stream starts
+  // with, so the two shapes stay prefix-free.
+  if (!request.options.cache_namespace.empty()) {
+    append_tag(out, 'T');
+    append_i64(out, static_cast<long long>(request.options.cache_namespace.size()));
+    out += request.options.cache_namespace;
+  }
   append_tag(out, 'P');
   append_i64(out, static_cast<long long>(request.kind()));
   append_dag(out, request.dag());

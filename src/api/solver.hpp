@@ -120,6 +120,14 @@ struct SolveOptions {
   /// deadline_slack: two requests differing only in the hint are the same
   /// problem. Solvers without an iterative core ignore it.
   std::vector<double> start_durations;
+  /// Cache/store namespace tag. No solver reads it, but it is folded into
+  /// the *instance* bytes (api/digest.cpp) when non-empty, so two requests
+  /// with different namespaces never share a cache entry, a store blob or
+  /// a warm-start neighbour. The serving tier sets this to the tenant id —
+  /// per-tenant isolation falls out of the existing digest identity with
+  /// no second key dimension. Empty (the default) leaves every byte stream
+  /// exactly as before, so existing stores stay valid.
+  std::string cache_namespace;
 };
 
 /// A solve request: one problem (BI-CRIT or TRI-CRIT), an optional solver

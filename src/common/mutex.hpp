@@ -27,6 +27,7 @@
 //    (`while (!pred) cv.wait(lock);`) so the guarded reads stay inside
 //    the analysed critical section.
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -84,6 +85,15 @@ class CondVar {
   /// condition_variable_any is invisible to callers by design.
   void wait(Mutex& mutex) EASCHED_REQUIRES(mutex) { cv_.wait_on(mutex); }
 
+  /// Timed wait: releases `mutex`, blocks until notified or `deadline`
+  /// passes, re-acquires. Returns false on timeout. Callers loop on their
+  /// predicate exactly as with wait() — a timeout only means "re-check
+  /// now", never "the predicate holds".
+  bool wait_until(Mutex& mutex, std::chrono::steady_clock::time_point deadline)
+      EASCHED_REQUIRES(mutex) {
+    return cv_.wait_on_until(mutex, deadline);
+  }
+
   void notify_one() noexcept { cv_.cv.notify_one(); }
   void notify_all() noexcept { cv_.cv.notify_all(); }
 
@@ -94,6 +104,10 @@ class CondVar {
   struct Waiter {
     std::condition_variable_any cv;
     void wait_on(Mutex& mutex) EASCHED_NO_THREAD_SAFETY_ANALYSIS { cv.wait(mutex); }
+    bool wait_on_until(Mutex& mutex, std::chrono::steady_clock::time_point deadline)
+        EASCHED_NO_THREAD_SAFETY_ANALYSIS {
+      return cv.wait_until(mutex, deadline) == std::cv_status::no_timeout;
+    }
   };
   Waiter cv_;
 };

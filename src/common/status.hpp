@@ -25,6 +25,7 @@ enum class StatusCode {
   kInternal,         ///< invariant violation inside the library
   kCancelled,        ///< caller cancelled the operation before it finished
   kDeadlineExceeded, ///< job deadline expired before the work could run
+  kOverloaded,       ///< admission control shed the request (queue full / quota)
 };
 
 /// Human-readable name of a status code (stable, for logs and tests).
@@ -40,6 +41,7 @@ constexpr const char* to_string(StatusCode code) noexcept {
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kCancelled: return "CANCELLED";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kOverloaded: return "OVERLOADED";
   }
   return "UNKNOWN";
 }
@@ -62,6 +64,7 @@ class [[nodiscard]] Status {
   static Status internal(std::string msg) { return {StatusCode::kInternal, std::move(msg)}; }
   static Status cancelled(std::string msg) { return {StatusCode::kCancelled, std::move(msg)}; }
   static Status deadline_exceeded(std::string msg) { return {StatusCode::kDeadlineExceeded, std::move(msg)}; }
+  static Status overloaded(std::string msg) { return {StatusCode::kOverloaded, std::move(msg)}; }
 
   bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
   explicit operator bool() const noexcept { return is_ok(); }

@@ -172,7 +172,75 @@ frontier::FrontierResult execute_resweep(const frontier::FrontierEngine& sweeper
       });
 }
 
+/// Post-run status rewrite for running-deadline enforcement: a stop that
+/// the watchdog triggered reports kDeadlineExceeded, an explicit cancel
+/// stays kCancelled. Only kCancelled statuses are rewritten — a job that
+/// finished its work before the flag was noticed keeps its real result.
+common::Status deadline_adjusted(common::Status status,
+                                 const std::atomic<bool>& deadline_fired) {
+  if (status.code() == common::StatusCode::kCancelled &&
+      deadline_fired.load(std::memory_order_relaxed)) {
+    return common::Status::deadline_exceeded(
+        "job deadline expired while it was running");
+  }
+  return status;
+}
+
 }  // namespace
+
+// ---- detail::DeadlineWatch ----
+
+namespace detail {
+
+DeadlineWatch::~DeadlineWatch() {
+  {
+    common::MutexLock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void DeadlineWatch::arm(std::chrono::steady_clock::time_point when,
+                        std::weak_ptr<std::atomic<bool>> cancel,
+                        std::weak_ptr<std::atomic<bool>> fired) {
+  {
+    common::MutexLock lock(mutex_);
+    armed_.emplace(when, Armed{std::move(cancel), std::move(fired)});
+    if (!started_) {
+      started_ = true;
+      thread_ = std::thread([this] { loop(); });
+    }
+  }
+  cv_.notify_all();
+}
+
+void DeadlineWatch::loop() {
+  common::MutexLock lock(mutex_);
+  while (!stopping_) {
+    if (armed_.empty()) {
+      cv_.wait(mutex_);
+      continue;
+    }
+    const auto next = armed_.begin()->first;
+    if (std::chrono::steady_clock::now() < next) {
+      cv_.wait_until(mutex_, next);
+      continue;  // re-check: stopping_, a nearer arm(), or actual expiry
+    }
+    // Fire every entry at or before now. Weak locks skip jobs whose
+    // states were already dropped; setting flags on a completed job is
+    // harmless (nothing reads them again).
+    const auto now = std::chrono::steady_clock::now();
+    while (!armed_.empty() && armed_.begin()->first <= now) {
+      Armed armed = std::move(armed_.begin()->second);
+      armed_.erase(armed_.begin());
+      if (auto fired = armed.fired.lock()) fired->store(true, std::memory_order_relaxed);
+      if (auto cancel = armed.cancel.lock()) cancel->store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace detail
 
 // ---- FrontierQuery factories ----
 
@@ -256,20 +324,49 @@ common::Result<Engine> Engine::create(EngineConfig config) {
 
   engine.sweeper_ = std::make_unique<frontier::FrontierEngine>(engine.cache_.get());
   engine.next_job_id_ = std::make_unique<std::atomic<std::uint64_t>>(1);
+  engine.queued_ = std::make_unique<std::atomic<std::size_t>>(0);
+  engine.deadline_watch_ = std::make_unique<detail::DeadlineWatch>();
   engine.pool_ = std::make_unique<common::WorkerPool>(config.threads);
   return engine;
 }
 
 // ---- submit plumbing ----
 
-template <typename T, typename Fn>
-JobHandle<T> Engine::enqueue(const SubmitOptions& opts, Fn run) {
+template <typename T, typename Fn, typename Shed>
+JobHandle<T> Engine::enqueue(const SubmitOptions& opts, Fn run, Shed shed) {
   auto state = std::make_shared<detail::JobState<T>>();
   state->id = next_job_id_->fetch_add(1, std::memory_order_relaxed);
+
+  // Admission control: claim a queue slot or shed. fetch_add-then-check
+  // keeps the cap exact under concurrent submitters (a racer that pushed
+  // the count over backs out its own claim).
+  const std::size_t cap = config_.max_queued_jobs;
+  if (cap > 0) {
+    const std::size_t queued = queued_->fetch_add(1, std::memory_order_relaxed);
+    if (queued >= cap) {
+      queued_->fetch_sub(1, std::memory_order_relaxed);
+      state->complete(shed());
+      return JobHandle<T>(std::move(state));
+    }
+  } else {
+    queued_->fetch_add(1, std::memory_order_relaxed);
+  }
+
   const auto submitted = std::chrono::steady_clock::now();
   const double deadline_ms = opts.deadline_ms;
+  if (deadline_ms > 0.0) {
+    // Arm the running-deadline watchdog with weak references into the
+    // job state (aliasing shared_ptrs: the atomics live inside *state).
+    deadline_watch_->arm(
+        submitted + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double, std::milli>(deadline_ms)),
+        std::shared_ptr<std::atomic<bool>>(state, &state->cancel),
+        std::shared_ptr<std::atomic<bool>>(state, &state->deadline_fired));
+  }
+  std::atomic<std::size_t>* queued_counter = queued_.get();
   pool_->submit(
-      [state, submitted, deadline_ms, run = std::move(run)]() mutable {
+      [state, submitted, deadline_ms, queued_counter, run = std::move(run)]() mutable {
+        queued_counter->fetch_sub(1, std::memory_order_relaxed);
         const bool expired = deadline_ms > 0.0 && elapsed_ms(submitted) > deadline_ms;
         state->complete(run(*state, expired));
       },
@@ -280,89 +377,139 @@ JobHandle<T> Engine::enqueue(const SubmitOptions& opts, Fn run) {
 Engine::SolveHandle Engine::submit(SolveQuery query, const SubmitOptions& opts) {
   using R = common::Result<api::SolveReport>;
   frontier::SolveCache* cache = cache_.get();
-  return enqueue<R>(opts, [cache, query = std::move(query)](
-                              detail::JobState<R>& state, bool expired) -> R {
-    if (expired) {
-      return common::Status::deadline_exceeded("solve job expired before it could run");
-    }
-    if (state.cancel.load(std::memory_order_relaxed)) {
-      return common::Status::cancelled("solve job cancelled before it ran");
-    }
-    try {
-      return execute_solve(*cache, query);
-    } catch (const std::exception& e) {
-      return common::Status::internal(std::string("solve job threw: ") + e.what());
-    } catch (...) {
-      return common::Status::internal("solve job threw a non-std exception");
-    }
-  });
+  return enqueue<R>(
+      opts,
+      [cache, query = std::move(query)](detail::JobState<R>& state, bool expired) -> R {
+        if (expired) {
+          return common::Status::deadline_exceeded(
+              "solve job expired before it could run");
+        }
+        if (state.cancel.load(std::memory_order_relaxed)) {
+          return deadline_adjusted(
+              common::Status::cancelled("solve job cancelled before it ran"),
+              state.deadline_fired);
+        }
+        try {
+          return execute_solve(*cache, query);
+        } catch (const std::exception& e) {
+          return common::Status::internal(std::string("solve job threw: ") + e.what());
+        } catch (...) {
+          return common::Status::internal("solve job threw a non-std exception");
+        }
+      },
+      []() -> R {
+        return common::Status::overloaded("solve job shed: engine queue is full");
+      });
 }
 
 Engine::BatchHandle Engine::submit(BatchQuery query, const SubmitOptions& opts) {
   using R = api::BatchReport;
   frontier::SolveCache* cache = cache_.get();
   common::WorkerPool* pool = pool_.get();
-  return enqueue<R>(opts, [cache, pool, query = std::move(query)](
-                              detail::JobState<R>& state, bool expired) -> R {
-    try {
-      return execute_batch(*cache, *pool, query, &state.cancel, expired);
-    } catch (const std::exception& e) {
-      return batch_error(query.jobs,
-                         common::Status::internal(std::string("batch job threw: ") +
-                                                  e.what()));
-    } catch (...) {
-      return batch_error(query.jobs,
-                         common::Status::internal("batch job threw a non-std exception"));
-    }
-  });
+  // Copied before the run lambda moves `query` out from under it —
+  // argument evaluation order is unspecified, so the shed lambda must not
+  // read `query` itself.
+  std::vector<api::BatchJob> shed_jobs = query.jobs;
+  return enqueue<R>(
+      opts,
+      [cache, pool, query = std::move(query)](detail::JobState<R>& state,
+                                              bool expired) -> R {
+        try {
+          R report = execute_batch(*cache, *pool, query, &state.cancel, expired);
+          // Slots the watchdog's cancel stopped report the deadline, not
+          // a caller cancel; slots already solved keep their results.
+          if (state.deadline_fired.load(std::memory_order_relaxed)) {
+            for (auto& result : report.results) {
+              if (!result.is_ok()) {
+                common::Status adjusted =
+                    deadline_adjusted(result.status(), state.deadline_fired);
+                if (adjusted.code() != result.status().code()) {
+                  result = common::Result<api::SolveReport>(std::move(adjusted));
+                }
+              }
+            }
+          }
+          return report;
+        } catch (const std::exception& e) {
+          return batch_error(query.jobs,
+                             common::Status::internal(std::string("batch job threw: ") +
+                                                      e.what()));
+        } catch (...) {
+          return batch_error(
+              query.jobs, common::Status::internal("batch job threw a non-std exception"));
+        }
+      },
+      [jobs = std::move(shed_jobs)]() -> R {
+        return batch_error(jobs,
+                           common::Status::overloaded("batch job shed: engine queue is full"));
+      });
 }
 
 Engine::FrontierHandle Engine::submit(FrontierQuery query, const SubmitOptions& opts) {
   using R = frontier::FrontierResult;
   const frontier::FrontierEngine* sweeper = sweeper_.get();
   common::WorkerPool* pool = pool_.get();
-  return enqueue<R>(opts, [sweeper, pool, query = std::move(query)](
-                              detail::JobState<R>& state, bool expired) -> R {
-    if (expired) {
-      return frontier_error(query.axis, common::Status::deadline_exceeded(
-                                            "frontier job expired before it could run"));
-    }
-    try {
-      return execute_frontier(*sweeper, *pool, query, &state.cancel);
-    } catch (const std::exception& e) {
-      return frontier_error(
-          query.axis,
-          common::Status::internal(std::string("frontier job threw: ") + e.what()));
-    } catch (...) {
-      return frontier_error(query.axis, common::Status::internal(
-                                            "frontier job threw a non-std exception"));
-    }
-  });
+  const frontier::ConstraintAxis axis = query.axis;
+  return enqueue<R>(
+      opts,
+      [sweeper, pool, query = std::move(query)](detail::JobState<R>& state,
+                                                bool expired) -> R {
+        if (expired) {
+          return frontier_error(query.axis,
+                                common::Status::deadline_exceeded(
+                                    "frontier job expired before it could run"));
+        }
+        try {
+          R result = execute_frontier(*sweeper, *pool, query, &state.cancel);
+          result.error = deadline_adjusted(std::move(result.error), state.deadline_fired);
+          return result;
+        } catch (const std::exception& e) {
+          return frontier_error(
+              query.axis,
+              common::Status::internal(std::string("frontier job threw: ") + e.what()));
+        } catch (...) {
+          return frontier_error(query.axis, common::Status::internal(
+                                                "frontier job threw a non-std exception"));
+        }
+      },
+      [axis]() -> R {
+        return frontier_error(
+            axis, common::Status::overloaded("frontier job shed: engine queue is full"));
+      });
 }
 
 Engine::FrontierHandle Engine::submit(ResweepQuery query, const SubmitOptions& opts) {
   using R = frontier::FrontierResult;
   const frontier::FrontierEngine* sweeper = sweeper_.get();
   common::WorkerPool* pool = pool_.get();
-  return enqueue<R>(opts, [sweeper, pool, query = std::move(query)](
-                              detail::JobState<R>& state, bool expired) -> R {
-    if (expired) {
-      return frontier_error(query.target.axis,
-                            common::Status::deadline_exceeded(
-                                "resweep job expired before it could run"));
-    }
-    try {
-      return execute_resweep(*sweeper, *pool, query, &state.cancel);
-    } catch (const std::exception& e) {
-      return frontier_error(
-          query.target.axis,
-          common::Status::internal(std::string("resweep job threw: ") + e.what()));
-    } catch (...) {
-      return frontier_error(query.target.axis,
-                            common::Status::internal(
-                                "resweep job threw a non-std exception"));
-    }
-  });
+  const frontier::ConstraintAxis axis = query.target.axis;
+  return enqueue<R>(
+      opts,
+      [sweeper, pool, query = std::move(query)](detail::JobState<R>& state,
+                                                bool expired) -> R {
+        if (expired) {
+          return frontier_error(query.target.axis,
+                                common::Status::deadline_exceeded(
+                                    "resweep job expired before it could run"));
+        }
+        try {
+          R result = execute_resweep(*sweeper, *pool, query, &state.cancel);
+          result.error = deadline_adjusted(std::move(result.error), state.deadline_fired);
+          return result;
+        } catch (const std::exception& e) {
+          return frontier_error(
+              query.target.axis,
+              common::Status::internal(std::string("resweep job threw: ") + e.what()));
+        } catch (...) {
+          return frontier_error(query.target.axis,
+                                common::Status::internal(
+                                    "resweep job threw a non-std exception"));
+        }
+      },
+      [axis]() -> R {
+        return frontier_error(
+            axis, common::Status::overloaded("resweep job shed: engine queue is full"));
+      });
 }
 
 // ---- synchronous conveniences ----

@@ -38,9 +38,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -83,6 +85,13 @@ struct EngineConfig {
   StoreMode store_mode = StoreMode::kBoth;
   bool store_warm_start = false;  ///< nearest-neighbour barrier seeding
   bool store_read_only = false;
+  /// Admission control: > 0 caps the number of submitted-but-not-yet-
+  /// started jobs. A submit() over the cap never enqueues — it returns a
+  /// handle already completed with Status::kOverloaded, so callers shed
+  /// load instead of growing the queue unboundedly. Jobs a *running* job
+  /// fans out internally (pool.parallel) are not jobs and never count.
+  /// 0 (the default) keeps admission unbounded.
+  std::size_t max_queued_jobs = 0;
 };
 
 /// Per-submission knobs.
@@ -90,10 +99,14 @@ struct SubmitOptions {
   /// Higher runs earlier; within a priority, submission order. A running
   /// job's internal fan-out always outranks queued jobs.
   int priority = 0;
-  /// > 0: if the job is still queued this many milliseconds after
-  /// submission, it completes with kDeadlineExceeded instead of running.
-  /// (A job that already started is cancelled cooperatively via
-  /// JobHandle::cancel, not by the deadline.)
+  /// > 0: the job's wall-clock deadline, measured from submission. A job
+  /// still queued when it expires completes with kDeadlineExceeded
+  /// without running. A job already *running* is cancelled cooperatively
+  /// at its next check point (between sweep rounds / before the next
+  /// batch slot) and completes with kDeadlineExceeded instead of
+  /// kCancelled; everything it already solved stays cached and persisted,
+  /// exactly like an explicit JobHandle::cancel. A single solve has no
+  /// interior check point, so it runs to completion once started.
   double deadline_ms = 0.0;
 };
 
@@ -183,16 +196,29 @@ template <typename T>
 struct JobState {
   std::uint64_t id = 0;
   std::atomic<bool> cancel{false};
+  /// Set by the deadline watchdog when deadline_ms expired while the job
+  /// ran: the cooperative stop it triggered reports kDeadlineExceeded
+  /// rather than kCancelled.
+  std::atomic<bool> deadline_fired{false};
   mutable common::Mutex mutex;
   mutable common::CondVar cv;
   std::optional<T> result EASCHED_GUARDED_BY(mutex);
+  /// Callbacks registered before completion; complete() drains them once,
+  /// after the result became observable.
+  std::vector<std::function<void()>> callbacks EASCHED_GUARDED_BY(mutex);
 
   void complete(T value) EASCHED_EXCLUDES(mutex) {
+    std::vector<std::function<void()>> pending;
     {
       common::MutexLock lock(mutex);
       result.emplace(std::move(value));
+      pending.swap(callbacks);
     }
     cv.notify_all();
+    // Outside the lock: a callback may call done()/get() or register
+    // further work without deadlocking. Completion happens exactly once,
+    // so each callback runs exactly once.
+    for (auto& fn : pending) fn();
   }
 
   /// The completed value, readable without the mutex: complete() writes
@@ -203,6 +229,44 @@ struct JobState {
   const T& completed_value() const EASCHED_NO_THREAD_SAFETY_ANALYSIS {
     return *result;
   }
+};
+
+/// One lazily-started thread that cooperatively cancels *running* jobs
+/// whose wall-clock deadline expired. arm() registers (deadline, flags);
+/// the thread sleeps until the earliest armed deadline, then sets the
+/// job's deadline_fired and cancel flags — the job stops at its next
+/// cooperative check point and its submit wrapper converts the resulting
+/// kCancelled into kDeadlineExceeded. Flags are held weakly: a job that
+/// completed (and whose handles were dropped) is simply skipped, so the
+/// watch never extends a job's lifetime.
+class DeadlineWatch {
+ public:
+  DeadlineWatch() = default;
+  DeadlineWatch(const DeadlineWatch&) = delete;
+  DeadlineWatch& operator=(const DeadlineWatch&) = delete;
+  ~DeadlineWatch();
+
+  void arm(std::chrono::steady_clock::time_point when,
+           std::weak_ptr<std::atomic<bool>> cancel,
+           std::weak_ptr<std::atomic<bool>> fired) EASCHED_EXCLUDES(mutex_);
+
+ private:
+  struct Armed {
+    std::weak_ptr<std::atomic<bool>> cancel;
+    std::weak_ptr<std::atomic<bool>> fired;
+  };
+
+  void loop() EASCHED_EXCLUDES(mutex_);
+
+  common::Mutex mutex_;
+  common::CondVar cv_;
+  std::multimap<std::chrono::steady_clock::time_point, Armed> armed_
+      EASCHED_GUARDED_BY(mutex_);
+  bool stopping_ EASCHED_GUARDED_BY(mutex_) = false;
+  bool started_ EASCHED_GUARDED_BY(mutex_) = false;
+  /// Started under mutex_ on the first arm(); joined (unlocked) in the
+  /// destructor after stopping_ was published.
+  std::thread thread_;
 };
 }  // namespace detail
 
@@ -250,12 +314,74 @@ class JobHandle {
     return state_->completed_value();
   }
 
+  /// Registers a completion callback, invoked exactly once after the
+  /// result became observable (done() is true and get() returns without
+  /// blocking inside the callback). An already-completed job invokes `fn`
+  /// inline before returning; otherwise it runs on the worker thread that
+  /// completes the job — keep it quick and never block on another job
+  /// from it (reactive drivers push a notification and return). This is
+  /// what lets a connection loop or a load generator drive hundreds of
+  /// jobs without one blocked thread per job.
+  void on_complete(std::function<void()> fn) const {
+    if (!state_) throw std::logic_error("JobHandle::on_complete() on an invalid handle");
+    {
+      common::MutexLock lock(state_->mutex);
+      if (!state_->result.has_value()) {
+        state_->callbacks.push_back(std::move(fn));
+        return;
+      }
+    }
+    fn();
+  }
+
  private:
   friend class Engine;
   explicit JobHandle(std::shared_ptr<detail::JobState<T>> state)
       : state_(std::move(state)) {}
   std::shared_ptr<detail::JobState<T>> state_;
 };
+
+/// Blocks until at least one of `handles` completed and returns the index
+/// of the first completed handle (lowest index wins when several already
+/// are). Invalid handles are skipped; throws std::logic_error when
+/// `handles` is empty or all-invalid (nothing could ever complete).
+/// Unlike a wait() per handle, this needs no thread per job: it parks the
+/// caller on one shared latch that every job's completion pokes.
+template <typename T>
+std::size_t wait_any(const std::vector<JobHandle<T>>& handles) {
+  struct Latch {
+    common::Mutex mutex;
+    common::CondVar cv;
+    bool poked EASCHED_GUARDED_BY(mutex) = false;
+  };
+  auto latch = std::make_shared<Latch>();
+  bool any_valid = false;
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    if (!handles[i].valid()) continue;
+    any_valid = true;
+    // Registration may fire inline (already done) or from a worker; both
+    // paths just poke the latch. Callbacks outlive this call harmlessly —
+    // they only touch the shared latch.
+    handles[i].on_complete([latch] {
+      {
+        common::MutexLock lock(latch->mutex);
+        latch->poked = true;
+      }
+      latch->cv.notify_all();
+    });
+  }
+  if (!any_valid) throw std::logic_error("wait_any() with no valid handle");
+  while (true) {
+    {
+      common::MutexLock lock(latch->mutex);
+      while (!latch->poked) latch->cv.wait(latch->mutex);
+      latch->poked = false;  // re-arm in case our scan races a later poke
+    }
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      if (handles[i].valid() && handles[i].done()) return i;
+    }
+  }
+}
 
 class Engine {
  public:
@@ -303,6 +429,11 @@ class Engine {
 
   const EngineConfig& config() const noexcept { return config_; }
   std::size_t threads() const noexcept { return pool_->size(); }
+  /// Jobs submitted but not yet started (the population max_queued_jobs
+  /// caps). Advisory: the value can change before the caller acts on it.
+  std::size_t queued_jobs() const noexcept {
+    return queued_->load(std::memory_order_relaxed);
+  }
   frontier::CacheStats cache_stats() const { return cache_->stats(); }
   frontier::SolveCache& cache() noexcept { return *cache_; }
   /// The attached persistent store; nullptr when none was configured.
@@ -320,15 +451,24 @@ class Engine {
   /// must be noexcept-complete: convert its own failures into T. Queued
   /// jobs capture only the pool/cache/sweeper addresses (stable behind
   /// unique_ptr), never `this`, so moving the Engine with jobs in flight
-  /// is safe.
-  template <typename T, typename Fn>
-  JobHandle<T> enqueue(const SubmitOptions& opts, Fn run);
+  /// is safe. When admission control rejects (queued_ at the cap),
+  /// `shed()` is invoked instead and its T completes the handle
+  /// synchronously.
+  template <typename T, typename Fn, typename Shed>
+  JobHandle<T> enqueue(const SubmitOptions& opts, Fn run, Shed shed);
 
   EngineConfig config_;
   std::unique_ptr<store::SolveStore> store_;     ///< outlives the cache
   std::unique_ptr<frontier::SolveCache> cache_;  ///< outlives the sweeper
   std::unique_ptr<frontier::FrontierEngine> sweeper_;
   std::unique_ptr<std::atomic<std::uint64_t>> next_job_id_;
+  /// Submitted-but-not-started count, for max_queued_jobs admission.
+  std::unique_ptr<std::atomic<std::size_t>> queued_;
+  /// Cooperative running-job deadline enforcement; thread starts lazily
+  /// on the first deadline-carrying submit. Destroyed after the pool (so
+  /// declared before it): jobs never touch the watch, only the watch's
+  /// weak references reach jobs.
+  std::unique_ptr<detail::DeadlineWatch> deadline_watch_;
   /// Declared last: destroyed first, so every job finishes while the
   /// cache and store are still alive.
   std::unique_ptr<common::WorkerPool> pool_;

@@ -1,0 +1,103 @@
+#pragma once
+// serve::Client — the library side of the serve protocol, used by the
+// CLI's `remote` subcommand and by the load bench.
+//
+// A Client owns one TCP connection to a daemon, performs the version
+// handshake on connect (so a constructed Client is always usable), and
+// speaks the request/response vocabulary of serve/protocol.hpp. Requests
+// pipeline: send_*() only writes the frame and returns, wait_*() blocks
+// until the response with the matching request_id arrives (buffering any
+// other responses that land first), and poll() lets an open-loop load
+// generator drain responses without blocking. The client assigns
+// request ids itself (next_request_id()) or accepts caller-chosen ones —
+// ids only need to be unique among this connection's in-flight requests.
+//
+// Thread model: one Client, one thread. Concurrency comes from
+// pipelining on the single connection (the daemon runs the jobs on its
+// engine pool), not from sharing the Client.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.hpp"
+#include "serve/protocol.hpp"
+
+namespace easched::serve {
+
+class Client {
+ public:
+  /// Connects to `host:port` and completes the Hello/HelloAck handshake
+  /// as `tenant`. A daemon that refuses (version mismatch, empty tenant)
+  /// surfaces its HelloAck status here.
+  static common::Result<Client> connect(const std::string& host, int port,
+                                        const std::string& tenant);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  const std::string& tenant() const noexcept { return tenant_; }
+
+  /// Monotonic per-connection request id (1-based).
+  std::uint64_t next_request_id() noexcept { return ++last_request_id_; }
+
+  // ---- pipelined sends --------------------------------------------------
+
+  common::Status send(const SolveRequest& request);
+  common::Status send(const SweepRequest& request);
+  common::Status send(const StatRequest& request);
+
+  // ---- blocking joins ---------------------------------------------------
+
+  /// Blocks until the response for `request_id` arrives. A protocol-level
+  /// ErrorResponse for this id (or for the connection) comes back as its
+  /// Status; a dead connection as kInternal.
+  common::Result<SolveResponse> wait_solve(std::uint64_t request_id);
+  common::Result<SweepResponse> wait_sweep(std::uint64_t request_id);
+  common::Result<StatResponse> wait_stat(std::uint64_t request_id);
+
+  /// send + wait conveniences.
+  common::Result<SolveResponse> solve(SolveRequest request);
+  common::Result<SweepResponse> sweep(SweepRequest request);
+  common::Result<StatResponse> stat();
+
+  // ---- non-blocking drain (load generators) -----------------------------
+
+  /// Reads whatever is available within `timeout_ms` (0 = just drain what
+  /// already arrived) and buffers decoded responses. Returns non-OK only
+  /// when the connection died.
+  common::Status poll(int timeout_ms);
+
+  /// Removes a buffered response by id; false when it has not arrived.
+  bool take_solve(std::uint64_t request_id, SolveResponse* out);
+  bool take_sweep(std::uint64_t request_id, SweepResponse* out);
+
+ private:
+  Client() = default;
+
+  common::Status send_frame(MsgType type, const std::string& payload);
+  /// Blocks on recv once and feeds the bytes to the decoder without
+  /// dispatching frames — the handshake reads the HelloAck through this.
+  common::Status recv_into_decoder();
+  /// Reads once (blocking up to timeout_ms; -1 = indefinitely) and
+  /// decodes every complete frame into the response buffers.
+  common::Status pump(int timeout_ms);
+  /// Non-OK when an ErrorResponse arrived for `request_id` (consumed) or
+  /// the connection is in a failed state.
+  common::Status check_error(std::uint64_t request_id);
+
+  int fd_ = -1;
+  std::string tenant_;
+  std::uint64_t last_request_id_ = 0;
+  FrameDecoder decoder_;
+  std::map<std::uint64_t, SolveResponse> solves_;
+  std::map<std::uint64_t, SweepResponse> sweeps_;
+  std::map<std::uint64_t, StatResponse> stats_;
+  std::map<std::uint64_t, common::Status> errors_;  ///< keyed ErrorResponses
+  common::Status connection_error_ = common::Status::ok();  ///< sticky fatal state
+};
+
+}  // namespace easched::serve

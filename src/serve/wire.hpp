@@ -1,0 +1,125 @@
+#pragma once
+// Byte-level encode/decode helpers shared by the serve protocol codec.
+//
+// Everything on the wire is explicit little-endian — the same convention
+// the store's record payloads use (store/serialize.cpp) — so a daemon and
+// a client on different hosts agree byte for byte. Writers append to a
+// std::string; the Reader walks a payload with bounds checks and reports
+// truncation as a flag instead of throwing, so a corrupt payload degrades
+// into a clean decode error, never UB.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace easched::serve::wire {
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+inline void put_u16(std::string& out, std::uint16_t v) {
+  for (int i = 0; i < 2; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+inline void put_double(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+/// Length-prefixed (u32) byte string. The frame-level size cap bounds the
+/// total, so u32 lengths are never the limiting factor.
+inline void put_string(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out += s;
+}
+
+inline void put_doubles(std::string& out, const std::vector<double>& v) {
+  put_u32(out, static_cast<std::uint32_t>(v.size()));
+  for (double d : v) put_double(out, d);
+}
+
+/// Bounds-checked sequential reader over a payload. Every get_* returns a
+/// zero value once the payload ran out and latches `ok()` false — callers
+/// decode the whole struct unconditionally and check ok() once at the end.
+class Reader {
+ public:
+  explicit Reader(const std::string& payload) : data_(payload) {}
+
+  bool ok() const noexcept { return ok_; }
+  bool at_end() const noexcept { return pos_ == data_.size(); }
+
+  std::uint8_t get_u8() {
+    if (!need(1)) return 0;
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint16_t get_u16() { return static_cast<std::uint16_t>(get_le(2)); }
+  std::uint32_t get_u32() { return static_cast<std::uint32_t>(get_le(4)); }
+  std::uint64_t get_u64() { return get_le(8); }
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_le(8)); }
+
+  double get_double() {
+    const std::uint64_t bits = get_le(8);
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string get_string() {
+    const std::uint32_t n = get_u32();
+    if (!need(n)) return {};
+    std::string s = data_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  std::vector<double> get_doubles() {
+    const std::uint32_t n = get_u32();
+    // 8 bytes per element: reject counts the remaining payload cannot hold
+    // before reserving (a corrupt count must not trigger a huge allocation).
+    if (!need(static_cast<std::size_t>(n) * 8)) return {};
+    std::vector<double> v;
+    v.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) v.push_back(get_double());
+    return v;
+  }
+
+ private:
+  bool need(std::size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::uint64_t get_le(int bytes) {
+    if (!need(static_cast<std::size_t>(bytes))) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_++])) << (8 * i);
+    }
+    return v;
+  }
+
+  const std::string& data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace easched::serve::wire

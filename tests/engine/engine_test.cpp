@@ -16,6 +16,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <mutex>
@@ -536,6 +537,165 @@ TEST(Engine, StoreBackedEngineReplaysAcrossRestart) {
     // Every probe replays from the loaded store: zero fresh solver runs.
     EXPECT_EQ(created.value().cache_stats().misses, 0u);
   }
+  std::remove(path.c_str());
+}
+
+TEST(Engine, MaxQueuedJobsShedsWithOverloaded) {
+  EngineConfig config;
+  config.threads = 1;
+  config.max_queued_jobs = 1;
+  auto created = Engine::create(config);
+  ASSERT_TRUE(created.is_ok());
+  Engine& engine = created.value();
+
+  // Gate the blocker on its first streamed point: once the gate reports,
+  // the blocker is *running* (not queued), so the admission cap below is
+  // exercised by exactly the jobs this test queues.
+  const auto blocker =
+      std::make_shared<const core::BiCritProblem>(random_bicrit(91, 14, 1.7));
+  frontier::FrontierOptions fopt;
+  fopt.initial_points = 9;
+  fopt.max_points = 25;
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool running = false;
+  bool release = false;
+  auto query =
+      FrontierQuery::deadline(blocker, blocker->deadline * 0.6, blocker->deadline, fopt);
+  query.observer = [&](const frontier::FrontierPoint&) {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    if (!running) {
+      running = true;
+      gate_cv.notify_all();
+      gate_cv.wait(lock, [&] { return release; });
+    }
+  };
+  auto blocking = engine.submit(std::move(query));
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return running; });
+  }
+
+  auto queued = engine.submit(SolveQuery(blocker));  // fills the 1-job queue
+  EXPECT_EQ(engine.queued_jobs(), 1u);
+  auto shed = engine.submit(SolveQuery(blocker));  // over the cap: shed, not queued
+  EXPECT_TRUE(shed.done());  // completed synchronously, never enqueued
+  const auto& shed_result = shed.get();
+  ASSERT_FALSE(shed_result.is_ok());
+  EXPECT_EQ(shed_result.status().code(), common::StatusCode::kOverloaded);
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    release = true;
+  }
+  gate_cv.notify_all();
+  blocking.wait();
+  EXPECT_TRUE(queued.get().is_ok());  // the admitted job still ran normally
+}
+
+TEST(Engine, OnCompleteFiresOnceInlineOrAsync) {
+  auto created = Engine::create();
+  ASSERT_TRUE(created.is_ok());
+  const auto problem = random_bicrit(92, 10, 1.6);
+
+  // Registered before completion: fires exactly once, from the worker.
+  auto job = created.value().submit(SolveQuery(problem));
+  std::atomic<int> fired{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool seen = false;
+  job.on_complete([&] {
+    fired.fetch_add(1);
+    std::lock_guard<std::mutex> lock(done_mutex);
+    seen = true;
+    done_cv.notify_all();
+  });
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return seen; });
+  }
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_TRUE(job.done());
+
+  // Registered after completion: invoked inline, before on_complete returns.
+  bool inline_fired = false;
+  job.on_complete([&] { inline_fired = true; });
+  EXPECT_TRUE(inline_fired);
+}
+
+TEST(Engine, WaitAnyReturnsACompletedHandle) {
+  EngineConfig config;
+  config.threads = 2;
+  auto created = Engine::create(config);
+  ASSERT_TRUE(created.is_ok());
+  Engine& engine = created.value();
+
+  std::vector<Engine::SolveHandle> handles;
+  for (std::uint64_t seed = 93; seed < 96; ++seed) {
+    handles.push_back(engine.submit(SolveQuery(random_bicrit(seed, 10, 1.6))));
+  }
+  const std::size_t first = wait_any(handles);
+  ASSERT_LT(first, handles.size());
+  EXPECT_TRUE(handles[first].done());
+
+  // With a handle already completed, wait_any returns without blocking.
+  for (auto& handle : handles) handle.wait();
+  const std::size_t again = wait_any(handles);
+  ASSERT_LT(again, handles.size());
+  EXPECT_TRUE(handles[again].done());
+}
+
+TEST(Engine, RunningJobDeadlineLeavesCacheAndStoreConsistent) {
+  const std::string path = temp_store_path("jobdeadline");
+  std::remove(path.c_str());
+  const auto problem =
+      std::make_shared<const core::BiCritProblem>(random_bicrit(97, 14, 1.8));
+  frontier::FrontierOptions fopt;
+  fopt.initial_points = 9;
+  fopt.max_points = 33;
+
+  {
+    EngineConfig config;
+    config.threads = 2;
+    config.store_path = path;
+    auto created = Engine::create(config);
+    ASSERT_TRUE(created.is_ok()) << created.status().to_string();
+    Engine& engine = created.value();
+
+    // The observer stalls the sweep past its wall-clock deadline on the
+    // first streamed point, so the deadline watch cancels a *running* job
+    // and the sweep notices at its next between-rounds check point.
+    auto query = FrontierQuery::deadline(problem, problem->deadline * 0.5,
+                                         problem->deadline, fopt);
+    std::atomic<bool> stalled{false};
+    query.observer = [&](const frontier::FrontierPoint&) {
+      if (!stalled.exchange(true)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      }
+    };
+    SubmitOptions opts;
+    opts.deadline_ms = 50.0;  // expires while the observer stalls the job
+    auto handle = engine.submit(std::move(query), opts);
+    const auto expired = handle.get();
+    EXPECT_TRUE(stalled.load());  // the job was running, not queued
+    EXPECT_EQ(expired.error.code(), common::StatusCode::kDeadlineExceeded);
+    EXPECT_FALSE(expired.probes.empty());  // the finished round survived
+
+    // Whatever the expired job cached must stay valid: the same engine's
+    // full sweep is bit-identical to a cold reference.
+    const auto full = engine.sweep(FrontierQuery::deadline(
+        problem, problem->deadline * 0.5, problem->deadline, fopt));
+    ASSERT_TRUE(full.error.is_ok()) << full.error.to_string();
+    frontier::SolveCache cold_cache;
+    const frontier::FrontierEngine cold(&cold_cache);
+    const auto reference = cold.deadline_sweep(*problem, problem->deadline * 0.5,
+                                               problem->deadline, fopt);
+    EXPECT_TRUE(same_curve(full.points, reference.points));
+  }
+
+  // Everything the expired job wrote through must verify cleanly.
+  const auto verified = store::SolveStore::verify(path);
+  ASSERT_TRUE(verified.is_ok()) << verified.status().to_string();
   std::remove(path.c_str());
 }
 

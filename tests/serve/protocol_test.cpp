@@ -1,0 +1,274 @@
+// serve protocol: framing and message codecs. The wire contract under
+// test:
+//   * every message round-trips encode -> decode bit-exactly;
+//   * a frame split across arbitrary feed() chunks still decodes;
+//   * a corrupt frame costs exactly one kBadCrc — the stream position
+//     survives and the next frame decodes normally;
+//   * an oversized length is fatal (kOversized), truncated input is
+//     kNeedMore, and garbage payloads decode to kInvalidArgument — never
+//     UB, never an exception.
+
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace easched::serve {
+namespace {
+
+/// Feeds `bytes` one byte at a time and expects exactly one frame.
+Frame decode_single(const std::string& bytes) {
+  FrameDecoder decoder;
+  Frame frame;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (i + 1 < bytes.size()) {
+      // No frame may complete before the last byte arrives.
+      EXPECT_EQ(decoder.next(frame), FrameDecoder::Result::kNeedMore);
+    }
+    decoder.feed(bytes.data() + i, 1);
+  }
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Result::kNeedMore);
+  return frame;
+}
+
+ProblemSpec sample_problem() {
+  ProblemSpec spec;
+  spec.dag_text = "dag 2\ntask 0 1.5\ntask 1 2.5\nedge 0 1\n";
+  spec.processors = 3;
+  spec.speed_kind = model::SpeedModelKind::kDiscrete;
+  spec.levels = {0.25, 0.5, 1.0};
+  spec.deadline = 12.5;
+  spec.tricrit = true;
+  spec.lambda0 = 2e-5;
+  spec.dexp = 3.5;
+  spec.frel = 0.75;
+  return spec;
+}
+
+TEST(ServeProtocol, HelloRoundTrip) {
+  Hello hello;
+  hello.tenant = "team-blue";
+  const Frame frame = decode_single(encode_frame(MsgType::kHello, hello.encode()));
+  EXPECT_EQ(frame.type, MsgType::kHello);
+  auto decoded = Hello::decode(frame.payload);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value().magic, kMagic);
+  EXPECT_EQ(decoded.value().version, kProtocolVersion);
+  EXPECT_EQ(decoded.value().tenant, "team-blue");
+}
+
+TEST(ServeProtocol, HelloAckCarriesRejectionStatus) {
+  HelloAck ack;
+  ack.version = 7;
+  ack.status = common::Status::unsupported("wrong protocol version");
+  auto decoded = HelloAck::decode(ack.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().version, 7);
+  EXPECT_EQ(decoded.value().status.code(), common::StatusCode::kUnsupported);
+  EXPECT_EQ(decoded.value().status.message(), "wrong protocol version");
+}
+
+TEST(ServeProtocol, SolveRequestRoundTrip) {
+  SolveRequest request;
+  request.request_id = 42;
+  request.problem = sample_problem();
+  request.solver = "best-of";
+  request.job_deadline_ms = 125.0;
+  auto decoded = SolveRequest::decode(request.encode());
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  const auto& r = decoded.value();
+  EXPECT_EQ(r.request_id, 42u);
+  EXPECT_EQ(r.problem.dag_text, request.problem.dag_text);
+  EXPECT_EQ(r.problem.processors, 3);
+  EXPECT_EQ(r.problem.speed_kind, model::SpeedModelKind::kDiscrete);
+  EXPECT_EQ(r.problem.levels, request.problem.levels);
+  EXPECT_EQ(r.problem.deadline, 12.5);
+  EXPECT_TRUE(r.problem.tricrit);
+  EXPECT_EQ(r.problem.lambda0, 2e-5);
+  EXPECT_EQ(r.problem.dexp, 3.5);
+  EXPECT_EQ(r.problem.frel, 0.75);
+  EXPECT_EQ(r.solver, "best-of");
+  EXPECT_EQ(r.job_deadline_ms, 125.0);
+}
+
+TEST(ServeProtocol, SweepRequestRoundTripWithProbes) {
+  SweepRequest request;
+  request.request_id = 7;
+  request.problem = sample_problem();
+  request.axis = WireAxis::kReliability;
+  request.lo = 0.3;
+  request.hi = 0.9;
+  request.initial_points = 5;
+  request.max_points = 17;
+  request.solver = "heuristic-A";
+  request.prev_probes = {0.3, 0.45, 0.6, 0.9};
+  auto decoded = SweepRequest::decode(request.encode());
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  const auto& r = decoded.value();
+  EXPECT_EQ(r.request_id, 7u);
+  EXPECT_EQ(r.axis, WireAxis::kReliability);
+  EXPECT_EQ(r.lo, 0.3);
+  EXPECT_EQ(r.hi, 0.9);
+  EXPECT_EQ(r.initial_points, 5);
+  EXPECT_EQ(r.max_points, 17);
+  EXPECT_EQ(r.solver, "heuristic-A");
+  EXPECT_EQ(r.prev_probes, request.prev_probes);
+}
+
+TEST(ServeProtocol, ResponsesRoundTrip) {
+  SolveResponse solve;
+  solve.request_id = 9;
+  solve.status = common::Status::overloaded("tenant quota");
+  solve.energy = 3.25;
+  solve.makespan = 11.0;
+  solve.wall_ms = 0.5;
+  solve.solver = "continuous-kkt";
+  solve.exact = true;
+  solve.iterations = 12;
+  solve.re_executed = 2;
+  auto solve_decoded = SolveResponse::decode(solve.encode());
+  ASSERT_TRUE(solve_decoded.is_ok());
+  EXPECT_EQ(solve_decoded.value().status.code(), common::StatusCode::kOverloaded);
+  EXPECT_EQ(solve_decoded.value().energy, 3.25);
+  EXPECT_EQ(solve_decoded.value().solver, "continuous-kkt");
+  EXPECT_TRUE(solve_decoded.value().exact);
+  EXPECT_EQ(solve_decoded.value().iterations, 12);
+  EXPECT_EQ(solve_decoded.value().re_executed, 2);
+
+  SweepResponse sweep;
+  sweep.request_id = 10;
+  sweep.axis = WireAxis::kDeadline;
+  sweep.points = {{8.0, 5.5, 7.9, "continuous-kkt", true},
+                  {16.0, 2.75, 15.8, "continuous-kkt", true}};
+  sweep.probes = {8.0, 12.0, 16.0};
+  sweep.evaluated = 3;
+  sweep.infeasible = 1;
+  sweep.cache_hits = 2;
+  sweep.prefetched = 1;
+  sweep.wall_ms = 4.5;
+  auto sweep_decoded = SweepResponse::decode(sweep.encode());
+  ASSERT_TRUE(sweep_decoded.is_ok());
+  ASSERT_EQ(sweep_decoded.value().points.size(), 2u);
+  EXPECT_EQ(sweep_decoded.value().points[1].constraint, 16.0);
+  EXPECT_EQ(sweep_decoded.value().points[1].energy, 2.75);
+  EXPECT_EQ(sweep_decoded.value().points[0].solver, "continuous-kkt");
+  EXPECT_EQ(sweep_decoded.value().probes, sweep.probes);
+  EXPECT_EQ(sweep_decoded.value().evaluated, 3u);
+  EXPECT_EQ(sweep_decoded.value().prefetched, 1u);
+
+  StatResponse stat;
+  stat.request_id = 11;
+  stat.threads = 4;
+  stat.queued_jobs = 2;
+  stat.cache_entries = 100;
+  stat.has_store = true;
+  stat.store_bytes = 4096;
+  stat.tenant_shed = 5;
+  auto stat_decoded = StatResponse::decode(stat.encode());
+  ASSERT_TRUE(stat_decoded.is_ok());
+  EXPECT_EQ(stat_decoded.value().threads, 4u);
+  EXPECT_TRUE(stat_decoded.value().has_store);
+  EXPECT_EQ(stat_decoded.value().store_bytes, 4096u);
+  EXPECT_EQ(stat_decoded.value().tenant_shed, 5u);
+
+  ErrorResponse error;
+  error.request_id = 0;
+  error.status = common::Status::invalid("frame checksum mismatch");
+  auto error_decoded = ErrorResponse::decode(error.encode());
+  ASSERT_TRUE(error_decoded.is_ok());
+  EXPECT_EQ(error_decoded.value().request_id, 0u);
+  EXPECT_EQ(error_decoded.value().status.code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocol, CorruptFrameCostsOneErrorNotTheStream) {
+  StatRequest request;
+  request.request_id = 3;
+  std::string corrupt = encode_frame(MsgType::kStatRequest, request.encode());
+  corrupt[corrupt.size() - 5] ^= 0x40;  // flip a payload bit: CRC must catch it
+  const std::string good = encode_frame(MsgType::kStatRequest, request.encode());
+
+  FrameDecoder decoder;
+  decoder.feed(corrupt.data(), corrupt.size());
+  decoder.feed(good.data(), good.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Result::kBadCrc);
+  // The corrupt frame was consumed whole: the next frame is intact.
+  ASSERT_EQ(decoder.next(frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.type, MsgType::kStatRequest);
+  auto decoded = StatRequest::decode(frame.payload);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().request_id, 3u);
+}
+
+TEST(ServeProtocol, OversizedLengthIsFatal) {
+  // A hand-built header claiming a payload beyond kMaxFrameBytes: the
+  // decoder must refuse without waiting for (or allocating) the payload.
+  std::string header;
+  header.push_back(static_cast<char>(MsgType::kSolveRequest));
+  const std::uint64_t huge = kMaxFrameBytes + 1;
+  for (int i = 0; i < 8; ++i) {
+    header.push_back(static_cast<char>((huge >> (8 * i)) & 0xff));
+  }
+  FrameDecoder decoder;
+  decoder.feed(header.data(), header.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Result::kOversized);
+}
+
+TEST(ServeProtocol, TruncatedFrameWaitsForMore) {
+  Hello hello;
+  hello.tenant = "t";
+  const std::string bytes = encode_frame(MsgType::kHello, hello.encode());
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size() - 1);  // withhold the last CRC byte
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Result::kNeedMore);
+  decoder.feed(bytes.data() + bytes.size() - 1, 1);
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.type, MsgType::kHello);
+}
+
+TEST(ServeProtocol, GarbagePayloadsDecodeToStatusNotUb) {
+  const std::string garbage = "\x01\x02\x03nonsense";
+  EXPECT_FALSE(Hello::decode(garbage).is_ok());
+  EXPECT_FALSE(HelloAck::decode(garbage).is_ok());
+  EXPECT_FALSE(SolveRequest::decode(garbage).is_ok());
+  EXPECT_FALSE(SweepRequest::decode(garbage).is_ok());
+  EXPECT_FALSE(StatRequest::decode(garbage).is_ok());
+  EXPECT_FALSE(SolveResponse::decode(garbage).is_ok());
+  EXPECT_FALSE(SweepResponse::decode(garbage).is_ok());
+  EXPECT_FALSE(StatResponse::decode(garbage).is_ok());
+  EXPECT_FALSE(ErrorResponse::decode(garbage).is_ok());
+  EXPECT_FALSE(Hello::decode("").is_ok());
+}
+
+TEST(ServeProtocol, TrailingBytesAreMalformed) {
+  StatRequest request;
+  request.request_id = 5;
+  std::string payload = request.encode();
+  ASSERT_TRUE(StatRequest::decode(payload).is_ok());
+  payload.push_back('\0');  // one stray byte: the payload no longer parses
+  EXPECT_FALSE(StatRequest::decode(payload).is_ok());
+}
+
+TEST(ServeProtocol, SweepRequestRejectsAbsurdProbeCount) {
+  // A probe-count field larger than the remaining payload could ever hold
+  // must fail cleanly instead of reserving gigabytes.
+  SweepRequest request;
+  request.request_id = 1;
+  request.problem = sample_problem();
+  std::string payload = request.encode();
+  // The probe count is the last u32 (the probe vector is empty): inflate it.
+  payload[payload.size() - 4] = static_cast<char>(0xff);
+  payload[payload.size() - 3] = static_cast<char>(0xff);
+  payload[payload.size() - 2] = static_cast<char>(0xff);
+  payload[payload.size() - 1] = static_cast<char>(0x7f);
+  EXPECT_FALSE(SweepRequest::decode(payload).is_ok());
+}
+
+}  // namespace
+}  // namespace easched::serve

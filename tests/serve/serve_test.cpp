@@ -1,0 +1,377 @@
+// serve::Server over real loopback TCP: the daemon's acceptance
+// properties, exercised with serve::Client and (where the client is
+// deliberately too well-behaved) a raw socket:
+//   * a remote solve answers exactly what the local api answers;
+//   * sweep -> resweep chains through SweepResponse::probes;
+//   * the per-tenant quota sheds with OVERLOADED under pipelined load
+//     while a second tenant's traffic is still admitted (fairness);
+//   * a version-mismatch Hello is refused in the handshake;
+//   * a CRC-corrupt frame costs one ErrorResponse, not the connection;
+//   * a request sent before the handshake closes the connection.
+// The whole file must run clean under check.sh --tsan: responses are
+// encoded on engine worker threads while the poll loop owns the sockets.
+
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/solver.hpp"
+#include "common/rng.hpp"
+#include "engine/engine.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "sched/list_scheduler.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+
+namespace easched::serve {
+namespace {
+
+/// A reproducible wire problem plus its locally-built equivalent.
+struct TestProblem {
+  ProblemSpec spec;
+  core::BiCritProblem local;
+};
+
+TestProblem make_problem(std::uint64_t seed, int tasks, double slack) {
+  common::Rng rng(seed);
+  auto dag = graph::make_random_dag(tasks, 0.2, {1.0, 4.0}, rng);
+  const int processors = 3;
+  auto mapping = sched::list_schedule(dag, processors,
+                                      sched::PriorityPolicy::kCriticalPath);
+  std::vector<double> d(static_cast<std::size_t>(dag.num_tasks()));
+  for (graph::TaskId t = 0; t < dag.num_tasks(); ++t) {
+    d[static_cast<std::size_t>(t)] = dag.weight(t);
+  }
+  const double deadline =
+      graph::time_analysis(mapping.augmented_graph(dag), d, 0.0).makespan * slack;
+  ProblemSpec spec;
+  spec.dag_text = graph::to_text(dag);
+  spec.processors = processors;
+  spec.fmin = 0.1;
+  spec.fmax = 1.0;
+  spec.deadline = deadline;
+  core::BiCritProblem local(dag, mapping, model::SpeedModel::continuous(0.1, 1.0),
+                            deadline);
+  return {std::move(spec), std::move(local)};
+}
+
+/// An Engine + running Server on an ephemeral loopback port. Heap-held:
+/// the Server captures the Engine's address, so the Engine must never
+/// move after create(). Members declared engine-first so the Server (and
+/// its loop thread) is destroyed before the Engine it points into.
+struct Daemon {
+  std::unique_ptr<engine::Engine> engine;
+  std::unique_ptr<Server> server;
+
+  static Daemon start(engine::EngineConfig econfig, ServerConfig sconfig) {
+    Daemon daemon;
+    auto created = engine::Engine::create(std::move(econfig));
+    EXPECT_TRUE(created.is_ok()) << created.status().to_string();
+    daemon.engine =
+        std::make_unique<engine::Engine>(std::move(created).take());
+    auto server = Server::create(daemon.engine.get(), std::move(sconfig));
+    EXPECT_TRUE(server.is_ok()) << server.status().to_string();
+    daemon.server = std::make_unique<Server>(std::move(server).take());
+    EXPECT_TRUE(daemon.server->start().is_ok());
+    return daemon;
+  }
+};
+
+// ---- raw-socket helpers (for traffic serve::Client refuses to send) ----
+
+int connect_raw(int port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (::getaddrinfo("127.0.0.1", port_str.c_str(), &hints, &resolved) != 0) return -1;
+  const int fd = ::socket(resolved->ai_family, resolved->ai_socktype, 0);
+  if (fd >= 0 && ::connect(fd, resolved->ai_addr, resolved->ai_addrlen) != 0) {
+    ::close(fd);
+    ::freeaddrinfo(resolved);
+    return -1;
+  }
+  ::freeaddrinfo(resolved);
+  return fd;
+}
+
+void send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Blocks until the decoder yields one frame; fails the test on EOF.
+Frame read_frame(int fd, FrameDecoder& decoder) {
+  Frame frame;
+  for (;;) {
+    const auto result = decoder.next(frame);
+    if (result == FrameDecoder::Result::kFrame) return frame;
+    EXPECT_EQ(result, FrameDecoder::Result::kNeedMore);
+    char buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      ADD_FAILURE() << "connection closed while waiting for a frame";
+      return frame;
+    }
+    decoder.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+/// Completes a well-formed version-1 handshake on a raw socket.
+void handshake_raw(int fd, FrameDecoder& decoder, const std::string& tenant) {
+  Hello hello;
+  hello.tenant = tenant;
+  send_all(fd, encode_frame(MsgType::kHello, hello.encode()));
+  const Frame ack_frame = read_frame(fd, decoder);
+  ASSERT_EQ(ack_frame.type, MsgType::kHelloAck);
+  auto ack = HelloAck::decode(ack_frame.payload);
+  ASSERT_TRUE(ack.is_ok());
+  ASSERT_TRUE(ack.value().status.is_ok()) << ack.value().status.to_string();
+}
+
+TEST(Serve, RemoteSolveMatchesLocalApi) {
+  auto daemon = Daemon::start({}, {});
+  const auto problem = make_problem(21, 10, 1.6);
+
+  auto client = Client::connect("127.0.0.1", daemon.server->port(), "tenant-a");
+  ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+
+  SolveRequest request;
+  request.problem = problem.spec;
+  auto response = client.value().solve(std::move(request));
+  ASSERT_TRUE(response.is_ok()) << response.status().to_string();
+  ASSERT_TRUE(response.value().status.is_ok()) << response.value().status.to_string();
+
+  const auto local = api::solve(problem.local);
+  ASSERT_TRUE(local.is_ok());
+  EXPECT_EQ(response.value().energy, local.value().energy);
+  EXPECT_EQ(response.value().makespan, local.value().makespan);
+  EXPECT_EQ(response.value().solver, local.value().solver);
+
+  // The daemon's stat view attributes the request to this tenant.
+  auto stat = client.value().stat();
+  ASSERT_TRUE(stat.is_ok());
+  EXPECT_EQ(stat.value().tenant_accepted, 1u);
+  EXPECT_EQ(stat.value().tenant_completed, 1u);
+  EXPECT_EQ(stat.value().tenant_shed, 0u);
+  EXPECT_GE(stat.value().threads, 1u);
+
+  // A structurally bad problem comes back as a typed failure response,
+  // not a dropped connection.
+  SolveRequest bad;
+  bad.problem = problem.spec;
+  bad.problem.dag_text = "not a dag";
+  auto bad_response = client.value().solve(std::move(bad));
+  ASSERT_TRUE(bad_response.is_ok()) << bad_response.status().to_string();
+  EXPECT_EQ(bad_response.value().status.code(), common::StatusCode::kInvalidArgument);
+
+  daemon.server->stop();
+}
+
+TEST(Serve, SweepThenResweepChainsThroughProbes) {
+  auto daemon = Daemon::start({}, {});
+  const auto problem = make_problem(22, 10, 1.8);
+
+  auto client = Client::connect("127.0.0.1", daemon.server->port(), "tenant-a");
+  ASSERT_TRUE(client.is_ok());
+
+  SweepRequest sweep;
+  sweep.problem = problem.spec;
+  sweep.axis = WireAxis::kDeadline;
+  sweep.lo = problem.spec.deadline * 0.5;
+  sweep.hi = problem.spec.deadline;
+  sweep.initial_points = 5;
+  sweep.max_points = 11;
+  auto first = client.value().sweep(sweep);
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+  ASSERT_TRUE(first.value().status.is_ok()) << first.value().status.to_string();
+  EXPECT_FALSE(first.value().points.empty());
+  EXPECT_FALSE(first.value().probes.empty());
+
+  // Resweep warm-started from the first response's probe trace: the
+  // returned curve must be bit-identical, with the probes prefetched.
+  SweepRequest again = sweep;
+  again.request_id = 0;  // let the client assign a fresh id
+  again.prev_probes = first.value().probes;
+  auto second = client.value().sweep(std::move(again));
+  ASSERT_TRUE(second.is_ok()) << second.status().to_string();
+  ASSERT_TRUE(second.value().status.is_ok());
+  ASSERT_EQ(second.value().points.size(), first.value().points.size());
+  for (std::size_t i = 0; i < first.value().points.size(); ++i) {
+    EXPECT_EQ(second.value().points[i].constraint, first.value().points[i].constraint);
+    EXPECT_EQ(second.value().points[i].energy, first.value().points[i].energy);
+    EXPECT_EQ(second.value().points[i].solver, first.value().points[i].solver);
+  }
+
+  daemon.server->stop();
+}
+
+TEST(Serve, TenantQuotaShedsWhileOtherTenantIsServed) {
+  engine::EngineConfig econfig;
+  econfig.threads = 1;  // one worker: the sweep holds it while solves pile up
+  ServerConfig sconfig;
+  sconfig.tenant_quota = 1;
+  auto daemon = Daemon::start(std::move(econfig), std::move(sconfig));
+
+  const auto slow = make_problem(23, 16, 1.7);
+  const auto quick = make_problem(24, 8, 1.6);
+
+  auto hog = Client::connect("127.0.0.1", daemon.server->port(), "hog");
+  auto polite = Client::connect("127.0.0.1", daemon.server->port(), "polite");
+  ASSERT_TRUE(hog.is_ok());
+  ASSERT_TRUE(polite.is_ok());
+
+  // The hog pipelines a sweep (fills its quota of 1) and then four solves
+  // without waiting: the daemon processes the frames in arrival order, so
+  // every solve hits the quota while the sweep is still in flight.
+  SweepRequest sweep;
+  sweep.request_id = hog.value().next_request_id();
+  sweep.problem = slow.spec;
+  sweep.axis = WireAxis::kDeadline;
+  sweep.lo = slow.spec.deadline * 0.5;
+  sweep.hi = slow.spec.deadline;
+  sweep.initial_points = 9;
+  sweep.max_points = 33;
+  ASSERT_TRUE(hog.value().send(sweep).is_ok());
+
+  std::vector<std::uint64_t> shed_ids;
+  for (int i = 0; i < 4; ++i) {
+    SolveRequest request;
+    request.request_id = hog.value().next_request_id();
+    request.problem = quick.spec;
+    ASSERT_TRUE(hog.value().send(request).is_ok());
+    shed_ids.push_back(request.request_id);
+  }
+
+  // The other tenant's quota is its own: its solve is admitted and
+  // served (queued behind the sweep on the single worker, but never shed).
+  SolveRequest polite_request;
+  polite_request.problem = quick.spec;
+  auto polite_response = polite.value().solve(std::move(polite_request));
+  ASSERT_TRUE(polite_response.is_ok()) << polite_response.status().to_string();
+  EXPECT_TRUE(polite_response.value().status.is_ok())
+      << polite_response.value().status.to_string();
+
+  std::size_t shed = 0;
+  for (const auto id : shed_ids) {
+    auto response = hog.value().wait_solve(id);
+    ASSERT_TRUE(response.is_ok()) << response.status().to_string();
+    if (response.value().status.code() == common::StatusCode::kOverloaded) ++shed;
+  }
+  EXPECT_EQ(shed, shed_ids.size());  // every over-quota request was shed
+
+  auto swept = hog.value().wait_sweep(sweep.request_id);
+  ASSERT_TRUE(swept.is_ok()) << swept.status().to_string();
+  EXPECT_TRUE(swept.value().status.is_ok()) << swept.value().status.to_string();
+
+  auto stat = hog.value().stat();
+  ASSERT_TRUE(stat.is_ok());
+  EXPECT_EQ(stat.value().tenant_shed, shed_ids.size());
+  EXPECT_EQ(stat.value().tenant_accepted, 1u);
+
+  daemon.server->stop();
+}
+
+TEST(Serve, VersionMismatchIsRefusedInHandshake) {
+  auto daemon = Daemon::start({}, {});
+  const int fd = connect_raw(daemon.server->port());
+  ASSERT_GE(fd, 0);
+
+  Hello hello;
+  hello.version = kProtocolVersion + 1;
+  hello.tenant = "future";
+  send_all(fd, encode_frame(MsgType::kHello, hello.encode()));
+
+  FrameDecoder decoder;
+  const Frame frame = read_frame(fd, decoder);
+  ASSERT_EQ(frame.type, MsgType::kHelloAck);
+  auto ack = HelloAck::decode(frame.payload);
+  ASSERT_TRUE(ack.is_ok());
+  EXPECT_EQ(ack.value().version, kProtocolVersion);  // what the daemon speaks
+  EXPECT_EQ(ack.value().status.code(), common::StatusCode::kUnsupported);
+
+  // The daemon closes after the refusal.
+  char buf[64];
+  EXPECT_EQ(::recv(fd, buf, sizeof(buf), 0), 0);
+  ::close(fd);
+  daemon.server->stop();
+}
+
+TEST(Serve, CorruptFrameCostsOneErrorNotTheConnection) {
+  auto daemon = Daemon::start({}, {});
+  const int fd = connect_raw(daemon.server->port());
+  ASSERT_GE(fd, 0);
+  FrameDecoder decoder;
+  handshake_raw(fd, decoder, "raw");
+
+  StatRequest request;
+  request.request_id = 6;
+  std::string corrupt = encode_frame(MsgType::kStatRequest, request.encode());
+  corrupt[corrupt.size() - 5] ^= 0x20;  // break the CRC
+  send_all(fd, corrupt);
+  send_all(fd, encode_frame(MsgType::kStatRequest, request.encode()));
+
+  // One ErrorResponse for the corrupt frame (unattributable: id 0)...
+  const Frame error_frame = read_frame(fd, decoder);
+  ASSERT_EQ(error_frame.type, MsgType::kError);
+  auto error = ErrorResponse::decode(error_frame.payload);
+  ASSERT_TRUE(error.is_ok());
+  EXPECT_EQ(error.value().request_id, 0u);
+  EXPECT_FALSE(error.value().status.is_ok());
+
+  // ...and the intact frame behind it is still served on the same
+  // connection: the corrupt frame's declared length delimited it.
+  const Frame stat_frame = read_frame(fd, decoder);
+  ASSERT_EQ(stat_frame.type, MsgType::kStatResponse);
+  auto stat = StatResponse::decode(stat_frame.payload);
+  ASSERT_TRUE(stat.is_ok());
+  EXPECT_EQ(stat.value().request_id, 6u);
+
+  ::close(fd);
+  daemon.server->stop();
+}
+
+TEST(Serve, RequestBeforeHandshakeClosesConnection) {
+  auto daemon = Daemon::start({}, {});
+  const int fd = connect_raw(daemon.server->port());
+  ASSERT_GE(fd, 0);
+
+  StatRequest request;
+  request.request_id = 1;
+  send_all(fd, encode_frame(MsgType::kStatRequest, request.encode()));
+
+  FrameDecoder decoder;
+  const Frame frame = read_frame(fd, decoder);
+  ASSERT_EQ(frame.type, MsgType::kError);
+  char buf[64];
+  EXPECT_EQ(::recv(fd, buf, sizeof(buf), 0), 0);  // daemon hung up
+  ::close(fd);
+  daemon.server->stop();
+}
+
+TEST(Serve, EmptyTenantIsRejectedClientSide) {
+  auto daemon = Daemon::start({}, {});
+  auto client = Client::connect("127.0.0.1", daemon.server->port(), "");
+  EXPECT_FALSE(client.is_ok());
+  daemon.server->stop();
+}
+
+}  // namespace
+}  // namespace easched::serve
