@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/stats.hpp"
 #include "engine/engine.hpp"
 #include "graph/io.hpp"
 #include "sched/list_scheduler.hpp"
@@ -47,15 +48,9 @@ namespace {
 using namespace easched;
 using Clock = std::chrono::steady_clock;
 
-double percentile(std::vector<double> samples, double q) {
-  if (samples.empty()) return 0.0;
-  std::sort(samples.begin(), samples.end());
-  const double rank = q * static_cast<double>(samples.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
-}
+// Latency quantiles use the shared exact helper (common/stats.hpp);
+// the local copy this bench used to carry is gone.
+using common::percentile;
 
 /// One request of the replay trace: which problem, when it arrives
 /// (offset from trace start), and its SLA class (0 = interactive, 1 =

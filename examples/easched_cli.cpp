@@ -46,10 +46,23 @@
 //     starts. SIGINT/SIGTERM shut it down cleanly.
 //   easched_cli remote <host:port> solve <dag-file> --deadline D [options]
 //   easched_cli remote <host:port> sweep <dag-file> --dmin A --dmax B [options]
-//   easched_cli remote <host:port> stat
+//   easched_cli remote <host:port> stat [--deep [--json]]
 //     Client side: ship the problem to a daemon (--tenant picks the
 //     isolation namespace; defaults to "default") and print the response
-//     in the same shape as the local subcommands.
+//     in the same shape as the local subcommands. `stat --deep` also
+//     scrapes the daemon's full metric registry (Prometheus-style text,
+//     or the JSON document with --json).
+//   easched_cli metrics <dag-file>... --deadline D [options]
+//     Runs the solves like the default mode, then dumps the engine's
+//     metric registry to stdout (text exposition, or JSON with --json)
+//     instead of the per-solve reports — the local inspection twin of
+//     `remote stat --deep`.
+//
+// Observability options (every mode with an engine):
+//   --no-metrics          disable the engine's metric registry (results
+//                         are bit-identical either way)
+//   --trace-out FILE      retain per-job lifecycle spans and write them as
+//                         Chrome trace_event JSON (load in a trace viewer)
 //
 // Persistence options (frontier mode):
 //   --store FILE          back the SolveCache with an on-disk log: entries
@@ -149,13 +162,14 @@ int usage(const char* argv0) {
       << "       " << argv0 << " serve --listen host:port [--max-queued N]\n"
       << "         [--tenant-quota N] [--job-deadline-ms MS] [engine options]\n"
       << "       " << argv0
-      << " remote <host:port> <solve|sweep|stat> [<dag-file>] [--tenant T]\n"
+      << " remote <host:port> <solve|sweep|stat> [<dag-file>] [--tenant T] [--deep]\n"
+      << "       " << argv0 << " metrics <dag-file>... --deadline D [--json]\n"
       << "  [--processors P] [--fmin F] [--fmax F] [--levels f1,f2,...] [--vdd]\n"
       << "  [--frel F] [--lambda0 L] [--dexp D] [--solver NAME] [--solvers n1,n2]\n"
       << "  [--slack S] [--threads N] [--points N] [--max-points M]\n"
       << "  [--cache-cap N] [--cache-cap-bytes N] [--store FILE] [--store-mode M]\n"
       << "  [--warm-start] [--cache-stats-out F] [--resweep] [--jobs] [--stream]\n"
-      << "  [--list-solvers] [--gantt] [--csv] [--json]\n";
+      << "  [--no-metrics] [--trace-out F] [--list-solvers] [--gantt] [--csv] [--json]\n";
   return 2;
 }
 
@@ -192,6 +206,9 @@ struct CliArgs {
   std::string store_path;
   std::string store_mode = "both";  // both | write-through | load-on-open
   std::string cache_stats_out;
+  bool no_metrics = false;  // disable the engine's metric registry
+  bool deep = false;        // remote stat: also scrape the metric registry
+  std::string trace_out;    // Chrome trace_event JSON destination
   api::SolveOptions options;
   // serve / remote mode
   std::string listen;              // host:port the daemon binds
@@ -282,6 +299,12 @@ bool parse_args(int argc, char** argv, int first, CliArgs& args) {
       args.warm_start = true;
     } else if (arg == "--cache-stats-out") {
       args.cache_stats_out = next();
+    } else if (arg == "--no-metrics") {
+      args.no_metrics = true;
+    } else if (arg == "--trace-out") {
+      args.trace_out = next();
+    } else if (arg == "--deep") {
+      args.deep = true;
     } else if (arg == "--listen") {
       args.listen = next();
     } else if (arg == "--tenant") {
@@ -352,6 +375,8 @@ common::Result<engine::Engine> make_engine(const CliArgs& args) {
   config.cache_max_entries = args.cache_cap;
   config.cache_max_bytes = args.cache_cap_bytes;
   config.max_queued_jobs = args.max_queued;
+  config.metrics = !args.no_metrics;
+  if (!args.trace_out.empty()) config.trace_capacity = 4096;
   if (!args.store_path.empty()) {
     config.store_path = args.store_path;
     config.store_mode = args.store_mode == "write-through"
@@ -362,6 +387,27 @@ common::Result<engine::Engine> make_engine(const CliArgs& args) {
     config.store_warm_start = args.warm_start;
   }
   return engine::Engine::create(std::move(config));
+}
+
+/// --trace-out epilogue: dump the engine's retained job spans as Chrome
+/// trace_event JSON (chrome://tracing, Perfetto, speedscope all read it).
+void write_trace(engine::Engine& eng, const CliArgs& args) {
+  if (args.trace_out.empty()) return;
+  std::ofstream out(args.trace_out);
+  if (!out) {
+    std::cerr << "cannot open trace file " << args.trace_out << "\n";
+    return;
+  }
+  if (!eng.write_trace_json(out)) {
+    std::cerr << "tracing is disabled on this engine; trace file not written\n";
+    return;
+  }
+  if (eng.trace() != nullptr && eng.trace()->recorded() == 0) {
+    // Valid-but-empty document: only engine *jobs* leave spans, and
+    // some verbs run through the synchronous conveniences.
+    std::cerr << "note: " << args.trace_out
+              << " has no job spans (this run used no async jobs)\n";
+  }
 }
 
 /// --stream: the engine's frontier observer, printing each point as the
@@ -652,8 +698,10 @@ int run_frontier(CliArgs& args) {
   }();
 
   // Epilogue, on every dispatch path: final telemetry snapshot, stats
-  // export, and the cache/store summary for human-readable runs.
+  // export, trace dump, and the cache/store summary for human-readable
+  // runs.
   stats_log.sample("final", eng.cache());
+  write_trace(eng, args);
   if (!args.cache_stats_out.empty()) {
     const common::Status written = stats_log.write_file(args.cache_stats_out);
     if (!written.is_ok()) {
@@ -811,6 +859,7 @@ int run_batch(CliArgs& args, double effective_deadline) {
     std::cout << "\nbatch: " << report.solved << " solved, " << report.failed
               << " failed in " << common::format_fixed(report.wall_ms, 1) << " ms\n";
   }
+  write_trace(eng, args);
   return report.failed == 0 ? 0 : 1;
 }
 
@@ -875,7 +924,68 @@ int run_solve(CliArgs& args) {
             << ")\nwall time: " << report.wall_ms << " ms\n";
   if (args.gantt) sched::write_gantt(std::cout, dag.value(), mapping, report.schedule);
   if (args.csv) sched::write_timeline_csv(std::cout, dag.value(), mapping, report.schedule);
+  write_trace(eng, args);
   return 0;
+}
+
+/// easched_cli metrics: run the solves like the default mode, then dump
+/// the engine's metric registry instead of the per-solve reports — the
+/// local twin of `remote stat --deep`.
+int run_metrics(CliArgs& args) {
+  if (args.dag_paths.empty() || args.deadline <= 0.0) {
+    std::cerr << "metrics mode: easched_cli metrics <dag-file>... --deadline D"
+                 " [--json] [engine options]\n";
+    return 2;
+  }
+  if (args.no_metrics) {
+    std::cerr << "metrics mode and --no-metrics cannot be combined\n";
+    return 2;
+  }
+  const double effective_deadline = args.deadline * args.options.deadline_slack;
+  args.options.deadline_slack = 1.0;
+
+  auto created = make_engine(args);
+  if (!created.is_ok()) {
+    std::cerr << "cannot create engine: " << created.status().to_string() << "\n";
+    return 1;
+  }
+  engine::Engine& eng = created.value();
+
+  int failed = 0;
+  for (const auto& path : args.dag_paths) {
+    auto dag = load_dag(path);
+    if (!dag.is_ok()) {
+      std::cerr << "bad dag file " << path << ": " << dag.status().to_string() << "\n";
+      return 1;
+    }
+    const auto mapping = sched::list_schedule(dag.value(), args.processors,
+                                              sched::PriorityPolicy::kCriticalPath);
+    const model::SpeedModel speeds = make_speeds(args);
+    common::Result<api::SolveReport> result = common::Status::internal("unsolved");
+    if (args.frel) {
+      model::ReliabilityModel rel(args.lambda0, args.dexp, args.fmin, args.fmax,
+                                  *args.frel);
+      core::TriCritProblem p(std::move(dag).take(), mapping, speeds,
+                             rel, effective_deadline);
+      result = eng.solve(p, args.solver_name, args.options);
+    } else {
+      core::BiCritProblem p(std::move(dag).take(), mapping, speeds,
+                            effective_deadline);
+      result = eng.solve(p, args.solver_name, args.options);
+    }
+    if (!result.is_ok()) {
+      std::cerr << path << ": solve failed: " << result.status().to_string() << "\n";
+      ++failed;
+    }
+  }
+
+  if (args.json) {
+    eng.write_metrics_json(std::cout);
+  } else {
+    eng.write_metrics_text(std::cout);
+  }
+  write_trace(eng, args);
+  return failed == 0 ? 0 : 1;
 }
 
 // ---- serve / remote -------------------------------------------------------
@@ -945,8 +1055,10 @@ int run_serve(CliArgs& args) {
   const auto stats = server.value().stats();
   std::cout << "daemon stopped: " << stats.connections << " connections, "
             << stats.requests << " requests (" << stats.accepted << " accepted, "
-            << stats.shed << " shed, " << stats.completed << " completed), "
+            << stats.shed << " shed, " << stats.completed << " completed, "
+            << stats.deadline_exceeded << " deadline-exceeded), "
             << stats.protocol_errors << " protocol errors\n";
+  write_trace(eng, args);
   if (!status.is_ok()) {
     std::cerr << "serve loop failed: " << status.to_string() << "\n";
     return 1;
@@ -1018,7 +1130,20 @@ int run_remote(const std::string& endpoint, const std::string& op, CliArgs& args
     }
     std::cout << "tenant '" << args.tenant << "': " << s.tenant_accepted
               << " accepted, " << s.tenant_shed << " shed, " << s.tenant_completed
-              << " completed, " << s.tenant_in_flight << " in flight\n";
+              << " completed (" << s.tenant_deadline_exceeded
+              << " deadline-exceeded), " << s.tenant_in_flight << " in flight\n";
+    if (args.deep) {
+      // One scrape of the daemon's whole registry. With --json the body
+      // replaces the human summary ordering concern: it is emitted as-is.
+      auto scraped = client.metrics(args.json ? serve::MetricsFormat::kJson
+                                              : serve::MetricsFormat::kText);
+      if (!scraped.is_ok()) {
+        std::cerr << "metrics scrape failed: " << scraped.status().to_string()
+                  << "\n";
+        return 1;
+      }
+      std::cout << "\n" << scraped.value().body;
+    }
     return 0;
   }
 
@@ -1136,6 +1261,12 @@ int main(int argc, char** argv) {
     CliArgs args;
     if (!parse_args(argc, argv, 4, args)) return usage(argv[0]);
     const int rc = run_remote(argv[2], argv[3], args);
+    return rc == 2 ? usage(argv[0]) : rc;
+  }
+  if (std::string(argv[1]) == "metrics") {
+    CliArgs args;
+    if (!parse_args(argc, argv, 2, args)) return usage(argv[0]);
+    const int rc = run_metrics(args);
     return rc == 2 ? usage(argv[0]) : rc;
   }
   const bool frontier_mode = std::string(argv[1]) == "frontier";

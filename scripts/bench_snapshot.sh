@@ -109,6 +109,12 @@ snapshot = {
         "facade_ms": med(batch, "facade_ms"),
         "facade_overhead_pct": med(batch, "facade_overhead_pct"),
         "facade_ok": all(s["facade_ok"] for s in batch),
+        # observability overhead on pure-warm batches (metrics+tracing on
+        # vs off, < 3% gate, bit-identical results)
+        "metrics_off_ms": med(batch, "metrics_off_ms"),
+        "metrics_on_ms": med(batch, "metrics_on_ms"),
+        "metrics_overhead_pct": med(batch, "metrics_overhead_pct"),
+        "metrics_ok": all(s["metrics_ok"] for s in batch),
     },
     # solver-family corpus benches (closed forms + VDD LP)
     "solver_families": {

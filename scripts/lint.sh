@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Repo lint gate: clang-tidy (when available) plus a grep-lint of
 # repo-local rules that no compiler flag covers. The gated layers —
-# src/api, src/common, src/engine, src/frontier, src/serve, src/store —
-# must come back clean; scripts/ci.sh runs this as its last stage.
+# src/api, src/common, src/engine, src/frontier, src/obs, src/serve,
+# src/store — must come back clean; scripts/ci.sh runs this as its last
+# stage.
 #
 #   scripts/lint.sh [build-dir]
 #
@@ -29,7 +30,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 cd "$repo_root"
 
-gated_layers=(src/api src/common src/engine src/frontier src/serve src/store)
+gated_layers=(src/api src/common src/engine src/frontier src/obs src/serve src/store)
 fail=0
 
 # ---- stage 1: clang-tidy over the gated layers --------------------------
@@ -87,6 +88,7 @@ report "no raw printf/puts in src/ (snprintf into buffers is fine)" \
 # IEEE doubles — so stored/exported curves are bit-stable.
 report "export/serialize float formats must be %.17g" \
   "$(grep -rnE '%[0-9.]*[efgEFG]' src/frontier/export.cpp src/store/serialize.cpp \
+     src/obs/export.cpp \
      | grep -v '%\.17g' || true)"
 
 if (( violations )); then

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Serve-tier smoke gate: boots a real `easched_cli serve` daemon on an
 # ephemeral loopback port, drives it with the `remote` subcommand
-# (solve, sweep, stat), asserts a clean SIGTERM shutdown, then runs the
+# (solve, sweep, stat), scrapes the Metrics endpoint twice (exposition
+# lines must parse, counters must be monotone between scrapes), checks a
+# --trace-out run emits Chrome trace_event JSON replaying the job
+# lifecycle, asserts a clean SIGTERM shutdown, then runs the
 # bench_serve_load replay trace (warm-vs-cold and overload-shedding
 # acceptance bars included). scripts/ci.sh runs this as its serve stage.
 #
@@ -75,6 +78,45 @@ grep -q '^frontier:' "$tmp_dir/sweep.out"
 "$build_dir/easched_cli" remote "127.0.0.1:$port" stat | tee "$tmp_dir/stat.out"
 grep -q "tenant 'default': 2 accepted" "$tmp_dir/stat.out"
 
+# ---- scrape the live daemon's metrics twice -----------------------------
+# `remote stat --deep` appends the daemon's full text exposition to the
+# stat line. Two scrapes: the exposition must parse line-by-line and the
+# per-tenant request counter must be strictly monotone (each scrape
+# counts itself).
+"$build_dir/easched_cli" remote "127.0.0.1:$port" stat --deep \
+  > "$tmp_dir/scrape1.out"
+"$build_dir/easched_cli" remote "127.0.0.1:$port" stat --deep \
+  > "$tmp_dir/scrape2.out"
+
+for scrape in scrape1 scrape2; do
+  # Every exposition line is `# TYPE name counter|gauge|summary` or
+  # `name{labels} value` / `name value` with a finite numeric value.
+  awk '
+    /^# TYPE / { in_expo = 1 }
+    !in_expo { next }                     # the human stat lines up front
+    /^$/ { next }
+    /^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary)$/ { next }
+    /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$/ { next }
+    { print FILENAME ":" NR ": unparseable exposition line: " $0; bad = 1 }
+    END { exit bad }
+  ' "$tmp_dir/$scrape.out"
+  grep -q '^# TYPE easched_serve_requests_total counter$' "$tmp_dir/$scrape.out"
+  grep -q '^easched_serve_latency_ms_count{tenant="default"} ' "$tmp_dir/$scrape.out"
+  grep -q '^easched_jobs_completed_total{kind="solve",outcome="ok"} 1$' \
+    "$tmp_dir/$scrape.out"
+done
+
+requests() {
+  sed -n 's/^easched_serve_requests_total{tenant="default"} \([0-9]*\)$/\1/p' "$1"
+}
+req1="$(requests "$tmp_dir/scrape1.out")"
+req2="$(requests "$tmp_dir/scrape2.out")"
+if (( req2 <= req1 )); then
+  echo "serve_smoke: request counter not monotone across scrapes ($req1 -> $req2)" >&2
+  exit 1
+fi
+echo "serve_smoke: metrics scrape OK (requests $req1 -> $req2)"
+
 # ---- clean SIGTERM shutdown ---------------------------------------------
 kill -TERM "$daemon_pid"
 daemon_rc=0
@@ -87,6 +129,28 @@ if (( daemon_rc != 0 )); then
 fi
 grep -q 'daemon stopped:' "$tmp_dir/daemon.log"
 echo "serve_smoke: clean shutdown"
+
+# ---- per-job tracing and metrics-off bit-identity -----------------------
+# A --trace-out sweep emits Chrome trace_event JSON whose spans replay
+# the job lifecycle (a queued slice and a running slice per job), and
+# the frontier CSV is bit-identical with observability off.
+"$build_dir/easched_cli" frontier "$tmp_dir/smoke.dag" --dmin 8 --dmax 14 \
+  --points 5 --max-points 9 --csv \
+  --trace-out "$tmp_dir/trace.json" > "$tmp_dir/sweep_on.csv"
+python3 - "$tmp_dir/trace.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "trace has no events"
+cats = {e["cat"] for e in events}
+assert cats == {"queued", "running"}, cats
+assert all(e["ph"] == "X" and e["dur"] >= 0 for e in events)
+PY
+"$build_dir/easched_cli" frontier "$tmp_dir/smoke.dag" --dmin 8 --dmax 14 \
+  --points 5 --max-points 9 --csv \
+  --no-metrics > "$tmp_dir/sweep_off.csv"
+cmp "$tmp_dir/sweep_on.csv" "$tmp_dir/sweep_off.csv"
+echo "serve_smoke: trace + bit-identity OK"
 
 # ---- replay load bench (its acceptance bars gate) -----------------------
 "$build_dir/bench_serve_load" --json-out "$tmp_dir/serve_load.json"

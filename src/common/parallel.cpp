@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <limits>
 #include <memory>
@@ -111,7 +112,16 @@ void WorkerPool::worker_loop() {
   // Tasks queued before the stop request still run: the destructor drains
   // the queue rather than abandoning accepted work (cancellation is the
   // job layer's business, not the pool's).
-  while (std::function<void()> task = next_task()) task();
+  while (std::function<void()> task = next_task()) {
+    const auto begin = std::chrono::steady_clock::now();
+    task();
+    busy_ns_.fetch_add(
+        static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                       std::chrono::steady_clock::now() - begin)
+                                       .count()),
+        std::memory_order_relaxed);
+    tasks_done_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 namespace {

@@ -7,6 +7,7 @@
 // that per-chunk RNG substreams give run-to-run reproducible results
 // independent of the number of worker threads.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -77,6 +78,21 @@ class WorkerPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Cumulative worker activity, for utilization gauges. `tasks` counts
+  /// every dequeued task (submitted jobs *and* the max-priority helper
+  /// shifts parallel() regions enqueue); `busy_ms` is the summed
+  /// steady_clock time workers spent inside them. The caller thread's
+  /// own participation in parallel() is not pool time and is not
+  /// counted. Approximate by design — counters are relaxed atomics.
+  struct PoolStats {
+    std::uint64_t tasks = 0;
+    double busy_ms = 0.0;
+  };
+  PoolStats stats() const noexcept {
+    return PoolStats{tasks_done_.load(std::memory_order_relaxed),
+                     static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) / 1e6};
+  }
+
   /// Enqueues one task. Thread-safe; may be called from inside a task.
   void submit(std::function<void()> fn, int priority = 0) EASCHED_EXCLUDES(mutex_);
 
@@ -102,6 +118,9 @@ class WorkerPool {
   std::map<TaskKey, std::function<void()>> queue_ EASCHED_GUARDED_BY(mutex_);
   std::uint64_t next_seq_ EASCHED_GUARDED_BY(mutex_) = 0;
   bool stopping_ EASCHED_GUARDED_BY(mutex_) = false;
+  /// Worker activity counters for stats(); relaxed — observability only.
+  std::atomic<std::uint64_t> tasks_done_{0};
+  std::atomic<std::uint64_t> busy_ns_{0};
   /// Only mutated in the constructor (before any worker can observe the
   /// pool) and joined in the destructor; size() reads it lock-free.
   std::vector<std::thread> workers_;

@@ -53,4 +53,9 @@ double quantile_sorted(const std::vector<double>& sorted, double q) noexcept {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+double percentile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  return quantile_sorted(samples, q);
+}
+
 }  // namespace easched::common

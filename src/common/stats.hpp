@@ -61,4 +61,10 @@ struct Proportion {
 /// Quantile of a sorted sample (linear interpolation); q in [0,1].
 double quantile_sorted(const std::vector<double>& sorted, double q) noexcept;
 
+/// Exact q-quantile of an *unsorted* sample: copies, sorts, and linearly
+/// interpolates exactly like quantile_sorted (q clamped to [0,1]; 0 for
+/// an empty sample). The convenience every bench's p50/p99 reporting
+/// goes through — one interpolation rule repo-wide.
+double percentile(std::vector<double> samples, double q);
+
 }  // namespace easched::common

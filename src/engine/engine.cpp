@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <exception>
+#include <ostream>
+#include <string>
 
 namespace easched::engine {
 
@@ -12,6 +15,124 @@ double elapsed_ms(std::chrono::steady_clock::time_point since) {
   return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                    since)
       .count();
+}
+
+double ms_between(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+double us_since(std::chrono::steady_clock::time_point epoch,
+                std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration<double, std::micro>(t - epoch).count();
+}
+
+/// The outcome label a completed job's status maps to. Coarse on
+/// purpose: label cardinality stays bounded no matter what statuses
+/// solvers invent.
+const char* outcome_label(common::StatusCode code) {
+  switch (code) {
+    case common::StatusCode::kOk:
+      return "ok";
+    case common::StatusCode::kCancelled:
+      return "cancelled";
+    case common::StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case common::StatusCode::kOverloaded:
+      return "shed";
+    default:
+      return "error";
+  }
+}
+
+/// Resolves one kind's metric handles (no-op with metrics off — only
+/// the kind label is filled in, for trace spans).
+detail::KindInstruments kind_instruments(obs::Registry* reg, const char* kind) {
+  detail::KindInstruments ki;
+  ki.kind = kind;
+  if (reg == nullptr) return ki;
+  const obs::LabelSet by_kind{{"kind", kind}};
+  ki.submitted = reg->counter("easched_jobs_submitted_total", by_kind);
+  ki.shed = reg->counter("easched_jobs_shed_total", by_kind);
+  ki.completed_ok =
+      reg->counter("easched_jobs_completed_total", {{"kind", kind}, {"outcome", "ok"}});
+  ki.queue_wait_ms = reg->histogram("easched_job_queue_wait_ms", by_kind);
+  ki.latency_ms0 =
+      reg->histogram("easched_job_latency_ms", {{"kind", kind}, {"priority", "0"}});
+  ki.latency_sync =
+      reg->histogram("easched_job_latency_ms", {{"kind", kind}, {"priority", "sync"}});
+  return ki;
+}
+
+/// Records one completed job: queue wait + run latency histograms, the
+/// completed counter, and (when tracing) the lifecycle span. The common
+/// case (priority 0, outcome ok) goes entirely through pre-resolved
+/// handles; unusual priorities/outcomes pay one registry lookup.
+void record_job(const detail::Instruments& ins, const detail::KindInstruments& ki,
+                std::uint64_t id, int priority, const char* outcome,
+                std::chrono::steady_clock::time_point submitted,
+                std::chrono::steady_clock::time_point started,
+                std::chrono::steady_clock::time_point ended) {
+  if (ins.registry != nullptr) {
+    ki.queue_wait_ms->observe(ms_between(submitted, started));
+    obs::Histogram* latency =
+        priority == 0 ? ki.latency_ms0
+                      : ins.registry->histogram(
+                            "easched_job_latency_ms",
+                            {{"kind", ki.kind}, {"priority", std::to_string(priority)}});
+    latency->observe(ms_between(started, ended));
+    obs::Counter* completed =
+        std::strcmp(outcome, "ok") == 0
+            ? ki.completed_ok
+            : ins.registry->counter("easched_jobs_completed_total",
+                                    {{"kind", ki.kind}, {"outcome", outcome}});
+    completed->inc();
+  }
+  if (ins.trace != nullptr) {
+    obs::TraceSpan span;
+    span.job = id;
+    span.kind = ki.kind;
+    span.outcome = outcome;
+    span.priority = priority;
+    span.submit_us = us_since(ins.epoch, submitted);
+    span.start_us = us_since(ins.epoch, started);
+    span.end_us = us_since(ins.epoch, ended);
+    ins.trace->record(span);
+  }
+}
+
+/// A job admission control rejected: it never ran, so its span is a
+/// zero-length lifecycle at the submit instant with outcome "shed".
+void record_shed(const detail::Instruments& ins, const detail::KindInstruments& ki,
+                 std::uint64_t id, int priority,
+                 std::chrono::steady_clock::time_point now) {
+  if (ins.registry != nullptr) {
+    ki.submitted->inc();
+    ki.shed->inc();
+  }
+  if (ins.trace != nullptr) {
+    obs::TraceSpan span;
+    span.job = id;
+    span.kind = ki.kind;
+    span.outcome = "shed";
+    span.priority = priority;
+    span.submit_us = span.start_us = span.end_us = us_since(ins.epoch, now);
+    ins.trace->record(span);
+  }
+}
+
+/// One synchronous convenience call: latency under priority="sync" plus
+/// the completed counter. Sync calls are not jobs — no queue wait, no
+/// trace span. Call only with the registry on.
+void record_sync(const detail::Instruments& ins, const detail::KindInstruments& ki,
+                 std::chrono::steady_clock::time_point begin, const char* outcome) {
+  ki.latency_sync->observe(elapsed_ms(begin));
+  obs::Counter* completed =
+      std::strcmp(outcome, "ok") == 0
+          ? ki.completed_ok
+          : ins.registry->counter("easched_jobs_completed_total",
+                                  {{"kind", ki.kind}, {"outcome", outcome}});
+  completed->inc();
 }
 
 frontier::FrontierResult frontier_error(frontier::ConstraintAxis axis,
@@ -325,6 +446,23 @@ common::Result<Engine> Engine::create(EngineConfig config) {
   engine.sweeper_ = std::make_unique<frontier::FrontierEngine>(engine.cache_.get());
   engine.next_job_id_ = std::make_unique<std::atomic<std::uint64_t>>(1);
   engine.queued_ = std::make_unique<std::atomic<std::size_t>>(0);
+
+  if (config.metrics) engine.metrics_ = std::make_unique<obs::Registry>();
+  if (config.trace_capacity > 0) {
+    engine.trace_ = std::make_unique<obs::TraceBuffer>(config.trace_capacity);
+  }
+  if (engine.metrics_ != nullptr || engine.trace_ != nullptr) {
+    auto ins = std::make_unique<detail::Instruments>();
+    ins->registry = engine.metrics_.get();
+    ins->trace = engine.trace_.get();
+    ins->epoch = std::chrono::steady_clock::now();
+    ins->solve = kind_instruments(ins->registry, "solve");
+    ins->batch = kind_instruments(ins->registry, "batch");
+    ins->frontier = kind_instruments(ins->registry, "frontier");
+    ins->resweep = kind_instruments(ins->registry, "resweep");
+    engine.instruments_ = std::move(ins);
+  }
+
   engine.deadline_watch_ = std::make_unique<detail::DeadlineWatch>();
   engine.pool_ = std::make_unique<common::WorkerPool>(config.threads);
   return engine;
@@ -332,8 +470,10 @@ common::Result<Engine> Engine::create(EngineConfig config) {
 
 // ---- submit plumbing ----
 
-template <typename T, typename Fn, typename Shed>
-JobHandle<T> Engine::enqueue(const SubmitOptions& opts, Fn run, Shed shed) {
+template <typename T, typename Fn, typename Shed, typename Outcome>
+JobHandle<T> Engine::enqueue(const detail::KindInstruments* ki, const SubmitOptions& opts,
+                             Fn run, Shed shed, Outcome outcome_of) {
+  detail::Instruments* const ins = instruments_.get();  // null = observability off
   auto state = std::make_shared<detail::JobState<T>>();
   state->id = next_job_id_->fetch_add(1, std::memory_order_relaxed);
 
@@ -345,6 +485,10 @@ JobHandle<T> Engine::enqueue(const SubmitOptions& opts, Fn run, Shed shed) {
     const std::size_t queued = queued_->fetch_add(1, std::memory_order_relaxed);
     if (queued >= cap) {
       queued_->fetch_sub(1, std::memory_order_relaxed);
+      if (ins != nullptr) {
+        record_shed(*ins, *ki, state->id, opts.priority,
+                    std::chrono::steady_clock::now());
+      }
       state->complete(shed());
       return JobHandle<T>(std::move(state));
     }
@@ -353,6 +497,7 @@ JobHandle<T> Engine::enqueue(const SubmitOptions& opts, Fn run, Shed shed) {
   }
 
   const auto submitted = std::chrono::steady_clock::now();
+  if (ins != nullptr && ins->registry != nullptr) ki->submitted->inc();
   const double deadline_ms = opts.deadline_ms;
   if (deadline_ms > 0.0) {
     // Arm the running-deadline watchdog with weak references into the
@@ -365,10 +510,27 @@ JobHandle<T> Engine::enqueue(const SubmitOptions& opts, Fn run, Shed shed) {
   }
   std::atomic<std::size_t>* queued_counter = queued_.get();
   pool_->submit(
-      [state, submitted, deadline_ms, queued_counter, run = std::move(run)]() mutable {
+      [state, submitted, deadline_ms, queued_counter, ins, ki, priority = opts.priority,
+       run = std::move(run), outcome_of = std::move(outcome_of)]() mutable {
         queued_counter->fetch_sub(1, std::memory_order_relaxed);
-        const bool expired = deadline_ms > 0.0 && elapsed_ms(submitted) > deadline_ms;
-        state->complete(run(*state, expired));
+        if (ins == nullptr) {
+          const bool expired = deadline_ms > 0.0 && elapsed_ms(submitted) > deadline_ms;
+          state->complete(run(*state, expired));
+          return;
+        }
+        // One clock read serves both the queued-deadline check (same
+        // now()-at-pickup semantics as the uninstrumented path) and the
+        // span's start timestamp.
+        const auto started = std::chrono::steady_clock::now();
+        const bool expired =
+            deadline_ms > 0.0 && ms_between(submitted, started) > deadline_ms;
+        T value = run(*state, expired);
+        const auto ended = std::chrono::steady_clock::now();
+        const char* outcome = outcome_of(value);
+        // Record before completing: once a waiter observes the result,
+        // the job's metrics and trace span are guaranteed visible too.
+        record_job(*ins, *ki, state->id, priority, outcome, submitted, started, ended);
+        state->complete(std::move(value));
       },
       opts.priority);
   return JobHandle<T>(std::move(state));
@@ -378,7 +540,7 @@ Engine::SolveHandle Engine::submit(SolveQuery query, const SubmitOptions& opts) 
   using R = common::Result<api::SolveReport>;
   frontier::SolveCache* cache = cache_.get();
   return enqueue<R>(
-      opts,
+      instruments_ ? &instruments_->solve : nullptr, opts,
       [cache, query = std::move(query)](detail::JobState<R>& state, bool expired) -> R {
         if (expired) {
           return common::Status::deadline_exceeded(
@@ -399,7 +561,8 @@ Engine::SolveHandle Engine::submit(SolveQuery query, const SubmitOptions& opts) 
       },
       []() -> R {
         return common::Status::overloaded("solve job shed: engine queue is full");
-      });
+      },
+      [](const R& r) { return r.is_ok() ? "ok" : outcome_label(r.status().code()); });
 }
 
 Engine::BatchHandle Engine::submit(BatchQuery query, const SubmitOptions& opts) {
@@ -411,7 +574,7 @@ Engine::BatchHandle Engine::submit(BatchQuery query, const SubmitOptions& opts) 
   // read `query` itself.
   std::vector<api::BatchJob> shed_jobs = query.jobs;
   return enqueue<R>(
-      opts,
+      instruments_ ? &instruments_->batch : nullptr, opts,
       [cache, pool, query = std::move(query)](detail::JobState<R>& state,
                                               bool expired) -> R {
         try {
@@ -442,6 +605,15 @@ Engine::BatchHandle Engine::submit(BatchQuery query, const SubmitOptions& opts) 
       [jobs = std::move(shed_jobs)]() -> R {
         return batch_error(jobs,
                            common::Status::overloaded("batch job shed: engine queue is full"));
+      },
+      [](const R& r) -> const char* {
+        // A batch's outcome is its worst slot: all-ok is "ok", otherwise
+        // the first non-ok status names the label (deadline/cancel
+        // rewrites already happened upstream).
+        for (const auto& result : r.results) {
+          if (!result.is_ok()) return outcome_label(result.status().code());
+        }
+        return "ok";
       });
 }
 
@@ -451,7 +623,7 @@ Engine::FrontierHandle Engine::submit(FrontierQuery query, const SubmitOptions& 
   common::WorkerPool* pool = pool_.get();
   const frontier::ConstraintAxis axis = query.axis;
   return enqueue<R>(
-      opts,
+      instruments_ ? &instruments_->frontier : nullptr, opts,
       [sweeper, pool, query = std::move(query)](detail::JobState<R>& state,
                                                 bool expired) -> R {
         if (expired) {
@@ -475,7 +647,8 @@ Engine::FrontierHandle Engine::submit(FrontierQuery query, const SubmitOptions& 
       [axis]() -> R {
         return frontier_error(
             axis, common::Status::overloaded("frontier job shed: engine queue is full"));
-      });
+      },
+      [](const R& r) { return r.error.is_ok() ? "ok" : outcome_label(r.error.code()); });
 }
 
 Engine::FrontierHandle Engine::submit(ResweepQuery query, const SubmitOptions& opts) {
@@ -484,7 +657,7 @@ Engine::FrontierHandle Engine::submit(ResweepQuery query, const SubmitOptions& o
   common::WorkerPool* pool = pool_.get();
   const frontier::ConstraintAxis axis = query.target.axis;
   return enqueue<R>(
-      opts,
+      instruments_ ? &instruments_->resweep : nullptr, opts,
       [sweeper, pool, query = std::move(query)](detail::JobState<R>& state,
                                                 bool expired) -> R {
         if (expired) {
@@ -509,7 +682,8 @@ Engine::FrontierHandle Engine::submit(ResweepQuery query, const SubmitOptions& o
       [axis]() -> R {
         return frontier_error(
             axis, common::Status::overloaded("resweep job shed: engine queue is full"));
-      });
+      },
+      [](const R& r) { return r.error.is_ok() ? "ok" : outcome_label(r.error.code()); });
 }
 
 // ---- synchronous conveniences ----
@@ -517,13 +691,29 @@ Engine::FrontierHandle Engine::submit(ResweepQuery query, const SubmitOptions& o
 common::Result<api::SolveReport> Engine::solve(const core::BiCritProblem& problem,
                                                std::string solver,
                                                const api::SolveOptions& options) {
-  return execute_solve(*cache_, SolveQuery(problem, std::move(solver), options));
+  detail::Instruments* const ins = instruments_.get();
+  if (ins == nullptr || ins->registry == nullptr) {
+    return execute_solve(*cache_, SolveQuery(problem, std::move(solver), options));
+  }
+  const auto begin = std::chrono::steady_clock::now();
+  auto result = execute_solve(*cache_, SolveQuery(problem, std::move(solver), options));
+  record_sync(*ins, ins->solve, begin,
+              result.is_ok() ? "ok" : outcome_label(result.status().code()));
+  return result;
 }
 
 common::Result<api::SolveReport> Engine::solve(const core::TriCritProblem& problem,
                                                std::string solver,
                                                const api::SolveOptions& options) {
-  return execute_solve(*cache_, SolveQuery(problem, std::move(solver), options));
+  detail::Instruments* const ins = instruments_.get();
+  if (ins == nullptr || ins->registry == nullptr) {
+    return execute_solve(*cache_, SolveQuery(problem, std::move(solver), options));
+  }
+  const auto begin = std::chrono::steady_clock::now();
+  auto result = execute_solve(*cache_, SolveQuery(problem, std::move(solver), options));
+  record_sync(*ins, ins->solve, begin,
+              result.is_ok() ? "ok" : outcome_label(result.status().code()));
+  return result;
 }
 
 api::BatchReport Engine::solve_batch(std::vector<api::BatchJob> jobs, std::string solver,
@@ -532,15 +722,129 @@ api::BatchReport Engine::solve_batch(std::vector<api::BatchJob> jobs, std::strin
   query.jobs = std::move(jobs);
   query.solver = std::move(solver);
   query.options = options;
-  return execute_batch(*cache_, *pool_, query, nullptr, /*expired=*/false);
+  detail::Instruments* const ins = instruments_.get();
+  if (ins == nullptr || ins->registry == nullptr) {
+    return execute_batch(*cache_, *pool_, query, nullptr, /*expired=*/false);
+  }
+  const auto begin = std::chrono::steady_clock::now();
+  api::BatchReport report = execute_batch(*cache_, *pool_, query, nullptr,
+                                          /*expired=*/false);
+  const char* outcome = "ok";
+  for (const auto& result : report.results) {
+    if (!result.is_ok()) {
+      outcome = outcome_label(result.status().code());
+      break;
+    }
+  }
+  record_sync(*ins, ins->batch, begin, outcome);
+  return report;
 }
 
 frontier::FrontierResult Engine::sweep(FrontierQuery query) {
-  return execute_frontier(*sweeper_, *pool_, query, nullptr);
+  detail::Instruments* const ins = instruments_.get();
+  if (ins == nullptr || ins->registry == nullptr) {
+    return execute_frontier(*sweeper_, *pool_, query, nullptr);
+  }
+  const auto begin = std::chrono::steady_clock::now();
+  frontier::FrontierResult result = execute_frontier(*sweeper_, *pool_, query, nullptr);
+  record_sync(*ins, ins->frontier, begin,
+              result.error.is_ok() ? "ok" : outcome_label(result.error.code()));
+  return result;
 }
 
 frontier::FrontierResult Engine::resweep(ResweepQuery query) {
-  return execute_resweep(*sweeper_, *pool_, query, nullptr);
+  detail::Instruments* const ins = instruments_.get();
+  if (ins == nullptr || ins->registry == nullptr) {
+    return execute_resweep(*sweeper_, *pool_, query, nullptr);
+  }
+  const auto begin = std::chrono::steady_clock::now();
+  frontier::FrontierResult result = execute_resweep(*sweeper_, *pool_, query, nullptr);
+  record_sync(*ins, ins->resweep, begin,
+              result.error.is_ok() ? "ok" : outcome_label(result.error.code()));
+  return result;
+}
+
+// ---- observability exports ----
+
+void Engine::sample_gauges() {
+  obs::Registry& reg = *metrics_;
+
+  reg.gauge("easched_queue_depth")->set(static_cast<double>(queued_jobs()));
+
+  const common::WorkerPool::PoolStats ps = pool_->stats();
+  const std::size_t threads = pool_->size();
+  reg.gauge("easched_pool_threads")->set(static_cast<double>(threads));
+  reg.gauge("easched_pool_tasks")->set(static_cast<double>(ps.tasks));
+  reg.gauge("easched_pool_busy_ms")->set(ps.busy_ms);
+  // Fraction of thread-time spent in tasks since the engine epoch.
+  const double elapsed =
+      instruments_ != nullptr ? ms_between(instruments_->epoch,
+                                           std::chrono::steady_clock::now())
+                              : 0.0;
+  const double capacity_ms = elapsed * static_cast<double>(threads);
+  reg.gauge("easched_pool_utilization")
+      ->set(capacity_ms > 0.0 ? std::min(1.0, ps.busy_ms / capacity_ms) : 0.0);
+
+  const frontier::CacheStats cs = cache_->stats();
+  reg.gauge("easched_cache_entries")->set(static_cast<double>(cs.entries));
+  reg.gauge("easched_cache_bytes")->set(static_cast<double>(cs.bytes));
+  reg.gauge("easched_cache_hits")->set(static_cast<double>(cs.hits));
+  reg.gauge("easched_cache_misses")->set(static_cast<double>(cs.misses));
+  reg.gauge("easched_cache_store_hits")->set(static_cast<double>(cs.store_hits));
+  reg.gauge("easched_cache_evictions")->set(static_cast<double>(cs.evictions));
+  reg.gauge("easched_cache_spills")->set(static_cast<double>(cs.spills));
+  reg.gauge("easched_cache_warm_seeds")->set(static_cast<double>(cs.warm_seeds));
+  reg.gauge("easched_cache_interned_blobs")->set(static_cast<double>(cs.interned_blobs));
+  reg.gauge("easched_cache_hit_rate")->set(cs.hit_rate());
+
+  const std::vector<frontier::ShardCacheStats> shards = cache_->shard_stats();
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const obs::LabelSet by_shard{{"shard", std::to_string(i)}};
+    reg.gauge("easched_cache_shard_entries", by_shard)
+        ->set(static_cast<double>(shards[i].entries));
+    reg.gauge("easched_cache_shard_bytes", by_shard)
+        ->set(static_cast<double>(shards[i].bytes));
+    reg.gauge("easched_cache_shard_hits", by_shard)
+        ->set(static_cast<double>(shards[i].hits));
+    reg.gauge("easched_cache_shard_misses", by_shard)
+        ->set(static_cast<double>(shards[i].misses));
+    reg.gauge("easched_cache_shard_evictions", by_shard)
+        ->set(static_cast<double>(shards[i].evictions));
+    reg.gauge("easched_cache_shard_spills", by_shard)
+        ->set(static_cast<double>(shards[i].spills));
+  }
+
+  if (store_ != nullptr) {
+    const store::StoreStats ss = store_->stats();
+    reg.gauge("easched_store_blobs")->set(static_cast<double>(ss.blobs));
+    reg.gauge("easched_store_entries")->set(static_cast<double>(ss.entries));
+    reg.gauge("easched_store_superseded")->set(static_cast<double>(ss.superseded));
+    reg.gauge("easched_store_file_bytes")->set(static_cast<double>(ss.file_bytes));
+    reg.gauge("easched_store_torn_bytes")->set(static_cast<double>(ss.torn_bytes));
+    reg.gauge("easched_store_appended")->set(static_cast<double>(ss.appended));
+    reg.gauge("easched_store_served")->set(static_cast<double>(ss.served));
+  }
+}
+
+void Engine::write_metrics_text(std::ostream& os) {
+  if (metrics_ == nullptr) return;
+  sample_gauges();
+  metrics_->write_text(os);
+}
+
+void Engine::write_metrics_json(std::ostream& os) {
+  if (metrics_ == nullptr) {
+    os << "{\"metrics\": []}\n";
+    return;
+  }
+  sample_gauges();
+  metrics_->write_json(os);
+}
+
+bool Engine::write_trace_json(std::ostream& os) const {
+  if (trace_ == nullptr) return false;
+  trace_->write_chrome_json(os);
+  return true;
 }
 
 }  // namespace easched::engine

@@ -56,6 +56,8 @@
 #include "core/problem.hpp"
 #include "frontier/cache.hpp"
 #include "frontier/frontier.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "store/store.hpp"
 
 namespace easched::engine {
@@ -92,6 +94,14 @@ struct EngineConfig {
   /// fans out internally (pool.parallel) are not jobs and never count.
   /// 0 (the default) keeps admission unbounded.
   std::size_t max_queued_jobs = 0;
+  /// Metrics collection (src/obs): per-kind job counters and latency /
+  /// queue-wait histograms, plus cache/store/pool gauges sampled at
+  /// export time. Strictly observational — results are bit-identical
+  /// with metrics on or off; off skips even the clock reads.
+  bool metrics = true;
+  /// > 0: retain the newest `trace_capacity` completed job lifecycles
+  /// (submit -> start -> end) for write_trace_json(). 0 disables tracing.
+  std::size_t trace_capacity = 0;
 };
 
 /// Per-submission knobs.
@@ -229,6 +239,37 @@ struct JobState {
   const T& completed_value() const EASCHED_NO_THREAD_SAFETY_ANALYSIS {
     return *result;
   }
+};
+
+/// Pre-resolved metric handles for one query kind. The job hot path
+/// records through these raw pointers (stable for the Registry's
+/// lifetime) — registry lookups happen once at engine construction, plus
+/// lazily for uncommon (outcome, priority) combinations. All pointers
+/// are null when metrics are disabled; `kind` is always set.
+struct KindInstruments {
+  const char* kind = "";
+  obs::Counter* submitted = nullptr;        ///< easched_jobs_submitted_total{kind}
+  obs::Counter* shed = nullptr;             ///< easched_jobs_shed_total{kind}
+  obs::Counter* completed_ok = nullptr;     ///< ..._completed_total{kind,outcome="ok"}
+  obs::Histogram* queue_wait_ms = nullptr;  ///< easched_job_queue_wait_ms{kind}
+  obs::Histogram* latency_ms0 = nullptr;    ///< ..._latency_ms{kind,priority="0"}
+  obs::Histogram* latency_sync = nullptr;   ///< ..._latency_ms{kind,priority="sync"}
+};
+
+/// Everything a queued job needs to record itself: owned by the Engine
+/// behind a unique_ptr (stable across moves, like the other components),
+/// captured by address in pool lambdas. `registry`/`trace` may each be
+/// null — metrics and tracing toggle independently.
+struct Instruments {
+  obs::Registry* registry = nullptr;
+  obs::TraceBuffer* trace = nullptr;
+  /// Engine creation time: every exported duration/timestamp is relative
+  /// to this steady_clock origin (wall clock never enters the formats).
+  std::chrono::steady_clock::time_point epoch{};
+  KindInstruments solve;
+  KindInstruments batch;
+  KindInstruments frontier;
+  KindInstruments resweep;
 };
 
 /// One lazily-started thread that cooperatively cancels *running* jobs
@@ -443,6 +484,25 @@ class Engine {
   /// through it share the engine cache but not the pool/cancel plumbing.
   const frontier::FrontierEngine& sweeper() const noexcept { return *sweeper_; }
 
+  // ---- observability (strictly observational; see src/obs) ----
+
+  /// The engine's metric registry; nullptr when EngineConfig::metrics is
+  /// false. Co-located layers (the serve daemon) register their own
+  /// series here so one scrape covers the whole process.
+  obs::Registry* metrics() noexcept { return metrics_.get(); }
+  /// The job trace ring; nullptr when trace_capacity is 0.
+  const obs::TraceBuffer* trace() const noexcept { return trace_.get(); }
+
+  /// Samples the point-in-time gauges (queue depth, pool utilization,
+  /// cache and store state) into the registry, then writes the whole
+  /// registry as Prometheus-style text. Writes nothing with metrics off.
+  void write_metrics_text(std::ostream& os);
+  /// Same state as one JSON document ({"metrics": []} with metrics off).
+  void write_metrics_json(std::ostream& os);
+  /// Chrome trace_event JSON of the retained job spans; false (nothing
+  /// written) when tracing is off.
+  bool write_trace_json(std::ostream& os) const;
+
  private:
   Engine() = default;
 
@@ -453,9 +513,16 @@ class Engine {
   /// unique_ptr), never `this`, so moving the Engine with jobs in flight
   /// is safe. When admission control rejects (queued_ at the cap),
   /// `shed()` is invoked instead and its T completes the handle
-  /// synchronously.
-  template <typename T, typename Fn, typename Shed>
-  JobHandle<T> enqueue(const SubmitOptions& opts, Fn run, Shed shed);
+  /// synchronously. `ki` points at the query kind's pre-resolved metric
+  /// handles inside instruments_ (null when observability is fully off);
+  /// `outcome_of(T)` maps the completed value to its outcome label.
+  template <typename T, typename Fn, typename Shed, typename Outcome>
+  JobHandle<T> enqueue(const detail::KindInstruments* ki, const SubmitOptions& opts,
+                       Fn run, Shed shed, Outcome outcome_of);
+
+  /// Refreshes the sampled gauges (queue/pool/cache/store) before an
+  /// export. Requires metrics_ != nullptr.
+  void sample_gauges();
 
   EngineConfig config_;
   std::unique_ptr<store::SolveStore> store_;     ///< outlives the cache
@@ -464,6 +531,12 @@ class Engine {
   std::unique_ptr<std::atomic<std::uint64_t>> next_job_id_;
   /// Submitted-but-not-started count, for max_queued_jobs admission.
   std::unique_ptr<std::atomic<std::size_t>> queued_;
+  /// Observability state. Jobs in flight reach it only through the
+  /// stable instruments_ address, so it must outlive the pool — declared
+  /// before pool_ like every other component jobs touch.
+  std::unique_ptr<obs::Registry> metrics_;     ///< null = metrics off
+  std::unique_ptr<obs::TraceBuffer> trace_;    ///< null = tracing off
+  std::unique_ptr<detail::Instruments> instruments_;  ///< null = both off
   /// Cooperative running-job deadline enforcement; thread starts lazily
   /// on the first deadline-carrying submit. Destroyed after the pool (so
   /// declared before it): jobs never touch the watch, only the watch's

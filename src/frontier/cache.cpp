@@ -222,7 +222,7 @@ common::Status SolveCache::attach_store(store::SolveStore* store) {
       if (shard.index.find(key) != shard.index.end()) return;
       insert_locked(shard, key, point.kind, result, /*persisted=*/true, spills);
     }
-    spill_now(spills);  // loaded entries are persisted, so this is empty
+    spill_now(shard, spills);  // loaded entries are persisted, so this is empty
   });
   return common::Status::ok();
 }
@@ -289,7 +289,7 @@ SolveCache::CachedResult SolveCache::try_get(const CacheKey& key, bool* cache_hi
     if (cache_hit != nullptr) *cache_hit = false;
     return nullptr;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  shard.hits.fetch_add(1, std::memory_order_relaxed);
   if (cache_hit != nullptr) *cache_hit = true;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->result;
@@ -338,11 +338,11 @@ void SolveCache::evict_locked(Shard& shard, std::vector<Spill>& spills) {
     instances_.release(victim.key.instance);
     shard.index.erase(victim.key);
     shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-void SolveCache::spill_now(const std::vector<Spill>& spills) {
+void SolveCache::spill_now(Shard& shard, const std::vector<Spill>& spills) {
   store::SolveStore* const store = store_.load(std::memory_order_acquire);
   if (store == nullptr) return;
   for (const Spill& spill : spills) {
@@ -350,7 +350,7 @@ void SolveCache::spill_now(const std::vector<Spill>& spills) {
             ->put(spill.digest, *spill.bytes, solver_name_for(spill.key.solver),
                   point_key_from(spill.key, spill.kind), spill.result)
             .is_ok()) {
-      spills_.fetch_add(1, std::memory_order_relaxed);
+      shard.spills.fetch_add(1, std::memory_order_relaxed);
     }
   }
 }
@@ -364,7 +364,7 @@ SolveCache::CachedResult SolveCache::solve_shared(const api::SolveRequest& reque
     common::MutexLock lock(shard.mutex);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
       if (cache_hit != nullptr) *cache_hit = true;
       // Touch: a hit moves the entry to the front of the LRU order.
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -412,7 +412,7 @@ SolveCache::CachedResult SolveCache::solve_shared(const api::SolveRequest& reque
                               spills);
         }
       }
-      spill_now(spills);
+      spill_now(shard, spills);
       return out;
     }
   }
@@ -422,7 +422,7 @@ SolveCache::CachedResult SolveCache::solve_shared(const api::SolveRequest& reque
   // nearest stored schedule of the same instance — purely a performance
   // hint (the optimum is the same to solver tolerance), which is why it
   // is opt-in: seeded solves may differ from cold ones in low-order bits.
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
   if (cache_hit != nullptr) *cache_hit = false;
   CachedResult result;
   if (store != nullptr && store->options().warm_start &&
@@ -467,7 +467,7 @@ SolveCache::CachedResult SolveCache::solve_shared(const api::SolveRequest& reque
       out = insert_locked(shard, key, kind, std::move(result), persisted, spills);
     }
   }
-  spill_now(spills);
+  spill_now(shard, spills);
   return out;
 }
 
@@ -484,19 +484,36 @@ common::Result<api::SolveReport> SolveCache::solve(const api::SolveRequest& requ
 
 CacheStats SolveCache::stats() const {
   CacheStats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
   s.store_hits = store_hits_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
-  s.spills = spills_.load(std::memory_order_relaxed);
   s.warm_seeds = warm_seeds_.load(std::memory_order_relaxed);
   s.interned_blobs = instances_.size();
   for (std::size_t i = 0; i <= mask_; ++i) {
-    common::MutexLock lock(shards_[i].mutex);
-    s.entries += shards_[i].index.size();
-    s.bytes += shards_[i].bytes;
+    Shard& shard = shards_[i];
+    s.hits += shard.hits.load(std::memory_order_relaxed);
+    s.misses += shard.misses.load(std::memory_order_relaxed);
+    s.evictions += shard.evictions.load(std::memory_order_relaxed);
+    s.spills += shard.spills.load(std::memory_order_relaxed);
+    common::MutexLock lock(shard.mutex);
+    s.entries += shard.index.size();
+    s.bytes += shard.bytes;
   }
   return s;
+}
+
+std::vector<ShardCacheStats> SolveCache::shard_stats() const {
+  std::vector<ShardCacheStats> out(mask_ + 1);
+  for (std::size_t i = 0; i <= mask_; ++i) {
+    Shard& shard = shards_[i];
+    ShardCacheStats& s = out[i];
+    s.hits = shard.hits.load(std::memory_order_relaxed);
+    s.misses = shard.misses.load(std::memory_order_relaxed);
+    s.evictions = shard.evictions.load(std::memory_order_relaxed);
+    s.spills = shard.spills.load(std::memory_order_relaxed);
+    common::MutexLock lock(shard.mutex);
+    s.entries = shard.index.size();
+    s.bytes = shard.bytes;
+  }
+  return out;
 }
 
 std::size_t SolveCache::size() const {
@@ -510,17 +527,20 @@ std::size_t SolveCache::size() const {
 
 void SolveCache::clear() {
   for (std::size_t i = 0; i <= mask_; ++i) {
-    common::MutexLock lock(shards_[i].mutex);
-    shards_[i].index.clear();
-    shards_[i].lru.clear();
-    shards_[i].bytes = 0;
+    Shard& shard = shards_[i];
+    {
+      common::MutexLock lock(shard.mutex);
+      shard.index.clear();
+      shard.lru.clear();
+      shard.bytes = 0;
+    }
+    shard.hits.store(0, std::memory_order_relaxed);
+    shard.misses.store(0, std::memory_order_relaxed);
+    shard.evictions.store(0, std::memory_order_relaxed);
+    shard.spills.store(0, std::memory_order_relaxed);
   }
   instances_.clear();
-  hits_.store(0, std::memory_order_relaxed);
-  misses_.store(0, std::memory_order_relaxed);
   store_hits_.store(0, std::memory_order_relaxed);
-  evictions_.store(0, std::memory_order_relaxed);
-  spills_.store(0, std::memory_order_relaxed);
   warm_seeds_.store(0, std::memory_order_relaxed);
 }
 

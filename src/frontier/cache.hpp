@@ -96,6 +96,18 @@ struct CacheStats {
   }
 };
 
+/// Per-shard slice of CacheStats (shard_stats()): hot-shard skew is
+/// invisible in the aggregate, so the observability layer exports these
+/// under a shard label.
+struct ShardCacheStats {
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  std::size_t spills = 0;
+};
+
 /// Exact canonical serialisation of everything `api::solve(request)`
 /// depends on (api::instance_bytes + the per-point suffix). Two requests
 /// share a fingerprint iff a solver cannot tell them apart. Kept for
@@ -293,6 +305,11 @@ class SolveCache {
                                          bool* cache_hit = nullptr);
 
   CacheStats stats() const;
+  /// One entry per shard, in shard order. The hits/misses/evictions/
+  /// spills counters partition the aggregate ones exactly (stats() sums
+  /// these); entries/bytes are point-in-time snapshots.
+  std::vector<ShardCacheStats> shard_stats() const;
+  std::size_t shard_count() const noexcept { return mask_ + 1; }
   std::size_t size() const;
   /// Total entry cap (0 = unbounded) and the byte cap (0 = unbounded).
   std::size_t capacity() const noexcept { return capacity_; }
@@ -322,6 +339,14 @@ class SolveCache {
     std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index
         EASCHED_GUARDED_BY(mutex);
     std::size_t bytes EASCHED_GUARDED_BY(mutex) = 0;  ///< sum of entry footprints
+    /// Per-shard effectiveness counters (summed by stats(), exported per
+    /// shard by shard_stats()). Atomics, not guarded: the hit path bumps
+    /// them under the shard mutex anyway, but keeping them lock-free lets
+    /// shard_stats() read without serialising against live probes.
+    std::atomic<std::size_t> hits{0};
+    std::atomic<std::size_t> misses{0};
+    std::atomic<std::size_t> evictions{0};
+    std::atomic<std::size_t> spills{0};
   };
 
   /// An evicted entry waiting to be persisted. Everything the append
@@ -350,9 +375,9 @@ class SolveCache {
   /// never-persisted victims into `spills` when the store asks for that.
   void evict_locked(Shard& shard, std::vector<Spill>& spills)
       EASCHED_REQUIRES(shard.mutex);
-  /// Appends collected victims to the store. Takes no cache locks; call
-  /// with none held.
-  void spill_now(const std::vector<Spill>& spills);
+  /// Appends collected victims of `shard` to the store. Takes no cache
+  /// locks; call with none held.
+  void spill_now(Shard& shard, const std::vector<Spill>& spills);
   /// Reverse of the solver-name interning (empty string for unknown ids).
   std::string solver_name_for(std::uint64_t id) const;
 
@@ -373,11 +398,9 @@ class SolveCache {
       EASCHED_GUARDED_BY(solver_mutex_);
   /// id - 1 -> name.
   std::vector<std::string> solver_names_ EASCHED_GUARDED_BY(solver_mutex_);
-  std::atomic<std::size_t> hits_{0};
-  std::atomic<std::size_t> misses_{0};
+  /// Store-path counters stay global (the store is not sharded); the
+  /// in-memory hit/miss/eviction/spill counters live per shard.
   std::atomic<std::size_t> store_hits_{0};
-  std::atomic<std::size_t> evictions_{0};
-  std::atomic<std::size_t> spills_{0};
   std::atomic<std::size_t> warm_seeds_{0};
 };
 

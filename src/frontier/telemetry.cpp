@@ -1,54 +1,37 @@
 #include "frontier/telemetry.hpp"
 
-#include <cstdio>
-#include <fstream>
 #include <ostream>
+#include <string>
+
+#include "obs/export.hpp"
 
 namespace easched::frontier {
 namespace {
 
-std::string format_rate(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.6f", v);
-  return buf;
-}
-
-std::string format_ms(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.3f", v);
-  return buf;
-}
-
-std::string csv_escape(const std::string& s) {
-  // Labels are caller-chosen; commas and quotes must survive the trip.
-  if (s.find_first_of(",\"\n") == std::string::npos) return s;
-  std::string out = "\"";
-  for (char c : s) {
-    if (c == '"') out += '"';
-    out.push_back(c);
+// One column order, shared by both writers and every consumer of the
+// series. Serialization itself (escaping, float format, the
+// ".json"-vs-CSV dispatch) lives in obs::SampleTable so this log, the
+// metrics registry and the bench exports all render numbers one way.
+obs::SampleTable build_table(const std::vector<CacheStatsSample>& samples) {
+  obs::SampleTable table({"label", "elapsed_ms", "hits", "misses", "store_hits",
+                          "hit_rate", "entries", "bytes", "evictions", "spills",
+                          "warm_seeds", "interned_blobs"});
+  for (const auto& s : samples) {
+    table.begin_row();
+    table.add_label(s.label);
+    table.add_value(obs::format_double(s.elapsed_ms));
+    table.add_value(std::to_string(s.stats.hits));
+    table.add_value(std::to_string(s.stats.misses));
+    table.add_value(std::to_string(s.stats.store_hits));
+    table.add_value(obs::format_double(s.stats.hit_rate()));
+    table.add_value(std::to_string(s.stats.entries));
+    table.add_value(std::to_string(s.stats.bytes));
+    table.add_value(std::to_string(s.stats.evictions));
+    table.add_value(std::to_string(s.stats.spills));
+    table.add_value(std::to_string(s.stats.warm_seeds));
+    table.add_value(std::to_string(s.stats.interned_blobs));
   }
-  out += '"';
-  return out;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      // Labels are caller-chosen: control characters must not leak into
-      // the JSON string literal raw.
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
-      out += buf;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
+  return table;
 }
 
 }  // namespace
@@ -68,47 +51,15 @@ void CacheStatsLog::sample(const std::string& label, const CacheStats& stats) {
 }
 
 void CacheStatsLog::write_csv(std::ostream& os) const {
-  os << "label,elapsed_ms,hits,misses,store_hits,hit_rate,entries,bytes,"
-        "evictions,spills,warm_seeds,interned_blobs\n";
-  for (const auto& s : samples_) {
-    os << csv_escape(s.label) << ',' << format_ms(s.elapsed_ms) << ',' << s.stats.hits
-       << ',' << s.stats.misses << ',' << s.stats.store_hits << ','
-       << format_rate(s.stats.hit_rate()) << ',' << s.stats.entries << ','
-       << s.stats.bytes << ',' << s.stats.evictions << ',' << s.stats.spills << ','
-       << s.stats.warm_seeds << ',' << s.stats.interned_blobs << '\n';
-  }
+  build_table(samples_).write_csv(os);
 }
 
 void CacheStatsLog::write_json(std::ostream& os) const {
-  os << "{\"samples\": [";
-  for (std::size_t i = 0; i < samples_.size(); ++i) {
-    const auto& s = samples_[i];
-    if (i != 0) os << ", ";
-    os << "{\"label\": \"" << json_escape(s.label) << "\""
-       << ", \"elapsed_ms\": " << format_ms(s.elapsed_ms)
-       << ", \"hits\": " << s.stats.hits << ", \"misses\": " << s.stats.misses
-       << ", \"store_hits\": " << s.stats.store_hits
-       << ", \"hit_rate\": " << format_rate(s.stats.hit_rate())
-       << ", \"entries\": " << s.stats.entries << ", \"bytes\": " << s.stats.bytes
-       << ", \"evictions\": " << s.stats.evictions << ", \"spills\": " << s.stats.spills
-       << ", \"warm_seeds\": " << s.stats.warm_seeds
-       << ", \"interned_blobs\": " << s.stats.interned_blobs << "}";
-  }
-  os << "]}\n";
+  build_table(samples_).write_json(os);
 }
 
 common::Status CacheStatsLog::write_file(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return common::Status::not_found("cannot open '" + path + "' for writing");
-  const bool json =
-      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
-  if (json) {
-    write_json(out);
-  } else {
-    write_csv(out);
-  }
-  if (!out.good()) return common::Status::internal("short write to '" + path + "'");
-  return common::Status::ok();
+  return build_table(samples_).write_file(path);
 }
 
 }  // namespace easched::frontier

@@ -11,6 +11,8 @@
 //
 // Writers pick the format by extension (`.json` — everything else is
 // CSV), which is what the CLI's --cache-stats-out flag forwards to.
+// Serialization rides on obs::SampleTable (obs/export.hpp), so the
+// escaping and %.17g float contract match every other easched export.
 
 #include <chrono>
 #include <iosfwd>

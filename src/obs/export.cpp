@@ -1,0 +1,104 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace easched::obs {
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      // Labels can be caller- or even network-chosen: control characters
+      // must not leak into the JSON string literal raw.
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void SampleTable::begin_row() { rows_.emplace_back(); }
+
+void SampleTable::add_label(std::string text) {
+  rows_.back().push_back(Cell{std::move(text), /*quoted=*/true});
+}
+
+void SampleTable::add_value(std::string rendered) {
+  rows_.back().push_back(Cell{std::move(rendered), /*quoted=*/false});
+}
+
+void SampleTable::write_csv(std::ostream& os) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << csv_escape(columns_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) os << ',';
+      os << (row[i].quoted ? csv_escape(row[i].text) : row[i].text);
+    }
+    os << '\n';
+  }
+}
+
+void SampleTable::write_json(std::ostream& os) const {
+  os << "{\"samples\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r != 0) os << ", ";
+    os << '{';
+    const auto& row = rows_[r];
+    for (std::size_t i = 0; i < row.size() && i < columns_.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << '"' << json_escape(columns_[i]) << "\": ";
+      if (row[i].quoted) {
+        os << '"' << json_escape(row[i].text) << '"';
+      } else {
+        os << row[i].text;
+      }
+    }
+    os << '}';
+  }
+  os << "]}\n";
+}
+
+common::Status SampleTable::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return common::Status::not_found("cannot open '" + path + "' for writing");
+  const bool json = path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  if (json) {
+    write_json(out);
+  } else {
+    write_csv(out);
+  }
+  if (!out.good()) return common::Status::internal("short write to '" + path + "'");
+  return common::Status::ok();
+}
+
+}  // namespace easched::obs

@@ -1,0 +1,317 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "common/status.hpp"
+#include "obs/export.hpp"
+
+namespace easched::obs {
+namespace {
+
+void atomic_add(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Upper bounds of the regular buckets, computed once.
+const std::array<double, Histogram::kBuckets>& bounds_table() noexcept {
+  static const std::array<double, Histogram::kBuckets> bounds = [] {
+    std::array<double, Histogram::kBuckets> b{};
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      b[i] = Histogram::kFirstBound *
+             std::exp2(static_cast<double>(i + 1) /
+                       static_cast<double>(Histogram::kStepsPerDoubling));
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+std::size_t bucket_index(double v) noexcept {
+  const auto& bounds = bounds_table();
+  if (!(v > bounds[0])) return 0;  // also catches v <= kFirstBound-ish tiny
+  if (v > bounds[Histogram::kBuckets - 1]) return Histogram::kBuckets;  // overflow
+  // log2 lands within a bucket or two of the answer; the table walk
+  // absorbs floating-point fuzz in either direction.
+  const double steps = std::log2(v / Histogram::kFirstBound) *
+                       static_cast<double>(Histogram::kStepsPerDoubling);
+  std::size_t i = steps > 2.0 ? static_cast<std::size_t>(steps - 2.0) : 0;
+  if (i >= Histogram::kBuckets) i = Histogram::kBuckets - 1;
+  while (i > 0 && v <= bounds[i - 1]) --i;
+  while (i < Histogram::kBuckets - 1 && v > bounds[i]) ++i;
+  return i;
+}
+
+}  // namespace
+
+void Histogram::observe(double v) noexcept {
+  if (std::isnan(v)) return;
+  const std::uint64_t seen = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  if (seen == 0) {
+    // First sample initialises the extrema; racers go through the CAS
+    // loops below, which tolerate whichever write landed first.
+    double expected = 0.0;
+    if (!min_.compare_exchange_strong(expected, v, std::memory_order_relaxed)) {
+      atomic_min(min_, v);
+    }
+    expected = 0.0;
+    if (!max_.compare_exchange_strong(expected, v, std::memory_order_relaxed)) {
+      atomic_max(max_, v);
+    }
+  } else {
+    atomic_min(min_, v);
+    atomic_max(max_, v);
+  }
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::upper_bound(std::size_t i) noexcept {
+  if (i >= kBuckets) return std::numeric_limits<double>::infinity();
+  return bounds_table()[i];
+}
+
+double Histogram::lower_bound(std::size_t i) noexcept {
+  if (i == 0) return 0.0;
+  if (i > kBuckets) i = kBuckets;
+  return bounds_table()[i - 1];
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i <= kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+double Histogram::Snapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank in (0, count]: the q-quantile is the target-th smallest sample,
+  // interpolated inside the bucket it falls in.
+  const double target = q * static_cast<double>(count);
+  if (target <= 0.0) return min;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i <= Histogram::kBuckets; ++i) {
+    const std::uint64_t c = buckets[i];
+    if (c == 0) continue;
+    if (static_cast<double>(cum) + static_cast<double>(c) >= target) {
+      // The bucket's nominal bounds, tightened to the observed range —
+      // exact when the bucket is degenerate (all samples equal) and
+      // always within the bucket's relative width otherwise.
+      const double lo = std::max(Histogram::lower_bound(i), min);
+      const double hi = std::min(Histogram::upper_bound(i), max);
+      const double frac = (target - static_cast<double>(cum)) / static_cast<double>(c);
+      return lo + (hi - lo) * frac;
+    }
+    cum += c;
+  }
+  return max;  // racing writers tore count vs buckets; max is the safe answer
+}
+
+std::string render_labels(const LabelSet& labels) {
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i != 0) out += ',';
+    out += sorted[i].first;
+    out += "=\"";
+    for (char c : sorted[i].second) {
+      // The Prometheus text-format escapes for label values.
+      if (c == '\\' || c == '"') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    out += '"';
+  }
+  return out;
+}
+
+Registry::Series& Registry::series_for(const std::string& name, const LabelSet& labels,
+                                       Kind kind) {
+  auto [fit, created] = families_.try_emplace(name);
+  Family& family = fit->second;
+  if (created) {
+    family.kind = kind;
+  } else {
+    EASCHED_CHECK_MSG(family.kind == kind,
+                      "metric family '" + name + "' registered with two kinds");
+  }
+  auto [sit, fresh] = family.series.try_emplace(render_labels(labels));
+  if (fresh) {
+    sit->second.labels = labels;
+    std::sort(sit->second.labels.begin(), sit->second.labels.end());
+  }
+  return sit->second;
+}
+
+Counter* Registry::counter(const std::string& name, const LabelSet& labels) {
+  common::MutexLock lock(mutex_);
+  Series& s = series_for(name, labels, Kind::kCounter);
+  if (!s.counter) s.counter = std::make_unique<Counter>();
+  return s.counter.get();
+}
+
+Gauge* Registry::gauge(const std::string& name, const LabelSet& labels) {
+  common::MutexLock lock(mutex_);
+  Series& s = series_for(name, labels, Kind::kGauge);
+  if (!s.gauge) s.gauge = std::make_unique<Gauge>();
+  return s.gauge.get();
+}
+
+Histogram* Registry::histogram(const std::string& name, const LabelSet& labels) {
+  common::MutexLock lock(mutex_);
+  Series& s = series_for(name, labels, Kind::kHistogram);
+  if (!s.histogram) s.histogram = std::make_unique<Histogram>();
+  return s.histogram.get();
+}
+
+namespace {
+
+/// `name{labels} ` or `name ` when the label set is empty.
+void put_series_name(std::ostream& os, const std::string& name, const std::string& labels,
+                     const char* extra = nullptr) {
+  os << name;
+  if (!labels.empty() || extra != nullptr) {
+    os << '{' << labels;
+    if (extra != nullptr) {
+      if (!labels.empty()) os << ',';
+      os << extra;
+    }
+    os << '}';
+  }
+  os << ' ';
+}
+
+constexpr double kQuantiles[] = {0.5, 0.9, 0.99};
+constexpr const char* kQuantileLabels[] = {"quantile=\"0.5\"", "quantile=\"0.9\"",
+                                           "quantile=\"0.99\""};
+
+}  // namespace
+
+void Registry::write_text(std::ostream& os) const {
+  common::MutexLock lock(mutex_);
+  for (const auto& [name, family] : families_) {
+    const char* type = family.kind == Kind::kCounter  ? "counter"
+                       : family.kind == Kind::kGauge ? "gauge"
+                                                     : "summary";
+    os << "# TYPE " << name << ' ' << type << '\n';
+    for (const auto& [rendered, series] : family.series) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          put_series_name(os, name, rendered);
+          os << series.counter->value() << '\n';
+          break;
+        case Kind::kGauge:
+          put_series_name(os, name, rendered);
+          os << format_double(series.gauge->value()) << '\n';
+          break;
+        case Kind::kHistogram: {
+          const Histogram::Snapshot snap = series.histogram->snapshot();
+          for (std::size_t qi = 0; qi < 3; ++qi) {
+            put_series_name(os, name, rendered, kQuantileLabels[qi]);
+            os << format_double(snap.quantile(kQuantiles[qi])) << '\n';
+          }
+          put_series_name(os, name + "_sum", rendered);
+          os << format_double(snap.sum) << '\n';
+          put_series_name(os, name + "_count", rendered);
+          os << snap.count << '\n';
+          break;
+        }
+      }
+    }
+  }
+}
+
+void Registry::write_json(std::ostream& os) const {
+  common::MutexLock lock(mutex_);
+  os << "{\"metrics\": [";
+  bool first_family = true;
+  for (const auto& [name, family] : families_) {
+    if (!first_family) os << ", ";
+    first_family = false;
+    const char* type = family.kind == Kind::kCounter  ? "counter"
+                       : family.kind == Kind::kGauge ? "gauge"
+                                                     : "histogram";
+    os << "{\"name\": \"" << json_escape(name) << "\", \"type\": \"" << type
+       << "\", \"series\": [";
+    bool first_series = true;
+    for (const auto& [rendered, series] : family.series) {
+      if (!first_series) os << ", ";
+      first_series = false;
+      os << "{\"labels\": {";
+      for (std::size_t i = 0; i < series.labels.size(); ++i) {
+        if (i != 0) os << ", ";
+        os << '"' << json_escape(series.labels[i].first) << "\": \""
+           << json_escape(series.labels[i].second) << '"';
+      }
+      os << "}";
+      switch (family.kind) {
+        case Kind::kCounter:
+          os << ", \"value\": " << series.counter->value();
+          break;
+        case Kind::kGauge:
+          os << ", \"value\": " << format_double(series.gauge->value());
+          break;
+        case Kind::kHistogram: {
+          const Histogram::Snapshot snap = series.histogram->snapshot();
+          os << ", \"count\": " << snap.count << ", \"sum\": " << format_double(snap.sum)
+             << ", \"min\": " << format_double(snap.count == 0 ? 0.0 : snap.min)
+             << ", \"max\": " << format_double(snap.count == 0 ? 0.0 : snap.max)
+             << ", \"p50\": " << format_double(snap.quantile(0.5))
+             << ", \"p90\": " << format_double(snap.quantile(0.9))
+             << ", \"p99\": " << format_double(snap.quantile(0.99)) << ", \"buckets\": [";
+          bool first_bucket = true;
+          for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+            if (snap.buckets[i] == 0) continue;
+            if (!first_bucket) os << ", ";
+            first_bucket = false;
+            // The overflow slot's bound is infinite — not a JSON number, so
+            // it is emitted as the conventional "+Inf" string.
+            os << "{\"le\": ";
+            if (i == Histogram::kBuckets) {
+              os << "\"+Inf\"";
+            } else {
+              os << format_double(Histogram::upper_bound(i));
+            }
+            os << ", \"count\": " << snap.buckets[i] << '}';
+          }
+          os << ']';
+          break;
+        }
+      }
+      os << '}';
+    }
+    os << "]}";
+  }
+  os << "]}\n";
+}
+
+}  // namespace easched::obs

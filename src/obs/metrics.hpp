@@ -1,0 +1,171 @@
+#pragma once
+// Lock-light metrics: atomic counters, gauges and fixed log-bucket
+// histograms behind a labelled Registry, exportable as Prometheus-style
+// text exposition or JSON.
+//
+// Design constraints (the observability contract of the repo):
+//
+//  * Strictly observational — nothing here influences solver results.
+//    Recording is atomics only (no locks on the hot path); the Registry
+//    mutex is taken when a series is first created or exported, and the
+//    returned metric pointers are stable for the Registry's lifetime, so
+//    instrumented layers resolve their handles once and then record
+//    through raw pointers.
+//  * steady_clock only — metrics carry durations and counts, never wall
+//    timestamps (the repo-wide wall-clock lint rule stands).
+//  * Deterministic exposition — families and series are kept in ordered
+//    maps, so two exports of the same state serialize identically, and
+//    floats go through obs::format_double (%.17g).
+//
+// Histograms use fixed log-spaced buckets (kStepsPerDoubling buckets per
+// doubling from kFirstBound up, one overflow slot) and interpolate
+// quantiles linearly *inside* the resolved bucket, clamped to the exact
+// observed min/max — so p50/p90/p99 are exact whenever a bucket is
+// degenerate (all samples equal) and within one bucket's relative width
+// (2^(1/kStepsPerDoubling) - 1, ~19%) otherwise.
+//
+// Snapshot consistency: counters and bucket counts are read individually
+// with relaxed atomics, so a snapshot taken while writers run may be
+// torn by a few in-flight observations. That is the usual scrape
+// semantics of a live metrics endpoint, not an accounting ledger.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace easched::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins sampled value (queue depth, cache entries, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed log-bucket distribution of non-negative samples (latencies in
+/// ms, sizes, ...). observe() is a handful of relaxed atomic updates.
+class Histogram {
+ public:
+  /// 4 buckets per doubling from 1e-3 up: 120 buckets span 1e-3..2^30*1e-3
+  /// (1 µs to ~18 min when samples are milliseconds), plus one overflow
+  /// slot. Samples <= kFirstBound (zero included) land in bucket 0.
+  static constexpr std::size_t kBuckets = 120;
+  static constexpr int kStepsPerDoubling = 4;
+  static constexpr double kFirstBound = 1e-3;
+
+  Histogram() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  void observe(double v) noexcept;
+
+  /// Inclusive upper bound of bucket i; +infinity for the overflow slot.
+  static double upper_bound(std::size_t i) noexcept;
+  /// Exclusive lower bound of bucket i; 0 for bucket 0.
+  static double lower_bound(std::size_t i) noexcept;
+
+  /// One coherent-enough read of the whole distribution (see the header
+  /// comment on scrape semantics).
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::array<std::uint64_t, kBuckets + 1> buckets{};  ///< last = overflow
+
+    /// q in [0,1], linear interpolation inside the resolved bucket,
+    /// clamped to [min, max]. 0 when the histogram is empty.
+    double quantile(double q) const noexcept;
+  };
+  Snapshot snapshot() const noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  ///< valid once count_ > 0
+  std::atomic<double> max_{0.0};
+  std::array<std::atomic<std::uint64_t>, kBuckets + 1> buckets_;
+};
+
+/// One label: key, value. Series identity is the *sorted* label set, so
+/// call sites may list labels in any order.
+using Label = std::pair<std::string, std::string>;
+using LabelSet = std::vector<Label>;
+
+/// Named, labelled metric families. counter()/gauge()/histogram() create
+/// on first use and return the existing series afterwards; mixing kinds
+/// under one name is a programming error (EASCHED_CHECK). Returned
+/// pointers stay valid for the Registry's lifetime — resolve once, record
+/// lock-free forever.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* counter(const std::string& name, const LabelSet& labels = {})
+      EASCHED_EXCLUDES(mutex_);
+  Gauge* gauge(const std::string& name, const LabelSet& labels = {})
+      EASCHED_EXCLUDES(mutex_);
+  Histogram* histogram(const std::string& name, const LabelSet& labels = {})
+      EASCHED_EXCLUDES(mutex_);
+
+  /// Prometheus-style text exposition: counters and gauges as
+  /// `name{labels} value` under a `# TYPE` header; histograms as
+  /// summaries (quantile="0.5|0.9|0.99" series plus _sum and _count).
+  void write_text(std::ostream& os) const EASCHED_EXCLUDES(mutex_);
+  /// The same state as one JSON document (histograms additionally carry
+  /// their non-empty buckets).
+  void write_json(std::ostream& os) const EASCHED_EXCLUDES(mutex_);
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    LabelSet labels;  ///< sorted by key
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    Kind kind = Kind::kCounter;
+    /// Keyed by the rendered (sorted, escaped) label string, so export
+    /// order is deterministic.
+    std::map<std::string, Series> series;
+  };
+
+  Series& series_for(const std::string& name, const LabelSet& labels, Kind kind)
+      EASCHED_REQUIRES(mutex_);
+
+  mutable common::Mutex mutex_;
+  std::map<std::string, Family> families_ EASCHED_GUARDED_BY(mutex_);
+};
+
+/// `k1="v1",k2="v2"` with keys sorted and values escaped for the text
+/// exposition (backslash, quote, newline). Empty for an empty set.
+std::string render_labels(const LabelSet& labels);
+
+}  // namespace easched::obs

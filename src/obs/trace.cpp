@@ -1,0 +1,79 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/status.hpp"
+#include "obs/export.hpp"
+
+namespace easched::obs {
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
+  EASCHED_CHECK_MSG(capacity > 0, "TraceBuffer capacity must be positive");
+  ring_.reserve(std::min<std::size_t>(capacity, 4096));
+}
+
+std::uint64_t TraceBuffer::recorded() const {
+  common::MutexLock lock(mutex_);
+  return next_;
+}
+
+void TraceBuffer::record(const TraceSpan& span) {
+  common::MutexLock lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+  } else {
+    ring_[static_cast<std::size_t>(next_ % capacity_)] = span;
+  }
+  ++next_;
+}
+
+std::vector<TraceSpan> TraceBuffer::snapshot() const {
+  common::MutexLock lock(mutex_);
+  std::vector<TraceSpan> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // Full ring: the oldest span is the one the next record() would
+    // overwrite.
+    const std::size_t head = static_cast<std::size_t>(next_ % capacity_);
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head), ring_.end());
+    out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  }
+  return out;
+}
+
+namespace {
+
+void write_event(std::ostream& os, const TraceSpan& s, const char* cat, double ts,
+                 double dur, bool with_outcome) {
+  os << "{\"name\": \"" << json_escape(s.kind) << "\", \"cat\": \"" << cat
+     << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << s.job
+     << ", \"ts\": " << format_double(ts) << ", \"dur\": " << format_double(dur)
+     << ", \"args\": {\"job\": " << s.job << ", \"priority\": " << s.priority;
+  if (with_outcome) os << ", \"outcome\": \"" << json_escape(s.outcome) << '"';
+  os << "}}";
+}
+
+}  // namespace
+
+void TraceBuffer::write_chrome_json(std::ostream& os) const {
+  const std::vector<TraceSpan> spans = snapshot();
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceSpan& s : spans) {
+    if (!first) os << ",\n";
+    first = false;
+    // Clamp the phase durations at 0 so a torn clock pair can never emit
+    // an event Chrome refuses to render.
+    write_event(os, s, "queued", s.submit_us, std::max(0.0, s.start_us - s.submit_us),
+                /*with_outcome=*/false);
+    os << ",\n";
+    write_event(os, s, "running", s.start_us, std::max(0.0, s.end_us - s.start_us),
+                /*with_outcome=*/true);
+  }
+  os << "], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+}  // namespace easched::obs

@@ -1,0 +1,66 @@
+#pragma once
+// Per-job trace spans: a fixed-capacity ring of completed job lifecycles
+// (submit -> queued -> running -> complete) exportable as Chrome
+// `trace_event` JSON (chrome://tracing / Perfetto "Open trace file").
+//
+// The engine records one TraceSpan per job *at completion*, with all
+// three steady_clock timestamps measured relative to the engine's epoch
+// — wall-clock never enters the format (the lint rule stands). Recording
+// is one short critical section per job (jobs are coarse: a span per
+// solve/sweep, never per probe), the buffer keeps the newest `capacity`
+// spans, and exporting snapshots under the same mutex — no torn spans.
+//
+// Strictly observational: tracing changes no result bytes; it only
+// appends to this buffer.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace easched::obs {
+
+/// One completed job lifecycle. `kind` and `outcome` must be string
+/// literals (or otherwise outlive the buffer) — spans are recorded on
+/// the job hot path and never copy label text.
+struct TraceSpan {
+  std::uint64_t job = 0;       ///< engine job id
+  const char* kind = "";       ///< query kind: solve | batch | frontier | resweep
+  const char* outcome = "";    ///< ok | error | cancelled | deadline_exceeded | shed
+  int priority = 0;
+  double submit_us = 0.0;      ///< steady_clock µs since the engine epoch
+  double start_us = 0.0;       ///< when a worker picked the job up
+  double end_us = 0.0;         ///< when the result became observable
+};
+
+class TraceBuffer {
+ public:
+  /// `capacity` > 0: the newest spans retained (older ones overwritten).
+  explicit TraceBuffer(std::size_t capacity);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Total spans ever recorded (>= the resident count).
+  std::uint64_t recorded() const EASCHED_EXCLUDES(mutex_);
+
+  void record(const TraceSpan& span) EASCHED_EXCLUDES(mutex_);
+
+  /// Resident spans, oldest first.
+  std::vector<TraceSpan> snapshot() const EASCHED_EXCLUDES(mutex_);
+
+  /// Chrome trace_event JSON: two complete ("ph":"X") events per span —
+  /// cat "queued" covering submit->start and cat "running" covering
+  /// start->end — on tid = job id, so the viewer shows one lane per job
+  /// and the lifecycle replays left to right.
+  void write_chrome_json(std::ostream& os) const EASCHED_EXCLUDES(mutex_);
+
+ private:
+  const std::size_t capacity_;
+  mutable common::Mutex mutex_;
+  std::vector<TraceSpan> ring_ EASCHED_GUARDED_BY(mutex_);
+  std::uint64_t next_ EASCHED_GUARDED_BY(mutex_) = 0;  ///< total record() calls
+};
+
+}  // namespace easched::obs

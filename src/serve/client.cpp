@@ -27,6 +27,7 @@ Client::Client(Client&& other) noexcept
       solves_(std::move(other.solves_)),
       sweeps_(std::move(other.sweeps_)),
       stats_(std::move(other.stats_)),
+      metrics_(std::move(other.metrics_)),
       errors_(std::move(other.errors_)),
       connection_error_(std::move(other.connection_error_)) {
   other.fd_ = -1;
@@ -43,6 +44,7 @@ Client& Client::operator=(Client&& other) noexcept {
     solves_ = std::move(other.solves_);
     sweeps_ = std::move(other.sweeps_);
     stats_ = std::move(other.stats_);
+    metrics_ = std::move(other.metrics_);
     errors_ = std::move(other.errors_);
     connection_error_ = std::move(other.connection_error_);
   }
@@ -162,6 +164,10 @@ common::Status Client::send(const StatRequest& request) {
   return send_frame(MsgType::kStatRequest, request.encode());
 }
 
+common::Status Client::send(const MetricsRequest& request) {
+  return send_frame(MsgType::kMetricsRequest, request.encode());
+}
+
 common::Status Client::pump(int timeout_ms) {
   if (!connection_error_.is_ok()) return connection_error_;
 
@@ -212,6 +218,15 @@ common::Status Client::pump(int timeout_ms) {
           return connection_error_;
         }
         stats_[decoded.value().request_id] = std::move(decoded).take();
+        break;
+      }
+      case MsgType::kMetricsResponse: {
+        auto decoded = MetricsResponse::decode(frame.payload);
+        if (!decoded.is_ok()) {
+          connection_error_ = decoded.status();
+          return connection_error_;
+        }
+        metrics_[decoded.value().request_id] = std::move(decoded).take();
         break;
       }
       case MsgType::kError: {
@@ -280,6 +295,19 @@ common::Result<StatResponse> Client::wait_stat(std::uint64_t request_id) {
   }
 }
 
+common::Result<MetricsResponse> Client::wait_metrics(std::uint64_t request_id) {
+  for (;;) {
+    if (auto it = metrics_.find(request_id); it != metrics_.end()) {
+      MetricsResponse out = std::move(it->second);
+      metrics_.erase(it);
+      if (!out.status.is_ok()) return out.status;
+      return out;
+    }
+    if (auto status = check_error(request_id); !status.is_ok()) return status;
+    if (auto status = pump(-1); !status.is_ok()) return status;
+  }
+}
+
 common::Result<SolveResponse> Client::solve(SolveRequest request) {
   if (request.request_id == 0) request.request_id = next_request_id();
   if (auto status = send(request); !status.is_ok()) return status;
@@ -297,6 +325,14 @@ common::Result<StatResponse> Client::stat() {
   request.request_id = next_request_id();
   if (auto status = send(request); !status.is_ok()) return status;
   return wait_stat(request.request_id);
+}
+
+common::Result<MetricsResponse> Client::metrics(MetricsFormat format) {
+  MetricsRequest request;
+  request.request_id = next_request_id();
+  request.format = format;
+  if (auto status = send(request); !status.is_ok()) return status;
+  return wait_metrics(request.request_id);
 }
 
 common::Status Client::poll(int timeout_ms) { return pump(timeout_ms); }

@@ -49,6 +49,7 @@ class Client {
   common::Status send(const SolveRequest& request);
   common::Status send(const SweepRequest& request);
   common::Status send(const StatRequest& request);
+  common::Status send(const MetricsRequest& request);
 
   // ---- blocking joins ---------------------------------------------------
 
@@ -58,11 +59,15 @@ class Client {
   common::Result<SolveResponse> wait_solve(std::uint64_t request_id);
   common::Result<SweepResponse> wait_sweep(std::uint64_t request_id);
   common::Result<StatResponse> wait_stat(std::uint64_t request_id);
+  common::Result<MetricsResponse> wait_metrics(std::uint64_t request_id);
 
   /// send + wait conveniences.
   common::Result<SolveResponse> solve(SolveRequest request);
   common::Result<SweepResponse> sweep(SweepRequest request);
   common::Result<StatResponse> stat();
+  /// One scrape of the daemon's metric registry. A non-OK response status
+  /// (metrics disabled on the daemon) surfaces as this Result's status.
+  common::Result<MetricsResponse> metrics(MetricsFormat format = MetricsFormat::kText);
 
   // ---- non-blocking drain (load generators) -----------------------------
 
@@ -96,6 +101,7 @@ class Client {
   std::map<std::uint64_t, SolveResponse> solves_;
   std::map<std::uint64_t, SweepResponse> sweeps_;
   std::map<std::uint64_t, StatResponse> stats_;
+  std::map<std::uint64_t, MetricsResponse> metrics_;
   std::map<std::uint64_t, common::Status> errors_;  ///< keyed ErrorResponses
   common::Status connection_error_ = common::Status::ok();  ///< sticky fatal state
 };

@@ -254,6 +254,27 @@ common::Result<StatRequest> StatRequest::decode(const std::string& payload) {
   return msg;
 }
 
+std::string MetricsRequest::encode() const {
+  std::string out;
+  wire::put_u64(out, request_id);
+  wire::put_u8(out, static_cast<std::uint8_t>(format));
+  return out;
+}
+
+common::Result<MetricsRequest> MetricsRequest::decode(const std::string& payload) {
+  wire::Reader r(payload);
+  MetricsRequest msg;
+  msg.request_id = r.get_u64();
+  const std::uint8_t format_byte = r.get_u8();
+  if (auto status = finish(r, "MetricsRequest"); !status.is_ok()) return status;
+  if (format_byte > static_cast<std::uint8_t>(MetricsFormat::kJson)) {
+    return common::Status::invalid("MetricsRequest: unknown format " +
+                                   std::to_string(format_byte));
+  }
+  msg.format = static_cast<MetricsFormat>(format_byte);
+  return msg;
+}
+
 // ---- responses ----------------------------------------------------------
 
 std::string SolveResponse::encode() const {
@@ -356,6 +377,7 @@ std::string StatResponse::encode() const {
   wire::put_u64(out, tenant_shed);
   wire::put_u64(out, tenant_completed);
   wire::put_u64(out, tenant_in_flight);
+  wire::put_u64(out, tenant_deadline_exceeded);
   return out;
 }
 
@@ -377,7 +399,33 @@ common::Result<StatResponse> StatResponse::decode(const std::string& payload) {
   msg.tenant_shed = r.get_u64();
   msg.tenant_completed = r.get_u64();
   msg.tenant_in_flight = r.get_u64();
+  msg.tenant_deadline_exceeded = r.get_u64();
   if (auto status = finish(r, "StatResponse"); !status.is_ok()) return status;
+  return msg;
+}
+
+std::string MetricsResponse::encode() const {
+  std::string out;
+  wire::put_u64(out, request_id);
+  encode_status(out, status);
+  wire::put_u8(out, static_cast<std::uint8_t>(format));
+  wire::put_string(out, body);
+  return out;
+}
+
+common::Result<MetricsResponse> MetricsResponse::decode(const std::string& payload) {
+  wire::Reader r(payload);
+  MetricsResponse msg;
+  msg.request_id = r.get_u64();
+  msg.status = decode_status(r);
+  const std::uint8_t format_byte = r.get_u8();
+  msg.body = r.get_string();
+  if (auto status = finish(r, "MetricsResponse"); !status.is_ok()) return status;
+  if (format_byte > static_cast<std::uint8_t>(MetricsFormat::kJson)) {
+    return common::Status::invalid("MetricsResponse: unknown format " +
+                                   std::to_string(format_byte));
+  }
+  msg.format = static_cast<MetricsFormat>(format_byte);
   return msg;
 }
 

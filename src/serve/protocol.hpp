@@ -57,6 +57,8 @@ enum class MsgType : std::uint8_t {
   kSweepResponse = 7,
   kStatResponse = 8,
   kError = 9,          ///< protocol-level failure (bad frame, bad payload)
+  kMetricsRequest = 10,   ///< scrape the daemon's metric registry
+  kMetricsResponse = 11,  ///< text exposition or JSON document
 };
 
 // ---- framing ------------------------------------------------------------
@@ -182,6 +184,20 @@ struct StatRequest {
   static common::Result<StatRequest> decode(const std::string& payload);
 };
 
+/// Exposition format of a metrics scrape.
+enum class MetricsFormat : std::uint8_t { kText = 0, kJson = 1 };
+
+/// Scrapes the daemon's whole metric registry (engine + cache + store +
+/// per-tenant serve counters) in one round trip — the wire equivalent of
+/// a Prometheus /metrics pull.
+struct MetricsRequest {
+  std::uint64_t request_id = 0;
+  MetricsFormat format = MetricsFormat::kText;
+
+  std::string encode() const;
+  static common::Result<MetricsRequest> decode(const std::string& payload);
+};
+
 // ---- responses ----------------------------------------------------------
 
 struct SolveResponse {
@@ -240,9 +256,23 @@ struct StatResponse {
   std::uint64_t tenant_shed = 0;
   std::uint64_t tenant_completed = 0;
   std::uint64_t tenant_in_flight = 0;
+  std::uint64_t tenant_deadline_exceeded = 0;
 
   std::string encode() const;
   static common::Result<StatResponse> decode(const std::string& payload);
+};
+
+/// The scrape body. `body` is the registry's text exposition or JSON
+/// document, verbatim — the daemon serializes once, clients (and curl-
+/// style tooling behind them) parse or print as-is.
+struct MetricsResponse {
+  std::uint64_t request_id = 0;
+  common::Status status = common::Status::ok();
+  MetricsFormat format = MetricsFormat::kText;
+  std::string body;
+
+  std::string encode() const;
+  static common::Result<MetricsResponse> decode(const std::string& payload);
 };
 
 /// Protocol-level failure: an unknown message type, an undecodable

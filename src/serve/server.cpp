@@ -10,9 +10,11 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -22,6 +24,7 @@
 #include "graph/io.hpp"
 #include "model/reliability.hpp"
 #include "model/speed_model.hpp"
+#include "obs/metrics.hpp"
 #include "sched/list_scheduler.hpp"
 #include "serve/protocol.hpp"
 
@@ -72,12 +75,21 @@ void deliver(const std::shared_ptr<ConnShared>& shared, const std::shared_ptr<Wa
 
 /// Per-tenant admission state and counters. in_flight is the quota
 /// population: incremented on admit (loop thread), decremented by the
-/// job's completion callback (worker thread).
+/// job's completion callback (worker thread). The m_* handles mirror the
+/// counters into the engine's metric registry (one scrape covers both
+/// layers); all null when the engine runs with metrics off.
 struct Tenant {
   std::atomic<std::uint64_t> in_flight{0};
   std::atomic<std::uint64_t> accepted{0};
   std::atomic<std::uint64_t> shed{0};
   std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> deadline_exceeded{0};
+  obs::Counter* m_requests = nullptr;           ///< easched_serve_requests_total{tenant}
+  obs::Counter* m_accepted = nullptr;           ///< easched_serve_accepted_total{tenant}
+  obs::Counter* m_shed = nullptr;               ///< easched_serve_shed_total{tenant}
+  obs::Counter* m_completed = nullptr;          ///< easched_serve_completed_total{tenant}
+  obs::Counter* m_deadline_exceeded = nullptr;  ///< ..._deadline_exceeded_total{tenant}
+  obs::Histogram* m_latency_ms = nullptr;       ///< easched_serve_latency_ms{tenant}
 };
 
 /// Daemon-wide counters, shared (not owned) with completion callbacks so
@@ -88,8 +100,16 @@ struct StatsBlock {
   std::atomic<std::uint64_t> accepted{0};
   std::atomic<std::uint64_t> shed{0};
   std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> deadline_exceeded{0};
   std::atomic<std::uint64_t> protocol_errors{0};
 };
+
+/// Arrival-to-response latency of one admitted request, in ms.
+double request_ms(std::chrono::steady_clock::time_point arrival) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   arrival)
+      .count();
+}
 
 struct Conn {
   int fd = -1;
@@ -190,8 +210,26 @@ struct Server::Impl {
 
   std::shared_ptr<Tenant> tenant_for(const std::string& id) {
     auto& slot = tenants[id];
-    if (!slot) slot = std::make_shared<Tenant>();
+    if (!slot) {
+      slot = std::make_shared<Tenant>();
+      if (obs::Registry* reg = engine->metrics()) {
+        const obs::LabelSet by_tenant{{"tenant", id}};
+        slot->m_requests = reg->counter("easched_serve_requests_total", by_tenant);
+        slot->m_accepted = reg->counter("easched_serve_accepted_total", by_tenant);
+        slot->m_shed = reg->counter("easched_serve_shed_total", by_tenant);
+        slot->m_completed = reg->counter("easched_serve_completed_total", by_tenant);
+        slot->m_deadline_exceeded =
+            reg->counter("easched_serve_deadline_exceeded_total", by_tenant);
+        slot->m_latency_ms = reg->histogram("easched_serve_latency_ms", by_tenant);
+      }
+    }
     return slot;
+  }
+
+  /// One well-formed post-handshake request from `conn`'s tenant.
+  void count_request(Conn& conn) {
+    stats->requests.fetch_add(1, std::memory_order_relaxed);
+    if (conn.tenant->m_requests != nullptr) conn.tenant->m_requests->inc();
   }
 
   void enqueue(Conn& conn, MsgType type, const std::string& payload) {
@@ -258,6 +296,7 @@ struct Server::Impl {
         conn.tenant->in_flight.load(std::memory_order_relaxed) >= quota) {
       conn.tenant->shed.fetch_add(1, std::memory_order_relaxed);
       stats->shed.fetch_add(1, std::memory_order_relaxed);
+      if (conn.tenant->m_shed != nullptr) conn.tenant->m_shed->inc();
       const common::Status status = common::Status::overloaded(
           "tenant '" + conn.tenant_id + "' is at its in-flight quota (" +
           std::to_string(quota) + ")");
@@ -277,7 +316,34 @@ struct Server::Impl {
     conn.tenant->in_flight.fetch_add(1, std::memory_order_relaxed);
     conn.tenant->accepted.fetch_add(1, std::memory_order_relaxed);
     stats->accepted.fetch_add(1, std::memory_order_relaxed);
+    if (conn.tenant->m_accepted != nullptr) conn.tenant->m_accepted->inc();
     return true;
+  }
+
+  /// Shared completion accounting for solve and sweep callbacks: quota
+  /// release, shed-vs-completed counters, the deadline-expiry counter and
+  /// the per-tenant latency histogram. Runs on the completing worker.
+  static void account_completion(const std::shared_ptr<Tenant>& tn,
+                                 const std::shared_ptr<StatsBlock>& st,
+                                 common::StatusCode code,
+                                 std::chrono::steady_clock::time_point arrival) {
+    tn->in_flight.fetch_sub(1, std::memory_order_relaxed);
+    if (code == common::StatusCode::kOverloaded) {
+      // The engine's global queue cap shed it after tenant admission.
+      tn->shed.fetch_add(1, std::memory_order_relaxed);
+      st->shed.fetch_add(1, std::memory_order_relaxed);
+      if (tn->m_shed != nullptr) tn->m_shed->inc();
+      return;
+    }
+    tn->completed.fetch_add(1, std::memory_order_relaxed);
+    st->completed.fetch_add(1, std::memory_order_relaxed);
+    if (tn->m_completed != nullptr) tn->m_completed->inc();
+    if (code == common::StatusCode::kDeadlineExceeded) {
+      tn->deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      st->deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      if (tn->m_deadline_exceeded != nullptr) tn->m_deadline_exceeded->inc();
+    }
+    if (tn->m_latency_ms != nullptr) tn->m_latency_ms->observe(request_ms(arrival));
   }
 
   engine::SubmitOptions submit_options(double job_deadline_ms) const {
@@ -294,7 +360,7 @@ struct Server::Impl {
       return;
     }
     const SolveRequest& msg = decoded.value();
-    stats->requests.fetch_add(1, std::memory_order_relaxed);
+    count_request(conn);
     auto built = build_problem(msg.problem, msg.problem.deadline);
     if (!built.is_ok()) {
       SolveResponse resp;
@@ -304,6 +370,11 @@ struct Server::Impl {
       return;
     }
     if (!admit(conn, msg.request_id, /*is_sweep=*/false)) return;
+    // Arrival is read only when the latency series exists, so metrics-off
+    // daemons skip even the clock call.
+    const auto arrival = conn.tenant->m_latency_ms != nullptr
+                             ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{};
 
     api::SolveOptions options;
     options.cache_namespace = conn.tenant_id;
@@ -321,7 +392,7 @@ struct Server::Impl {
     const auto tn = conn.tenant;
     const auto st = stats;
     const std::uint64_t id = msg.request_id;
-    handle.on_complete([shared, wk, tn, st, handle, id] {
+    handle.on_complete([shared, wk, tn, st, handle, id, arrival] {
       const common::Result<api::SolveReport>& result = handle.get();
       SolveResponse resp;
       resp.request_id = id;
@@ -337,16 +408,10 @@ struct Server::Impl {
       } else {
         resp.status = result.status();
       }
-      tn->in_flight.fetch_sub(1, std::memory_order_relaxed);
-      if (!result.is_ok() &&
-          result.status().code() == common::StatusCode::kOverloaded) {
-        // The engine's global queue cap shed it after tenant admission.
-        tn->shed.fetch_add(1, std::memory_order_relaxed);
-        st->shed.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        tn->completed.fetch_add(1, std::memory_order_relaxed);
-        st->completed.fetch_add(1, std::memory_order_relaxed);
-      }
+      account_completion(tn, st,
+                         result.is_ok() ? common::StatusCode::kOk
+                                        : result.status().code(),
+                         arrival);
       deliver(shared, wk, encode_frame(MsgType::kSolveResponse, resp.encode()));
     });
   }
@@ -358,7 +423,7 @@ struct Server::Impl {
       return;
     }
     const SweepRequest& msg = decoded.value();
-    stats->requests.fetch_add(1, std::memory_order_relaxed);
+    count_request(conn);
 
     auto reject = [&](common::Status status) {
       SweepResponse resp;
@@ -399,6 +464,9 @@ struct Server::Impl {
       return;
     }
     if (!admit(conn, msg.request_id, /*is_sweep=*/true)) return;
+    const auto arrival = conn.tenant->m_latency_ms != nullptr
+                             ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{};
 
     frontier::FrontierOptions fopt;
     fopt.initial_points = msg.initial_points;
@@ -433,7 +501,7 @@ struct Server::Impl {
     const auto tn = conn.tenant;
     const auto st = stats;
     const std::uint64_t id = msg.request_id;
-    handle.on_complete([shared, wk, tn, st, handle, id] {
+    handle.on_complete([shared, wk, tn, st, handle, id, arrival] {
       const frontier::FrontierResult& result = handle.get();
       SweepResponse resp;
       resp.request_id = id;
@@ -452,14 +520,7 @@ struct Server::Impl {
       resp.cache_hits = result.cache_hits;
       resp.prefetched = result.prefetched;
       resp.wall_ms = result.wall_ms;
-      tn->in_flight.fetch_sub(1, std::memory_order_relaxed);
-      if (result.error.code() == common::StatusCode::kOverloaded) {
-        tn->shed.fetch_add(1, std::memory_order_relaxed);
-        st->shed.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        tn->completed.fetch_add(1, std::memory_order_relaxed);
-        st->completed.fetch_add(1, std::memory_order_relaxed);
-      }
+      account_completion(tn, st, result.error.code(), arrival);
       deliver(shared, wk, encode_frame(MsgType::kSweepResponse, resp.encode()));
     });
   }
@@ -470,7 +531,7 @@ struct Server::Impl {
       protocol_error(conn, decoded.status());
       return;
     }
-    stats->requests.fetch_add(1, std::memory_order_relaxed);
+    count_request(conn);
     StatResponse resp;
     resp.request_id = decoded.value().request_id;
     resp.threads = engine->threads();
@@ -491,7 +552,36 @@ struct Server::Impl {
     resp.tenant_shed = conn.tenant->shed.load(std::memory_order_relaxed);
     resp.tenant_completed = conn.tenant->completed.load(std::memory_order_relaxed);
     resp.tenant_in_flight = conn.tenant->in_flight.load(std::memory_order_relaxed);
+    resp.tenant_deadline_exceeded =
+        conn.tenant->deadline_exceeded.load(std::memory_order_relaxed);
     enqueue(conn, MsgType::kStatResponse, resp.encode());
+  }
+
+  /// Scrapes the engine's whole registry synchronously on the loop
+  /// thread — an export is gauge sampling plus serialization, far below
+  /// a solve, and scrapes are rare (monitoring cadence).
+  void handle_metrics(Conn& conn, const std::string& payload) {
+    auto decoded = MetricsRequest::decode(payload);
+    if (!decoded.is_ok()) {
+      protocol_error(conn, decoded.status());
+      return;
+    }
+    count_request(conn);
+    MetricsResponse resp;
+    resp.request_id = decoded.value().request_id;
+    resp.format = decoded.value().format;
+    if (engine->metrics() == nullptr) {
+      resp.status = common::Status::unsupported("metrics are disabled on this daemon");
+    } else {
+      std::ostringstream body;
+      if (resp.format == MetricsFormat::kJson) {
+        engine->write_metrics_json(body);
+      } else {
+        engine->write_metrics_text(body);
+      }
+      resp.body = std::move(body).str();
+    }
+    enqueue(conn, MsgType::kMetricsResponse, resp.encode());
   }
 
   void protocol_error(Conn& conn, common::Status status) {
@@ -516,6 +606,7 @@ struct Server::Impl {
       case MsgType::kSolveRequest: handle_solve(conn, frame.payload); break;
       case MsgType::kSweepRequest: handle_sweep(conn, frame.payload); break;
       case MsgType::kStatRequest: handle_stat(conn, frame.payload); break;
+      case MsgType::kMetricsRequest: handle_metrics(conn, frame.payload); break;
       default:
         protocol_error(
             conn, common::Status::unsupported(
@@ -764,6 +855,7 @@ ServerStats Server::stats() const {
   out.accepted = s.accepted.load(std::memory_order_relaxed);
   out.shed = s.shed.load(std::memory_order_relaxed);
   out.completed = s.completed.load(std::memory_order_relaxed);
+  out.deadline_exceeded = s.deadline_exceeded.load(std::memory_order_relaxed);
   out.protocol_errors = s.protocol_errors.load(std::memory_order_relaxed);
   return out;
 }

@@ -66,6 +66,7 @@ struct ServerStats {
   std::uint64_t accepted = 0;         ///< admitted to the engine
   std::uint64_t shed = 0;             ///< rejected by quota or engine cap
   std::uint64_t completed = 0;        ///< responses sent for admitted jobs
+  std::uint64_t deadline_exceeded = 0;  ///< completed with an expired job deadline
   std::uint64_t protocol_errors = 0;  ///< bad frames / undecodable payloads
 };
 

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
 
 namespace easched::common {
 namespace {
@@ -100,6 +104,35 @@ TEST(QuantileSorted, DegenerateInputs) {
   EXPECT_DOUBLE_EQ(quantile_sorted({7.0}, 0.99), 7.0);
   EXPECT_DOUBLE_EQ(quantile_sorted({1.0, 2.0}, -0.5), 1.0);  // clamped
   EXPECT_DOUBLE_EQ(quantile_sorted({1.0, 2.0}, 1.5), 2.0);   // clamped
+}
+
+TEST(Percentile, PropertyMatchesSortedReference) {
+  // Property check: on seeded random samples of assorted sizes,
+  // percentile(unsorted) must agree bit-exactly with quantile_sorted of
+  // the sorted copy at every probed q — the two entry points are one
+  // interpolation rule.
+  Rng rng(20120607);
+  for (int round = 0; round < 25; ++round) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.next_u64() % 257);
+    std::vector<double> samples(n);
+    for (auto& x : samples) x = rng.uniform(-100.0, 100.0);
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    for (double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+      EXPECT_DOUBLE_EQ(percentile(samples, q), quantile_sorted(sorted, q));
+    }
+    const double probe = rng.next_double();
+    EXPECT_DOUBLE_EQ(percentile(samples, probe), quantile_sorted(sorted, probe));
+  }
+}
+
+TEST(Percentile, UnsortedInputAndDegenerateCases) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, -0.5), 1.0);  // clamped to min
+  EXPECT_DOUBLE_EQ(percentile(v, 1.5), 3.0);   // clamped to max
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({4.25}, 0.37), 4.25);
 }
 
 }  // namespace

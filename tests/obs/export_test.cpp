@@ -1,0 +1,79 @@
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace easched::obs {
+namespace {
+
+TEST(Escapes, CsvQuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Escapes, JsonEscapesQuotesBackslashesControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(FormatDouble, RoundTripsExactly) {
+  for (double v : {0.0, 1.0, -2.5, 0.1, 1e-300, 12345.678901234567, 1e17}) {
+    EXPECT_EQ(std::stod(format_double(v)), v) << format_double(v);
+  }
+}
+
+TEST(SampleTable, CsvAndJsonAgreeOnContent) {
+  SampleTable table({"label", "value"});
+  table.begin_row();
+  table.add_label("warm, run");
+  table.add_value("42");
+  table.begin_row();
+  table.add_label("cold");
+  table.add_value(format_double(0.5));
+  EXPECT_EQ(table.rows(), 2u);
+
+  std::ostringstream csv;
+  table.write_csv(csv);
+  EXPECT_EQ(csv.str(), "label,value\n\"warm, run\",42\ncold,0.5\n");
+
+  std::ostringstream json;
+  table.write_json(json);
+  EXPECT_EQ(json.str(),
+            "{\"samples\": [{\"label\": \"warm, run\", \"value\": 42}, "
+            "{\"label\": \"cold\", \"value\": 0.5}]}\n");
+}
+
+TEST(SampleTable, WriteFilePicksFormatByExtension) {
+  SampleTable table({"k"});
+  table.begin_row();
+  table.add_value("1");
+
+  const std::string csv_path = ::testing::TempDir() + "obs_export_test.csv";
+  ASSERT_TRUE(table.write_file(csv_path).is_ok());
+  std::ifstream csv_in(csv_path);
+  std::string csv_text((std::istreambuf_iterator<char>(csv_in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(csv_text, "k\n1\n");
+
+  const std::string json_path = ::testing::TempDir() + "obs_export_test.json";
+  ASSERT_TRUE(table.write_file(json_path).is_ok());
+  std::ifstream json_in(json_path);
+  std::string json_text((std::istreambuf_iterator<char>(json_in)),
+                        std::istreambuf_iterator<char>());
+  EXPECT_EQ(json_text, "{\"samples\": [{\"k\": 1}]}\n");
+
+  std::remove(csv_path.c_str());
+  std::remove(json_path.c_str());
+
+  EXPECT_FALSE(table.write_file("/nonexistent-dir/x.csv").is_ok());
+}
+
+}  // namespace
+}  // namespace easched::obs

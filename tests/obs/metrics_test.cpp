@@ -1,0 +1,217 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace easched::obs {
+namespace {
+
+TEST(Counter, IncrementsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(Histogram, BucketBoundsAreMonotoneLogSpaced) {
+  EXPECT_DOUBLE_EQ(Histogram::lower_bound(0), 0.0);
+  EXPECT_GE(Histogram::upper_bound(0), Histogram::kFirstBound);
+  for (std::size_t i = 1; i < Histogram::kBuckets; ++i) {
+    EXPECT_DOUBLE_EQ(Histogram::lower_bound(i), Histogram::upper_bound(i - 1));
+    EXPECT_GT(Histogram::upper_bound(i), Histogram::lower_bound(i));
+  }
+  // kStepsPerDoubling buckets apart, the bound doubles.
+  for (std::size_t i = 0; i + Histogram::kStepsPerDoubling < Histogram::kBuckets;
+       i += Histogram::kStepsPerDoubling) {
+    EXPECT_NEAR(Histogram::upper_bound(i + Histogram::kStepsPerDoubling),
+                2.0 * Histogram::upper_bound(i),
+                Histogram::upper_bound(i) * 1e-12);
+  }
+  EXPECT_TRUE(std::isinf(Histogram::upper_bound(Histogram::kBuckets)));
+}
+
+TEST(Histogram, SnapshotCountsSumMinMax) {
+  Histogram h;
+  for (double v : {0.5, 1.5, 2.5, 10.0}) h.observe(v);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 14.5);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 10.0);
+  std::uint64_t bucket_total = 0;
+  for (auto b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, 4u);
+}
+
+TEST(Histogram, DegenerateQuantilesAreExact) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.observe(7.25);
+  const auto snap = h.snapshot();
+  // All samples equal: every quantile collapses to the exact value via
+  // the [min, max] clamp.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 7.25);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.9), 7.25);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.99), 7.25);
+}
+
+TEST(Histogram, QuantilesWithinBucketRelativeWidth) {
+  Histogram h;
+  std::vector<double> samples;
+  for (int i = 1; i <= 1000; ++i) {
+    const double v = static_cast<double>(i) * 0.1;  // 0.1 .. 100 ms
+    samples.push_back(v);
+    h.observe(v);
+  }
+  const auto snap = h.snapshot();
+  // The documented bound: log-bucket resolution is one bucket's relative
+  // width, 2^(1/kStepsPerDoubling) - 1.
+  const double rel =
+      std::pow(2.0, 1.0 / Histogram::kStepsPerDoubling) - 1.0;
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double exact =
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+    EXPECT_NEAR(snap.quantile(q), exact, exact * rel + 1e-9) << "q=" << q;
+  }
+  EXPECT_GE(snap.quantile(0.0), snap.min);
+  EXPECT_LE(snap.quantile(1.0), snap.max);
+}
+
+TEST(Histogram, EmptyAndOverflow) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 0.0);
+  // Far beyond the last finite bound: lands in the overflow slot but the
+  // quantile stays clamped to the observed max, never infinity.
+  const double huge = 1e12;
+  h.observe(huge);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.buckets[Histogram::kBuckets], 1u);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.99), huge);
+}
+
+TEST(Registry, SeriesPointersAreStableAndDeduplicated) {
+  Registry reg;
+  Counter* a = reg.counter("requests", {{"tenant", "acme"}});
+  Counter* b = reg.counter("requests", {{"tenant", "acme"}});
+  Counter* c = reg.counter("requests", {{"tenant", "zeta"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Label order must not matter: identity is the sorted label set.
+  Gauge* g1 = reg.gauge("depth", {{"a", "1"}, {"b", "2"}});
+  Gauge* g2 = reg.gauge("depth", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(g1, g2);
+}
+
+TEST(Registry, TextExpositionIsDeterministicAndOrdered) {
+  Registry reg;
+  reg.counter("zzz_total")->inc(3);
+  reg.counter("aaa_total", {{"k", "v2"}})->inc(1);
+  reg.counter("aaa_total", {{"k", "v1"}})->inc(2);
+  reg.gauge("depth")->set(4.5);
+
+  std::ostringstream first;
+  reg.write_text(first);
+  std::ostringstream second;
+  reg.write_text(second);
+  EXPECT_EQ(first.str(), second.str());
+
+  const std::string text = first.str();
+  // Families alphabetical, series ordered by rendered labels.
+  EXPECT_LT(text.find("# TYPE aaa_total counter"), text.find("# TYPE depth gauge"));
+  EXPECT_LT(text.find("# TYPE depth gauge"), text.find("# TYPE zzz_total counter"));
+  EXPECT_LT(text.find("aaa_total{k=\"v1\"} 2"), text.find("aaa_total{k=\"v2\"} 1"));
+  EXPECT_NE(text.find("depth 4.5"), std::string::npos);
+}
+
+TEST(Registry, HistogramExpositionCarriesQuantilesSumCount) {
+  Registry reg;
+  Histogram* h = reg.histogram("latency_ms", {{"tenant", "t"}});
+  h->observe(1.0);
+  h->observe(1.0);
+  std::ostringstream os;
+  reg.write_text(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE latency_ms summary"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms{tenant=\"t\",quantile=\"0.5\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_ms{tenant=\"t\",quantile=\"0.99\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_ms_sum{tenant=\"t\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms_count{tenant=\"t\"} 2"), std::string::npos);
+}
+
+TEST(Registry, JsonExpositionParsesStructurally) {
+  Registry reg;
+  reg.counter("c_total", {{"k", "v"}})->inc(5);
+  reg.histogram("h_ms")->observe(2.0);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.rfind("{\"metrics\": [", 0), 0u);
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"name\": \"c_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"labels\": {\"k\": \"v\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"histogram\""), std::string::npos);
+  // No bare infinities may leak into JSON (the overflow bucket renders
+  // as the string "+Inf").
+  Registry overflow_reg;
+  overflow_reg.histogram("big_ms")->observe(1e12);
+  std::ostringstream os2;
+  overflow_reg.write_json(os2);
+  EXPECT_EQ(os2.str().find(" inf"), std::string::npos);
+  EXPECT_NE(os2.str().find("+Inf"), std::string::npos);
+}
+
+TEST(Registry, EmptyRegistryExports) {
+  Registry reg;
+  std::ostringstream text;
+  reg.write_text(text);
+  EXPECT_TRUE(text.str().empty());
+  std::ostringstream json;
+  reg.write_json(json);
+  EXPECT_EQ(json.str(), "{\"metrics\": []}\n");
+}
+
+TEST(Registry, ConcurrentRecordingIsLossless) {
+  Registry reg;
+  Counter* c = reg.counter("hits_total");
+  Histogram* h = reg.histogram("lat_ms");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->inc();
+        h->observe(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h->snapshot().count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(RenderLabels, SortsAndEscapes) {
+  EXPECT_EQ(render_labels({}), "");
+  EXPECT_EQ(render_labels({{"b", "2"}, {"a", "1"}}), "a=\"1\",b=\"2\"");
+  EXPECT_EQ(render_labels({{"k", "a\"b\\c\nd"}}), "k=\"a\\\"b\\\\c\\nd\"");
+}
+
+}  // namespace
+}  // namespace easched::obs

@@ -1,0 +1,63 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace easched::obs {
+namespace {
+
+TraceSpan make_span(std::uint64_t job, double submit_us) {
+  TraceSpan span;
+  span.job = job;
+  span.kind = "solve";
+  span.outcome = "ok";
+  span.priority = 0;
+  span.submit_us = submit_us;
+  span.start_us = submit_us + 10.0;
+  span.end_us = submit_us + 110.0;
+  return span;
+}
+
+TEST(TraceBuffer, RetainsNewestSpansInOrder) {
+  TraceBuffer buf(3);
+  EXPECT_EQ(buf.capacity(), 3u);
+  for (std::uint64_t j = 1; j <= 5; ++j) buf.record(make_span(j, j * 100.0));
+  EXPECT_EQ(buf.recorded(), 5u);
+  const auto spans = buf.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Oldest first, newest three survive the ring.
+  EXPECT_EQ(spans[0].job, 3u);
+  EXPECT_EQ(spans[1].job, 4u);
+  EXPECT_EQ(spans[2].job, 5u);
+}
+
+TEST(TraceBuffer, ChromeJsonHasTwoCompleteEventsPerSpan) {
+  TraceBuffer buf(8);
+  buf.record(make_span(7, 1000.0));
+  std::ostringstream os;
+  buf.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.rfind("{\"traceEvents\": [", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  // One "queued" slice (submit -> start) and one "running" slice
+  // (start -> end), both complete events on tid = job id.
+  EXPECT_NE(json.find("\"cat\": \"queued\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"running\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 1000"), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\": \"ok\""), std::string::npos);
+}
+
+TEST(TraceBuffer, EmptyBufferStillWritesValidDocument) {
+  TraceBuffer buf(4);
+  std::ostringstream os;
+  buf.write_chrome_json(os);
+  EXPECT_EQ(buf.recorded(), 0u);
+  EXPECT_NE(os.str().find("\"traceEvents\": []"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace easched::obs

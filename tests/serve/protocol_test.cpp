@@ -168,12 +168,14 @@ TEST(ServeProtocol, ResponsesRoundTrip) {
   stat.has_store = true;
   stat.store_bytes = 4096;
   stat.tenant_shed = 5;
+  stat.tenant_deadline_exceeded = 3;
   auto stat_decoded = StatResponse::decode(stat.encode());
   ASSERT_TRUE(stat_decoded.is_ok());
   EXPECT_EQ(stat_decoded.value().threads, 4u);
   EXPECT_TRUE(stat_decoded.value().has_store);
   EXPECT_EQ(stat_decoded.value().store_bytes, 4096u);
   EXPECT_EQ(stat_decoded.value().tenant_shed, 5u);
+  EXPECT_EQ(stat_decoded.value().tenant_deadline_exceeded, 3u);
 
   ErrorResponse error;
   error.request_id = 0;
@@ -182,6 +184,43 @@ TEST(ServeProtocol, ResponsesRoundTrip) {
   ASSERT_TRUE(error_decoded.is_ok());
   EXPECT_EQ(error_decoded.value().request_id, 0u);
   EXPECT_EQ(error_decoded.value().status.code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocol, MetricsMessagesRoundTrip) {
+  MetricsRequest request;
+  request.request_id = 13;
+  request.format = MetricsFormat::kJson;
+  auto request_decoded = MetricsRequest::decode(request.encode());
+  ASSERT_TRUE(request_decoded.is_ok()) << request_decoded.status().to_string();
+  EXPECT_EQ(request_decoded.value().request_id, 13u);
+  EXPECT_EQ(request_decoded.value().format, MetricsFormat::kJson);
+
+  // The body is carried verbatim — exposition text with quotes, braces
+  // and newlines must survive the wire untouched.
+  MetricsResponse response;
+  response.request_id = 13;
+  response.format = MetricsFormat::kText;
+  response.body =
+      "# TYPE easched_serve_requests_total counter\n"
+      "easched_serve_requests_total{tenant=\"acme\"} 7\n";
+  auto response_decoded = MetricsResponse::decode(response.encode());
+  ASSERT_TRUE(response_decoded.is_ok()) << response_decoded.status().to_string();
+  EXPECT_EQ(response_decoded.value().request_id, 13u);
+  EXPECT_EQ(response_decoded.value().format, MetricsFormat::kText);
+  EXPECT_EQ(response_decoded.value().body, response.body);
+  EXPECT_TRUE(response_decoded.value().status.is_ok());
+
+  // A refusal (metrics disabled on the daemon) round-trips its status.
+  MetricsResponse refused;
+  refused.request_id = 14;
+  refused.status = common::Status::unsupported("metrics are disabled");
+  auto refused_decoded = MetricsResponse::decode(refused.encode());
+  ASSERT_TRUE(refused_decoded.is_ok());
+  EXPECT_EQ(refused_decoded.value().status.code(), common::StatusCode::kUnsupported);
+  EXPECT_TRUE(refused_decoded.value().body.empty());
+
+  EXPECT_FALSE(MetricsRequest::decode("\x01junk").is_ok());
+  EXPECT_FALSE(MetricsResponse::decode("\x01junk").is_ok());
 }
 
 TEST(ServeProtocol, CorruptFrameCostsOneErrorNotTheStream) {

@@ -286,6 +286,131 @@ TEST(Serve, TenantQuotaShedsWhileOtherTenantIsServed) {
   EXPECT_EQ(stat.value().tenant_shed, shed_ids.size());
   EXPECT_EQ(stat.value().tenant_accepted, 1u);
 
+  // The daemon-wide view aggregates both tenants: the hog's four shed
+  // requests, and accepted = hog sweep + polite solve (+ the stat itself).
+  const ServerStats totals = daemon.server->stats();
+  EXPECT_EQ(totals.shed, shed_ids.size());
+  EXPECT_GE(totals.accepted, 2u);
+  EXPECT_EQ(totals.deadline_exceeded, 0u);
+
+  daemon.server->stop();
+}
+
+TEST(Serve, DeadlineExceededIsCountedPerTenant) {
+  engine::EngineConfig econfig;
+  econfig.threads = 1;  // one worker: the sweep holds it past the solve deadline
+  auto daemon = Daemon::start(std::move(econfig), {});
+
+  const auto slow = make_problem(25, 16, 1.7);
+  const auto quick = make_problem(26, 8, 1.6);
+
+  auto client = Client::connect("127.0.0.1", daemon.server->port(), "deadliner");
+  ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+
+  // Pipeline a sweep to occupy the single worker, then a solve whose job
+  // deadline is effectively already expired: by the time the worker picks
+  // it up the deadline has passed, so it completes without solving.
+  SweepRequest sweep;
+  sweep.request_id = client.value().next_request_id();
+  sweep.problem = slow.spec;
+  sweep.axis = WireAxis::kDeadline;
+  sweep.lo = slow.spec.deadline * 0.5;
+  sweep.hi = slow.spec.deadline;
+  sweep.initial_points = 9;
+  sweep.max_points = 33;
+  ASSERT_TRUE(client.value().send(sweep).is_ok());
+
+  SolveRequest doomed;
+  doomed.request_id = client.value().next_request_id();
+  doomed.problem = quick.spec;
+  doomed.job_deadline_ms = 1e-6;
+  ASSERT_TRUE(client.value().send(doomed).is_ok());
+
+  auto doomed_response = client.value().wait_solve(doomed.request_id);
+  ASSERT_TRUE(doomed_response.is_ok()) << doomed_response.status().to_string();
+  EXPECT_EQ(doomed_response.value().status.code(),
+            common::StatusCode::kDeadlineExceeded);
+
+  auto swept = client.value().wait_sweep(sweep.request_id);
+  ASSERT_TRUE(swept.is_ok());
+  EXPECT_TRUE(swept.value().status.is_ok()) << swept.value().status.to_string();
+
+  // The expiry is attributed to this tenant in its stat view and to the
+  // daemon's lifetime totals — distinctly from sheds (the job was
+  // admitted; it expired, it was not rejected).
+  auto stat = client.value().stat();
+  ASSERT_TRUE(stat.is_ok());
+  EXPECT_EQ(stat.value().tenant_deadline_exceeded, 1u);
+  EXPECT_EQ(stat.value().tenant_shed, 0u);
+  EXPECT_EQ(stat.value().tenant_accepted, 2u);
+
+  const ServerStats totals = daemon.server->stats();
+  EXPECT_EQ(totals.deadline_exceeded, 1u);
+  EXPECT_EQ(totals.shed, 0u);
+
+  daemon.server->stop();
+}
+
+TEST(Serve, MetricsScrapeOverLoopback) {
+  auto daemon = Daemon::start({}, {});
+  const auto problem = make_problem(27, 8, 1.6);
+
+  auto client = Client::connect("127.0.0.1", daemon.server->port(), "scraper");
+  ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+
+  SolveRequest request;
+  request.problem = problem.spec;
+  ASSERT_TRUE(client.value().solve(std::move(request)).is_ok());
+
+  // Text scrape: the per-tenant serve counters and the engine's job
+  // metrics land in one exposition document. The scrape is itself a
+  // request and is counted before serialization, so it sees itself:
+  // requests = solve + this scrape.
+  auto text = client.value().metrics(MetricsFormat::kText);
+  ASSERT_TRUE(text.is_ok()) << text.status().to_string();
+  EXPECT_EQ(text.value().format, MetricsFormat::kText);
+  const std::string& body = text.value().body;
+  EXPECT_NE(body.find("easched_serve_requests_total{tenant=\"scraper\"} 2"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("easched_serve_accepted_total{tenant=\"scraper\"} 1"),
+            std::string::npos);
+  EXPECT_NE(body.find("easched_serve_latency_ms_count{tenant=\"scraper\"} 1"),
+            std::string::npos);
+  EXPECT_NE(body.find("easched_jobs_completed_total{kind=\"solve\",outcome=\"ok\"} 1"),
+            std::string::npos);
+
+  // JSON scrape of the same registry.
+  auto json = client.value().metrics(MetricsFormat::kJson);
+  ASSERT_TRUE(json.is_ok()) << json.status().to_string();
+  EXPECT_EQ(json.value().format, MetricsFormat::kJson);
+  EXPECT_EQ(json.value().body.rfind("{\"metrics\": [", 0), 0u);
+  EXPECT_NE(json.value().body.find("\"name\": \"easched_serve_requests_total\""),
+            std::string::npos);
+
+  // Counters are monotone across scrapes: solve + text + json + this one.
+  auto again = client.value().metrics(MetricsFormat::kText);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_NE(again.value().body.find("easched_serve_requests_total{tenant=\"scraper\"} 4"),
+            std::string::npos)
+      << again.value().body;
+
+  daemon.server->stop();
+}
+
+TEST(Serve, MetricsScrapeOnDisabledDaemonIsUnsupported) {
+  engine::EngineConfig econfig;
+  econfig.metrics = false;
+  auto daemon = Daemon::start(std::move(econfig), {});
+  auto client = Client::connect("127.0.0.1", daemon.server->port(), "scraper");
+  ASSERT_TRUE(client.is_ok());
+  // The refusal is a typed status on the response, surfaced through the
+  // client's Result — the connection stays healthy for normal traffic.
+  auto scrape = client.value().metrics();
+  ASSERT_FALSE(scrape.is_ok());
+  EXPECT_EQ(scrape.status().code(), common::StatusCode::kUnsupported);
+  auto stat = client.value().stat();
+  EXPECT_TRUE(stat.is_ok()) << stat.status().to_string();
   daemon.server->stop();
 }
 
