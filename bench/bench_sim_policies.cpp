@@ -1,0 +1,201 @@
+// E17: online DVFS policies vs the clairvoyant offline oracle.
+//
+// The offline solvers answer "what is the cheapest feasible schedule for
+// a fully-known instance?"; an online scheduler sees jobs only as they
+// arrive and realized work only at completion. This bench replays a
+// seeded periodic corpus under the four sim:: policies and scores each
+// against the oracle lower bound (the realized trace solved offline
+// through the engine), producing empirical competitive ratios.
+//
+// Gates (PASS/FAIL exit code):
+//  * every oracle instance is feasible at fmax (the corpus is sane);
+//  * zero deadline misses for every policy on the periodic corpus
+//    (density 0.65 < 1 makes static-edf feasible; cc/la track it);
+//  * cc-edf total energy <= static-edf total energy on every stream —
+//    the Pillai-Shin cycle-conserving claim, which here follows from
+//    cc's speed never exceeding static's and the cube law's convexity;
+//  * every competitive ratio >= 0.999 (the oracle really is a lower
+//    bound; the epsilon absorbs accounting rounding);
+//  * the corpus metrics are bit-identical between a 1-thread and a
+//    hardware-parallel run (the determinism contract).
+//
+// With --json-out FILE the headline numbers are written as JSON so
+// scripts/bench_snapshot.sh can fold them into the committed baseline.
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "engine/engine.hpp"
+#include "sim/oracle.hpp"
+#include "sim/policy.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stream.hpp"
+
+namespace {
+
+using namespace easched;
+
+bool metrics_identical(const std::vector<std::vector<sim::PolicyMetrics>>& a,
+                       const std::vector<std::vector<sim::PolicyMetrics>>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    if (a[s].size() != b[s].size()) return false;
+    for (std::size_t p = 0; p < a[s].size(); ++p) {
+      const auto& x = a[s][p];
+      const auto& y = b[s][p];
+      // Bit-identical: every counter equal and every double comparing
+      // equal (which for finite doubles is bitwise up to -0.0/0.0).
+      if (x.policy != y.policy || x.arrivals != y.arrivals ||
+          x.completions != y.completions ||
+          x.deadline_misses != y.deadline_misses ||
+          x.freq_transitions != y.freq_transitions || x.wakeups != y.wakeups ||
+          x.dynamic_energy != y.dynamic_energy ||
+          x.static_energy != y.static_energy || x.wake_energy != y.wake_energy ||
+          x.busy_time != y.busy_time || x.idle_time != y.idle_time ||
+          x.sleep_time != y.sleep_time || x.span != y.span) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("E17 online policies vs offline oracle",
+                "event-driven DVFS policies against the clairvoyant frontier",
+                "periodic corpus; gates: oracle feasible, zero misses,\n"
+                "cc-edf <= static-edf energy per stream, ratios >= 1,\n"
+                "bit-identical metrics across thread counts");
+
+  const std::uint64_t seed = bench::corpus_seed(argc, argv, 42);
+  const int streams = 6;
+  const double horizon = 120.0;
+  const auto classes = sim::default_task_classes(/*periodic=*/true);
+  const auto policies = sim::policy_names();
+  const sim::SimConfig config;  // continuous [0.05, 1], defaults
+
+  auto created = engine::Engine::create(engine::EngineConfig{});
+  if (!created.is_ok()) {
+    std::cerr << "cannot create engine: " << created.status().to_string() << "\n";
+    return 1;
+  }
+  engine::Engine& eng = created.value();
+
+  bench::Stopwatch sw;
+  const auto serial = sim::run_policy_corpus(classes, streams, horizon, seed,
+                                             policies, config, nullptr,
+                                             /*threads=*/1);
+  const double serial_ms = sw.ms();
+  bench::Stopwatch psw;
+  const auto metrics = sim::run_policy_corpus(classes, streams, horizon, seed,
+                                              policies, config, nullptr,
+                                              /*threads=*/0);
+  const double parallel_ms = psw.ms();
+  const bool identical = metrics_identical(serial, metrics);
+
+  std::vector<sim::OracleReport> oracles;
+  bool oracle_feasible = true;
+  std::uint64_t jobs = 0;
+  for (int s = 0; s < streams; ++s) {
+    const auto trace = sim::make_trace(classes, horizon, seed,
+                                       static_cast<std::uint64_t>(s));
+    jobs += trace.jobs.size();
+    auto oracle = sim::oracle_baseline(trace, config, eng);
+    if (!oracle.is_ok()) {
+      std::cerr << "oracle solve failed on stream " << s << ": "
+                << oracle.status().to_string() << "\n";
+      return 1;
+    }
+    oracle_feasible = oracle_feasible && oracle.value().feasible_at_fmax;
+    oracles.push_back(std::move(oracle).take());
+  }
+
+  // Per-policy aggregates + the per-stream cc-vs-static and ratio gates.
+  bool cc_le_static = true;
+  bool zero_miss = true;
+  bool ratios_ok = true;
+  std::vector<double> mean_ratio(policies.size(), 0.0);
+  std::vector<double> max_ratio(policies.size(), 0.0);
+  std::vector<double> energy_total(policies.size(), 0.0);
+  std::vector<std::uint64_t> misses(policies.size(), 0);
+  const auto index_of = [&](const std::string& name) {
+    return static_cast<std::size_t>(
+        std::find(policies.begin(), policies.end(), name) - policies.begin());
+  };
+  const std::size_t static_idx = index_of("static-edf");
+  const std::size_t cc_idx = index_of("cc-edf");
+  for (int s = 0; s < streams; ++s) {
+    const auto& row = metrics[static_cast<std::size_t>(s)];
+    const double oracle_energy = oracles[static_cast<std::size_t>(s)].energy;
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const double ratio = row[p].total_energy() / oracle_energy;
+      mean_ratio[p] += ratio / streams;
+      max_ratio[p] = std::max(max_ratio[p], ratio);
+      energy_total[p] += row[p].total_energy();
+      misses[p] += row[p].deadline_misses;
+      if (row[p].deadline_misses != 0) zero_miss = false;
+      if (ratio < 0.999) ratios_ok = false;
+    }
+    if (row[cc_idx].total_energy() > row[static_idx].total_energy() + 1e-9) {
+      cc_le_static = false;
+    }
+  }
+
+  common::Table table({"policy", "mean_ratio", "max_ratio", "energy_total",
+                       "misses"});
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    table.add_row({policies[p], common::format_fixed(mean_ratio[p], 4),
+                   common::format_fixed(max_ratio[p], 4),
+                   common::format_g(energy_total[p]),
+                   common::format_int(static_cast<long long>(misses[p]))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\ncorpus: " << streams << " streams, " << jobs << " jobs, horizon "
+            << common::format_g(horizon) << ", seed " << seed << "\nreplay wall: "
+            << common::format_fixed(serial_ms, 1) << " ms serial, "
+            << common::format_fixed(parallel_ms, 1) << " ms parallel\ngates: "
+            << "oracle_feasible=" << (oracle_feasible ? "yes" : "NO") << " zero_miss="
+            << (zero_miss ? "yes" : "NO") << " cc_le_static="
+            << (cc_le_static ? "yes" : "NO") << " ratios_ge_1="
+            << (ratios_ok ? "yes" : "NO") << " deterministic="
+            << (identical ? "yes" : "NO") << "\n";
+
+  const bool ok =
+      oracle_feasible && zero_miss && cc_le_static && ratios_ok && identical;
+
+  if (const char* path = bench::json_out_path(argc, argv)) {
+    std::ofstream out(path);
+    out << "{\n"
+        << "  \"streams\": " << streams << ",\n"
+        << "  \"jobs\": " << jobs << ",\n"
+        << "  \"ratio_static_edf\": " << common::format_g(mean_ratio[static_idx])
+        << ",\n"
+        << "  \"ratio_cc_edf\": " << common::format_g(mean_ratio[cc_idx]) << ",\n"
+        << "  \"ratio_la_edf\": " << common::format_g(mean_ratio[index_of("la-edf")])
+        << ",\n"
+        << "  \"ratio_sleep_edf\": "
+        << common::format_g(mean_ratio[index_of("sleep-edf")]) << ",\n"
+        << "  \"cc_saving_vs_static\": "
+        << common::format_g(1.0 - energy_total[cc_idx] / energy_total[static_idx])
+        << ",\n"
+        << "  \"cc_le_static\": " << (cc_le_static ? "true" : "false") << ",\n"
+        << "  \"zero_miss\": " << (zero_miss ? "true" : "false") << ",\n"
+        << "  \"deterministic\": " << (identical ? "true" : "false") << ",\n"
+        << "  \"pass\": " << (ok ? "true" : "false") << "\n"
+        << "}\n";
+  }
+
+  std::cout << "\nShapes: cc-edf undercuts static-edf by reclaiming unused\n"
+               "worst-case cycles; la-edf lands closest to the oracle; sleep-edf\n"
+               "trades idle static power for wake-up costs. All ratios >= 1: the\n"
+               "oracle is a true lower bound.\n";
+  return ok ? 0 : 1;
+}

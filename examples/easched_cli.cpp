@@ -56,7 +56,30 @@
 //     Runs the solves like the default mode, then dumps the engine's
 //     metric registry to stdout (text exposition, or JSON with --json)
 //     instead of the per-solve reports — the local inspection twin of
-//     `remote stat --deep`.
+//     `remote stat --deep`. With --simulate it runs the online-simulator
+//     corpus (same flags as the simulate subcommand) instead of dag
+//     solves, so the easched_sim_* series (labelled policy=...) are
+//     scrape-able like everything else.
+//   easched_cli simulate [options]
+//     Online arrival-stream simulation (src/sim): seeded streams of SLA
+//     task classes replayed under the classic online DVFS policies
+//     (static-edf, cc-edf, la-edf, sleep-edf), each scored against the
+//     clairvoyant offline oracle (the exact solvers on the realized
+//     trace). Prints per-stream and per-policy energy competitive
+//     ratios and deadline-miss rates; bit-identical across runs and
+//     thread counts for the same seed.
+//       --seed N             corpus seed (default 42)
+//       --streams S          independent arrival streams (default 4)
+//       --horizon T          arrival cutoff per stream (default 120)
+//       --policies a,b,...   policy subset (default: all four)
+//       --periodic           strictly periodic arrivals (default Poisson)
+//       --ladder             the 7-level discrete frequency/voltage
+//                            ladder (with --vdd: VDD-HOPPING semantics);
+//                            default: continuous [fmin, fmax]
+//       --static-power P     awake power draw (default 0.05)
+//       --wake-energy E      sleep->awake transition cost (default 0.5)
+//       --out FILE           per-cell table via the obs writers
+//                            (.json for JSON, anything else CSV, %.17g)
 //
 // Observability options (every mode with an engine):
 //   --no-metrics          disable the engine's metric registry (results
@@ -123,11 +146,17 @@
 #include "frontier/frontier.hpp"
 #include "frontier/telemetry.hpp"
 #include "graph/io.hpp"
+#include "model/ladder.hpp"
+#include "obs/export.hpp"
 #include "sched/gantt.hpp"
 #include "sched/list_scheduler.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
+#include "sim/oracle.hpp"
+#include "sim/policy.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stream.hpp"
 #include "store/store.hpp"
 
 namespace {
@@ -164,6 +193,11 @@ int usage(const char* argv0) {
       << "       " << argv0
       << " remote <host:port> <solve|sweep|stat> [<dag-file>] [--tenant T] [--deep]\n"
       << "       " << argv0 << " metrics <dag-file>... --deadline D [--json]\n"
+      << "       " << argv0 << " metrics --simulate [simulate options] [--json]\n"
+      << "       " << argv0
+      << " simulate [--seed N] [--streams S] [--horizon T] [--policies a,b]\n"
+      << "         [--periodic] [--ladder [--vdd]] [--static-power P]\n"
+      << "         [--wake-energy E] [--threads N] [--out FILE]\n"
       << "  [--processors P] [--fmin F] [--fmax F] [--levels f1,f2,...] [--vdd]\n"
       << "  [--frel F] [--lambda0 L] [--dexp D] [--solver NAME] [--solvers n1,n2]\n"
       << "  [--slack S] [--threads N] [--points N] [--max-points M]\n"
@@ -216,6 +250,17 @@ struct CliArgs {
   std::size_t max_queued = 0;      // engine admission cap (0 = unbounded)
   std::size_t tenant_quota = 0;    // per-tenant in-flight cap (0 = unbounded)
   double job_deadline_ms = 0.0;    // per-request wall-clock deadline
+  // simulate mode (src/sim)
+  std::uint64_t sim_seed = 42;     // corpus seed
+  int streams = 4;                 // independent arrival streams
+  double horizon = 120.0;          // arrival cutoff per stream
+  std::string policies;            // comma-separated subset; empty = all
+  bool periodic = false;           // strictly periodic arrivals
+  bool ladder = false;             // the 7-level discrete DVFS ladder
+  double static_power = 0.05;      // awake power draw
+  double wake_energy = 0.5;        // sleep -> awake transition cost
+  std::string sim_out;             // per-cell table destination (CSV/JSON)
+  bool simulate = false;           // metrics mode: run the sim corpus
 };
 
 /// Parses argv[first..); returns false (after printing) on a bad flag.
@@ -325,6 +370,42 @@ bool parse_args(int argc, char** argv, int first, CliArgs& args) {
       args.tenant_quota = static_cast<std::size_t>(cap);
     } else if (arg == "--job-deadline-ms") {
       args.job_deadline_ms = std::stod(next());
+    } else if (arg == "--seed") {
+      args.sim_seed = std::stoull(next());
+    } else if (arg == "--streams") {
+      args.streams = std::stoi(next());
+      if (args.streams < 1) {
+        std::cerr << "--streams must be >= 1\n";
+        return false;
+      }
+    } else if (arg == "--horizon") {
+      args.horizon = std::stod(next());
+      if (args.horizon <= 0.0) {
+        std::cerr << "--horizon must be positive\n";
+        return false;
+      }
+    } else if (arg == "--policies") {
+      args.policies = next();
+    } else if (arg == "--periodic") {
+      args.periodic = true;
+    } else if (arg == "--ladder") {
+      args.ladder = true;
+    } else if (arg == "--static-power") {
+      args.static_power = std::stod(next());
+      if (args.static_power < 0.0) {
+        std::cerr << "--static-power must be >= 0\n";
+        return false;
+      }
+    } else if (arg == "--wake-energy") {
+      args.wake_energy = std::stod(next());
+      if (args.wake_energy < 0.0) {
+        std::cerr << "--wake-energy must be >= 0\n";
+        return false;
+      }
+    } else if (arg == "--out") {
+      args.sim_out = next();
+    } else if (arg == "--simulate") {
+      args.simulate = true;
     } else if (arg == "--resweep") {
       args.resweep = true;
     } else if (arg == "--jobs") {
@@ -928,17 +1009,207 @@ int run_solve(CliArgs& args) {
   return 0;
 }
 
+// ---- simulate -------------------------------------------------------------
+
+/// The simulator's platform: --ladder picks the 7-level discrete
+/// frequency/voltage table (VDD-HOPPING with --vdd), --levels/--fmin/
+/// --fmax work exactly like everywhere else.
+sim::SimConfig make_sim_config(CliArgs& args) {
+  sim::SimConfig config;
+  if (args.ladder) {
+    config.speeds = model::DvfsLadder::xscale7().speed_model(args.vdd);
+    args.fmin = config.speeds.fmin();
+    args.fmax = config.speeds.fmax();
+  } else {
+    config.speeds = make_speeds(args);
+  }
+  config.static_power = args.static_power;
+  config.wake_energy = args.wake_energy;
+  return config;
+}
+
+/// The validated policy list: --policies subset, or all four.
+common::Result<std::vector<std::string>> sim_policy_list(const CliArgs& args) {
+  std::vector<std::string> policies =
+      args.policies.empty() ? sim::policy_names() : parse_names(args.policies);
+  if (policies.empty()) return common::Status::invalid("--policies names no policy");
+  for (const auto& name : policies) {
+    auto p = sim::make_policy(name);
+    if (!p.is_ok()) return p.status();
+  }
+  return policies;
+}
+
+/// easched_cli simulate: replay a seeded corpus of arrival streams under
+/// the online DVFS policies and score each against the clairvoyant
+/// offline oracle. Everything printed or exported is bit-identical
+/// across runs and thread counts for the same seed.
+int run_simulate(CliArgs& args) {
+  auto policies = sim_policy_list(args);
+  if (!policies.is_ok()) {
+    std::cerr << "simulate: " << policies.status().to_string() << "\n";
+    return 2;
+  }
+  const sim::SimConfig config = make_sim_config(args);
+  const auto classes = sim::default_task_classes(args.periodic);
+
+  auto created = make_engine(args);
+  if (!created.is_ok()) {
+    std::cerr << "cannot create engine: " << created.status().to_string() << "\n";
+    return 1;
+  }
+  engine::Engine& eng = created.value();
+
+  const auto metrics =
+      sim::run_policy_corpus(classes, args.streams, args.horizon, args.sim_seed,
+                             policies.value(), config, eng.metrics(), args.threads);
+
+  // One oracle solve per stream (the traces replay deterministically
+  // from the seed, so regeneration is exact).
+  std::vector<sim::OracleReport> oracles;
+  for (int s = 0; s < args.streams; ++s) {
+    const auto trace = sim::make_trace(classes, args.horizon, args.sim_seed,
+                                       static_cast<std::uint64_t>(s));
+    auto oracle = sim::oracle_baseline(trace, config, eng);
+    if (!oracle.is_ok()) {
+      std::cerr << "simulate: oracle solve failed on stream " << s << ": "
+                << oracle.status().to_string() << "\n";
+      return 1;
+    }
+    oracles.push_back(std::move(oracle).take());
+  }
+
+  std::cout << "online simulation: " << args.streams << " stream(s), horizon "
+            << common::format_g(args.horizon) << ", seed " << args.sim_seed << ", "
+            << (args.periodic ? "periodic" : "poisson") << " arrivals, "
+            << model::to_string(config.speeds.kind()) << " speeds ["
+            << common::format_g(config.speeds.fmin()) << ", "
+            << common::format_g(config.speeds.fmax()) << "], oracle solver "
+            << oracles.front().solver << "\n\n";
+
+  common::Table table({"stream", "policy", "jobs", "energy", "oracle", "ratio",
+                       "misses", "miss_rate", "transitions", "wakeups", "idle",
+                       "sleep"});
+  for (int s = 0; s < args.streams; ++s) {
+    const auto& oracle = oracles[static_cast<std::size_t>(s)];
+    for (const auto& m : metrics[static_cast<std::size_t>(s)]) {
+      table.add_row({common::format_int(s), m.policy,
+                     common::format_int(static_cast<long long>(m.arrivals)),
+                     common::format_g(m.total_energy()), common::format_g(oracle.energy),
+                     common::format_fixed(m.total_energy() / oracle.energy, 4),
+                     common::format_int(static_cast<long long>(m.deadline_misses)),
+                     common::format_pct(m.miss_rate()),
+                     common::format_int(static_cast<long long>(m.freq_transitions)),
+                     common::format_int(static_cast<long long>(m.wakeups)),
+                     common::format_fixed(m.idle_time, 2),
+                     common::format_fixed(m.sleep_time, 2)});
+    }
+  }
+  table.print(std::cout);
+
+  // Per-policy aggregate: the empirical competitive-ratio headline.
+  std::cout << "\n";
+  common::Table agg({"policy", "mean_ratio", "max_ratio", "energy_total", "misses",
+                     "miss_rate"});
+  for (std::size_t p = 0; p < policies.value().size(); ++p) {
+    double ratio_sum = 0.0, ratio_max = 0.0, energy = 0.0;
+    std::uint64_t misses = 0, completions = 0;
+    for (int s = 0; s < args.streams; ++s) {
+      const auto& m = metrics[static_cast<std::size_t>(s)][p];
+      const double ratio = m.total_energy() / oracles[static_cast<std::size_t>(s)].energy;
+      ratio_sum += ratio;
+      ratio_max = std::max(ratio_max, ratio);
+      energy += m.total_energy();
+      misses += m.deadline_misses;
+      completions += m.completions;
+    }
+    agg.add_row({policies.value()[p], common::format_fixed(ratio_sum / args.streams, 4),
+                 common::format_fixed(ratio_max, 4), common::format_g(energy),
+                 common::format_int(static_cast<long long>(misses)),
+                 common::format_pct(completions == 0 ? 0.0
+                                                     : static_cast<double>(misses) /
+                                                           static_cast<double>(completions))});
+  }
+  agg.print(std::cout);
+
+  if (!args.sim_out.empty()) {
+    obs::SampleTable out({"stream", "policy", "jobs", "energy", "dynamic_energy",
+                          "static_energy", "wake_energy", "oracle_energy", "ratio",
+                          "misses", "completions", "freq_transitions", "wakeups",
+                          "busy_time", "idle_time", "sleep_time", "span"});
+    for (int s = 0; s < args.streams; ++s) {
+      const auto& oracle = oracles[static_cast<std::size_t>(s)];
+      for (const auto& m : metrics[static_cast<std::size_t>(s)]) {
+        out.begin_row();
+        out.add_value(std::to_string(s));
+        out.add_label(m.policy);
+        out.add_value(std::to_string(m.arrivals));
+        out.add_value(obs::format_double(m.total_energy()));
+        out.add_value(obs::format_double(m.dynamic_energy));
+        out.add_value(obs::format_double(m.static_energy));
+        out.add_value(obs::format_double(m.wake_energy));
+        out.add_value(obs::format_double(oracle.energy));
+        out.add_value(obs::format_double(m.total_energy() / oracle.energy));
+        out.add_value(std::to_string(m.deadline_misses));
+        out.add_value(std::to_string(m.completions));
+        out.add_value(std::to_string(m.freq_transitions));
+        out.add_value(std::to_string(m.wakeups));
+        out.add_value(obs::format_double(m.busy_time));
+        out.add_value(obs::format_double(m.idle_time));
+        out.add_value(obs::format_double(m.sleep_time));
+        out.add_value(obs::format_double(m.span));
+      }
+    }
+    auto st = out.write_file(args.sim_out);
+    if (!st.is_ok()) {
+      std::cerr << "simulate: cannot write " << args.sim_out << ": " << st.to_string()
+                << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << out.rows() << " rows to " << args.sim_out << "\n";
+  }
+  write_trace(eng, args);
+  return 0;
+}
+
 /// easched_cli metrics: run the solves like the default mode, then dump
 /// the engine's metric registry instead of the per-solve reports — the
 /// local twin of `remote stat --deep`.
 int run_metrics(CliArgs& args) {
-  if (args.dag_paths.empty() || args.deadline <= 0.0) {
-    std::cerr << "metrics mode: easched_cli metrics <dag-file>... --deadline D"
-                 " [--json] [engine options]\n";
-    return 2;
-  }
   if (args.no_metrics) {
     std::cerr << "metrics mode and --no-metrics cannot be combined\n";
+    return 2;
+  }
+  if (args.simulate) {
+    // metrics --simulate: run the sim corpus against the engine registry
+    // and dump the per-policy counters instead of the ratio tables.
+    auto policies = sim_policy_list(args);
+    if (!policies.is_ok()) {
+      std::cerr << "metrics --simulate: " << policies.status().to_string() << "\n";
+      return 2;
+    }
+    auto created = make_engine(args);
+    if (!created.is_ok()) {
+      std::cerr << "cannot create engine: " << created.status().to_string() << "\n";
+      return 1;
+    }
+    engine::Engine& eng = created.value();
+    const sim::SimConfig config = make_sim_config(args);
+    sim::run_policy_corpus(sim::default_task_classes(args.periodic), args.streams,
+                           args.horizon, args.sim_seed, policies.value(), config,
+                           eng.metrics(), args.threads);
+    if (args.json) {
+      eng.write_metrics_json(std::cout);
+    } else {
+      eng.write_metrics_text(std::cout);
+    }
+    write_trace(eng, args);
+    return 0;
+  }
+  if (args.dag_paths.empty() || args.deadline <= 0.0) {
+    std::cerr << "metrics mode: easched_cli metrics <dag-file>... --deadline D"
+                 " [--json] [engine options] | easched_cli metrics --simulate"
+                 " [simulate options]\n";
     return 2;
   }
   const double effective_deadline = args.deadline * args.options.deadline_slack;
@@ -1267,6 +1538,12 @@ int main(int argc, char** argv) {
     CliArgs args;
     if (!parse_args(argc, argv, 2, args)) return usage(argv[0]);
     const int rc = run_metrics(args);
+    return rc == 2 ? usage(argv[0]) : rc;
+  }
+  if (std::string(argv[1]) == "simulate") {
+    CliArgs args;
+    if (!parse_args(argc, argv, 2, args)) return usage(argv[0]);
+    const int rc = run_simulate(args);
     return rc == 2 ? usage(argv[0]) : rc;
   }
   const bool frontier_mode = std::string(argv[1]) == "frontier";

@@ -6,7 +6,9 @@
 # cold/warm sweeps, perturbed-instance resweeps, the warm-lookup scaling
 # curve, restart-with-store replay, batch throughput (direct and through
 # the engine façade), the solver-family accuracy/speed headlines, and the
-# serving tier's warm-daemon throughput and overload-shedding numbers.
+# serving tier's warm-daemon throughput and overload-shedding numbers,
+# the online-policy competitive ratios vs the offline oracle, and the
+# reliability simulator's model-vs-Monte-Carlo headlines.
 # Future PRs diff their own snapshot against the committed numbers
 # instead of eyeballing one noisy run.
 #
@@ -25,7 +27,7 @@ build_dir="${2:-$repo_root/build-bench}"
 
 benches=(bench_frontier_sweep bench_store_restart bench_batch_throughput
          bench_fork_closed_form bench_sp_closed_form bench_vdd_lp
-         bench_serve_load)
+         bench_serve_load bench_sim_policies bench_reliability_sim)
 
 cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=Release \
@@ -70,6 +72,8 @@ fork_cf = load("bench_fork_closed_form")
 sp_cf = load("bench_sp_closed_form")
 vdd = load("bench_vdd_lp")
 serve = load("bench_serve_load")
+sim_pol = load("bench_sim_policies")
+rel_sim = load("bench_reliability_sim")
 
 def med(samples, key):
     return statistics.median(s[key] for s in samples)
@@ -146,6 +150,27 @@ snapshot = {
         "overload_shed": med(serve, "overload_shed"),
         "overload_shed_rate": med(serve, "overload_shed_rate"),
         "overload_accepted_p99_ms": med(serve, "overload_accepted_p99_ms"),
+    },
+    # online simulator (bench_sim_policies): empirical competitive ratios
+    # of the event-driven DVFS policies vs the clairvoyant offline oracle.
+    # Fully seeded, so the ratios are exact across runs (median = value).
+    "sim_policies": {
+        "streams": sim_pol[0]["streams"],
+        "jobs": sim_pol[0]["jobs"],
+        "ratio_static_edf": med(sim_pol, "ratio_static_edf"),
+        "ratio_cc_edf": med(sim_pol, "ratio_cc_edf"),
+        "ratio_la_edf": med(sim_pol, "ratio_la_edf"),
+        "ratio_sleep_edf": med(sim_pol, "ratio_sleep_edf"),
+        "cc_saving_vs_static": med(sim_pol, "cc_saving_vs_static"),
+        "pass": all(s["pass"] for s in sim_pol),
+    },
+    # reliability fault injection (bench_reliability_sim): analytic model
+    # vs Monte-Carlo, worst-case vs actually-spent energy
+    "reliability_sim": {
+        "min_single_reliability": med(rel_sim, "min_single_reliability"),
+        "min_reexec_reliability": med(rel_sim, "min_reexec_reliability"),
+        "max_actual_over_worst": med(rel_sim, "max_actual_over_worst"),
+        "pass": all(s["pass"] for s in rel_sim),
     },
 }
 with open(out_path, "w") as f:

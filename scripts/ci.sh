@@ -10,6 +10,7 @@
 #   asan      check.sh --sanitize Debug + ASan/UBSan over the same suite
 #   tsan      check.sh --tsan     Debug + ThreadSanitizer, incl. stress test
 #   serve     serve_smoke.sh      real daemon on an ephemeral port + load bench
+#   simulate  sim_smoke.sh        online simulator determinism + policy-vs-oracle bench
 #   lint      lint.sh             clang-tidy (when present) + grep-lint
 
 set -uo pipefail
@@ -41,6 +42,7 @@ run_stage release "$repo_root/scripts/check.sh"
 run_stage asan "$repo_root/scripts/check.sh" --sanitize
 run_stage tsan "$repo_root/scripts/check.sh" --tsan
 run_stage serve "$repo_root/scripts/serve_smoke.sh"
+run_stage simulate "$repo_root/scripts/sim_smoke.sh"
 run_stage lint "$repo_root/scripts/lint.sh"
 
 echo

@@ -2,8 +2,8 @@
 # Repo lint gate: clang-tidy (when available) plus a grep-lint of
 # repo-local rules that no compiler flag covers. The gated layers —
 # src/api, src/common, src/engine, src/frontier, src/obs, src/serve,
-# src/store — must come back clean; scripts/ci.sh runs this as its last
-# stage.
+# src/sim, src/store — must come back clean; scripts/ci.sh runs this as
+# its last stage.
 #
 #   scripts/lint.sh [build-dir]
 #
@@ -30,7 +30,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 cd "$repo_root"
 
-gated_layers=(src/api src/common src/engine src/frontier src/obs src/serve src/store)
+gated_layers=(src/api src/common src/engine src/frontier src/obs src/serve src/sim src/store)
 fail=0
 
 # ---- stage 1: clang-tidy over the gated layers --------------------------

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Online-simulator smoke gate: runs `easched_cli simulate` twice at
+# different thread counts and asserts bit-identical stdout and --out
+# exports (the determinism contract), replays the corpus on the discrete
+# DVFS ladder, checks `metrics --simulate` exposes the per-policy
+# easched_sim_* series, then runs bench_sim_policies (whose acceptance
+# bars — oracle feasibility, zero misses, cc-edf <= static-edf,
+# competitive ratios >= 1 — gate). scripts/ci.sh runs this as its
+# simulate stage.
+#
+#   scripts/sim_smoke.sh [build-dir]
+#
+# Default build dir ./build-check (shared with check.sh, so a prior
+# release stage makes the builds here incremental no-ops).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-check}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "$build_dir" -j "$(nproc)" \
+  --target easched_cli bench_sim_policies > /dev/null
+
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+
+# ---- bit-identity across thread counts ----------------------------------
+# Same seed, 1 thread vs hardware parallelism: stdout and the CSV export
+# must be byte-identical (the export path redacts nothing — %.17g floats).
+"$build_dir/easched_cli" simulate --streams 4 --horizon 80 --periodic \
+  --threads 1 --out "$tmp_dir/sim1.csv" > "$tmp_dir/sim1.txt"
+"$build_dir/easched_cli" simulate --streams 4 --horizon 80 --periodic \
+  --threads "$(nproc)" --out "$tmp_dir/sim2.csv" > "$tmp_dir/sim2.txt"
+sed "s|$tmp_dir/sim1.csv|OUT|" "$tmp_dir/sim1.txt" > "$tmp_dir/sim1.norm"
+sed "s|$tmp_dir/sim2.csv|OUT|" "$tmp_dir/sim2.txt" > "$tmp_dir/sim2.norm"
+cmp "$tmp_dir/sim1.norm" "$tmp_dir/sim2.norm"
+cmp "$tmp_dir/sim1.csv" "$tmp_dir/sim2.csv"
+grep -q 'ratio' "$tmp_dir/sim1.csv"
+echo "sim_smoke: thread-count bit-identity OK"
+
+# ---- discrete ladder + JSON export --------------------------------------
+"$build_dir/easched_cli" simulate --streams 2 --horizon 60 --ladder \
+  --out "$tmp_dir/ladder.json" > "$tmp_dir/ladder.txt"
+grep -q 'DISCRETE speeds' "$tmp_dir/ladder.txt"
+python3 - "$tmp_dir/ladder.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rows = doc["samples"]
+assert rows, "simulate --out JSON has no rows"
+policies = {r["policy"] for r in rows}
+assert policies == {"static-edf", "cc-edf", "la-edf", "sleep-edf"}, policies
+assert all(float(r["ratio"]) >= 0.999 for r in rows)
+PY
+echo "sim_smoke: ladder + JSON export OK"
+
+# ---- per-policy obs series via metrics --simulate -----------------------
+"$build_dir/easched_cli" metrics --simulate --streams 2 --horizon 40 \
+  --periodic > "$tmp_dir/metrics.txt"
+grep -q '^# TYPE easched_sim_arrivals_total counter$' "$tmp_dir/metrics.txt"
+for policy in static-edf cc-edf la-edf sleep-edf; do
+  grep -q "^easched_sim_arrivals_total{policy=\"$policy\"} " "$tmp_dir/metrics.txt"
+done
+grep -q '^# TYPE easched_sim_freq_transitions_total counter$' "$tmp_dir/metrics.txt"
+echo "sim_smoke: metrics --simulate exposition OK"
+
+# ---- policy-vs-oracle bench (its acceptance bars gate) ------------------
+"$build_dir/bench_sim_policies" --json-out "$tmp_dir/sim_policies.json"
+python3 - "$tmp_dir/sim_policies.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["pass"] is True
+assert doc["cc_le_static"] is True and doc["deterministic"] is True
+PY
+echo "sim_smoke: OK"

@@ -1,0 +1,69 @@
+#include "model/ladder.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace easched::model {
+
+common::Result<DvfsLadder> DvfsLadder::create(std::vector<double> frequencies,
+                                              std::vector<double> voltages) {
+  if (frequencies.empty()) {
+    return common::Status::invalid("ladder needs at least one operating point");
+  }
+  if (frequencies.size() != voltages.size()) {
+    return common::Status::invalid("ladder frequency/voltage tables differ in size");
+  }
+  std::vector<std::pair<double, double>> points;
+  points.reserve(frequencies.size());
+  for (std::size_t i = 0; i < frequencies.size(); ++i) {
+    if (frequencies[i] <= 0.0 || voltages[i] <= 0.0) {
+      return common::Status::invalid("ladder operating points must be positive");
+    }
+    points.emplace_back(frequencies[i], voltages[i]);
+  }
+  std::sort(points.begin(), points.end());
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i].first == points[i - 1].first) {
+      return common::Status::invalid("ladder has duplicate frequency levels");
+    }
+    if (points[i].second < points[i - 1].second) {
+      return common::Status::invalid("ladder voltage must not decrease with frequency");
+    }
+  }
+  std::vector<double> f(points.size()), v(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    f[i] = points[i].first;
+    v[i] = points[i].second;
+  }
+  return DvfsLadder(std::move(f), std::move(v));
+}
+
+const DvfsLadder& DvfsLadder::xscale7() {
+  static const DvfsLadder ladder = [] {
+    auto r = create({1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4},
+                    {5.0, 4.7, 4.4, 4.1, 3.8, 3.5, 3.2});
+    EASCHED_CHECK(r.is_ok());
+    return std::move(r).take();
+  }();
+  return ladder;
+}
+
+double DvfsLadder::switching_power(int level) const {
+  const double v = voltage(level);
+  return frequency(level) * v * v;
+}
+
+common::Result<int> DvfsLadder::level_at_or_above(double f) const {
+  const auto it = std::lower_bound(frequencies_.begin(), frequencies_.end(), f);
+  if (it == frequencies_.end()) {
+    return common::Status::infeasible("no ladder level at or above requested frequency");
+  }
+  return static_cast<int>(it - frequencies_.begin());
+}
+
+SpeedModel DvfsLadder::speed_model(bool vdd_hopping) const {
+  return vdd_hopping ? SpeedModel::vdd_hopping(frequencies_)
+                     : SpeedModel::discrete(frequencies_);
+}
+
+}  // namespace easched::model

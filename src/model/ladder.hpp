@@ -1,0 +1,63 @@
+#pragma once
+// Discrete frequency/voltage ladders — the DVFS hardware model of the
+// related RT-DVS simulators (paired FREQ_LEVELS / VOLTAGE_LEVELS tables,
+// Pillai & Shin style), bridged onto the paper's speed models.
+//
+// A DvfsLadder is a validated, frequency-sorted table of (frequency,
+// voltage) operating points. The paper's solvers only see the frequency
+// column — speed_model() produces the DISCRETE or VDD-HOPPING
+// model::SpeedModel over the ladder's levels, so the whole existing VDD
+// machinery (vdd-lp, discrete-bnb, bracket/round_up) applies unchanged.
+// The voltage column is kept for reporting and validation: the related
+// simulators charge f * V^2 * t per level, and switching_power() exposes
+// that figure so simulator output can be cross-read against them. The
+// simulator's *energy accounting* stays on the paper's cube law
+// (model::power_time_energy), which is what the offline oracle minimizes
+// — mixing the two laws would make competitive ratios meaningless.
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "model/speed_model.hpp"
+
+namespace easched::model {
+
+class DvfsLadder {
+ public:
+  /// Paired operating points; the two vectors must have equal, non-zero
+  /// size and strictly positive entries. Points are sorted by frequency
+  /// internally; duplicate frequencies and voltages that decrease as the
+  /// frequency rises are rejected (a real ladder raises VDD with f).
+  static common::Result<DvfsLadder> create(std::vector<double> frequencies,
+                                           std::vector<double> voltages);
+
+  /// The 7-level ladder of the related RT-DVS simulator (frequencies
+  /// 0.4..1.0 in steps of 0.1, voltages 3.2..5.0), sorted ascending.
+  static const DvfsLadder& xscale7();
+
+  int num_levels() const noexcept { return static_cast<int>(frequencies_.size()); }
+  double frequency(int level) const { return frequencies_.at(static_cast<std::size_t>(level)); }
+  double voltage(int level) const { return voltages_.at(static_cast<std::size_t>(level)); }
+  double fmin() const noexcept { return frequencies_.front(); }
+  double fmax() const noexcept { return frequencies_.back(); }
+  const std::vector<double>& frequencies() const noexcept { return frequencies_; }
+
+  /// The related simulators' power figure at a level: f * V^2.
+  double switching_power(int level) const;
+
+  /// Lowest level whose frequency is >= f; kInfeasible above fmax.
+  common::Result<int> level_at_or_above(double f) const;
+
+  /// The paper-side view: DISCRETE (one speed per execution) or
+  /// VDD-HOPPING (speed mixes allowed) over the frequency column.
+  SpeedModel speed_model(bool vdd_hopping = false) const;
+
+ private:
+  DvfsLadder(std::vector<double> f, std::vector<double> v)
+      : frequencies_(std::move(f)), voltages_(std::move(v)) {}
+
+  std::vector<double> frequencies_;  ///< ascending
+  std::vector<double> voltages_;     ///< non-decreasing, paired with frequencies_
+};
+
+}  // namespace easched::model

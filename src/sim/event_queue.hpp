@@ -1,0 +1,70 @@
+#pragma once
+// Deterministic discrete-event queue for the online simulator.
+//
+// A plain min-heap on time is not enough for bit-identical replays:
+// heaps order equal keys arbitrarily, and an arrival tying with a
+// completion must resolve the same way on every run. Events therefore
+// carry a push sequence number and pop in (time, sequence) order — a
+// strict total order, so the simulation trajectory is a pure function of
+// the pushed events.
+//
+// Completion events can go stale (the running job was preempted or its
+// speed changed before the predicted finish). Instead of deleting from
+// the middle of the heap, pushers stamp events with a generation counter
+// and the simulator discards popped events whose generation no longer
+// matches the job's — the classic lazy-invalidation scheme.
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace easched::sim {
+
+enum class EventKind : std::uint8_t {
+  kArrival,     ///< a job of the trace releases
+  kCompletion,  ///< predicted finish of the running job (may be stale)
+};
+
+struct Event {
+  double time = 0.0;
+  EventKind kind = EventKind::kArrival;
+  int job = -1;                   ///< index into the trace
+  std::uint64_t generation = 0;   ///< kCompletion staleness stamp
+  std::uint64_t sequence = 0;     ///< push order, the tie-break
+};
+
+class EventQueue {
+ public:
+  void push(double time, EventKind kind, int job, std::uint64_t generation = 0) {
+    Event e;
+    e.time = time;
+    e.kind = kind;
+    e.job = job;
+    e.generation = generation;
+    e.sequence = next_sequence_++;
+    heap_.push(e);
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+  const Event& top() const { return heap_.top(); }
+
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace easched::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/parallel.hpp"
+#include "sim/stream.hpp"
 
 namespace easched::sim {
 
@@ -47,14 +48,15 @@ SimReport simulate(const graph::Dag& dag, const sched::Schedule& schedule,
     common::OnlineStats energy;
   };
   std::vector<ChunkAccum> accums(chunks);
-  const common::Rng master(options.seed);
   common::parallel_chunks(
       static_cast<std::size_t>(options.trials), chunks,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         auto& acc = accums[chunk];
         acc.task_success.assign(static_cast<std::size_t>(n), 0);
         acc.first_failed.assign(static_cast<std::size_t>(n), 0);
-        common::Rng rng = master.split(chunk);
+        // Per-chunk substream from the shared sim:: derivation scheme
+        // (stream.hpp) — the same tagging the arrival generator uses.
+        common::Rng rng = substream(options.seed, StreamPurpose::kFaultTrial, chunk);
         for (std::size_t trial = begin; trial < end; ++trial) {
           ++acc.trials;
           bool all_ok = true;

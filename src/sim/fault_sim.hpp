@@ -13,8 +13,10 @@
 // Faults are independent per execution: an execution at constant speed f
 // fails with probability clamp(lambda_i(f), 0, 1); a VDD execution fails
 // with clamp(sum_s rate(f_s) alpha_s, 0, 1). Trials run in parallel with
-// deterministic per-chunk RNG substreams (same results for any thread
-// count).
+// deterministic per-chunk RNG substreams drawn through the shared
+// sim::substream scheme (stream.hpp), so results are the same for any
+// thread count and the injector shares one seeded-stream derivation with
+// the arrival-stream simulator.
 
 #include <cstdint>
 #include <vector>

@@ -1,0 +1,49 @@
+#pragma once
+// Clairvoyant offline baseline for the online simulator.
+//
+// The oracle sees what no online policy may: the *realized* work of
+// every job of the trace, before the stream starts. It builds the
+// offline instance the paper's solvers understand — the realized works
+// as a single-processor chain, one global window from the first release
+// to the last deadline — and solves it exactly through the engine
+// (closed-form chain for continuous speeds, the VDD-HOPPING LP for
+// ladders: VDD relaxes DISCRETE, so the LP stays a valid lower bound for
+// discrete platforms). The global window is itself a relaxation of the
+// per-job release/deadline windows, so the reported figure is a *lower
+// bound* on any feasible processing cost — empirical competitive ratios
+// (policy energy / oracle energy) are >= 1 up to accounting rounding.
+//
+// Static/sleep accounting mirrors the simulator's: the oracle may either
+// stay awake over the whole window (paying static power throughout plus
+// one wake-up), or race at the best sleeping speed — all work at
+// max(critical speed, work/window, fmin), then sleep — whichever is
+// cheaper. The reported energy is the minimum of the two candidates.
+
+#include <string>
+
+#include "common/status.hpp"
+#include "engine/engine.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stream.hpp"
+
+namespace easched::sim {
+
+struct OracleReport {
+  double energy = 0.0;          ///< min over the two candidates below
+  double dynamic_energy = 0.0;  ///< of the chosen candidate
+  double static_energy = 0.0;
+  double wake_energy = 0.0;
+  bool slept = false;           ///< the race-and-sleep candidate won
+  double window = 0.0;          ///< last deadline - first release
+  double total_work = 0.0;      ///< sum of realized works
+  bool feasible_at_fmax = false;  ///< total_work / fmax fits the window
+  std::string solver;           ///< registry solver behind the awake candidate
+};
+
+/// Solves the realized trace's offline relaxation through `engine`.
+/// kInvalidArgument for an empty trace; solver errors pass through.
+common::Result<OracleReport> oracle_baseline(const ArrivalTrace& trace,
+                                             const SimConfig& config,
+                                             engine::Engine& engine);
+
+}  // namespace easched::sim

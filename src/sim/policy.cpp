@@ -1,0 +1,148 @@
+#include "sim/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace easched::sim {
+namespace {
+
+/// A class's worst-case density share: wcet / min(deadline, period) —
+/// the sporadic density bound (for constrained deadlines the deadline
+/// dominates; for deadline >= period it reduces to the utilization
+/// term). EDF at the summed density meets every deadline of a stream
+/// whose per-class releases are spaced at least the period apart.
+double density_denominator(const TaskClass& c) {
+  return std::min(c.relative_deadline, c.mean_gap);
+}
+
+double static_density(const std::vector<TaskClass>& classes) {
+  double u = 0.0;
+  for (const auto& c : classes) u += c.wcet / density_denominator(c);
+  return u;
+}
+
+class StaticEdf final : public Policy {
+ public:
+  std::string_view name() const noexcept override { return "static-edf"; }
+  void reset(const PolicySetup& setup) override { speed_ = static_density(setup.classes); }
+  void on_release(const SimJob&) override {}
+  void on_complete(const SimJob&, double) override {}
+  double select_speed(double, const std::vector<ReadyJob>&) override { return speed_; }
+
+ private:
+  double speed_ = 1.0;
+};
+
+/// Pillai & Shin's cycle-conserving rule, kept per task class: the
+/// class's utilization share is wcet_c / D_c from a release until the
+/// job completes, then executed / D_c until the class releases again.
+/// executed <= wcet keeps the sum <= static-edf's density at all times.
+class CycleConservingEdf final : public Policy {
+ public:
+  std::string_view name() const noexcept override { return "cc-edf"; }
+
+  void reset(const PolicySetup& setup) override {
+    classes_ = setup.classes;
+    share_.assign(classes_.size(), 0.0);
+    // Worst-case shares until the first completions teach us better —
+    // the conservative initialization of the original algorithm.
+    for (std::size_t c = 0; c < classes_.size(); ++c) {
+      share_[c] = classes_[c].wcet / density_denominator(classes_[c]);
+    }
+  }
+
+  void on_release(const SimJob& job) override {
+    const auto c = static_cast<std::size_t>(job.task_class);
+    share_[c] = classes_[c].wcet / density_denominator(classes_[c]);
+  }
+
+  void on_complete(const SimJob& job, double executed) override {
+    const auto c = static_cast<std::size_t>(job.task_class);
+    share_[c] = executed / density_denominator(classes_[c]);
+  }
+
+  double select_speed(double, const std::vector<ReadyJob>&) override {
+    double u = 0.0;
+    for (double s : share_) u += s;
+    return u;
+  }
+
+ private:
+  std::vector<TaskClass> classes_;
+  std::vector<double> share_;
+};
+
+/// Look-ahead / deferral rule: the minimum constant speed under which
+/// every pending deadline is still met if every pending job consumes its
+/// full remaining WCET — max over deadline prefixes of
+/// sum(remaining) / (deadline - now). A deadline at or behind `now`
+/// demands unbounded speed; the simulator clamps to fmax.
+class LookAheadEdf : public Policy {
+ public:
+  std::string_view name() const noexcept override { return "la-edf"; }
+  void reset(const PolicySetup&) override {}
+  void on_release(const SimJob&) override {}
+  void on_complete(const SimJob&, double) override {}
+
+  double select_speed(double now, const std::vector<ReadyJob>& ready) override {
+    double need = 0.0;
+    double pending = 0.0;
+    for (const auto& r : ready) {
+      pending += r.remaining_wcet;
+      const double window = r.deadline - now;
+      if (window <= 0.0) return std::numeric_limits<double>::infinity();
+      need = std::max(need, pending / window);
+    }
+    return need;
+  }
+};
+
+/// Slow-down + sleep: la-edf floored at the critical speed, plus eager
+/// sleep when idle. Below the critical speed the static draw dominates:
+/// finishing sooner and sleeping is strictly cheaper than crawling.
+class SleepEdf final : public LookAheadEdf {
+ public:
+  std::string_view name() const noexcept override { return "sleep-edf"; }
+  void reset(const PolicySetup& setup) override { floor_ = critical_speed(setup.static_power); }
+
+  double select_speed(double now, const std::vector<ReadyJob>& ready) override {
+    return std::max(LookAheadEdf::select_speed(now, ready), floor_);
+  }
+
+  bool sleeps() const noexcept override { return true; }
+
+ private:
+  double floor_ = 0.0;
+};
+
+}  // namespace
+
+double critical_speed(double static_power) {
+  if (static_power <= 0.0) return 0.0;
+  return std::cbrt(static_power / 2.0);
+}
+
+const std::vector<std::string>& policy_names() {
+  static const std::vector<std::string> names = {"static-edf", "cc-edf", "la-edf",
+                                                 "sleep-edf"};
+  return names;
+}
+
+common::Result<std::unique_ptr<Policy>> make_policy(const std::string& name) {
+  std::unique_ptr<Policy> p;
+  if (name == "static-edf") {
+    p = std::make_unique<StaticEdf>();
+  } else if (name == "cc-edf") {
+    p = std::make_unique<CycleConservingEdf>();
+  } else if (name == "la-edf") {
+    p = std::make_unique<LookAheadEdf>();
+  } else if (name == "sleep-edf") {
+    p = std::make_unique<SleepEdf>();
+  } else {
+    return common::Status::not_found("unknown policy '" + name + "'");
+  }
+  return p;
+}
+
+}  // namespace easched::sim

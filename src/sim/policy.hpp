@@ -1,0 +1,95 @@
+#pragma once
+// Online DVFS scheduling policies for the arrival-stream simulator.
+//
+// All four policies schedule EDF (earliest absolute deadline first,
+// preemptive) and differ only in the speed they request at each
+// scheduling event. They are strictly non-clairvoyant: a policy sees a
+// job's WCET bound and deadline at release and learns the realized work
+// only when the job completes — never the future of the arrival stream.
+//
+//   static-edf   one speed for the whole run: the stream's worst-case
+//                density sum(wcet_c / min(D_c, period_c)) over the task
+//                classes — the statically-scaled EDF baseline of
+//                Pillai & Shin.
+//   cc-edf       cycle-conserving EDF (Pillai & Shin): per-class
+//                utilization starts at the worst case and is lowered to
+//                the *realized* work when a job completes, restored to
+//                the worst case at the next release. Since realized
+//                work <= WCET the requested speed never exceeds
+//                static-edf's, so (energy being convex in speed) it
+//                never spends more dynamic energy.
+//   la-edf       look-ahead EDF: defers work as long as every pending
+//                deadline stays meetable — the requested speed is the
+//                maximal density over deadline prefixes,
+//                max_d sum_{d_j <= d} remaining_j / (d - now), the
+//                minimum constant speed that keeps the ready set
+//                feasible.
+//   sleep-edf    slow-down + sleep (Cord-Landwehr et al.): la-edf's
+//                schedule floored at the critical speed — below it,
+//                racing and sleeping beats crawling — combined with
+//                eager sleep whenever idle, paying the configured
+//                wake-up energy per busy period.
+//
+// Policies request an ideal speed; the simulator clamps it into
+// [fmin, fmax] and rounds *up* to the speed model's ladder (rounding
+// down could create deadline misses the policy never asked for).
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "sim/stream.hpp"
+
+namespace easched::sim {
+
+/// What a policy may know about a pending job: the online WCET bound on
+/// its remaining work, never the realized value.
+struct ReadyJob {
+  int job = -1;                ///< trace index
+  double deadline = 0.0;       ///< absolute
+  double remaining_wcet = 0.0; ///< wcet - executed so far (>= realized remaining)
+};
+
+/// Run-constant facts handed to Policy::reset.
+struct PolicySetup {
+  std::vector<TaskClass> classes;
+  double fmin = 0.0;
+  double fmax = 1.0;
+  double static_power = 0.0;  ///< awake power draw, for the critical speed
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+  /// Called once before a trace replays; policies must fully reset here
+  /// (one instance may simulate several traces in sequence).
+  virtual void reset(const PolicySetup& setup) = 0;
+  virtual void on_release(const SimJob& job) = 0;
+  /// `executed` is the work the job actually consumed (its realized
+  /// requirement — the cycle count a real RT-DVS kernel reads back).
+  virtual void on_complete(const SimJob& job, double executed) = 0;
+  /// The ideal speed for the coming execution segment. `ready` is the
+  /// pending set sorted by (deadline, trace index); never empty.
+  virtual double select_speed(double now, const std::vector<ReadyJob>& ready) = 0;
+  /// Sleeping policies power the processor down when idle (no static
+  /// draw) and pay the wake-up energy at the next busy period.
+  virtual bool sleeps() const noexcept { return false; }
+};
+
+/// The speed below which running slower stops saving energy once static
+/// power is charged: minimizing (f^3 + P_s) / f gives f = (P_s / 2)^(1/3)
+/// (the paper's cube-law dynamic power plus a constant awake draw).
+double critical_speed(double static_power);
+
+/// All registered policy names, in canonical order:
+/// static-edf, cc-edf, la-edf, sleep-edf.
+const std::vector<std::string>& policy_names();
+
+/// Factory by name; kNotFound for an unknown policy.
+common::Result<std::unique_ptr<Policy>> make_policy(const std::string& name);
+
+}  // namespace easched::sim

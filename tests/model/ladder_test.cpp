@@ -1,0 +1,78 @@
+#include "model/ladder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easched::model {
+namespace {
+
+TEST(DvfsLadder, Xscale7IsSortedAndPaired) {
+  const DvfsLadder& ladder = DvfsLadder::xscale7();
+  ASSERT_EQ(ladder.num_levels(), 7);
+  EXPECT_DOUBLE_EQ(ladder.fmin(), 0.4);
+  EXPECT_DOUBLE_EQ(ladder.fmax(), 1.0);
+  for (int l = 1; l < ladder.num_levels(); ++l) {
+    EXPECT_LT(ladder.frequency(l - 1), ladder.frequency(l));
+    EXPECT_LE(ladder.voltage(l - 1), ladder.voltage(l));
+  }
+  EXPECT_DOUBLE_EQ(ladder.voltage(0), 3.2);
+  EXPECT_DOUBLE_EQ(ladder.voltage(6), 5.0);
+}
+
+TEST(DvfsLadder, CreateSortsByFrequency) {
+  auto ladder = DvfsLadder::create({1.0, 0.5}, {5.0, 3.0});
+  ASSERT_TRUE(ladder.is_ok());
+  EXPECT_DOUBLE_EQ(ladder.value().frequency(0), 0.5);
+  EXPECT_DOUBLE_EQ(ladder.value().voltage(0), 3.0);
+  EXPECT_DOUBLE_EQ(ladder.value().frequency(1), 1.0);
+  EXPECT_DOUBLE_EQ(ladder.value().voltage(1), 5.0);
+}
+
+TEST(DvfsLadder, CreateRejectsMalformedTables) {
+  // Mismatched arity.
+  EXPECT_FALSE(DvfsLadder::create({0.5, 1.0}, {3.0}).is_ok());
+  // Empty.
+  EXPECT_FALSE(DvfsLadder::create({}, {}).is_ok());
+  // Non-positive entries.
+  EXPECT_FALSE(DvfsLadder::create({0.0, 1.0}, {3.0, 5.0}).is_ok());
+  EXPECT_FALSE(DvfsLadder::create({0.5, 1.0}, {3.0, -5.0}).is_ok());
+  // Duplicate frequencies.
+  EXPECT_FALSE(DvfsLadder::create({0.5, 0.5}, {3.0, 3.5}).is_ok());
+  // Voltage falling as frequency rises.
+  EXPECT_FALSE(DvfsLadder::create({0.5, 1.0}, {5.0, 3.0}).is_ok());
+}
+
+TEST(DvfsLadder, LevelAtOrAboveRoundsUp) {
+  const DvfsLadder& ladder = DvfsLadder::xscale7();
+  auto level = ladder.level_at_or_above(0.65);
+  ASSERT_TRUE(level.is_ok());
+  EXPECT_DOUBLE_EQ(ladder.frequency(level.value()), 0.7);
+  // Exact hits stay put; below fmin clamps to the bottom level.
+  EXPECT_DOUBLE_EQ(ladder.frequency(ladder.level_at_or_above(0.4).value()), 0.4);
+  EXPECT_DOUBLE_EQ(ladder.frequency(ladder.level_at_or_above(0.05).value()), 0.4);
+  // Above fmax is infeasible.
+  EXPECT_EQ(ladder.level_at_or_above(1.1).status().code(),
+            common::StatusCode::kInfeasible);
+}
+
+TEST(DvfsLadder, SwitchingPowerIsFVSquared) {
+  const DvfsLadder& ladder = DvfsLadder::xscale7();
+  EXPECT_DOUBLE_EQ(ladder.switching_power(0), 0.4 * 3.2 * 3.2);
+  EXPECT_DOUBLE_EQ(ladder.switching_power(6), 1.0 * 5.0 * 5.0);
+}
+
+TEST(DvfsLadder, SpeedModelBridgesToTheSolverSide) {
+  const DvfsLadder& ladder = DvfsLadder::xscale7();
+  const SpeedModel discrete = ladder.speed_model();
+  EXPECT_EQ(discrete.kind(), SpeedModelKind::kDiscrete);
+  EXPECT_EQ(discrete.num_levels(), 7);
+  EXPECT_DOUBLE_EQ(discrete.fmin(), 0.4);
+  EXPECT_DOUBLE_EQ(discrete.fmax(), 1.0);
+  auto rounded = discrete.round_up(0.72);
+  ASSERT_TRUE(rounded.is_ok());
+  EXPECT_DOUBLE_EQ(rounded.value(), 0.8);
+  const SpeedModel vdd = ladder.speed_model(/*vdd_hopping=*/true);
+  EXPECT_EQ(vdd.kind(), SpeedModelKind::kVddHopping);
+}
+
+}  // namespace
+}  // namespace easched::model

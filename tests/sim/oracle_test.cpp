@@ -1,0 +1,110 @@
+#include "sim/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.hpp"
+#include "model/energy.hpp"
+#include "sim/policy.hpp"
+#include "sim/simulator.hpp"
+
+namespace easched::sim {
+namespace {
+
+engine::Engine make_engine() {
+  auto created = engine::Engine::create(engine::EngineConfig{});
+  EXPECT_TRUE(created.is_ok());
+  return std::move(created).take();
+}
+
+TEST(Oracle, RejectsEmptyTrace) {
+  auto eng = make_engine();
+  ArrivalTrace trace;
+  EXPECT_EQ(oracle_baseline(trace, SimConfig{}, eng).status().code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(Oracle, SingleJobMatchesHandComputation) {
+  auto eng = make_engine();
+  ArrivalTrace trace;
+  SimJob job;
+  job.release = 0.0;
+  job.wcet = 2.0;
+  job.work = 2.0;
+  job.deadline = 10.0;
+  trace.jobs.push_back(job);
+  trace.horizon = 10.0;
+
+  SimConfig config;
+  config.static_power = 0.0;  // no static draw: stretch wins outright
+  config.wake_energy = 0.0;
+  auto report = oracle_baseline(trace, config, eng);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report.value().feasible_at_fmax);
+  EXPECT_DOUBLE_EQ(report.value().window, 10.0);
+  EXPECT_DOUBLE_EQ(report.value().total_work, 2.0);
+  // Optimal: run the 2 units over the whole window at f = 0.2 —
+  // E = w * f^2 = 2 * 0.04.
+  EXPECT_NEAR(report.value().energy, model::execution_energy(2.0, 0.2), 1e-9);
+}
+
+TEST(Oracle, HighStaticPowerMakesRacingAndSleepingWin) {
+  auto eng = make_engine();
+  ArrivalTrace trace;
+  SimJob job;
+  job.release = 0.0;
+  job.wcet = 1.0;
+  job.work = 1.0;
+  job.deadline = 100.0;
+  trace.jobs.push_back(job);
+  trace.horizon = 100.0;
+
+  SimConfig config;
+  config.static_power = 0.5;  // critical speed cbrt(0.25) ~ 0.63
+  config.wake_energy = 0.1;
+  auto report = oracle_baseline(trace, config, eng);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report.value().slept);
+  // Racing at f_crit: w f^2 + P w / f + wake.
+  const double fc = critical_speed(0.5);
+  EXPECT_NEAR(report.value().energy, fc * fc + 0.5 / fc + 0.1, 1e-9);
+}
+
+TEST(Oracle, LowerBoundsEveryPolicyOnPeriodicStreams) {
+  auto eng = make_engine();
+  const auto classes = default_task_classes(/*periodic=*/true);
+  const SimConfig config;
+  for (std::uint64_t stream = 0; stream < 3; ++stream) {
+    const auto trace = make_trace(classes, 60.0, 42, stream);
+    auto oracle = oracle_baseline(trace, config, eng);
+    ASSERT_TRUE(oracle.is_ok());
+    EXPECT_TRUE(oracle.value().feasible_at_fmax);
+    for (const auto& name : policy_names()) {
+      auto policy = make_policy(name);
+      ASSERT_TRUE(policy.is_ok());
+      const auto m = simulate_policy(trace, classes, config, *policy.value());
+      EXPECT_GE(m.total_energy(), oracle.value().energy * 0.999)
+          << name << " stream " << stream;
+    }
+  }
+}
+
+TEST(Oracle, DiscreteLadderSolvesThroughVddRelaxation) {
+  auto eng = make_engine();
+  const auto classes = default_task_classes(/*periodic=*/true);
+  const auto trace = make_trace(classes, 40.0, 42, 0);
+  SimConfig config;
+  config.speeds = model::SpeedModel::discrete({0.4, 0.6, 0.8, 1.0});
+  auto report = oracle_baseline(trace, config, eng);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_GT(report.value().energy, 0.0);
+  // The VDD relaxation stays below (or at) the continuous-optimum cost
+  // clamped to the ladder, and every policy on the discrete platform
+  // spends at least the oracle.
+  auto policy = make_policy("cc-edf");
+  ASSERT_TRUE(policy.is_ok());
+  const auto m = simulate_policy(trace, classes, config, *policy.value());
+  EXPECT_GE(m.total_energy(), report.value().energy * 0.999);
+}
+
+}  // namespace
+}  // namespace easched::sim

@@ -1,0 +1,114 @@
+#include "sim/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace easched::sim {
+namespace {
+
+PolicySetup two_class_setup() {
+  PolicySetup setup;
+  // densities 0.5/2 = 0.25 and 1.0/4 = 0.25 (deadline binds for the
+  // first class, the 5-gap makes min(D, P) = 4 for the second).
+  setup.classes = {{"a", 2.0, false, 0.5, 2.0, 0, 0.5},
+                   {"b", 5.0, false, 1.0, 4.0, 1, 0.5}};
+  setup.static_power = 0.05;
+  return setup;
+}
+
+TEST(PolicyFactory, NamesRoundTrip) {
+  for (const auto& name : policy_names()) {
+    auto p = make_policy(name);
+    ASSERT_TRUE(p.is_ok()) << name;
+    EXPECT_EQ(p.value()->name(), name);
+  }
+  EXPECT_EQ(make_policy("bogus").status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(CriticalSpeed, CubeRootOfHalfStaticPower) {
+  EXPECT_DOUBLE_EQ(critical_speed(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(critical_speed(0.25), 0.5);
+  EXPECT_DOUBLE_EQ(critical_speed(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(critical_speed(-1.0), 0.0);
+}
+
+TEST(StaticEdf, SpeedIsWorstCaseDensity) {
+  auto p = make_policy("static-edf");
+  ASSERT_TRUE(p.is_ok());
+  p.value()->reset(two_class_setup());
+  EXPECT_DOUBLE_EQ(p.value()->select_speed(0.0, {}), 0.5);
+}
+
+TEST(CycleConservingEdf, SharesDropOnCompletionAndRestoreOnRelease) {
+  auto created = make_policy("cc-edf");
+  ASSERT_TRUE(created.is_ok());
+  Policy& p = *created.value();
+  const auto setup = two_class_setup();
+  p.reset(setup);
+  EXPECT_DOUBLE_EQ(p.select_speed(0.0, {}), 0.5);  // worst case = static
+
+  SimJob job;
+  job.task_class = 0;
+  // Class a completes having used only half its WCET: its share halves.
+  p.on_complete(job, 0.25);
+  EXPECT_DOUBLE_EQ(p.select_speed(0.0, {}), 0.375);
+  // The next release of the class restores the worst-case share.
+  p.on_release(job);
+  EXPECT_DOUBLE_EQ(p.select_speed(0.0, {}), 0.5);
+}
+
+TEST(CycleConservingEdf, NeverExceedsStaticDensity) {
+  auto cc = make_policy("cc-edf");
+  ASSERT_TRUE(cc.is_ok());
+  const auto setup = two_class_setup();
+  cc.value()->reset(setup);
+  SimJob job;
+  for (int c = 0; c < 2; ++c) {
+    job.task_class = c;
+    for (double executed : {0.1, 0.3, 0.5}) {
+      cc.value()->on_complete(job, executed);
+      EXPECT_LE(cc.value()->select_speed(0.0, {}), 0.5 + 1e-12);
+    }
+    cc.value()->on_release(job);
+  }
+  EXPECT_DOUBLE_EQ(cc.value()->select_speed(0.0, {}), 0.5);
+}
+
+TEST(LookAheadEdf, MaxPrefixDensity) {
+  auto p = make_policy("la-edf");
+  ASSERT_TRUE(p.is_ok());
+  p.value()->reset(two_class_setup());
+  // At t=0: 1 unit due at 2 (density 0.5), 1 more due at 10
+  // (prefix density 2/10 = 0.2) — the near deadline binds.
+  const std::vector<ReadyJob> ready = {{0, 2.0, 1.0}, {1, 10.0, 1.0}};
+  EXPECT_DOUBLE_EQ(p.value()->select_speed(0.0, ready), 0.5);
+  // A tight far prefix can dominate the near deadline.
+  const std::vector<ReadyJob> tight = {{0, 2.0, 0.2}, {1, 3.0, 2.0}};
+  EXPECT_NEAR(p.value()->select_speed(0.0, tight), 2.2 / 3.0, 1e-12);
+  // A deadline at/behind now demands unbounded speed (simulator clamps).
+  const std::vector<ReadyJob> late = {{0, 0.0, 0.5}};
+  EXPECT_TRUE(std::isinf(p.value()->select_speed(0.0, late)));
+}
+
+TEST(SleepEdf, FlooredAtCriticalSpeedAndSleeps) {
+  auto p = make_policy("sleep-edf");
+  ASSERT_TRUE(p.is_ok());
+  PolicySetup setup = two_class_setup();
+  setup.static_power = 0.25;  // critical speed 0.5
+  p.value()->reset(setup);
+  EXPECT_TRUE(p.value()->sleeps());
+  // Far deadline: la-edf alone would crawl at 0.1; the floor lifts it.
+  const std::vector<ReadyJob> slack = {{0, 10.0, 1.0}};
+  EXPECT_DOUBLE_EQ(p.value()->select_speed(0.0, slack), 0.5);
+  // Tight deadline: the la-edf demand exceeds the floor and wins.
+  const std::vector<ReadyJob> tight = {{0, 1.0, 0.8}};
+  EXPECT_DOUBLE_EQ(p.value()->select_speed(0.0, tight), 0.8);
+  // Non-sleeping policies keep the default.
+  auto cc = make_policy("cc-edf");
+  ASSERT_TRUE(cc.is_ok());
+  EXPECT_FALSE(cc.value()->sleeps());
+}
+
+}  // namespace
+}  // namespace easched::sim

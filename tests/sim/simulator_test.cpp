@@ -1,0 +1,144 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "sim/policy.hpp"
+
+namespace easched::sim {
+namespace {
+
+SimConfig test_config() {
+  SimConfig config;  // continuous [0.05, 1], static 0.05, wake 0.5
+  return config;
+}
+
+TEST(Simulator, FeasiblePeriodicCorpusHasNoMisses) {
+  // Density 0.65 < 1: static-edf (and everything at or above its speed
+  // whenever needed) meets every deadline of the periodic streams.
+  const auto classes = default_task_classes(/*periodic=*/true);
+  const auto trace = make_trace(classes, 120.0, 42, 0);
+  for (const auto& name : policy_names()) {
+    auto policy = make_policy(name);
+    ASSERT_TRUE(policy.is_ok());
+    const auto m = simulate_policy(trace, classes, test_config(), *policy.value());
+    EXPECT_EQ(m.deadline_misses, 0u) << name;
+    EXPECT_EQ(m.arrivals, trace.jobs.size()) << name;
+    EXPECT_EQ(m.completions, trace.jobs.size()) << name;
+    EXPECT_GT(m.total_energy(), 0.0) << name;
+    EXPECT_GE(m.span, trace.jobs.back().deadline) << name;
+  }
+}
+
+TEST(Simulator, CycleConservingNeverSpendsMoreThanStatic) {
+  const auto classes = default_task_classes(/*periodic=*/true);
+  auto st = make_policy("static-edf");
+  auto cc = make_policy("cc-edf");
+  ASSERT_TRUE(st.is_ok() && cc.is_ok());
+  for (std::uint64_t stream = 0; stream < 4; ++stream) {
+    const auto trace = make_trace(classes, 100.0, 42, stream);
+    const auto ms = simulate_policy(trace, classes, test_config(), *st.value());
+    const auto mc = simulate_policy(trace, classes, test_config(), *cc.value());
+    EXPECT_LE(mc.total_energy(), ms.total_energy() + 1e-9) << stream;
+    // Both stay awake over the same accounting span, so the saving is
+    // pure dynamic energy.
+    EXPECT_EQ(mc.span, ms.span) << stream;
+    EXPECT_LE(mc.dynamic_energy, ms.dynamic_energy + 1e-9) << stream;
+  }
+}
+
+TEST(Simulator, StaticEdfNeverSwitchesFrequency) {
+  const auto classes = default_task_classes(/*periodic=*/true);
+  const auto trace = make_trace(classes, 80.0, 7, 0);
+  auto policy = make_policy("static-edf");
+  ASSERT_TRUE(policy.is_ok());
+  const auto m = simulate_policy(trace, classes, test_config(), *policy.value());
+  EXPECT_EQ(m.freq_transitions, 0u);
+  EXPECT_EQ(m.wakeups, 0u);
+  EXPECT_EQ(m.sleep_time, 0.0);
+}
+
+TEST(Simulator, SleepPolicySleepsAndPaysWakeups) {
+  const auto classes = default_task_classes(/*periodic=*/true);
+  const auto trace = make_trace(classes, 80.0, 42, 0);
+  auto sleep = make_policy("sleep-edf");
+  auto la = make_policy("la-edf");
+  ASSERT_TRUE(sleep.is_ok() && la.is_ok());
+  const auto msleep = simulate_policy(trace, classes, test_config(), *sleep.value());
+  const auto mla = simulate_policy(trace, classes, test_config(), *la.value());
+  EXPECT_GT(msleep.wakeups, 0u);
+  EXPECT_GT(msleep.sleep_time, 0.0);
+  EXPECT_EQ(msleep.idle_time, 0.0);  // eager sleep: idle means asleep
+  EXPECT_DOUBLE_EQ(msleep.wake_energy,
+                   0.5 * static_cast<double>(msleep.wakeups));
+  // The non-sleeping twin pays static power instead of wake-ups.
+  EXPECT_EQ(mla.wakeups, 0u);
+  EXPECT_EQ(mla.sleep_time, 0.0);
+  EXPECT_GT(mla.idle_time, 0.0);
+}
+
+TEST(Simulator, DiscreteLadderRoundsSpeedsUp) {
+  const auto classes = default_task_classes(/*periodic=*/true);
+  const auto trace = make_trace(classes, 60.0, 42, 0);
+  SimConfig config = test_config();
+  config.speeds = model::SpeedModel::discrete({0.4, 0.6, 0.8, 1.0});
+  auto policy = make_policy("static-edf");
+  ASSERT_TRUE(policy.is_ok());
+  const auto m = simulate_policy(trace, classes, config, *policy.value());
+  // Static density 0.65 rounds up to 0.8: busy time = total work / 0.8.
+  double work = 0.0;
+  for (const auto& j : trace.jobs) work += j.work;
+  EXPECT_NEAR(m.busy_time, work / 0.8, 1e-9);
+  EXPECT_EQ(m.deadline_misses, 0u);
+}
+
+TEST(Simulator, CorpusBitIdenticalAcrossThreadCounts) {
+  const auto classes = default_task_classes(/*periodic=*/true);
+  const auto a = run_policy_corpus(classes, 4, 60.0, 42, policy_names(),
+                                   test_config(), nullptr, /*threads=*/1);
+  const auto b = run_policy_corpus(classes, 4, 60.0, 42, policy_names(),
+                                   test_config(), nullptr, /*threads=*/4);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    ASSERT_EQ(a[s].size(), b[s].size());
+    for (std::size_t p = 0; p < a[s].size(); ++p) {
+      EXPECT_EQ(a[s][p].policy, b[s][p].policy);
+      EXPECT_EQ(a[s][p].arrivals, b[s][p].arrivals);
+      EXPECT_EQ(a[s][p].deadline_misses, b[s][p].deadline_misses);
+      EXPECT_EQ(a[s][p].freq_transitions, b[s][p].freq_transitions);
+      // Bit-identical doubles, not approximately equal.
+      EXPECT_EQ(a[s][p].dynamic_energy, b[s][p].dynamic_energy);
+      EXPECT_EQ(a[s][p].static_energy, b[s][p].static_energy);
+      EXPECT_EQ(a[s][p].busy_time, b[s][p].busy_time);
+      EXPECT_EQ(a[s][p].span, b[s][p].span);
+    }
+  }
+}
+
+TEST(Simulator, RegistryRecordsLabelledSeries) {
+  const auto classes = default_task_classes(/*periodic=*/true);
+  const auto trace = make_trace(classes, 40.0, 42, 0);
+  auto policy = make_policy("cc-edf");
+  ASSERT_TRUE(policy.is_ok());
+  obs::Registry registry;
+  const auto m = simulate_policy(trace, classes, test_config(), *policy.value(),
+                                 &registry);
+  std::ostringstream out;
+  registry.write_text(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("easched_sim_arrivals_total"), std::string::npos);
+  EXPECT_NE(text.find("policy=\"cc-edf\""), std::string::npos);
+  EXPECT_NE(text.find("easched_sim_freq_transitions_total"), std::string::npos);
+  (void)m;
+}
+
+TEST(Simulator, UnknownPolicyNameFailsTheCorpus) {
+  const auto classes = default_task_classes(/*periodic=*/true);
+  EXPECT_THROW(run_policy_corpus(classes, 1, 10.0, 42, {"bogus"}, test_config()),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace easched::sim

@@ -1,0 +1,101 @@
+#include "sim/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace easched::sim {
+namespace {
+
+TEST(Substream, SameKeySameDraws) {
+  common::Rng a = substream(42, StreamPurpose::kArrival, 7);
+  common::Rng b = substream(42, StreamPurpose::kArrival, 7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Substream, PurposeAndIndexDecorrelate) {
+  common::Rng a = substream(42, StreamPurpose::kArrival, 3);
+  common::Rng b = substream(42, StreamPurpose::kWork, 3);
+  common::Rng c = substream(42, StreamPurpose::kArrival, 4);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+  common::Rng a2 = substream(42, StreamPurpose::kArrival, 3);
+  EXPECT_NE(a2.next_u64(), c.next_u64());
+}
+
+TEST(MakeTrace, SameSeedBitIdentical) {
+  const auto classes = default_task_classes();
+  const auto a = make_trace(classes, 100.0, 42, 1);
+  const auto b = make_trace(classes, 100.0, 42, 1);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].release, b.jobs[i].release);
+    EXPECT_EQ(a.jobs[i].work, b.jobs[i].work);
+    EXPECT_EQ(a.jobs[i].deadline, b.jobs[i].deadline);
+    EXPECT_EQ(a.jobs[i].task_class, b.jobs[i].task_class);
+  }
+}
+
+TEST(MakeTrace, SeedAndStreamIndexChangeTheTrace) {
+  const auto classes = default_task_classes();
+  const auto a = make_trace(classes, 100.0, 42, 0);
+  const auto b = make_trace(classes, 100.0, 43, 0);
+  const auto c = make_trace(classes, 100.0, 42, 1);
+  const auto differs = [](const ArrivalTrace& x, const ArrivalTrace& y) {
+    if (x.jobs.size() != y.jobs.size()) return true;
+    for (std::size_t i = 0; i < x.jobs.size(); ++i) {
+      if (x.jobs[i].release != y.jobs[i].release || x.jobs[i].work != y.jobs[i].work) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(differs(a, b));
+  EXPECT_TRUE(differs(a, c));
+}
+
+TEST(MakeTrace, JobsSortedAndWellFormed) {
+  const auto classes = default_task_classes();
+  const auto trace = make_trace(classes, 200.0, 7, 0);
+  ASSERT_FALSE(trace.jobs.empty());
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    const auto& j = trace.jobs[i];
+    if (i > 0) EXPECT_LE(trace.jobs[i - 1].release, j.release);
+    EXPECT_LT(j.release, 200.0);
+    const auto& c = classes[static_cast<std::size_t>(j.task_class)];
+    EXPECT_EQ(j.wcet, c.wcet);
+    EXPECT_LE(j.work, j.wcet);
+    EXPECT_GE(j.work, c.bcet_fraction * c.wcet);
+    EXPECT_DOUBLE_EQ(j.deadline, j.release + c.relative_deadline);
+    EXPECT_EQ(j.sla, c.sla);
+  }
+}
+
+TEST(MakeTrace, PeriodicClassesReleaseOnTheirPeriod) {
+  const auto classes = default_task_classes(/*periodic=*/true);
+  const auto trace = make_trace(classes, 50.0, 42, 0);
+  std::vector<double> next_release(classes.size(), 0.0);
+  for (const auto& j : trace.jobs) {
+    const auto c = static_cast<std::size_t>(j.task_class);
+    EXPECT_NEAR(j.release, next_release[c], 1e-12);
+    next_release[c] += classes[c].mean_gap;
+  }
+  // Every class produced floor(horizon / period) jobs (first release at 0).
+  std::vector<int> count(classes.size(), 0);
+  for (const auto& j : trace.jobs) ++count[static_cast<std::size_t>(j.task_class)];
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    EXPECT_EQ(count[c], static_cast<int>(std::ceil(50.0 / classes[c].mean_gap)));
+  }
+}
+
+TEST(DefaultTaskClasses, ConstrainedDeadlinesAndFeasibleDensity) {
+  const auto classes = default_task_classes();
+  double density = 0.0;
+  for (const auto& c : classes) {
+    EXPECT_LE(c.relative_deadline, c.mean_gap);  // constrained deadlines
+    density += c.wcet / std::min(c.relative_deadline, c.mean_gap);
+  }
+  EXPECT_LT(density, 1.0);  // static-edf is feasible at fmax = 1
+}
+
+}  // namespace
+}  // namespace easched::sim
